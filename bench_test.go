@@ -1,0 +1,590 @@
+// Benchmarks regenerating the paper's evaluation (Table I and
+// Figs. 7–10) plus ablations of the design choices called out in
+// DESIGN.md §5. Each benchmark runs a reduced-scale version of the
+// corresponding experiment per iteration and reports the headline
+// quantities as custom metrics, so `go test -bench=.` reproduces the
+// *shapes* the paper reports; cmd/experiments runs the full scale.
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/appgen"
+	"repro/internal/binding"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/knapsack"
+	"repro/internal/mapping"
+	"repro/internal/optimal"
+	"repro/internal/platform"
+	"repro/internal/routing"
+	"repro/internal/validation"
+)
+
+// benchDatasets builds reduced datasets once and caches them across
+// benchmarks (building runs ~240 full allocations).
+var benchDatasets []experiments.Dataset
+
+func datasets(b *testing.B) []experiments.Dataset {
+	b.Helper()
+	if benchDatasets == nil {
+		benchDatasets = experiments.BuildAllDatasets(40, 1)
+	}
+	return benchDatasets
+}
+
+// BenchmarkTableI regenerates the failure distribution per phase
+// (paper Table I): sequential admission of each dataset in random
+// order until platform saturation. Reported metrics are the routing
+// failure share of the communication datasets and the binding failure
+// share of the computation datasets — the two headline shapes.
+func BenchmarkTableI(b *testing.B) {
+	ds := datasets(b)
+	proto := platform.CRISP()
+	var rows []experiments.TableIRow
+	for i := 0; i < b.N; i++ {
+		recs := experiments.RunSequences(ds, proto, experiments.SequenceConfig{
+			Weights:              mapping.WeightsBoth,
+			Sequences:            2,
+			Seed:                 int64(i + 1),
+			SkipValidationTiming: true,
+		})
+		rows = experiments.TableI(ds, recs)
+	}
+	var commRouting, compBinding float64
+	var nComm, nComp int
+	for _, r := range rows {
+		if r.Failures == 0 {
+			continue
+		}
+		if r.Dataset[:4] == "Comm" {
+			commRouting += r.RoutingPct
+			nComm++
+		} else {
+			compBinding += r.BindingPct
+			nComp++
+		}
+	}
+	if nComm > 0 {
+		b.ReportMetric(commRouting/float64(nComm), "comm-routing-fail-%")
+	}
+	if nComp > 0 {
+		b.ReportMetric(compBinding/float64(nComp), "comp-binding-fail-%")
+	}
+}
+
+// BenchmarkFig7 regenerates the per-phase run times of successful
+// allocations grouped by task count (paper Fig. 7). The reported
+// metric is the ratio of validation time to mapping time for the
+// largest size bucket — the paper's headline is that validation
+// dominates and scales worst.
+func BenchmarkFig7(b *testing.B) {
+	ds := datasets(b)
+	proto := platform.CRISP()
+	var points []experiments.Fig7Point
+	for i := 0; i < b.N; i++ {
+		recs := experiments.RunSequences(ds, proto, experiments.SequenceConfig{
+			Weights:   mapping.WeightsBoth,
+			Sequences: 1,
+			Seed:      int64(i + 1),
+		})
+		points = experiments.Fig7(recs)
+	}
+	if len(points) > 0 {
+		last := points[len(points)-1]
+		if last.Mapping > 0 {
+			b.ReportMetric(last.Validation/last.Mapping, "validation/mapping@max-tasks")
+		}
+		b.ReportMetric(last.Mapping, "mapping-µs@max-tasks")
+	}
+}
+
+// benchSeries runs the Fig. 8/9 position series for one weight
+// configuration and returns the series.
+func benchSeries(b *testing.B, w mapping.Weights, seed int64) []experiments.SeriesPoint {
+	b.Helper()
+	recs := experiments.RunSequences(datasets(b), platform.CRISP(), experiments.SequenceConfig{
+		Weights:              w,
+		Sequences:            2,
+		Seed:                 seed,
+		MaxPosition:          29,
+		SkipValidationTiming: true,
+	})
+	return experiments.PositionSeries(recs, 29)
+}
+
+// BenchmarkFig8 regenerates the hops-per-channel series (paper
+// Fig. 8) for the four weight configurations. Reported metrics: late
+// success rate (position ≥ 15, the paper observes it collapsing below
+// 20%) and the hop premium of fragmentation-weighted over
+// communication-weighted mapping.
+func BenchmarkFig8(b *testing.B) {
+	var comm, frag []experiments.SeriesPoint
+	for i := 0; i < b.N; i++ {
+		for _, wc := range experiments.WeightConfigs() {
+			s := benchSeries(b, wc.Weights, int64(i+1))
+			switch wc.Label {
+			case "Communication":
+				comm = s
+			case "Fragmentation":
+				frag = s
+			}
+		}
+	}
+	var commHops, fragHops, lateSucc float64
+	var n int
+	for i := range comm {
+		if comm[i].Position >= 15 {
+			lateSucc += comm[i].SuccessRate
+			n++
+		}
+		commHops += comm[i].MeanHops
+		fragHops += frag[i].MeanHops
+	}
+	if commHops > 0 {
+		b.ReportMetric(fragHops/commHops, "frag/comm-hop-ratio")
+	}
+	if n > 0 {
+		b.ReportMetric(lateSucc/float64(n), "late-success-%")
+	}
+}
+
+// BenchmarkFig9 regenerates the external-fragmentation series (paper
+// Fig. 9). Reported metrics: steady-state fragmentation (the paper
+// observes convergence to ≈30%) for the "None" and "Fragmentation"
+// configurations.
+func BenchmarkFig9(b *testing.B) {
+	var none, frag []experiments.SeriesPoint
+	for i := 0; i < b.N; i++ {
+		for _, wc := range experiments.WeightConfigs() {
+			s := benchSeries(b, wc.Weights, int64(i+1))
+			switch wc.Label {
+			case "None":
+				none = s
+			case "Fragmentation":
+				frag = s
+			}
+		}
+	}
+	tail := func(s []experiments.SeriesPoint) float64 {
+		var sum float64
+		var n int
+		for _, pt := range s {
+			if pt.Position >= 20 {
+				sum += pt.MeanFrag
+				n++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return sum / float64(n)
+	}
+	b.ReportMetric(tail(none), "none-steady-frag-%")
+	b.ReportMetric(tail(frag), "fragweighted-steady-frag-%")
+}
+
+// BenchmarkFig10 regenerates the beamforming admission weight map
+// (paper Fig. 10) on a coarse grid. Reported metrics: interior
+// admission rate and zero-weight-border admissions (the paper reports
+// zero).
+func BenchmarkFig10(b *testing.B) {
+	var res *experiments.Fig10Result
+	for i := 0; i < b.N; i++ {
+		res = experiments.Fig10(experiments.Fig10Config{
+			CommMax: 25, CommStep: 5, FragMax: 250, FragStep: 50,
+		})
+	}
+	b.ReportMetric(float64(res.AdmitN)/float64(res.Total)*100, "admitted-%")
+	b.ReportMetric(float64(res.ZeroWeightAdmissions()), "zero-weight-admissions")
+}
+
+// BenchmarkBeamformingCaseStudy regenerates the case study (§IV-A):
+// one full allocation of the 53-task beamformer on an empty CRISP
+// platform. The per-phase split is reported as metrics (the paper
+// measures binding 70.4 ms, mapping 21.7 ms, routing 7.4 ms,
+// validation 20.6 ms on a 200 MHz ARM926).
+func BenchmarkBeamformingCaseStudy(b *testing.B) {
+	var adm *core.Admission
+	for i := 0; i < b.N; i++ {
+		a, err := experiments.CaseStudy(mapping.WeightsBoth)
+		if err != nil {
+			b.Fatalf("case study rejected: %v", err)
+		}
+		adm = a
+	}
+	b.ReportMetric(float64(adm.Times.Binding.Microseconds()), "binding-µs")
+	b.ReportMetric(float64(adm.Times.Mapping.Microseconds()), "mapping-µs")
+	b.ReportMetric(float64(adm.Times.Routing.Microseconds()), "routing-µs")
+	b.ReportMetric(float64(adm.Times.Validation.Microseconds()), "validation-µs")
+}
+
+// beamformingPhases prepares the case-study inputs for the per-phase
+// micro-benchmarks below.
+func beamformingPhases(b *testing.B) (*core.Kairos, *core.Admission) {
+	b.Helper()
+	app, p := experiments.NewBeamforming()
+	k := core.New(p, core.Options{Weights: mapping.WeightsBoth})
+	adm, err := k.Admit(app)
+	if err != nil {
+		b.Fatalf("beamforming admission failed: %v", err)
+	}
+	return k, adm
+}
+
+// BenchmarkPhaseBinding measures phase 1 alone on the beamformer.
+func BenchmarkPhaseBinding(b *testing.B) {
+	app, p := experiments.NewBeamforming()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := binding.Bind(app, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPhaseMapping measures phase 2 alone on the beamformer
+// (place + rollback per iteration so the platform stays empty).
+func BenchmarkPhaseMapping(b *testing.B) {
+	app, p := experiments.NewBeamforming()
+	bind, err := binding.Bind(app, p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := mapping.MapApplication(app, p, bind, mapping.Options{
+			Instance: "bench", Weights: mapping.WeightsBoth,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		_ = res
+		mapping.Unmap(p, "bench", app)
+		b.StartTimer()
+	}
+}
+
+// BenchmarkPhaseRouting measures phase 3 alone on a mapped
+// beamformer.
+func BenchmarkPhaseRouting(b *testing.B) {
+	k, adm := beamformingPhases(b)
+	p := k.Platform()
+	routing.ReleaseAll(p, adm.Routes)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		routes, err := routing.RouteAll(adm.App, adm.Assignment, p, routing.BFS{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		routing.ReleaseAll(p, routes)
+		b.StartTimer()
+	}
+}
+
+// BenchmarkPhaseValidation measures phase 4 alone on a routed
+// beamformer — the phase the paper identifies as the scalability
+// problem.
+func BenchmarkPhaseValidation(b *testing.B) {
+	k, adm := beamformingPhases(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := validation.Validate(adm.App, adm.Binding, adm.Assignment,
+			adm.Routes, k.Platform(), validation.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRouterAblation revisits the paper's §II claim that BFS
+// routing shows "no noticeable performance differences ... compared to
+// Dijkstra's algorithm": both routers route one dataset sequence; the
+// metric is the success-rate difference.
+func BenchmarkRouterAblation(b *testing.B) {
+	ds := datasets(b)
+	proto := platform.CRISP()
+	for _, r := range []routing.Router{routing.BFS{}, routing.Dijkstra{}} {
+		b.Run(r.Name(), func(b *testing.B) {
+			var success, total int
+			for i := 0; i < b.N; i++ {
+				recs := experiments.RunSequences(ds, proto, experiments.SequenceConfig{
+					Weights:              mapping.WeightsBoth,
+					Sequences:            1,
+					Seed:                 int64(i + 1),
+					Router:               r,
+					SkipValidationTiming: true,
+				})
+				for _, rec := range recs {
+					total++
+					if rec.Success {
+						success++
+					}
+				}
+			}
+			if total > 0 {
+				b.ReportMetric(100*float64(success)/float64(total), "success-%")
+			}
+		})
+	}
+}
+
+// BenchmarkKnapsackAblation compares the paper's O(T²) greedy
+// knapsack against the exact branch-and-bound inside the full mapping
+// phase (DESIGN.md §5.1: quality and run time of GAP follow the
+// knapsack solver).
+func BenchmarkKnapsackAblation(b *testing.B) {
+	for _, solver := range []knapsack.Solver{knapsack.Greedy{}, knapsack.Exact{}} {
+		b.Run(solver.Name(), func(b *testing.B) {
+			app, p := experiments.NewBeamforming()
+			bind, err := binding.Bind(app, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := mapping.MapApplication(app, p, bind, mapping.Options{
+					Instance: "bench", Weights: mapping.WeightsBoth, Solver: solver,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.StopTimer()
+				_ = res
+				mapping.Unmap(p, "bench", app)
+				b.StartTimer()
+			}
+		})
+	}
+}
+
+// BenchmarkExtraRingsAblation ablates the "single additional search
+// step" of §III-B: with 0 extra rings the candidate set is minimal
+// (best for communication distance only); with more rings the
+// fragmentation objective has room to act at extra GAP cost.
+func BenchmarkExtraRingsAblation(b *testing.B) {
+	for _, extra := range []int{-1, 1, 2} { // -1 encodes "0 rings" (0 means default)
+		name := map[int]string{-1: "rings0", 1: "rings1", 2: "rings2"}[extra]
+		b.Run(name, func(b *testing.B) {
+			app, p := experiments.NewBeamforming()
+			bind, err := binding.Bind(app, p)
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts := mapping.Options{
+				Instance: "bench", Weights: mapping.WeightsBoth,
+				ExtraRings: extra, // -1 = no extra expansion step
+			}
+			var gapCalls int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := mapping.MapApplication(app, p, bind, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				gapCalls = res.GAPInvocations
+				b.StopTimer()
+				mapping.Unmap(p, "bench", app)
+				b.StartTimer()
+			}
+			b.ReportMetric(float64(gapCalls), "gap-invocations")
+		})
+	}
+}
+
+// BenchmarkCrossPackagePenaltyAblation ablates the weighted-distance
+// extension (DESIGN.md): with penalty 1 (pure hop distances) mapping
+// leaks across packages and the beamformer's routing load explodes.
+func BenchmarkCrossPackagePenaltyAblation(b *testing.B) {
+	for _, penalty := range []int{1, 4, 8} {
+		b.Run(map[int]string{1: "hop-distance", 4: "penalty4", 8: "penalty8"}[penalty], func(b *testing.B) {
+			app, proto := experiments.NewBeamforming()
+			var cross int
+			admitted := 0
+			for i := 0; i < b.N; i++ {
+				p := proto.Clone()
+				bind, err := binding.Bind(app, p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := mapping.MapApplication(app, p, bind, mapping.Options{
+					Instance: "bench", Weights: mapping.WeightsBoth,
+					CrossPackagePenalty: penalty,
+				})
+				if err != nil {
+					continue
+				}
+				cross = 0
+				for _, ch := range app.Channels {
+					if p.Element(res.Assignment[ch.Src]).Package != p.Element(res.Assignment[ch.Dst]).Package {
+						cross++
+					}
+				}
+				if _, err := routing.RouteAll(app, res.Assignment, p, routing.BFS{}); err == nil {
+					admitted++
+				}
+			}
+			b.ReportMetric(float64(cross), "cross-package-channels")
+			b.ReportMetric(100*float64(admitted)/float64(b.N), "admitted-%")
+		})
+	}
+}
+
+// BenchmarkMappingQualityVsOptimal quantifies the run-time heuristic
+// against the exact branch-and-bound mapper (the "ILP formulation"
+// comparison the paper defers to future work, §V): random small
+// applications on a mesh, evaluated under the communication-distance
+// objective. Reported metric: mean heuristic/optimal cost ratio
+// (1.0 = optimal).
+func BenchmarkMappingQualityVsOptimal(b *testing.B) {
+	var ratioSum float64
+	var samples int
+	for i := 0; i < b.N; i++ {
+		for seed := int64(0); seed < 10; seed++ {
+			p := platform.Mesh(4, 4, 4)
+			app := appgen.Dataset(appgen.NewConfig(appgen.Communication, appgen.Small), 1, 100+seed)[0]
+			bind, err := binding.Bind(app, p)
+			if err != nil {
+				continue
+			}
+			solver, err := optimal.New(app, p, bind, optimal.DefaultObjective())
+			if err != nil {
+				continue
+			}
+			opt, err := solver.Solve()
+			if err != nil {
+				continue
+			}
+			res, err := mapping.MapApplication(app, p, bind, mapping.Options{
+				Instance: "q", Weights: mapping.WeightsCommunication,
+			})
+			if err != nil {
+				continue
+			}
+			ratioSum += solver.CostOf(res.Assignment) / opt.Cost
+			samples++
+			mapping.Unmap(p, "q", app)
+		}
+	}
+	if samples > 0 {
+		b.ReportMetric(ratioSum/float64(samples), "heuristic/optimal-cost")
+		b.ReportMetric(float64(samples)/float64(b.N), "samples/op")
+	}
+}
+
+// BenchmarkValidationFastVsExact compares the state-space exploration
+// against the maximum-cycle-ratio fast path (future work [18]: "making
+// the validation approach a lot faster") on the beamforming layout.
+func BenchmarkValidationFastVsExact(b *testing.B) {
+	k, adm := beamformingPhases(b)
+	for _, mode := range []struct {
+		name string
+		opts validation.Options
+	}{
+		{"exact", validation.Options{}},
+		{"fast", validation.Options{Fast: true}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var rep *validation.Report
+			for i := 0; i < b.N; i++ {
+				r, err := validation.Validate(adm.App, adm.Binding, adm.Assignment,
+					adm.Routes, k.Platform(), mode.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep = r
+			}
+			b.ReportMetric(rep.Throughput, "iterations/time-unit")
+		})
+	}
+}
+
+// BenchmarkAdmissionByProfile measures one full admission (all four
+// phases) for a representative app of each generator profile/size.
+func BenchmarkAdmissionByProfile(b *testing.B) {
+	for _, prof := range []appgen.Profile{appgen.Communication, appgen.Computation} {
+		for _, size := range []appgen.Size{appgen.Small, appgen.Medium, appgen.Large} {
+			b.Run(prof.String()+"-"+size.String(), func(b *testing.B) {
+				proto := platform.CRISP()
+				// Use the first generated app that survives the
+				// empty-platform filter (large communication apps
+				// often do not — that is Table I's point).
+				ds := experiments.BuildDataset(appgen.NewConfig(prof, size), 20, 7, proto)
+				if len(ds.Apps) == 0 {
+					b.Skip("no filter-surviving app in the sample")
+				}
+				app := ds.Apps[0]
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					p := proto.Clone()
+					k := core.New(p, core.Options{Weights: mapping.WeightsBoth, SkipValidation: true})
+					b.StartTimer()
+					if _, err := k.Admit(app); err != nil {
+						b.Fatalf("admission of the filter-surviving app failed: %v", err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFirstFitBaseline compares the paper's GAP-based mapping
+// against a naive nearest-first-fit baseline on the beamformer.
+// Metric: cross-package channels (bridge pressure) of each mapper —
+// the quantitative argument for the assignment-problem formulation.
+func BenchmarkFirstFitBaseline(b *testing.B) {
+	type mapFn func(*platform.Platform) (int, error)
+	app, proto := experiments.NewBeamforming()
+	cross := func(p *platform.Platform, assignment []int) int {
+		n := 0
+		for _, ch := range app.Channels {
+			if p.Element(assignment[ch.Src]).Package != p.Element(assignment[ch.Dst]).Package {
+				n++
+			}
+		}
+		return n
+	}
+	for _, v := range []struct {
+		name string
+		run  mapFn
+	}{
+		{"firstfit", func(p *platform.Platform) (int, error) {
+			bind, err := binding.Bind(app, p)
+			if err != nil {
+				return 0, err
+			}
+			res, err := mapping.FirstFit(app, p, bind, "ff")
+			if err != nil {
+				return 0, err
+			}
+			return cross(p, res.Assignment), nil
+		}},
+		{"mapapplication", func(p *platform.Platform) (int, error) {
+			bind, err := binding.Bind(app, p)
+			if err != nil {
+				return 0, err
+			}
+			res, err := mapping.MapApplication(app, p, bind, mapping.Options{
+				Instance: "gap", Weights: mapping.WeightsBoth,
+			})
+			if err != nil {
+				return 0, err
+			}
+			return cross(p, res.Assignment), nil
+		}},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			var crossed int
+			for i := 0; i < b.N; i++ {
+				n, err := v.run(proto.Clone())
+				if err != nil {
+					b.Fatal(err)
+				}
+				crossed = n
+			}
+			b.ReportMetric(float64(crossed), "cross-package-channels")
+		})
+	}
+}

@@ -1,0 +1,141 @@
+// Command experiments regenerates the tables and figures of the
+// paper's evaluation (§IV): Table I, Figs. 7–10 and the beamforming
+// case study. Each experiment prints the same rows/series the paper
+// reports; absolute run times are host-dependent, the shapes are what
+// the reproduction checks (see EXPERIMENTS.md).
+//
+// Usage:
+//
+//	experiments -table1            # failure distribution per phase
+//	experiments -fig7              # per-phase run times vs task count
+//	experiments -fig8              # hops per channel vs sequence position
+//	experiments -fig9              # fragmentation vs sequence position
+//	experiments -fig10             # beamforming admission weight map
+//	experiments -case              # beamforming case study timings
+//	experiments -all               # everything
+//	experiments -apps 100 -seqs 30 # dataset size / sequences per dataset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/mapping"
+	"repro/internal/platform"
+)
+
+func main() {
+	var (
+		table1 = flag.Bool("table1", false, "run Table I (failure distribution per phase)")
+		fig7   = flag.Bool("fig7", false, "run Fig. 7 (per-phase run times vs task count)")
+		fig8   = flag.Bool("fig8", false, "run Fig. 8 (hops per channel vs position)")
+		fig9   = flag.Bool("fig9", false, "run Fig. 9 (fragmentation vs position)")
+		fig10  = flag.Bool("fig10", false, "run Fig. 10 (beamforming admission weight map)")
+		casefl = flag.Bool("case", false, "run the beamforming case study")
+		all    = flag.Bool("all", false, "run every experiment")
+		apps   = flag.Int("apps", experiments.DefaultAppsPerDataset, "applications generated per dataset")
+		seqs   = flag.Int("seqs", 30, "random sequences per dataset")
+		seed   = flag.Int64("seed", 1, "base random seed")
+		grid   = flag.Bool("fullgrid", false, "fig10: sample the paper's full 26×101 grid (slow); default is a 26×41 grid")
+	)
+	flag.Parse()
+	if !(*table1 || *fig7 || *fig8 || *fig9 || *fig10 || *casefl || *all) {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	proto := platform.CRISP()
+	fmt.Printf("platform: %v\n\n", proto)
+
+	var datasets []experiments.Dataset
+	needDatasets := *all || *table1 || *fig7 || *fig8 || *fig9
+	if needDatasets {
+		start := time.Now()
+		datasets = experiments.BuildAllDatasets(*apps, *seed)
+		fmt.Printf("datasets (built in %v, filtered on empty platform):\n", time.Since(start).Round(time.Millisecond))
+		for _, ds := range datasets {
+			fmt.Printf("  %-22s %3d apps (%d removed)\n", ds.Name, len(ds.Apps), ds.Removed)
+		}
+		fmt.Println()
+	}
+
+	if *all || *table1 || *fig7 {
+		start := time.Now()
+		recs := experiments.RunSequences(datasets, proto, experiments.SequenceConfig{
+			Weights:   mapping.WeightsBoth,
+			Sequences: *seqs,
+			Seed:      *seed,
+		})
+		elapsed := time.Since(start).Round(time.Millisecond)
+		if *all || *table1 {
+			fmt.Printf("== Table I: dataset characteristics and failure distribution per phase ==\n")
+			fmt.Printf("(%d admission attempts in %v, weights=Both)\n", len(recs), elapsed)
+			fmt.Print(experiments.FormatTableI(experiments.TableI(datasets, recs)))
+			fmt.Println()
+		}
+		if *all || *fig7 {
+			fmt.Printf("== Fig. 7: mean per-phase run time of successful allocations ==\n")
+			fmt.Print(experiments.FormatFig7(experiments.Fig7(recs)))
+			fmt.Println()
+		}
+	}
+
+	if *all || *fig8 || *fig9 {
+		start := time.Now()
+		labels := []string{}
+		var series [][]experiments.SeriesPoint
+		for _, wc := range experiments.WeightConfigs() {
+			recs := experiments.RunSequences(datasets, proto, experiments.SequenceConfig{
+				Weights:              wc.Weights,
+				Sequences:            *seqs,
+				Seed:                 *seed,
+				MaxPosition:          29,
+				SkipValidationTiming: true,
+			})
+			labels = append(labels, wc.Label)
+			series = append(series, experiments.PositionSeries(recs, 29))
+		}
+		elapsed := time.Since(start).Round(time.Millisecond)
+		if *all || *fig8 {
+			fmt.Printf("== Fig. 8: mean communication resources allocated per channel (hops) ==\n")
+			fmt.Printf("(4 weight configurations in %v)\n", elapsed)
+			fmt.Print(experiments.FormatSeries(labels, series, "hops",
+				func(p experiments.SeriesPoint) float64 { return p.MeanHops }))
+			fmt.Println()
+		}
+		if *all || *fig9 {
+			fmt.Printf("== Fig. 9: external fragmentation of platform resources ==\n")
+			fmt.Print(experiments.FormatSeries(labels, series, "frag%",
+				func(p experiments.SeriesPoint) float64 { return p.MeanFrag }))
+			fmt.Println()
+		}
+	}
+
+	if *all || *fig10 {
+		cfg := experiments.DefaultFig10()
+		if !*grid {
+			cfg.FragStep = 25 // 26×41 grid by default; -fullgrid for 26×101
+		}
+		start := time.Now()
+		res := experiments.Fig10(cfg)
+		fmt.Printf("== Fig. 10: admission of the beamforming application over the weight grid ==\n")
+		fmt.Printf("(%d allocations in %v)\n", res.Total, time.Since(start).Round(time.Millisecond))
+		fmt.Print(experiments.FormatFig10(res))
+		if res.ZeroWeightAdmissions() == 0 {
+			fmt.Println("zero-weight borders never admit (matches the paper)")
+		} else {
+			fmt.Printf("NOTE: %d zero-weight border points admitted (paper: none)\n",
+				res.ZeroWeightAdmissions())
+		}
+		fmt.Println()
+	}
+
+	if *all || *casefl {
+		fmt.Printf("== Case study: beamforming allocation (weights=Both) ==\n")
+		adm, err := experiments.CaseStudy(mapping.WeightsBoth)
+		fmt.Print(experiments.FormatCaseStudy(adm, err))
+	}
+}

@@ -1,0 +1,225 @@
+// Command kairos is a demonstration front-end for the run-time
+// resource manager: it builds a platform, loads one or more
+// application bundles (the binary format of paper §III-E, produced by
+// cmd/appgen) or a built-in demo application, admits them sequentially
+// and prints the resulting execution layouts.
+//
+// Usage:
+//
+//	kairos -platform crisp app1.kapp app2.kapp
+//	kairos -platform mesh8x8 -weights 1,25 -beamforming
+//	kairos -demo            # built-in demo application
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/mapping"
+	"repro/internal/platform"
+	"repro/internal/resource"
+	"repro/internal/routing"
+	"repro/internal/validation"
+)
+
+func buildPlatform(name string) (*platform.Platform, error) {
+	switch {
+	case name == "crisp":
+		return platform.CRISP(), nil
+	case strings.HasSuffix(name, ".json"):
+		f, err := os.Open(name)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return platform.ReadJSON(f)
+	case strings.HasPrefix(name, "mesh"):
+		dims := strings.SplitN(strings.TrimPrefix(name, "mesh"), "x", 2)
+		if len(dims) == 2 {
+			w, errW := strconv.Atoi(dims[0])
+			h, errH := strconv.Atoi(dims[1])
+			if errW == nil && errH == nil && w > 0 && h > 0 {
+				return platform.MeshWithIO(w, h, platform.DefaultVCs), nil
+			}
+		}
+		return nil, fmt.Errorf("bad mesh spec %q (want e.g. mesh4x4)", name)
+	default:
+		return nil, fmt.Errorf("unknown platform %q (crisp, mesh<W>x<H>)", name)
+	}
+}
+
+func parseWeights(s string) (mapping.Weights, error) {
+	switch s {
+	case "none":
+		return mapping.WeightsNone, nil
+	case "communication":
+		return mapping.WeightsCommunication, nil
+	case "fragmentation":
+		return mapping.WeightsFragmentation, nil
+	case "both":
+		return mapping.WeightsBoth, nil
+	}
+	parts := strings.SplitN(s, ",", 2)
+	if len(parts) != 2 {
+		return mapping.Weights{}, fmt.Errorf("bad weights %q (want C,F or a preset)", s)
+	}
+	c, errC := strconv.ParseFloat(parts[0], 64)
+	f, errF := strconv.ParseFloat(parts[1], 64)
+	if errC != nil || errF != nil {
+		return mapping.Weights{}, fmt.Errorf("bad weights %q", s)
+	}
+	return mapping.Weights{Communication: c, Fragmentation: f}, nil
+}
+
+// demoApp is a small video-pipeline-like application used by -demo.
+func demoApp() *graph.Application {
+	app := graph.New("demo-pipeline")
+	dsp := func(name string, share int64, exec int64) int {
+		return app.AddTask(name, graph.Internal, graph.Implementation{
+			Name: name + "-dsp", Target: platform.TypeDSP,
+			Requires: resource.Of(share, 16, 0, 0), Cost: 2, ExecTime: exec,
+		})
+	}
+	src := dsp("capture", 30, 4)
+	app.Tasks[src].Kind = graph.Input
+	flt := dsp("filter", 60, 8)
+	est := dsp("estimate", 50, 6)
+	enc := dsp("encode", 70, 9)
+	snk := dsp("emit", 20, 3)
+	app.Tasks[snk].Kind = graph.Output
+	app.AddChannelRated(src, flt, 1, 1, 4)
+	app.AddChannelRated(flt, est, 1, 1, 2)
+	app.AddChannelRated(flt, enc, 1, 1, 4)
+	app.AddChannelRated(est, enc, 1, 1, 1)
+	app.AddChannelRated(enc, snk, 1, 1, 2)
+	app.Constraints.MinThroughput = 10 // per 1000 time units
+	return app
+}
+
+func printLayout(adm *core.Admission, p *platform.Platform) {
+	fmt.Printf("execution layout for %s:\n", adm.Instance)
+	type row struct{ task, impl, elem string }
+	var rows []row
+	for _, t := range adm.App.Tasks {
+		im := adm.Binding.Implementation(t.ID)
+		e := p.Element(adm.Assignment[t.ID])
+		rows = append(rows, row{t.Name, im.Name, e.Name})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].task < rows[j].task })
+	for _, r := range rows {
+		fmt.Printf("  %-16s %-16s -> %s\n", r.task, r.impl, r.elem)
+	}
+	fmt.Printf("routes (%d channels, %d hops total, %.2f mean):\n",
+		len(adm.Routes), routing.TotalHops(adm.Routes), routing.MeanHops(adm.Routes))
+	for _, rt := range adm.Routes {
+		ch := adm.App.Channels[rt.Channel]
+		names := make([]string, len(rt.Path))
+		for i, e := range rt.Path {
+			names[i] = p.Element(e).Name
+		}
+		fmt.Printf("  ch%-3d %s -> %s: %s\n", rt.Channel,
+			adm.App.Tasks[ch.Src].Name, adm.App.Tasks[ch.Dst].Name,
+			strings.Join(names, " → "))
+	}
+	if adm.Report != nil {
+		fmt.Printf("validation: throughput %.5f it/unit (required %.5f), pipeline fill %d units\n",
+			adm.Report.Throughput, adm.Report.Required, adm.Report.PipeLatency)
+	}
+	fmt.Printf("phase times: binding %v, mapping %v, routing %v, validation %v\n",
+		adm.Times.Binding, adm.Times.Mapping, adm.Times.Routing, adm.Times.Validation)
+}
+
+func main() {
+	var (
+		platName = flag.String("platform", "crisp", "platform: crisp, mesh<W>x<H>, or a .json description")
+		weights  = flag.String("weights", "both", "cost weights: none|communication|fragmentation|both|C,F")
+		demo     = flag.Bool("demo", false, "admit the built-in demo application")
+		beam     = flag.Bool("beamforming", false, "admit the beamforming case-study application")
+		skipVal  = flag.Bool("skip-validation", false, "do not reject on constraint violations")
+		fastVal  = flag.Bool("fast-validation", false, "use maximum-cycle-ratio throughput analysis")
+		dumpPlat = flag.Bool("dump-platform", false, "print the platform description as JSON and exit")
+	)
+	flag.Parse()
+
+	p, err := buildPlatform(*platName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kairos:", err)
+		os.Exit(2)
+	}
+	if *dumpPlat {
+		if err := p.WriteJSON(os.Stdout, *platName); err != nil {
+			fmt.Fprintln(os.Stderr, "kairos:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	w, err := parseWeights(*weights)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kairos:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("%v, weights={comm:%g frag:%g}\n\n", p, w.Communication, w.Fragmentation)
+
+	var apps []*graph.Application
+	if *demo {
+		apps = append(apps, demoApp())
+	}
+	if *beam {
+		ioIn := graph.NoFixedElement
+		for _, e := range p.Elements() {
+			if e.Name == "io-in" {
+				ioIn = e.ID
+			}
+		}
+		apps = append(apps, graph.Beamforming(graph.DefaultBeamforming(ioIn)))
+	}
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kairos:", err)
+			os.Exit(1)
+		}
+		if !graph.IsBundle(data) {
+			fmt.Fprintf(os.Stderr, "kairos: %s is not a Kairos application bundle\n", path)
+			os.Exit(1)
+		}
+		app, err := graph.FromBytes(data)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kairos: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		apps = append(apps, app)
+	}
+	if len(apps) == 0 {
+		fmt.Fprintln(os.Stderr, "kairos: nothing to admit (pass bundles, -demo or -beamforming)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	k := core.New(p, core.Options{
+		Weights:        w,
+		SkipValidation: *skipVal,
+		Validation:     validation.Options{Fast: *fastVal},
+	})
+	admitted := 0
+	for _, app := range apps {
+		fmt.Printf("== admitting %v ==\n", app)
+		adm, err := k.Admit(app)
+		if err != nil {
+			fmt.Printf("REJECTED: %v\n(phase times: binding %v, mapping %v, routing %v, validation %v)\n\n",
+				err, adm.Times.Binding, adm.Times.Mapping, adm.Times.Routing, adm.Times.Validation)
+			continue
+		}
+		admitted++
+		printLayout(adm, p)
+		fmt.Println()
+	}
+	fmt.Printf("admitted %d/%d applications; platform fragmentation %.1f%%\n",
+		admitted, len(apps), k.Fragmentation())
+}

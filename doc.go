@@ -1,0 +1,37 @@
+// Package repro is a from-scratch Go reproduction of
+//
+//	T.D. ter Braak, P.K.F. Hölzenspies, J. Kuper, J.L. Hurink,
+//	G.J.M. Smit: "Run-time Spatial Resource Management for Real-Time
+//	Applications on Heterogeneous MPSoCs", DATE 2010.
+//
+// The library lives in the internal packages:
+//
+//	internal/resource    resource vectors and allocation pools
+//	internal/platform    heterogeneous MPSoC model (elements, links,
+//	                     virtual channels, CRISP/mesh builders,
+//	                     fault injection, fragmentation metric)
+//	internal/graph       applications as annotated task graphs, the
+//	                     binary application-bundle format, and the
+//	                     beamforming case-study generator
+//	internal/appgen      the TGFF-like synthetic application generator
+//	internal/knapsack    knapsack solvers (paper's O(T²) greedy + exact)
+//	internal/gap         Cohen–Katzir–Raz GAP approximation
+//	internal/binding     phase 1: implementation selection (regret order)
+//	internal/mapping     phase 2: the paper's incremental mapping
+//	                     algorithm (MapApplication, Fig. 5) — the
+//	                     primary contribution
+//	internal/routing     phase 3: BFS/Dijkstra routing over virtual
+//	                     channels
+//	internal/sdf         timed SDF graphs and self-timed state-space
+//	                     throughput analysis
+//	internal/validation  phase 4: constraint checking on the SDF model
+//	internal/core        Kairos, the resource manager orchestrating
+//	                     the four phases
+//	internal/experiments the evaluation harness for Table I and
+//	                     Figs. 7–10
+//
+// The benchmarks in bench_test.go regenerate every table and figure of
+// the paper's evaluation at reduced scale; cmd/experiments regenerates
+// them at full scale. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for measured-vs-paper results.
+package repro

@@ -1,0 +1,131 @@
+// Fault tolerance: circumventing hardware faults at run time — one of
+// the paper's motivations for run-time (rather than design-time)
+// resource management (§I: resource management is required "to
+// circumvent hardware faults ... due to imperfect production processes
+// and wear of materials").
+//
+// The example admits an application, then injects faults: a DSP tile
+// dies, then a NoC link dies. Because the paper assumes task migration
+// is impossible, the running application is restarted: released and
+// re-admitted, at which point the mapping and routing phases steer
+// around the faulty resources. Finally a whole package is disabled to
+// show graceful degradation until admission genuinely fails.
+//
+// Run with: go run ./examples/faulttolerance
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/mapping"
+	"repro/internal/platform"
+	"repro/internal/resource"
+)
+
+// pipeline builds an n-stage streaming pipeline of 60%-compute tasks.
+func pipeline(n int) *graph.Application {
+	app := graph.New(fmt.Sprintf("pipeline%d", n))
+	for i := 0; i < n; i++ {
+		app.AddTask(fmt.Sprintf("stage%d", i), graph.Internal, graph.Implementation{
+			Name: "stage-dsp", Target: platform.TypeDSP,
+			Requires: resource.Of(60, 16, 0, 0),
+			Cost:     2, ExecTime: 5,
+		})
+	}
+	for i := 0; i+1 < n; i++ {
+		app.AddChannelRated(i, i+1, 1, 1, 2)
+	}
+	return app
+}
+
+func usedElements(p *platform.Platform, adm *core.Admission) []string {
+	var out []string
+	for _, t := range adm.App.Tasks {
+		out = append(out, p.Element(adm.Assignment[t.ID]).Name)
+	}
+	return out
+}
+
+func main() {
+	p := platform.CRISP()
+	k := core.New(p, core.Options{Weights: mapping.WeightsBoth, SkipValidation: true})
+
+	app := pipeline(6)
+	adm, err := k.Admit(app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("admitted on: %v\n", usedElements(p, adm))
+
+	// Fault 1: the element hosting stage2 dies. Migration is not
+	// possible (paper assumption), so the application restarts: the
+	// resource manager releases it and allocates around the fault.
+	victim := adm.Assignment[2]
+	fmt.Printf("\n!! element %s fails\n", p.Element(victim).Name)
+	if err := k.Release(adm.Instance); err != nil {
+		log.Fatal(err)
+	}
+	p.DisableElement(victim)
+
+	adm, err = k.Admit(app)
+	if err != nil {
+		log.Fatalf("re-admission after element fault failed: %v", err)
+	}
+	fmt.Printf("re-admitted on: %v\n", usedElements(p, adm))
+	for _, t := range app.Tasks {
+		if adm.Assignment[t.ID] == victim {
+			log.Fatal("mapping used the faulty element")
+		}
+	}
+
+	// Fault 2: a NoC link on one of the routes dies; routing must
+	// find detours on re-admission.
+	route := adm.Routes[len(adm.Routes)/2]
+	if route.Hops() > 0 {
+		a, b := route.Path[0], route.Path[1]
+		fmt.Printf("\n!! link %s-%s fails\n", p.Element(a).Name, p.Element(b).Name)
+		if err := k.Release(adm.Instance); err != nil {
+			log.Fatal(err)
+		}
+		p.DisableLink(a, b)
+		adm, err = k.Admit(app)
+		if err != nil {
+			log.Fatalf("re-admission after link fault failed: %v", err)
+		}
+		for _, rt := range adm.Routes {
+			for i := 0; i+1 < len(rt.Path); i++ {
+				if (rt.Path[i] == a && rt.Path[i+1] == b) || (rt.Path[i] == b && rt.Path[i+1] == a) {
+					log.Fatal("routing used the faulty link")
+				}
+			}
+		}
+		fmt.Printf("re-admitted; all routes avoid the dead link\n")
+	}
+
+	// Fault 3: progressive package loss. Disable packages one by one
+	// and re-admit until the platform can no longer host the
+	// application.
+	fmt.Println("\nprogressive package failure:")
+	if err := k.Release(adm.Instance); err != nil {
+		log.Fatal(err)
+	}
+	for pkg := 0; pkg < 5; pkg++ {
+		for _, e := range p.Elements() {
+			if e.Package == pkg {
+				p.DisableElement(e.ID)
+			}
+		}
+		adm, err = k.Admit(app)
+		if err != nil {
+			fmt.Printf("  packages 0..%d dead: REJECTED (%v)\n", pkg, err)
+			break
+		}
+		fmt.Printf("  packages 0..%d dead: still admitted on %v\n", pkg, usedElements(p, adm))
+		if err := k.Release(adm.Instance); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

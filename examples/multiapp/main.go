@@ -1,0 +1,96 @@
+// Multiapp: run-time dynamics that design-time mapping cannot handle
+// (the paper's core motivation, §I: "at design-time, it is unknown
+// when, and what combinations of applications are requested").
+//
+// A workload of synthetic streaming applications arrives over time;
+// every few arrivals, the oldest application exits and its resources
+// are reclaimed. The example traces admissions, rejections (with the
+// phase that rejected), platform fragmentation and utilization.
+//
+// Run with: go run ./examples/multiapp
+package main
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/appgen"
+	"repro/internal/core"
+	"repro/internal/mapping"
+	"repro/internal/platform"
+	"repro/internal/resource"
+)
+
+func main() {
+	p := platform.CRISP()
+	k := core.New(p, core.Options{
+		Weights:        mapping.WeightsBoth,
+		SkipValidation: true, // synthetic apps carry no constraints
+	})
+
+	gen := appgen.New(appgen.NewConfig(appgen.Communication, appgen.Medium), 7)
+
+	var order []string // admission order, for oldest-first release
+	admitted, rejected := 0, 0
+	rejectPhase := map[core.Phase]int{}
+
+	fmt.Println("t   event                         result              frag%   dsp-used")
+	for t := 1; t <= 40; t++ {
+		app := gen.Next()
+		adm, err := k.Admit(app)
+		switch {
+		case err == nil:
+			admitted++
+			order = append(order, adm.Instance)
+			fmt.Printf("%-3d admit %-22s ok (%d tasks)        %5.1f   %s\n",
+				t, app.Name, len(app.Tasks), k.Fragmentation(), dspLoad(p))
+		default:
+			rejected++
+			var pe *core.PhaseError
+			phase := "?"
+			if errors.As(err, &pe) {
+				rejectPhase[pe.Phase]++
+				phase = pe.Phase.String()
+			}
+			fmt.Printf("%-3d admit %-22s REJECTED in %-8s %5.1f   %s\n",
+				t, app.Name, phase, k.Fragmentation(), dspLoad(p))
+		}
+
+		// Every fourth arrival, the oldest application terminates:
+		// run-time resource management reclaims its elements and
+		// virtual channels.
+		if t%4 == 0 && len(order) > 0 {
+			oldest := order[0]
+			order = order[1:]
+			if err := k.Release(oldest); err != nil {
+				panic(err)
+			}
+			fmt.Printf("%-3d exit  %-22s released            %5.1f   %s\n",
+				t, oldest, k.Fragmentation(), dspLoad(p))
+		}
+	}
+
+	fmt.Printf("\nadmitted %d, rejected %d (", admitted, rejected)
+	for _, ph := range []core.Phase{core.PhaseBinding, core.PhaseMapping, core.PhaseRouting} {
+		fmt.Printf("%s: %d ", ph, rejectPhase[ph])
+	}
+	fmt.Printf(")\nresident applications at the end: %d\n", len(k.Admitted()))
+}
+
+// dspLoad renders a small bar of how many DSPs host at least one task.
+func dspLoad(p *platform.Platform) string {
+	used, total := 0, 0
+	var compute, capacity int64
+	for _, e := range p.Elements() {
+		if e.Type != platform.TypeDSP {
+			continue
+		}
+		total++
+		capacity += e.Pool().Capacity()[resource.Compute]
+		compute += e.Pool().Used()[resource.Compute]
+		if e.InUse() {
+			used++
+		}
+	}
+	return fmt.Sprintf("%2d/%d dsp, %3d%% compute", used, total, 100*compute/capacity)
+}

@@ -1,0 +1,325 @@
+// Package appgen is the synthetic application generator of the
+// evaluation (paper §IV): an in-house tool similar to TGFF [17] in
+// which "the structure of an application can be specified with a
+// number of input, internal, and output tasks", the maximum in- and
+// out-degree of tasks shapes the communication structure, and each
+// task gets a number of implementations annotated with bounded random
+// resource requirements.
+//
+// Applications are either computation intensive — tasks use between
+// 70% and 100% of an element's resources — or communication oriented —
+// tasks use between 10% and 70%, so elements are time-shared and
+// communication eventually bottlenecks. Within each characteristic,
+// applications are small (< 5 tasks), medium (6–10) or large (11–16).
+package appgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/platform"
+	"repro/internal/resource"
+)
+
+// Profile is the application characteristic of Table I.
+type Profile int
+
+const (
+	// Communication-oriented: low per-task demands (10–70%), more
+	// and heavier channels; elements get time-shared.
+	Communication Profile = iota
+	// Computation-intensive: high per-task demands (70–100%);
+	// binding and element capacity dominate.
+	Computation
+)
+
+func (p Profile) String() string {
+	if p == Computation {
+		return "computation"
+	}
+	return "communication"
+}
+
+// Size is the application size class of Table I.
+type Size int
+
+const (
+	// Small applications have fewer than 5 tasks.
+	Small Size = iota
+	// Medium applications have 6–10 tasks.
+	Medium
+	// Large applications have 11–16 tasks.
+	Large
+)
+
+func (s Size) String() string {
+	switch s {
+	case Small:
+		return "small"
+	case Medium:
+		return "medium"
+	default:
+		return "large"
+	}
+}
+
+// taskRange returns the inclusive task-count bounds of a size class.
+func (s Size) taskRange() (lo, hi int) {
+	switch s {
+	case Small:
+		return 3, 4
+	case Medium:
+		return 6, 10
+	default:
+		return 11, 16
+	}
+}
+
+// Config parameterizes the generator. The zero value is not useful;
+// use NewConfig for the paper's settings.
+type Config struct {
+	Profile Profile
+	Size    Size
+	// MaxInDegree and MaxOutDegree bound the communication
+	// structure.
+	MaxInDegree, MaxOutDegree int
+	// Implementations is the maximum number of implementations
+	// generated per task (at least 1 is always generated).
+	Implementations int
+	// AltTargetProb is the probability that a non-primary
+	// implementation targets a scarce element type (GPP/FPGA)
+	// instead of a DSP.
+	AltTargetProb float64
+	// ExtraChannelFactor scales the number of extra-channel
+	// attempts beyond the spanning structure (attempts =
+	// factor × tasks). Communication profiles use a higher factor.
+	ExtraChannelFactor int
+}
+
+// NewConfig returns the paper-equivalent generator configuration for
+// a profile and size class.
+func NewConfig(p Profile, s Size) Config {
+	cfg := Config{
+		Profile:            p,
+		Size:               s,
+		MaxInDegree:        2,
+		MaxOutDegree:       3,
+		Implementations:    3,
+		AltTargetProb:      0.3,
+		ExtraChannelFactor: 1,
+	}
+	if p == Communication {
+		// Communication-oriented structures are denser.
+		cfg.MaxInDegree, cfg.MaxOutDegree = 3, 4
+		cfg.ExtraChannelFactor = 1
+	}
+	return cfg
+}
+
+// shareBounds returns the compute-share percentage band of a profile.
+// Computation-intensive tasks use 70–100% of an element (paper §IV).
+// Communication-oriented tasks time-share elements; we draw their
+// shares from the bottom of the paper's 10–70% band so that, as the
+// paper describes, time-sharing "eventually result[s] in communication
+// bottlenecks" — with heavier tasks, element capacity (the binding
+// phase) trips before the NoC does and Table I's communication rows
+// would mis-attribute to binding.
+func (p Profile) shareBounds() (lo, hi int64) {
+	if p == Computation {
+		return 70, 100
+	}
+	return 5, 20
+}
+
+// Generator produces random applications deterministically from a
+// seed.
+type Generator struct {
+	cfg Config
+	r   *rand.Rand
+	n   int
+}
+
+// New returns a generator for the configuration and seed.
+func New(cfg Config, seed int64) *Generator {
+	return &Generator{cfg: cfg, r: rand.New(rand.NewSource(seed))}
+}
+
+func (g *Generator) pct(lo, hi int64) int64 {
+	return lo + g.r.Int63n(hi-lo+1)
+}
+
+// implementations generates 1..cfg.Implementations implementations for
+// one task. The first always targets a DSP; alternatives may target
+// scarce types at higher base cost, exercising the regret ordering of
+// the binding phase.
+func (g *Generator) implementations() []graph.Implementation {
+	lo, hi := g.cfg.Profile.shareBounds()
+	n := 1
+	if g.cfg.Implementations > 1 {
+		n += g.r.Intn(g.cfg.Implementations)
+	}
+	impls := make([]graph.Implementation, 0, n)
+	mk := func(target string, capacity resource.Vector, costBase float64) graph.Implementation {
+		// Each implementation stresses one primary resource axis in
+		// the profile's band. Computation-intensive tasks are either
+		// compute-bound or memory-bound (filter kernels vs table
+		// lookups), so elements saturated on one axis can still host
+		// tasks bound on the other — which is when allocation
+		// attempts survive binding and run into the NoC limits
+		// instead (Table I, computation rows). Communication
+		// (streaming) tasks keep only small local buffers; their
+		// pressure is on the NoC.
+		share := g.pct(lo, hi)
+		memShare := g.pct(10, 30)
+		if g.cfg.Profile == Communication {
+			memShare = g.pct(5, 25)
+		} else if g.r.Intn(2) == 0 {
+			share, memShare = g.pct(10, 30), g.pct(lo, hi)
+		}
+		return graph.Implementation{
+			Name:   fmt.Sprintf("%s-v%d", target, len(impls)),
+			Target: target,
+			Requires: resource.Of(
+				capacity[resource.Compute]*share/100,
+				capacity[resource.Memory]*memShare/100,
+				0, 0),
+			Cost:     costBase + float64(g.r.Intn(10)),
+			ExecTime: 2 + int64(g.r.Intn(12)),
+		}
+	}
+	impls = append(impls, mk(platform.TypeDSP, platform.DSPCapacity, 1))
+	for len(impls) < n {
+		if g.r.Float64() < g.cfg.AltTargetProb {
+			if g.r.Intn(2) == 0 {
+				impls = append(impls, mk(platform.TypeGPP, platform.GPPCapacity, 8))
+			} else {
+				impls = append(impls, mk(platform.TypeFPGA, platform.FPGACapacity, 12))
+			}
+		} else {
+			impls = append(impls, mk(platform.TypeDSP, platform.DSPCapacity, 3))
+		}
+	}
+	return impls
+}
+
+// Next generates the next application.
+func (g *Generator) Next() *graph.Application {
+	g.n++
+	lo, hi := g.cfg.Size.taskRange()
+	nTasks := lo + g.r.Intn(hi-lo+1)
+
+	// Structure: 1–2 input tasks, 1–2 output tasks, rest internal.
+	nIn := 1 + g.r.Intn(2)
+	nOut := 1 + g.r.Intn(2)
+	for nIn+nOut >= nTasks {
+		if nOut > 1 {
+			nOut--
+		} else {
+			nIn--
+		}
+	}
+
+	app := graph.New(fmt.Sprintf("%s-%s-%03d", g.cfg.Profile, g.cfg.Size, g.n))
+	kinds := make([]graph.TaskKind, nTasks)
+	for i := 0; i < nTasks; i++ {
+		switch {
+		case i < nIn:
+			kinds[i] = graph.Input
+		case i >= nTasks-nOut:
+			kinds[i] = graph.Output
+		default:
+			kinds[i] = graph.Internal
+		}
+		app.AddTask(fmt.Sprintf("t%d", i), kinds[i], g.implementations()...)
+	}
+
+	inDeg := make([]int, nTasks)
+	outDeg := make([]int, nTasks)
+	tokenHi := int64(4)
+	if g.cfg.Profile == Communication {
+		tokenHi = 8
+	}
+	addChannel := func(src, dst int) {
+		app.AddChannelRated(src, dst, 1, 1, 1+g.r.Int63n(tokenHi))
+		outDeg[src]++
+		inDeg[dst]++
+	}
+
+	// Weak connectivity: every non-input task receives a channel
+	// from an earlier task with spare out-degree (inputs never
+	// receive; outputs never send).
+	for i := nIn; i < nTasks; i++ {
+		cands := make([]int, 0, i)
+		for j := 0; j < i; j++ {
+			if kinds[j] != graph.Output && outDeg[j] < g.cfg.MaxOutDegree {
+				cands = append(cands, j)
+			}
+		}
+		if len(cands) == 0 {
+			// All earlier tasks saturated: relax the cap for the
+			// lowest-out-degree predecessor to stay connected.
+			best := 0
+			for j := 1; j < i; j++ {
+				if kinds[j] != graph.Output && outDeg[j] < outDeg[best] {
+					best = j
+				}
+			}
+			cands = append(cands, best)
+		}
+		addChannel(cands[g.r.Intn(len(cands))], i)
+	}
+
+	// Extra forward channels up to the degree caps; communication
+	// profiles try much harder — their whole point is to stress the
+	// platform's communication resources.
+	attempts := nTasks * max(1, g.cfg.ExtraChannelFactor)
+	for a := 0; a < attempts; a++ {
+		src := g.r.Intn(nTasks)
+		dst := g.r.Intn(nTasks)
+		if src >= dst || kinds[src] == graph.Output || kinds[dst] == graph.Input {
+			continue
+		}
+		if outDeg[src] >= g.cfg.MaxOutDegree || inDeg[dst] >= g.cfg.MaxInDegree {
+			continue
+		}
+		dup := false
+		for _, cid := range app.OutChannels(src) {
+			if app.Channels[cid].Dst == dst {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		addChannel(src, dst)
+	}
+
+	// The paper cannot generate reasonable performance constraints
+	// automatically and does not reject in validation; leave the
+	// constraints zero.
+	return app
+}
+
+// Dataset generates n applications for the configuration.
+func Dataset(cfg Config, n int, seed int64) []*graph.Application {
+	g := New(cfg, seed)
+	apps := make([]*graph.Application, n)
+	for i := range apps {
+		apps[i] = g.Next()
+	}
+	return apps
+}
+
+// DatasetName formats the Table I row label for a configuration.
+func DatasetName(cfg Config) string {
+	return fmt.Sprintf("%s %s", title(cfg.Profile.String()), title(cfg.Size.String()))
+}
+
+func title(s string) string {
+	if s == "" {
+		return s
+	}
+	return string(s[0]-'a'+'A') + s[1:]
+}

@@ -1,0 +1,192 @@
+package appgen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/platform"
+	"repro/internal/resource"
+)
+
+func TestSizeClasses(t *testing.T) {
+	cases := []struct {
+		size   Size
+		lo, hi int
+	}{{Small, 3, 4}, {Medium, 6, 10}, {Large, 11, 16}}
+	for _, c := range cases {
+		apps := Dataset(NewConfig(Computation, c.size), 50, 7)
+		for _, app := range apps {
+			if n := len(app.Tasks); n < c.lo || n > c.hi {
+				t.Errorf("%s app has %d tasks, want %d..%d", c.size, n, c.lo, c.hi)
+			}
+		}
+	}
+}
+
+func TestAllAppsValid(t *testing.T) {
+	for _, p := range []Profile{Communication, Computation} {
+		for _, s := range []Size{Small, Medium, Large} {
+			for _, app := range Dataset(NewConfig(p, s), 30, 11) {
+				if err := app.Validate(); err != nil {
+					t.Fatalf("%s/%s generated invalid app: %v", p, s, err)
+				}
+			}
+		}
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	a := Dataset(NewConfig(Communication, Medium), 5, 42)
+	b := Dataset(NewConfig(Communication, Medium), 5, 42)
+	for i := range a {
+		if a[i].Name != b[i].Name || len(a[i].Tasks) != len(b[i].Tasks) || len(a[i].Channels) != len(b[i].Channels) {
+			t.Fatalf("generation not deterministic at app %d", i)
+		}
+		for j := range a[i].Channels {
+			if *a[i].Channels[j] != *b[i].Channels[j] {
+				t.Fatalf("channel %d differs between runs", j)
+			}
+		}
+	}
+	c := Dataset(NewConfig(Communication, Medium), 5, 43)
+	same := true
+	for i := range a {
+		if len(a[i].Tasks) != len(c[i].Tasks) || len(a[i].Channels) != len(c[i].Channels) {
+			same = false
+		}
+	}
+	if same {
+		t.Log("different seeds produced structurally identical datasets (possible but unlikely)")
+	}
+}
+
+func TestComputationShares(t *testing.T) {
+	apps := Dataset(NewConfig(Computation, Medium), 30, 3)
+	for _, app := range apps {
+		for _, task := range app.Tasks {
+			for _, im := range task.Implementations {
+				var capacity resource.Vector
+				switch im.Target {
+				case platform.TypeDSP:
+					capacity = platform.DSPCapacity
+				case platform.TypeGPP:
+					capacity = platform.GPPCapacity
+				case platform.TypeFPGA:
+					capacity = platform.FPGACapacity
+				default:
+					t.Fatalf("unexpected target %q", im.Target)
+				}
+				// Computation-intensive tasks stress one primary
+				// axis at 70–100% (compute- or memory-bound); the
+				// other axis stays in the 10–30% band.
+				cshare := 100 * im.Requires[resource.Compute] / capacity[resource.Compute]
+				mshare := 100 * im.Requires[resource.Memory] / capacity[resource.Memory]
+				primary := max(cshare, mshare)
+				// Integer truncation of the demand (e.g. 70% of
+				// 64 KiB = 44 KiB = 68.75%) can lower the observed
+				// share slightly below the 70% draw.
+				if primary < 68 || primary > 100 {
+					t.Fatalf("computation primary share %d%% outside 70–100%% (%v)", primary, im.Requires)
+				}
+				if secondary := min(cshare, mshare); secondary > 30 {
+					t.Fatalf("computation secondary share %d%% above 30%% (%v)", secondary, im.Requires)
+				}
+			}
+		}
+	}
+}
+
+func TestCommunicationShares(t *testing.T) {
+	apps := Dataset(NewConfig(Communication, Medium), 30, 3)
+	for _, app := range apps {
+		for _, task := range app.Tasks {
+			im := task.Implementations[0] // DSP primary
+			share := 100 * im.Requires[resource.Compute] / platform.DSPCapacity[resource.Compute]
+			if share < 5 || share > 20 {
+				t.Fatalf("communication compute share %d%% outside 5–20%%", share)
+			}
+			mem := 100 * im.Requires[resource.Memory] / platform.DSPCapacity[resource.Memory]
+			if mem < 3 || mem > 25 { // 5–25% band, integer truncation allows 4%→3KB/64KB≈4%
+				t.Fatalf("communication memory share %d%% outside expected band", mem)
+			}
+		}
+	}
+}
+
+func TestStructureRespectsKinds(t *testing.T) {
+	apps := Dataset(NewConfig(Communication, Large), 30, 5)
+	for _, app := range apps {
+		for _, ch := range app.Channels {
+			if app.Tasks[ch.Src].Kind == graph.Output {
+				t.Fatalf("output task %d has outgoing channel", ch.Src)
+			}
+			if app.Tasks[ch.Dst].Kind == graph.Input {
+				t.Fatalf("input task %d has incoming channel", ch.Dst)
+			}
+		}
+	}
+}
+
+func TestConnectivity(t *testing.T) {
+	// Every task must appear in the neighborhoods of the first task,
+	// i.e. the undirected graph is weakly connected... the generator
+	// guarantees each non-input task has a predecessor, so the graph
+	// may still split across multiple inputs; what is guaranteed is
+	// that no internal/output task is isolated.
+	apps := Dataset(NewConfig(Computation, Large), 30, 9)
+	for _, app := range apps {
+		for _, task := range app.Tasks {
+			if task.Kind != graph.Input && app.Degree(task.ID) == 0 {
+				t.Fatalf("task %d isolated in %s", task.ID, app.Name)
+			}
+		}
+	}
+}
+
+func TestDegreeCapsHold(t *testing.T) {
+	cfg := NewConfig(Communication, Large)
+	apps := Dataset(cfg, 30, 13)
+	for _, app := range apps {
+		for _, task := range app.Tasks {
+			// The connectivity fallback may exceed the out-degree cap
+			// by at most the number of relaxations; in practice it
+			// stays within cap+1.
+			if got := len(app.OutChannels(task.ID)); got > cfg.MaxOutDegree+1 {
+				t.Errorf("out-degree %d exceeds cap %d", got, cfg.MaxOutDegree)
+			}
+			if got := len(app.InChannels(task.ID)); got > cfg.MaxInDegree+1 {
+				t.Errorf("in-degree %d exceeds cap %d", got, cfg.MaxInDegree)
+			}
+		}
+	}
+}
+
+func TestDatasetName(t *testing.T) {
+	if got := DatasetName(NewConfig(Communication, Small)); got != "Communication Small" {
+		t.Errorf("DatasetName = %q", got)
+	}
+	if got := DatasetName(NewConfig(Computation, Large)); got != "Computation Large" {
+		t.Errorf("DatasetName = %q", got)
+	}
+}
+
+func TestPropertyGeneratedAppsEncodeDecode(t *testing.T) {
+	f := func(seed int64) bool {
+		app := New(NewConfig(Communication, Medium), seed).Next()
+		b, err := graph.Bytes(app)
+		if err != nil {
+			return false
+		}
+		back, err := graph.FromBytes(b)
+		if err != nil {
+			return false
+		}
+		return back.Name == app.Name &&
+			len(back.Tasks) == len(app.Tasks) &&
+			len(back.Channels) == len(app.Channels)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,217 @@
+// Package binding implements phase 1 of the run-time resource
+// allocation workflow (paper §I-A): for each task of the application
+// an implementation is selected that can execute the task with low
+// cost and sufficient performance, and whose required resources are
+// available *somewhere* in the platform (locality is the mapping
+// phase's concern).
+//
+// Following the paper (§II, after Hölzenspies et al. [9] and
+// Martello & Toth [10]), tasks are processed in order of *regret*: the
+// difference between the cheapest and second-cheapest implementation.
+// Tasks whose cheap option is much better than their fallback are
+// bound first, while they can still get it.
+package binding
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/platform"
+	"repro/internal/resource"
+)
+
+// Binding is the result of the binding phase: the selected
+// implementation index per task.
+type Binding struct {
+	app  *graph.Application
+	impl []int
+}
+
+// Implementation returns the selected implementation for the task.
+func (b *Binding) Implementation(task int) *graph.Implementation {
+	return &b.app.Tasks[task].Implementations[b.impl[task]]
+}
+
+// Demand returns the resource demand of the task's selected
+// implementation.
+func (b *Binding) Demand(task int) resource.Vector {
+	return b.Implementation(task).Requires
+}
+
+// Target returns the element type the task's selected implementation
+// runs on.
+func (b *Binding) Target(task int) string {
+	return b.Implementation(task).Target
+}
+
+// ImplIndex returns the selected implementation index for the task.
+func (b *Binding) ImplIndex(task int) int { return b.impl[task] }
+
+// Error is a binding failure, attributing the rejection to a task.
+type Error struct {
+	Task   int
+	Name   string
+	Reason string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("binding: task %d (%s): %s", e.Task, e.Name, e.Reason)
+}
+
+// tracker checks "available somewhere in the platform" incrementally.
+// It keeps a location-free copy of every enabled element's free
+// resources and packs bound tasks into them best-fit: a demand is
+// feasible when some tracked element still fits it. This is the
+// binding phase's capacity estimate — it ignores locality entirely
+// (locality is the mapping phase's concern) but catches joint
+// infeasibility, so rejections concentrate in binding rather than
+// mapping, as in the paper's Table I.
+type tracker struct {
+	free   map[string][]resource.Vector // per type, per element
+	byElem map[int]resource.Vector      // element ID → tracked free vector
+}
+
+func newTracker(p *platform.Platform) *tracker {
+	tr := &tracker{
+		free:   make(map[string][]resource.Vector),
+		byElem: make(map[int]resource.Vector),
+	}
+	for _, e := range p.Elements() {
+		if !e.Enabled() {
+			continue
+		}
+		f := e.Pool().Free()
+		tr.free[e.Type] = append(tr.free[e.Type], f)
+		tr.byElem[e.ID] = f
+	}
+	return tr
+}
+
+// bestFit returns the fitting element vector with the least slack, or
+// nil when no element of the type fits the demand.
+func (tr *tracker) bestFit(target string, demand resource.Vector) resource.Vector {
+	var best resource.Vector
+	var bestSlack int64
+	for _, f := range tr.free[target] {
+		if !demand.Fits(f) {
+			continue
+		}
+		slack := f.Sub(demand).Sum()
+		if best == nil || slack < bestSlack {
+			best, bestSlack = f, slack
+		}
+	}
+	return best
+}
+
+func (tr *tracker) fits(target string, demand resource.Vector) bool {
+	return tr.bestFit(target, demand) != nil
+}
+
+func (tr *tracker) commit(target string, demand resource.Vector) {
+	if f := tr.bestFit(target, demand); f != nil {
+		f.SubInPlace(demand)
+	}
+}
+
+func (tr *tracker) fitsFixed(p *platform.Platform, elem int, demand resource.Vector, target string) bool {
+	e := p.Element(elem)
+	if e == nil || !e.Enabled() || e.Type != target {
+		return false
+	}
+	free, ok := tr.byElem[elem]
+	return ok && demand.Fits(free)
+}
+
+func (tr *tracker) commitFixed(elem int, demand resource.Vector, target string) {
+	if free, ok := tr.byElem[elem]; ok {
+		free.SubInPlace(demand)
+	}
+}
+
+// Bind selects an implementation for every task, or returns an *Error
+// identifying the first task that cannot be bound. The platform is not
+// modified; the returned Binding feeds the mapping phase.
+func Bind(app *graph.Application, p *platform.Platform) (*Binding, error) {
+	tr := newTracker(p)
+	n := len(app.Tasks)
+
+	// candidate returns the indices of implementations currently
+	// feasible for the task, cheapest first.
+	candidates := func(t *graph.Task) []int {
+		var out []int
+		for i, im := range t.Implementations {
+			if t.FixedElement != graph.NoFixedElement {
+				if tr.fitsFixed(p, t.FixedElement, im.Requires, im.Target) {
+					out = append(out, i)
+				}
+				continue
+			}
+			if tr.fits(im.Target, im.Requires) {
+				out = append(out, i)
+			}
+		}
+		sort.Slice(out, func(a, b int) bool {
+			return t.Implementations[out[a]].Cost < t.Implementations[out[b]].Cost
+		})
+		return out
+	}
+
+	// regret of a task given its current feasible candidates:
+	// cheapest vs second cheapest (paper §II). A single candidate
+	// means infinite regret: bind it first or lose it.
+	regret := func(t *graph.Task, cand []int) float64 {
+		switch len(cand) {
+		case 0:
+			return -1
+		case 1:
+			return math.Inf(1)
+		default:
+			return t.Implementations[cand[1]].Cost - t.Implementations[cand[0]].Cost
+		}
+	}
+
+	bound := make([]int, n)
+	for i := range bound {
+		bound[i] = -1
+	}
+	remaining := make([]int, n)
+	for i := range remaining {
+		remaining[i] = i
+	}
+
+	for len(remaining) > 0 {
+		// Recompute regrets against the current tracker state and
+		// bind the highest-regret task. O(T² · I) overall, which is
+		// the dominant cost the paper observes for the 53-task
+		// beamformer ("binding is actually the bottleneck").
+		bestIdx, bestRegret := -1, math.Inf(-1)
+		var bestCand []int
+		for idx, taskID := range remaining {
+			t := app.Tasks[taskID]
+			cand := candidates(t)
+			if len(cand) == 0 {
+				return nil, &Error{Task: taskID, Name: t.Name,
+					Reason: "no implementation with sufficient free resources in the platform"}
+			}
+			if r := regret(t, cand); r > bestRegret {
+				bestIdx, bestRegret, bestCand = idx, r, cand
+			}
+		}
+		taskID := remaining[bestIdx]
+		t := app.Tasks[taskID]
+		chosen := bestCand[0]
+		im := t.Implementations[chosen]
+		if t.FixedElement != graph.NoFixedElement {
+			tr.commitFixed(t.FixedElement, im.Requires, im.Target)
+		} else {
+			tr.commit(im.Target, im.Requires)
+		}
+		bound[taskID] = chosen
+		remaining = append(remaining[:bestIdx], remaining[bestIdx+1:]...)
+	}
+
+	return &Binding{app: app, impl: bound}, nil
+}

@@ -1,0 +1,242 @@
+package binding
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/platform"
+	"repro/internal/resource"
+)
+
+func dspImpl(cost float64, share int64) graph.Implementation {
+	return graph.Implementation{
+		Name: "dsp-impl", Target: platform.TypeDSP,
+		Requires: resource.Of(share, 16, 0, 0),
+		Cost:     cost, ExecTime: 10,
+	}
+}
+
+func gppImpl(cost float64, share int64) graph.Implementation {
+	return graph.Implementation{
+		Name: "gpp-impl", Target: platform.TypeGPP,
+		Requires: resource.Of(share, 16, 0, 0),
+		Cost:     cost, ExecTime: 12,
+	}
+}
+
+func smallPlatform() *platform.Platform {
+	p := platform.New()
+	d0 := p.AddElement(platform.TypeDSP, "d0", platform.DSPCapacity)
+	d1 := p.AddElement(platform.TypeDSP, "d1", platform.DSPCapacity)
+	g := p.AddElement(platform.TypeGPP, "g0", platform.GPPCapacity)
+	p.MustConnect(d0, d1, 2)
+	p.MustConnect(d1, g, 2)
+	return p
+}
+
+func TestBindPicksCheapest(t *testing.T) {
+	app := graph.New("a")
+	app.AddTask("t", graph.Internal, dspImpl(10, 50), gppImpl(3, 50))
+	b, err := Bind(app, smallPlatform())
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	if b.Target(0) != platform.TypeGPP {
+		t.Errorf("target = %s, want gpp (cheaper)", b.Target(0))
+	}
+	if b.Implementation(0).Cost != 3 {
+		t.Errorf("cost = %v, want 3", b.Implementation(0).Cost)
+	}
+	if b.ImplIndex(0) != 1 {
+		t.Errorf("ImplIndex = %d, want 1", b.ImplIndex(0))
+	}
+	if !b.Demand(0).Equal(resource.Of(50, 16, 0, 0)) {
+		t.Errorf("Demand = %v", b.Demand(0))
+	}
+}
+
+func TestBindFailsWithoutTargetType(t *testing.T) {
+	app := graph.New("a")
+	app.AddTask("t", graph.Internal, graph.Implementation{
+		Name: "fpga-only", Target: platform.TypeFPGA,
+		Requires: resource.Of(10, 0, 0, 100), Cost: 1, ExecTime: 5,
+	})
+	_, err := Bind(app, smallPlatform())
+	var berr *Error
+	if !errors.As(err, &berr) {
+		t.Fatalf("error = %v, want *binding.Error", err)
+	}
+	if berr.Task != 0 {
+		t.Errorf("failing task = %d, want 0", berr.Task)
+	}
+}
+
+func TestBindAggregateCapacity(t *testing.T) {
+	// Two DSPs of 100 compute each: three 70% tasks exceed the
+	// aggregate only at the third task (210 > 200).
+	app := graph.New("a")
+	for i := 0; i < 3; i++ {
+		app.AddTask("t", graph.Internal, dspImpl(1, 70))
+	}
+	_, err := Bind(app, smallPlatform())
+	if err == nil {
+		t.Fatal("expected aggregate-capacity binding failure")
+	}
+	// Two tasks fit.
+	app2 := graph.New("b")
+	for i := 0; i < 2; i++ {
+		app2.AddTask("t", graph.Internal, dspImpl(1, 70))
+	}
+	if _, err := Bind(app2, smallPlatform()); err != nil {
+		t.Errorf("two tasks should bind: %v", err)
+	}
+}
+
+func TestBindMaxFreeSinglePlacement(t *testing.T) {
+	// Aggregate would suffice (2×100) but no single DSP can host a
+	// 150-compute demand.
+	app := graph.New("a")
+	app.AddTask("t", graph.Internal, dspImpl(1, 150))
+	if _, err := Bind(app, smallPlatform()); err == nil {
+		t.Fatal("demand exceeding every single element must fail binding")
+	}
+}
+
+func TestBindFallsBackWhenCheapSaturated(t *testing.T) {
+	// Three tasks, each preferring the DSP (cost 1) over the GPP
+	// (cost 5). DSP aggregate fits two; the third falls back to GPP.
+	app := graph.New("a")
+	for i := 0; i < 3; i++ {
+		app.AddTask("t", graph.Internal, dspImpl(1, 100), gppImpl(5, 50))
+	}
+	b, err := Bind(app, smallPlatform())
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	targets := map[string]int{}
+	for i := range app.Tasks {
+		targets[b.Target(i)]++
+	}
+	if targets[platform.TypeDSP] != 2 || targets[platform.TypeGPP] != 1 {
+		t.Errorf("targets = %v, want 2 dsp + 1 gpp", targets)
+	}
+}
+
+func TestBindRegretOrdering(t *testing.T) {
+	// Task A: dsp cost 1, gpp cost 100 → regret 99.
+	// Task B: dsp cost 1, gpp cost 2 → regret 1.
+	// Only one DSP slot (both demands are 100% compute). A must win
+	// the DSP even though B appears first.
+	p := platform.New()
+	d := p.AddElement(platform.TypeDSP, "d0", platform.DSPCapacity)
+	g := p.AddElement(platform.TypeGPP, "g0", platform.GPPCapacity)
+	p.MustConnect(d, g, 2)
+
+	app := graph.New("a")
+	app.AddTask("B", graph.Internal, dspImpl(1, 100), gppImpl(2, 50))
+	app.AddTask("A", graph.Internal, dspImpl(1, 100), gppImpl(100, 50))
+	b, err := Bind(app, p)
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	if b.Target(1) != platform.TypeDSP {
+		t.Errorf("high-regret task A got %s, want dsp", b.Target(1))
+	}
+	if b.Target(0) != platform.TypeGPP {
+		t.Errorf("low-regret task B got %s, want gpp", b.Target(0))
+	}
+}
+
+func TestBindFixedElement(t *testing.T) {
+	p := smallPlatform()
+	app := graph.New("a")
+	id := app.AddTask("io", graph.Input, gppImpl(1, 50))
+	app.Tasks[id].FixedElement = 2 // the GPP
+
+	b, err := Bind(app, p)
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	if b.Target(0) != platform.TypeGPP {
+		t.Errorf("target = %s", b.Target(0))
+	}
+
+	// Wrong element type at the fixed location fails.
+	app2 := graph.New("b")
+	id2 := app2.AddTask("io", graph.Input, gppImpl(1, 50))
+	app2.Tasks[id2].FixedElement = 0 // a DSP: gpp impl cannot run there
+	if _, err := Bind(app2, p); err == nil {
+		t.Error("binding to a fixed element of the wrong type must fail")
+	}
+}
+
+func TestBindFixedElementCapacityShared(t *testing.T) {
+	// Two tasks fixed to the same GPP: each 60% compute; the second
+	// must fail (120 > 100).
+	p := smallPlatform()
+	app := graph.New("a")
+	for i := 0; i < 2; i++ {
+		id := app.AddTask("io", graph.Input, gppImpl(1, 60))
+		app.Tasks[id].FixedElement = 2
+	}
+	if _, err := Bind(app, p); err == nil {
+		t.Error("overcommitted fixed element must fail binding")
+	}
+}
+
+func TestBindRespectsDisabledElements(t *testing.T) {
+	p := smallPlatform()
+	p.DisableElement(0)
+	p.DisableElement(1) // both DSPs gone
+	app := graph.New("a")
+	app.AddTask("t", graph.Internal, dspImpl(1, 10))
+	if _, err := Bind(app, p); err == nil {
+		t.Error("binding must not use disabled elements")
+	}
+}
+
+func TestBindAccountsExistingAllocations(t *testing.T) {
+	p := smallPlatform()
+	// Pre-allocate 80% of each DSP.
+	for _, id := range []int{0, 1} {
+		if err := p.Place(id, platform.Occupant{App: "other", Task: id},
+			resource.Of(80, 0, 0, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	app := graph.New("a")
+	app.AddTask("t", graph.Internal, dspImpl(1, 30))
+	if _, err := Bind(app, p); err == nil {
+		t.Error("binding must observe existing allocations")
+	}
+	app2 := graph.New("b")
+	app2.AddTask("t", graph.Internal, dspImpl(1, 20))
+	if _, err := Bind(app2, p); err != nil {
+		t.Errorf("20%% task should still bind: %v", err)
+	}
+}
+
+func TestBindBeamformingOnCRISP(t *testing.T) {
+	p := platform.CRISP()
+	var ioIn int = -1
+	for _, e := range p.Elements() {
+		if e.Name == "io-in" {
+			ioIn = e.ID
+		}
+	}
+	app := graph.Beamforming(graph.DefaultBeamforming(ioIn))
+	b, err := Bind(app, p)
+	if err != nil {
+		t.Fatalf("beamforming must bind on an empty CRISP platform: %v", err)
+	}
+	dsps := 0
+	for i := range app.Tasks {
+		if b.Target(i) == platform.TypeDSP {
+			dsps++
+		}
+	}
+	if dsps != 45 {
+		t.Errorf("bound DSP tasks = %d, want 45", dsps)
+	}
+}

@@ -1,0 +1,289 @@
+// Package core implements Kairos, the prototype run-time spatial
+// resource manager of the paper (§III-E): it admits applications onto
+// a heterogeneous MPSoC by running the four-phase workflow of Fig. 1 —
+// binding, mapping, routing, validation — and releases them again,
+// tracking per-phase execution times and attributing failures to the
+// phase that rejected the application (the basis of Table I and
+// Fig. 7).
+//
+// The original Kairos runs inside a Linux 2.6.28 kernel on the CRISP
+// platform's 200 MHz ARM926; this implementation is a pure-Go library
+// over the platform model in internal/platform. Algorithms, data
+// structures and phase boundaries are the same; absolute times differ.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/binding"
+	"repro/internal/graph"
+	"repro/internal/knapsack"
+	"repro/internal/mapping"
+	"repro/internal/platform"
+	"repro/internal/routing"
+	"repro/internal/validation"
+)
+
+// Phase identifies one phase of the resource-allocation workflow.
+type Phase int
+
+// The run-time phases of Fig. 1.
+const (
+	PhaseBinding Phase = iota
+	PhaseMapping
+	PhaseRouting
+	PhaseValidation
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseBinding:
+		return "binding"
+	case PhaseMapping:
+		return "mapping"
+	case PhaseRouting:
+		return "routing"
+	case PhaseValidation:
+		return "validation"
+	default:
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+}
+
+// PhaseError attributes an admission failure to a workflow phase.
+type PhaseError struct {
+	Phase Phase
+	Err   error
+}
+
+func (e *PhaseError) Error() string {
+	return fmt.Sprintf("kairos: rejected in %s phase: %v", e.Phase, e.Err)
+}
+
+func (e *PhaseError) Unwrap() error { return e.Err }
+
+// PhaseTimes records the execution time spent in each phase of one
+// allocation attempt (successful or not), the quantity plotted in
+// Fig. 7 and reported for the case study.
+type PhaseTimes struct {
+	Binding    time.Duration
+	Mapping    time.Duration
+	Routing    time.Duration
+	Validation time.Duration
+}
+
+// Total returns the total allocation time.
+func (t PhaseTimes) Total() time.Duration {
+	return t.Binding + t.Mapping + t.Routing + t.Validation
+}
+
+// Options configures the resource manager.
+type Options struct {
+	// Weights steers the mapping cost function (Figs. 8–10).
+	Weights mapping.Weights
+	// Solver is the knapsack subroutine; defaults to the paper's
+	// O(T²) greedy.
+	Solver knapsack.Solver
+	// Router is the routing algorithm; defaults to BFS (§II).
+	Router routing.Router
+	// Validation configures the SDF model of phase 4.
+	Validation validation.Options
+	// SkipValidation admits applications without checking
+	// performance constraints. The paper's synthetic-dataset
+	// experiments do this ("we do not reject applications in the
+	// validation phase", §IV); the validation phase still runs and
+	// is timed, but its verdict is ignored.
+	SkipValidation bool
+	// DisableValidation omits the validation phase entirely (no SDF
+	// model is built and Times.Validation stays zero). Used by
+	// admission-outcome sweeps that would otherwise pay for
+	// thousands of throughput analyses.
+	DisableValidation bool
+	// ExtraRings and DistancePenalty pass through to the mapping
+	// phase; zero means default.
+	ExtraRings      int
+	DistancePenalty int
+}
+
+// Admission is one admitted (or attempted) application: the execution
+// layout of Fig. 1 plus bookkeeping.
+type Admission struct {
+	// Instance uniquely names this admission on the platform.
+	Instance string
+	// App is the admitted application.
+	App *graph.Application
+	// Binding, Assignment and Routes form the execution layout.
+	Binding    *binding.Binding
+	Assignment []int
+	Routes     []routing.Route
+	// MapStats exposes mapping introspection counters.
+	MapStats *mapping.Result
+	// Report is the validation outcome (nil when the validation
+	// phase itself failed to produce one).
+	Report *validation.Report
+	// Times are the per-phase execution times.
+	Times PhaseTimes
+}
+
+// Kairos is the run-time resource manager. It owns the platform
+// allocation state. Not safe for concurrent use: the prototype
+// serializes allocation attempts, and so do the experiments.
+type Kairos struct {
+	p        *platform.Platform
+	opts     Options
+	admitted map[string]*Admission
+	seq      int
+}
+
+// New returns a resource manager for the platform.
+func New(p *platform.Platform, opts Options) *Kairos {
+	return &Kairos{p: p, opts: opts, admitted: make(map[string]*Admission)}
+}
+
+// Platform returns the managed platform.
+func (k *Kairos) Platform() *platform.Platform { return k.p }
+
+// Admitted returns the currently admitted applications, keyed by
+// instance name.
+func (k *Kairos) Admitted() map[string]*Admission {
+	out := make(map[string]*Admission, len(k.admitted))
+	for n, a := range k.admitted {
+		out[n] = a
+	}
+	return out
+}
+
+// Admit runs the four-phase workflow for the application. On success
+// the returned Admission holds the execution layout and the platform
+// carries its allocations. On failure a *PhaseError attributes the
+// rejection, the platform is left exactly as before the call, and the
+// partial Admission (with phase times measured so far) is returned
+// alongside the error for introspection.
+func (k *Kairos) Admit(app *graph.Application) (*Admission, error) {
+	k.seq++
+	adm := &Admission{
+		Instance: fmt.Sprintf("%s#%d", app.Name, k.seq),
+		App:      app,
+	}
+
+	// Phase 1: binding.
+	start := time.Now()
+	bind, err := binding.Bind(app, k.p)
+	adm.Times.Binding = time.Since(start)
+	if err != nil {
+		return adm, &PhaseError{Phase: PhaseBinding, Err: err}
+	}
+	adm.Binding = bind
+
+	// Phase 2: mapping.
+	start = time.Now()
+	res, err := mapping.MapApplication(app, k.p, bind, mapping.Options{
+		Instance:        adm.Instance,
+		Weights:         k.opts.Weights,
+		Solver:          k.opts.Solver,
+		ExtraRings:      k.opts.ExtraRings,
+		DistancePenalty: k.opts.DistancePenalty,
+	})
+	adm.Times.Mapping = time.Since(start)
+	if err != nil {
+		return adm, &PhaseError{Phase: PhaseMapping, Err: err}
+	}
+	adm.Assignment = res.Assignment
+	adm.MapStats = res
+
+	// Phase 3: routing.
+	start = time.Now()
+	routes, err := routing.RouteAll(app, res.Assignment, k.p, k.opts.Router)
+	adm.Times.Routing = time.Since(start)
+	if err != nil {
+		mapping.Unmap(k.p, adm.Instance, app)
+		return adm, &PhaseError{Phase: PhaseRouting, Err: err}
+	}
+	adm.Routes = routes
+
+	// Phase 4: validation.
+	if !k.opts.DisableValidation {
+		start = time.Now()
+		rep, verr := validation.Validate(app, bind, res.Assignment, routes, k.p, k.opts.Validation)
+		adm.Times.Validation = time.Since(start)
+		adm.Report = rep
+		if verr != nil && !k.opts.SkipValidation {
+			routing.ReleaseAll(k.p, routes)
+			mapping.Unmap(k.p, adm.Instance, app)
+			return adm, &PhaseError{Phase: PhaseValidation, Err: verr}
+		}
+	}
+
+	k.admitted[adm.Instance] = adm
+	return adm, nil
+}
+
+// ErrUnknownInstance is returned by Release for unknown instances.
+var ErrUnknownInstance = errors.New("kairos: unknown application instance")
+
+// Release frees all resources held by the named admission, e.g. when
+// the application exits or the user demand changes.
+func (k *Kairos) Release(instance string) error {
+	adm, ok := k.admitted[instance]
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrUnknownInstance, instance)
+	}
+	routing.ReleaseAll(k.p, adm.Routes)
+	mapping.Unmap(k.p, adm.Instance, adm.App)
+	delete(k.admitted, instance)
+	return nil
+}
+
+// ReleaseAll frees every admission (experiments empty the platform
+// between sequences).
+func (k *Kairos) ReleaseAll() {
+	for name := range k.admitted {
+		_ = k.Release(name)
+	}
+}
+
+// Readmit restarts an admitted application: its resources are
+// released and the application is allocated afresh under the current
+// platform state. Task migration is impossible (paper §I-A), so
+// restarting is the only way to defragment or to move an application
+// off worn or failing elements. When re-admission fails, the old
+// allocation is restored (the layout is replayed; the paper's
+// configuration layer would simply have kept the application running).
+func (k *Kairos) Readmit(instance string) (*Admission, error) {
+	old, ok := k.admitted[instance]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownInstance, instance)
+	}
+	if err := k.Release(instance); err != nil {
+		return nil, err
+	}
+	adm, err := k.Admit(old.App)
+	if err == nil {
+		return adm, nil
+	}
+	// Restore the previous layout. The resources were free a moment
+	// ago and the failed attempt rolled itself back, so replaying the
+	// old placements and routes cannot fail; if it somehow does, the
+	// admission is lost and the error says so.
+	for _, t := range old.App.Tasks {
+		occ := platform.Occupant{App: old.Instance, Task: t.ID}
+		if perr := k.p.Restore(old.Assignment[t.ID], occ, old.Binding.Demand(t.ID)); perr != nil {
+			return nil, fmt.Errorf("kairos: readmit failed (%w) and restore failed: %v", err, perr)
+		}
+	}
+	for _, rt := range old.Routes {
+		for i := 0; i+1 < len(rt.Path); i++ {
+			if perr := k.p.RestoreVC(rt.Path[i], rt.Path[i+1]); perr != nil {
+				return nil, fmt.Errorf("kairos: readmit failed (%w) and route restore failed: %v", err, perr)
+			}
+		}
+	}
+	k.admitted[old.Instance] = old
+	return old, err
+}
+
+// Fragmentation returns the platform's current external resource
+// fragmentation percentage (paper §III-A).
+func (k *Kairos) Fragmentation() float64 { return k.p.ExternalFragmentation() }

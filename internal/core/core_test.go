@@ -1,0 +1,212 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/mapping"
+	"repro/internal/platform"
+	"repro/internal/resource"
+	"repro/internal/routing"
+)
+
+func dspImpl(share int64, exec int64) graph.Implementation {
+	return graph.Implementation{
+		Name: "dsp", Target: platform.TypeDSP,
+		Requires: resource.Of(share, 8, 0, 0), Cost: 1, ExecTime: exec,
+	}
+}
+
+func chainApp(name string, n int, share int64) *graph.Application {
+	app := graph.New(name)
+	for i := 0; i < n; i++ {
+		app.AddTask("t", graph.Internal, dspImpl(share, 5))
+	}
+	for i := 0; i+1 < n; i++ {
+		app.AddChannel(i, i+1)
+	}
+	return app
+}
+
+func snapshotClean(t *testing.T, p *platform.Platform) {
+	t.Helper()
+	for _, e := range p.Elements() {
+		if e.InUse() {
+			t.Fatalf("element %d in use on supposedly clean platform", e.ID)
+		}
+	}
+	for _, l := range p.Links() {
+		if l.Used() != 0 {
+			t.Fatalf("link %d→%d has %d VCs used on clean platform", l.From, l.To, l.Used())
+		}
+	}
+}
+
+func TestAdmitAndRelease(t *testing.T) {
+	p := platform.Mesh(3, 3, 4)
+	k := New(p, Options{Weights: mapping.WeightsBoth})
+	adm, err := k.Admit(chainApp("app", 3, 60))
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	if adm.Instance == "" || adm.Binding == nil || adm.Assignment == nil || adm.Report == nil {
+		t.Fatal("admission incomplete")
+	}
+	if len(k.Admitted()) != 1 {
+		t.Fatalf("Admitted = %d, want 1", len(k.Admitted()))
+	}
+	if adm.Times.Total() <= 0 {
+		t.Error("phase times not recorded")
+	}
+	if err := k.Release(adm.Instance); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	snapshotClean(t, p)
+	if err := k.Release(adm.Instance); !errors.Is(err, ErrUnknownInstance) {
+		t.Errorf("double release = %v, want ErrUnknownInstance", err)
+	}
+}
+
+func TestAdmitBindingFailureLeavesPlatformClean(t *testing.T) {
+	p := platform.Mesh(2, 2, 4)
+	k := New(p, Options{})
+	app := graph.New("fpga-needs")
+	app.AddTask("t", graph.Internal, graph.Implementation{
+		Name: "fpga", Target: platform.TypeFPGA,
+		Requires: resource.Of(10, 10, 0, 10), Cost: 1, ExecTime: 5,
+	})
+	_, err := k.Admit(app)
+	var pe *PhaseError
+	if !errors.As(err, &pe) || pe.Phase != PhaseBinding {
+		t.Fatalf("error = %v, want binding PhaseError", err)
+	}
+	snapshotClean(t, p)
+}
+
+func TestAdmitMappingFailureLeavesPlatformClean(t *testing.T) {
+	// Three 70% tasks on two connected DSPs plus one isolated DSP:
+	// binding's location-free capacity estimate passes (three
+	// elements fit one task each), but the mapping phase cannot
+	// reach the isolated element from the origin's neighborhood.
+	p := platform.New()
+	a := p.AddElement(platform.TypeDSP, "a", platform.DSPCapacity)
+	b := p.AddElement(platform.TypeDSP, "b", platform.DSPCapacity)
+	p.AddElement(platform.TypeDSP, "island", platform.DSPCapacity)
+	p.MustConnect(a, b, 4)
+	k := New(p, Options{Weights: mapping.WeightsCommunication})
+	_, err := k.Admit(chainApp("big", 3, 70))
+	var pe *PhaseError
+	if !errors.As(err, &pe) || pe.Phase != PhaseMapping {
+		t.Fatalf("error = %v, want mapping PhaseError", err)
+	}
+	snapshotClean(t, p)
+}
+
+func TestAdmitRoutingFailureLeavesPlatformClean(t *testing.T) {
+	// Two elements, one link with 1 VC; an app with two parallel
+	// channels in the same direction maps but cannot route.
+	p := platform.New()
+	p.AddElement(platform.TypeDSP, "a", platform.DSPCapacity)
+	p.AddElement(platform.TypeDSP, "b", platform.DSPCapacity)
+	p.MustConnect(0, 1, 1)
+	app := graph.New("par")
+	a := app.AddTask("a", graph.Internal, dspImpl(80, 5))
+	b := app.AddTask("b", graph.Internal, dspImpl(80, 5))
+	app.AddChannel(a, b)
+	app.AddChannel(a, b)
+	k := New(p, Options{Weights: mapping.WeightsCommunication})
+	_, err := k.Admit(app)
+	var pe *PhaseError
+	if !errors.As(err, &pe) || pe.Phase != PhaseRouting {
+		t.Fatalf("error = %v, want routing PhaseError", err)
+	}
+	snapshotClean(t, p)
+}
+
+func TestAdmitValidationFailureLeavesPlatformClean(t *testing.T) {
+	p := platform.Mesh(3, 3, 4)
+	app := chainApp("tight", 3, 60)
+	app.Constraints.MinThroughput = 1e6 // unattainable
+	k := New(p, Options{})
+	_, err := k.Admit(app)
+	var pe *PhaseError
+	if !errors.As(err, &pe) || pe.Phase != PhaseValidation {
+		t.Fatalf("error = %v, want validation PhaseError", err)
+	}
+	snapshotClean(t, p)
+}
+
+func TestSkipValidationAdmitsAnyway(t *testing.T) {
+	p := platform.Mesh(3, 3, 4)
+	app := chainApp("tight", 3, 60)
+	app.Constraints.MinThroughput = 1e6
+	k := New(p, Options{SkipValidation: true})
+	adm, err := k.Admit(app)
+	if err != nil {
+		t.Fatalf("Admit with SkipValidation: %v", err)
+	}
+	if adm.Report == nil || adm.Report.Satisfied {
+		t.Error("report should exist and be unsatisfied")
+	}
+	if adm.Times.Validation <= 0 {
+		t.Error("validation phase should still be timed")
+	}
+}
+
+func TestSequentialAdmissionUntilSaturation(t *testing.T) {
+	p := platform.Mesh(3, 3, 4) // 9 DSPs
+	k := New(p, Options{Weights: mapping.WeightsBoth, SkipValidation: true})
+	admitted := 0
+	for i := 0; i < 12; i++ {
+		if _, err := k.Admit(chainApp("seq", 2, 70)); err == nil {
+			admitted++
+		}
+	}
+	// Each app occupies 2 elements at 70%: at most 4 such apps on 9
+	// elements (one element left for singles? 70+70 > 100, so one
+	// app per element pair) → exactly 4.
+	if admitted != 4 {
+		t.Errorf("admitted = %d, want 4", admitted)
+	}
+	if k.Fragmentation() < 0 || k.Fragmentation() > 100 {
+		t.Errorf("fragmentation out of range: %v", k.Fragmentation())
+	}
+	k.ReleaseAll()
+	snapshotClean(t, p)
+	if len(k.Admitted()) != 0 {
+		t.Error("admissions remain after ReleaseAll")
+	}
+}
+
+func TestAdmitBeamformingCaseStudy(t *testing.T) {
+	p := platform.CRISP()
+	ioIn := -1
+	for _, e := range p.Elements() {
+		if e.Name == "io-in" {
+			ioIn = e.ID
+		}
+	}
+	app := graph.Beamforming(graph.DefaultBeamforming(ioIn))
+	k := New(p, Options{Weights: mapping.WeightsBoth, Router: routing.BFS{}})
+	adm, err := k.Admit(app)
+	if err != nil {
+		t.Fatalf("beamforming admission failed: %v", err)
+	}
+	if got := len(adm.Routes); got != len(app.Channels) {
+		t.Errorf("routes = %d, want %d", got, len(app.Channels))
+	}
+	if err := k.Release(adm.Instance); err != nil {
+		t.Fatal(err)
+	}
+	snapshotClean(t, p)
+}
+
+func TestPhaseStringer(t *testing.T) {
+	if PhaseBinding.String() != "binding" || PhaseValidation.String() != "validation" {
+		t.Error("phase names wrong")
+	}
+	if Phase(9).String() == "" {
+		t.Error("unknown phase should still format")
+	}
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/mapping"
+	"repro/internal/platform"
+	"repro/internal/validation"
+)
+
+func TestReadmitUnknownInstance(t *testing.T) {
+	k := New(platform.Mesh(2, 2, 2), Options{})
+	if _, err := k.Readmit("ghost"); !errors.Is(err, ErrUnknownInstance) {
+		t.Errorf("error = %v, want ErrUnknownInstance", err)
+	}
+}
+
+func TestReadmitMovesOffFault(t *testing.T) {
+	// Admit, disable an element the app uses, readmit: the new
+	// layout must avoid the dead element. (Readmit releases first,
+	// so the dead element's stale allocation is cleared too.)
+	p := platform.Mesh(3, 3, 4)
+	k := New(p, Options{Weights: mapping.WeightsBoth, SkipValidation: true})
+	adm, err := k.Admit(chainApp("app", 3, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := adm.Assignment[1]
+	p.DisableElement(victim)
+	adm2, err := k.Readmit(adm.Instance)
+	if err != nil {
+		t.Fatalf("Readmit: %v", err)
+	}
+	for _, e := range adm2.Assignment {
+		if e == victim {
+			t.Error("readmission used the disabled element")
+		}
+	}
+	if len(k.Admitted()) != 1 {
+		t.Errorf("admitted = %d, want 1", len(k.Admitted()))
+	}
+}
+
+func TestReadmitRestoresOnFailure(t *testing.T) {
+	// Fill the platform so re-admission of a released app can only
+	// reproduce its own (just-freed) placement... then make that
+	// impossible by disabling the app's elements between release and
+	// re-admission — the restore path must bring the old allocation
+	// back when the new admission fails.
+	p := platform.Mesh(2, 2, 4)
+	k := New(p, Options{Weights: mapping.WeightsBoth, SkipValidation: true})
+	adm, err := k.Admit(chainApp("a", 4, 70))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Another app occupying nothing extra; disable one element used
+	// by the app but keep its occupancy: Readmit releases first, so
+	// the app cannot come back (3 enabled elements < 4 tasks).
+	p.DisableElement(adm.Assignment[0])
+	_, err = k.Readmit(adm.Instance)
+	if err == nil {
+		t.Fatal("readmit should fail with a disabled element and no slack")
+	}
+	// The old allocation must be back: every task placed, instance
+	// tracked.
+	if len(k.Admitted()) != 1 {
+		t.Fatalf("admitted = %d, want 1 (restored)", len(k.Admitted()))
+	}
+	restored := k.Admitted()[adm.Instance]
+	for _, task := range restored.App.Tasks {
+		occ := platform.Occupant{App: adm.Instance, Task: task.ID}
+		if !p.Element(adm.Assignment[task.ID]).HostsTask(occ) {
+			t.Errorf("task %d not restored on element %d", task.ID, adm.Assignment[task.ID])
+		}
+	}
+	// Releasing the restored admission leaves the platform clean.
+	if err := k.Release(adm.Instance); err != nil {
+		t.Fatal(err)
+	}
+	snapshotClean(t, p)
+}
+
+func TestReadmitDefragments(t *testing.T) {
+	// Admit A and B, release A (leaving a hole), then readmit B with
+	// communication weights: B should stay admitted and the platform
+	// consistent. (A full defragmentation policy is the caller's
+	// loop over Readmit.)
+	p := platform.Mesh(3, 3, 4)
+	k := New(p, Options{Weights: mapping.WeightsCommunication, SkipValidation: true})
+	a, err := k.Admit(chainApp("a", 3, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := k.Admit(chainApp("b", 3, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := k.Release(a.Instance); err != nil {
+		t.Fatal(err)
+	}
+	fragBefore := k.Fragmentation()
+	b2, err := k.Readmit(b.Instance)
+	if err != nil {
+		t.Fatalf("Readmit: %v", err)
+	}
+	if k.Fragmentation() > fragBefore+1e-9 {
+		t.Errorf("fragmentation grew from %v to %v after readmit", fragBefore, k.Fragmentation())
+	}
+	if err := k.Release(b2.Instance); err != nil {
+		t.Fatal(err)
+	}
+	snapshotClean(t, p)
+}
+
+func TestAdmitWithFastValidation(t *testing.T) {
+	p := platform.Mesh(3, 3, 4)
+	k := New(p, Options{
+		Weights:    mapping.WeightsBoth,
+		Validation: validation.Options{Fast: true},
+	})
+	app := chainApp("fast", 3, 60)
+	app.Constraints.MinThroughput = 10
+	adm, err := k.Admit(app)
+	if err != nil {
+		t.Fatalf("Admit with fast validation: %v", err)
+	}
+	if adm.Report == nil || adm.Report.Throughput <= 0 {
+		t.Error("fast validation produced no throughput")
+	}
+}
+
+func TestReadmitBeamformingAfterPackageLoss(t *testing.T) {
+	// The beamformer needs all 45 DSPs: after losing a package it
+	// cannot come back, and the restore path must keep it running on
+	// its original layout (minus nothing — the layout predates the
+	// fault; tasks on the dead package stay there, which models the
+	// paper's "no migration" reality until the app is stopped).
+	p := platform.CRISP()
+	ioIn := -1
+	for _, e := range p.Elements() {
+		if e.Name == "io-in" {
+			ioIn = e.ID
+		}
+	}
+	app := graph.Beamforming(graph.DefaultBeamforming(ioIn))
+	k := New(p, Options{Weights: mapping.WeightsBoth, SkipValidation: true})
+	adm, err := k.Admit(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range p.Elements() {
+		if e.Package == 2 {
+			p.DisableElement(e.ID)
+		}
+	}
+	if _, err := k.Readmit(adm.Instance); err == nil {
+		t.Fatal("readmit must fail after losing a whole package")
+	}
+	if len(k.Admitted()) != 1 {
+		t.Errorf("admission lost after failed readmit")
+	}
+}

@@ -1,0 +1,158 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/mapping"
+	"repro/internal/platform"
+)
+
+// NewBeamforming builds the case-study application pinned to the
+// CRISP platform's stream-input tile, together with a fresh platform.
+func NewBeamforming() (*graph.Application, *platform.Platform) {
+	p := platform.CRISP()
+	ioIn := -1
+	for _, e := range p.Elements() {
+		if e.Name == "io-in" {
+			ioIn = e.ID
+			break
+		}
+	}
+	return graph.Beamforming(graph.DefaultBeamforming(ioIn)), p
+}
+
+// CaseStudy runs one beamforming allocation on an empty CRISP
+// platform and reports the per-phase times (paper §IV-A: binding
+// 70.4 ms, mapping 21.7 ms, routing 7.4 ms, validation 20.6 ms on the
+// 200 MHz ARM926 — absolute values differ here, the ordering and
+// feasibility are what the reproduction checks).
+func CaseStudy(weights mapping.Weights) (*core.Admission, error) {
+	app, p := NewBeamforming()
+	k := core.New(p, core.Options{Weights: weights})
+	return k.Admit(app)
+}
+
+// FormatCaseStudy renders the per-phase times of an admission.
+func FormatCaseStudy(adm *core.Admission, err error) string {
+	s := fmt.Sprintf("beamforming: %d tasks, %d channels\n",
+		len(adm.App.Tasks), len(adm.App.Channels))
+	if err != nil {
+		s += fmt.Sprintf("REJECTED: %v\n", err)
+	} else {
+		s += "admitted\n"
+	}
+	s += fmt.Sprintf("  binding:    %v\n", adm.Times.Binding)
+	s += fmt.Sprintf("  mapping:    %v\n", adm.Times.Mapping)
+	s += fmt.Sprintf("  routing:    %v\n", adm.Times.Routing)
+	s += fmt.Sprintf("  validation: %v\n", adm.Times.Validation)
+	s += fmt.Sprintf("  total:      %v\n", adm.Times.Total())
+	return s
+}
+
+// Fig10Config parameterizes the admission weight sweep.
+type Fig10Config struct {
+	// CommMax sweeps communication weight 0..CommMax step CommStep.
+	CommMax, CommStep int
+	// FragMax sweeps fragmentation weight 0..FragMax step FragStep.
+	FragMax, FragStep int
+}
+
+// DefaultFig10 is the paper's grid: every point in
+// [0, 1, .., 25] × [0, 10, .., 1000].
+func DefaultFig10() Fig10Config {
+	return Fig10Config{CommMax: 25, CommStep: 1, FragMax: 1000, FragStep: 10}
+}
+
+// Fig10Result is the admission map of the beamforming application
+// over the weight grid.
+type Fig10Result struct {
+	Comm     []int // communication weights (x axis)
+	Frag     []int // fragmentation weights (y axis)
+	Admitted [][]bool
+	Total    int
+	AdmitN   int
+}
+
+// Fig10 samples admission of the beamforming application for every
+// weight combination on an empty CRISP platform (paper Fig. 10).
+// Validation is skipped: the figure is about mapping/routing
+// admission.
+func Fig10(cfg Fig10Config) *Fig10Result {
+	app, proto := NewBeamforming()
+	res := &Fig10Result{}
+	for c := 0; c <= cfg.CommMax; c += cfg.CommStep {
+		res.Comm = append(res.Comm, c)
+	}
+	for f := 0; f <= cfg.FragMax; f += cfg.FragStep {
+		res.Frag = append(res.Frag, f)
+	}
+	res.Admitted = make([][]bool, len(res.Frag))
+	for fi, f := range res.Frag {
+		res.Admitted[fi] = make([]bool, len(res.Comm))
+		for ci, c := range res.Comm {
+			p := proto.Clone()
+			k := core.New(p, core.Options{
+				Weights:           mapping.Weights{Communication: float64(c), Fragmentation: float64(f)},
+				DisableValidation: true,
+			})
+			_, err := k.Admit(app)
+			ok := err == nil
+			res.Admitted[fi][ci] = ok
+			res.Total++
+			if ok {
+				res.AdmitN++
+			}
+		}
+	}
+	return res
+}
+
+// FormatFig10 renders the admission map as ASCII art: '#' admitted,
+// '.' rejected; x = communication weight, y = fragmentation weight
+// (top = high), like the paper's scatter plot.
+func FormatFig10(r *Fig10Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "beamforming admission map: %d/%d weight points admitted\n",
+		r.AdmitN, r.Total)
+	fmt.Fprintf(&b, "x: communication weight %d..%d, y: fragmentation weight %d..%d (top=high)\n",
+		r.Comm[0], r.Comm[len(r.Comm)-1], r.Frag[0], r.Frag[len(r.Frag)-1])
+	for fi := len(r.Frag) - 1; fi >= 0; fi-- {
+		fmt.Fprintf(&b, "%5d ", r.Frag[fi])
+		for ci := range r.Comm {
+			if r.Admitted[fi][ci] {
+				b.WriteByte('#')
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("      ")
+	for range r.Comm {
+		b.WriteByte('-')
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// ZeroWeightAdmissions reports how many grid points on each axis
+// border (either weight = 0) admitted the application. The paper
+// observes "disabling either one of the objectives never gives a
+// successful result".
+func (r *Fig10Result) ZeroWeightAdmissions() int {
+	n := 0
+	for ci := range r.Comm {
+		if r.Admitted[0][ci] && r.Frag[0] == 0 {
+			n++
+		}
+	}
+	for fi := range r.Frag {
+		if r.Admitted[fi][0] && r.Comm[0] == 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,366 @@
+// Package experiments reproduces the evaluation of the paper (§IV):
+// it builds the six synthetic datasets, benchmarks the platform with
+// sequential admission over random application sequences, and reduces
+// the per-admission records into the exact tables and series of
+// Table I and Figs. 7–10. The cmd/experiments tool and the repository
+// benchmarks are thin wrappers over this package.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/appgen"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/mapping"
+	"repro/internal/platform"
+	"repro/internal/routing"
+)
+
+// Dataset is one of the six synthetic datasets of Table I after the
+// empty-platform filter.
+type Dataset struct {
+	Name    string
+	Config  appgen.Config
+	Apps    []*graph.Application
+	Removed int // apps that could not be allocated on an empty platform
+}
+
+// DefaultAppsPerDataset is the paper's initial dataset size.
+const DefaultAppsPerDataset = 100
+
+// AllConfigs returns the six dataset configurations in Table I row
+// order.
+func AllConfigs() []appgen.Config {
+	var out []appgen.Config
+	for _, p := range []appgen.Profile{appgen.Communication, appgen.Computation} {
+		for _, s := range []appgen.Size{appgen.Small, appgen.Medium, appgen.Large} {
+			out = append(out, appgen.NewConfig(p, s))
+		}
+	}
+	return out
+}
+
+// BuildDataset generates n applications and removes those that cannot
+// be allocated on an empty platform ("to filter out any extraneous
+// samples", §IV). The filter runs the full binding–mapping–routing
+// pipeline; validation never rejects (the paper does not reject in
+// the validation phase for these datasets).
+func BuildDataset(cfg appgen.Config, n int, seed int64, proto *platform.Platform) Dataset {
+	ds := Dataset{Name: appgen.DatasetName(cfg), Config: cfg}
+	for _, app := range appgen.Dataset(cfg, n, seed) {
+		p := proto.Clone()
+		k := core.New(p, core.Options{
+			Weights:        mapping.WeightsBoth,
+			SkipValidation: true,
+		})
+		if _, err := k.Admit(app); err != nil {
+			ds.Removed++
+			continue
+		}
+		ds.Apps = append(ds.Apps, app)
+	}
+	return ds
+}
+
+// BuildAllDatasets builds the six datasets against the CRISP platform.
+func BuildAllDatasets(n int, seed int64) []Dataset {
+	proto := platform.CRISP()
+	out := make([]Dataset, 0, 6)
+	for i, cfg := range AllConfigs() {
+		out = append(out, BuildDataset(cfg, n, seed+int64(i)*1000, proto))
+	}
+	return out
+}
+
+// Record is one admission attempt within a sequence run.
+type Record struct {
+	Dataset  string
+	Weights  mapping.Weights
+	Sequence int
+	Position int // 1-based position in the sequence
+	Tasks    int
+	Success  bool
+	// FailPhase is meaningful when !Success.
+	FailPhase core.Phase
+	Times     core.PhaseTimes
+	// MeanHops is the average allocated communication resources per
+	// channel (Fig. 8); valid when Success.
+	MeanHops float64
+	// FragAfter is the platform's external resource fragmentation
+	// after this attempt (Fig. 9).
+	FragAfter float64
+}
+
+// SequenceConfig parameterizes RunSequences.
+type SequenceConfig struct {
+	// Weights for the mapping cost function.
+	Weights mapping.Weights
+	// Sequences is the number of random sequences per dataset (the
+	// paper uses 30).
+	Sequences int
+	// Seed drives the sequence shuffles.
+	Seed int64
+	// Router for the routing phase; nil = BFS.
+	Router routing.Router
+	// MaxPosition truncates sequences (0 = admit every app). The
+	// paper's Figs. 8–9 plot positions 1..29.
+	MaxPosition int
+	// SkipValidationTiming disables the validation phase entirely
+	// (not even timed) to speed up sweeps that only need admission
+	// outcomes. Fig. 7 must keep it enabled.
+	SkipValidationTiming bool
+}
+
+// RunSequences benchmarks the platform with each dataset: the
+// applications are admitted sequentially in 30 random orders, the
+// platform is emptied between sequences, and every attempt yields a
+// Record (paper §IV).
+func RunSequences(datasets []Dataset, proto *platform.Platform, cfg SequenceConfig) []Record {
+	if cfg.Sequences <= 0 {
+		cfg.Sequences = 30
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	var records []Record
+
+	for _, ds := range datasets {
+		for seq := 0; seq < cfg.Sequences; seq++ {
+			order := r.Perm(len(ds.Apps))
+			p := proto.Clone()
+			k := core.New(p, core.Options{
+				Weights:           cfg.Weights,
+				Router:            cfg.Router,
+				SkipValidation:    true,
+				DisableValidation: cfg.SkipValidationTiming,
+			})
+			limit := len(order)
+			if cfg.MaxPosition > 0 && cfg.MaxPosition < limit {
+				limit = cfg.MaxPosition
+			}
+			for pos := 0; pos < limit; pos++ {
+				app := ds.Apps[order[pos]]
+				rec := Record{
+					Dataset:  ds.Name,
+					Weights:  cfg.Weights,
+					Sequence: seq,
+					Position: pos + 1,
+					Tasks:    len(app.Tasks),
+				}
+				adm, err := k.Admit(app)
+				rec.Times = adm.Times
+				if err != nil {
+					rec.Success = false
+					if pe, ok := err.(*core.PhaseError); ok {
+						rec.FailPhase = pe.Phase
+					}
+				} else {
+					rec.Success = true
+					rec.MeanHops = routing.MeanHops(adm.Routes)
+				}
+				rec.FragAfter = p.ExternalFragmentation()
+				records = append(records, rec)
+			}
+		}
+	}
+	return records
+}
+
+// --- Table I -----------------------------------------------------------
+
+// TableIRow is one row of Table I.
+type TableIRow struct {
+	Dataset string
+	Apps    int // dataset size after the empty-platform filter
+	// Failure distribution per phase as a percentage of all failing
+	// applications in the dataset.
+	BindingPct, MappingPct, RoutingPct float64
+	Failures                           int
+}
+
+// TableI reduces sequence records into the Table I failure
+// distribution.
+func TableI(datasets []Dataset, records []Record) []TableIRow {
+	rows := make([]TableIRow, 0, len(datasets))
+	for _, ds := range datasets {
+		row := TableIRow{Dataset: ds.Name, Apps: len(ds.Apps)}
+		var b, m, rr int
+		for _, rec := range records {
+			if rec.Dataset != ds.Name || rec.Success {
+				continue
+			}
+			switch rec.FailPhase {
+			case core.PhaseBinding:
+				b++
+			case core.PhaseMapping:
+				m++
+			case core.PhaseRouting:
+				rr++
+			}
+		}
+		total := b + m + rr
+		row.Failures = total
+		if total > 0 {
+			row.BindingPct = 100 * float64(b) / float64(total)
+			row.MappingPct = 100 * float64(m) / float64(total)
+			row.RoutingPct = 100 * float64(rr) / float64(total)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FormatTableI renders the rows like the paper's Table I.
+func FormatTableI(rows []TableIRow) string {
+	s := fmt.Sprintf("%-22s %5s %9s %9s %9s\n", "Dataset", "#App", "Binding", "Mapping", "Routing")
+	for _, r := range rows {
+		s += fmt.Sprintf("%-22s %5d %8.2f%% %8.2f%% %8.2f%%\n",
+			r.Dataset, r.Apps, r.BindingPct, r.MappingPct, r.RoutingPct)
+	}
+	return s
+}
+
+// --- Fig. 7 ------------------------------------------------------------
+
+// Fig7Point is the mean per-phase run time for one application size.
+type Fig7Point struct {
+	Tasks      int
+	Samples    int
+	Binding    float64 // microseconds
+	Mapping    float64
+	Routing    float64
+	Validation float64
+}
+
+// Fig7 reduces records into mean per-phase times of *successful*
+// allocations, grouped by task count (paper Fig. 7, x = 3..16).
+func Fig7(records []Record) []Fig7Point {
+	byTasks := make(map[int]*Fig7Point)
+	for _, rec := range records {
+		if !rec.Success {
+			continue
+		}
+		pt, ok := byTasks[rec.Tasks]
+		if !ok {
+			pt = &Fig7Point{Tasks: rec.Tasks}
+			byTasks[rec.Tasks] = pt
+		}
+		pt.Samples++
+		pt.Binding += float64(rec.Times.Binding.Microseconds())
+		pt.Mapping += float64(rec.Times.Mapping.Microseconds())
+		pt.Routing += float64(rec.Times.Routing.Microseconds())
+		pt.Validation += float64(rec.Times.Validation.Microseconds())
+	}
+	var out []Fig7Point
+	for t := 3; t <= 16; t++ {
+		if pt, ok := byTasks[t]; ok {
+			pt.Binding /= float64(pt.Samples)
+			pt.Mapping /= float64(pt.Samples)
+			pt.Routing /= float64(pt.Samples)
+			pt.Validation /= float64(pt.Samples)
+			out = append(out, *pt)
+		}
+	}
+	return out
+}
+
+// FormatFig7 renders the series as a table (µs per phase).
+func FormatFig7(points []Fig7Point) string {
+	s := fmt.Sprintf("%5s %8s %10s %10s %10s %12s\n",
+		"Tasks", "Samples", "Binding", "Mapping", "Routing", "Validation")
+	for _, p := range points {
+		s += fmt.Sprintf("%5d %8d %9.1fµs %9.1fµs %9.1fµs %11.1fµs\n",
+			p.Tasks, p.Samples, p.Binding, p.Mapping, p.Routing, p.Validation)
+	}
+	return s
+}
+
+// --- Figs. 8 and 9 ------------------------------------------------------
+
+// SeriesPoint is one x-position of the Fig. 8 / Fig. 9 series for one
+// weight configuration.
+type SeriesPoint struct {
+	Position    int
+	Attempts    int
+	SuccessRate float64 // percent
+	MeanHops    float64 // Fig. 8 (successful allocations only)
+	MeanFrag    float64 // Fig. 9 (all attempts)
+}
+
+// PositionSeries reduces records (of a single weight configuration)
+// into per-position success rate, mean hops per channel, and mean
+// external fragmentation, averaged over all datasets and sequences
+// (paper Figs. 8 and 9, x = position 1..29).
+func PositionSeries(records []Record, maxPos int) []SeriesPoint {
+	if maxPos <= 0 {
+		maxPos = 29
+	}
+	out := make([]SeriesPoint, maxPos)
+	hops := make([]float64, maxPos)
+	hopN := make([]int, maxPos)
+	for i := range out {
+		out[i].Position = i + 1
+	}
+	for _, rec := range records {
+		if rec.Position < 1 || rec.Position > maxPos {
+			continue
+		}
+		pt := &out[rec.Position-1]
+		pt.Attempts++
+		pt.MeanFrag += rec.FragAfter
+		if rec.Success {
+			pt.SuccessRate++
+			hops[rec.Position-1] += rec.MeanHops
+			hopN[rec.Position-1]++
+		}
+	}
+	for i := range out {
+		if out[i].Attempts > 0 {
+			out[i].SuccessRate = 100 * out[i].SuccessRate / float64(out[i].Attempts)
+			out[i].MeanFrag /= float64(out[i].Attempts)
+		}
+		if hopN[i] > 0 {
+			out[i].MeanHops = hops[i] / float64(hopN[i])
+		}
+	}
+	return out
+}
+
+// WeightConfigs returns the four cost-function configurations of
+// Figs. 8–10 with their paper labels.
+func WeightConfigs() []struct {
+	Label   string
+	Weights mapping.Weights
+} {
+	return []struct {
+		Label   string
+		Weights mapping.Weights
+	}{
+		{"None", mapping.WeightsNone},
+		{"Communication", mapping.WeightsCommunication},
+		{"Fragmentation", mapping.WeightsFragmentation},
+		{"Both", mapping.WeightsBoth},
+	}
+}
+
+// FormatSeries renders labeled position series side by side; selector
+// picks the y value (e.g. hops or fragmentation).
+func FormatSeries(labels []string, series [][]SeriesPoint, metric string,
+	selector func(SeriesPoint) float64) string {
+	s := fmt.Sprintf("%-4s", "Pos")
+	for _, l := range labels {
+		s += fmt.Sprintf(" %13s %13s", l+" "+metric, l+" succ%")
+	}
+	s += "\n"
+	if len(series) == 0 {
+		return s
+	}
+	for i := range series[0] {
+		s += fmt.Sprintf("%-4d", series[0][i].Position)
+		for _, sr := range series {
+			s += fmt.Sprintf(" %13.2f %13.1f", selector(sr[i]), sr[i].SuccessRate)
+		}
+		s += "\n"
+	}
+	return s
+}

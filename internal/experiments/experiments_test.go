@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/appgen"
+	"repro/internal/core"
+	"repro/internal/mapping"
+	"repro/internal/platform"
+)
+
+func TestBuildDatasetFilters(t *testing.T) {
+	proto := platform.CRISP()
+	ds := BuildDataset(appgen.NewConfig(appgen.Computation, appgen.Small), 20, 1, proto)
+	if len(ds.Apps)+ds.Removed != 20 {
+		t.Fatalf("apps %d + removed %d != 20", len(ds.Apps), ds.Removed)
+	}
+	if len(ds.Apps) == 0 {
+		t.Fatal("empty-platform filter removed everything; datasets unusable")
+	}
+	// Every surviving app must indeed be admittable on an empty
+	// platform.
+	for _, app := range ds.Apps {
+		k := core.New(proto.Clone(), core.Options{
+			Weights: mapping.WeightsBoth, SkipValidation: true,
+		})
+		if _, err := k.Admit(app); err != nil {
+			t.Fatalf("filtered dataset contains unadmittable app %s: %v", app.Name, err)
+		}
+	}
+}
+
+func TestRunSequencesRecords(t *testing.T) {
+	proto := platform.CRISP()
+	ds := BuildDataset(appgen.NewConfig(appgen.Communication, appgen.Small), 12, 2, proto)
+	recs := RunSequences([]Dataset{ds}, proto, SequenceConfig{
+		Weights:              mapping.WeightsBoth,
+		Sequences:            2,
+		Seed:                 3,
+		SkipValidationTiming: true,
+	})
+	want := 2 * len(ds.Apps)
+	if len(recs) != want {
+		t.Fatalf("records = %d, want %d", len(recs), want)
+	}
+	for _, r := range recs {
+		if r.Position < 1 || r.Position > len(ds.Apps) {
+			t.Errorf("position %d out of range", r.Position)
+		}
+		if r.Tasks < 3 || r.Tasks > 4 {
+			t.Errorf("task count %d outside small range", r.Tasks)
+		}
+		if r.FragAfter < 0 || r.FragAfter > 100 {
+			t.Errorf("fragmentation %v out of range", r.FragAfter)
+		}
+		if r.Success && r.Times.Total() <= 0 {
+			t.Error("successful record without timing")
+		}
+	}
+}
+
+func TestTableIReduction(t *testing.T) {
+	ds := Dataset{Name: "X", Apps: nil}
+	recs := []Record{
+		{Dataset: "X", Success: false, FailPhase: core.PhaseBinding},
+		{Dataset: "X", Success: false, FailPhase: core.PhaseBinding},
+		{Dataset: "X", Success: false, FailPhase: core.PhaseRouting},
+		{Dataset: "X", Success: true},
+		{Dataset: "Y", Success: false, FailPhase: core.PhaseMapping},
+	}
+	rows := TableI([]Dataset{ds}, recs)
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r := rows[0]
+	if r.Failures != 3 {
+		t.Errorf("failures = %d, want 3", r.Failures)
+	}
+	if r.BindingPct < 66 || r.BindingPct > 67 {
+		t.Errorf("binding%% = %v, want ≈66.7", r.BindingPct)
+	}
+	if r.RoutingPct < 33 || r.RoutingPct > 34 {
+		t.Errorf("routing%% = %v, want ≈33.3", r.RoutingPct)
+	}
+	if !strings.Contains(FormatTableI(rows), "X") {
+		t.Error("FormatTableI lost the dataset name")
+	}
+}
+
+func TestFig7Reduction(t *testing.T) {
+	recs := []Record{
+		{Success: true, Tasks: 3, Times: core.PhaseTimes{Binding: 1000, Mapping: 2000, Routing: 3000, Validation: 4000}},
+		{Success: true, Tasks: 3, Times: core.PhaseTimes{Binding: 3000, Mapping: 4000, Routing: 5000, Validation: 6000}},
+		{Success: false, Tasks: 3}, // failures excluded
+		{Success: true, Tasks: 7, Times: core.PhaseTimes{Binding: 1000}},
+	}
+	pts := Fig7(recs)
+	if len(pts) != 2 {
+		t.Fatalf("points = %d, want 2", len(pts))
+	}
+	if pts[0].Tasks != 3 || pts[0].Samples != 2 {
+		t.Errorf("first point %+v", pts[0])
+	}
+	if pts[0].Binding != 2 { // mean of 1µs and 3µs
+		t.Errorf("binding mean = %v µs, want 2", pts[0].Binding)
+	}
+	if !strings.Contains(FormatFig7(pts), "Validation") {
+		t.Error("FormatFig7 header missing")
+	}
+}
+
+func TestPositionSeriesReduction(t *testing.T) {
+	recs := []Record{
+		{Position: 1, Success: true, MeanHops: 2, FragAfter: 10},
+		{Position: 1, Success: false, FragAfter: 20},
+		{Position: 2, Success: true, MeanHops: 4, FragAfter: 30},
+	}
+	pts := PositionSeries(recs, 3)
+	if len(pts) != 3 {
+		t.Fatalf("points = %d, want 3", len(pts))
+	}
+	if pts[0].SuccessRate != 50 {
+		t.Errorf("pos1 success = %v, want 50", pts[0].SuccessRate)
+	}
+	if pts[0].MeanHops != 2 || pts[0].MeanFrag != 15 {
+		t.Errorf("pos1 hops/frag = %v/%v, want 2/15", pts[0].MeanHops, pts[0].MeanFrag)
+	}
+	if pts[2].Attempts != 0 || pts[2].SuccessRate != 0 {
+		t.Errorf("pos3 should be empty: %+v", pts[2])
+	}
+	out := FormatSeries([]string{"Both"}, [][]SeriesPoint{pts}, "hops",
+		func(p SeriesPoint) float64 { return p.MeanHops })
+	if !strings.Contains(out, "Both hops") {
+		t.Error("FormatSeries header missing")
+	}
+}
+
+func TestCaseStudyAdmits(t *testing.T) {
+	adm, err := CaseStudy(mapping.WeightsBoth)
+	if err != nil {
+		t.Fatalf("case study rejected: %v", err)
+	}
+	if adm.Times.Binding <= 0 || adm.Times.Mapping <= 0 {
+		t.Error("phase times missing")
+	}
+	if s := FormatCaseStudy(adm, err); !strings.Contains(s, "admitted") {
+		t.Errorf("FormatCaseStudy output: %s", s)
+	}
+}
+
+func TestFig10SmallGrid(t *testing.T) {
+	res := Fig10(Fig10Config{CommMax: 2, CommStep: 1, FragMax: 50, FragStep: 25})
+	if res.Total != 9 {
+		t.Fatalf("total = %d, want 9", res.Total)
+	}
+	if res.AdmitN == 0 {
+		t.Error("no weight point admitted the beamformer on a small grid")
+	}
+	out := FormatFig10(res)
+	if !strings.Contains(out, "admission map") {
+		t.Error("FormatFig10 header missing")
+	}
+}
+
+func TestWeightConfigs(t *testing.T) {
+	cfgs := WeightConfigs()
+	if len(cfgs) != 4 || cfgs[0].Label != "None" || cfgs[3].Label != "Both" {
+		t.Errorf("WeightConfigs = %+v", cfgs)
+	}
+}
+
+func TestHarnessDeterministicForSeed(t *testing.T) {
+	// The whole pipeline — generation, filtering, sequences — must be
+	// reproducible from the seed, or the archived experiment outputs
+	// would be unverifiable.
+	run := func() []Record {
+		proto := platform.CRISP()
+		ds := BuildDataset(appgen.NewConfig(appgen.Communication, appgen.Small), 15, 5, proto)
+		return RunSequences([]Dataset{ds}, proto, SequenceConfig{
+			Weights: mapping.WeightsBoth, Sequences: 2, Seed: 9,
+			SkipValidationTiming: true,
+		})
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("record counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		// Times are wall-clock and may differ; everything else must
+		// be identical.
+		a[i].Times, b[i].Times = core.PhaseTimes{}, core.PhaseTimes{}
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}

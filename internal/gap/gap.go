@@ -1,0 +1,171 @@
+// Package gap implements the Generalized Assignment Problem solver of
+// the mapping phase (paper §III-C), following the approach of Cohen,
+// Katzir and Raz ("An efficient approximation for the generalized
+// assignment problem", IPL 2006): iterate over the bins (candidate
+// elements), and for every bin run a knapsack over all items (tasks),
+// where an item's profit is the cost *reduction* it would gain by
+// moving to this bin from its current best assignment. The algorithm
+// guarantees a (1+α)-approximation, with α the knapsack solver's
+// ratio, at O(E·k(T) + E·T) time.
+//
+// The solver is resumable: MapApplication grows the candidate element
+// set when tasks remain unassigned and invokes the solver again; the
+// mappings and their costs from the previous invocation are reused
+// (paper Fig. 4 and §III-C).
+package gap
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/knapsack"
+	"repro/internal/resource"
+)
+
+// Instance abstracts the mapping sub-problem seen by the GAP solver.
+// Costs are per (task, element) and must be finite when ok; lower is
+// better. Capacity is the element's free resources at sub-problem
+// start; Demand is the resource vector of the task's bound
+// implementation.
+type Instance interface {
+	// Demand returns the resource requirement of the task.
+	Demand(task int) resource.Vector
+	// Capacity returns the free capacity of the element.
+	Capacity(elem int) resource.Vector
+	// Cost returns the cost of mapping task onto elem, and whether
+	// the element is available for the task at all (av(e,t)).
+	Cost(task, elem int) (float64, bool)
+}
+
+// State carries assignments across invocations of Process within one
+// mapping sub-problem. The zero value is not usable; use NewState.
+type State struct {
+	// c1 is the cost of the best known mapping per task (paper:
+	// "vector c1 contains the cost of the best known mappings",
+	// initially very large).
+	c1 map[int]float64
+	// assign maps task → element for tasks with finite c1.
+	assign map[int]int
+	// processed records bins already iterated over, so re-invocation
+	// with a grown element set only visits the new ones.
+	processed map[int]bool
+}
+
+// NewState returns an empty solver state.
+func NewState() *State {
+	return &State{
+		c1:        make(map[int]float64),
+		assign:    make(map[int]int),
+		processed: make(map[int]bool),
+	}
+}
+
+// Assignment returns the current task → element assignment (a copy).
+func (s *State) Assignment() map[int]int {
+	out := make(map[int]int, len(s.assign))
+	for t, e := range s.assign {
+		out[t] = e
+	}
+	return out
+}
+
+// Assigned reports whether the task has an assignment.
+func (s *State) Assigned(task int) bool {
+	_, ok := s.assign[task]
+	return ok
+}
+
+// AssignedTo returns the element currently holding the task and
+// whether it is assigned. Cost functions that depend on the state of
+// the partial mapping (the paper notes this costs extra re-evaluation)
+// read the tentative assignment through this.
+func (s *State) AssignedTo(task int) (int, bool) {
+	e, ok := s.assign[task]
+	return e, ok
+}
+
+// Cost returns the cost of the task's current assignment, or +Inf.
+func (s *State) Cost(task int) float64 {
+	if c, ok := s.c1[task]; ok {
+		return c
+	}
+	return math.Inf(1)
+}
+
+// TotalCost returns the summed cost of all current assignments.
+func (s *State) TotalCost() float64 {
+	var sum float64
+	for _, c := range s.c1 {
+		sum += c
+	}
+	return sum
+}
+
+// Unassigned returns the tasks from the given set without an
+// assignment, in ID order.
+func (s *State) Unassigned(tasks []int) []int {
+	var out []int
+	for _, t := range tasks {
+		if !s.Assigned(t) {
+			out = append(out, t)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Process runs one GAP pass over the elements not yet processed, in
+// the order given. For every such element it computes the mapping cost
+// of each task (vector c2 in the paper), passes the cost reductions
+// c1(t) − c2(t) as knapsack profits, and reassigns the selected tasks.
+// "Most of the time, picking a yet unmapped task is more beneficial
+// than remapping a task to another element" — unmapped tasks have
+// c1 = +Inf, so any feasible placement has unbounded profit; the
+// profit is clamped to keep arithmetic finite while preserving the
+// ordering by c2.
+//
+// It returns true when every task in tasks is assigned afterwards.
+func (s *State) Process(inst Instance, tasks, elems []int, solver knapsack.Solver) bool {
+	// Profit clamp for unassigned tasks: larger than any achievable
+	// finite reduction, minus c2 so cheaper placements still win.
+	const unassignedBase = 1e12
+
+	for _, e := range elems {
+		if s.processed[e] {
+			continue
+		}
+		s.processed[e] = true
+
+		capacity := inst.Capacity(e)
+		items := make([]knapsack.Item, 0, len(tasks))
+		c2 := make(map[int]float64, len(tasks))
+		for _, t := range tasks {
+			if cur, ok := s.assign[t]; ok && cur == e {
+				continue // already here
+			}
+			cost, ok := inst.Cost(t, e)
+			if !ok {
+				continue
+			}
+			c2[t] = cost
+			var profit float64
+			if c1, assigned := s.c1[t]; assigned {
+				profit = c1 - cost // only positive reductions matter
+			} else {
+				profit = unassignedBase - cost
+			}
+			items = append(items, knapsack.Item{ID: t, Size: inst.Demand(t), Profit: profit})
+		}
+		if len(items) == 0 {
+			continue
+		}
+		sol := solver.Solve(capacity, items)
+		for _, t := range sol.IDs {
+			// The task moves to e; its previous bin (if any) keeps
+			// the hole — bins are processed once, as in Cohen et al.
+			s.assign[t] = e
+			s.c1[t] = c2[t]
+		}
+	}
+	return len(s.Unassigned(tasks)) == 0
+}

@@ -1,0 +1,265 @@
+package gap
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/knapsack"
+	"repro/internal/resource"
+)
+
+// mock is an in-memory Instance for tests.
+type mock struct {
+	demand   map[int]resource.Vector
+	capacity map[int]resource.Vector
+	cost     map[[2]int]float64 // (task, elem) → cost; missing = unavailable
+}
+
+func newMock() *mock {
+	return &mock{
+		demand:   make(map[int]resource.Vector),
+		capacity: make(map[int]resource.Vector),
+		cost:     make(map[[2]int]float64),
+	}
+}
+
+func (m *mock) Demand(t int) resource.Vector   { return m.demand[t] }
+func (m *mock) Capacity(e int) resource.Vector { return m.capacity[e] }
+func (m *mock) Cost(t, e int) (float64, bool) {
+	c, ok := m.cost[[2]int{t, e}]
+	return c, ok
+}
+
+func TestAssignsAllWhenCapacitySuffices(t *testing.T) {
+	m := newMock()
+	tasks := []int{0, 1, 2}
+	elems := []int{10, 11}
+	for _, task := range tasks {
+		m.demand[task] = resource.Of(40, 0, 0, 0)
+	}
+	for _, e := range elems {
+		m.capacity[e] = resource.Of(100, 0, 0, 0)
+	}
+	for _, task := range tasks {
+		for _, e := range elems {
+			m.cost[[2]int{task, e}] = float64(task + e)
+		}
+	}
+	s := NewState()
+	if !s.Process(m, tasks, elems, knapsack.Greedy{}) {
+		t.Fatalf("expected full assignment, unassigned: %v", s.Unassigned(tasks))
+	}
+	// Capacity: each element fits 2 tasks of 40; 3 tasks over 2 elems.
+	counts := make(map[int]int)
+	for _, e := range s.Assignment() {
+		counts[e]++
+	}
+	for e, n := range counts {
+		if n > 2 {
+			t.Errorf("element %d overloaded with %d tasks", e, n)
+		}
+	}
+}
+
+func TestRespectsAvailability(t *testing.T) {
+	m := newMock()
+	m.demand[0] = resource.Of(10, 0, 0, 0)
+	m.capacity[5] = resource.Of(100, 0, 0, 0)
+	// No cost entry: element unavailable for the task.
+	s := NewState()
+	if s.Process(m, []int{0}, []int{5}, knapsack.Greedy{}) {
+		t.Error("task assigned to unavailable element")
+	}
+	if s.Assigned(0) {
+		t.Error("Assigned(0) should be false")
+	}
+	if !math.IsInf(s.Cost(0), 1) {
+		t.Errorf("Cost of unassigned = %v, want +Inf", s.Cost(0))
+	}
+}
+
+func TestPrefersCheaperElement(t *testing.T) {
+	m := newMock()
+	m.demand[0] = resource.Of(10, 0, 0, 0)
+	m.capacity[1] = resource.Of(100, 0, 0, 0)
+	m.capacity[2] = resource.Of(100, 0, 0, 0)
+	m.cost[[2]int{0, 1}] = 50
+	m.cost[[2]int{0, 2}] = 5
+	s := NewState()
+	// Element 1 processed first grabs the task...
+	s.Process(m, []int{0}, []int{1}, knapsack.Greedy{})
+	if got := s.Assignment()[0]; got != 1 {
+		t.Fatalf("assigned to %d, want 1", got)
+	}
+	// ...but the cheaper element 2 steals it in the next pass.
+	s.Process(m, []int{0}, []int{2}, knapsack.Greedy{})
+	if got := s.Assignment()[0]; got != 2 {
+		t.Errorf("after second pass assigned to %d, want 2 (steal)", got)
+	}
+	if s.Cost(0) != 5 {
+		t.Errorf("cost = %v, want 5", s.Cost(0))
+	}
+	if s.TotalCost() != 5 {
+		t.Errorf("TotalCost = %v, want 5", s.TotalCost())
+	}
+}
+
+func TestNoStealWhenNotCheaper(t *testing.T) {
+	m := newMock()
+	m.demand[0] = resource.Of(10, 0, 0, 0)
+	m.capacity[1] = resource.Of(100, 0, 0, 0)
+	m.capacity[2] = resource.Of(100, 0, 0, 0)
+	m.cost[[2]int{0, 1}] = 5
+	m.cost[[2]int{0, 2}] = 50
+	s := NewState()
+	s.Process(m, []int{0}, []int{1}, knapsack.Greedy{})
+	s.Process(m, []int{0}, []int{2}, knapsack.Greedy{})
+	if got := s.Assignment()[0]; got != 1 {
+		t.Errorf("assigned to %d, want to stay on 1", got)
+	}
+}
+
+func TestElementsProcessedOnce(t *testing.T) {
+	m := newMock()
+	m.demand[0] = resource.Of(60, 0, 0, 0)
+	m.demand[1] = resource.Of(60, 0, 0, 0)
+	m.capacity[1] = resource.Of(100, 0, 0, 0)
+	m.cost[[2]int{0, 1}] = 1
+	m.cost[[2]int{1, 1}] = 2
+	s := NewState()
+	// Only one of the two tasks fits.
+	if s.Process(m, []int{0, 1}, []int{1}, knapsack.Greedy{}) {
+		t.Fatal("both tasks cannot fit on one element")
+	}
+	first := s.Assignment()
+	// Re-processing the same element must not change anything (the
+	// element would appear to have full capacity again, which would
+	// overcommit it).
+	s.Process(m, []int{0, 1}, []int{1}, knapsack.Greedy{})
+	second := s.Assignment()
+	if len(first) != len(second) {
+		t.Errorf("assignment changed on reprocessing: %v vs %v", first, second)
+	}
+	for k, v := range first {
+		if second[k] != v {
+			t.Errorf("assignment changed on reprocessing: %v vs %v", first, second)
+		}
+	}
+}
+
+func TestIncrementalGrowthAssignsLeftovers(t *testing.T) {
+	// Mirrors Fig. 4: the candidate set grows until SolveGAP maps
+	// all tasks.
+	m := newMock()
+	tasks := []int{0, 1, 2, 3}
+	for _, task := range tasks {
+		m.demand[task] = resource.Of(80, 0, 0, 0)
+	}
+	for e := 10; e < 14; e++ {
+		m.capacity[e] = resource.Of(100, 0, 0, 0)
+		for _, task := range tasks {
+			m.cost[[2]int{task, e}] = float64(e)
+		}
+	}
+	s := NewState()
+	if s.Process(m, tasks, []int{10}, knapsack.Greedy{}) {
+		t.Fatal("one element cannot host four tasks")
+	}
+	if s.Process(m, tasks, []int{10, 11}, knapsack.Greedy{}) {
+		t.Fatal("two elements cannot host four tasks")
+	}
+	if !s.Process(m, tasks, []int{10, 11, 12, 13}, knapsack.Greedy{}) {
+		t.Fatalf("four elements must host four tasks; unassigned %v", s.Unassigned(tasks))
+	}
+}
+
+// randomInstance builds a random feasible-ish instance.
+func randomInstance(r *rand.Rand, nTasks, nElems int) (*mock, []int, []int) {
+	m := newMock()
+	tasks := make([]int, nTasks)
+	elems := make([]int, nElems)
+	for i := range tasks {
+		tasks[i] = i
+		m.demand[i] = resource.Of(int64(10+r.Intn(70)), int64(r.Intn(32)), 0, 0)
+	}
+	for j := range elems {
+		e := 100 + j
+		elems[j] = e
+		m.capacity[e] = resource.Of(100, 64, 0, 0)
+		for i := range tasks {
+			if r.Intn(5) > 0 { // 80% availability
+				m.cost[[2]int{i, e}] = float64(1 + r.Intn(100))
+			}
+		}
+	}
+	return m, tasks, elems
+}
+
+func TestPropertyAssignmentsNeverOvercommit(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, tasks, elems := randomInstance(r, 2+r.Intn(10), 1+r.Intn(6))
+		s := NewState()
+		// Process in two waves to exercise resumption.
+		half := len(elems) / 2
+		s.Process(m, tasks, elems[:half], knapsack.Greedy{})
+		s.Process(m, tasks, elems, knapsack.Greedy{})
+		// Check per-element load ≤ capacity.
+		load := make(map[int]resource.Vector)
+		for task, e := range s.Assignment() {
+			if cur, ok := load[e]; ok {
+				load[e] = cur.Add(m.demand[task])
+			} else {
+				load[e] = m.demand[task].Clone()
+			}
+		}
+		for e, l := range load {
+			if !l.Fits(m.capacity[e]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyAssignedOnlyToAvailable(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, tasks, elems := randomInstance(r, 2+r.Intn(10), 1+r.Intn(6))
+		s := NewState()
+		s.Process(m, tasks, elems, knapsack.Exact{})
+		for task, e := range s.Assignment() {
+			if _, ok := m.cost[[2]int{task, e}]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyCostMatchesAssignment(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m, tasks, elems := randomInstance(r, 2+r.Intn(8), 1+r.Intn(5))
+		s := NewState()
+		s.Process(m, tasks, elems, knapsack.Greedy{})
+		for task, e := range s.Assignment() {
+			want, ok := m.cost[[2]int{task, e}]
+			if !ok || s.Cost(task) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,126 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/resource"
+)
+
+// BeamformingConfig parameterizes the case-study application. The
+// defaults reproduce the paper's beamformer: 53 tasks in a tree-like
+// structure requiring all 45 DSPs of the CRISP platform (§IV-A).
+type BeamformingConfig struct {
+	// Groups is the number of antenna groups (the CRISP platform
+	// has 5 DSP packages).
+	Groups int
+	// SubHeads is the number of second-level distribution tasks per
+	// group; each subhead feeds FiltersPerSub filter tasks.
+	SubHeads int
+	// FiltersPerSub is the number of per-antenna filter tasks per
+	// subhead.
+	FiltersPerSub int
+	// SourceElement is the platform element ID the stream source is
+	// pinned to (the io-in tile); NoFixedElement leaves it free.
+	SourceElement int
+	// DSPShare is the compute share (0–100] each DSP task demands;
+	// near-100 forces one task per DSP as in the paper.
+	DSPShare int64
+}
+
+// DefaultBeamforming is the paper's configuration: 5 groups × (1 head
+// + 2 subheads + 6 filters) = 45 DSP tasks, plus source, distributor,
+// 5 accumulators and a combiner: 53 tasks total.
+func DefaultBeamforming(sourceElement int) BeamformingConfig {
+	return BeamformingConfig{
+		Groups:        5,
+		SubHeads:      2,
+		FiltersPerSub: 3,
+		SourceElement: sourceElement,
+		DSPShare:      90,
+	}
+}
+
+// Beamforming builds the case-study application: a tree-like
+// beamformer. Antenna data flows down the tree, partial sums flow
+// back up on feedback channels primed with one initial token:
+//
+//	source (io) → distributor (fpga) → G group heads (dsp)
+//	head_g → S subheads (dsp) → F filters each (dsp)   [distribute]
+//	filter → subhead → head (Initial=1)                [combine]
+//	head_g → accumulator_g (mem) → combiner (gpp)
+//
+// With the defaults this yields 53 tasks of which 45 target DSPs at a
+// 90% compute share, so admission requires all 45 DSPs — "a difficult
+// mapping problem" per the paper.
+func Beamforming(cfg BeamformingConfig) *Application {
+	a := New("beamforming")
+
+	dspImpl := func(name string, execTime int64) Implementation {
+		return Implementation{
+			Name:     name,
+			Target:   "dsp",
+			Requires: resource.Of(cfg.DSPShare, 48, 0, 0),
+			Cost:     10,
+			ExecTime: execTime,
+		}
+	}
+
+	source := a.AddTask("source", Input, Implementation{
+		Name:     "adc-stream",
+		Target:   "io",
+		Requires: resource.Of(5, 8, 1, 0),
+		Cost:     1,
+		ExecTime: 5,
+	})
+	a.Tasks[source].FixedElement = cfg.SourceElement
+
+	dist := a.AddTask("distributor", Internal, Implementation{
+		Name:     "fpga-dist",
+		Target:   "fpga",
+		Requires: resource.Of(50, 64, 0, 200),
+		Cost:     5,
+		ExecTime: 4,
+	})
+	a.AddChannelRated(source, dist, 1, 1, 16)
+
+	combiner := a.AddTask("combiner", Output, Implementation{
+		Name:     "arm-combine",
+		Target:   "gpp",
+		Requires: resource.Of(40, 64, 1, 0),
+		Cost:     8,
+		ExecTime: 6,
+	})
+
+	for g := 0; g < cfg.Groups; g++ {
+		head := a.AddTask(fmt.Sprintf("head%d", g), Internal, dspImpl("head-fir", 8))
+		a.AddChannelRated(dist, head, 1, 1, 8)
+
+		acc := a.AddTask(fmt.Sprintf("acc%d", g), Internal, Implementation{
+			Name:     "mem-acc",
+			Target:   "mem",
+			Requires: resource.Of(0, 600, 0, 0),
+			Cost:     2,
+			ExecTime: 3,
+		})
+
+		for s := 0; s < cfg.SubHeads; s++ {
+			sub := a.AddTask(fmt.Sprintf("sub%d-%d", g, s), Internal, dspImpl("sub-fir", 8))
+			a.AddChannelRated(head, sub, 1, 1, 8)
+			for f := 0; f < cfg.FiltersPerSub; f++ {
+				filt := a.AddTask(fmt.Sprintf("filter%d-%d-%d", g, s, f), Internal, dspImpl("chan-fir", 8))
+				a.AddChannelRated(sub, filt, 1, 1, 8)
+				// Partial sums travel back up; the feedback loop is
+				// primed with one token to avoid SDF deadlock.
+				up := a.AddChannelRated(filt, sub, 1, 1, 4)
+				a.Channels[up].Initial = 1
+			}
+			up := a.AddChannelRated(sub, head, 1, 1, 4)
+			a.Channels[up].Initial = 1
+		}
+		a.AddChannelRated(head, acc, 1, 1, 4)
+		a.AddChannelRated(acc, combiner, 1, 1, 4)
+	}
+
+	a.Constraints = Constraints{MinThroughput: 1, MaxLatency: 0}
+	return a
+}

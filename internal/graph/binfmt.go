@@ -1,0 +1,251 @@
+package graph
+
+// Binary application format. The Kairos prototype "specified a binary
+// format for applications, that allows integration of the task graph,
+// specification, and task implementations" and registered a Linux
+// binary handler for it (paper §III-E). This file implements that
+// bundle format: a compact, versioned, little-endian encoding of an
+// Application that cmd/appgen writes and cmd/kairos loads.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/resource"
+)
+
+// Magic identifies an encoded application bundle ("Kairos APPlication").
+var Magic = [4]byte{'K', 'A', 'P', 'P'}
+
+// FormatVersion is the current bundle format version.
+const FormatVersion uint16 = 1
+
+// ErrBadMagic is returned when decoding data that is not a bundle.
+var ErrBadMagic = errors.New("graph: not a Kairos application bundle")
+
+// ErrBadVersion is returned for unsupported bundle versions.
+var ErrBadVersion = errors.New("graph: unsupported bundle version")
+
+const (
+	maxStringLen = 1 << 12
+	maxCount     = 1 << 20
+)
+
+type encoder struct {
+	w   io.Writer
+	err error
+}
+
+func (e *encoder) write(v any) {
+	if e.err != nil {
+		return
+	}
+	e.err = binary.Write(e.w, binary.LittleEndian, v)
+}
+
+func (e *encoder) str(s string) {
+	if len(s) > maxStringLen {
+		if e.err == nil {
+			e.err = fmt.Errorf("graph: string too long (%d bytes)", len(s))
+		}
+		return
+	}
+	e.write(uint16(len(s)))
+	if e.err == nil {
+		_, e.err = io.WriteString(e.w, s)
+	}
+}
+
+func (e *encoder) vec(v resource.Vector) {
+	e.write(uint16(len(v)))
+	for _, x := range v {
+		e.write(x)
+	}
+}
+
+// Encode writes the application bundle to w.
+func Encode(w io.Writer, a *Application) error {
+	if err := a.Validate(); err != nil {
+		return fmt.Errorf("graph: refusing to encode invalid application: %w", err)
+	}
+	e := &encoder{w: w}
+	e.write(Magic)
+	e.write(FormatVersion)
+	e.str(a.Name)
+	e.write(math.Float64bits(a.Constraints.MinThroughput))
+	e.write(a.Constraints.MaxLatency)
+
+	e.write(uint32(len(a.Tasks)))
+	for _, t := range a.Tasks {
+		e.str(t.Name)
+		e.write(uint8(t.Kind))
+		e.write(int32(t.FixedElement))
+		e.write(uint16(len(t.Implementations)))
+		for _, im := range t.Implementations {
+			e.str(im.Name)
+			e.str(im.Target)
+			e.vec(im.Requires)
+			e.write(math.Float64bits(im.Cost))
+			e.write(im.ExecTime)
+		}
+	}
+	e.write(uint32(len(a.Channels)))
+	for _, c := range a.Channels {
+		e.write(uint32(c.Src))
+		e.write(uint32(c.Dst))
+		e.write(uint32(c.Produce))
+		e.write(uint32(c.Consume))
+		e.write(c.TokenSize)
+		e.write(uint32(c.Initial))
+	}
+	return e.err
+}
+
+// Bytes encodes the application into a fresh byte slice.
+func Bytes(a *Application) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, a); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+type decoder struct {
+	r   io.Reader
+	err error
+}
+
+func (d *decoder) read(v any) {
+	if d.err != nil {
+		return
+	}
+	d.err = binary.Read(d.r, binary.LittleEndian, v)
+}
+
+func (d *decoder) str() string {
+	var n uint16
+	d.read(&n)
+	if d.err != nil {
+		return ""
+	}
+	if int(n) > maxStringLen {
+		d.err = fmt.Errorf("graph: string length %d exceeds limit", n)
+		return ""
+	}
+	b := make([]byte, n)
+	if _, err := io.ReadFull(d.r, b); err != nil {
+		d.err = err
+		return ""
+	}
+	return string(b)
+}
+
+func (d *decoder) vec() resource.Vector {
+	var n uint16
+	d.read(&n)
+	if d.err != nil {
+		return nil
+	}
+	if int(n) > 64 {
+		d.err = fmt.Errorf("graph: resource vector with %d axes exceeds limit", n)
+		return nil
+	}
+	v := make(resource.Vector, n)
+	for i := range v {
+		d.read(&v[i])
+	}
+	return v
+}
+
+// Decode reads one application bundle from r.
+func Decode(r io.Reader) (*Application, error) {
+	d := &decoder{r: r}
+	var magic [4]byte
+	d.read(&magic)
+	if d.err != nil {
+		return nil, d.err
+	}
+	if magic != Magic {
+		return nil, ErrBadMagic
+	}
+	var version uint16
+	d.read(&version)
+	if d.err == nil && version != FormatVersion {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, version)
+	}
+
+	a := New(d.str())
+	var thr uint64
+	d.read(&thr)
+	a.Constraints.MinThroughput = math.Float64frombits(thr)
+	d.read(&a.Constraints.MaxLatency)
+
+	var nTasks uint32
+	d.read(&nTasks)
+	if d.err == nil && nTasks > maxCount {
+		return nil, fmt.Errorf("graph: task count %d exceeds limit", nTasks)
+	}
+	for i := uint32(0); i < nTasks && d.err == nil; i++ {
+		name := d.str()
+		var kind uint8
+		var fixed int32
+		var nImpl uint16
+		d.read(&kind)
+		d.read(&fixed)
+		d.read(&nImpl)
+		var impls []Implementation
+		for j := uint16(0); j < nImpl && d.err == nil; j++ {
+			im := Implementation{Name: d.str(), Target: d.str(), Requires: d.vec()}
+			var cost uint64
+			d.read(&cost)
+			im.Cost = math.Float64frombits(cost)
+			d.read(&im.ExecTime)
+			impls = append(impls, im)
+		}
+		id := a.AddTask(name, TaskKind(kind), impls...)
+		a.Tasks[id].FixedElement = int(fixed)
+	}
+
+	var nChans uint32
+	d.read(&nChans)
+	if d.err == nil && nChans > maxCount {
+		return nil, fmt.Errorf("graph: channel count %d exceeds limit", nChans)
+	}
+	for i := uint32(0); i < nChans && d.err == nil; i++ {
+		var src, dst, produce, consume, initial uint32
+		var tokenSize int64
+		d.read(&src)
+		d.read(&dst)
+		d.read(&produce)
+		d.read(&consume)
+		d.read(&tokenSize)
+		d.read(&initial)
+		if d.err == nil {
+			id := a.AddChannelRated(int(src), int(dst), int(produce), int(consume), tokenSize)
+			a.Channels[id].Initial = int(initial)
+		}
+	}
+	if d.err != nil {
+		return nil, fmt.Errorf("graph: truncated bundle: %w", d.err)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: decoded bundle is invalid: %w", err)
+	}
+	return a, nil
+}
+
+// FromBytes decodes an application bundle from b.
+func FromBytes(b []byte) (*Application, error) {
+	return Decode(bytes.NewReader(b))
+}
+
+// IsBundle reports whether b starts with the bundle magic — the check
+// the paper's Linux binary handler performs to "distinguish MPSoC
+// applications from operating system tools".
+func IsBundle(b []byte) bool {
+	return len(b) >= 4 && [4]byte(b[:4]) == Magic
+}

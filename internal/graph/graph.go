@@ -1,0 +1,334 @@
+// Package graph models applications as annotated task graphs
+// A = ⟨T, C⟩ (paper §III): tasks with one or more candidate
+// implementations (different IP providers, QoS levels, memory types or
+// I/O interfaces — paper §I), directed communication channels, and the
+// performance constraints carried by the application specification.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/resource"
+)
+
+// TaskKind classifies tasks the way the application generator does
+// (paper §IV: "the structure of an application can be specified with a
+// number of input, internal, and output tasks").
+type TaskKind uint8
+
+const (
+	// Internal tasks only communicate with other tasks.
+	Internal TaskKind = iota
+	// Input tasks receive external streams (often location-fixed).
+	Input
+	// Output tasks emit external streams (often location-fixed).
+	Output
+)
+
+func (k TaskKind) String() string {
+	switch k {
+	case Input:
+		return "input"
+	case Output:
+		return "output"
+	default:
+		return "internal"
+	}
+}
+
+// NoFixedElement marks a task without a pre-determined location.
+const NoFixedElement = -1
+
+// Implementation is one way to execute a task: it targets one element
+// type and demands a resource vector from it. Cost is the base cost of
+// using this implementation (e.g. energy), which the binding phase
+// minimizes; ExecTime is the firing duration used by the SDF
+// validation phase, in abstract time units.
+type Implementation struct {
+	Name     string
+	Target   string // element type (platform.TypeDSP, ...)
+	Requires resource.Vector
+	Cost     float64
+	ExecTime int64
+}
+
+// Task is one node of the task graph.
+type Task struct {
+	ID   int
+	Name string
+	Kind TaskKind
+	// FixedElement pins the task to a specific platform element
+	// (paper §III-A: I/O locations "may be fixed in the binding
+	// phase"); NoFixedElement when free.
+	FixedElement int
+	// Implementations are the candidate implementations; binding
+	// selects exactly one. Must be non-empty for a valid app.
+	Implementations []Implementation
+}
+
+// Channel is one directed communication channel between two tasks.
+// Produce/Consume are the SDF token rates per firing of the source and
+// destination task; TokenSize scales the communication volume.
+type Channel struct {
+	ID       int
+	Src, Dst int
+	Produce  int
+	Consume  int
+	// TokenSize is the size of one token in abstract units; it
+	// weights the communication-distance term of the mapping cost.
+	TokenSize int64
+	// Initial is the number of tokens initially present on the
+	// channel. Feedback channels (e.g. partial-sum loops) need
+	// initial tokens to avoid deadlock in the SDF model.
+	Initial int
+}
+
+// Constraints are the application's performance requirements verified
+// by the validation phase. Zero values mean "unconstrained".
+type Constraints struct {
+	// MinThroughput is the minimum number of graph iterations per
+	// 1000 time units the application must sustain.
+	MinThroughput float64
+	// MaxLatency is the maximum source-to-sink latency in time
+	// units. The validation phase expresses it as a throughput
+	// constraint, as in the paper (§II, [12]).
+	MaxLatency int64
+}
+
+// Application is an annotated task graph plus its constraints.
+type Application struct {
+	Name        string
+	Tasks       []*Task
+	Channels    []*Channel
+	Constraints Constraints
+
+	// lazily built adjacency caches; invalidated by Normalize.
+	out, in [][]int // channel IDs per task
+	und     [][]int // undirected task adjacency (deduplicated)
+}
+
+// New returns an empty application with the given name.
+func New(name string) *Application { return &Application{Name: name} }
+
+// AddTask appends a task and returns its ID.
+func (a *Application) AddTask(name string, kind TaskKind, impls ...Implementation) int {
+	id := len(a.Tasks)
+	a.Tasks = append(a.Tasks, &Task{
+		ID: id, Name: name, Kind: kind,
+		FixedElement:    NoFixedElement,
+		Implementations: impls,
+	})
+	a.invalidate()
+	return id
+}
+
+// AddChannel appends a unit-rate channel from src to dst and returns
+// its ID.
+func (a *Application) AddChannel(src, dst int) int {
+	return a.AddChannelRated(src, dst, 1, 1, 1)
+}
+
+// AddChannelRated appends a channel with explicit SDF rates and token
+// size, returning its ID.
+func (a *Application) AddChannelRated(src, dst, produce, consume int, tokenSize int64) int {
+	id := len(a.Channels)
+	a.Channels = append(a.Channels, &Channel{
+		ID: id, Src: src, Dst: dst,
+		Produce: produce, Consume: consume, TokenSize: tokenSize,
+	})
+	a.invalidate()
+	return id
+}
+
+func (a *Application) invalidate() { a.out, a.in, a.und = nil, nil, nil }
+
+// Validate checks structural well-formedness: channel endpoints in
+// range, no self-loops, every task with at least one implementation
+// with positive execution time, positive rates.
+func (a *Application) Validate() error {
+	if len(a.Tasks) == 0 {
+		return fmt.Errorf("graph: application %q has no tasks", a.Name)
+	}
+	for i, t := range a.Tasks {
+		if t.ID != i {
+			return fmt.Errorf("graph: task %q has ID %d at index %d", t.Name, t.ID, i)
+		}
+		if len(t.Implementations) == 0 {
+			return fmt.Errorf("graph: task %q has no implementations", t.Name)
+		}
+		for _, impl := range t.Implementations {
+			if impl.Target == "" {
+				return fmt.Errorf("graph: task %q implementation %q has no target type", t.Name, impl.Name)
+			}
+			if impl.ExecTime <= 0 {
+				return fmt.Errorf("graph: task %q implementation %q has non-positive exec time", t.Name, impl.Name)
+			}
+			if !impl.Requires.NonNegative() {
+				return fmt.Errorf("graph: task %q implementation %q has negative requirements", t.Name, impl.Name)
+			}
+		}
+	}
+	for _, c := range a.Channels {
+		if c.Src < 0 || c.Src >= len(a.Tasks) || c.Dst < 0 || c.Dst >= len(a.Tasks) {
+			return fmt.Errorf("graph: channel %d endpoints (%d→%d) out of range", c.ID, c.Src, c.Dst)
+		}
+		if c.Src == c.Dst {
+			return fmt.Errorf("graph: channel %d is a self-loop on task %d", c.ID, c.Src)
+		}
+		if c.Produce <= 0 || c.Consume <= 0 {
+			return fmt.Errorf("graph: channel %d has non-positive rates %d/%d", c.ID, c.Produce, c.Consume)
+		}
+		if c.Initial < 0 {
+			return fmt.Errorf("graph: channel %d has negative initial tokens", c.ID)
+		}
+	}
+	return nil
+}
+
+func (a *Application) buildAdj() {
+	if a.out != nil {
+		return
+	}
+	n := len(a.Tasks)
+	a.out = make([][]int, n)
+	a.in = make([][]int, n)
+	und := make([]map[int]bool, n)
+	for i := range und {
+		und[i] = make(map[int]bool)
+	}
+	for _, c := range a.Channels {
+		a.out[c.Src] = append(a.out[c.Src], c.ID)
+		a.in[c.Dst] = append(a.in[c.Dst], c.ID)
+		und[c.Src][c.Dst] = true
+		und[c.Dst][c.Src] = true
+	}
+	a.und = make([][]int, n)
+	for i, set := range und {
+		for n := range set {
+			a.und[i] = append(a.und[i], n)
+		}
+		sort.Ints(a.und[i])
+	}
+}
+
+// OutChannels returns the IDs of channels leaving task t.
+func (a *Application) OutChannels(t int) []int { a.buildAdj(); return a.out[t] }
+
+// InChannels returns the IDs of channels entering task t.
+func (a *Application) InChannels(t int) []int { a.buildAdj(); return a.in[t] }
+
+// UndirectedNeighbors returns the distinct tasks adjacent to t,
+// ignoring channel direction, in ID order.
+func (a *Application) UndirectedNeighbors(t int) []int { a.buildAdj(); return a.und[t] }
+
+// Degree returns the undirected degree d(t): the number of distinct
+// communication peers of task t.
+func (a *Application) Degree(t int) int { a.buildAdj(); return len(a.und[t]) }
+
+// MinDegree returns δ(T), the smallest degree in the task graph, and
+// the lowest-ID task attaining it. The mapping phase starts from such
+// a task when no task has a fixed location (paper §III-A).
+func (a *Application) MinDegree() (degree, task int) {
+	a.buildAdj()
+	degree, task = len(a.Channels)+1, -1
+	for _, t := range a.Tasks {
+		if d := len(a.und[t.ID]); d < degree {
+			degree, task = d, t.ID
+		}
+	}
+	return degree, task
+}
+
+// Neighborhoods partitions the tasks reachable from t0 into groups of
+// equal undirected distance: result[i] is N_i, the i-th undirected
+// neighborhood of the origin set (paper §III-A, step 1). result[0] is
+// the origin set itself. Tasks unreachable from t0 are appended as
+// additional neighborhoods in BFS order from the lowest-ID unreached
+// task, so disconnected applications still map completely.
+func (a *Application) Neighborhoods(t0 []int) [][]int {
+	a.buildAdj()
+	n := len(a.Tasks)
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	var levels [][]int
+	bfs := func(seeds []int) {
+		base := len(levels)
+		cur := []int{}
+		for _, s := range seeds {
+			if s >= 0 && s < n && dist[s] < 0 {
+				dist[s] = base
+				cur = append(cur, s)
+			}
+		}
+		for len(cur) > 0 {
+			sort.Ints(cur)
+			levels = append(levels, cur)
+			var next []int
+			for _, t := range cur {
+				for _, nb := range a.und[t] {
+					if dist[nb] < 0 {
+						dist[nb] = dist[t] + 1
+						next = append(next, nb)
+					}
+				}
+			}
+			cur = next
+		}
+	}
+	bfs(t0)
+	for {
+		rest := -1
+		for i := 0; i < n; i++ {
+			if dist[i] < 0 {
+				rest = i
+				break
+			}
+		}
+		if rest < 0 {
+			break
+		}
+		bfs([]int{rest})
+	}
+	return levels
+}
+
+// FixedTasks returns the IDs of tasks with a fixed element, in order.
+func (a *Application) FixedTasks() []int {
+	var out []int
+	for _, t := range a.Tasks {
+		if t.FixedElement != NoFixedElement {
+			out = append(out, t.ID)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the application.
+func (a *Application) Clone() *Application {
+	b := New(a.Name)
+	b.Constraints = a.Constraints
+	for _, t := range a.Tasks {
+		impls := make([]Implementation, len(t.Implementations))
+		for i, im := range t.Implementations {
+			impls[i] = im
+			impls[i].Requires = im.Requires.Clone()
+		}
+		b.Tasks = append(b.Tasks, &Task{
+			ID: t.ID, Name: t.Name, Kind: t.Kind,
+			FixedElement: t.FixedElement, Implementations: impls,
+		})
+	}
+	for _, c := range a.Channels {
+		cc := *c
+		b.Channels = append(b.Channels, &cc)
+	}
+	return b
+}
+
+// String summarizes the application.
+func (a *Application) String() string {
+	return fmt.Sprintf("app{%s: %d tasks, %d channels}", a.Name, len(a.Tasks), len(a.Channels))
+}

@@ -1,0 +1,325 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/resource"
+)
+
+func impl(target string) Implementation {
+	return Implementation{
+		Name: "i-" + target, Target: target,
+		Requires: resource.Of(50, 16, 0, 0),
+		Cost:     1, ExecTime: 10,
+	}
+}
+
+// chain builds t0 → t1 → ... → t(n-1).
+func chain(n int) *Application {
+	a := New("chain")
+	for i := 0; i < n; i++ {
+		a.AddTask("t", Internal, impl("dsp"))
+	}
+	for i := 0; i+1 < n; i++ {
+		a.AddChannel(i, i+1)
+	}
+	return a
+}
+
+func TestAddTaskAndChannel(t *testing.T) {
+	a := New("x")
+	t0 := a.AddTask("src", Input, impl("io"))
+	t1 := a.AddTask("dst", Output, impl("dsp"))
+	c := a.AddChannelRated(t0, t1, 2, 3, 7)
+	if t0 != 0 || t1 != 1 || c != 0 {
+		t.Fatalf("IDs = %d,%d,%d", t0, t1, c)
+	}
+	ch := a.Channels[c]
+	if ch.Produce != 2 || ch.Consume != 3 || ch.TokenSize != 7 {
+		t.Errorf("channel fields wrong: %+v", ch)
+	}
+	if err := a.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+}
+
+func TestValidateCatchesProblems(t *testing.T) {
+	if err := New("empty").Validate(); err == nil {
+		t.Error("empty app should be invalid")
+	}
+
+	a := New("noimpl")
+	a.AddTask("t", Internal)
+	if err := a.Validate(); err == nil {
+		t.Error("task without implementations should be invalid")
+	}
+
+	b := chain(2)
+	b.Channels[0].Dst = 9
+	if err := b.Validate(); err == nil {
+		t.Error("out-of-range channel should be invalid")
+	}
+
+	c := chain(2)
+	c.Channels[0].Dst = 0
+	if err := c.Validate(); err == nil {
+		t.Error("self-loop should be invalid")
+	}
+
+	d := chain(2)
+	d.Channels[0].Produce = 0
+	if err := d.Validate(); err == nil {
+		t.Error("zero rate should be invalid")
+	}
+
+	e := chain(1)
+	e.Tasks[0].Implementations[0].ExecTime = 0
+	if err := e.Validate(); err == nil {
+		t.Error("zero exec time should be invalid")
+	}
+}
+
+func TestAdjacency(t *testing.T) {
+	// Diamond: 0→1, 0→2, 1→3, 2→3.
+	a := New("diamond")
+	for i := 0; i < 4; i++ {
+		a.AddTask("t", Internal, impl("dsp"))
+	}
+	a.AddChannel(0, 1)
+	a.AddChannel(0, 2)
+	a.AddChannel(1, 3)
+	a.AddChannel(2, 3)
+
+	if got := a.OutChannels(0); len(got) != 2 {
+		t.Errorf("OutChannels(0) = %v", got)
+	}
+	if got := a.InChannels(3); len(got) != 2 {
+		t.Errorf("InChannels(3) = %v", got)
+	}
+	if got := a.UndirectedNeighbors(1); len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Errorf("UndirectedNeighbors(1) = %v, want [0 3]", got)
+	}
+	if a.Degree(0) != 2 || a.Degree(3) != 2 {
+		t.Errorf("degrees: %d, %d", a.Degree(0), a.Degree(3))
+	}
+}
+
+func TestDegreeDeduplicatesParallelChannels(t *testing.T) {
+	a := New("par")
+	a.AddTask("a", Internal, impl("dsp"))
+	a.AddTask("b", Internal, impl("dsp"))
+	a.AddChannel(0, 1)
+	a.AddChannel(0, 1) // parallel channel
+	a.AddChannel(1, 0) // reverse channel
+	if a.Degree(0) != 1 {
+		t.Errorf("Degree with parallel channels = %d, want 1", a.Degree(0))
+	}
+}
+
+func TestMinDegree(t *testing.T) {
+	// Star: center 0 connected to 1,2,3; leaf degree 1.
+	a := New("star")
+	for i := 0; i < 4; i++ {
+		a.AddTask("t", Internal, impl("dsp"))
+	}
+	for i := 1; i < 4; i++ {
+		a.AddChannel(0, i)
+	}
+	deg, task := a.MinDegree()
+	if deg != 1 || task != 1 {
+		t.Errorf("MinDegree = %d at task %d, want 1 at task 1", deg, task)
+	}
+}
+
+func TestNeighborhoodsChain(t *testing.T) {
+	a := chain(5)
+	levels := a.Neighborhoods([]int{0})
+	if len(levels) != 5 {
+		t.Fatalf("levels = %v, want 5 singleton levels", levels)
+	}
+	for i, l := range levels {
+		if len(l) != 1 || l[i-i] != i {
+			t.Errorf("level %d = %v, want [%d]", i, l, i)
+		}
+	}
+}
+
+func TestNeighborhoodsMultiOrigin(t *testing.T) {
+	a := chain(5)
+	levels := a.Neighborhoods([]int{0, 4})
+	// N0={0,4}, N1={1,3}, N2={2}
+	if len(levels) != 3 {
+		t.Fatalf("levels = %v, want 3", levels)
+	}
+	if len(levels[0]) != 2 || len(levels[1]) != 2 || len(levels[2]) != 1 {
+		t.Errorf("level sizes wrong: %v", levels)
+	}
+	if levels[2][0] != 2 {
+		t.Errorf("middle task should be last: %v", levels)
+	}
+}
+
+func TestNeighborhoodsDisconnected(t *testing.T) {
+	a := New("disc")
+	for i := 0; i < 4; i++ {
+		a.AddTask("t", Internal, impl("dsp"))
+	}
+	a.AddChannel(0, 1) // component {0,1}; tasks 2,3 isolated
+	levels := a.Neighborhoods([]int{0})
+	var count int
+	seen := make(map[int]bool)
+	for _, l := range levels {
+		for _, t := range l {
+			if seen[t] {
+				count = -999
+			}
+			seen[t] = true
+			count++
+		}
+	}
+	if count != 4 {
+		t.Errorf("Neighborhoods must cover all tasks exactly once, got %v", levels)
+	}
+}
+
+func TestFixedTasks(t *testing.T) {
+	a := chain(3)
+	if got := a.FixedTasks(); len(got) != 0 {
+		t.Errorf("FixedTasks = %v, want none", got)
+	}
+	a.Tasks[1].FixedElement = 7
+	if got := a.FixedTasks(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("FixedTasks = %v, want [1]", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := chain(3)
+	a.Constraints.MinThroughput = 2.5
+	b := a.Clone()
+	b.Tasks[0].Implementations[0].Requires[0] = 999
+	b.Channels[0].TokenSize = 999
+	b.Tasks[1].FixedElement = 5
+	if a.Tasks[0].Implementations[0].Requires[0] == 999 {
+		t.Error("clone shares implementation requirement vectors")
+	}
+	if a.Channels[0].TokenSize == 999 {
+		t.Error("clone shares channels")
+	}
+	if a.Tasks[1].FixedElement == 5 {
+		t.Error("clone shares tasks")
+	}
+	if b.Constraints.MinThroughput != 2.5 {
+		t.Error("clone lost constraints")
+	}
+}
+
+func TestBeamformingShape(t *testing.T) {
+	app := Beamforming(DefaultBeamforming(2))
+	if err := app.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(app.Tasks) != 53 {
+		t.Errorf("beamforming tasks = %d, want 53", len(app.Tasks))
+	}
+	dsp := 0
+	for _, task := range app.Tasks {
+		if task.Implementations[0].Target == "dsp" {
+			dsp++
+		}
+	}
+	if dsp != 45 {
+		t.Errorf("beamforming DSP tasks = %d, want 45", dsp)
+	}
+	if got := app.FixedTasks(); len(got) != 1 || app.Tasks[got[0]].Name != "source" {
+		t.Errorf("fixed tasks = %v, want only the source", got)
+	}
+	// Tree-like: every task reachable from the source.
+	levels := app.Neighborhoods(app.FixedTasks())
+	covered := 0
+	for _, l := range levels {
+		covered += len(l)
+	}
+	if covered != 53 {
+		t.Errorf("neighborhoods cover %d tasks, want 53", covered)
+	}
+}
+
+func TestBundleRoundTrip(t *testing.T) {
+	app := Beamforming(DefaultBeamforming(2))
+	app.Constraints.MinThroughput = 3.25
+	app.Constraints.MaxLatency = 120
+	b, err := Bytes(app)
+	if err != nil {
+		t.Fatalf("Bytes: %v", err)
+	}
+	if !IsBundle(b) {
+		t.Error("IsBundle should accept encoded bundle")
+	}
+	got, err := FromBytes(b)
+	if err != nil {
+		t.Fatalf("FromBytes: %v", err)
+	}
+	if got.Name != app.Name || len(got.Tasks) != len(app.Tasks) || len(got.Channels) != len(app.Channels) {
+		t.Fatalf("round trip mismatch: %v vs %v", got, app)
+	}
+	if got.Constraints != app.Constraints {
+		t.Errorf("constraints = %+v, want %+v", got.Constraints, app.Constraints)
+	}
+	for i, task := range app.Tasks {
+		g := got.Tasks[i]
+		if g.Name != task.Name || g.Kind != task.Kind || g.FixedElement != task.FixedElement {
+			t.Fatalf("task %d mismatch: %+v vs %+v", i, g, task)
+		}
+		for j, im := range task.Implementations {
+			gim := g.Implementations[j]
+			if gim.Name != im.Name || gim.Target != im.Target || gim.Cost != im.Cost ||
+				gim.ExecTime != im.ExecTime || !gim.Requires.Equal(im.Requires) {
+				t.Fatalf("impl %d/%d mismatch: %+v vs %+v", i, j, gim, im)
+			}
+		}
+	}
+	for i, c := range app.Channels {
+		if *got.Channels[i] != *c {
+			t.Fatalf("channel %d mismatch: %+v vs %+v", i, got.Channels[i], c)
+		}
+	}
+}
+
+func TestBundleRejectsGarbage(t *testing.T) {
+	if _, err := FromBytes([]byte("ELF\x7f garbage")); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("garbage error = %v, want ErrBadMagic", err)
+	}
+	if IsBundle([]byte("EL")) {
+		t.Error("short data should not be a bundle")
+	}
+	// Corrupt version.
+	app := chain(2)
+	b, err := Bytes(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[4] = 0xFF
+	if _, err := FromBytes(b); !errors.Is(err, ErrBadVersion) {
+		t.Errorf("bad version error = %v, want ErrBadVersion", err)
+	}
+	// Truncation at every prefix must error, never panic.
+	b, err = Bytes(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 5; n < len(b); n += 3 {
+		if _, err := FromBytes(b[:n]); err == nil {
+			t.Errorf("truncated bundle (%d bytes) decoded without error", n)
+		}
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	a := New("bad")
+	a.AddTask("t", Internal) // no implementations
+	if _, err := Bytes(a); err == nil {
+		t.Error("encoding an invalid application should fail")
+	}
+}

@@ -1,0 +1,181 @@
+// Package knapsack provides the knapsack subroutine of the GAP solver
+// (paper §III-C): given one element (the bin) with a free-resource
+// vector (the bin size) and a set of tasks (the items) with resource
+// requirement vectors and profits, select a subset of tasks that fits
+// and maximizes total profit.
+//
+// The paper's implementation is an O(T²) heuristic; Cohen, Katzir and
+// Raz show the GAP approximation inherits the knapsack solver's
+// approximation ratio α as (1+α). This package ships the O(T²) greedy
+// used by the paper and an exact branch-and-bound solver for the
+// quality ablation (DESIGN.md §5.1).
+package knapsack
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/resource"
+)
+
+// Item is one candidate task for the bin. ID is the caller's handle
+// (e.g. a task ID) and is returned in solutions.
+type Item struct {
+	ID     int
+	Size   resource.Vector
+	Profit float64
+}
+
+// Solution is a selected subset of items.
+type Solution struct {
+	// IDs of the selected items, in selection order.
+	IDs []int
+	// Profit is the total profit of the selection.
+	Profit float64
+}
+
+// Solver selects a profitable subset of items fitting in capacity.
+// Implementations must ignore items with non-positive profit: taking
+// nothing is always allowed in GAP, so unprofitable items never help.
+type Solver interface {
+	Solve(capacity resource.Vector, items []Item) Solution
+	Name() string
+}
+
+// scalarSize reduces a size vector to a comparable scalar: the maximum
+// utilization over the bin's axes. Items that stress the bin's scarce
+// axes look "bigger".
+func scalarSize(size, capacity resource.Vector) float64 {
+	s := size.Utilization(capacity)
+	if s <= 0 {
+		// Free items (zero demand on all provided axes) get an
+		// epsilon so density stays finite and they sort first.
+		return 1e-9
+	}
+	return s
+}
+
+// Greedy is the O(T²) density-greedy solver of the paper: repeatedly
+// scan all remaining items and take the feasible one with the best
+// profit/size ratio. Rescanning after each take (rather than sorting
+// once) lets the "size" of an item adapt to the shrinking residual
+// capacity, which matters with multi-axis bins.
+type Greedy struct{}
+
+// Name implements Solver.
+func (Greedy) Name() string { return "greedy" }
+
+// Solve implements Solver in O(n²) time.
+func (Greedy) Solve(capacity resource.Vector, items []Item) Solution {
+	free := capacity.Clone()
+	taken := make([]bool, len(items))
+	var sol Solution
+	for {
+		best, bestDensity := -1, 0.0
+		for i, it := range items {
+			if taken[i] || it.Profit <= 0 || !it.Size.Fits(free) {
+				continue
+			}
+			d := it.Profit / scalarSize(it.Size, free)
+			if best < 0 || d > bestDensity {
+				best, bestDensity = i, d
+			}
+		}
+		if best < 0 {
+			break
+		}
+		taken[best] = true
+		free.SubInPlace(items[best].Size)
+		sol.IDs = append(sol.IDs, items[best].ID)
+		sol.Profit += items[best].Profit
+	}
+	return sol
+}
+
+// Exact is a branch-and-bound solver: optimal, exponential worst case,
+// intended for the small sub-problems produced by the neighborhood
+// decomposition (|Ti| is rarely above 16) and for ablation studies.
+type Exact struct{}
+
+// Name implements Solver.
+func (Exact) Name() string { return "exact" }
+
+// Solve implements Solver optimally.
+func (Exact) Solve(capacity resource.Vector, items []Item) Solution {
+	// Consider only profitable items, ordered by density against
+	// the full bin for a tight fractional bound.
+	idx := make([]int, 0, len(items))
+	for i, it := range items {
+		if it.Profit > 0 && it.Size.Fits(capacity) {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		da := items[idx[a]].Profit / scalarSize(items[idx[a]].Size, capacity)
+		db := items[idx[b]].Profit / scalarSize(items[idx[b]].Size, capacity)
+		return da > db
+	})
+
+	suffixProfit := make([]float64, len(idx)+1)
+	for i := len(idx) - 1; i >= 0; i-- {
+		suffixProfit[i] = suffixProfit[i+1] + items[idx[i]].Profit
+	}
+
+	var best Solution
+	best.Profit = -1
+	cur := Solution{}
+	free := capacity.Clone()
+
+	var rec func(k int)
+	rec = func(k int) {
+		if cur.Profit > best.Profit {
+			best.Profit = cur.Profit
+			best.IDs = append([]int(nil), cur.IDs...)
+		}
+		if k == len(idx) {
+			return
+		}
+		// Bound: even taking every remaining profitable item cannot
+		// beat the incumbent.
+		if cur.Profit+suffixProfit[k] <= best.Profit {
+			return
+		}
+		it := items[idx[k]]
+		if it.Size.Fits(free) {
+			free.SubInPlace(it.Size)
+			cur.IDs = append(cur.IDs, it.ID)
+			cur.Profit += it.Profit
+			rec(k + 1)
+			cur.Profit -= it.Profit
+			cur.IDs = cur.IDs[:len(cur.IDs)-1]
+			free.AddInPlace(it.Size)
+		}
+		rec(k + 1)
+	}
+	rec(0)
+	if best.Profit < 0 {
+		best.Profit = 0
+	}
+	if math.Abs(best.Profit) < 1e-12 {
+		best.Profit = 0
+	}
+	return best
+}
+
+// Feasible reports whether the solution's items (looked up by ID in
+// items) fit together in capacity. Test helper and invariant check.
+func Feasible(capacity resource.Vector, items []Item, sol Solution) bool {
+	byID := make(map[int]Item, len(items))
+	for _, it := range items {
+		byID[it.ID] = it
+	}
+	free := capacity.Clone()
+	for _, id := range sol.IDs {
+		it, ok := byID[id]
+		if !ok || !it.Size.Fits(free) {
+			return false
+		}
+		free.SubInPlace(it.Size)
+	}
+	return true
+}

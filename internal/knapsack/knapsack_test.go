@@ -1,0 +1,194 @@
+package knapsack
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/resource"
+)
+
+func item(id int, compute, memory int64, profit float64) Item {
+	return Item{ID: id, Size: resource.Of(compute, memory, 0, 0), Profit: profit}
+}
+
+var solvers = []Solver{Greedy{}, Exact{}}
+
+func TestEmptyAndTrivial(t *testing.T) {
+	capacity := resource.Of(100, 64, 0, 0)
+	for _, s := range solvers {
+		sol := s.Solve(capacity, nil)
+		if len(sol.IDs) != 0 || sol.Profit != 0 {
+			t.Errorf("%s: empty input gave %+v", s.Name(), sol)
+		}
+		sol = s.Solve(capacity, []Item{item(1, 10, 10, 5)})
+		if len(sol.IDs) != 1 || sol.Profit != 5 {
+			t.Errorf("%s: single item gave %+v", s.Name(), sol)
+		}
+	}
+}
+
+func TestIgnoresNonPositiveProfit(t *testing.T) {
+	capacity := resource.Of(100, 64, 0, 0)
+	items := []Item{item(1, 1, 1, 0), item(2, 1, 1, -5), item(3, 1, 1, 2)}
+	for _, s := range solvers {
+		sol := s.Solve(capacity, items)
+		if len(sol.IDs) != 1 || sol.IDs[0] != 3 {
+			t.Errorf("%s: selected %v, want only item 3", s.Name(), sol.IDs)
+		}
+	}
+}
+
+func TestRespectsCapacityEveryAxis(t *testing.T) {
+	capacity := resource.Of(100, 10, 0, 0)
+	items := []Item{
+		item(1, 10, 8, 100), // memory hog
+		item(2, 10, 8, 90),  // cannot join item 1 (memory)
+		item(3, 80, 1, 50),
+	}
+	for _, s := range solvers {
+		sol := s.Solve(capacity, items)
+		if !Feasible(capacity, items, sol) {
+			t.Errorf("%s: infeasible solution %v", s.Name(), sol.IDs)
+		}
+	}
+}
+
+func TestExactBeatsGreedyOnAdversarialCase(t *testing.T) {
+	// Classic density trap: one dense small item blocks two items
+	// whose combination is better.
+	capacity := resource.Of(10, 0, 0, 0)
+	items := []Item{
+		item(1, 6, 0, 7), // density 7/0.6 — greedy takes it first
+		item(2, 5, 0, 5), // then neither 2 nor 3 fits
+		item(3, 5, 0, 5), // optimal: {2,3} profit 10
+	}
+	g := Greedy{}.Solve(capacity, items)
+	e := Exact{}.Solve(capacity, items)
+	if e.Profit != 10 {
+		t.Errorf("Exact profit = %v, want 10 (IDs %v)", e.Profit, e.IDs)
+	}
+	if g.Profit >= e.Profit {
+		t.Errorf("expected greedy (%v) below exact (%v) on trap instance", g.Profit, e.Profit)
+	}
+}
+
+func TestZeroSizeItems(t *testing.T) {
+	// Items with zero demand are free profit; every solver must take
+	// them all.
+	capacity := resource.Of(1, 1, 0, 0)
+	items := []Item{item(1, 0, 0, 3), item(2, 0, 0, 4), item(3, 1, 1, 5)}
+	for _, s := range solvers {
+		sol := s.Solve(capacity, items)
+		if sol.Profit != 12 {
+			t.Errorf("%s: profit = %v, want 12", s.Name(), sol.Profit)
+		}
+	}
+}
+
+func TestOversizeItemSkipped(t *testing.T) {
+	capacity := resource.Of(10, 10, 0, 0)
+	items := []Item{item(1, 11, 0, 1000), item(2, 10, 10, 1)}
+	for _, s := range solvers {
+		sol := s.Solve(capacity, items)
+		if len(sol.IDs) != 1 || sol.IDs[0] != 2 {
+			t.Errorf("%s: selected %v, want [2]", s.Name(), sol.IDs)
+		}
+	}
+}
+
+func randItems(r *rand.Rand, n int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{
+			ID:     i,
+			Size:   resource.Of(int64(r.Intn(80)), int64(r.Intn(50)), 0, 0),
+			Profit: float64(r.Intn(40)) - 5, // some non-positive
+		}
+	}
+	return items
+}
+
+func TestPropertySolutionsFeasible(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		capacity := resource.Of(int64(20+r.Intn(150)), int64(10+r.Intn(100)), 0, 0)
+		items := randItems(r, 3+r.Intn(10))
+		for _, s := range solvers {
+			if !Feasible(capacity, items, s.Solve(capacity, items)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyExactDominatesGreedy(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		capacity := resource.Of(int64(20+r.Intn(150)), int64(10+r.Intn(100)), 0, 0)
+		items := randItems(r, 3+r.Intn(9))
+		g := Greedy{}.Solve(capacity, items)
+		e := Exact{}.Solve(capacity, items)
+		return e.Profit >= g.Profit-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyNoDuplicateSelections(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		capacity := resource.Of(int64(20+r.Intn(150)), int64(10+r.Intn(100)), 0, 0)
+		items := randItems(r, 3+r.Intn(10))
+		for _, s := range solvers {
+			sol := s.Solve(capacity, items)
+			seen := make(map[int]bool)
+			for _, id := range sol.IDs {
+				if seen[id] {
+					return false
+				}
+				seen[id] = true
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFeasibleRejectsBadSolution(t *testing.T) {
+	capacity := resource.Of(10, 0, 0, 0)
+	items := []Item{item(1, 6, 0, 1), item(2, 6, 0, 1)}
+	if Feasible(capacity, items, Solution{IDs: []int{1, 2}}) {
+		t.Error("Feasible accepted an overfull selection")
+	}
+	if Feasible(capacity, items, Solution{IDs: []int{9}}) {
+		t.Error("Feasible accepted an unknown item")
+	}
+}
+
+func BenchmarkGreedy16(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	capacity := resource.Of(200, 128, 0, 0)
+	items := randItems(r, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Greedy{}.Solve(capacity, items)
+	}
+}
+
+func BenchmarkExact16(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	capacity := resource.Of(200, 128, 0, 0)
+	items := randItems(r, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Exact{}.Solve(capacity, items)
+	}
+}

@@ -1,0 +1,100 @@
+package mapping
+
+import (
+	"sort"
+
+	"repro/internal/binding"
+	"repro/internal/graph"
+	"repro/internal/platform"
+)
+
+// FirstFit is a baseline mapper: it walks the task graph in the same
+// neighborhood order as MapApplication but assigns each task
+// individually to the nearest available element — no GAP, no cost
+// function, no stealing. It represents the naive alternative to the
+// paper's contribution; the "None" configuration of Figs. 8–9 still
+// runs the full GAP machinery with a disabled cost function, so this
+// baseline is strictly simpler and isolates the value of the
+// assignment-problem formulation (see BenchmarkFirstFitBaseline).
+//
+// On failure, placements are rolled back, like MapApplication.
+func FirstFit(app *graph.Application, p *platform.Platform, bind *binding.Binding, instance string) (*Result, error) {
+	if instance == "" {
+		return nil, &Error{Task: -1, Reason: "instance must be set"}
+	}
+	m := &mapper{
+		app: app, p: p, bind: bind,
+		opts:   Options{Instance: instance}.withDefaults(),
+		dm:     platform.NewDistanceMatrix(),
+		elemOf: make([]int, len(app.Tasks)),
+	}
+	for i := range m.elemOf {
+		m.elemOf[i] = -1
+	}
+
+	origins, err := m.seedM0()
+	if err != nil {
+		m.rollback()
+		return nil, err
+	}
+	m.res.Origins = origins
+
+	levels := app.Neighborhoods(origins)
+	for li := 1; li < len(levels); li++ {
+		for _, task := range levels[li] {
+			if m.elemOf[task] >= 0 {
+				continue
+			}
+			if err := m.firstFitPlace(task); err != nil {
+				m.rollback()
+				return nil, err
+			}
+		}
+	}
+	m.res.Assignment = m.elemOf
+	return &m.res, nil
+}
+
+// firstFitPlace puts one task on the nearest available element,
+// searching outward from the elements of its mapped peers (or from
+// all mapped elements when it has none).
+func (m *mapper) firstFitPlace(task int) error {
+	var origins []int
+	for _, nb := range m.app.UndirectedNeighbors(task) {
+		if e := m.elemOf[nb]; e >= 0 {
+			origins = append(origins, e)
+		}
+	}
+	if len(origins) == 0 {
+		for _, e := range m.elemOf {
+			if e >= 0 {
+				origins = append(origins, e)
+			}
+		}
+	}
+	sort.Ints(origins)
+	if len(origins) == 0 {
+		return &Error{Task: task, Reason: "first-fit: nothing mapped to search from"}
+	}
+	dist := m.p.BFSDistances(origins)
+	type cand struct{ d, id int }
+	var cands []cand
+	for id, d := range dist {
+		if d == platform.Unreachable {
+			continue
+		}
+		cands = append(cands, cand{d, id})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].d != cands[j].d {
+			return cands[i].d < cands[j].d
+		}
+		return cands[i].id < cands[j].id
+	})
+	for _, c := range cands {
+		if m.av(m.p.Element(c.id), task) {
+			return m.place(task, c.id)
+		}
+	}
+	return &Error{Task: task, Reason: "first-fit: no available element"}
+}

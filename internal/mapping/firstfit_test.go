@@ -1,0 +1,104 @@
+package mapping
+
+import (
+	"testing"
+
+	"repro/internal/binding"
+	"repro/internal/graph"
+	"repro/internal/platform"
+)
+
+func TestFirstFitMapsChain(t *testing.T) {
+	p := platform.Mesh(3, 1, 2)
+	app := graph.New("chain")
+	for i := 0; i < 3; i++ {
+		app.AddTask("t", graph.Internal, dspImpl(80))
+	}
+	app.AddChannel(0, 1)
+	app.AddChannel(1, 2)
+	b := mustBind(t, app, p)
+	res, err := FirstFit(app, p, b, "ff")
+	if err != nil {
+		t.Fatalf("FirstFit: %v", err)
+	}
+	checkConsistent(t, app, p, res, "ff")
+}
+
+func TestFirstFitRollsBack(t *testing.T) {
+	// Island construction: binding passes, first-fit cannot reach
+	// the isolated element.
+	p := platform.New()
+	a := p.AddElement(platform.TypeDSP, "a", platform.DSPCapacity)
+	b := p.AddElement(platform.TypeDSP, "b", platform.DSPCapacity)
+	p.AddElement(platform.TypeDSP, "island", platform.DSPCapacity)
+	p.MustConnect(a, b, 2)
+	app := graph.New("big")
+	for i := 0; i < 3; i++ {
+		app.AddTask("t", graph.Internal, dspImpl(80))
+	}
+	app.AddChannel(0, 1)
+	app.AddChannel(1, 2)
+	bind := mustBind(t, app, p)
+	if _, err := FirstFit(app, p, bind, "ff"); err == nil {
+		t.Fatal("expected first-fit failure")
+	}
+	for _, e := range p.Elements() {
+		if e.InUse() {
+			t.Errorf("element %d in use after rollback", e.ID)
+		}
+	}
+}
+
+func TestFirstFitRequiresInstance(t *testing.T) {
+	p := platform.Mesh(2, 2, 2)
+	app := graph.New("a")
+	app.AddTask("t", graph.Internal, dspImpl(10))
+	b := mustBind(t, app, p)
+	if _, err := FirstFit(app, p, b, ""); err == nil {
+		t.Error("missing instance must be rejected")
+	}
+}
+
+func TestFirstFitBeamformingComparison(t *testing.T) {
+	// On CRISP, first-fit maps the beamformer (capacity exists) but
+	// produces more cross-package channels than MapApplication with
+	// both objectives — the quantitative argument for the paper's
+	// approach.
+	crossOf := func(mapper func(*graph.Application, *platform.Platform, *binding.Binding) (*Result, error)) int {
+		t.Helper()
+		p := platform.CRISP()
+		ioIn := -1
+		for _, e := range p.Elements() {
+			if e.Name == "io-in" {
+				ioIn = e.ID
+			}
+		}
+		app := graph.Beamforming(graph.DefaultBeamforming(ioIn))
+		b, err := binding.Bind(app, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := mapper(app, p, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cross := 0
+		for _, ch := range app.Channels {
+			if p.Element(res.Assignment[ch.Src]).Package != p.Element(res.Assignment[ch.Dst]).Package {
+				cross++
+			}
+		}
+		return cross
+	}
+
+	ffCross := crossOf(func(a *graph.Application, p *platform.Platform, b *binding.Binding) (*Result, error) {
+		return FirstFit(a, p, b, "ff")
+	})
+	gapCross := crossOf(func(a *graph.Application, p *platform.Platform, b *binding.Binding) (*Result, error) {
+		return MapApplication(a, p, b, Options{Instance: "gap", Weights: WeightsBoth})
+	})
+	if gapCross >= ffCross {
+		t.Errorf("MapApplication cross-package channels (%d) should beat first-fit (%d)",
+			gapCross, ffCross)
+	}
+}

@@ -1,0 +1,606 @@
+// Package mapping implements the paper's main contribution (§III):
+// an incremental, divide-and-conquer task-mapping heuristic that
+// assigns specific platform elements to the tasks of an application.
+//
+// The algorithm (MapApplication, paper Fig. 5) traverses the task
+// graph and the platform simultaneously, trying to match their
+// topological structure:
+//
+//  1. Tasks are grouped in sets T_i of equal undirected distance to
+//     the origin tasks T_0 (tasks with a single mapping option, e.g.
+//     location-fixed I/O).
+//  2. For each T_i, the platform is searched by breadth-first search,
+//     starting from the elements allocated in the previous iteration,
+//     for enough candidate elements to host T_i — plus one additional
+//     ring, so objectives other than communication distance (e.g.
+//     fragmentation) have room to act.
+//  3. The tasks of T_i are assigned to candidate elements by solving a
+//     Generalized Assignment Problem (package gap); when tasks remain
+//     unassigned, the candidate set is grown ring by ring and the GAP
+//     solver resumes, reusing previous assignments and costs.
+//
+// The mapping objective is a pluggable cost function (§III-D)
+// combining total communication distance (via a sparse distance
+// matrix built during the search, with a high penalty for unknown
+// distances) and external-resource-fragmentation bonuses, with a
+// weight for each objective.
+package mapping
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/binding"
+	"repro/internal/gap"
+	"repro/internal/graph"
+	"repro/internal/knapsack"
+	"repro/internal/platform"
+	"repro/internal/resource"
+)
+
+// Weights steers the mapping cost function between its two objectives
+// (paper §III-D, Figs. 8–10): minimizing communication distance and
+// reducing external resource fragmentation.
+type Weights struct {
+	Communication float64
+	Fragmentation float64
+	// Wear steers placements away from elements with high lifetime
+	// placement counts ("wear leveling", paper §III).
+	Wear float64
+	// LoadBalance steers placements away from highly utilized
+	// elements ("load balancing", paper §III).
+	LoadBalance float64
+}
+
+// The four configurations evaluated in the paper (Figs. 8 and 9).
+var (
+	WeightsNone          = Weights{}
+	WeightsCommunication = Weights{Communication: 1}
+	WeightsFragmentation = Weights{Fragmentation: 25}
+	WeightsBoth          = Weights{Communication: 1, Fragmentation: 25}
+)
+
+// Options configures MapApplication.
+type Options struct {
+	// Instance names this admission; placements are recorded on the
+	// platform as occupants {Instance, taskID}. Required.
+	Instance string
+	// Weights of the cost function objectives.
+	Weights Weights
+	// Solver is the knapsack subroutine for the GAP solver;
+	// defaults to knapsack.Greedy{} (the paper's O(T²) routine).
+	Solver knapsack.Solver
+	// ExtraRings is the number of additional BFS expansion steps
+	// performed after enough candidate elements have been found
+	// (paper §III-B); defaults to 1. Set to a negative value for no
+	// extra expansion (stop at exactly enough candidates).
+	ExtraRings int
+	// DistancePenalty is the cost charged for a communication pair
+	// whose distance is missing from the sparse matrix ("a relative
+	// high penalty", §III-D). Defaults to 64 (about twice the CRISP
+	// diameter).
+	DistancePenalty int
+	// CrossPackagePenalty is the link weight of a hop that crosses a
+	// package boundary when estimating communication distances.
+	// Inter-package bridges aggregate whole packages' traffic, so
+	// treating a bridge hop like a mesh hop lets sub-problems leak
+	// across packages and exhaust the bridges. Defaults to 4; set to
+	// 1 for pure hop distances.
+	CrossPackagePenalty int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Solver == nil {
+		o.Solver = knapsack.Greedy{}
+	}
+	switch {
+	case o.ExtraRings == 0:
+		o.ExtraRings = 1
+	case o.ExtraRings < 0:
+		o.ExtraRings = 0
+	}
+	if o.DistancePenalty == 0 {
+		o.DistancePenalty = 64
+	}
+	if o.CrossPackagePenalty == 0 {
+		o.CrossPackagePenalty = 4
+	}
+	return o
+}
+
+// Result is a successful mapping: the execution element per task, plus
+// introspection counters.
+type Result struct {
+	// Assignment maps task ID → element ID.
+	Assignment []int
+	// Origins are the tasks that formed the partial mapping M0.
+	Origins []int
+	// GAPInvocations counts SolveGAP calls (grows when candidate
+	// sets had to be expanded, Fig. 4).
+	GAPInvocations int
+	// Rings counts BFS expansion steps over all iterations.
+	Rings int
+}
+
+// Error is a mapping-phase failure.
+type Error struct {
+	Task   int // a task that could not be mapped, or -1
+	Reason string
+}
+
+func (e *Error) Error() string {
+	if e.Task >= 0 {
+		return fmt.Sprintf("mapping: task %d: %s", e.Task, e.Reason)
+	}
+	return "mapping: " + e.Reason
+}
+
+// mapper carries the state of one MapApplication run.
+type mapper struct {
+	app    *graph.Application
+	p      *platform.Platform
+	bind   *binding.Binding
+	opts   Options
+	dm     *platform.DistanceMatrix
+	elemOf []int // task → element, -1 while unmapped
+	placed []int // tasks committed to the platform, for rollback
+	// curState is the GAP state of the level being solved; the
+	// internal-contention term of the cost function reads tentative
+	// assignments from it (the paper allows cost functions that
+	// depend on the partial mapping M_i, at re-evaluation cost).
+	curState *gap.State
+	res      Result
+}
+
+// MapApplication finds specific locations for every task of the
+// application, committing placements to the platform. On failure, all
+// placements made by this call are rolled back and an *Error is
+// returned.
+func MapApplication(app *graph.Application, p *platform.Platform, bind *binding.Binding, opts Options) (*Result, error) {
+	if opts.Instance == "" {
+		return nil, &Error{Task: -1, Reason: "Options.Instance must be set"}
+	}
+	m := &mapper{
+		app: app, p: p, bind: bind, opts: opts.withDefaults(),
+		dm:     platform.NewDistanceMatrix(),
+		elemOf: make([]int, len(app.Tasks)),
+	}
+	for i := range m.elemOf {
+		m.elemOf[i] = -1
+	}
+	if err := m.run(); err != nil {
+		m.rollback()
+		return nil, err
+	}
+	m.res.Assignment = m.elemOf
+	return &m.res, nil
+}
+
+// Unmap releases every placement of the named application instance
+// from the platform (the inverse of MapApplication).
+func Unmap(p *platform.Platform, instance string, app *graph.Application) {
+	for _, t := range app.Tasks {
+		for _, e := range p.Elements() {
+			occ := platform.Occupant{App: instance, Task: t.ID}
+			if e.HostsTask(occ) {
+				_ = p.Remove(e.ID, occ)
+			}
+		}
+	}
+}
+
+// av implements the availability predicate av(e, t): the element can
+// fulfill the resource requirements of the implementation bound to t
+// (paper §III-B), honoring fixed locations and enabled state.
+func (m *mapper) av(e *platform.Element, task int) bool {
+	if e == nil || !e.Enabled() {
+		return false
+	}
+	if fixed := m.app.Tasks[task].FixedElement; fixed != graph.NoFixedElement && fixed != e.ID {
+		return false
+	}
+	im := m.bind.Implementation(task)
+	if e.Type != im.Target {
+		return false
+	}
+	return e.Pool().Fits(im.Requires)
+}
+
+// availableElements returns the IDs of all elements available for the
+// task, in ID order.
+func (m *mapper) availableElements(task int) []int {
+	var out []int
+	for _, e := range m.p.Elements() {
+		if m.av(e, task) {
+			out = append(out, e.ID)
+		}
+	}
+	return out
+}
+
+func (m *mapper) place(task, elem int) error {
+	occ := platform.Occupant{App: m.opts.Instance, Task: task}
+	if err := m.p.Place(elem, occ, m.bind.Demand(task)); err != nil {
+		return err
+	}
+	m.elemOf[task] = elem
+	m.placed = append(m.placed, task)
+	return nil
+}
+
+func (m *mapper) rollback() {
+	for _, task := range m.placed {
+		occ := platform.Occupant{App: m.opts.Instance, Task: task}
+		_ = m.p.Remove(m.elemOf[task], occ)
+		m.elemOf[task] = -1
+	}
+	m.placed = nil
+}
+
+// cost is the mapping cost function (paper §III-D).
+//
+// Communication term: the total communication distance between the
+// candidate element e and the elements of t's already-mapped
+// communication peers, weighted by channel token size. Distances come
+// from the sparse matrix; a lookup miss is charged DistancePenalty.
+// Unmapped peers are left out ("the distance is inherently unknown").
+//
+// Fragmentation term: e receives decreasing bonuses for neighbor
+// elements that retain communication peers of t (3), tasks from the
+// same application (2), or tasks from other applications (1); plus a
+// connectivity bonus for low-degree elements (chip borders), so using
+// them now avoids isolating them later.
+func (m *mapper) cost(task, elem int) float64 {
+	im := m.bind.Implementation(task)
+	c := im.Cost
+
+	if w := m.opts.Weights.Communication; w > 0 {
+		comm := 0.0
+		charge := func(chID int) {
+			ch := m.app.Channels[chID]
+			peer := ch.Src
+			if peer == task {
+				peer = ch.Dst
+			}
+			pe := m.elemOf[peer]
+			if pe < 0 {
+				return // unmapped peer: unknown distance, left out
+			}
+			d, ok := m.dm.Lookup(elem, pe)
+			if !ok {
+				d = m.opts.DistancePenalty
+			}
+			comm += float64(d) * float64(ch.TokenSize)
+		}
+		for _, chID := range m.app.InChannels(task) {
+			charge(chID)
+		}
+		for _, chID := range m.app.OutChannels(task) {
+			charge(chID)
+		}
+		c += w * comm
+	}
+
+	if w := m.opts.Weights.Fragmentation; w > 0 {
+		bonus := 0.0
+		peers := make(map[int]bool)
+		for _, nb := range m.app.UndirectedNeighbors(task) {
+			peers[nb] = true
+		}
+		for _, nID := range m.p.Neighbors(elem) {
+			n := m.p.Element(nID)
+			switch {
+			case m.hostsPeerOf(n, peers):
+				bonus += 3
+			case n.HostsApp(m.opts.Instance):
+				bonus += 2
+			case n.InUse():
+				bonus += 1
+			}
+		}
+		// Connectivity: favor border elements (low degree). The
+		// CRISP meshes have degree ≤ 4 inside packages.
+		bonus += math.Max(0, 4-float64(m.p.Degree(elem)))
+		// Internal contention (paper §III-D: the weights "can steer
+		// the resource manager towards minimal internal or external
+		// contention"): penalize packages already crowded with
+		// same-application tasks — they compete for the package's
+		// elements and bridge links. The penalty is blind to task
+		// identity, so on its own it scatters an application over
+		// the chip; only together with the communication-distance
+		// objective (which pulls peers back together) do tree-like
+		// applications pack group-per-package, which is why the
+		// paper's Fig. 10 admits only specific weight ratios.
+		c -= w * bonus
+		c += w * m.packageLoad(task, elem)
+	}
+
+	if w := m.opts.Weights.Wear; w > 0 {
+		c += w * float64(m.p.Element(elem).Wear())
+	}
+	if w := m.opts.Weights.LoadBalance; w > 0 {
+		c += w * m.p.Element(elem).Pool().Utilization()
+	}
+	return c
+}
+
+// packageLoad counts the same-application tasks already assigned
+// (committed or tentatively, via the current GAP state) to elements of
+// elem's package.
+func (m *mapper) packageLoad(task, elem int) float64 {
+	pkg := m.p.Element(elem).Package
+	if pkg < 0 {
+		return 0
+	}
+	load := 0.0
+	for _, t := range m.app.Tasks {
+		if t.ID == task {
+			continue
+		}
+		e := m.elemOf[t.ID]
+		if e < 0 && m.curState != nil {
+			if te, ok := m.curState.AssignedTo(t.ID); ok {
+				e = te
+			}
+		}
+		if e >= 0 && m.p.Element(e).Package == pkg {
+			load++
+		}
+	}
+	return load
+}
+
+func (m *mapper) hostsPeerOf(e *platform.Element, peers map[int]bool) bool {
+	for _, occ := range e.Occupants() {
+		if occ.App == m.opts.Instance && peers[occ.Task] {
+			return true
+		}
+	}
+	return false
+}
+
+// gapInstance adapts the mapper to the gap.Instance interface.
+type gapInstance struct{ m *mapper }
+
+func (g gapInstance) Demand(task int) resource.Vector { return g.m.bind.Demand(task) }
+func (g gapInstance) Capacity(elem int) resource.Vector {
+	return g.m.p.Element(elem).Pool().Free()
+}
+func (g gapInstance) Cost(task, elem int) (float64, bool) {
+	e := g.m.p.Element(elem)
+	if !g.m.av(e, task) {
+		return 0, false
+	}
+	return g.m.cost(task, elem), true
+}
+
+// run executes Fig. 5.
+func (m *mapper) run() error {
+	origins, err := m.seedM0()
+	if err != nil {
+		return err
+	}
+	m.res.Origins = origins
+
+	levels := m.app.Neighborhoods(origins)
+	for li := 1; li < len(levels); li++ {
+		ti := levels[li]
+		// Skip tasks already mapped (fixed tasks can appear in
+		// later neighborhoods of disconnected fragments).
+		var todo []int
+		for _, t := range ti {
+			if m.elemOf[t] < 0 {
+				todo = append(todo, t)
+			}
+		}
+		if len(todo) == 0 {
+			continue
+		}
+		if err := m.mapLevel(todo); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// seedM0 computes and commits the initial partial mapping M0: tasks
+// with exactly one available element (Fig. 5 line 2); when there are
+// none, the lowest-degree task is mapped to its cheapest element
+// (lines 3–4), which the fragmentation objective biases toward
+// isolation-prone, low-connectivity elements.
+func (m *mapper) seedM0() ([]int, error) {
+	var origins []int
+	for _, t := range m.app.Tasks {
+		av := m.availableElements(t.ID)
+		if t.FixedElement != graph.NoFixedElement && len(av) == 0 {
+			return nil, &Error{Task: t.ID, Reason: "fixed element cannot host the task"}
+		}
+		if len(av) == 1 {
+			if err := m.place(t.ID, av[0]); err != nil {
+				return nil, &Error{Task: t.ID, Reason: "sole available element saturated: " + err.Error()}
+			}
+			origins = append(origins, t.ID)
+		}
+	}
+	if len(origins) > 0 {
+		return origins, nil
+	}
+
+	// M0 empty: pick a starting point. Lowest degree first (δ(T)),
+	// lowest-cost available element.
+	_, t0 := m.app.MinDegree()
+	if t0 < 0 {
+		return nil, &Error{Task: -1, Reason: "application has no tasks"}
+	}
+	av := m.availableElements(t0)
+	if len(av) == 0 {
+		return nil, &Error{Task: t0, Reason: "no available element for origin task"}
+	}
+	// Record distances from every available element so the cost
+	// function sees the platform topology for the origin choice.
+	best, bestCost := -1, math.Inf(1)
+	for _, e := range av {
+		if c := m.cost(t0, e); c < bestCost {
+			best, bestCost = e, c
+		}
+	}
+	if err := m.place(t0, best); err != nil {
+		return nil, &Error{Task: t0, Reason: err.Error()}
+	}
+	return []int{t0}, nil
+}
+
+// mapLevel maps one neighborhood T_i (Fig. 5 lines 7–14).
+func (m *mapper) mapLevel(ti []int) error {
+	// E+ and E− (lines 7–8): elements of mapped tasks communicating
+	// with T_i, split by channel direction. Both sides seed the BFS.
+	inTi := make(map[int]bool, len(ti))
+	for _, t := range ti {
+		inTi[t] = true
+	}
+	originSet := make(map[int]bool)
+	for _, ch := range m.app.Channels {
+		if inTi[ch.Dst] && m.elemOf[ch.Src] >= 0 {
+			originSet[m.elemOf[ch.Src]] = true
+		}
+		if inTi[ch.Src] && m.elemOf[ch.Dst] >= 0 {
+			originSet[m.elemOf[ch.Dst]] = true
+		}
+	}
+	if len(originSet) == 0 {
+		// Disconnected fragment: search from all mapped elements.
+		for _, e := range m.elemOf {
+			if e >= 0 {
+				originSet[e] = true
+			}
+		}
+	}
+	origins := make([]int, 0, len(originSet))
+	for e := range originSet {
+		origins = append(origins, e)
+	}
+	sort.Ints(origins)
+
+	// Exact per-origin weighted distances populate the sparse
+	// matrix; the set-distance (minimum over origins) defines the
+	// expansion rings. Cross-package hops weigh more than mesh hops
+	// (Options.CrossPackagePenalty), so candidate search and the
+	// communication cost both prefer staying inside a package.
+	weight := platform.CrossPackageWeight(m.p, m.opts.CrossPackagePenalty)
+	setDist := make([]int, m.p.NumElements())
+	for i := range setDist {
+		setDist[i] = platform.Unreachable
+	}
+	for _, o := range origins {
+		dist := m.p.WeightedDistances([]int{o}, weight)
+		for id, d := range dist {
+			if d == platform.Unreachable {
+				continue
+			}
+			m.dm.Record(o, id, d)
+			if setDist[id] == platform.Unreachable || d < setDist[id] {
+				setDist[id] = d
+			}
+		}
+	}
+	// Expansion proceeds over the distinct distance values that
+	// actually occur: weighted distances are sparse in ℕ, and letting
+	// empty integer "rings" consume the extra search step would solve
+	// before any new candidate arrived.
+	distinct := map[int]bool{}
+	for _, d := range setDist {
+		if d != platform.Unreachable {
+			distinct[d] = true
+		}
+	}
+	radii := make([]int, 0, len(distinct))
+	for d := range distinct {
+		radii = append(radii, d)
+	}
+	sort.Ints(radii)
+
+	// usable counts candidate elements available for ≥1 task.
+	usable := func(elems []int) int {
+		n := 0
+		for _, e := range elems {
+			el := m.p.Element(e)
+			for _, t := range ti {
+				if m.av(el, t) {
+					n++
+					break
+				}
+			}
+		}
+		return n
+	}
+
+	state := gap.NewState()
+	m.curState = state
+	defer func() { m.curState = nil }()
+	inst := gapInstance{m: m}
+	var candidates []int
+	enough := false
+	extra := 0
+
+	for ri, radius := range radii {
+		var ring []int
+		for id, d := range setDist {
+			if d == radius {
+				ring = append(ring, id)
+			}
+		}
+		m.res.Rings++
+		candidates = append(candidates, ring...)
+
+		if !enough {
+			if usable(candidates) < len(ti) {
+				continue // keep growing before the first solve
+			}
+			enough = true
+			if extra < m.opts.ExtraRings && ri+1 < len(radii) {
+				extra++
+				continue // the "single additional search step"
+			}
+		}
+
+		m.res.GAPInvocations++
+		if state.Process(inst, ti, candidates, m.opts.Solver) {
+			return m.commitLevel(ti, state)
+		}
+	}
+
+	// Candidate set exhausted; one final attempt with everything
+	// discovered (covers the case where the last rings arrived after
+	// the previous solve).
+	m.res.GAPInvocations++
+	if state.Process(inst, ti, candidates, m.opts.Solver) {
+		return m.commitLevel(ti, state)
+	}
+	un := state.Unassigned(ti)
+	return &Error{Task: un[0], Reason: fmt.Sprintf(
+		"no feasible element among %d candidates (%d tasks unassigned)", len(candidates), len(un))}
+}
+
+// commitLevel places the GAP assignment of one level onto the
+// platform.
+func (m *mapper) commitLevel(ti []int, state *gap.State) error {
+	assign := state.Assignment()
+	// Deterministic order.
+	tasks := append([]int(nil), ti...)
+	sort.Ints(tasks)
+	for _, t := range tasks {
+		e, ok := assign[t]
+		if !ok {
+			return &Error{Task: t, Reason: "internal: task missing from GAP assignment"}
+		}
+		if err := m.place(t, e); err != nil {
+			// The GAP solver's view of capacity was per sub-problem
+			// start; commits are re-checked here. A failure means
+			// the solution overcommitted, which the knapsack
+			// capacity check prevents — treat as mapping failure.
+			return &Error{Task: t, Reason: "commit failed: " + err.Error()}
+		}
+	}
+	return nil
+}

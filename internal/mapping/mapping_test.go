@@ -1,0 +1,442 @@
+package mapping
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/binding"
+	"repro/internal/graph"
+	"repro/internal/knapsack"
+	"repro/internal/platform"
+	"repro/internal/resource"
+)
+
+func dspImpl(share int64) graph.Implementation {
+	return graph.Implementation{
+		Name: "dsp", Target: platform.TypeDSP,
+		Requires: resource.Of(share, 8, 0, 0),
+		Cost:     1, ExecTime: 10,
+	}
+}
+
+func mustBind(t *testing.T, app *graph.Application, p *platform.Platform) *binding.Binding {
+	t.Helper()
+	b, err := binding.Bind(app, p)
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	return b
+}
+
+func mapIt(t *testing.T, app *graph.Application, p *platform.Platform, w Weights) (*Result, error) {
+	t.Helper()
+	return MapApplication(app, p, mustBind(t, app, p), Options{Instance: "test", Weights: w})
+}
+
+func checkConsistent(t *testing.T, app *graph.Application, p *platform.Platform, res *Result, instance string) {
+	t.Helper()
+	for _, task := range app.Tasks {
+		e := res.Assignment[task.ID]
+		if e < 0 {
+			t.Fatalf("task %d unassigned", task.ID)
+		}
+		occ := platform.Occupant{App: instance, Task: task.ID}
+		if !p.Element(e).HostsTask(occ) {
+			t.Fatalf("task %d not hosted on element %d", task.ID, e)
+		}
+		if fixed := task.FixedElement; fixed != graph.NoFixedElement && e != fixed {
+			t.Fatalf("fixed task %d mapped to %d, want %d", task.ID, e, fixed)
+		}
+	}
+	// No pool may be overcommitted.
+	for _, e := range p.Elements() {
+		if !e.Pool().Used().Fits(e.Pool().Capacity()) {
+			t.Fatalf("element %d overcommitted", e.ID)
+		}
+	}
+}
+
+func TestMapChainOnLine(t *testing.T) {
+	p := platform.New()
+	var prev int
+	for i := 0; i < 5; i++ {
+		id := p.AddElement(platform.TypeDSP, "d", platform.DSPCapacity)
+		if i > 0 {
+			p.MustConnect(prev, id, 2)
+		}
+		prev = id
+	}
+	app := graph.New("chain")
+	for i := 0; i < 4; i++ {
+		app.AddTask("t", graph.Internal, dspImpl(80)) // one task per element
+	}
+	for i := 0; i+1 < 4; i++ {
+		app.AddChannel(i, i+1)
+	}
+	res, err := mapIt(t, app, p, WeightsCommunication)
+	if err != nil {
+		t.Fatalf("MapApplication: %v", err)
+	}
+	checkConsistent(t, app, p, res, "test")
+	// Four 80%-tasks on five elements: each its own element.
+	seen := make(map[int]bool)
+	for _, e := range res.Assignment {
+		if seen[e] {
+			t.Errorf("two tasks share an element despite 80%% demand: %v", res.Assignment)
+		}
+		seen[e] = true
+	}
+}
+
+func TestMapSeedsM0FromFixedTask(t *testing.T) {
+	p := platform.MeshWithIO(3, 3, 2)
+	ioIn := 9 // first IO element appended after the 9 mesh tiles
+	app := graph.New("a")
+	src := app.AddTask("src", graph.Input, graph.Implementation{
+		Name: "io", Target: platform.TypeIO,
+		Requires: resource.Of(5, 4, 1, 0), Cost: 1, ExecTime: 5,
+	})
+	app.Tasks[src].FixedElement = ioIn
+	work := app.AddTask("work", graph.Internal, dspImpl(60))
+	app.AddChannel(src, work)
+
+	res, err := mapIt(t, app, p, WeightsCommunication)
+	if err != nil {
+		t.Fatalf("MapApplication: %v", err)
+	}
+	checkConsistent(t, app, p, res, "test")
+	if res.Assignment[src] != ioIn {
+		t.Errorf("source on %d, want fixed %d", res.Assignment[src], ioIn)
+	}
+	if len(res.Origins) != 1 || res.Origins[0] != src {
+		t.Errorf("Origins = %v, want [src]", res.Origins)
+	}
+	// Communication weight: the worker lands adjacent to the IO tile.
+	if got := res.Assignment[work]; got != 0 {
+		t.Errorf("worker on element %d, want 0 (the tile adjacent to io-in)", got)
+	}
+}
+
+func TestMapSeedsM0FromUniqueAvailability(t *testing.T) {
+	// One FPGA in the platform: the FPGA task has |av| = 1 and seeds
+	// M0 without being location-fixed.
+	p := platform.Mesh(3, 3, 2)
+	fpga := p.AddElement(platform.TypeFPGA, "f", platform.FPGACapacity)
+	p.MustConnect(fpga, 4, 2)
+	app := graph.New("a")
+	ft := app.AddTask("acc", graph.Internal, graph.Implementation{
+		Name: "fpga", Target: platform.TypeFPGA,
+		Requires: resource.Of(10, 10, 0, 100), Cost: 1, ExecTime: 5,
+	})
+	wt := app.AddTask("work", graph.Internal, dspImpl(60))
+	app.AddChannel(ft, wt)
+
+	res, err := mapIt(t, app, p, WeightsCommunication)
+	if err != nil {
+		t.Fatalf("MapApplication: %v", err)
+	}
+	if res.Assignment[ft] != fpga {
+		t.Errorf("fpga task on %d, want %d", res.Assignment[ft], fpga)
+	}
+	if len(res.Origins) != 1 || res.Origins[0] != ft {
+		t.Errorf("Origins = %v, want [fpga task]", res.Origins)
+	}
+	// The DSP worker should sit adjacent to the FPGA (element 4).
+	if res.Assignment[wt] != 4 {
+		t.Errorf("worker on %d, want 4", res.Assignment[wt])
+	}
+}
+
+func TestMapOriginSelectionWithoutM0(t *testing.T) {
+	p := platform.Mesh(4, 4, 2)
+	// Star app: center has degree 3, leaves degree 1 → origin is a
+	// leaf (lowest degree, lowest ID).
+	app := graph.New("star")
+	c := app.AddTask("center", graph.Internal, dspImpl(40))
+	for i := 0; i < 3; i++ {
+		l := app.AddTask("leaf", graph.Internal, dspImpl(40))
+		app.AddChannel(c, l)
+	}
+	res, err := mapIt(t, app, p, WeightsBoth)
+	if err != nil {
+		t.Fatalf("MapApplication: %v", err)
+	}
+	checkConsistent(t, app, p, res, "test")
+	if len(res.Origins) != 1 || res.Origins[0] == c {
+		t.Errorf("Origins = %v, want a single leaf task", res.Origins)
+	}
+}
+
+func TestFragmentationWeightPrefersBorder(t *testing.T) {
+	// On an empty mesh with fragmentation-only weights, the origin
+	// should land on a low-connectivity element (a corner, degree 2)
+	// rather than the center (degree 4).
+	p := platform.Mesh(5, 5, 2)
+	app := graph.New("one")
+	app.AddTask("t", graph.Internal, dspImpl(50))
+	res, err := mapIt(t, app, p, WeightsFragmentation)
+	if err != nil {
+		t.Fatalf("MapApplication: %v", err)
+	}
+	if got := p.Degree(res.Assignment[0]); got != 2 {
+		t.Errorf("origin degree = %d, want 2 (corner)", got)
+	}
+}
+
+func TestMapGrowsCandidateSetAcrossRings(t *testing.T) {
+	// Line platform; five 80% tasks all communicating with task 0:
+	// every task needs its own element, so rings must expand to
+	// distance 4 even though ring 1 already has elements.
+	p := platform.New()
+	var prev int
+	for i := 0; i < 6; i++ {
+		id := p.AddElement(platform.TypeDSP, "d", platform.DSPCapacity)
+		if i > 0 {
+			p.MustConnect(prev, id, 4)
+		}
+		prev = id
+	}
+	app := graph.New("fan")
+	h := app.AddTask("hub", graph.Internal, dspImpl(80))
+	for i := 0; i < 5; i++ {
+		l := app.AddTask("leaf", graph.Internal, dspImpl(80))
+		app.AddChannel(h, l)
+	}
+	res, err := mapIt(t, app, p, WeightsCommunication)
+	if err != nil {
+		t.Fatalf("MapApplication: %v", err)
+	}
+	checkConsistent(t, app, p, res, "test")
+	if res.GAPInvocations < 2 {
+		t.Errorf("GAPInvocations = %d, want ≥ 2 (candidate growth)", res.GAPInvocations)
+	}
+}
+
+func TestMapFailureRollsBack(t *testing.T) {
+	// Two connected DSPs plus an isolated one: binding's
+	// location-free estimate accepts three 80% tasks, but the
+	// mapping phase cannot reach the island and must roll back.
+	p := platform.New()
+	a := p.AddElement(platform.TypeDSP, "a", platform.DSPCapacity)
+	b := p.AddElement(platform.TypeDSP, "b", platform.DSPCapacity)
+	p.AddElement(platform.TypeDSP, "island", platform.DSPCapacity)
+	p.MustConnect(a, b, 2)
+	app := graph.New("big")
+	for i := 0; i < 3; i++ {
+		app.AddTask("t", graph.Internal, dspImpl(80))
+	}
+	for i := 0; i+1 < 3; i++ {
+		app.AddChannel(i, i+1)
+	}
+	_, err := mapIt(t, app, p, WeightsCommunication)
+	if err == nil {
+		t.Fatal("expected mapping failure")
+	}
+	for _, e := range p.Elements() {
+		if e.InUse() {
+			t.Errorf("element %d still in use after failed mapping", e.ID)
+		}
+	}
+}
+
+func TestMapErrorMissingInstance(t *testing.T) {
+	p := platform.Mesh(2, 2, 2)
+	app := graph.New("a")
+	app.AddTask("t", graph.Internal, dspImpl(10))
+	b := mustBind(t, app, p)
+	if _, err := MapApplication(app, p, b, Options{}); err == nil {
+		t.Error("missing Instance must be rejected")
+	}
+}
+
+func TestMapFixedElementSaturated(t *testing.T) {
+	p := platform.MeshWithIO(2, 2, 2)
+	ioIn := 4
+	// Saturate the IO tile first.
+	if err := p.Place(ioIn, platform.Occupant{App: "other", Task: 0},
+		platform.IOCapacity); err != nil {
+		t.Fatal(err)
+	}
+	app := graph.New("a")
+	src := app.AddTask("src", graph.Input, graph.Implementation{
+		Name: "io", Target: platform.TypeIO,
+		Requires: resource.Of(5, 4, 1, 0), Cost: 1, ExecTime: 5,
+	})
+	app.Tasks[src].FixedElement = ioIn
+	// Binding already fails here (fixed element saturated); if the
+	// caller skips binding's check, mapping must also fail safely.
+	if _, err := binding.Bind(app, p); err == nil {
+		t.Error("binding should fail on saturated fixed element")
+	}
+}
+
+func TestMapTwoAppsCoexist(t *testing.T) {
+	p := platform.Mesh(4, 4, 4)
+	mk := func(name string) *graph.Application {
+		app := graph.New(name)
+		for i := 0; i < 4; i++ {
+			app.AddTask("t", graph.Internal, dspImpl(40))
+		}
+		for i := 0; i+1 < 4; i++ {
+			app.AddChannel(i, i+1)
+		}
+		return app
+	}
+	app1, app2 := mk("one"), mk("two")
+	b1 := mustBind(t, app1, p)
+	res1, err := MapApplication(app1, p, b1, Options{Instance: "one", Weights: WeightsBoth})
+	if err != nil {
+		t.Fatalf("first app: %v", err)
+	}
+	b2 := mustBind(t, app2, p)
+	res2, err := MapApplication(app2, p, b2, Options{Instance: "two", Weights: WeightsBoth})
+	if err != nil {
+		t.Fatalf("second app: %v", err)
+	}
+	checkConsistent(t, app1, p, res1, "one")
+	checkConsistent(t, app2, p, res2, "two")
+
+	// Unmap the first app; its elements free up, the second stays.
+	Unmap(p, "one", app1)
+	for _, task := range app1.Tasks {
+		occ := platform.Occupant{App: "one", Task: task.ID}
+		if p.Element(res1.Assignment[task.ID]).HostsTask(occ) {
+			t.Errorf("task %d still placed after Unmap", task.ID)
+		}
+	}
+	occ2 := platform.Occupant{App: "two", Task: 0}
+	if !p.Element(res2.Assignment[0]).HostsTask(occ2) {
+		t.Error("Unmap removed the wrong application")
+	}
+}
+
+func TestMapBeamformingOnCRISP(t *testing.T) {
+	p := platform.CRISP()
+	ioIn := -1
+	for _, e := range p.Elements() {
+		if e.Name == "io-in" {
+			ioIn = e.ID
+		}
+	}
+	app := graph.Beamforming(graph.DefaultBeamforming(ioIn))
+	b := mustBind(t, app, p)
+	res, err := MapApplication(app, p, b, Options{Instance: "bf", Weights: WeightsBoth})
+	if err != nil {
+		t.Fatalf("beamforming mapping failed: %v", err)
+	}
+	checkConsistent(t, app, p, res, "bf")
+	// All 45 DSPs must be occupied.
+	usedDSPs := 0
+	for _, e := range p.Elements() {
+		if e.Type == platform.TypeDSP && e.InUse() {
+			usedDSPs++
+		}
+	}
+	if usedDSPs != 45 {
+		t.Errorf("used DSPs = %d, want 45", usedDSPs)
+	}
+}
+
+func TestMapExactSolverAlsoWorks(t *testing.T) {
+	p := platform.Mesh(3, 3, 2)
+	app := graph.New("a")
+	for i := 0; i < 4; i++ {
+		app.AddTask("t", graph.Internal, dspImpl(60))
+	}
+	app.AddChannel(0, 1)
+	app.AddChannel(1, 2)
+	app.AddChannel(2, 3)
+	b := mustBind(t, app, p)
+	res, err := MapApplication(app, p, b, Options{
+		Instance: "x", Weights: WeightsCommunication, Solver: knapsack.Exact{},
+	})
+	if err != nil {
+		t.Fatalf("MapApplication with exact solver: %v", err)
+	}
+	checkConsistent(t, app, p, res, "x")
+}
+
+// randomApp builds a random connected app of n tasks with moderate
+// demands so most instances are mappable.
+func randomApp(r *rand.Rand, n int) *graph.Application {
+	app := graph.New("rand")
+	for i := 0; i < n; i++ {
+		share := int64(10 + r.Intn(60))
+		app.AddTask("t", graph.Internal, dspImpl(share))
+	}
+	for i := 1; i < n; i++ {
+		app.AddChannel(r.Intn(i), i)
+	}
+	return app
+}
+
+func TestPropertyMappingValidOrCleanRollback(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := platform.Irregular(14, seed)
+		app := randomApp(r, 2+r.Intn(8))
+		b, err := binding.Bind(app, p)
+		if err != nil {
+			return true // binding rejection is a valid outcome
+		}
+		w := []Weights{WeightsNone, WeightsCommunication, WeightsFragmentation, WeightsBoth}[r.Intn(4)]
+		res, err := MapApplication(app, p, b, Options{Instance: "prop", Weights: w})
+		if err != nil {
+			// Rollback must leave the platform empty.
+			for _, e := range p.Elements() {
+				if e.InUse() {
+					return false
+				}
+			}
+			return true
+		}
+		// Success: every task on an element of the right type with
+		// the demand accounted.
+		for _, task := range app.Tasks {
+			e := p.Element(res.Assignment[task.ID])
+			if e == nil || e.Type != b.Target(task.ID) {
+				return false
+			}
+			if !e.HostsTask(platform.Occupant{App: "prop", Task: task.ID}) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyPoolsNeverOvercommitted(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := platform.Mesh(3, 3, 4)
+		// Admit a stream of random apps until one fails; pools must
+		// stay consistent throughout.
+		for k := 0; k < 6; k++ {
+			app := randomApp(r, 2+r.Intn(5))
+			b, err := binding.Bind(app, p)
+			if err != nil {
+				break
+			}
+			_, err = MapApplication(app, p, b, Options{
+				Instance: string(rune('a' + k)), Weights: WeightsBoth,
+			})
+			if err != nil {
+				break
+			}
+		}
+		for _, e := range p.Elements() {
+			free := e.Pool().Free()
+			if !free.NonNegative() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

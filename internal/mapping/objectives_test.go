@@ -1,0 +1,129 @@
+package mapping
+
+import (
+	"testing"
+
+	"repro/internal/binding"
+	"repro/internal/graph"
+	"repro/internal/platform"
+)
+
+// singleTaskApp builds a one-task app demanding a modest DSP share.
+func singleTaskApp() *graph.Application {
+	app := graph.New("one")
+	app.AddTask("t", graph.Internal, dspImpl(30))
+	return app
+}
+
+func TestWearLevelingRotatesElements(t *testing.T) {
+	// Repeatedly admit and release a single task with the wear
+	// objective: placements must rotate over elements instead of
+	// re-using the same one.
+	p := platform.Mesh(2, 2, 2)
+	used := make(map[int]bool)
+	for i := 0; i < 4; i++ {
+		app := singleTaskApp()
+		b, err := binding.Bind(app, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := MapApplication(app, p, b, Options{
+			Instance: "wear", Weights: Weights{Wear: 1},
+		})
+		if err != nil {
+			t.Fatalf("round %d: %v", i, err)
+		}
+		used[res.Assignment[0]] = true
+		Unmap(p, "wear", app)
+	}
+	if len(used) != 4 {
+		t.Errorf("wear leveling used %d distinct elements over 4 rounds, want 4", len(used))
+	}
+}
+
+func TestWithoutWearSticksToOneElement(t *testing.T) {
+	// Control: without any objective, the deterministic search
+	// re-uses the same element every round.
+	p := platform.Mesh(2, 2, 2)
+	used := make(map[int]bool)
+	for i := 0; i < 4; i++ {
+		app := singleTaskApp()
+		b, err := binding.Bind(app, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := MapApplication(app, p, b, Options{Instance: "ctl"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		used[res.Assignment[0]] = true
+		Unmap(p, "ctl", app)
+	}
+	if len(used) != 1 {
+		t.Errorf("control run used %d distinct elements, want 1", len(used))
+	}
+}
+
+func TestLoadBalanceSpreadsTasks(t *testing.T) {
+	// Two independent (channel-free) tasks at 30%: with the
+	// load-balance objective they land on different elements; the
+	// plain first-fit search would co-locate them.
+	p := platform.Mesh(2, 1, 2)
+	app := graph.New("two")
+	app.AddTask("a", graph.Internal, dspImpl(30))
+	app.AddTask("b", graph.Internal, dspImpl(30))
+	b, err := binding.Bind(app, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MapApplication(app, p, b, Options{
+		Instance: "lb", Weights: Weights{LoadBalance: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignment[0] == res.Assignment[1] {
+		t.Errorf("load balancing co-located both tasks on element %d", res.Assignment[0])
+	}
+}
+
+func TestLoadBalanceAvoidsBusyElement(t *testing.T) {
+	p := platform.Mesh(2, 1, 2)
+	// Pre-load element 0 to 50%.
+	if err := p.Place(0, platform.Occupant{App: "other", Task: 0},
+		dspImpl(50).Requires); err != nil {
+		t.Fatal(err)
+	}
+	app := singleTaskApp()
+	b, err := binding.Bind(app, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MapApplication(app, p, b, Options{
+		Instance: "lb", Weights: Weights{LoadBalance: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Assignment[0] != 1 {
+		t.Errorf("load balancing picked busy element %d, want 1", res.Assignment[0])
+	}
+}
+
+func TestWearPersistsAcrossResetAndClone(t *testing.T) {
+	p := platform.Mesh(2, 1, 2)
+	if err := p.Place(0, platform.Occupant{App: "a", Task: 0}, dspImpl(10).Requires); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Element(0).Wear(); got != 1 {
+		t.Fatalf("wear = %d, want 1", got)
+	}
+	p.Reset()
+	if got := p.Element(0).Wear(); got != 1 {
+		t.Errorf("wear after Reset = %d, want 1 (wear is lifetime)", got)
+	}
+	q := p.Clone()
+	if got := q.Element(0).Wear(); got != 1 {
+		t.Errorf("wear after Clone = %d, want 1", got)
+	}
+}

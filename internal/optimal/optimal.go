@@ -1,0 +1,217 @@
+// Package optimal implements an exact task-mapping solver by
+// branch-and-bound — the "ILP formulation" the paper defers to future
+// work ("In future research, we compare these results with an ILP
+// formulation to determine the quality of the resource allocations",
+// §V). It searches the full assignment space of an application on a
+// platform for the minimum-cost mapping under the communication-
+// distance objective, which makes the quality of the run-time
+// heuristic measurable (see BenchmarkMappingQualityVsOptimal).
+//
+// The solver is exponential in the number of tasks and exists for
+// evaluation, not for run-time use — which is the paper's point: the
+// heuristic must be cheap enough for run-time, and its quality is
+// assessed offline.
+package optimal
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/binding"
+	"repro/internal/graph"
+	"repro/internal/platform"
+	"repro/internal/resource"
+)
+
+// Objective is the cost model: implementation base costs plus
+// CommWeight × Σ_channels hopdistance(src, dst) × tokenSize. It is the
+// communication part of the paper's mapping cost function, which is
+// the part that can be compared objectively (the fragmentation terms
+// depend on admission history).
+type Objective struct {
+	CommWeight float64
+}
+
+// DefaultObjective matches mapping.WeightsCommunication.
+func DefaultObjective() Objective { return Objective{CommWeight: 1} }
+
+// Result is the optimal assignment and its cost.
+type Result struct {
+	// Assignment maps task ID → element ID.
+	Assignment []int
+	// Cost is the objective value of the assignment.
+	Cost float64
+	// Nodes is the number of search-tree nodes explored.
+	Nodes int
+}
+
+// Solver holds the precomputed state for one (application, platform)
+// instance.
+type Solver struct {
+	app   *graph.Application
+	p     *platform.Platform
+	bind  *binding.Binding
+	obj   Objective
+	dist  [][]int // all-pairs hop distances
+	avail [][]int // per task: candidate element IDs
+}
+
+// MaxTasks bounds the instance size the solver accepts; beyond this
+// the search space is too large to be worth exploring exactly.
+const MaxTasks = 12
+
+// New prepares an exact solver. The platform is read, never modified.
+func New(app *graph.Application, p *platform.Platform, bind *binding.Binding, obj Objective) (*Solver, error) {
+	if len(app.Tasks) > MaxTasks {
+		return nil, fmt.Errorf("optimal: %d tasks exceed the exact-solver limit of %d", len(app.Tasks), MaxTasks)
+	}
+	s := &Solver{app: app, p: p, bind: bind, obj: obj}
+
+	n := p.NumElements()
+	s.dist = make([][]int, n)
+	for i := 0; i < n; i++ {
+		s.dist[i] = p.BFSDistances([]int{i})
+	}
+
+	s.avail = make([][]int, len(app.Tasks))
+	for _, t := range app.Tasks {
+		var cand []int
+		for _, e := range p.Elements() {
+			if !e.Enabled() || e.Type != bind.Target(t.ID) {
+				continue
+			}
+			if t.FixedElement != graph.NoFixedElement && t.FixedElement != e.ID {
+				continue
+			}
+			if bind.Demand(t.ID).Fits(e.Pool().Free()) {
+				cand = append(cand, e.ID)
+			}
+		}
+		if len(cand) == 0 {
+			return nil, fmt.Errorf("optimal: task %d has no feasible element", t.ID)
+		}
+		s.avail[t.ID] = cand
+	}
+	return s, nil
+}
+
+// CostOf evaluates the objective for an arbitrary complete assignment
+// (e.g. one produced by the run-time heuristic), so heuristic and
+// optimal solutions can be compared under the same metric. Unreachable
+// element pairs are charged the platform diameter + 1.
+func (s *Solver) CostOf(assignment []int) float64 {
+	cost := 0.0
+	for _, t := range s.app.Tasks {
+		cost += s.bind.Implementation(t.ID).Cost
+	}
+	diameter := 0
+	for _, row := range s.dist {
+		for _, d := range row {
+			if d > diameter {
+				diameter = d
+			}
+		}
+	}
+	for _, ch := range s.app.Channels {
+		a, b := assignment[ch.Src], assignment[ch.Dst]
+		d := s.dist[a][b]
+		if d == platform.Unreachable {
+			d = diameter + 1
+		}
+		cost += s.obj.CommWeight * float64(d) * float64(ch.TokenSize)
+	}
+	return cost
+}
+
+// Solve finds a minimum-cost complete assignment, or an error when the
+// instance is infeasible (no capacity-respecting assignment exists).
+func (s *Solver) Solve() (*Result, error) {
+	nTasks := len(s.app.Tasks)
+
+	// Branch order: most-constrained task first (fewest candidates),
+	// which shrinks the tree near the root.
+	order := make([]int, nTasks)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		return len(s.avail[order[a]]) < len(s.avail[order[b]])
+	})
+
+	// Per-channel cheapest-possible cost, for the lower bound: a
+	// channel between unplaced tasks costs at least 0; between a
+	// placed and an unplaced task at least the distance to the
+	// nearest candidate.
+	assignment := make([]int, nTasks)
+	for i := range assignment {
+		assignment[i] = -1
+	}
+	free := make([]resource.Vector, s.p.NumElements())
+	for _, e := range s.p.Elements() {
+		free[e.ID] = e.Pool().Free().Clone()
+	}
+
+	baseCost := 0.0
+	for _, t := range s.app.Tasks {
+		baseCost += s.bind.Implementation(t.ID).Cost
+	}
+
+	best := &Result{Cost: math.Inf(1)}
+
+	// chCost returns the communication cost the channel contributes
+	// once both endpoints are placed.
+	chCost := func(ch *graph.Channel) float64 {
+		a, b := assignment[ch.Src], assignment[ch.Dst]
+		if a < 0 || b < 0 {
+			return 0
+		}
+		d := s.dist[a][b]
+		if d == platform.Unreachable {
+			return math.Inf(1)
+		}
+		return s.obj.CommWeight * float64(d) * float64(ch.TokenSize)
+	}
+
+	var nodes int
+	var rec func(k int, cost float64)
+	rec = func(k int, cost float64) {
+		nodes++
+		if cost >= best.Cost {
+			return // bound: partial cost only grows
+		}
+		if k == nTasks {
+			best.Cost = cost
+			best.Assignment = append([]int(nil), assignment...)
+			return
+		}
+		task := order[k]
+		demand := s.bind.Demand(task)
+		for _, e := range s.avail[task] {
+			if !demand.Fits(free[e]) {
+				continue
+			}
+			assignment[task] = e
+			delta := 0.0
+			for _, chID := range s.app.OutChannels(task) {
+				delta += chCost(s.app.Channels[chID])
+			}
+			for _, chID := range s.app.InChannels(task) {
+				delta += chCost(s.app.Channels[chID])
+			}
+			if !math.IsInf(delta, 1) {
+				free[e].SubInPlace(demand)
+				rec(k+1, cost+delta)
+				free[e].AddInPlace(demand)
+			}
+			assignment[task] = -1
+		}
+	}
+	rec(0, baseCost)
+	best.Nodes = nodes
+
+	if math.IsInf(best.Cost, 1) {
+		return nil, fmt.Errorf("optimal: no feasible assignment exists")
+	}
+	return best, nil
+}

@@ -1,0 +1,239 @@
+package optimal
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/binding"
+	"repro/internal/graph"
+	"repro/internal/mapping"
+	"repro/internal/platform"
+	"repro/internal/resource"
+)
+
+func dspImpl(share int64) graph.Implementation {
+	return graph.Implementation{
+		Name: "dsp", Target: platform.TypeDSP,
+		Requires: resource.Of(share, 8, 0, 0), Cost: 1, ExecTime: 5,
+	}
+}
+
+func mustSolver(t *testing.T, app *graph.Application, p *platform.Platform) *Solver {
+	t.Helper()
+	b, err := binding.Bind(app, p)
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	s, err := New(app, p, b, DefaultObjective())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+func TestSolveChainOnLine(t *testing.T) {
+	// A 3-task chain on a 3-element line: the optimum places the
+	// chain contiguously with 1 hop per channel.
+	p := platform.Mesh(3, 1, 2)
+	app := graph.New("chain")
+	for i := 0; i < 3; i++ {
+		app.AddTask("t", graph.Internal, dspImpl(80))
+	}
+	app.AddChannel(0, 1)
+	app.AddChannel(1, 2)
+	s := mustSolver(t, app, p)
+	res, err := s.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	// Base cost 3×1 + comm 2 channels × 1 hop × tokenSize 1 = 5.
+	if res.Cost != 5 {
+		t.Errorf("optimal cost = %v, want 5 (assignment %v)", res.Cost, res.Assignment)
+	}
+	if got := s.CostOf(res.Assignment); got != res.Cost {
+		t.Errorf("CostOf(optimal) = %v, want %v", got, res.Cost)
+	}
+}
+
+func TestSolveRespectsCapacity(t *testing.T) {
+	// Two 80% tasks cannot share one element even if that would be
+	// communication-optimal.
+	p := platform.Mesh(2, 1, 2)
+	app := graph.New("pair")
+	app.AddTask("a", graph.Internal, dspImpl(80))
+	app.AddTask("b", graph.Internal, dspImpl(80))
+	app.AddChannel(0, 1)
+	s := mustSolver(t, app, p)
+	res, err := s.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Assignment[0] == res.Assignment[1] {
+		t.Error("optimal overcommitted an element")
+	}
+}
+
+func TestSolveColocatesWhenPossible(t *testing.T) {
+	// Two 40% tasks share one element: 0 hops beats any spread.
+	p := platform.Mesh(2, 1, 2)
+	app := graph.New("pair")
+	app.AddTask("a", graph.Internal, dspImpl(40))
+	app.AddTask("b", graph.Internal, dspImpl(40))
+	app.AddChannel(0, 1)
+	s := mustSolver(t, app, p)
+	res, err := s.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Assignment[0] != res.Assignment[1] {
+		t.Errorf("optimal should co-locate: %v", res.Assignment)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	p := platform.Mesh(1, 1, 2)
+	app := graph.New("two-big")
+	app.AddTask("a", graph.Internal, dspImpl(80))
+	app.AddTask("b", graph.Internal, dspImpl(80))
+	app.AddChannel(0, 1)
+	b, err := binding.Bind(app, p)
+	if err != nil {
+		// Binding may already reject; both outcomes are fine.
+		return
+	}
+	s, err := New(app, p, b, DefaultObjective())
+	if err != nil {
+		return // no feasible element for some task
+	}
+	if _, err := s.Solve(); err == nil {
+		t.Error("infeasible instance must fail")
+	}
+}
+
+func TestSolveRespectsFixedElement(t *testing.T) {
+	p := platform.MeshWithIO(3, 3, 2)
+	app := graph.New("fixed")
+	src := app.AddTask("src", graph.Input, graph.Implementation{
+		Name: "io", Target: platform.TypeIO,
+		Requires: resource.Of(5, 4, 1, 0), Cost: 1, ExecTime: 4,
+	})
+	app.Tasks[src].FixedElement = 9
+	app.AddTask("w", graph.Internal, dspImpl(50))
+	app.AddChannel(0, 1)
+	s := mustSolver(t, app, p)
+	res, err := s.Solve()
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if res.Assignment[src] != 9 {
+		t.Errorf("fixed task on %d, want 9", res.Assignment[src])
+	}
+}
+
+func TestTooManyTasksRejected(t *testing.T) {
+	p := platform.Mesh(5, 5, 2)
+	app := graph.New("big")
+	for i := 0; i < MaxTasks+1; i++ {
+		app.AddTask("t", graph.Internal, dspImpl(10))
+	}
+	b, err := binding.Bind(app, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(app, p, b, DefaultObjective()); err == nil {
+		t.Error("oversized instance must be rejected")
+	}
+}
+
+// randomApp builds a small random connected app.
+func randomApp(r *rand.Rand, n int) *graph.Application {
+	app := graph.New("rand")
+	for i := 0; i < n; i++ {
+		app.AddTask("t", graph.Internal, dspImpl(int64(20+r.Intn(50))))
+	}
+	for i := 1; i < n; i++ {
+		app.AddChannelRated(r.Intn(i), i, 1, 1, int64(1+r.Intn(4)))
+	}
+	return app
+}
+
+func TestPropertyOptimalNeverWorseThanHeuristic(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := platform.Mesh(4, 4, 4)
+		app := randomApp(r, 3+r.Intn(5))
+		b, err := binding.Bind(app, p)
+		if err != nil {
+			return true
+		}
+		s, err := New(app, p, b, DefaultObjective())
+		if err != nil {
+			return true
+		}
+		opt, err := s.Solve()
+		if err != nil {
+			return true
+		}
+		// The heuristic maps on a clone so the solver's free view
+		// stays valid.
+		q := p.Clone()
+		b2, err := binding.Bind(app, q)
+		if err != nil {
+			return true
+		}
+		res, err := mapping.MapApplication(app, q, b2, mapping.Options{
+			Instance: "h", Weights: mapping.WeightsCommunication,
+		})
+		if err != nil {
+			return true // heuristic may fail where exact succeeds
+		}
+		return s.CostOf(res.Assignment) >= opt.Cost-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyOptimalAssignmentFeasible(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := platform.Mesh(3, 3, 2)
+		app := randomApp(r, 3+r.Intn(4))
+		b, err := binding.Bind(app, p)
+		if err != nil {
+			return true
+		}
+		s, err := New(app, p, b, DefaultObjective())
+		if err != nil {
+			return true
+		}
+		res, err := s.Solve()
+		if err != nil {
+			return true
+		}
+		// Sum demands per element; must fit capacities.
+		load := make(map[int]resource.Vector)
+		for _, task := range app.Tasks {
+			e := res.Assignment[task.ID]
+			if e < 0 {
+				return false
+			}
+			d := b.Demand(task.ID)
+			if cur, ok := load[e]; ok {
+				load[e] = cur.Add(d)
+			} else {
+				load[e] = d.Clone()
+			}
+		}
+		for e, l := range load {
+			if !l.Fits(p.Element(e).Pool().Free()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,195 @@
+package platform
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/resource"
+)
+
+// Default capacities used by the builders. The absolute numbers are
+// abstract units; the application generator expresses demands as
+// percentages of these (paper §IV: computation-intensive tasks use
+// 70–100% of an element's resources, communication-oriented 10–70%).
+var (
+	// DSPCapacity is the capacity of one Xentium-like DSP tile.
+	DSPCapacity = resource.Of(100, 64, 0, 0)
+	// MemoryCapacity is the capacity of one memory tile.
+	MemoryCapacity = resource.Of(0, 1024, 0, 0)
+	// TestCapacity is the capacity of the hardware test unit.
+	TestCapacity = resource.Of(20, 16, 0, 0)
+	// GPPCapacity is the capacity of the ARM host processor.
+	GPPCapacity = resource.Of(100, 256, 4, 0)
+	// FPGACapacity is the capacity of the FPGA fabric.
+	FPGACapacity = resource.Of(200, 512, 8, 1000)
+	// IOCapacity is the capacity of an I/O interface tile.
+	IOCapacity = resource.Of(10, 16, 2, 0)
+
+	// DefaultVCs is the number of virtual channels per link
+	// direction in the builders (the NoC of [11] time-shares each
+	// link between multiple reserved lanes).
+	DefaultVCs = 2
+	// HubVCs is the number of virtual channels on the FPGA hub's
+	// links to the ARM and the I/O tiles, which aggregate the
+	// platform's control and stream traffic.
+	HubVCs = 8
+	// BridgeVCs is the number of virtual channels on the
+	// inter-package bridges (package↔FPGA and package↔package).
+	// Scarcer than the hub: cross-package traffic is what saturates
+	// first when applications spread over the chip.
+	BridgeVCs = 4
+)
+
+// CRISP builds the platform of the paper's evaluation (Fig. 6): an
+// ARM processor, an FPGA, and 5 packages each containing 9 DSPs, 2
+// memory tiles and 1 hardware test unit. Inside a package the 12
+// elements form a 3×4 mesh; the FPGA is the interconnect hub between
+// the packages and the ARM, which matches the paper's observation
+// that "compared to a fully meshed platform, the CRISP architecture
+// is less connected". Two I/O tiles hang off the FPGA for stream
+// input/output (fixed-location tasks in the mapping phase start from
+// these).
+func CRISP() *Platform {
+	p := New()
+
+	fpga := p.AddElement(TypeFPGA, "fpga0", FPGACapacity)
+	arm := p.AddElement(TypeGPP, "arm0", GPPCapacity)
+	p.MustConnect(fpga, arm, HubVCs)
+
+	ioIn := p.AddElement(TypeIO, "io-in", IOCapacity)
+	ioOut := p.AddElement(TypeIO, "io-out", IOCapacity)
+	p.MustConnect(fpga, ioIn, HubVCs)
+	p.MustConnect(fpga, ioOut, HubVCs)
+
+	const cols, rows = 3, 4
+	for pkg := 0; pkg < 5; pkg++ {
+		ids := make([]int, 0, cols*rows)
+		dsp, mem := 0, 0
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				// Layout per package: 9 DSPs, 2 memories (middle
+				// column of the outer rows), 1 test unit (corner).
+				var id int
+				switch {
+				case r == 0 && c == 1, r == rows-1 && c == 1:
+					id = p.AddElement(TypeMemory, fmt.Sprintf("p%d-mem%d", pkg, mem), MemoryCapacity)
+					mem++
+				case r == rows-1 && c == cols-1:
+					id = p.AddElement(TypeTest, fmt.Sprintf("p%d-test", pkg), TestCapacity)
+				default:
+					id = p.AddElement(TypeDSP, fmt.Sprintf("p%d-dsp%d", pkg, dsp), DSPCapacity)
+					dsp++
+				}
+				e := p.Element(id)
+				e.Pos = [2]int{c, r}
+				e.Package = pkg
+				ids = append(ids, id)
+			}
+		}
+		// 4-neighbor mesh inside the package.
+		for r := 0; r < rows; r++ {
+			for c := 0; c < cols; c++ {
+				at := func(cc, rr int) int { return ids[rr*cols+cc] }
+				if c+1 < cols {
+					p.MustConnect(at(c, r), at(c+1, r), DefaultVCs)
+				}
+				if r+1 < rows {
+					p.MustConnect(at(c, r), at(c, r+1), DefaultVCs)
+				}
+			}
+		}
+		// Bridges: the package's north-west and south-west corner
+		// elements both connect to the FPGA hub, so package ingress
+		// does not bottleneck on a single corner.
+		p.MustConnect(ids[0], fpga, BridgeVCs)
+		p.MustConnect(ids[(rows-1)*cols], fpga, BridgeVCs)
+		// Neighboring packages are also chained directly (package
+		// i's right edge to package i+1's left edge), so traffic
+		// between adjacent packages does not need the hub.
+		if pkg > 0 {
+			prevRight := ids[0] - cols*rows + (cols - 1) // (cols-1, 0) of previous package
+			p.MustConnect(prevRight, ids[0], BridgeVCs)
+		}
+	}
+	return p
+}
+
+// Mesh builds a w×h homogeneous mesh of DSP tiles with the given
+// virtual channels per link direction. It is the platform shape used
+// by the region-based related work ([6]) and by the quickstart
+// example.
+func Mesh(w, h, vcs int) *Platform {
+	p := New()
+	ids := make([]int, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			id := p.AddElement(TypeDSP, fmt.Sprintf("dsp%d-%d", x, y), DSPCapacity)
+			p.Element(id).Pos = [2]int{x, y}
+			ids[y*w+x] = id
+		}
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				p.MustConnect(ids[y*w+x], ids[y*w+x+1], vcs)
+			}
+			if y+1 < h {
+				p.MustConnect(ids[y*w+x], ids[(y+1)*w+x], vcs)
+			}
+		}
+	}
+	return p
+}
+
+// MeshWithIO builds a w×h DSP mesh with an I/O tile attached to the
+// north-west and south-east corners, giving applications with fixed
+// I/O tasks a natural M0.
+func MeshWithIO(w, h, vcs int) *Platform {
+	p := Mesh(w, h, vcs)
+	in := p.AddElement(TypeIO, "io-in", IOCapacity)
+	out := p.AddElement(TypeIO, "io-out", IOCapacity)
+	p.MustConnect(in, 0, vcs)
+	p.MustConnect(out, w*h-1, vcs)
+	return p
+}
+
+// Irregular builds a randomized connected heterogeneous platform with
+// n elements, for property tests: the mapping algorithm must not
+// assume mesh regularity (paper §II: "works on a variety of
+// platforms... heterogeneous or irregular architectures").
+func Irregular(n int, seed int64) *Platform {
+	if n < 1 {
+		n = 1
+	}
+	r := rand.New(rand.NewSource(seed))
+	p := New()
+	for i := 0; i < n; i++ {
+		roll := r.Intn(10)
+		switch {
+		case roll < 6:
+			p.AddElement(TypeDSP, fmt.Sprintf("dsp%d", i), DSPCapacity)
+		case roll < 8:
+			p.AddElement(TypeMemory, fmt.Sprintf("mem%d", i), MemoryCapacity)
+		case roll < 9:
+			p.AddElement(TypeGPP, fmt.Sprintf("gpp%d", i), GPPCapacity)
+		default:
+			p.AddElement(TypeIO, fmt.Sprintf("io%d", i), IOCapacity)
+		}
+	}
+	// Random spanning tree keeps it connected...
+	perm := r.Perm(n)
+	for i := 1; i < n; i++ {
+		a, b := perm[i], perm[r.Intn(i)]
+		p.MustConnect(a, b, 1+r.Intn(4))
+	}
+	// ...plus a few extra chords for irregularity.
+	extra := n / 3
+	for i := 0; i < extra; i++ {
+		a, b := r.Intn(n), r.Intn(n)
+		if a == b || p.Link(a, b) != nil {
+			continue
+		}
+		p.MustConnect(a, b, 1+r.Intn(4))
+	}
+	return p
+}

@@ -1,0 +1,137 @@
+package platform
+
+// Platform descriptions. The resource manager is platform-generic
+// (paper §II: the algorithm "works on a variety of platforms"), so
+// platforms can be described declaratively and loaded at run time —
+// the moral equivalent of the platform description the CRISP
+// configuration software consumes. JSON keeps the format inspectable
+// and diffable.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/resource"
+)
+
+// ElementDesc describes one processing element.
+type ElementDesc struct {
+	Name     string  `json:"name"`
+	Type     string  `json:"type"`
+	Capacity []int64 `json:"capacity"` // resource vector, default space
+	Package  *int    `json:"package,omitempty"`
+	Pos      *[2]int `json:"pos,omitempty"`
+}
+
+// LinkDesc describes one bidirectional physical link by element names.
+type LinkDesc struct {
+	A   string `json:"a"`
+	B   string `json:"b"`
+	VCs int    `json:"vcs"`
+}
+
+// Description is a declarative platform model.
+type Description struct {
+	Name     string        `json:"name,omitempty"`
+	Elements []ElementDesc `json:"elements"`
+	Links    []LinkDesc    `json:"links"`
+}
+
+// Describe exports the platform structure (not its allocation state)
+// as a Description. Links are emitted once per physical pair.
+func (p *Platform) Describe(name string) *Description {
+	d := &Description{Name: name}
+	for _, e := range p.elements {
+		ed := ElementDesc{
+			Name:     e.Name,
+			Type:     e.Type,
+			Capacity: append([]int64(nil), e.pool.Capacity()...),
+		}
+		if e.Package >= 0 {
+			pkg := e.Package
+			ed.Package = &pkg
+		}
+		pos := e.Pos
+		ed.Pos = &pos
+		d.Elements = append(d.Elements, ed)
+	}
+	for _, l := range p.Links() {
+		if l.From > l.To {
+			continue
+		}
+		d.Links = append(d.Links, LinkDesc{
+			A: p.elements[l.From].Name, B: p.elements[l.To].Name, VCs: l.VCs,
+		})
+	}
+	return d
+}
+
+// FromDescription builds a platform from a description. Element names
+// must be unique; links must reference existing names and carry at
+// least one virtual channel.
+func FromDescription(d *Description) (*Platform, error) {
+	if len(d.Elements) == 0 {
+		return nil, fmt.Errorf("platform: description has no elements")
+	}
+	p := New()
+	byName := make(map[string]int, len(d.Elements))
+	for _, ed := range d.Elements {
+		if ed.Name == "" || ed.Type == "" {
+			return nil, fmt.Errorf("platform: element needs both name and type (%+v)", ed)
+		}
+		if _, dup := byName[ed.Name]; dup {
+			return nil, fmt.Errorf("platform: duplicate element name %q", ed.Name)
+		}
+		capacity := make(resource.Vector, resource.NumKinds)
+		copy(capacity, ed.Capacity)
+		if len(ed.Capacity) > int(resource.NumKinds) {
+			return nil, fmt.Errorf("platform: element %q capacity has %d axes, space has %d",
+				ed.Name, len(ed.Capacity), resource.NumKinds)
+		}
+		if !capacity.NonNegative() {
+			return nil, fmt.Errorf("platform: element %q has negative capacity", ed.Name)
+		}
+		id := p.AddElement(ed.Type, ed.Name, capacity)
+		byName[ed.Name] = id
+		e := p.Element(id)
+		if ed.Package != nil {
+			e.Package = *ed.Package
+		}
+		if ed.Pos != nil {
+			e.Pos = *ed.Pos
+		}
+	}
+	for _, ld := range d.Links {
+		a, okA := byName[ld.A]
+		b, okB := byName[ld.B]
+		if !okA || !okB {
+			return nil, fmt.Errorf("platform: link %q-%q references unknown element", ld.A, ld.B)
+		}
+		if ld.VCs < 1 {
+			return nil, fmt.Errorf("platform: link %q-%q needs at least 1 virtual channel", ld.A, ld.B)
+		}
+		if err := p.Connect(a, b, ld.VCs); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// WriteJSON writes the platform description as indented JSON.
+func (p *Platform) WriteJSON(w io.Writer, name string) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(p.Describe(name))
+}
+
+// ReadJSON builds a platform from a JSON description.
+func ReadJSON(r io.Reader) (*Platform, error) {
+	var d Description
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&d); err != nil {
+		return nil, fmt.Errorf("platform: bad description: %w", err)
+	}
+	return FromDescription(&d)
+}

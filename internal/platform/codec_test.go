@@ -1,0 +1,110 @@
+package platform
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDescribeRoundTripCRISP(t *testing.T) {
+	orig := CRISP()
+	back, err := FromDescription(orig.Describe("crisp"))
+	if err != nil {
+		t.Fatalf("FromDescription: %v", err)
+	}
+	if back.NumElements() != orig.NumElements() {
+		t.Fatalf("elements %d, want %d", back.NumElements(), orig.NumElements())
+	}
+	if len(back.Links()) != len(orig.Links()) {
+		t.Fatalf("links %d, want %d", len(back.Links()), len(orig.Links()))
+	}
+	for i, e := range orig.Elements() {
+		g := back.Element(i)
+		if g.Name != e.Name || g.Type != e.Type || g.Package != e.Package || g.Pos != e.Pos {
+			t.Fatalf("element %d mismatch: %+v vs %+v", i, g, e)
+		}
+		if !g.Pool().Capacity().Equal(e.Pool().Capacity()) {
+			t.Fatalf("element %d capacity mismatch", i)
+		}
+	}
+	for _, l := range orig.Links() {
+		gl := back.Link(l.From, l.To)
+		if gl == nil || gl.VCs != l.VCs {
+			t.Fatalf("link %d→%d mismatch", l.From, l.To)
+		}
+	}
+	if !back.Connected() {
+		t.Error("round-tripped platform should be connected")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := MeshWithIO(3, 2, 2)
+	var buf bytes.Buffer
+	if err := orig.WriteJSON(&buf, "mesh"); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatalf("ReadJSON: %v", err)
+	}
+	if back.NumElements() != orig.NumElements() || len(back.Links()) != len(orig.Links()) {
+		t.Fatalf("round trip lost structure: %v vs %v", back, orig)
+	}
+}
+
+func TestFromDescriptionErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		d    Description
+	}{
+		{"empty", Description{}},
+		{"missing type", Description{Elements: []ElementDesc{{Name: "a"}}}},
+		{"duplicate name", Description{Elements: []ElementDesc{
+			{Name: "a", Type: "dsp"}, {Name: "a", Type: "dsp"},
+		}}},
+		{"bad link ref", Description{
+			Elements: []ElementDesc{{Name: "a", Type: "dsp"}},
+			Links:    []LinkDesc{{A: "a", B: "ghost", VCs: 2}},
+		}},
+		{"zero VCs", Description{
+			Elements: []ElementDesc{{Name: "a", Type: "dsp"}, {Name: "b", Type: "dsp"}},
+			Links:    []LinkDesc{{A: "a", B: "b", VCs: 0}},
+		}},
+		{"self link", Description{
+			Elements: []ElementDesc{{Name: "a", Type: "dsp"}},
+			Links:    []LinkDesc{{A: "a", B: "a", VCs: 1}},
+		}},
+		{"negative capacity", Description{Elements: []ElementDesc{
+			{Name: "a", Type: "dsp", Capacity: []int64{-1}},
+		}}},
+		{"too many axes", Description{Elements: []ElementDesc{
+			{Name: "a", Type: "dsp", Capacity: []int64{1, 2, 3, 4, 5}},
+		}}},
+	}
+	for _, c := range cases {
+		if _, err := FromDescription(&c.d); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+func TestReadJSONRejectsUnknownFields(t *testing.T) {
+	_, err := ReadJSON(strings.NewReader(`{"elements":[{"name":"a","type":"dsp"}],"bogus":1}`))
+	if err == nil {
+		t.Error("unknown fields must be rejected")
+	}
+}
+
+func TestShortCapacityZeroPadded(t *testing.T) {
+	p, err := FromDescription(&Description{
+		Elements: []ElementDesc{{Name: "a", Type: "dsp", Capacity: []int64{50}}},
+	})
+	if err != nil {
+		t.Fatalf("FromDescription: %v", err)
+	}
+	capacity := p.Element(0).Pool().Capacity()
+	if capacity[0] != 50 || capacity[1] != 0 {
+		t.Errorf("capacity = %v, want zero-padded [50 0 0 0]", capacity)
+	}
+}

@@ -1,0 +1,529 @@
+// Package platform models the heterogeneous MPSoC that the resource
+// manager allocates from: a set of processing elements E connected by
+// links L ⊆ E × E (paper §III). Elements provide resources as vectors
+// (package resource); links provide a bounded number of virtual
+// channels that the routing phase time-shares between applications
+// (paper §II, [11]).
+//
+// The model is deliberately generic — the mapping algorithm "works on
+// a variety of platforms" (paper §II) — so the package also ships
+// builders for the CRISP platform of the paper's evaluation (Fig. 6),
+// regular meshes, and randomized irregular topologies.
+package platform
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/resource"
+)
+
+// Common element types used by the builders and the application
+// generator. Type strings are free-form; availability of an element
+// for a task is decided by the implementation's target type.
+const (
+	TypeDSP    = "dsp"  // Xentium-like streaming DSP core
+	TypeGPP    = "gpp"  // general-purpose processor (the ARM)
+	TypeFPGA   = "fpga" // reconfigurable fabric
+	TypeMemory = "mem"  // on-chip memory tile
+	TypeTest   = "test" // hardware test unit (dependability)
+	TypeIO     = "io"   // I/O interface tile
+)
+
+// Occupant identifies one task instance placed on an element.
+type Occupant struct {
+	App  string // application instance name (unique per admission)
+	Task int    // task ID within the application
+}
+
+// Element is one processing element of the platform.
+type Element struct {
+	ID   int
+	Type string
+	Name string
+	// Pos is an optional (x, y) position for builders that have a
+	// geometric layout; purely informational.
+	Pos [2]int
+	// Package groups elements of one chip/package (CRISP has 5
+	// DSP packages); -1 when not applicable. The cost function's
+	// connectivity bonus favors chip borders.
+	Package int
+
+	pool      *resource.Pool
+	enabled   bool
+	occupants map[Occupant]resource.Vector
+	wear      int
+}
+
+// Pool exposes the element's resource bookkeeping.
+func (e *Element) Pool() *resource.Pool { return e.pool }
+
+// Wear returns the number of task placements the element has ever
+// hosted. It persists across Remove and Reset: wear models lifetime
+// material degradation, one of the mapping objectives the paper lists
+// (§III: "wear leveling").
+func (e *Element) Wear() int { return e.wear }
+
+// Enabled reports whether the element is usable (fault injection can
+// disable elements at run time; the paper motivates run-time resource
+// management partly by fault tolerance).
+func (e *Element) Enabled() bool { return e.enabled }
+
+// InUse reports whether any task occupies the element.
+func (e *Element) InUse() bool { return len(e.occupants) > 0 }
+
+// Occupants returns the occupants in deterministic (app, task) order.
+func (e *Element) Occupants() []Occupant {
+	out := make([]Occupant, 0, len(e.occupants))
+	for occ := range e.occupants {
+		out = append(out, occ)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].App != out[j].App {
+			return out[i].App < out[j].App
+		}
+		return out[i].Task < out[j].Task
+	})
+	return out
+}
+
+// HostsTask reports whether the given occupant is on this element.
+func (e *Element) HostsTask(occ Occupant) bool {
+	_, ok := e.occupants[occ]
+	return ok
+}
+
+// HostsApp reports whether any task of the named application occupies
+// this element.
+func (e *Element) HostsApp(app string) bool {
+	for occ := range e.occupants {
+		if occ.App == app {
+			return true
+		}
+	}
+	return false
+}
+
+// Link is one directed communication link with a virtual-channel pool.
+// Undirected physical links are represented by two Links, one per
+// direction, each with its own virtual channels (as in the CRISP NoC,
+// where each direction has separate lanes).
+type Link struct {
+	From, To int
+	VCs      int // total virtual channels
+	used     int
+	enabled  bool
+}
+
+// Free returns the number of free virtual channels.
+func (l *Link) Free() int { return l.VCs - l.used }
+
+// Used returns the number of allocated virtual channels.
+func (l *Link) Used() int { return l.used }
+
+// Enabled reports whether the link is usable.
+func (l *Link) Enabled() bool { return l.enabled }
+
+// Platform is the MPSoC model: elements, directed links, and an
+// adjacency index. The zero value is unusable; use New.
+type Platform struct {
+	elements []*Element
+	links    map[[2]int]*Link
+	adj      [][]int // adjacency by element ID (neighbors in ID order)
+	space    resource.Space
+}
+
+// New returns an empty platform over the default resource space.
+func New() *Platform {
+	return &Platform{
+		links: make(map[[2]int]*Link),
+		space: resource.DefaultSpace,
+	}
+}
+
+// AddElement appends an element with the given type, name and
+// capacity, returning its ID.
+func (p *Platform) AddElement(typ, name string, capacity resource.Vector) int {
+	id := len(p.elements)
+	p.elements = append(p.elements, &Element{
+		ID:        id,
+		Type:      typ,
+		Name:      name,
+		Package:   -1,
+		pool:      resource.NewPool(capacity),
+		enabled:   true,
+		occupants: make(map[Occupant]resource.Vector),
+	})
+	p.adj = append(p.adj, nil)
+	return id
+}
+
+// Connect creates a bidirectional physical link between a and b with
+// vcs virtual channels in each direction. Connecting an element to
+// itself or re-connecting an existing pair is a programming error.
+func (p *Platform) Connect(a, b, vcs int) error {
+	if a == b {
+		return fmt.Errorf("platform: self-link on element %d", a)
+	}
+	if a < 0 || a >= len(p.elements) || b < 0 || b >= len(p.elements) {
+		return fmt.Errorf("platform: connect %d-%d out of range", a, b)
+	}
+	if _, dup := p.links[[2]int{a, b}]; dup {
+		return fmt.Errorf("platform: duplicate link %d-%d", a, b)
+	}
+	p.links[[2]int{a, b}] = &Link{From: a, To: b, VCs: vcs, enabled: true}
+	p.links[[2]int{b, a}] = &Link{From: b, To: a, VCs: vcs, enabled: true}
+	p.adj[a] = insertSorted(p.adj[a], b)
+	p.adj[b] = insertSorted(p.adj[b], a)
+	return nil
+}
+
+func insertSorted(s []int, x int) []int {
+	i := sort.SearchInts(s, x)
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = x
+	return s
+}
+
+// MustConnect is Connect that panics on error; intended for builders
+// with statically correct topologies.
+func (p *Platform) MustConnect(a, b, vcs int) {
+	if err := p.Connect(a, b, vcs); err != nil {
+		panic(err)
+	}
+}
+
+// NumElements returns the total number of elements (including
+// disabled ones).
+func (p *Platform) NumElements() int { return len(p.elements) }
+
+// Element returns the element with the given ID, or nil when out of
+// range.
+func (p *Platform) Element(id int) *Element {
+	if id < 0 || id >= len(p.elements) {
+		return nil
+	}
+	return p.elements[id]
+}
+
+// Elements returns all elements in ID order (shared slice; read-only).
+func (p *Platform) Elements() []*Element { return p.elements }
+
+// Link returns the directed link from a to b, or nil when absent.
+func (p *Platform) Link(a, b int) *Link { return p.links[[2]int{a, b}] }
+
+// Links returns all directed links in deterministic order.
+func (p *Platform) Links() []*Link {
+	keys := make([][2]int, 0, len(p.links))
+	for k := range p.links {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	out := make([]*Link, len(keys))
+	for i, k := range keys {
+		out[i] = p.links[k]
+	}
+	return out
+}
+
+// Neighbors returns the enabled neighbors of id reachable over enabled
+// links, in ID order.
+func (p *Platform) Neighbors(id int) []int {
+	var out []int
+	for _, n := range p.adj[id] {
+		if !p.elements[n].enabled {
+			continue
+		}
+		if l := p.Link(id, n); l == nil || !l.enabled {
+			continue
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+// Degree returns the number of enabled neighbors of id. The cost
+// function uses it as the connectivity of an element: elements on chip
+// borders have lower degree and are favored for isolation-prone
+// placements (paper §III-D).
+func (p *Platform) Degree(id int) int { return len(p.Neighbors(id)) }
+
+// errors for placement bookkeeping
+var (
+	ErrDisabled     = errors.New("platform: element disabled")
+	ErrNotOccupant  = errors.New("platform: task not placed on element")
+	ErrDupOccupant  = errors.New("platform: task already placed on element")
+	ErrNoSuchTask   = errors.New("platform: unknown occupant")
+	ErrLinkDisabled = errors.New("platform: link disabled")
+	ErrNoVCs        = errors.New("platform: no free virtual channels")
+)
+
+// Place allocates demand on element id for the occupant. It is the
+// commit operation of the mapping phase.
+func (p *Platform) Place(id int, occ Occupant, demand resource.Vector) error {
+	e := p.Element(id)
+	if e == nil {
+		return fmt.Errorf("platform: place on unknown element %d", id)
+	}
+	if !e.enabled {
+		return fmt.Errorf("%w: element %d", ErrDisabled, id)
+	}
+	if _, dup := e.occupants[occ]; dup {
+		return fmt.Errorf("%w: %v on element %d", ErrDupOccupant, occ, id)
+	}
+	if err := e.pool.Alloc(demand); err != nil {
+		return err
+	}
+	e.occupants[occ] = demand.Clone()
+	e.wear++
+	return nil
+}
+
+// Restore places an occupant like Place but accepts disabled
+// elements: it re-establishes a layout that existed before a fault
+// (tasks cannot migrate, so a restored application keeps running where
+// it ran — paper §I-A).
+func (p *Platform) Restore(id int, occ Occupant, demand resource.Vector) error {
+	e := p.Element(id)
+	if e == nil {
+		return fmt.Errorf("platform: restore on unknown element %d", id)
+	}
+	if _, dup := e.occupants[occ]; dup {
+		return fmt.Errorf("%w: %v on element %d", ErrDupOccupant, occ, id)
+	}
+	if err := e.pool.Alloc(demand); err != nil {
+		return err
+	}
+	e.occupants[occ] = demand.Clone()
+	// Restoring is not new wear: the placement existed before.
+	return nil
+}
+
+// RestoreVC reserves a virtual channel like AllocVC but accepts
+// disabled links, for layout replay.
+func (p *Platform) RestoreVC(a, b int) error {
+	l := p.Link(a, b)
+	if l == nil {
+		return fmt.Errorf("platform: no link %d→%d", a, b)
+	}
+	if l.Free() <= 0 {
+		return fmt.Errorf("%w: %d→%d", ErrNoVCs, a, b)
+	}
+	l.used++
+	return nil
+}
+
+// Remove releases the occupant's resources from element id.
+func (p *Platform) Remove(id int, occ Occupant) error {
+	e := p.Element(id)
+	if e == nil {
+		return fmt.Errorf("platform: remove from unknown element %d", id)
+	}
+	demand, ok := e.occupants[occ]
+	if !ok {
+		return fmt.Errorf("%w: %v on element %d", ErrNotOccupant, occ, id)
+	}
+	if err := e.pool.Release(demand); err != nil {
+		return err
+	}
+	delete(e.occupants, occ)
+	return nil
+}
+
+// AllocVC reserves one virtual channel on the directed link a→b.
+func (p *Platform) AllocVC(a, b int) error {
+	l := p.Link(a, b)
+	if l == nil {
+		return fmt.Errorf("platform: no link %d→%d", a, b)
+	}
+	if !l.enabled {
+		return fmt.Errorf("%w: %d→%d", ErrLinkDisabled, a, b)
+	}
+	if l.Free() <= 0 {
+		return fmt.Errorf("%w: %d→%d", ErrNoVCs, a, b)
+	}
+	l.used++
+	return nil
+}
+
+// ReleaseVC returns one virtual channel on the directed link a→b.
+func (p *Platform) ReleaseVC(a, b int) error {
+	l := p.Link(a, b)
+	if l == nil {
+		return fmt.Errorf("platform: no link %d→%d", a, b)
+	}
+	if l.used <= 0 {
+		return fmt.Errorf("platform: over-release of VC on %d→%d", a, b)
+	}
+	l.used--
+	return nil
+}
+
+// DisableElement marks an element faulty. Its resources stay
+// allocated (running tasks are not migrated — the paper assumes task
+// migration is impossible), but no new placements or routes use it.
+func (p *Platform) DisableElement(id int) {
+	if e := p.Element(id); e != nil {
+		e.enabled = false
+	}
+}
+
+// EnableElement marks an element usable again.
+func (p *Platform) EnableElement(id int) {
+	if e := p.Element(id); e != nil {
+		e.enabled = true
+	}
+}
+
+// DisableLink marks both directions of the physical link a-b faulty.
+func (p *Platform) DisableLink(a, b int) {
+	if l := p.Link(a, b); l != nil {
+		l.enabled = false
+	}
+	if l := p.Link(b, a); l != nil {
+		l.enabled = false
+	}
+}
+
+// EnableLink marks both directions of the physical link a-b usable.
+func (p *Platform) EnableLink(a, b int) {
+	if l := p.Link(a, b); l != nil {
+		l.enabled = true
+	}
+	if l := p.Link(b, a); l != nil {
+		l.enabled = true
+	}
+}
+
+// Reset releases all occupants and virtual channels, returning the
+// platform to its empty state (experiments empty the platform between
+// sequences).
+func (p *Platform) Reset() {
+	for _, e := range p.elements {
+		e.pool.Reset()
+		e.occupants = make(map[Occupant]resource.Vector)
+	}
+	for _, l := range p.links {
+		l.used = 0
+	}
+}
+
+// Clone returns a deep copy, including allocation state and
+// enabled/disabled flags.
+func (p *Platform) Clone() *Platform {
+	q := New()
+	q.space = p.space
+	q.elements = make([]*Element, len(p.elements))
+	q.adj = make([][]int, len(p.adj))
+	for i, e := range p.elements {
+		occ := make(map[Occupant]resource.Vector, len(e.occupants))
+		for o, d := range e.occupants {
+			occ[o] = d.Clone()
+		}
+		q.elements[i] = &Element{
+			ID: e.ID, Type: e.Type, Name: e.Name, Pos: e.Pos, Package: e.Package,
+			pool: e.pool.Clone(), enabled: e.enabled, occupants: occ, wear: e.wear,
+		}
+		q.adj[i] = append([]int(nil), p.adj[i]...)
+	}
+	for k, l := range p.links {
+		q.links[k] = &Link{From: l.From, To: l.To, VCs: l.VCs, used: l.used, enabled: l.enabled}
+	}
+	return q
+}
+
+// CountByType returns how many enabled elements exist per type.
+func (p *Platform) CountByType() map[string]int {
+	out := make(map[string]int)
+	for _, e := range p.elements {
+		if e.enabled {
+			out[e.Type]++
+		}
+	}
+	return out
+}
+
+// FreeByType aggregates the free resources of enabled elements per
+// type. The binding phase uses it for the "required resources must be
+// available somewhere in the platform" check.
+func (p *Platform) FreeByType() map[string]resource.Vector {
+	out := make(map[string]resource.Vector)
+	for _, e := range p.elements {
+		if !e.enabled {
+			continue
+		}
+		free := e.pool.Free()
+		if cur, ok := out[e.Type]; ok {
+			out[e.Type] = cur.Add(free)
+		} else {
+			out[e.Type] = free
+		}
+	}
+	return out
+}
+
+// MaxFreeByType returns, per element type, the component-wise maximum
+// free vector over enabled elements of that type: the largest single
+// placement that could possibly succeed per axis.
+func (p *Platform) MaxFreeByType() map[string]resource.Vector {
+	out := make(map[string]resource.Vector)
+	for _, e := range p.elements {
+		if !e.enabled {
+			continue
+		}
+		free := e.pool.Free()
+		if cur, ok := out[e.Type]; ok {
+			out[e.Type] = cur.Max(free)
+		} else {
+			out[e.Type] = free.Clone()
+		}
+	}
+	return out
+}
+
+// ExternalFragmentation implements the paper's metric (§III-A): the
+// percentage of pairs of adjacent enabled elements of which exactly
+// one element is used, over all pairs of adjacent enabled elements.
+// Returns 0 when the platform has no adjacent pairs.
+func (p *Platform) ExternalFragmentation() float64 {
+	pairs, frag := 0, 0
+	for k, l := range p.links {
+		if k[0] > k[1] || !l.enabled { // count each physical pair once
+			continue
+		}
+		a, b := p.elements[k[0]], p.elements[k[1]]
+		if !a.enabled || !b.enabled {
+			continue
+		}
+		pairs++
+		if a.InUse() != b.InUse() {
+			frag++
+		}
+	}
+	if pairs == 0 {
+		return 0
+	}
+	return 100 * float64(frag) / float64(pairs)
+}
+
+// String summarizes the platform.
+func (p *Platform) String() string {
+	byType := p.CountByType()
+	types := make([]string, 0, len(byType))
+	for t := range byType {
+		types = append(types, t)
+	}
+	sort.Strings(types)
+	s := fmt.Sprintf("platform{%d elements, %d links", len(p.elements), len(p.links)/2)
+	for _, t := range types {
+		s += fmt.Sprintf(", %s:%d", t, byType[t])
+	}
+	return s + "}"
+}

@@ -1,0 +1,442 @@
+package platform
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/resource"
+)
+
+func line3() *Platform {
+	p := New()
+	a := p.AddElement(TypeDSP, "a", DSPCapacity)
+	b := p.AddElement(TypeDSP, "b", DSPCapacity)
+	c := p.AddElement(TypeDSP, "c", DSPCapacity)
+	p.MustConnect(a, b, 2)
+	p.MustConnect(b, c, 2)
+	return p
+}
+
+func TestAddAndConnect(t *testing.T) {
+	p := line3()
+	if p.NumElements() != 3 {
+		t.Fatalf("NumElements = %d, want 3", p.NumElements())
+	}
+	if got := p.Neighbors(1); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("Neighbors(1) = %v, want [0 2]", got)
+	}
+	if p.Degree(0) != 1 || p.Degree(1) != 2 {
+		t.Errorf("degrees = %d,%d, want 1,2", p.Degree(0), p.Degree(1))
+	}
+	if p.Link(0, 1) == nil || p.Link(1, 0) == nil {
+		t.Error("Connect must create both directions")
+	}
+	if p.Link(0, 2) != nil {
+		t.Error("no link 0-2 expected")
+	}
+}
+
+func TestConnectErrors(t *testing.T) {
+	p := line3()
+	if err := p.Connect(0, 0, 1); err == nil {
+		t.Error("self-link should fail")
+	}
+	if err := p.Connect(0, 1, 1); err == nil {
+		t.Error("duplicate link should fail")
+	}
+	if err := p.Connect(0, 99, 1); err == nil {
+		t.Error("out-of-range link should fail")
+	}
+}
+
+func TestPlaceRemove(t *testing.T) {
+	p := line3()
+	occ := Occupant{App: "app1", Task: 3}
+	demand := resource.Of(70, 32, 0, 0)
+	if err := p.Place(0, occ, demand); err != nil {
+		t.Fatalf("Place: %v", err)
+	}
+	e := p.Element(0)
+	if !e.InUse() || !e.HostsTask(occ) || !e.HostsApp("app1") {
+		t.Error("occupant bookkeeping wrong after Place")
+	}
+	if e.HostsApp("other") {
+		t.Error("HostsApp(other) should be false")
+	}
+	if err := p.Place(0, occ, demand); !errors.Is(err, ErrDupOccupant) {
+		t.Errorf("duplicate place error = %v", err)
+	}
+	// A second task that does not fit must fail and not corrupt state.
+	if err := p.Place(0, Occupant{App: "app1", Task: 4}, resource.Of(40, 0, 0, 0)); err == nil {
+		t.Error("overcommit place should fail")
+	}
+	if err := p.Remove(0, occ); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if e.InUse() {
+		t.Error("element still in use after Remove")
+	}
+	if err := p.Remove(0, occ); !errors.Is(err, ErrNotOccupant) {
+		t.Errorf("double remove error = %v", err)
+	}
+}
+
+func TestPlaceOnDisabled(t *testing.T) {
+	p := line3()
+	p.DisableElement(1)
+	err := p.Place(1, Occupant{App: "a", Task: 0}, resource.Of(1, 0, 0, 0))
+	if !errors.Is(err, ErrDisabled) {
+		t.Errorf("place on disabled = %v, want ErrDisabled", err)
+	}
+	p.EnableElement(1)
+	if err := p.Place(1, Occupant{App: "a", Task: 0}, resource.Of(1, 0, 0, 0)); err != nil {
+		t.Errorf("place after enable: %v", err)
+	}
+}
+
+func TestVCAllocation(t *testing.T) {
+	p := line3()
+	if err := p.AllocVC(0, 1); err != nil {
+		t.Fatalf("AllocVC: %v", err)
+	}
+	if err := p.AllocVC(0, 1); err != nil {
+		t.Fatalf("AllocVC second: %v", err)
+	}
+	if err := p.AllocVC(0, 1); !errors.Is(err, ErrNoVCs) {
+		t.Errorf("exhausted VC error = %v", err)
+	}
+	// Opposite direction has its own pool.
+	if err := p.AllocVC(1, 0); err != nil {
+		t.Errorf("opposite direction should have free VCs: %v", err)
+	}
+	if err := p.ReleaseVC(0, 1); err != nil {
+		t.Fatalf("ReleaseVC: %v", err)
+	}
+	if got := p.Link(0, 1).Used(); got != 1 {
+		t.Errorf("used after release = %d, want 1", got)
+	}
+	if err := p.ReleaseVC(2, 0); err == nil {
+		t.Error("release on missing link should fail")
+	}
+}
+
+func TestDisabledLinkBlocksNeighbors(t *testing.T) {
+	p := line3()
+	p.DisableLink(0, 1)
+	if got := p.Neighbors(0); len(got) != 0 {
+		t.Errorf("Neighbors(0) = %v, want none over disabled link", got)
+	}
+	if err := p.AllocVC(0, 1); !errors.Is(err, ErrLinkDisabled) {
+		t.Errorf("AllocVC over disabled link = %v", err)
+	}
+	p.EnableLink(0, 1)
+	if got := p.Neighbors(0); len(got) != 1 {
+		t.Errorf("Neighbors(0) after enable = %v", got)
+	}
+}
+
+func TestResetClearsEverything(t *testing.T) {
+	p := line3()
+	if err := p.Place(0, Occupant{App: "a", Task: 0}, resource.Of(10, 0, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AllocVC(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	p.Reset()
+	if p.Element(0).InUse() {
+		t.Error("element in use after Reset")
+	}
+	if p.Link(0, 1).Used() != 0 {
+		t.Error("VCs still used after Reset")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := line3()
+	occ := Occupant{App: "a", Task: 0}
+	if err := p.Place(0, occ, resource.Of(10, 0, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.AllocVC(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	q := p.Clone()
+	if !q.Element(0).HostsTask(occ) {
+		t.Error("clone lost occupant")
+	}
+	if q.Link(0, 1).Used() != 1 {
+		t.Error("clone lost VC state")
+	}
+	// Mutating the clone must not affect the original.
+	if err := q.Remove(0, occ); err != nil {
+		t.Fatal(err)
+	}
+	q.DisableElement(2)
+	if !p.Element(0).HostsTask(occ) {
+		t.Error("original lost occupant after clone mutation")
+	}
+	if !p.Element(2).Enabled() {
+		t.Error("original element disabled by clone mutation")
+	}
+}
+
+func TestBFSDistancesAndRings(t *testing.T) {
+	p := Mesh(4, 4, 2) // IDs: y*4+x
+	dist := p.BFSDistances([]int{0})
+	if dist[0] != 0 || dist[3] != 3 || dist[15] != 6 {
+		t.Errorf("mesh distances wrong: d(0)=%d d(3)=%d d(15)=%d", dist[0], dist[3], dist[15])
+	}
+	ring1 := p.Ring([]int{0}, 1)
+	if len(ring1) != 2 { // (1,0) and (0,1)
+		t.Errorf("Ring 1 = %v, want 2 elements", ring1)
+	}
+	within := p.WithinDistance([]int{0}, 2)
+	if len(within) != 6 { // 1 + 2 + 3
+		t.Errorf("WithinDistance 2 = %v, want 6 elements", within)
+	}
+	// Multi-origin BFS takes the nearest origin.
+	dist = p.BFSDistances([]int{0, 15})
+	if dist[5] != 2 || dist[10] != 2 {
+		t.Errorf("multi-origin distances wrong: d(5)=%d d(10)=%d", dist[5], dist[10])
+	}
+}
+
+func TestBFSRespectsDisabled(t *testing.T) {
+	p := line3()
+	p.DisableElement(1)
+	dist := p.BFSDistances([]int{0})
+	if dist[2] != Unreachable {
+		t.Errorf("d(2) = %d, want Unreachable through disabled element", dist[2])
+	}
+	if !p.Connected() == false {
+		// two enabled elements with no path: not connected
+		t.Log("connectivity check") // assertion below
+	}
+	if p.Connected() {
+		t.Error("platform with disabled middle element should be disconnected")
+	}
+	p.EnableElement(1)
+	if !p.Connected() {
+		t.Error("platform should be connected again")
+	}
+}
+
+func TestDistanceMatrix(t *testing.T) {
+	m := NewDistanceMatrix()
+	if _, ok := m.Lookup(1, 2); ok {
+		t.Error("empty matrix should miss")
+	}
+	if d, ok := m.Lookup(7, 7); !ok || d != 0 {
+		t.Error("self distance should be 0 and known")
+	}
+	m.Record(1, 2, 5)
+	if d, ok := m.Lookup(2, 1); !ok || d != 5 {
+		t.Errorf("symmetric lookup = %d,%v", d, ok)
+	}
+	// Smaller re-record wins; larger is ignored.
+	m.Record(1, 2, 3)
+	m.Record(1, 2, 9)
+	if d, _ := m.Lookup(1, 2); d != 3 {
+		t.Errorf("distance after re-records = %d, want 3", d)
+	}
+	if m.Len() != 2 {
+		t.Errorf("Len = %d, want 2", m.Len())
+	}
+}
+
+func TestDistanceMatrixRecordBFS(t *testing.T) {
+	p := Mesh(3, 3, 2)
+	m := NewDistanceMatrix()
+	dist := m.RecordBFS(p, []int{0})
+	if dist[8] != 4 {
+		t.Errorf("corner-to-corner distance = %d, want 4", dist[8])
+	}
+	if d, ok := m.Lookup(0, 8); !ok || d != 4 {
+		t.Errorf("matrix lookup after RecordBFS = %d,%v", d, ok)
+	}
+}
+
+func TestExternalFragmentation(t *testing.T) {
+	p := Mesh(2, 2, 2) // 4 elements, 4 physical links
+	if got := p.ExternalFragmentation(); got != 0 {
+		t.Errorf("empty platform fragmentation = %v, want 0", got)
+	}
+	// Occupy one corner: its 2 links become mixed pairs → 2/4 = 50%.
+	if err := p.Place(0, Occupant{App: "a", Task: 0}, resource.Of(1, 0, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.ExternalFragmentation(); got != 50 {
+		t.Errorf("fragmentation = %v, want 50", got)
+	}
+	// Occupy everything: no mixed pairs.
+	for id := 1; id < 4; id++ {
+		if err := p.Place(id, Occupant{App: "a", Task: id}, resource.Of(1, 0, 0, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := p.ExternalFragmentation(); got != 0 {
+		t.Errorf("full platform fragmentation = %v, want 0", got)
+	}
+}
+
+func TestCRISPShape(t *testing.T) {
+	p := CRISP()
+	byType := p.CountByType()
+	want := map[string]int{
+		TypeDSP: 45, TypeMemory: 10, TypeTest: 5,
+		TypeGPP: 1, TypeFPGA: 1, TypeIO: 2,
+	}
+	for typ, n := range want {
+		if byType[typ] != n {
+			t.Errorf("CRISP %s count = %d, want %d", typ, byType[typ], n)
+		}
+	}
+	if !p.Connected() {
+		t.Error("CRISP platform should be connected")
+	}
+	// The hub (FPGA) must have high degree: ARM + 2 IO + 2 bridges
+	// per package.
+	if got := p.Degree(0); got != 13 {
+		t.Errorf("FPGA degree = %d, want 13", got)
+	}
+}
+
+func TestMeshBuilders(t *testing.T) {
+	p := Mesh(5, 3, 2)
+	if p.NumElements() != 15 {
+		t.Errorf("Mesh size = %d, want 15", p.NumElements())
+	}
+	if !p.Connected() {
+		t.Error("mesh should be connected")
+	}
+	q := MeshWithIO(3, 3, 2)
+	if got := q.CountByType()[TypeIO]; got != 2 {
+		t.Errorf("MeshWithIO io count = %d, want 2", got)
+	}
+	if !q.Connected() {
+		t.Error("MeshWithIO should be connected")
+	}
+}
+
+func TestPropertyIrregularConnected(t *testing.T) {
+	f := func(seed int64) bool {
+		p := Irregular(24, seed)
+		return p.NumElements() == 24 && p.Connected()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyBFSTriangleInequality(t *testing.T) {
+	// d(origins, x) computed by BFS never exceeds d(origins, n)+1 for
+	// any neighbor n of x.
+	f := func(seed int64) bool {
+		p := Irregular(16, seed)
+		dist := p.BFSDistances([]int{0})
+		for _, e := range p.Elements() {
+			for _, n := range p.Neighbors(e.ID) {
+				if dist[e.ID] == Unreachable || dist[n] == Unreachable {
+					continue
+				}
+				if dist[e.ID] > dist[n]+1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFreeByTypeAndMaxFree(t *testing.T) {
+	p := CRISP()
+	free := p.FreeByType()
+	if free[TypeDSP][resource.Compute] != 45*100 {
+		t.Errorf("aggregate DSP compute = %d, want 4500", free[TypeDSP][resource.Compute])
+	}
+	maxFree := p.MaxFreeByType()
+	if !maxFree[TypeDSP].Equal(DSPCapacity) {
+		t.Errorf("max free DSP = %v, want %v", maxFree[TypeDSP], DSPCapacity)
+	}
+	// Occupy one DSP fully; aggregate drops, max stays (44 empty left).
+	dsp := -1
+	for _, e := range p.Elements() {
+		if e.Type == TypeDSP {
+			dsp = e.ID
+			break
+		}
+	}
+	if dsp < 0 {
+		t.Fatal("no DSP found in CRISP platform")
+	}
+	if err := p.Place(dsp, Occupant{App: "a", Task: 0}, DSPCapacity); err != nil {
+		t.Fatal(err)
+	}
+	free = p.FreeByType()
+	if free[TypeDSP][resource.Compute] != 44*100 {
+		t.Errorf("aggregate DSP compute after place = %d", free[TypeDSP][resource.Compute])
+	}
+}
+
+func TestStringSummaries(t *testing.T) {
+	p := line3()
+	if s := p.String(); s == "" {
+		t.Error("empty String")
+	}
+	if p.Element(99) != nil {
+		t.Error("out-of-range Element should be nil")
+	}
+	occs := p.Element(0).Occupants()
+	if len(occs) != 0 {
+		t.Errorf("unexpected occupants %v", occs)
+	}
+}
+
+func TestRestoreOnDisabledElement(t *testing.T) {
+	p := line3()
+	occ := Occupant{App: "a", Task: 0}
+	demand := resource.Of(10, 0, 0, 0)
+	p.DisableElement(0)
+	if err := p.Place(0, occ, demand); !errors.Is(err, ErrDisabled) {
+		t.Fatalf("Place on disabled = %v, want ErrDisabled", err)
+	}
+	if err := p.Restore(0, occ, demand); err != nil {
+		t.Fatalf("Restore on disabled: %v", err)
+	}
+	if !p.Element(0).HostsTask(occ) {
+		t.Error("occupant missing after Restore")
+	}
+	// Restore does not add wear (the placement pre-existed).
+	if got := p.Element(0).Wear(); got != 0 {
+		t.Errorf("wear after Restore = %d, want 0", got)
+	}
+	if err := p.Restore(0, occ, demand); !errors.Is(err, ErrDupOccupant) {
+		t.Errorf("duplicate Restore = %v, want ErrDupOccupant", err)
+	}
+}
+
+func TestRestoreVCOnDisabledLink(t *testing.T) {
+	p := line3()
+	p.DisableLink(0, 1)
+	if err := p.AllocVC(0, 1); !errors.Is(err, ErrLinkDisabled) {
+		t.Fatalf("AllocVC = %v, want ErrLinkDisabled", err)
+	}
+	if err := p.RestoreVC(0, 1); err != nil {
+		t.Fatalf("RestoreVC: %v", err)
+	}
+	if p.Link(0, 1).Used() != 1 {
+		t.Error("VC not restored")
+	}
+	// Capacity still enforced.
+	if err := p.RestoreVC(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RestoreVC(0, 1); !errors.Is(err, ErrNoVCs) {
+		t.Errorf("over-restore = %v, want ErrNoVCs", err)
+	}
+}

@@ -1,0 +1,171 @@
+package platform
+
+// Topology search primitives. The mapping phase traverses the platform
+// with breadth-first search starting from the elements allocated in
+// the previous iteration (paper §III-B); the routing phase and the
+// distance estimates both rely on hop distances over enabled links.
+
+// Unreachable is the distance reported for elements that cannot be
+// reached from the BFS origins.
+const Unreachable = -1
+
+// BFSDistances returns the hop distance from the nearest origin to
+// every element, over enabled elements and links. Disabled elements
+// and elements with no path get Unreachable. Disabled origins are
+// ignored.
+func (p *Platform) BFSDistances(origins []int) []int {
+	dist := make([]int, len(p.elements))
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	queue := make([]int, 0, len(origins))
+	for _, o := range origins {
+		if o < 0 || o >= len(p.elements) || !p.elements[o].enabled {
+			continue
+		}
+		if dist[o] == Unreachable {
+			dist[o] = 0
+			queue = append(queue, o)
+		}
+	}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, n := range p.Neighbors(cur) {
+			if dist[n] == Unreachable {
+				dist[n] = dist[cur] + 1
+				queue = append(queue, n)
+			}
+		}
+	}
+	return dist
+}
+
+// Ring returns the elements at exactly hop distance k from the origin
+// set (the k-th neighborhood N_k), in ID order. Ring(origins, 0)
+// returns the enabled origins themselves.
+func (p *Platform) Ring(origins []int, k int) []int {
+	dist := p.BFSDistances(origins)
+	var out []int
+	for id, d := range dist {
+		if d == k {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// WithinDistance returns all elements at hop distance ≤ k from the
+// origin set, in ID order.
+func (p *Platform) WithinDistance(origins []int, k int) []int {
+	dist := p.BFSDistances(origins)
+	var out []int
+	for id, d := range dist {
+		if d != Unreachable && d <= k {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Connected reports whether all enabled elements are mutually
+// reachable over enabled links. Builders use it as a sanity check and
+// the fault-tolerance example uses it to detect platform partition.
+func (p *Platform) Connected() bool {
+	start := -1
+	enabled := 0
+	for _, e := range p.elements {
+		if e.enabled {
+			enabled++
+			if start < 0 {
+				start = e.ID
+			}
+		}
+	}
+	if enabled <= 1 {
+		return true
+	}
+	dist := p.BFSDistances([]int{start})
+	for _, e := range p.elements {
+		if e.enabled && dist[e.ID] == Unreachable {
+			return false
+		}
+	}
+	return true
+}
+
+// DistanceMatrix is the sparse distance matrix built while searching
+// the platform for elements (paper §III-D): lookups that were never
+// discovered during the search fail, and the cost function charges a
+// penalty for them.
+type DistanceMatrix struct {
+	d map[int]map[int]int
+}
+
+// NewDistanceMatrix returns an empty sparse matrix.
+func NewDistanceMatrix() *DistanceMatrix {
+	return &DistanceMatrix{d: make(map[int]map[int]int)}
+}
+
+// Record stores the (symmetric) distance between two elements.
+func (m *DistanceMatrix) Record(a, b, dist int) {
+	m.set(a, b, dist)
+	m.set(b, a, dist)
+}
+
+func (m *DistanceMatrix) set(a, b, dist int) {
+	row, ok := m.d[a]
+	if !ok {
+		row = make(map[int]int)
+		m.d[a] = row
+	}
+	// Keep the smallest observed distance: rings may rediscover an
+	// element from a closer origin in a later iteration.
+	if cur, seen := row[b]; !seen || dist < cur {
+		row[b] = dist
+	}
+}
+
+// Lookup returns the recorded distance and whether it is known.
+func (m *DistanceMatrix) Lookup(a, b int) (int, bool) {
+	if a == b {
+		return 0, true
+	}
+	row, ok := m.d[a]
+	if !ok {
+		return 0, false
+	}
+	d, ok := row[b]
+	return d, ok
+}
+
+// Len returns the number of (directed) entries, for introspection.
+func (m *DistanceMatrix) Len() int {
+	n := 0
+	for _, row := range m.d {
+		n += len(row)
+	}
+	return n
+}
+
+// RecordBFS runs a BFS from the origins and records the distance of
+// every reached element to each origin. It returns the distance slice
+// for reuse. This is how the mapping phase populates the sparse matrix
+// "while searching the platform for elements".
+func (m *DistanceMatrix) RecordBFS(p *Platform, origins []int) []int {
+	dist := p.BFSDistances(origins)
+	for id, d := range dist {
+		if d == Unreachable {
+			continue
+		}
+		for _, o := range origins {
+			// Distance to the *set* of origins is a lower bound on
+			// the per-origin distance; record against every origin so
+			// route-cost lookups between a candidate and any mapped
+			// peer succeed. The per-origin refinement happens when
+			// the candidate is later used as an origin itself.
+			m.Record(o, id, d)
+		}
+	}
+	return dist
+}

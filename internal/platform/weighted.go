@@ -1,0 +1,89 @@
+package platform
+
+import "container/heap"
+
+// LinkWeight returns the cost of crossing one link for distance
+// estimation purposes. Weighted distances let the mapping cost
+// function reflect that some links are scarcer than others — on CRISP,
+// the inter-package bridges aggregate the traffic of whole packages,
+// so a bridge hop should look "longer" than a mesh hop.
+type LinkWeight func(a, b int) int
+
+// UnitWeight weighs every link 1, reducing WeightedDistances to plain
+// BFS hop distances.
+func UnitWeight(a, b int) int { return 1 }
+
+// CrossPackageWeight returns a LinkWeight that charges penalty for
+// links crossing a package boundary — between different packages, or
+// between a package and the hub/IO elements (Package < 0) — and 1
+// otherwise. Platforms without package structure (every element has
+// Package < 0, e.g. plain meshes) see uniform weight 1.
+func CrossPackageWeight(p *Platform, penalty int) LinkWeight {
+	return func(a, b int) int {
+		ea, eb := p.Element(a), p.Element(b)
+		if ea == nil || eb == nil {
+			return penalty
+		}
+		if ea.Package == eb.Package || (ea.Package < 0 && eb.Package < 0) {
+			return 1
+		}
+		return penalty
+	}
+}
+
+type wqItem struct {
+	elem int
+	dist int
+}
+
+type wq []wqItem
+
+func (q wq) Len() int           { return len(q) }
+func (q wq) Less(i, j int) bool { return q[i].dist < q[j].dist }
+func (q wq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *wq) Push(x any)        { *q = append(*q, x.(wqItem)) }
+func (q *wq) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	*q = old[:n-1]
+	return it
+}
+
+// WeightedDistances returns the least total link weight from the
+// nearest origin to every element over enabled elements and links
+// (multi-source Dijkstra with integer weights). Unreachable elements
+// get Unreachable.
+func (p *Platform) WeightedDistances(origins []int, weight LinkWeight) []int {
+	if weight == nil {
+		weight = UnitWeight
+	}
+	dist := make([]int, len(p.elements))
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	q := &wq{}
+	for _, o := range origins {
+		if o < 0 || o >= len(p.elements) || !p.elements[o].enabled {
+			continue
+		}
+		if dist[o] != 0 {
+			dist[o] = 0
+			heap.Push(q, wqItem{o, 0})
+		}
+	}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(wqItem)
+		if dist[it.elem] != it.dist {
+			continue // stale entry
+		}
+		for _, n := range p.Neighbors(it.elem) {
+			nd := it.dist + weight(it.elem, n)
+			if dist[n] == Unreachable || nd < dist[n] {
+				dist[n] = nd
+				heap.Push(q, wqItem{n, nd})
+			}
+		}
+	}
+	return dist
+}

@@ -1,0 +1,127 @@
+package platform
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWeightedDistancesUnitEqualsBFS(t *testing.T) {
+	f := func(seed int64) bool {
+		p := Irregular(14, seed)
+		bfs := p.BFSDistances([]int{0})
+		dij := p.WeightedDistances([]int{0}, UnitWeight)
+		for i := range bfs {
+			if bfs[i] != dij[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWeightedDistancesNilWeight(t *testing.T) {
+	p := Mesh(3, 3, 2)
+	d := p.WeightedDistances([]int{0}, nil)
+	if d[8] != 4 {
+		t.Errorf("nil weight should behave like unit weight: d(8) = %d", d[8])
+	}
+}
+
+func TestCrossPackageWeight(t *testing.T) {
+	p := CRISP()
+	w := CrossPackageWeight(p, 4)
+	// Find an intra-package mesh link and the FPGA bridge.
+	var intraA, intraB, bridgeA, bridgeB int = -1, -1, -1, -1
+	for _, l := range p.Links() {
+		ea, eb := p.Element(l.From), p.Element(l.To)
+		if ea.Package >= 0 && ea.Package == eb.Package && intraA < 0 {
+			intraA, intraB = l.From, l.To
+		}
+		if ea.Type == TypeFPGA && eb.Package >= 0 && bridgeA < 0 {
+			bridgeA, bridgeB = l.From, l.To
+		}
+	}
+	if intraA < 0 || bridgeA < 0 {
+		t.Fatal("expected both intra-package and bridge links in CRISP")
+	}
+	if got := w(intraA, intraB); got != 1 {
+		t.Errorf("intra-package weight = %d, want 1", got)
+	}
+	if got := w(bridgeA, bridgeB); got != 4 {
+		t.Errorf("bridge weight = %d, want 4", got)
+	}
+	if got := w(-1, 0); got != 4 {
+		t.Errorf("out-of-range weight = %d, want penalty", got)
+	}
+}
+
+func TestWeightedDistancesPenalizeCrossPackage(t *testing.T) {
+	p := CRISP()
+	// From a package-0 DSP, every element of another package must be
+	// at least the penalty away, while package-0 neighbors stay at 1.
+	var p0dsp int = -1
+	for _, e := range p.Elements() {
+		if e.Type == TypeDSP && e.Package == 0 {
+			p0dsp = e.ID
+			break
+		}
+	}
+	d := p.WeightedDistances([]int{p0dsp}, CrossPackageWeight(p, 5))
+	for _, e := range p.Elements() {
+		if e.ID == p0dsp || d[e.ID] == Unreachable {
+			continue
+		}
+		if e.Package >= 0 && e.Package != 0 && d[e.ID] < 5 {
+			t.Errorf("element %s (pkg %d) at weighted distance %d < penalty", e.Name, e.Package, d[e.ID])
+		}
+	}
+	for _, n := range p.Neighbors(p0dsp) {
+		if p.Element(n).Package == 0 && d[n] != 1 {
+			t.Errorf("intra-package neighbor %d at distance %d, want 1", n, d[n])
+		}
+	}
+}
+
+func TestWeightedDistancesRespectDisabled(t *testing.T) {
+	p := Mesh(3, 1, 2) // 0-1-2
+	p.DisableElement(1)
+	d := p.WeightedDistances([]int{0}, UnitWeight)
+	if d[2] != Unreachable {
+		t.Errorf("d(2) = %d, want Unreachable", d[2])
+	}
+}
+
+func TestPropertyWeightedDistanceBounds(t *testing.T) {
+	// For a weight function in [1, k], the weighted distance is
+	// between the hop distance and k× the hop distance.
+	f := func(seed int64) bool {
+		p := Irregular(12, seed)
+		const k = 3
+		w := func(a, b int) int {
+			if (a+b)%2 == 0 {
+				return k
+			}
+			return 1
+		}
+		hops := p.BFSDistances([]int{0})
+		wd := p.WeightedDistances([]int{0}, w)
+		for i := range hops {
+			if (hops[i] == Unreachable) != (wd[i] == Unreachable) {
+				return false
+			}
+			if hops[i] == Unreachable {
+				continue
+			}
+			if wd[i] < hops[i] || wd[i] > k*hops[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,81 @@
+package resource
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrInsufficient is returned by Pool.Alloc when the demand does not
+// fit in the currently free resources.
+var ErrInsufficient = errors.New("resource: insufficient free resources")
+
+// ErrOverRelease is returned by Pool.Release when releasing more than
+// is currently allocated on some axis.
+var ErrOverRelease = errors.New("resource: release exceeds allocation")
+
+// Pool tracks allocation state against a fixed capacity vector. It is
+// the bookkeeping half of a processing element: the platform layer
+// embeds one Pool per element.
+//
+// A Pool is not safe for concurrent use; the resource manager
+// serializes allocation attempts (as the Kairos prototype does inside
+// the kernel).
+type Pool struct {
+	capacity Vector
+	used     Vector
+}
+
+// NewPool returns an empty pool with the given capacity.
+func NewPool(capacity Vector) *Pool {
+	return &Pool{capacity: capacity.Clone(), used: make(Vector, len(capacity))}
+}
+
+// Capacity returns the total capacity vector (not a copy; treat as
+// read-only).
+func (p *Pool) Capacity() Vector { return p.capacity }
+
+// Used returns the currently allocated vector (not a copy; treat as
+// read-only).
+func (p *Pool) Used() Vector { return p.used }
+
+// Free returns a fresh vector of currently free resources.
+func (p *Pool) Free() Vector { return p.capacity.Sub(p.used) }
+
+// Fits reports whether demand fits in the free resources.
+func (p *Pool) Fits(demand Vector) bool { return demand.Fits(p.Free()) }
+
+// InUse reports whether any resource is currently allocated.
+func (p *Pool) InUse() bool { return !p.used.Zero() }
+
+// Alloc reserves demand from the pool, or returns ErrInsufficient
+// (wrapped with the offending demand) leaving the pool unchanged.
+func (p *Pool) Alloc(demand Vector) error {
+	if !p.Fits(demand) {
+		return fmt.Errorf("%w: demand %v, free %v", ErrInsufficient, demand, p.Free())
+	}
+	p.used.AddInPlace(demand)
+	return nil
+}
+
+// Release returns demand to the pool, or returns ErrOverRelease
+// leaving the pool unchanged.
+func (p *Pool) Release(demand Vector) error {
+	next := p.used.Sub(demand)
+	if !next.NonNegative() {
+		return fmt.Errorf("%w: release %v, used %v", ErrOverRelease, demand, p.used)
+	}
+	p.used = next
+	return nil
+}
+
+// Reset frees everything.
+func (p *Pool) Reset() { p.used = make(Vector, len(p.capacity)) }
+
+// Clone returns an independent copy of the pool, including its
+// allocation state. Experiments use this to snapshot platforms.
+func (p *Pool) Clone() *Pool {
+	return &Pool{capacity: p.capacity.Clone(), used: p.used.Clone()}
+}
+
+// Utilization returns the highest per-axis used/capacity fraction.
+func (p *Pool) Utilization() float64 { return p.used.Utilization(p.capacity) }

@@ -1,0 +1,259 @@
+// Package resource provides the vector notation for resources used
+// throughout the resource manager, following the formulation of
+// Hölzenspies et al. (Dagstuhl 07101) adopted by the paper: both the
+// resources provided by processing elements and the resources required
+// by task implementations are expressed as integer vectors over a
+// common set of axes (a Space).
+//
+// All arithmetic is component-wise. Vectors of different lengths never
+// make sense together; mixing them is a programming error and panics,
+// in the same spirit as indexing a slice out of range.
+package resource
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind identifies one axis of a resource Space.
+type Kind int
+
+// The axes of the default resource space. Platform builders and the
+// application generator agree on these: an element advertises capacity
+// on each axis and an implementation demands some of it.
+const (
+	// Compute is abstract processing capacity. An element offering
+	// Compute=100 is one fully available processor; implementations
+	// demand a share of it (time-sharing below 100%).
+	Compute Kind = iota
+	// Memory is local data memory, in KiB.
+	Memory
+	// IO is the number of external input/output ports.
+	IO
+	// Config is reconfigurable fabric area (for FPGA-like elements),
+	// in abstract configuration units.
+	Config
+
+	// NumKinds is the length of the default Space.
+	NumKinds
+)
+
+// DefaultSpace names the axes of the default resource space, indexed
+// by Kind.
+var DefaultSpace = Space{"compute", "memory", "io", "config"}
+
+// Space names the axes of a resource vector. It exists mainly for
+// formatting and (de)serialization; the algorithms only care about
+// vector length.
+type Space []string
+
+// Axis returns the index of the named axis, or -1 when absent.
+func (s Space) Axis(name string) Kind {
+	for i, n := range s {
+		if n == name {
+			return Kind(i)
+		}
+	}
+	return -1
+}
+
+// Vector is a resource vector: requirements of an implementation, or
+// capacity / free resources of a processing element. Values are
+// non-negative in well-formed vectors; arithmetic does not clamp, so
+// callers can detect over-release.
+type Vector []int64
+
+// New returns a zero vector for the default space.
+func New() Vector { return make(Vector, NumKinds) }
+
+// Of builds a vector in the default space from the given axis values.
+// Missing axes are zero.
+func Of(compute, memory, io, config int64) Vector {
+	return Vector{compute, memory, io, config}
+}
+
+// Zero reports whether every component is zero. A nil vector is zero.
+func (v Vector) Zero() bool {
+	for _, x := range v {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns an independent copy of v.
+func (v Vector) Clone() Vector {
+	if v == nil {
+		return nil
+	}
+	w := make(Vector, len(v))
+	copy(w, v)
+	return w
+}
+
+func (v Vector) mustMatch(w Vector, op string) {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("resource: %s on vectors of different spaces (%d vs %d axes)", op, len(v), len(w)))
+	}
+}
+
+// Add returns v + w component-wise.
+func (v Vector) Add(w Vector) Vector {
+	v.mustMatch(w, "Add")
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] + w[i]
+	}
+	return out
+}
+
+// Sub returns v - w component-wise. Components may go negative; use
+// Fits to ask whether w can be taken from v without doing so.
+func (v Vector) Sub(w Vector) Vector {
+	v.mustMatch(w, "Sub")
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] - w[i]
+	}
+	return out
+}
+
+// AddInPlace adds w into v without allocating.
+func (v Vector) AddInPlace(w Vector) {
+	v.mustMatch(w, "AddInPlace")
+	for i := range v {
+		v[i] += w[i]
+	}
+}
+
+// SubInPlace subtracts w from v without allocating.
+func (v Vector) SubInPlace(w Vector) {
+	v.mustMatch(w, "SubInPlace")
+	for i := range v {
+		v[i] -= w[i]
+	}
+}
+
+// Fits reports whether v <= capacity on every axis: a demand v fits in
+// the free resources `capacity`.
+func (v Vector) Fits(capacity Vector) bool {
+	v.mustMatch(capacity, "Fits")
+	for i := range v {
+		if v[i] > capacity[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Dominates reports whether v >= w on every axis.
+func (v Vector) Dominates(w Vector) bool {
+	v.mustMatch(w, "Dominates")
+	for i := range v {
+		if v[i] < w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// NonNegative reports whether no component is negative.
+func (v Vector) NonNegative() bool {
+	for _, x := range v {
+		if x < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Max returns the component-wise maximum of v and w.
+func (v Vector) Max(w Vector) Vector {
+	v.mustMatch(w, "Max")
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = max(v[i], w[i])
+	}
+	return out
+}
+
+// Min returns the component-wise minimum of v and w.
+func (v Vector) Min(w Vector) Vector {
+	v.mustMatch(w, "Min")
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = min(v[i], w[i])
+	}
+	return out
+}
+
+// Scale returns v with every component multiplied by k.
+func (v Vector) Scale(k int64) Vector {
+	out := make(Vector, len(v))
+	for i := range v {
+		out[i] = v[i] * k
+	}
+	return out
+}
+
+// Sum returns the sum of all components. It is a crude scalar measure
+// of "total demand", used for density orderings in the knapsack
+// heuristics.
+func (v Vector) Sum() int64 {
+	var s int64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Utilization returns the largest per-axis fraction v[i]/cap[i] over
+// axes where cap[i] > 0, as a float in [0, +inf). It measures how much
+// of an element a demand occupies.
+func (v Vector) Utilization(capacity Vector) float64 {
+	v.mustMatch(capacity, "Utilization")
+	u := 0.0
+	for i := range v {
+		if capacity[i] <= 0 {
+			continue
+		}
+		if f := float64(v[i]) / float64(capacity[i]); f > u {
+			u = f
+		}
+	}
+	return u
+}
+
+// Equal reports component-wise equality. Vectors from different spaces
+// are never equal.
+func (v Vector) Equal(w Vector) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if v[i] != w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String formats the vector in the default space when lengths agree,
+// e.g. "{compute:70 memory:32 io:0 config:0}"; otherwise plain numbers.
+func (v Vector) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, x := range v {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if len(v) == len(DefaultSpace) {
+			fmt.Fprintf(&b, "%s:%d", DefaultSpace[i], x)
+		} else {
+			fmt.Fprintf(&b, "%d", x)
+		}
+	}
+	b.WriteByte('}')
+	return b.String()
+}

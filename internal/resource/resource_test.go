@@ -1,0 +1,278 @@
+package resource
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestOfAndAccessors(t *testing.T) {
+	v := Of(70, 32, 1, 5)
+	if v[Compute] != 70 || v[Memory] != 32 || v[IO] != 1 || v[Config] != 5 {
+		t.Fatalf("Of misplaced components: %v", v)
+	}
+	if len(v) != int(NumKinds) {
+		t.Fatalf("Of length = %d, want %d", len(v), NumKinds)
+	}
+}
+
+func TestZero(t *testing.T) {
+	if !New().Zero() {
+		t.Error("New() should be zero")
+	}
+	if !(Vector(nil)).Zero() {
+		t.Error("nil vector should be zero")
+	}
+	if Of(0, 0, 1, 0).Zero() {
+		t.Error("non-zero vector reported zero")
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	a := Of(10, 20, 30, 40)
+	b := Of(1, 2, 3, 4)
+	if got, want := a.Add(b), Of(11, 22, 33, 44); !got.Equal(want) {
+		t.Errorf("Add = %v, want %v", got, want)
+	}
+	if got, want := a.Sub(b), Of(9, 18, 27, 36); !got.Equal(want) {
+		t.Errorf("Sub = %v, want %v", got, want)
+	}
+	// Sub may go negative, and NonNegative must notice.
+	if b.Sub(a).NonNegative() {
+		t.Error("Sub below zero not detected by NonNegative")
+	}
+}
+
+func TestInPlaceMatchesPure(t *testing.T) {
+	a := Of(5, 6, 7, 8)
+	b := Of(1, 1, 2, 2)
+	c := a.Clone()
+	c.AddInPlace(b)
+	if !c.Equal(a.Add(b)) {
+		t.Errorf("AddInPlace = %v, want %v", c, a.Add(b))
+	}
+	d := a.Clone()
+	d.SubInPlace(b)
+	if !d.Equal(a.Sub(b)) {
+		t.Errorf("SubInPlace = %v, want %v", d, a.Sub(b))
+	}
+}
+
+func TestFitsDominates(t *testing.T) {
+	capacity := Of(100, 64, 2, 0)
+	if !Of(100, 64, 2, 0).Fits(capacity) {
+		t.Error("equal demand should fit")
+	}
+	if Of(101, 0, 0, 0).Fits(capacity) {
+		t.Error("over-demand on compute should not fit")
+	}
+	if !capacity.Dominates(Of(1, 1, 1, 0)) {
+		t.Error("capacity should dominate smaller vector")
+	}
+	if capacity.Dominates(Of(0, 0, 0, 1)) {
+		t.Error("capacity lacks config axis, should not dominate")
+	}
+}
+
+func TestMaxMinScaleSum(t *testing.T) {
+	a := Of(1, 5, 3, 0)
+	b := Of(2, 4, 3, 1)
+	if got, want := a.Max(b), Of(2, 5, 3, 1); !got.Equal(want) {
+		t.Errorf("Max = %v, want %v", got, want)
+	}
+	if got, want := a.Min(b), Of(1, 4, 3, 0); !got.Equal(want) {
+		t.Errorf("Min = %v, want %v", got, want)
+	}
+	if got, want := a.Scale(3), Of(3, 15, 9, 0); !got.Equal(want) {
+		t.Errorf("Scale = %v, want %v", got, want)
+	}
+	if got := a.Sum(); got != 9 {
+		t.Errorf("Sum = %d, want 9", got)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	capacity := Of(100, 64, 2, 0)
+	if got := Of(50, 64, 0, 0).Utilization(capacity); got != 1.0 {
+		t.Errorf("Utilization = %v, want 1.0 (memory full)", got)
+	}
+	if got := Of(25, 16, 0, 0).Utilization(capacity); got != 0.25 {
+		t.Errorf("Utilization = %v, want 0.25", got)
+	}
+	// Axis with zero capacity is ignored even when demanded.
+	if got := Of(0, 0, 0, 9).Utilization(capacity); got != 0 {
+		t.Errorf("Utilization = %v, want 0 for zero-capacity axis", got)
+	}
+}
+
+func TestMismatchedSpacesPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add on mismatched spaces should panic")
+		}
+	}()
+	_ = Of(1, 2, 3, 4).Add(Vector{1, 2})
+}
+
+func TestEqualAcrossSpaces(t *testing.T) {
+	if (Vector{1, 2}).Equal(Vector{1, 2, 0}) {
+		t.Error("vectors of different lengths must not be equal")
+	}
+}
+
+func TestSpaceAxis(t *testing.T) {
+	if DefaultSpace.Axis("memory") != Memory {
+		t.Error("Axis(memory) wrong")
+	}
+	if DefaultSpace.Axis("bogus") != -1 {
+		t.Error("Axis(bogus) should be -1")
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	got := Of(1, 2, 3, 4).String()
+	want := "{compute:1 memory:2 io:3 config:4}"
+	if got != want {
+		t.Errorf("String = %q, want %q", got, want)
+	}
+	if got := (Vector{7, 8}).String(); got != "{7 8}" {
+		t.Errorf("String (foreign space) = %q, want {7 8}", got)
+	}
+}
+
+// randVec produces a small non-negative vector for property tests.
+func randVec(r *rand.Rand) Vector {
+	v := New()
+	for i := range v {
+		v[i] = int64(r.Intn(1000))
+	}
+	return v
+}
+
+func TestPropertyAddSubRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randVec(r), randVec(r)
+		return a.Add(b).Sub(b).Equal(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyAddCommutative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randVec(r), randVec(r)
+		return a.Add(b).Equal(b.Add(a))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyFitsIffSubNonNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		demand, capacity := randVec(r), randVec(r)
+		return demand.Fits(capacity) == capacity.Sub(demand).NonNegative()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMaxDominatesBoth(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a, b := randVec(r), randVec(r)
+		m := a.Max(b)
+		return m.Dominates(a) && m.Dominates(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoolAllocRelease(t *testing.T) {
+	p := NewPool(Of(100, 64, 2, 0))
+	if err := p.Alloc(Of(60, 32, 1, 0)); err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if !p.InUse() {
+		t.Error("pool should be in use")
+	}
+	if got, want := p.Free(), Of(40, 32, 1, 0); !got.Equal(want) {
+		t.Errorf("Free = %v, want %v", got, want)
+	}
+	if err := p.Alloc(Of(50, 0, 0, 0)); !errors.Is(err, ErrInsufficient) {
+		t.Errorf("over-alloc error = %v, want ErrInsufficient", err)
+	}
+	// Failed alloc must not change state.
+	if got, want := p.Free(), Of(40, 32, 1, 0); !got.Equal(want) {
+		t.Errorf("Free after failed alloc = %v, want %v", got, want)
+	}
+	if err := p.Release(Of(60, 32, 1, 0)); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if p.InUse() {
+		t.Error("pool should be empty after release")
+	}
+	if err := p.Release(Of(1, 0, 0, 0)); !errors.Is(err, ErrOverRelease) {
+		t.Errorf("over-release error = %v, want ErrOverRelease", err)
+	}
+}
+
+func TestPoolCloneIndependent(t *testing.T) {
+	p := NewPool(Of(10, 10, 10, 10))
+	if err := p.Alloc(Of(5, 5, 5, 5)); err != nil {
+		t.Fatal(err)
+	}
+	q := p.Clone()
+	if err := q.Alloc(Of(5, 5, 5, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := p.Free(), Of(5, 5, 5, 5); !got.Equal(want) {
+		t.Errorf("original pool changed by clone's alloc: free %v, want %v", got, want)
+	}
+	if !q.Free().Zero() {
+		t.Errorf("clone free = %v, want zero", q.Free())
+	}
+}
+
+func TestPoolReset(t *testing.T) {
+	p := NewPool(Of(10, 10, 10, 10))
+	if err := p.Alloc(Of(3, 3, 3, 3)); err != nil {
+		t.Fatal(err)
+	}
+	p.Reset()
+	if p.InUse() {
+		t.Error("pool in use after Reset")
+	}
+	if got := p.Utilization(); got != 0 {
+		t.Errorf("Utilization after reset = %v", got)
+	}
+}
+
+func TestPropertyPoolNeverNegative(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := NewPool(randVec(r))
+		for i := 0; i < 50; i++ {
+			d := randVec(r)
+			if r.Intn(2) == 0 {
+				_ = p.Alloc(d)
+			} else {
+				_ = p.Release(d)
+			}
+			if !p.Used().NonNegative() || !p.Free().NonNegative() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

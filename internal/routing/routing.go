@@ -1,0 +1,258 @@
+// Package routing implements phase 3 of the workflow (paper §I-A):
+// for pairs of tasks that need to communicate, communication links are
+// established between the elements assigned to them in the mapping
+// phase. Links are time-shared using virtual channels ([11]); a route
+// claims one virtual channel on every directed link it crosses.
+//
+// The paper uses breadth-first search "because it has no noticeable
+// performance differences in terms of successful routes and energy
+// consumption, compared to Dijkstra's algorithm" (§II); both are
+// provided here so the ablation bench can revisit that claim.
+package routing
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/platform"
+)
+
+// Route is one allocated communication channel: the element path from
+// the source task's element to the destination task's element. A
+// channel between tasks on the same element has a single-element path
+// and zero hops.
+type Route struct {
+	Channel int
+	Path    []int
+}
+
+// Hops returns the number of links the route crosses.
+func (r Route) Hops() int { return len(r.Path) - 1 }
+
+// Error is a routing-phase failure.
+type Error struct {
+	Channel  int
+	Src, Dst int // element IDs
+	Reason   string
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("routing: channel %d (%d→%d): %s", e.Channel, e.Src, e.Dst, e.Reason)
+}
+
+// Router finds a path between two elements over links with free
+// virtual channels. Implementations must not allocate anything.
+type Router interface {
+	FindPath(p *platform.Platform, src, dst int) ([]int, bool)
+	Name() string
+}
+
+// usable reports whether the directed link a→b can carry one more
+// virtual channel.
+func usable(p *platform.Platform, a, b int) bool {
+	l := p.Link(a, b)
+	return l != nil && l.Enabled() && l.Free() > 0
+}
+
+// BFS is the paper's router: fewest hops over links with free VCs.
+// Among equal-hop alternatives it prefers the least-loaded link, so
+// parallel routes spread over the NoC instead of piling onto the same
+// deterministic shortest path — the behaviour that makes BFS
+// indistinguishable from Dijkstra in the paper's measurements (§II).
+type BFS struct{}
+
+// Name implements Router.
+func (BFS) Name() string { return "bfs" }
+
+// FindPath implements Router.
+func (BFS) FindPath(p *platform.Platform, src, dst int) ([]int, bool) {
+	if src == dst {
+		return []int{src}, true
+	}
+	if e := p.Element(src); e == nil || !e.Enabled() {
+		return nil, false
+	}
+	prev := make([]int, p.NumElements())
+	for i := range prev {
+		prev[i] = -1
+	}
+	prev[src] = src
+	queue := []int{src}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		// Visit usable neighbors in increasing link-load order: the
+		// first parent to reach a node claims it, so low-load links
+		// win ties at equal hop distance.
+		neigh := p.Neighbors(cur)
+		sort.SliceStable(neigh, func(i, j int) bool {
+			li, lj := p.Link(cur, neigh[i]), p.Link(cur, neigh[j])
+			return li.Used() < lj.Used()
+		})
+		for _, n := range neigh {
+			if prev[n] >= 0 || !usable(p, cur, n) {
+				continue
+			}
+			prev[n] = cur
+			if n == dst {
+				return unwind(prev, src, dst), true
+			}
+			queue = append(queue, n)
+		}
+	}
+	return nil, false
+}
+
+func unwind(prev []int, src, dst int) []int {
+	var rev []int
+	for at := dst; ; at = prev[at] {
+		rev = append(rev, at)
+		if at == src {
+			break
+		}
+	}
+	path := make([]int, len(rev))
+	for i, e := range rev {
+		path[len(rev)-1-i] = e
+	}
+	return path
+}
+
+// Dijkstra is the load-aware router used for the BFS-parity ablation:
+// link weight grows with virtual-channel occupancy, spreading traffic.
+type Dijkstra struct{}
+
+// Name implements Router.
+func (Dijkstra) Name() string { return "dijkstra" }
+
+type pqItem struct {
+	elem int
+	cost float64
+}
+
+type pq []pqItem
+
+func (q pq) Len() int           { return len(q) }
+func (q pq) Less(i, j int) bool { return q[i].cost < q[j].cost }
+func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
+func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
+func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+
+// FindPath implements Router.
+func (Dijkstra) FindPath(p *platform.Platform, src, dst int) ([]int, bool) {
+	if src == dst {
+		return []int{src}, true
+	}
+	if e := p.Element(src); e == nil || !e.Enabled() {
+		return nil, false
+	}
+	const inf = 1e18
+	dist := make([]float64, p.NumElements())
+	prev := make([]int, p.NumElements())
+	done := make([]bool, p.NumElements())
+	for i := range dist {
+		dist[i], prev[i] = inf, -1
+	}
+	dist[src], prev[src] = 0, src
+	q := &pq{{src, 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if done[it.elem] {
+			continue
+		}
+		done[it.elem] = true
+		if it.elem == dst {
+			return unwind(prev, src, dst), true
+		}
+		for _, n := range p.Neighbors(it.elem) {
+			if !usable(p, it.elem, n) {
+				continue
+			}
+			l := p.Link(it.elem, n)
+			// 1 per hop, plus congestion pressure proportional to
+			// the fraction of the link's VCs already in use.
+			w := 1 + float64(l.Used())/float64(l.VCs)
+			if nd := dist[it.elem] + w; nd < dist[n] {
+				dist[n], prev[n] = nd, it.elem
+				heap.Push(q, pqItem{n, nd})
+			}
+		}
+	}
+	return nil, false
+}
+
+// RouteAll establishes a route for every channel of the application,
+// allocating one virtual channel per directed link crossed. Channels
+// are routed in increasing channel-ID order. On any failure, all
+// virtual channels allocated by this call are released and an *Error
+// is returned.
+func RouteAll(app *graph.Application, assignment []int, p *platform.Platform, r Router) ([]Route, error) {
+	if r == nil {
+		r = BFS{}
+	}
+	chans := append([]*graph.Channel(nil), app.Channels...)
+	sort.Slice(chans, func(i, j int) bool { return chans[i].ID < chans[j].ID })
+
+	var routes []Route
+	release := func() {
+		for _, rt := range routes {
+			for i := 0; i+1 < len(rt.Path); i++ {
+				_ = p.ReleaseVC(rt.Path[i], rt.Path[i+1])
+			}
+		}
+	}
+	for _, ch := range chans {
+		src, dst := assignment[ch.Src], assignment[ch.Dst]
+		if src < 0 || dst < 0 {
+			release()
+			return nil, &Error{Channel: ch.ID, Src: src, Dst: dst, Reason: "endpoint task not mapped"}
+		}
+		path, ok := r.FindPath(p, src, dst)
+		if !ok {
+			release()
+			return nil, &Error{Channel: ch.ID, Src: src, Dst: dst, Reason: "no path with free virtual channels"}
+		}
+		for i := 0; i+1 < len(path); i++ {
+			if err := p.AllocVC(path[i], path[i+1]); err != nil {
+				// Roll back the partial allocation of this route,
+				// then everything else.
+				for j := 0; j < i; j++ {
+					_ = p.ReleaseVC(path[j], path[j+1])
+				}
+				release()
+				return nil, &Error{Channel: ch.ID, Src: src, Dst: dst, Reason: err.Error()}
+			}
+		}
+		routes = append(routes, Route{Channel: ch.ID, Path: path})
+	}
+	return routes, nil
+}
+
+// ReleaseAll frees the virtual channels held by the routes (inverse of
+// RouteAll).
+func ReleaseAll(p *platform.Platform, routes []Route) {
+	for _, rt := range routes {
+		for i := 0; i+1 < len(rt.Path); i++ {
+			_ = p.ReleaseVC(rt.Path[i], rt.Path[i+1])
+		}
+	}
+}
+
+// TotalHops sums the hops of all routes.
+func TotalHops(routes []Route) int {
+	n := 0
+	for _, rt := range routes {
+		n += rt.Hops()
+	}
+	return n
+}
+
+// MeanHops returns the average hops per channel, or 0 for no routes.
+func MeanHops(routes []Route) float64 {
+	if len(routes) == 0 {
+		return 0
+	}
+	return float64(TotalHops(routes)) / float64(len(routes))
+}

@@ -1,0 +1,274 @@
+package routing
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/platform"
+	"repro/internal/resource"
+)
+
+func dspImpl() graph.Implementation {
+	return graph.Implementation{
+		Name: "dsp", Target: platform.TypeDSP,
+		Requires: resource.Of(10, 4, 0, 0), Cost: 1, ExecTime: 5,
+	}
+}
+
+func pair(p *platform.Platform) (*graph.Application, []int) {
+	app := graph.New("pair")
+	a := app.AddTask("a", graph.Internal, dspImpl())
+	b := app.AddTask("b", graph.Internal, dspImpl())
+	app.AddChannel(a, b)
+	_ = p
+	return app, []int{0, 0}
+}
+
+var routers = []Router{BFS{}, Dijkstra{}}
+
+func TestFindPathShortest(t *testing.T) {
+	p := platform.Mesh(4, 4, 2)
+	for _, r := range routers {
+		path, ok := r.FindPath(p, 0, 15)
+		if !ok {
+			t.Fatalf("%s: no path", r.Name())
+		}
+		if len(path)-1 != 6 {
+			t.Errorf("%s: hops = %d, want 6 (manhattan)", r.Name(), len(path)-1)
+		}
+		if path[0] != 0 || path[len(path)-1] != 15 {
+			t.Errorf("%s: endpoints wrong: %v", r.Name(), path)
+		}
+		// Every consecutive pair must be a real link.
+		for i := 0; i+1 < len(path); i++ {
+			if p.Link(path[i], path[i+1]) == nil {
+				t.Errorf("%s: path uses non-link %d→%d", r.Name(), path[i], path[i+1])
+			}
+		}
+	}
+}
+
+func TestFindPathSameElement(t *testing.T) {
+	p := platform.Mesh(2, 2, 2)
+	for _, r := range routers {
+		path, ok := r.FindPath(p, 1, 1)
+		if !ok || len(path) != 1 {
+			t.Errorf("%s: self path = %v,%v", r.Name(), path, ok)
+		}
+	}
+}
+
+func TestFindPathAvoidsFullLinks(t *testing.T) {
+	// Line 0-1-2 with an extra detour 0-3-2. Saturate 0→1.
+	p := platform.New()
+	for i := 0; i < 4; i++ {
+		p.AddElement(platform.TypeDSP, "d", platform.DSPCapacity)
+	}
+	p.MustConnect(0, 1, 1)
+	p.MustConnect(1, 2, 1)
+	p.MustConnect(0, 3, 1)
+	p.MustConnect(3, 2, 1)
+	if err := p.AllocVC(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range routers {
+		path, ok := r.FindPath(p, 0, 2)
+		if !ok {
+			t.Fatalf("%s: no path despite detour", r.Name())
+		}
+		if len(path) != 3 || path[1] != 3 {
+			t.Errorf("%s: path = %v, want detour via 3", r.Name(), path)
+		}
+	}
+}
+
+func TestFindPathNoRoute(t *testing.T) {
+	p := platform.New()
+	p.AddElement(platform.TypeDSP, "a", platform.DSPCapacity)
+	p.AddElement(platform.TypeDSP, "b", platform.DSPCapacity)
+	// no links
+	for _, r := range routers {
+		if _, ok := r.FindPath(p, 0, 1); ok {
+			t.Errorf("%s: found path in disconnected platform", r.Name())
+		}
+	}
+}
+
+func TestRouteAllAllocatesVCs(t *testing.T) {
+	p := platform.Mesh(3, 1, 2) // line of 3
+	app, assign := pair(p)
+	assign[0], assign[1] = 0, 2
+	routes, err := RouteAll(app, assign, p, BFS{})
+	if err != nil {
+		t.Fatalf("RouteAll: %v", err)
+	}
+	if len(routes) != 1 || routes[0].Hops() != 2 {
+		t.Fatalf("routes = %+v", routes)
+	}
+	if p.Link(0, 1).Used() != 1 || p.Link(1, 2).Used() != 1 {
+		t.Error("VCs not allocated along the path")
+	}
+	if p.Link(1, 0).Used() != 0 {
+		t.Error("reverse direction must not be allocated")
+	}
+	ReleaseAll(p, routes)
+	if p.Link(0, 1).Used() != 0 || p.Link(1, 2).Used() != 0 {
+		t.Error("ReleaseAll did not free the VCs")
+	}
+}
+
+func TestRouteAllFailureRollsBack(t *testing.T) {
+	// Two channels over a single 1-VC bottleneck link: the second
+	// fails, and the first's VC must be released.
+	p := platform.New()
+	for i := 0; i < 2; i++ {
+		p.AddElement(platform.TypeDSP, "d", platform.DSPCapacity)
+	}
+	p.MustConnect(0, 1, 1)
+	app := graph.New("two")
+	a := app.AddTask("a", graph.Internal, dspImpl())
+	b := app.AddTask("b", graph.Internal, dspImpl())
+	app.AddChannel(a, b)
+	app.AddChannel(a, b) // parallel channel, same direction
+	assign := []int{0, 1}
+	_, err := RouteAll(app, assign, p, BFS{})
+	var rerr *Error
+	if !errors.As(err, &rerr) {
+		t.Fatalf("error = %v, want *routing.Error", err)
+	}
+	if rerr.Channel != 1 {
+		t.Errorf("failing channel = %d, want 1", rerr.Channel)
+	}
+	if p.Link(0, 1).Used() != 0 {
+		t.Error("rollback did not free the first route's VC")
+	}
+}
+
+func TestRouteAllUnmappedEndpoint(t *testing.T) {
+	p := platform.Mesh(2, 2, 2)
+	app, assign := pair(p)
+	assign[1] = -1
+	if _, err := RouteAll(app, assign, p, BFS{}); err == nil {
+		t.Error("unmapped endpoint must fail")
+	}
+}
+
+func TestRouteAllSameElementZeroHops(t *testing.T) {
+	p := platform.Mesh(2, 2, 2)
+	app, assign := pair(p)
+	assign[0], assign[1] = 3, 3
+	routes, err := RouteAll(app, assign, p, BFS{})
+	if err != nil {
+		t.Fatalf("RouteAll: %v", err)
+	}
+	if routes[0].Hops() != 0 {
+		t.Errorf("hops = %d, want 0", routes[0].Hops())
+	}
+	if TotalHops(routes) != 0 || MeanHops(routes) != 0 {
+		t.Error("hop aggregates should be 0")
+	}
+}
+
+func TestDisabledLinkForcesDetour(t *testing.T) {
+	p := platform.Mesh(3, 3, 2)
+	// Direct path 0→1→2; disable 0-1.
+	p.DisableLink(0, 1)
+	for _, r := range routers {
+		path, ok := r.FindPath(p, 0, 2)
+		if !ok {
+			t.Fatalf("%s: no path", r.Name())
+		}
+		for i := 0; i+1 < len(path); i++ {
+			if path[i] == 0 && path[i+1] == 1 {
+				t.Errorf("%s: used disabled link", r.Name())
+			}
+		}
+	}
+}
+
+func TestMeanHops(t *testing.T) {
+	routes := []Route{
+		{Channel: 0, Path: []int{0, 1, 2}},
+		{Channel: 1, Path: []int{0}},
+	}
+	if got := MeanHops(routes); got != 1 {
+		t.Errorf("MeanHops = %v, want 1", got)
+	}
+	if got := MeanHops(nil); got != 0 {
+		t.Errorf("MeanHops(nil) = %v, want 0", got)
+	}
+}
+
+func TestPropertyBFSPathsAreShortest(t *testing.T) {
+	// On an empty irregular platform, the BFS router's path length
+	// must equal the BFS hop distance.
+	f := func(seed int64) bool {
+		p := platform.Irregular(16, seed)
+		r := rand.New(rand.NewSource(seed))
+		src, dst := r.Intn(16), r.Intn(16)
+		dist := p.BFSDistances([]int{src})
+		path, ok := BFS{}.FindPath(p, src, dst)
+		if dist[dst] == platform.Unreachable {
+			return !ok
+		}
+		return ok && len(path)-1 == dist[dst]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyRouteAllConservesVCs(t *testing.T) {
+	// Route then release: all links return to their initial usage.
+	f := func(seed int64) bool {
+		p := platform.Irregular(12, seed)
+		r := rand.New(rand.NewSource(seed))
+		app := graph.New("rand")
+		n := 2 + r.Intn(5)
+		assign := make([]int, n)
+		for i := 0; i < n; i++ {
+			app.AddTask("t", graph.Internal, dspImpl())
+			assign[i] = r.Intn(12)
+		}
+		for i := 1; i < n; i++ {
+			app.AddChannel(r.Intn(i), i)
+		}
+		routes, err := RouteAll(app, assign, p, BFS{})
+		if err != nil {
+			// Rollback must have restored a clean platform.
+			for _, l := range p.Links() {
+				if l.Used() != 0 {
+					return false
+				}
+			}
+			return true
+		}
+		ReleaseAll(p, routes)
+		for _, l := range p.Links() {
+			if l.Used() != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyDijkstraFindsPathWhenBFSDoes(t *testing.T) {
+	f := func(seed int64) bool {
+		p := platform.Irregular(14, seed)
+		r := rand.New(rand.NewSource(seed ^ 0x5a5a))
+		src, dst := r.Intn(14), r.Intn(14)
+		_, okB := BFS{}.FindPath(p, src, dst)
+		_, okD := Dijkstra{}.FindPath(p, src, dst)
+		return okB == okD
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

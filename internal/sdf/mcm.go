@@ -1,0 +1,153 @@
+package sdf
+
+// Fast throughput analysis via maximum cycle ratio — the direction the
+// paper's future work points at (§V, citing Ghamarian et al. [18]):
+// replace the run-time state-space exploration with an analysis whose
+// expensive part can move to design time, "making the validation
+// approach a lot faster".
+//
+// For unit-rate (homogeneous) SDF graphs, the self-timed steady-state
+// throughput of a strongly connected graph equals 1/MCR, where MCR is
+// the maximum over all cycles C of
+//
+//	Σ_{e ∈ C} duration(src(e))  /  Σ_{e ∈ C} tokens(e).
+//
+// Graphs with several components run at the rate of the slowest
+// component. The MCR is computed by parametric search (Lawler): λ is
+// feasible iff the graph has no positive cycle under edge weights
+// duration − λ·tokens, checked with Bellman–Ford.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrMultiRate is returned by FastAnalyze for graphs with non-unit
+// rates, which require the state-space exploration (Analyze).
+var ErrMultiRate = errors.New("sdf: fast analysis requires unit rates")
+
+// unitRate reports whether every edge produces and consumes exactly
+// one token per firing.
+func (g *Graph) unitRate() bool {
+	for _, e := range g.Edges {
+		if e.Produce != 1 || e.Consume != 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// positiveCycle reports whether the graph contains a cycle with
+// positive total weight under w(e) = duration(src(e)) − λ·tokens(e)
+// (Bellman–Ford longest-path relaxation).
+func (g *Graph) positiveCycle(lambda float64) bool {
+	n := len(g.Actors)
+	// Longest-path potentials, initialized to 0 so every node is a
+	// virtual source (detects cycles in any component).
+	pot := make([]float64, n)
+	for iter := 0; iter < n; iter++ {
+		changed := false
+		for _, e := range g.Edges {
+			w := float64(g.Actors[e.Src].Duration) - lambda*float64(e.Tokens)
+			if nv := pot[e.Src] + w; nv > pot[e.Dst]+1e-12 {
+				pot[e.Dst] = nv
+				changed = true
+			}
+		}
+		if !changed {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxCycleRatio computes the MCR of a unit-rate graph. A cycle without
+// tokens (which can never fire) yields a DeadlockError; a graph with
+// no cycles at all returns 0 (unbounded self-timed throughput — in
+// practice every actor has a self-loop, giving at least its duration).
+func (g *Graph) MaxCycleRatio() (float64, error) {
+	if err := g.Validate(); err != nil {
+		return 0, err
+	}
+	if !g.unitRate() {
+		return 0, ErrMultiRate
+	}
+
+	var hi float64
+	for _, a := range g.Actors {
+		hi += float64(a.Duration)
+	}
+	if hi == 0 {
+		return 0, nil
+	}
+	// A positive cycle at λ > Σdurations can only be a token-free
+	// cycle: deadlock.
+	if g.positiveCycle(hi + 1) {
+		return 0, &DeadlockError{Time: 0}
+	}
+	if !g.positiveCycle(0) {
+		// No cycle with positive duration at all.
+		return 0, nil
+	}
+
+	lo := 0.0
+	for i := 0; i < 64 && hi-lo > 1e-9*math.Max(1, hi); i++ {
+		mid := (lo + hi) / 2
+		if g.positiveCycle(mid) {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi, nil
+}
+
+// FastAnalyze computes the steady-state throughput of a unit-rate
+// graph from its maximum cycle ratio, without exploring the state
+// space. The Analysis carries no period or first-completion
+// information (those require execution); States is 0.
+func (g *Graph) FastAnalyze() (*Analysis, error) {
+	mcr, err := g.MaxCycleRatio()
+	if err != nil {
+		return nil, err
+	}
+	an := &Analysis{FirstCompletion: make([]int64, len(g.Actors))}
+	for i := range an.FirstCompletion {
+		an.FirstCompletion[i] = -1
+	}
+	if mcr > 0 {
+		an.Throughput = 1 / mcr
+	} else {
+		// Acyclic graph: bounded only by the slowest actor if it has
+		// a self-loop; report the bottleneck-actor rate.
+		var maxDur int64
+		for _, a := range g.Actors {
+			if a.Duration > maxDur {
+				maxDur = a.Duration
+			}
+		}
+		if maxDur > 0 {
+			an.Throughput = 1 / float64(maxDur)
+		}
+	}
+	return an, nil
+}
+
+// VerifyFastAgainstExact is a test helper: it runs both analyses and
+// returns an error when they disagree beyond tol (relative).
+func (g *Graph) VerifyFastAgainstExact(tol float64) error {
+	exact, err := g.Analyze()
+	if err != nil {
+		return err
+	}
+	fast, err := g.FastAnalyze()
+	if err != nil {
+		return err
+	}
+	diff := math.Abs(exact.Throughput - fast.Throughput)
+	if diff > tol*math.Max(exact.Throughput, 1e-12) {
+		return fmt.Errorf("sdf: fast throughput %v vs exact %v", fast.Throughput, exact.Throughput)
+	}
+	return nil
+}

@@ -1,0 +1,166 @@
+package sdf
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMCRSingleActor(t *testing.T) {
+	g := NewGraph()
+	a := g.AddActor("a", 4)
+	g.AddSelfLoop(a)
+	mcr, err := g.MaxCycleRatio()
+	if err != nil {
+		t.Fatalf("MaxCycleRatio: %v", err)
+	}
+	if math.Abs(mcr-4) > 1e-6 {
+		t.Errorf("MCR = %v, want 4 (self-loop cycle)", mcr)
+	}
+}
+
+func TestMCRTwoActorRoundTrip(t *testing.T) {
+	// a→b with back edge carrying 1 token: cycle duration 20,
+	// tokens 1 → MCR 20. With 2 tokens → 10 (but self-loops cap at
+	// 10 anyway).
+	mk := func(tokens int) *Graph {
+		g := NewGraph()
+		a := g.AddActor("a", 10)
+		b := g.AddActor("b", 10)
+		g.AddSelfLoop(a)
+		g.AddSelfLoop(b)
+		g.AddEdge(a, b, 1, 1, 0)
+		g.AddEdge(b, a, 1, 1, tokens)
+		return g
+	}
+	mcr1, err := mk(1).MaxCycleRatio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mcr1-20) > 1e-6 {
+		t.Errorf("1-token MCR = %v, want 20", mcr1)
+	}
+	mcr2, err := mk(2).MaxCycleRatio()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mcr2-10) > 1e-6 {
+		t.Errorf("2-token MCR = %v, want 10", mcr2)
+	}
+}
+
+func TestMCRDeadlock(t *testing.T) {
+	g := NewGraph()
+	a := g.AddActor("a", 1)
+	b := g.AddActor("b", 1)
+	g.AddEdge(a, b, 1, 1, 0)
+	g.AddEdge(b, a, 1, 1, 0)
+	_, err := g.MaxCycleRatio()
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("error = %v, want DeadlockError", err)
+	}
+}
+
+func TestMCRMultiRateRejected(t *testing.T) {
+	g := NewGraph()
+	a := g.AddActor("a", 1)
+	b := g.AddActor("b", 1)
+	g.AddEdge(a, b, 2, 1, 0)
+	if _, err := g.MaxCycleRatio(); !errors.Is(err, ErrMultiRate) {
+		t.Errorf("error = %v, want ErrMultiRate", err)
+	}
+	if _, err := g.FastAnalyze(); !errors.Is(err, ErrMultiRate) {
+		t.Errorf("FastAnalyze error = %v, want ErrMultiRate", err)
+	}
+}
+
+func TestMCRAcyclicGraph(t *testing.T) {
+	g := NewGraph()
+	a := g.AddActor("a", 3)
+	b := g.AddActor("b", 7)
+	g.AddEdge(a, b, 1, 1, 0)
+	mcr, err := g.MaxCycleRatio()
+	if err != nil {
+		t.Fatalf("MaxCycleRatio: %v", err)
+	}
+	if mcr != 0 {
+		t.Errorf("acyclic MCR = %v, want 0", mcr)
+	}
+	an, err := g.FastAnalyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(an.Throughput-1.0/7) > 1e-6 {
+		t.Errorf("acyclic fast throughput = %v, want bottleneck 1/7", an.Throughput)
+	}
+}
+
+func TestFastMatchesExactPipeline(t *testing.T) {
+	g := pipeline([]int64{2, 5, 3}, 4)
+	if err := g.VerifyFastAgainstExact(1e-6); err != nil {
+		t.Error(err)
+	}
+	an, err := g.FastAnalyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(an.Throughput-0.2) > 1e-6 {
+		t.Errorf("fast throughput = %v, want 0.2", an.Throughput)
+	}
+}
+
+func TestPropertyFastMatchesExactOnRandomPipelines(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(5)
+		durs := make([]int64, n)
+		for i := range durs {
+			durs[i] = 1 + int64(r.Intn(9))
+		}
+		g := pipeline(durs, 1+r.Intn(3))
+		return g.VerifyFastAgainstExact(1e-6) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyFastMatchesExactOnRandomUnitRateGraphs(t *testing.T) {
+	// Random strongly-connected-ish unit-rate graphs: a ring with
+	// chords, all edges with a token on the ring so it can fire.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(5)
+		g := NewGraph()
+		for i := 0; i < n; i++ {
+			id := g.AddActor("a", 1+int64(r.Intn(8)))
+			g.AddSelfLoop(id)
+		}
+		// Ring with buffer tokens both ways.
+		for i := 0; i < n; i++ {
+			g.AddEdge(i, (i+1)%n, 1, 1, r.Intn(2))
+			g.AddEdge((i+1)%n, i, 1, 1, 1+r.Intn(3))
+		}
+		// A couple of chords.
+		for c := 0; c < 2 && n > 2; c++ {
+			a, b := r.Intn(n), r.Intn(n)
+			if a != b {
+				g.AddEdge(a, b, 1, 1, 1+r.Intn(2))
+			}
+		}
+		// The ring may deadlock when all forward edges are empty and
+		// chords disagree; both analyses must then agree on failure.
+		exact, errE := g.Analyze()
+		fast, errF := g.FastAnalyze()
+		if errE != nil || errF != nil {
+			return (errE != nil) == (errF != nil)
+		}
+		return math.Abs(exact.Throughput-fast.Throughput) <= 1e-6*math.Max(exact.Throughput, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,358 @@
+// Package sdf implements the synchronous dataflow machinery behind
+// the validation phase (paper §II): the influence of the platform and
+// the application specification is modeled as an SDF graph, whose
+// throughput is computed by a state-space exploration of its
+// self-timed execution (Ghamarian et al. [13], Stuijk et al. [5]).
+// Latency constraints are expressed as throughput constraints, as in
+// Moreira & Bekooij [12].
+package sdf
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Actor is one timed SDF actor. Duration is the firing time in
+// abstract time units and must be at least 1 (zero-duration actors can
+// stall the self-timed clock).
+type Actor struct {
+	ID       int
+	Name     string
+	Duration int64
+}
+
+// Edge is one SDF edge: Src produces Produce tokens per firing, Dst
+// consumes Consume tokens per firing, and the edge initially carries
+// Tokens tokens.
+type Edge struct {
+	ID       int
+	Src, Dst int
+	Produce  int
+	Consume  int
+	Tokens   int
+}
+
+// Graph is a timed SDF graph.
+type Graph struct {
+	Actors []*Actor
+	Edges  []*Edge
+
+	in, out [][]int // edge IDs per actor
+}
+
+// NewGraph returns an empty SDF graph.
+func NewGraph() *Graph { return &Graph{} }
+
+// AddActor appends an actor, returning its ID.
+func (g *Graph) AddActor(name string, duration int64) int {
+	id := len(g.Actors)
+	g.Actors = append(g.Actors, &Actor{ID: id, Name: name, Duration: duration})
+	g.in, g.out = nil, nil
+	return id
+}
+
+// AddEdge appends an edge, returning its ID.
+func (g *Graph) AddEdge(src, dst, produce, consume, tokens int) int {
+	id := len(g.Edges)
+	g.Edges = append(g.Edges, &Edge{
+		ID: id, Src: src, Dst: dst,
+		Produce: produce, Consume: consume, Tokens: tokens,
+	})
+	g.in, g.out = nil, nil
+	return id
+}
+
+// AddSelfLoop gives the actor a one-token self-edge, serializing its
+// firings (no auto-concurrency), as customary when modeling processors
+// that run one firing at a time.
+func (g *Graph) AddSelfLoop(actor int) int {
+	return g.AddEdge(actor, actor, 1, 1, 1)
+}
+
+// Validate checks structural sanity.
+func (g *Graph) Validate() error {
+	if len(g.Actors) == 0 {
+		return fmt.Errorf("sdf: graph has no actors")
+	}
+	for _, a := range g.Actors {
+		if a.Duration < 1 {
+			return fmt.Errorf("sdf: actor %d (%s) duration %d < 1", a.ID, a.Name, a.Duration)
+		}
+	}
+	for _, e := range g.Edges {
+		if e.Src < 0 || e.Src >= len(g.Actors) || e.Dst < 0 || e.Dst >= len(g.Actors) {
+			return fmt.Errorf("sdf: edge %d endpoints out of range", e.ID)
+		}
+		if e.Produce < 1 || e.Consume < 1 {
+			return fmt.Errorf("sdf: edge %d has non-positive rates", e.ID)
+		}
+		if e.Tokens < 0 {
+			return fmt.Errorf("sdf: edge %d has negative tokens", e.ID)
+		}
+	}
+	return nil
+}
+
+func (g *Graph) buildAdj() {
+	if g.in != nil {
+		return
+	}
+	g.in = make([][]int, len(g.Actors))
+	g.out = make([][]int, len(g.Actors))
+	for _, e := range g.Edges {
+		g.out[e.Src] = append(g.out[e.Src], e.ID)
+		g.in[e.Dst] = append(g.in[e.Dst], e.ID)
+	}
+}
+
+func gcd(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a < 0 {
+		return -a
+	}
+	return a
+}
+
+type frac struct{ num, den int64 }
+
+func (f frac) norm() frac {
+	g := gcd(f.num, f.den)
+	if g == 0 {
+		return frac{0, 1}
+	}
+	return frac{f.num / g, f.den / g}
+}
+
+func (f frac) mul(num, den int64) frac {
+	return frac{f.num * num, f.den * den}.norm()
+}
+
+// RepetitionVector solves the SDF balance equations: q[src]·produce =
+// q[dst]·consume on every edge, returning the smallest positive
+// integer solution. An inconsistent graph (no solution) returns an
+// error — inconsistent graphs deadlock or accumulate unbounded tokens.
+func (g *Graph) RepetitionVector() ([]int64, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	g.buildAdj()
+	n := len(g.Actors)
+	q := make([]frac, n)
+	seen := make([]bool, n)
+
+	for start := 0; start < n; start++ {
+		if seen[start] {
+			continue
+		}
+		q[start] = frac{1, 1}
+		seen[start] = true
+		queue := []int{start}
+		for len(queue) > 0 {
+			a := queue[0]
+			queue = queue[1:]
+			visit := func(other int, num, den int64) error {
+				want := q[a].mul(num, den)
+				if !seen[other] {
+					q[other] = want
+					seen[other] = true
+					queue = append(queue, other)
+					return nil
+				}
+				if q[other] != want {
+					return fmt.Errorf("sdf: inconsistent rates at actor %d", other)
+				}
+				return nil
+			}
+			for _, eid := range g.out[a] {
+				e := g.Edges[eid]
+				if err := visit(e.Dst, int64(e.Produce), int64(e.Consume)); err != nil {
+					return nil, err
+				}
+			}
+			for _, eid := range g.in[a] {
+				e := g.Edges[eid]
+				if err := visit(e.Src, int64(e.Consume), int64(e.Produce)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+
+	// Scale to integers: multiply by lcm of denominators.
+	var l int64 = 1
+	for _, f := range q {
+		l = l / gcd(l, f.den) * f.den
+	}
+	out := make([]int64, n)
+	var g2 int64
+	for i, f := range q {
+		out[i] = f.num * (l / f.den)
+		g2 = gcd(g2, out[i])
+	}
+	if g2 > 1 {
+		for i := range out {
+			out[i] /= g2
+		}
+	}
+	return out, nil
+}
+
+// ErrDeadlock is returned when the self-timed execution reaches a
+// state with no enabled and no in-flight firings.
+type DeadlockError struct{ Time int64 }
+
+func (e *DeadlockError) Error() string {
+	return fmt.Sprintf("sdf: deadlock at time %d", e.Time)
+}
+
+// Analysis is the result of a self-timed state-space exploration.
+type Analysis struct {
+	// Throughput is the long-run number of graph *iterations* per
+	// time unit (one iteration = every actor fires its repetition
+	// count).
+	Throughput float64
+	// PeriodStart and Period delimit the recurrent phase found by
+	// state-space exploration.
+	PeriodStart, Period int64
+	// FirstCompletion[a] is the time actor a first completed a
+	// firing (−1 if it never fired before the recurrence); an
+	// estimate of the pipeline fill latency.
+	FirstCompletion []int64
+	// States is the number of distinct execution states explored.
+	States int
+}
+
+type inflight struct {
+	actor    int
+	complete int64
+}
+
+// maxEvents bounds the exploration; graphs from the validation phase
+// recur after a handful of iterations, so hitting the bound indicates
+// a modeling bug rather than a big state space.
+const maxEvents = 2_000_000
+
+// Analyze runs the self-timed execution of the graph until the state
+// recurs, and derives the throughput from the recurrent phase (the
+// state-space method of [13]). The reference for iteration counting is
+// actor 0.
+func (g *Graph) Analyze() (*Analysis, error) {
+	reps, err := g.RepetitionVector()
+	if err != nil {
+		return nil, err
+	}
+	g.buildAdj()
+	n := len(g.Actors)
+
+	tokens := make([]int, len(g.Edges))
+	for i, e := range g.Edges {
+		tokens[i] = e.Tokens
+	}
+	var fl []inflight
+	now := int64(0)
+	firings := make([]int64, n) // completed firings per actor
+	first := make([]int64, n)
+	for i := range first {
+		first[i] = -1
+	}
+
+	canFire := func(a int) bool {
+		for _, eid := range g.in[a] {
+			if tokens[eid] < g.Edges[eid].Consume {
+				return false
+			}
+		}
+		return true
+	}
+
+	// state key → (time, firings of actor 0) at first occurrence
+	type snap struct {
+		time     int64
+		firings0 int64
+	}
+	seen := make(map[string]snap)
+
+	stateKey := func() string {
+		var b strings.Builder
+		for _, tk := range tokens {
+			fmt.Fprintf(&b, "%d,", tk)
+		}
+		b.WriteByte('|')
+		rel := make([]string, 0, len(fl))
+		for _, f := range fl {
+			rel = append(rel, fmt.Sprintf("%d:%d", f.actor, f.complete-now))
+		}
+		sort.Strings(rel)
+		b.WriteString(strings.Join(rel, ";"))
+		return b.String()
+	}
+
+	for events := 0; events < maxEvents; events++ {
+		// Self-timed: start every enabled firing immediately.
+		started := true
+		for started {
+			started = false
+			for a := 0; a < n; a++ {
+				for canFire(a) {
+					for _, eid := range g.in[a] {
+						tokens[eid] -= g.Edges[eid].Consume
+					}
+					fl = append(fl, inflight{actor: a, complete: now + g.Actors[a].Duration})
+					started = true
+				}
+			}
+		}
+
+		if len(fl) == 0 {
+			return nil, &DeadlockError{Time: now}
+		}
+
+		// Recurrence detection at quiescent points (all enabled
+		// firings started).
+		key := stateKey()
+		if prev, ok := seen[key]; ok {
+			period := now - prev.time
+			fired := firings[0] - prev.firings0
+			an := &Analysis{
+				PeriodStart:     prev.time,
+				Period:          period,
+				FirstCompletion: first,
+				States:          len(seen),
+			}
+			if period > 0 && fired > 0 {
+				an.Throughput = float64(fired) / float64(reps[0]) / float64(period)
+			}
+			return an, nil
+		}
+		seen[key] = snap{time: now, firings0: firings[0]}
+
+		// Advance to the earliest completion and retire everything
+		// completing at that time.
+		next := fl[0].complete
+		for _, f := range fl[1:] {
+			if f.complete < next {
+				next = f.complete
+			}
+		}
+		now = next
+		var keep []inflight
+		for _, f := range fl {
+			if f.complete > now {
+				keep = append(keep, f)
+				continue
+			}
+			for _, eid := range g.out[f.actor] {
+				tokens[eid] += g.Edges[eid].Produce
+			}
+			firings[f.actor]++
+			if first[f.actor] < 0 {
+				first[f.actor] = now
+			}
+		}
+		fl = keep
+	}
+	return nil, fmt.Errorf("sdf: no recurrent state within %d events", maxEvents)
+}

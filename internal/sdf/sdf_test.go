@@ -1,0 +1,258 @@
+package sdf
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// pipeline builds a chain a0 → a1 → ... with unit rates, back-edges
+// carrying backTokens buffer tokens, and self-loops on every actor.
+func pipeline(durations []int64, backTokens int) *Graph {
+	g := NewGraph()
+	ids := make([]int, len(durations))
+	for i, d := range durations {
+		ids[i] = g.AddActor("a", d)
+		g.AddSelfLoop(ids[i])
+	}
+	for i := 0; i+1 < len(ids); i++ {
+		g.AddEdge(ids[i], ids[i+1], 1, 1, 0)
+		if backTokens > 0 {
+			g.AddEdge(ids[i+1], ids[i], 1, 1, backTokens)
+		}
+	}
+	return g
+}
+
+func TestValidate(t *testing.T) {
+	if err := NewGraph().Validate(); err == nil {
+		t.Error("empty graph should be invalid")
+	}
+	g := NewGraph()
+	g.AddActor("a", 0)
+	if err := g.Validate(); err == nil {
+		t.Error("zero-duration actor should be invalid")
+	}
+	g2 := NewGraph()
+	a := g2.AddActor("a", 1)
+	b := g2.AddActor("b", 1)
+	g2.AddEdge(a, b, 0, 1, 0)
+	if err := g2.Validate(); err == nil {
+		t.Error("zero rate should be invalid")
+	}
+	g3 := NewGraph()
+	a3 := g3.AddActor("a", 1)
+	b3 := g3.AddActor("b", 1)
+	g3.AddEdge(a3, b3, 1, 1, -1)
+	if err := g3.Validate(); err == nil {
+		t.Error("negative tokens should be invalid")
+	}
+}
+
+func TestRepetitionVectorHomogeneous(t *testing.T) {
+	g := pipeline([]int64{2, 3, 4}, 2)
+	q, err := g.RepetitionVector()
+	if err != nil {
+		t.Fatalf("RepetitionVector: %v", err)
+	}
+	for i, v := range q {
+		if v != 1 {
+			t.Errorf("q[%d] = %d, want 1", i, v)
+		}
+	}
+}
+
+func TestRepetitionVectorMultirate(t *testing.T) {
+	// a --(2,3)--> b: q = [3, 2].
+	g := NewGraph()
+	a := g.AddActor("a", 1)
+	b := g.AddActor("b", 1)
+	g.AddEdge(a, b, 2, 3, 0)
+	q, err := g.RepetitionVector()
+	if err != nil {
+		t.Fatalf("RepetitionVector: %v", err)
+	}
+	if q[a] != 3 || q[b] != 2 {
+		t.Errorf("q = %v, want [3 2]", q)
+	}
+}
+
+func TestRepetitionVectorInconsistent(t *testing.T) {
+	// a→b at 1:1 and b→a at 2:1 cannot balance.
+	g := NewGraph()
+	a := g.AddActor("a", 1)
+	b := g.AddActor("b", 1)
+	g.AddEdge(a, b, 1, 1, 0)
+	g.AddEdge(b, a, 2, 1, 1)
+	if _, err := g.RepetitionVector(); err == nil {
+		t.Error("inconsistent graph must be rejected")
+	}
+}
+
+func TestRepetitionVectorDisconnected(t *testing.T) {
+	g := NewGraph()
+	g.AddActor("a", 1)
+	g.AddActor("b", 1)
+	q, err := g.RepetitionVector()
+	if err != nil {
+		t.Fatalf("RepetitionVector: %v", err)
+	}
+	if q[0] != 1 || q[1] != 1 {
+		t.Errorf("q = %v", q)
+	}
+}
+
+func TestAnalyzeSingleActor(t *testing.T) {
+	g := NewGraph()
+	a := g.AddActor("a", 4)
+	g.AddSelfLoop(a)
+	an, err := g.Analyze()
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if math.Abs(an.Throughput-0.25) > 1e-9 {
+		t.Errorf("throughput = %v, want 0.25", an.Throughput)
+	}
+	if an.FirstCompletion[a] != 4 {
+		t.Errorf("first completion = %d, want 4", an.FirstCompletion[a])
+	}
+}
+
+func TestAnalyzePipelineBottleneck(t *testing.T) {
+	// Pipeline with durations 2, 5, 3 and ample buffers: steady-state
+	// throughput is 1/5 (the bottleneck actor).
+	g := pipeline([]int64{2, 5, 3}, 4)
+	an, err := g.Analyze()
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if math.Abs(an.Throughput-0.2) > 1e-9 {
+		t.Errorf("throughput = %v, want 0.2", an.Throughput)
+	}
+}
+
+func TestAnalyzeBufferLimitsThroughput(t *testing.T) {
+	// Two actors of duration 10 with a round trip of 1 buffer token:
+	// strictly alternating, period 20, vs 10 with 2 tokens.
+	mk := func(tokens int) *Graph {
+		g := NewGraph()
+		a := g.AddActor("a", 10)
+		b := g.AddActor("b", 10)
+		g.AddSelfLoop(a)
+		g.AddSelfLoop(b)
+		g.AddEdge(a, b, 1, 1, 0)
+		g.AddEdge(b, a, 1, 1, tokens)
+		return g
+	}
+	an1, err := mk(1).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	an2, err := mk(2).Analyze()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(an1.Throughput-0.05) > 1e-9 {
+		t.Errorf("1-token throughput = %v, want 0.05", an1.Throughput)
+	}
+	if math.Abs(an2.Throughput-0.1) > 1e-9 {
+		t.Errorf("2-token throughput = %v, want 0.1", an2.Throughput)
+	}
+}
+
+func TestAnalyzeMultirate(t *testing.T) {
+	// a (dur 1) produces 2, b (dur 1) consumes 1: q=[1,2]. One
+	// iteration needs two serialized firings of b (self-loop), so b
+	// is the bottleneck: 0.5 iterations per time unit.
+	g := NewGraph()
+	a := g.AddActor("a", 1)
+	b := g.AddActor("b", 1)
+	g.AddSelfLoop(a)
+	g.AddSelfLoop(b)
+	g.AddEdge(a, b, 2, 1, 0)
+	// Bound the token growth with a back edge: b returns 1 token per
+	// firing, a consumes 2 per firing, 4 initial.
+	g.AddEdge(b, a, 1, 2, 4)
+	an, err := g.Analyze()
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	if math.Abs(an.Throughput-0.5) > 1e-9 {
+		t.Errorf("throughput = %v, want 0.5", an.Throughput)
+	}
+}
+
+func TestAnalyzeDeadlock(t *testing.T) {
+	// Cycle with no initial tokens deadlocks immediately.
+	g := NewGraph()
+	a := g.AddActor("a", 1)
+	b := g.AddActor("b", 1)
+	g.AddEdge(a, b, 1, 1, 0)
+	g.AddEdge(b, a, 1, 1, 0)
+	_, err := g.Analyze()
+	var dl *DeadlockError
+	if !errors.As(err, &dl) {
+		t.Fatalf("error = %v, want DeadlockError", err)
+	}
+}
+
+func TestAnalyzeInconsistentRejected(t *testing.T) {
+	g := NewGraph()
+	a := g.AddActor("a", 1)
+	b := g.AddActor("b", 1)
+	g.AddEdge(a, b, 1, 1, 0)
+	g.AddEdge(b, a, 2, 1, 1)
+	if _, err := g.Analyze(); err == nil {
+		t.Error("inconsistent graph must fail analysis")
+	}
+}
+
+func TestPropertyThroughputBoundedByBottleneck(t *testing.T) {
+	// For any random pipeline, throughput ≤ 1/maxDuration and > 0.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(5)
+		durs := make([]int64, n)
+		var maxDur int64 = 1
+		for i := range durs {
+			durs[i] = 1 + int64(r.Intn(9))
+			if durs[i] > maxDur {
+				maxDur = durs[i]
+			}
+		}
+		g := pipeline(durs, 1+r.Intn(3))
+		an, err := g.Analyze()
+		if err != nil {
+			return false
+		}
+		return an.Throughput > 0 && an.Throughput <= 1.0/float64(maxDur)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyMoreBufferNeverHurts(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(4)
+		durs := make([]int64, n)
+		for i := range durs {
+			durs[i] = 1 + int64(r.Intn(6))
+		}
+		small, err := pipeline(durs, 1).Analyze()
+		if err != nil {
+			return false
+		}
+		big, err := pipeline(durs, 3).Analyze()
+		if err != nil {
+			return false
+		}
+		return big.Throughput >= small.Throughput-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

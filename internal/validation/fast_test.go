@@ -1,0 +1,120 @@
+package validation
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/binding"
+	"repro/internal/graph"
+	"repro/internal/mapping"
+	"repro/internal/platform"
+	"repro/internal/resource"
+	"repro/internal/routing"
+)
+
+func TestFastValidationMatchesExact(t *testing.T) {
+	app, bind, assign, routes, p := layout(t, 60, graph.Constraints{})
+	exact, err := Validate(app, bind, assign, routes, p, Options{})
+	if err != nil {
+		t.Fatalf("exact: %v", err)
+	}
+	fast, err := Validate(app, bind, assign, routes, p, Options{Fast: true})
+	if err != nil {
+		t.Fatalf("fast: %v", err)
+	}
+	if math.Abs(exact.Throughput-fast.Throughput) > 1e-6*exact.Throughput {
+		t.Errorf("fast throughput %v vs exact %v", fast.Throughput, exact.Throughput)
+	}
+	if fast.PipeLatency != 0 {
+		t.Errorf("fast validation should not report pipeline latency, got %d", fast.PipeLatency)
+	}
+}
+
+func TestFastValidationEnforcesConstraints(t *testing.T) {
+	app, bind, assign, routes, p := layout(t, 60, graph.Constraints{MinThroughput: 1e6})
+	if _, err := Validate(app, bind, assign, routes, p, Options{Fast: true}); err == nil {
+		t.Error("fast validation must still reject violated constraints")
+	}
+}
+
+func TestFastValidationFallsBackOnMultiRate(t *testing.T) {
+	// A multirate channel forces the state-space analysis; Fast must
+	// silently fall back and produce the same verdict.
+	p := platform.Mesh(3, 1, 2)
+	app := graph.New("multi")
+	a := app.AddTask("a", graph.Internal, graph.Implementation{
+		Name: "dsp", Target: platform.TypeDSP,
+		Requires: resource.Of(60, 8, 0, 0), Cost: 1, ExecTime: 4,
+	})
+	b := app.AddTask("b", graph.Internal, graph.Implementation{
+		Name: "dsp", Target: platform.TypeDSP,
+		Requires: resource.Of(60, 8, 0, 0), Cost: 1, ExecTime: 3,
+	})
+	app.AddChannelRated(a, b, 2, 1, 1) // multirate: q = [1, 2]
+
+	bind, err := binding.Bind(app, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mapping.MapApplication(app, p, bind, mapping.Options{
+		Instance: "m", Weights: mapping.WeightsCommunication,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes, err := routing.RouteAll(app, res.Assignment, p, routing.BFS{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	exact, err := Validate(app, bind, res.Assignment, routes, p, Options{})
+	if err != nil {
+		t.Fatalf("exact: %v", err)
+	}
+	fast, err := Validate(app, bind, res.Assignment, routes, p, Options{Fast: true})
+	if err != nil {
+		t.Fatalf("fast (fallback): %v", err)
+	}
+	if math.Abs(exact.Throughput-fast.Throughput) > 1e-9 {
+		t.Errorf("fallback should produce the exact result: %v vs %v",
+			fast.Throughput, exact.Throughput)
+	}
+}
+
+func TestFastValidationBeamformingAgreement(t *testing.T) {
+	// The 53-task beamformer is unit-rate: the fast path must agree
+	// with the state-space exploration on the full case study.
+	p := platform.CRISP()
+	ioIn := -1
+	for _, e := range p.Elements() {
+		if e.Name == "io-in" {
+			ioIn = e.ID
+		}
+	}
+	app := graph.Beamforming(graph.DefaultBeamforming(ioIn))
+	bind, err := binding.Bind(app, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mapping.MapApplication(app, p, bind, mapping.Options{
+		Instance: "bf", Weights: mapping.WeightsBoth,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes, err := routing.RouteAll(app, res.Assignment, p, routing.BFS{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := Validate(app, bind, res.Assignment, routes, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := Validate(app, bind, res.Assignment, routes, p, Options{Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(exact.Throughput-fast.Throughput) > 1e-6*exact.Throughput {
+		t.Errorf("beamforming fast %v vs exact %v", fast.Throughput, exact.Throughput)
+	}
+}

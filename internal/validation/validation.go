@@ -1,0 +1,195 @@
+// Package validation implements phase 4 of the workflow (paper §I-A):
+// the performance constraints given in the application specification
+// are validated against the performance provided by the execution
+// layout derived from the previous phases.
+//
+// The influence of the platform and the application specification is
+// modeled as an SDF graph (paper §II): tasks become actors whose
+// firing duration reflects time-sharing contention on their element,
+// and every routed channel becomes a communication actor whose
+// duration grows with the route's hop count. Latency constraints are
+// expressed as throughput constraints ([12]) and checked against the
+// throughput obtained by state-space exploration (package sdf).
+package validation
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/binding"
+	"repro/internal/graph"
+	"repro/internal/platform"
+	"repro/internal/routing"
+	"repro/internal/sdf"
+)
+
+// Options configures the SDF model construction.
+type Options struct {
+	// PerHopLatency is the firing duration contributed by each hop
+	// of a route; defaults to 1.
+	PerHopLatency int64
+	// BufferTokens is the per-channel buffer depth, in units of the
+	// channel's larger rate; defaults to 4. Smaller buffers reduce
+	// throughput (more back-pressure).
+	BufferTokens int
+	// IgnoreContention disables the time-sharing penalty on
+	// elements hosting multiple tasks.
+	IgnoreContention bool
+	// Fast uses maximum-cycle-ratio analysis instead of the
+	// state-space exploration when the model is unit-rate — the
+	// speed-up direction of the paper's future work (§V, [18]).
+	// Multi-rate models silently fall back to the exact analysis.
+	// Fast reports no pipeline-fill latency.
+	Fast bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.PerHopLatency == 0 {
+		o.PerHopLatency = 1
+	}
+	if o.BufferTokens == 0 {
+		o.BufferTokens = 4
+	}
+	return o
+}
+
+// Report is the outcome of the validation phase.
+type Report struct {
+	// Throughput is the achieved throughput in graph iterations per
+	// time unit.
+	Throughput float64
+	// Required is the throughput demanded by the constraints (the
+	// maximum of the direct throughput constraint and the latency
+	// constraint expressed as throughput), in iterations per time
+	// unit; 0 when unconstrained.
+	Required float64
+	// PipeLatency is the time at which every task actor had
+	// completed at least one firing — a pipeline-fill estimate.
+	PipeLatency int64
+	// Satisfied reports whether Throughput ≥ Required.
+	Satisfied bool
+	// Actors and Edges size the SDF model that was analyzed.
+	Actors, Edges int
+}
+
+// Error is a validation-phase failure: the layout cannot satisfy the
+// application's performance constraints.
+type Error struct {
+	Reason string
+	Report *Report
+}
+
+func (e *Error) Error() string { return "validation: " + e.Reason }
+
+// Build constructs the SDF model of an execution layout.
+func Build(app *graph.Application, bind *binding.Binding, assignment []int,
+	routes []routing.Route, p *platform.Platform, opts Options) *sdf.Graph {
+	opts = opts.withDefaults()
+	g := sdf.NewGraph()
+
+	contention := func(elem int) int64 {
+		if opts.IgnoreContention {
+			return 1
+		}
+		n := int64(len(p.Element(elem).Occupants()))
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+
+	actorOf := make([]int, len(app.Tasks))
+	for _, t := range app.Tasks {
+		im := bind.Implementation(t.ID)
+		dur := im.ExecTime * contention(assignment[t.ID])
+		actorOf[t.ID] = g.AddActor(t.Name, dur)
+		g.AddSelfLoop(actorOf[t.ID])
+	}
+
+	routeOf := make(map[int]routing.Route, len(routes))
+	for _, rt := range routes {
+		routeOf[rt.Channel] = rt
+	}
+
+	for _, ch := range app.Channels {
+		src, dst := actorOf[ch.Src], actorOf[ch.Dst]
+		buf := opts.BufferTokens * max(ch.Produce, ch.Consume)
+		hops := 0
+		if rt, ok := routeOf[ch.ID]; ok {
+			hops = rt.Hops()
+		}
+		if hops == 0 {
+			// Same-element (or unrouted) channel: direct edge with
+			// a bounded-buffer back edge.
+			g.AddEdge(src, dst, ch.Produce, ch.Consume, ch.Initial)
+			g.AddEdge(dst, src, ch.Consume, ch.Produce, buf)
+			continue
+		}
+		// Routed channel: a communication actor models the NoC
+		// transfer, one token at a time.
+		comm := g.AddActor(fmt.Sprintf("comm%d", ch.ID), int64(hops)*opts.PerHopLatency)
+		g.AddSelfLoop(comm)
+		g.AddEdge(src, comm, ch.Produce, 1, 0)
+		g.AddEdge(comm, dst, 1, ch.Consume, ch.Initial)
+		// Back-pressure: credit tokens flow dst → comm → src.
+		g.AddEdge(comm, src, 1, ch.Produce, buf*ch.Produce)
+		g.AddEdge(dst, comm, ch.Consume, 1, buf*ch.Consume)
+	}
+	return g
+}
+
+// Validate builds the SDF model, analyzes it, and checks the
+// application's constraints. A constraint violation (or an
+// unanalyzable model, e.g. deadlock) returns an *Error whose Report
+// carries whatever was measured.
+func Validate(app *graph.Application, bind *binding.Binding, assignment []int,
+	routes []routing.Route, p *platform.Platform, opts Options) (*Report, error) {
+	g := Build(app, bind, assignment, routes, p, opts)
+	var an *sdf.Analysis
+	var err error
+	if opts.Fast {
+		an, err = g.FastAnalyze()
+		if errors.Is(err, sdf.ErrMultiRate) {
+			an, err = g.Analyze()
+		}
+	} else {
+		an, err = g.Analyze()
+	}
+	if err != nil {
+		return nil, &Error{Reason: "throughput analysis failed: " + err.Error()}
+	}
+
+	rep := &Report{
+		Throughput: an.Throughput,
+		Actors:     len(g.Actors),
+		Edges:      len(g.Edges),
+	}
+	// Pipeline-fill latency: the latest first completion over all
+	// actors (communication actors included — a stream is flowing
+	// only once every stage has produced).
+	for _, fc := range an.FirstCompletion {
+		if fc > rep.PipeLatency {
+			rep.PipeLatency = fc
+		}
+	}
+
+	required := app.Constraints.MinThroughput / 1000
+	if l := app.Constraints.MaxLatency; l > 0 {
+		// Latency expressed as a throughput constraint (paper §II,
+		// [12]): sustaining one iteration per MaxLatency time units.
+		if r := 1 / float64(l); r > required {
+			required = r
+		}
+	}
+	rep.Required = required
+	rep.Satisfied = rep.Throughput >= required || required == 0
+
+	if !rep.Satisfied {
+		return rep, &Error{
+			Reason: fmt.Sprintf("throughput %.6f below required %.6f iterations/time-unit",
+				rep.Throughput, rep.Required),
+			Report: rep,
+		}
+	}
+	return rep, nil
+}

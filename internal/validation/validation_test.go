@@ -1,0 +1,197 @@
+package validation
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/binding"
+	"repro/internal/graph"
+	"repro/internal/mapping"
+	"repro/internal/platform"
+	"repro/internal/resource"
+	"repro/internal/routing"
+)
+
+// layout maps a 2-task chain onto a 3-element line and returns all
+// artifacts.
+func layout(t *testing.T, share int64, constraints graph.Constraints) (
+	*graph.Application, *binding.Binding, []int, []routing.Route, *platform.Platform) {
+	t.Helper()
+	p := platform.Mesh(3, 1, 2)
+	app := graph.New("a")
+	a := app.AddTask("a", graph.Internal, graph.Implementation{
+		Name: "dsp", Target: platform.TypeDSP,
+		Requires: resource.Of(share, 8, 0, 0), Cost: 1, ExecTime: 4,
+	})
+	b := app.AddTask("b", graph.Internal, graph.Implementation{
+		Name: "dsp", Target: platform.TypeDSP,
+		Requires: resource.Of(share, 8, 0, 0), Cost: 1, ExecTime: 6,
+	})
+	app.AddChannel(a, b)
+	app.Constraints = constraints
+
+	bind, err := binding.Bind(app, p)
+	if err != nil {
+		t.Fatalf("Bind: %v", err)
+	}
+	res, err := mapping.MapApplication(app, p, bind, mapping.Options{
+		Instance: "v", Weights: mapping.WeightsCommunication,
+	})
+	if err != nil {
+		t.Fatalf("MapApplication: %v", err)
+	}
+	routes, err := routing.RouteAll(app, res.Assignment, p, routing.BFS{})
+	if err != nil {
+		t.Fatalf("RouteAll: %v", err)
+	}
+	return app, bind, res.Assignment, routes, p
+}
+
+func TestValidateUnconstrained(t *testing.T) {
+	app, bind, assign, routes, p := layout(t, 60, graph.Constraints{})
+	rep, err := Validate(app, bind, assign, routes, p, Options{})
+	if err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if !rep.Satisfied {
+		t.Error("unconstrained layout must be satisfied")
+	}
+	if rep.Throughput <= 0 {
+		t.Errorf("throughput = %v, want > 0", rep.Throughput)
+	}
+	// Bottleneck task has duration 6 → at most 1/6 iterations/unit.
+	if rep.Throughput > 1.0/6+1e-9 {
+		t.Errorf("throughput %v exceeds bottleneck bound 1/6", rep.Throughput)
+	}
+	if rep.PipeLatency <= 0 {
+		t.Errorf("PipeLatency = %d, want > 0", rep.PipeLatency)
+	}
+}
+
+func TestValidateThroughputConstraintViolated(t *testing.T) {
+	// Demand 1000 iterations per 1000 time units = 1/unit; actual is
+	// ≤ 1/6.
+	app, bind, assign, routes, p := layout(t, 60, graph.Constraints{MinThroughput: 1000})
+	rep, err := Validate(app, bind, assign, routes, p, Options{})
+	var verr *Error
+	if !errors.As(err, &verr) {
+		t.Fatalf("error = %v, want *validation.Error", err)
+	}
+	if rep == nil || rep.Satisfied {
+		t.Error("report should exist and be unsatisfied")
+	}
+	if verr.Report == nil {
+		t.Error("error should carry the report")
+	}
+}
+
+func TestValidateLatencyAsThroughput(t *testing.T) {
+	// MaxLatency 5 → required ≥ 0.2 iterations/unit; actual ≤ 1/6.
+	app, bind, assign, routes, p := layout(t, 60, graph.Constraints{MaxLatency: 5})
+	if _, err := Validate(app, bind, assign, routes, p, Options{}); err == nil {
+		t.Error("latency constraint should be violated")
+	}
+	// A lax latency passes.
+	app2, bind2, assign2, routes2, p2 := layout(t, 60, graph.Constraints{MaxLatency: 1000})
+	if _, err := Validate(app2, bind2, assign2, routes2, p2, Options{}); err != nil {
+		t.Errorf("lax latency should pass: %v", err)
+	}
+}
+
+func TestContentionSlowsThroughput(t *testing.T) {
+	// Two 40% tasks end up sharing elements when the platform is one
+	// element; contention doubles durations and halves throughput.
+	p := platform.New()
+	p.AddElement(platform.TypeDSP, "d0", platform.DSPCapacity)
+	app := graph.New("a")
+	a := app.AddTask("a", graph.Internal, graph.Implementation{
+		Name: "dsp", Target: platform.TypeDSP,
+		Requires: resource.Of(40, 8, 0, 0), Cost: 1, ExecTime: 4,
+	})
+	b := app.AddTask("b", graph.Internal, graph.Implementation{
+		Name: "dsp", Target: platform.TypeDSP,
+		Requires: resource.Of(40, 8, 0, 0), Cost: 1, ExecTime: 4,
+	})
+	app.AddChannel(a, b)
+	bind, err := binding.Bind(app, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mapping.MapApplication(app, p, bind, mapping.Options{Instance: "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes, err := routing.RouteAll(app, res.Assignment, p, routing.BFS{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	with, err := Validate(app, bind, res.Assignment, routes, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Validate(app, bind, res.Assignment, routes, p, Options{IgnoreContention: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Throughput >= without.Throughput {
+		t.Errorf("contention-aware throughput %v should be below contention-free %v",
+			with.Throughput, without.Throughput)
+	}
+}
+
+func TestLongerRoutesReducePipelineLatency(t *testing.T) {
+	// Same app on a line: adjacent mapping (1 hop) vs forced distant
+	// mapping would add comm latency. Compare the SDF models: the
+	// comm actor duration equals the hop count.
+	app, bind, assign, routes, p := layout(t, 60, graph.Constraints{})
+	g1 := Build(app, bind, assign, routes, p, Options{})
+	// Rebuild with an artificial 3-hop route.
+	fake := []routing.Route{{Channel: 0, Path: []int{0, 1, 2, 1}}}
+	g2 := Build(app, bind, assign, fake, p, Options{})
+	if len(g2.Actors) != len(g1.Actors) {
+		t.Fatalf("actor counts differ: %d vs %d", len(g2.Actors), len(g1.Actors))
+	}
+	// The comm actor is the last actor added in both graphs.
+	d1 := g1.Actors[len(g1.Actors)-1].Duration
+	d2 := g2.Actors[len(g2.Actors)-1].Duration
+	if d2 <= d1 {
+		t.Errorf("3-hop comm duration %d should exceed 1-hop %d", d2, d1)
+	}
+}
+
+func TestSmallerBuffersReduceThroughput(t *testing.T) {
+	app, bind, assign, routes, p := layout(t, 60, graph.Constraints{})
+	big, err := Validate(app, bind, assign, routes, p, Options{BufferTokens: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := Validate(app, bind, assign, routes, p, Options{BufferTokens: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Throughput > big.Throughput+1e-9 {
+		t.Errorf("1-token buffer throughput %v should not exceed 8-token %v",
+			small.Throughput, big.Throughput)
+	}
+}
+
+func TestBuildModelSizes(t *testing.T) {
+	app, bind, assign, routes, p := layout(t, 60, graph.Constraints{})
+	g := Build(app, bind, assign, routes, p, Options{})
+	// 2 task actors + 1 comm actor (the two tasks are on different
+	// elements after a communication-weighted mapping).
+	if len(g.Actors) != 3 {
+		t.Errorf("actors = %d, want 3", len(g.Actors))
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("built model invalid: %v", err)
+	}
+	rep, err := Validate(app, bind, assign, routes, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Actors != 3 || rep.Edges != len(g.Edges) {
+		t.Errorf("report sizes %d/%d disagree with model %d/%d",
+			rep.Actors, rep.Edges, len(g.Actors), len(g.Edges))
+	}
+}
