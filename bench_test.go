@@ -28,9 +28,50 @@ var benchDatasets []experiments.Dataset
 func datasets(b *testing.B) []experiments.Dataset {
 	b.Helper()
 	if benchDatasets == nil {
-		benchDatasets = experiments.BuildAllDatasets(40, 1)
+		benchDatasets = experiments.BuildAllDatasets(40, 1, 0)
 	}
 	return benchDatasets
+}
+
+// BenchmarkExperiments runs the same reduced evaluation once with the
+// serial harness (1 worker) and once with the parallel worker pool
+// (all CPUs). Both report the identical deterministic headline
+// metrics — overall success rate and failure count — so the pool's
+// speedup is directly comparable against an unchanged workload
+// (EXPERIMENTS.md shows the two rows matching on every metric but
+// ns/op).
+func BenchmarkExperiments(b *testing.B) {
+	ds := datasets(b)
+	proto := platform.CRISP()
+	for _, v := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 0},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			var recs []experiments.Record
+			for i := 0; i < b.N; i++ {
+				recs = experiments.RunSequences(ds, proto, experiments.SequenceConfig{
+					Weights:              mapping.WeightsBoth,
+					Sequences:            2,
+					Seed:                 1,
+					SkipValidationTiming: true,
+					Workers:              v.workers,
+				})
+			}
+			var success int
+			for _, rec := range recs {
+				if rec.Success {
+					success++
+				}
+			}
+			b.ReportMetric(100*float64(success)/float64(len(recs)), "success-%")
+			b.ReportMetric(float64(len(recs)-success), "failures")
+			b.ReportMetric(float64(len(recs)), "attempts")
+		})
+	}
 }
 
 // BenchmarkTableI regenerates the failure distribution per phase
@@ -510,7 +551,7 @@ func BenchmarkAdmissionByProfile(b *testing.B) {
 				// Use the first generated app that survives the
 				// empty-platform filter (large communication apps
 				// often do not — that is Table I's point).
-				ds := experiments.BuildDataset(appgen.NewConfig(prof, size), 20, 7, proto)
+				ds := experiments.BuildDataset(appgen.NewConfig(prof, size), 20, 7, proto, 0)
 				if len(ds.Apps) == 0 {
 					b.Skip("no filter-surviving app in the sample")
 				}

@@ -14,12 +14,14 @@
 //	experiments -case              # beamforming case study timings
 //	experiments -all               # everything
 //	experiments -apps 100 -seqs 30 # dataset size / sequences per dataset
+//	experiments -workers 4         # bound the replication worker pool
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/experiments"
@@ -29,17 +31,18 @@ import (
 
 func main() {
 	var (
-		table1 = flag.Bool("table1", false, "run Table I (failure distribution per phase)")
-		fig7   = flag.Bool("fig7", false, "run Fig. 7 (per-phase run times vs task count)")
-		fig8   = flag.Bool("fig8", false, "run Fig. 8 (hops per channel vs position)")
-		fig9   = flag.Bool("fig9", false, "run Fig. 9 (fragmentation vs position)")
-		fig10  = flag.Bool("fig10", false, "run Fig. 10 (beamforming admission weight map)")
-		casefl = flag.Bool("case", false, "run the beamforming case study")
-		all    = flag.Bool("all", false, "run every experiment")
-		apps   = flag.Int("apps", experiments.DefaultAppsPerDataset, "applications generated per dataset")
-		seqs   = flag.Int("seqs", 30, "random sequences per dataset")
-		seed   = flag.Int64("seed", 1, "base random seed")
-		grid   = flag.Bool("fullgrid", false, "fig10: sample the paper's full 26×101 grid (slow); default is a 26×41 grid")
+		table1  = flag.Bool("table1", false, "run Table I (failure distribution per phase)")
+		fig7    = flag.Bool("fig7", false, "run Fig. 7 (per-phase run times vs task count)")
+		fig8    = flag.Bool("fig8", false, "run Fig. 8 (hops per channel vs position)")
+		fig9    = flag.Bool("fig9", false, "run Fig. 9 (fragmentation vs position)")
+		fig10   = flag.Bool("fig10", false, "run Fig. 10 (beamforming admission weight map)")
+		casefl  = flag.Bool("case", false, "run the beamforming case study")
+		all     = flag.Bool("all", false, "run every experiment")
+		apps    = flag.Int("apps", experiments.DefaultAppsPerDataset, "applications generated per dataset")
+		seqs    = flag.Int("seqs", 30, "random sequences per dataset")
+		seed    = flag.Int64("seed", 1, "base random seed")
+		grid    = flag.Bool("fullgrid", false, "fig10: sample the paper's full 26×101 grid (slow); default is a 26×41 grid")
+		workers = flag.Int("workers", 0, "worker pool size for replications (0 = all CPUs, 1 = serial)")
 	)
 	flag.Parse()
 	if !(*table1 || *fig7 || *fig8 || *fig9 || *fig10 || *casefl || *all) {
@@ -48,13 +51,17 @@ func main() {
 	}
 
 	proto := platform.CRISP()
-	fmt.Printf("platform: %v\n\n", proto)
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("platform: %v (%d workers)\n\n", proto, w)
 
 	var datasets []experiments.Dataset
 	needDatasets := *all || *table1 || *fig7 || *fig8 || *fig9
 	if needDatasets {
 		start := time.Now()
-		datasets = experiments.BuildAllDatasets(*apps, *seed)
+		datasets = experiments.BuildAllDatasets(*apps, *seed, *workers)
 		fmt.Printf("datasets (built in %v, filtered on empty platform):\n", time.Since(start).Round(time.Millisecond))
 		for _, ds := range datasets {
 			fmt.Printf("  %-22s %3d apps (%d removed)\n", ds.Name, len(ds.Apps), ds.Removed)
@@ -68,6 +75,7 @@ func main() {
 			Weights:   mapping.WeightsBoth,
 			Sequences: *seqs,
 			Seed:      *seed,
+			Workers:   *workers,
 		})
 		elapsed := time.Since(start).Round(time.Millisecond)
 		if *all || *table1 {
@@ -78,6 +86,9 @@ func main() {
 		}
 		if *all || *fig7 {
 			fmt.Printf("== Fig. 7: mean per-phase run time of successful allocations ==\n")
+			if w > 1 {
+				fmt.Printf("(timed under %d-way parallelism; use -workers 1 for contention-free phase times)\n", w)
+			}
 			fmt.Print(experiments.FormatFig7(experiments.Fig7(recs)))
 			fmt.Println()
 		}
@@ -94,6 +105,7 @@ func main() {
 				Seed:                 *seed,
 				MaxPosition:          29,
 				SkipValidationTiming: true,
+				Workers:              *workers,
 			})
 			labels = append(labels, wc.Label)
 			series = append(series, experiments.PositionSeries(recs, 29))
@@ -116,6 +128,7 @@ func main() {
 
 	if *all || *fig10 {
 		cfg := experiments.DefaultFig10()
+		cfg.Workers = *workers
 		if !*grid {
 			cfg.FragStep = 25 // 26×41 grid by default; -fullgrid for 26×101
 		}

@@ -9,6 +9,7 @@
 //	kairos -platform crisp app1.kapp app2.kapp
 //	kairos -platform mesh8x8 -weights 1,25 -beamforming
 //	kairos -demo            # built-in demo application
+//	kairos -batch *.kapp    # batched admission (largest app first)
 package main
 
 import (
@@ -102,6 +103,25 @@ func demoApp() *graph.Application {
 	return app
 }
 
+// printResult reports one admission attempt and returns whether it
+// succeeded. adm may be nil (a batch request filtered before the
+// workflow ran).
+func printResult(app *graph.Application, adm *core.Admission, err error, p *platform.Platform) bool {
+	fmt.Printf("== admitting %v ==\n", app)
+	if err != nil {
+		if adm != nil {
+			fmt.Printf("REJECTED: %v\n(phase times: binding %v, mapping %v, routing %v, validation %v)\n\n",
+				err, adm.Times.Binding, adm.Times.Mapping, adm.Times.Routing, adm.Times.Validation)
+		} else {
+			fmt.Printf("REJECTED before admission: %v\n\n", err)
+		}
+		return false
+	}
+	printLayout(adm, p)
+	fmt.Println()
+	return true
+}
+
 func printLayout(adm *core.Admission, p *platform.Platform) {
 	fmt.Printf("execution layout for %s:\n", adm.Instance)
 	type row struct{ task, impl, elem string }
@@ -144,6 +164,7 @@ func main() {
 		skipVal  = flag.Bool("skip-validation", false, "do not reject on constraint violations")
 		fastVal  = flag.Bool("fast-validation", false, "use maximum-cycle-ratio throughput analysis")
 		dumpPlat = flag.Bool("dump-platform", false, "print the platform description as JSON and exit")
+		batch    = flag.Bool("batch", false, "admit all applications as one AdmitAll batch (largest first) instead of in argument order")
 	)
 	flag.Parse()
 
@@ -208,18 +229,21 @@ func main() {
 		Validation:     validation.Options{Fast: *fastVal},
 	})
 	admitted := 0
-	for _, app := range apps {
-		fmt.Printf("== admitting %v ==\n", app)
-		adm, err := k.Admit(app)
-		if err != nil {
-			fmt.Printf("REJECTED: %v\n(phase times: binding %v, mapping %v, routing %v, validation %v)\n\n",
-				err, adm.Times.Binding, adm.Times.Mapping, adm.Times.Routing, adm.Times.Validation)
-			continue
+	if *batch {
+		for _, res := range k.AdmitAll(apps) {
+			if printResult(res.App, res.Admission, res.Err, p) {
+				admitted++
+			}
 		}
-		admitted++
-		printLayout(adm, p)
-		fmt.Println()
+	} else {
+		for _, app := range apps {
+			adm, err := k.Admit(app)
+			if printResult(app, adm, err, p) {
+				admitted++
+			}
+		}
 	}
 	fmt.Printf("admitted %d/%d applications; platform fragmentation %.1f%%\n",
 		admitted, len(apps), k.Fragmentation())
+	fmt.Printf("stats: %v\n", k.Stats())
 }

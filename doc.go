@@ -25,13 +25,15 @@
 //	internal/sdf         timed SDF graphs and self-timed state-space
 //	                     throughput analysis
 //	internal/validation  phase 4: constraint checking on the SDF model
-//	internal/core        Kairos, the resource manager orchestrating
-//	                     the four phases
-//	internal/experiments the evaluation harness for Table I and
-//	                     Figs. 7–10
+//	internal/core        Kairos, the concurrent admission engine
+//	                     orchestrating the four phases (platform-state
+//	                     lock, batched AdmitAll, Stats counters)
+//	internal/experiments the parallel evaluation harness for Table I
+//	                     and Figs. 7–10
 //
 // The benchmarks in bench_test.go regenerate every table and figure of
 // the paper's evaluation at reduced scale; cmd/experiments regenerates
-// them at full scale. See DESIGN.md for the system inventory and
-// EXPERIMENTS.md for measured-vs-paper results.
+// them at full scale. See README.md for a quickstart, DESIGN.md for
+// the system inventory and concurrency model, and EXPERIMENTS.md for
+// measured-vs-paper results.
 package repro

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// ErrNilApplication is reported by AdmitAll for nil requests.
+var ErrNilApplication = errors.New("kairos: nil application")
+
+// BatchResult is the outcome of one request in an AdmitAll batch.
+type BatchResult struct {
+	// Index is the request's position in the input slice.
+	Index int
+	// App is the requested application (nil for filtered requests).
+	App *graph.Application
+	// Admission is non-nil for every attempted request (partial on
+	// failure, as with Admit); nil when the request was filtered out
+	// before admission.
+	Admission *Admission
+	// Err is nil iff the application was admitted.
+	Err error
+}
+
+// AdmitAll admits a batch of applications atomically with respect to
+// other callers: the platform lock is held for the whole batch, so no
+// concurrent Admit or Release interleaves with it. Requests are
+// filtered (nil or invalid applications are rejected up front without
+// running the workflow) and the survivors are admitted largest-first —
+// descending task count, ties broken by name and input order — because
+// large applications are the hardest to place and placing them into
+// fragmented leftovers is what Table I shows failing. The batch is not
+// transactional: a rejected application does not roll back the ones
+// admitted before it.
+//
+// Results are returned in input order, one per request. For a fixed
+// input the admission order, and therefore every resulting layout on a
+// given starting platform state, is deterministic.
+func (k *Kairos) AdmitAll(apps []*graph.Application) []BatchResult {
+	results := make([]BatchResult, len(apps))
+	order := make([]int, 0, len(apps))
+	for i, app := range apps {
+		results[i] = BatchResult{Index: i, App: app}
+		if app == nil {
+			results[i].Err = ErrNilApplication
+			continue
+		}
+		if err := app.Validate(); err != nil {
+			results[i].Err = err
+			continue
+		}
+		order = append(order, i)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ta, tb := len(apps[order[a]].Tasks), len(apps[order[b]].Tasks)
+		if ta != tb {
+			return ta > tb
+		}
+		return apps[order[a]].Name < apps[order[b]].Name
+	})
+
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	for _, i := range order {
+		results[i].Admission, results[i].Err = k.admitLocked(apps[i])
+	}
+	return results
+}

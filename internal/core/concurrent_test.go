@@ -1,0 +1,254 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/appgen"
+	"repro/internal/graph"
+	"repro/internal/mapping"
+	"repro/internal/platform"
+)
+
+// TestConcurrentAdmitRelease hammers one Kairos from many goroutines
+// (run with -race): each worker repeatedly admits a small chain,
+// occasionally readmits it, and releases it again. Afterwards the
+// platform must be empty and the counters must balance.
+func TestConcurrentAdmitRelease(t *testing.T) {
+	p := platform.Mesh(6, 6, 4)
+	k := New(p, Options{Weights: mapping.WeightsBoth, SkipValidation: true})
+	const workers = 8
+	const iters = 25
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			app := chainApp(fmt.Sprintf("w%d", w), 2, 60)
+			for i := 0; i < iters; i++ {
+				adm, err := k.Admit(app)
+				if err != nil {
+					// Transient saturation while other workers hold
+					// resources is expected; platform cleanliness is
+					// checked at the end.
+					continue
+				}
+				if i%5 == 0 {
+					if adm2, err := k.Readmit(adm.Instance); err == nil {
+						adm = adm2
+					}
+				}
+				if err := k.Release(adm.Instance); err != nil {
+					errc <- fmt.Errorf("worker %d release: %w", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	if n := len(k.Admitted()); n != 0 {
+		t.Fatalf("%d admissions left after all workers released", n)
+	}
+	snapshotClean(t, p)
+
+	st := k.Stats()
+	if st.Live != 0 {
+		t.Errorf("Live = %d, want 0", st.Live)
+	}
+	if st.Attempts != st.Admitted+st.Rejected {
+		t.Errorf("attempts %d != admitted %d + rejected %d", st.Attempts, st.Admitted, st.Rejected)
+	}
+	if st.Admitted-st.Released+st.Restored != 0 {
+		t.Errorf("admissions don't balance: admitted %d released %d restored %d",
+			st.Admitted, st.Released, st.Restored)
+	}
+	if st.Admitted > 0 && st.PhaseTotals.Total() <= 0 {
+		t.Error("phase totals not accumulated")
+	}
+}
+
+// TestConcurrentAdmitAllAndSnapshots runs batched admission
+// concurrently with snapshot readers (run with -race): Admitted,
+// Stats and Fragmentation must be safe while batches run.
+func TestConcurrentAdmitAllAndSnapshots(t *testing.T) {
+	p := platform.Mesh(6, 6, 4)
+	k := New(p, Options{Weights: mapping.WeightsBoth, SkipValidation: true})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_ = k.Admitted()
+			_ = k.Stats()
+			if f := k.Fragmentation(); f < 0 || f > 100 {
+				t.Errorf("fragmentation out of range: %v", f)
+				return
+			}
+		}
+	}()
+	for b := 0; b < 4; b++ {
+		wg.Add(1)
+		go func(b int) {
+			defer wg.Done()
+			apps := []*graph.Application{
+				chainApp(fmt.Sprintf("b%d-a", b), 3, 50),
+				chainApp(fmt.Sprintf("b%d-b", b), 2, 50),
+				nil,
+			}
+			for i := 0; i < 10; i++ {
+				for _, res := range k.AdmitAll(apps) {
+					if res.App == nil {
+						if !errors.Is(res.Err, ErrNilApplication) {
+							t.Errorf("nil request error = %v", res.Err)
+						}
+						continue
+					}
+					if res.Err == nil {
+						if err := k.Release(res.Admission.Instance); err != nil {
+							t.Errorf("release: %v", err)
+						}
+					}
+				}
+			}
+		}(b)
+	}
+	wg.Wait()
+	close(stop)
+	<-readerDone
+	snapshotClean(t, p)
+}
+
+// TestAdmitAllDeterministic is the regression test that batched
+// admission is reproducible: for applications generated from a fixed
+// seed, two AdmitAll runs on identical fresh platforms must admit the
+// same instances with identical assignments, regardless of input
+// order.
+func TestAdmitAllDeterministic(t *testing.T) {
+	apps := appgen.Dataset(appgen.NewConfig(appgen.Communication, appgen.Small), 12, 42)
+	fingerprint := func(apps []*graph.Application) string {
+		k := New(platform.CRISP(), Options{Weights: mapping.WeightsBoth, SkipValidation: true})
+		out := ""
+		for _, res := range k.AdmitAll(apps) {
+			if res.Err != nil {
+				out += fmt.Sprintf("%s: rejected\n", res.App.Name)
+				continue
+			}
+			out += fmt.Sprintf("%s -> %s %v\n", res.App.Name, res.Admission.Instance, res.Admission.Assignment)
+		}
+		return out
+	}
+	a := fingerprint(apps)
+	if b := fingerprint(apps); a != b {
+		t.Fatalf("AdmitAll not reproducible:\n--- first\n%s--- second\n%s", a, b)
+	}
+	// Reversing the request order must not change which apps land
+	// where: admission order is sorted, and results are re-indexed.
+	rev := make([]*graph.Application, len(apps))
+	for i, app := range apps {
+		rev[len(apps)-1-i] = app
+	}
+	c := fingerprint(rev)
+	lines := func(s string) map[string]bool {
+		m := map[string]bool{}
+		for _, l := range splitLines(s) {
+			m[l] = true
+		}
+		return m
+	}
+	la, lc := lines(a), lines(c)
+	for l := range la {
+		if !lc[l] {
+			t.Fatalf("layout %q lost under reversed input order\nfirst:\n%s\nreversed:\n%s", l, a, c)
+		}
+	}
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+// TestAdmitAllLargestFirst checks the documented batch ordering: the
+// bigger application is admitted first (lower sequence number) even
+// when it is passed last.
+func TestAdmitAllLargestFirst(t *testing.T) {
+	k := New(platform.Mesh(4, 4, 4), Options{Weights: mapping.WeightsBoth, SkipValidation: true})
+	small := chainApp("small", 2, 40)
+	big := chainApp("big", 4, 40)
+	results := k.AdmitAll([]*graph.Application{small, big})
+	if results[0].App != small || results[1].App != big {
+		t.Fatal("results not in input order")
+	}
+	if results[0].Err != nil || results[1].Err != nil {
+		t.Fatalf("batch rejected: %v / %v", results[0].Err, results[1].Err)
+	}
+	if results[1].Admission.Instance != "big#1" || results[0].Admission.Instance != "small#2" {
+		t.Errorf("admission order = %s then %s, want big first",
+			results[1].Admission.Instance, results[0].Admission.Instance)
+	}
+}
+
+// TestStatsSnapshot exercises the counter snapshot on a serial
+// workload with known outcomes.
+func TestStatsSnapshot(t *testing.T) {
+	p := platform.Mesh(3, 3, 4)
+	k := New(p, Options{Weights: mapping.WeightsBoth, SkipValidation: true})
+	adm, err := k.Admit(chainApp("ok", 2, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := graph.New("unbindable")
+	app.AddTask("t", graph.Internal, graph.Implementation{
+		Name: "fpga", Target: platform.TypeFPGA,
+		Requires: dspImpl(10, 5).Requires, Cost: 1, ExecTime: 5,
+	})
+	if _, err := k.Admit(app); err == nil {
+		t.Fatal("unbindable app admitted")
+	}
+	st := k.Stats()
+	if st.Attempts != 2 || st.Admitted != 1 || st.Rejected != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.RejectedByPhase[PhaseBinding] != 1 {
+		t.Errorf("binding rejects = %d, want 1", st.RejectedByPhase[PhaseBinding])
+	}
+	if st.Live != 1 {
+		t.Errorf("live = %d, want 1", st.Live)
+	}
+	if st.MeanTimes().Binding <= 0 {
+		t.Error("mean binding time missing")
+	}
+	if err := k.Release(adm.Instance); err != nil {
+		t.Fatal(err)
+	}
+	if st = k.Stats(); st.Released != 1 || st.Live != 0 {
+		t.Errorf("after release: %+v", st)
+	}
+	if s := st.String(); s == "" {
+		t.Error("Stats.String empty")
+	}
+}

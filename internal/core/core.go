@@ -15,6 +15,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/binding"
@@ -128,26 +129,39 @@ type Admission struct {
 }
 
 // Kairos is the run-time resource manager. It owns the platform
-// allocation state. Not safe for concurrent use: the prototype
-// serializes allocation attempts, and so do the experiments.
+// allocation state and is safe for concurrent use: a platform-state
+// mutex serializes allocation attempts (the four-phase workflow
+// mutates the platform incrementally and rolls back on failure, so
+// attempts cannot interleave), exactly as the original prototype
+// serializes admission inside the kernel. Concurrent Admit, Release,
+// Readmit and snapshot calls may be issued from any number of
+// goroutines.
 type Kairos struct {
+	mu       sync.Mutex
 	p        *platform.Platform
 	opts     Options
 	admitted map[string]*Admission
 	seq      int
+	stats    Stats
 }
 
-// New returns a resource manager for the platform.
+// New returns a resource manager for the platform. The manager owns
+// the platform's allocation state from here on: mutate it only
+// through the manager.
 func New(p *platform.Platform, opts Options) *Kairos {
 	return &Kairos{p: p, opts: opts, admitted: make(map[string]*Admission)}
 }
 
-// Platform returns the managed platform.
+// Platform returns the managed platform. The platform itself is not
+// synchronized; callers that inspect it while other goroutines admit
+// or release observe intermediate allocation states.
 func (k *Kairos) Platform() *platform.Platform { return k.p }
 
-// Admitted returns the currently admitted applications, keyed by
-// instance name.
+// Admitted returns a snapshot of the currently admitted applications,
+// keyed by instance name.
 func (k *Kairos) Admitted() map[string]*Admission {
+	k.mu.Lock()
+	defer k.mu.Unlock()
 	out := make(map[string]*Admission, len(k.admitted))
 	for n, a := range k.admitted {
 		out[n] = a
@@ -162,6 +176,20 @@ func (k *Kairos) Admitted() map[string]*Admission {
 // partial Admission (with phase times measured so far) is returned
 // alongside the error for introspection.
 func (k *Kairos) Admit(app *graph.Application) (*Admission, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.admitLocked(app)
+}
+
+// admitLocked runs the four-phase workflow under k.mu.
+func (k *Kairos) admitLocked(app *graph.Application) (*Admission, error) {
+	adm, err := k.attemptLocked(app)
+	k.stats.record(adm, err)
+	return adm, err
+}
+
+// attemptLocked is the workflow body without stats accounting.
+func (k *Kairos) attemptLocked(app *graph.Application) (*Admission, error) {
 	k.seq++
 	adm := &Admission{
 		Instance: fmt.Sprintf("%s#%d", app.Name, k.seq),
@@ -226,6 +254,12 @@ var ErrUnknownInstance = errors.New("kairos: unknown application instance")
 // Release frees all resources held by the named admission, e.g. when
 // the application exits or the user demand changes.
 func (k *Kairos) Release(instance string) error {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.releaseLocked(instance)
+}
+
+func (k *Kairos) releaseLocked(instance string) error {
 	adm, ok := k.admitted[instance]
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownInstance, instance)
@@ -233,14 +267,17 @@ func (k *Kairos) Release(instance string) error {
 	routing.ReleaseAll(k.p, adm.Routes)
 	mapping.Unmap(k.p, adm.Instance, adm.App)
 	delete(k.admitted, instance)
+	k.stats.Released++
 	return nil
 }
 
 // ReleaseAll frees every admission (experiments empty the platform
 // between sequences).
 func (k *Kairos) ReleaseAll() {
+	k.mu.Lock()
+	defer k.mu.Unlock()
 	for name := range k.admitted {
-		_ = k.Release(name)
+		_ = k.releaseLocked(name)
 	}
 }
 
@@ -252,15 +289,18 @@ func (k *Kairos) ReleaseAll() {
 // allocation is restored (the layout is replayed; the paper's
 // configuration layer would simply have kept the application running).
 func (k *Kairos) Readmit(instance string) (*Admission, error) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
 	old, ok := k.admitted[instance]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownInstance, instance)
 	}
-	if err := k.Release(instance); err != nil {
+	if err := k.releaseLocked(instance); err != nil {
 		return nil, err
 	}
-	adm, err := k.Admit(old.App)
+	adm, err := k.admitLocked(old.App)
 	if err == nil {
+		k.stats.Readmitted++
 		return adm, nil
 	}
 	// Restore the previous layout. The resources were free a moment
@@ -281,9 +321,14 @@ func (k *Kairos) Readmit(instance string) (*Admission, error) {
 		}
 	}
 	k.admitted[old.Instance] = old
+	k.stats.Restored++
 	return old, err
 }
 
 // Fragmentation returns the platform's current external resource
 // fragmentation percentage (paper §III-A).
-func (k *Kairos) Fragmentation() float64 { return k.p.ExternalFragmentation() }
+func (k *Kairos) Fragmentation() float64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.p.ExternalFragmentation()
+}

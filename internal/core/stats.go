@@ -1,0 +1,88 @@
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// Stats is a snapshot of the manager's lifetime counters: how many
+// workflow runs succeeded, which phase rejected the failures, and how
+// much time each phase consumed in total. Experiments aggregate the
+// same quantities from per-attempt Records; Stats exposes them on the
+// live manager so a serving deployment can export them without
+// keeping every Admission around.
+type Stats struct {
+	// Attempts counts workflow runs (Admit and the admission half of
+	// Readmit); Admitted and Rejected partition it.
+	Attempts int64
+	Admitted int64
+	Rejected int64
+	// RejectedByPhase attributes rejections, indexed by Phase
+	// (Table I's failure distribution).
+	RejectedByPhase [4]int64
+	// Released counts explicit releases, including the release half
+	// of Readmit and ReleaseAll.
+	Released int64
+	// Readmitted counts successful Readmit calls; Restored counts
+	// failed Readmits whose previous layout was replayed.
+	Readmitted int64
+	Restored   int64
+	// Live is the number of currently admitted applications.
+	Live int
+	// PhaseTotals accumulates the per-phase execution time over all
+	// attempts, successful or not (the basis of Fig. 7).
+	PhaseTotals PhaseTimes
+}
+
+// record accounts one workflow attempt. Called with k.mu held.
+func (s *Stats) record(adm *Admission, err error) {
+	s.Attempts++
+	s.PhaseTotals.Binding += adm.Times.Binding
+	s.PhaseTotals.Mapping += adm.Times.Mapping
+	s.PhaseTotals.Routing += adm.Times.Routing
+	s.PhaseTotals.Validation += adm.Times.Validation
+	if err == nil {
+		s.Admitted++
+		return
+	}
+	s.Rejected++
+	if pe, ok := err.(*PhaseError); ok && pe.Phase >= 0 && int(pe.Phase) < len(s.RejectedByPhase) {
+		s.RejectedByPhase[pe.Phase]++
+	}
+}
+
+// MeanTimes returns the mean per-phase execution time across all
+// attempts, or zero times when nothing ran yet.
+func (s Stats) MeanTimes() PhaseTimes {
+	if s.Attempts == 0 {
+		return PhaseTimes{}
+	}
+	n := time.Duration(s.Attempts)
+	return PhaseTimes{
+		Binding:    s.PhaseTotals.Binding / n,
+		Mapping:    s.PhaseTotals.Mapping / n,
+		Routing:    s.PhaseTotals.Routing / n,
+		Validation: s.PhaseTotals.Validation / n,
+	}
+}
+
+func (s Stats) String() string {
+	m := s.MeanTimes()
+	return fmt.Sprintf(
+		"%d attempts (%d admitted, %d rejected: %d binding / %d mapping / %d routing / %d validation), "+
+			"%d live, %d released, %d readmitted; mean phase times binding %v, mapping %v, routing %v, validation %v",
+		s.Attempts, s.Admitted, s.Rejected,
+		s.RejectedByPhase[PhaseBinding], s.RejectedByPhase[PhaseMapping],
+		s.RejectedByPhase[PhaseRouting], s.RejectedByPhase[PhaseValidation],
+		s.Live, s.Released, s.Readmitted,
+		m.Binding, m.Mapping, m.Routing, m.Validation)
+}
+
+// Stats returns a snapshot of the manager's counters.
+func (k *Kairos) Stats() Stats {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	s := k.stats
+	s.Live = len(k.admitted)
+	return s
+}

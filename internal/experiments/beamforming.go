@@ -58,6 +58,9 @@ type Fig10Config struct {
 	CommMax, CommStep int
 	// FragMax sweeps fragmentation weight 0..FragMax step FragStep.
 	FragMax, FragStep int
+	// Workers bounds the worker pool sampling grid points (<= 0 =
+	// one per logical CPU).
+	Workers int
 }
 
 // DefaultFig10 is the paper's grid: every point in
@@ -79,7 +82,8 @@ type Fig10Result struct {
 // Fig10 samples admission of the beamforming application for every
 // weight combination on an empty CRISP platform (paper Fig. 10).
 // Validation is skipped: the figure is about mapping/routing
-// admission.
+// admission. Grid points are independent allocations and are sampled
+// on a worker pool, one platform clone per point.
 func Fig10(cfg Fig10Config) *Fig10Result {
 	app, proto := NewBeamforming()
 	res := &Fig10Result{}
@@ -90,19 +94,25 @@ func Fig10(cfg Fig10Config) *Fig10Result {
 		res.Frag = append(res.Frag, f)
 	}
 	res.Admitted = make([][]bool, len(res.Frag))
-	for fi, f := range res.Frag {
+	for fi := range res.Frag {
 		res.Admitted[fi] = make([]bool, len(res.Comm))
-		for ci, c := range res.Comm {
-			p := proto.Clone()
-			k := core.New(p, core.Options{
-				Weights:           mapping.Weights{Communication: float64(c), Fragmentation: float64(f)},
-				DisableValidation: true,
-			})
-			_, err := k.Admit(app)
-			ok := err == nil
-			res.Admitted[fi][ci] = ok
-			res.Total++
-			if ok {
+	}
+	res.Total = len(res.Frag) * len(res.Comm)
+	forEach(res.Total, cfg.Workers, func(i int) {
+		fi, ci := i/len(res.Comm), i%len(res.Comm)
+		k := core.New(proto.Clone(), core.Options{
+			Weights: mapping.Weights{
+				Communication: float64(res.Comm[ci]),
+				Fragmentation: float64(res.Frag[fi]),
+			},
+			DisableValidation: true,
+		})
+		_, err := k.Admit(app)
+		res.Admitted[fi][ci] = err == nil
+	})
+	for fi := range res.Frag {
+		for ci := range res.Comm {
+			if res.Admitted[fi][ci] {
 				res.AdmitN++
 			}
 		}

@@ -4,11 +4,20 @@
 // the per-admission records into the exact tables and series of
 // Table I and Figs. 7–10. The cmd/experiments tool and the repository
 // benchmarks are thin wrappers over this package.
+//
+// The harness is parallel: independent replications — dataset filter
+// probes and whole admission sequences — are distributed over a worker
+// pool, each worker driving its own platform clone and core.Kairos.
+// Every random draw is made up front on a single stream in the serial
+// loop order, so the records are byte-identical for any worker count
+// (only the wall-clock phase times vary).
 package experiments
 
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"repro/internal/appgen"
 	"repro/internal/core"
@@ -17,6 +26,39 @@ import (
 	"repro/internal/platform"
 	"repro/internal/routing"
 )
+
+// forEach runs fn(i) for i in [0, n) on a pool of the given size
+// (<= 0 means one worker per logical CPU) and waits for completion.
+func forEach(n, workers int, fn func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}
 
 // Dataset is one of the six synthetic datasets of Table I after the
 // empty-platform filter.
@@ -47,29 +89,41 @@ func AllConfigs() []appgen.Config {
 // samples", §IV). The filter runs the full binding–mapping–routing
 // pipeline; validation never rejects (the paper does not reject in
 // the validation phase for these datasets).
-func BuildDataset(cfg appgen.Config, n int, seed int64, proto *platform.Platform) Dataset {
+// Each filter probe clones the platform and runs on its own Kairos,
+// so probes for different applications proceed in parallel on a pool
+// of the given size (<= 0 = one worker per logical CPU); the
+// surviving apps keep their generation order.
+func BuildDataset(cfg appgen.Config, n int, seed int64, proto *platform.Platform, workers int) Dataset {
 	ds := Dataset{Name: appgen.DatasetName(cfg), Config: cfg}
-	for _, app := range appgen.Dataset(cfg, n, seed) {
-		p := proto.Clone()
-		k := core.New(p, core.Options{
+	apps := appgen.Dataset(cfg, n, seed)
+	keep := make([]bool, len(apps))
+	forEach(len(apps), workers, func(i int) {
+		k := core.New(proto.Clone(), core.Options{
 			Weights:        mapping.WeightsBoth,
 			SkipValidation: true,
 		})
-		if _, err := k.Admit(app); err != nil {
+		_, err := k.Admit(apps[i])
+		keep[i] = err == nil
+	})
+	for i, app := range apps {
+		if keep[i] {
+			ds.Apps = append(ds.Apps, app)
+		} else {
 			ds.Removed++
-			continue
 		}
-		ds.Apps = append(ds.Apps, app)
 	}
 	return ds
 }
 
-// BuildAllDatasets builds the six datasets against the CRISP platform.
-func BuildAllDatasets(n int, seed int64) []Dataset {
+// BuildAllDatasets builds the six datasets against the CRISP
+// platform, filtering on a pool of the given size (<= 0 = one worker
+// per logical CPU).
+func BuildAllDatasets(n int, seed int64, workers int) []Dataset {
 	proto := platform.CRISP()
-	out := make([]Dataset, 0, 6)
-	for i, cfg := range AllConfigs() {
-		out = append(out, BuildDataset(cfg, n, seed+int64(i)*1000, proto))
+	out := make([]Dataset, 6)
+	cfgs := AllConfigs()
+	for i, cfg := range cfgs {
+		out[i] = BuildDataset(cfg, n, seed+int64(i)*1000, proto, workers)
 	}
 	return out
 }
@@ -111,57 +165,85 @@ type SequenceConfig struct {
 	// (not even timed) to speed up sweeps that only need admission
 	// outcomes. Fig. 7 must keep it enabled.
 	SkipValidationTiming bool
+	// Workers bounds the worker pool running sequence replications
+	// (<= 0 = one per logical CPU, 1 = the serial path).
+	Workers int
 }
 
 // RunSequences benchmarks the platform with each dataset: the
 // applications are admitted sequentially in 30 random orders, the
 // platform is emptied between sequences, and every attempt yields a
-// Record (paper §IV).
+// Record (paper §IV). Sequences are independent replications and run
+// on a worker pool, one platform clone and Kairos per sequence; the
+// shuffles are drawn up front in the serial loop order, so the
+// returned records are identical for every worker count (phase times
+// aside).
 func RunSequences(datasets []Dataset, proto *platform.Platform, cfg SequenceConfig) []Record {
 	if cfg.Sequences <= 0 {
 		cfg.Sequences = 30
 	}
+	type job struct {
+		ds    *Dataset
+		seq   int
+		order []int
+	}
 	r := rand.New(rand.NewSource(cfg.Seed))
-	var records []Record
-
-	for _, ds := range datasets {
+	var jobs []job
+	for di := range datasets {
 		for seq := 0; seq < cfg.Sequences; seq++ {
-			order := r.Perm(len(ds.Apps))
-			p := proto.Clone()
-			k := core.New(p, core.Options{
-				Weights:           cfg.Weights,
-				Router:            cfg.Router,
-				SkipValidation:    true,
-				DisableValidation: cfg.SkipValidationTiming,
-			})
-			limit := len(order)
-			if cfg.MaxPosition > 0 && cfg.MaxPosition < limit {
-				limit = cfg.MaxPosition
-			}
-			for pos := 0; pos < limit; pos++ {
-				app := ds.Apps[order[pos]]
-				rec := Record{
-					Dataset:  ds.Name,
-					Weights:  cfg.Weights,
-					Sequence: seq,
-					Position: pos + 1,
-					Tasks:    len(app.Tasks),
-				}
-				adm, err := k.Admit(app)
-				rec.Times = adm.Times
-				if err != nil {
-					rec.Success = false
-					if pe, ok := err.(*core.PhaseError); ok {
-						rec.FailPhase = pe.Phase
-					}
-				} else {
-					rec.Success = true
-					rec.MeanHops = routing.MeanHops(adm.Routes)
-				}
-				rec.FragAfter = p.ExternalFragmentation()
-				records = append(records, rec)
-			}
+			jobs = append(jobs, job{&datasets[di], seq, r.Perm(len(datasets[di].Apps))})
 		}
+	}
+
+	perJob := make([][]Record, len(jobs))
+	forEach(len(jobs), cfg.Workers, func(ji int) {
+		perJob[ji] = runSequence(jobs[ji].ds, proto, cfg, jobs[ji].seq, jobs[ji].order)
+	})
+
+	var records []Record
+	for _, rs := range perJob {
+		records = append(records, rs...)
+	}
+	return records
+}
+
+// runSequence admits one shuffled dataset order onto a fresh platform
+// clone and records every attempt.
+func runSequence(ds *Dataset, proto *platform.Platform, cfg SequenceConfig, seq int, order []int) []Record {
+	p := proto.Clone()
+	k := core.New(p, core.Options{
+		Weights:           cfg.Weights,
+		Router:            cfg.Router,
+		SkipValidation:    true,
+		DisableValidation: cfg.SkipValidationTiming,
+	})
+	limit := len(order)
+	if cfg.MaxPosition > 0 && cfg.MaxPosition < limit {
+		limit = cfg.MaxPosition
+	}
+	records := make([]Record, 0, limit)
+	for pos := 0; pos < limit; pos++ {
+		app := ds.Apps[order[pos]]
+		rec := Record{
+			Dataset:  ds.Name,
+			Weights:  cfg.Weights,
+			Sequence: seq,
+			Position: pos + 1,
+			Tasks:    len(app.Tasks),
+		}
+		adm, err := k.Admit(app)
+		rec.Times = adm.Times
+		if err != nil {
+			rec.Success = false
+			if pe, ok := err.(*core.PhaseError); ok {
+				rec.FailPhase = pe.Phase
+			}
+		} else {
+			rec.Success = true
+			rec.MeanHops = routing.MeanHops(adm.Routes)
+		}
+		rec.FragAfter = p.ExternalFragmentation()
+		records = append(records, rec)
 	}
 	return records
 }

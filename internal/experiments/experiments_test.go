@@ -12,7 +12,7 @@ import (
 
 func TestBuildDatasetFilters(t *testing.T) {
 	proto := platform.CRISP()
-	ds := BuildDataset(appgen.NewConfig(appgen.Computation, appgen.Small), 20, 1, proto)
+	ds := BuildDataset(appgen.NewConfig(appgen.Computation, appgen.Small), 20, 1, proto, 0)
 	if len(ds.Apps)+ds.Removed != 20 {
 		t.Fatalf("apps %d + removed %d != 20", len(ds.Apps), ds.Removed)
 	}
@@ -33,7 +33,7 @@ func TestBuildDatasetFilters(t *testing.T) {
 
 func TestRunSequencesRecords(t *testing.T) {
 	proto := platform.CRISP()
-	ds := BuildDataset(appgen.NewConfig(appgen.Communication, appgen.Small), 12, 2, proto)
+	ds := BuildDataset(appgen.NewConfig(appgen.Communication, appgen.Small), 12, 2, proto, 0)
 	recs := RunSequences([]Dataset{ds}, proto, SequenceConfig{
 		Weights:              mapping.WeightsBoth,
 		Sequences:            2,
@@ -136,6 +136,30 @@ func TestPositionSeriesReduction(t *testing.T) {
 	}
 }
 
+func TestParallelMatchesSerial(t *testing.T) {
+	// The worker-pool harness must reproduce the serial records
+	// exactly (phase times aside): shuffles are pre-drawn on one
+	// stream, and reassembly restores the serial record order.
+	proto := platform.CRISP()
+	ds := BuildDataset(appgen.NewConfig(appgen.Communication, appgen.Small), 15, 4, proto, 0)
+	run := func(workers int) []Record {
+		return RunSequences([]Dataset{ds}, proto, SequenceConfig{
+			Weights: mapping.WeightsBoth, Sequences: 4, Seed: 11,
+			SkipValidationTiming: true, Workers: workers,
+		})
+	}
+	serial, parallel := run(1), run(0)
+	if len(serial) != len(parallel) {
+		t.Fatalf("record counts differ: serial %d, parallel %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		serial[i].Times, parallel[i].Times = core.PhaseTimes{}, core.PhaseTimes{}
+		if serial[i] != parallel[i] {
+			t.Fatalf("record %d differs:\nserial:   %+v\nparallel: %+v", i, serial[i], parallel[i])
+		}
+	}
+}
+
 func TestCaseStudyAdmits(t *testing.T) {
 	adm, err := CaseStudy(mapping.WeightsBoth)
 	if err != nil {
@@ -176,7 +200,7 @@ func TestHarnessDeterministicForSeed(t *testing.T) {
 	// would be unverifiable.
 	run := func() []Record {
 		proto := platform.CRISP()
-		ds := BuildDataset(appgen.NewConfig(appgen.Communication, appgen.Small), 15, 5, proto)
+		ds := BuildDataset(appgen.NewConfig(appgen.Communication, appgen.Small), 15, 5, proto, 0)
 		return RunSequences([]Dataset{ds}, proto, SequenceConfig{
 			Weights: mapping.WeightsBoth, Sequences: 2, Seed: 9,
 			SkipValidationTiming: true,
