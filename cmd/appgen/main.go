@@ -9,8 +9,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -40,31 +42,36 @@ func parseSize(s string) (appgen.Size, error) {
 	return 0, fmt.Errorf("unknown size %q", s)
 }
 
-func main() {
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("appgen", flag.ContinueOnError)
 	var (
-		profile = flag.String("profile", "communication", "application profile: communication|computation")
-		size    = flag.String("size", "medium", "size class: small|medium|large")
-		n       = flag.Int("n", 10, "number of applications to generate")
-		seed    = flag.Int64("seed", 1, "random seed")
-		out     = flag.String("out", "", "output directory for .kapp bundles (empty: stats only)")
-		stats   = flag.Bool("stats", false, "print per-application statistics")
+		profile = fs.String("profile", "communication", "application profile: communication|computation")
+		size    = fs.String("size", "medium", "size class: small|medium|large")
+		n       = fs.Int("n", 10, "number of applications to generate")
+		seed    = fs.Int64("seed", 1, "random seed")
+		out     = fs.String("out", "", "output directory for .kapp bundles (empty: stats only)")
+		stats   = fs.Bool("stats", false, "print per-application statistics")
 	)
-	flag.Parse()
+	fs.SetOutput(stdout)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	p, err := parseProfile(*profile)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "appgen:", err)
-		os.Exit(2)
+		return err
 	}
 	s, err := parseSize(*size)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "appgen:", err)
-		os.Exit(2)
+		return err
+	}
+	if *n <= 0 {
+		return fmt.Errorf("-n must be positive")
 	}
 
 	cfg := appgen.NewConfig(p, s)
 	apps := appgen.Dataset(cfg, *n, *seed)
-	fmt.Printf("dataset %q: %d applications (seed %d)\n", appgen.DatasetName(cfg), len(apps), *seed)
+	fmt.Fprintf(stdout, "dataset %q: %d applications (seed %d)\n", appgen.DatasetName(cfg), len(apps), *seed)
 
 	if *stats {
 		totalTasks, totalChans, totalImpls := 0, 0, 0
@@ -76,33 +83,41 @@ func main() {
 			totalTasks += len(app.Tasks)
 			totalChans += len(app.Channels)
 			totalImpls += impls
-			fmt.Printf("  %-28s %2d tasks %2d channels %2d implementations\n",
+			fmt.Fprintf(stdout, "  %-28s %2d tasks %2d channels %2d implementations\n",
 				app.Name, len(app.Tasks), len(app.Channels), impls)
 		}
-		fmt.Printf("means: %.1f tasks, %.1f channels, %.1f implementations per app\n",
+		fmt.Fprintf(stdout, "means: %.1f tasks, %.1f channels, %.1f implementations per app\n",
 			float64(totalTasks)/float64(len(apps)),
 			float64(totalChans)/float64(len(apps)),
 			float64(totalImpls)/float64(len(apps)))
 	}
 
 	if *out == "" {
-		return
+		return nil
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fmt.Fprintln(os.Stderr, "appgen:", err)
-		os.Exit(1)
+		return err
 	}
 	for _, app := range apps {
 		data, err := graph.Bytes(app)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "appgen: encode %s: %v\n", app.Name, err)
-			os.Exit(1)
+			return fmt.Errorf("encode %s: %w", app.Name, err)
 		}
 		path := filepath.Join(*out, app.Name+".kapp")
 		if err := os.WriteFile(path, data, 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "appgen:", err)
-			os.Exit(1)
+			return err
 		}
 	}
-	fmt.Printf("wrote %d bundles to %s\n", len(apps), *out)
+	fmt.Fprintf(stdout, "wrote %d bundles to %s\n", len(apps), *out)
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "appgen:", err)
+		os.Exit(2)
+	}
 }

@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/appgen"
+	"repro/internal/graph"
+)
+
+func TestParseProfileAndSize(t *testing.T) {
+	for in, want := range map[string]appgen.Profile{
+		"communication": appgen.Communication,
+		"computation":   appgen.Computation,
+	} {
+		got, err := parseProfile(in)
+		if err != nil || got != want {
+			t.Errorf("parseProfile(%q) = %v, %v", in, got, err)
+		}
+	}
+	for in, want := range map[string]appgen.Size{
+		"small": appgen.Small, "medium": appgen.Medium, "large": appgen.Large,
+	} {
+		got, err := parseSize(in)
+		if err != nil || got != want {
+			t.Errorf("parseSize(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseProfile("huge"); err == nil {
+		t.Error("bad profile accepted")
+	}
+	if _, err := parseSize("gigantic"); err == nil {
+		t.Error("bad size accepted")
+	}
+}
+
+func TestRunStats(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-stats", "-n", "5", "-size", "small"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "5 applications") || !strings.Contains(s, "means:") {
+		t.Errorf("stats output incomplete:\n%s", s)
+	}
+}
+
+// TestRunBundleRoundTrip checks the output-file path end to end: every
+// written bundle decodes back to a valid application, identical to
+// what the generator produced.
+func TestRunBundleRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	args := []string{"-profile", "computation", "-size", "small", "-n", "4", "-seed", "9", "-out", dir}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("wrote %d bundles, want 4", len(entries))
+	}
+	want := appgen.Dataset(appgen.NewConfig(appgen.Computation, appgen.Small), 4, 9)
+	for _, app := range want {
+		data, err := os.ReadFile(filepath.Join(dir, app.Name+".kapp"))
+		if err != nil {
+			t.Fatalf("bundle for %s missing: %v", app.Name, err)
+		}
+		if !graph.IsBundle(data) {
+			t.Fatalf("%s: not a bundle", app.Name)
+		}
+		got, err := graph.FromBytes(data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", app.Name, err)
+		}
+		reenc, err := graph.Bytes(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(reenc, data) {
+			t.Errorf("%s: decoded bundle re-encodes differently", app.Name)
+		}
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-profile", "huge"},
+		{"-size", "gigantic"},
+		{"-n", "0"},
+		{"-badflag"},
+	} {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted, want error", args)
+		}
+	}
+}

@@ -18,8 +18,10 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"time"
@@ -29,25 +31,36 @@ import (
 	"repro/internal/platform"
 )
 
-func main() {
+// errUsage asks main for a usage-style exit; run has already printed
+// the usage text, so main exits 2 without an extra message.
+var errUsage = fmt.Errorf("no experiment selected")
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		table1  = flag.Bool("table1", false, "run Table I (failure distribution per phase)")
-		fig7    = flag.Bool("fig7", false, "run Fig. 7 (per-phase run times vs task count)")
-		fig8    = flag.Bool("fig8", false, "run Fig. 8 (hops per channel vs position)")
-		fig9    = flag.Bool("fig9", false, "run Fig. 9 (fragmentation vs position)")
-		fig10   = flag.Bool("fig10", false, "run Fig. 10 (beamforming admission weight map)")
-		casefl  = flag.Bool("case", false, "run the beamforming case study")
-		all     = flag.Bool("all", false, "run every experiment")
-		apps    = flag.Int("apps", experiments.DefaultAppsPerDataset, "applications generated per dataset")
-		seqs    = flag.Int("seqs", 30, "random sequences per dataset")
-		seed    = flag.Int64("seed", 1, "base random seed")
-		grid    = flag.Bool("fullgrid", false, "fig10: sample the paper's full 26×101 grid (slow); default is a 26×41 grid")
-		workers = flag.Int("workers", 0, "worker pool size for replications (0 = all CPUs, 1 = serial)")
+		table1  = fs.Bool("table1", false, "run Table I (failure distribution per phase)")
+		fig7    = fs.Bool("fig7", false, "run Fig. 7 (per-phase run times vs task count)")
+		fig8    = fs.Bool("fig8", false, "run Fig. 8 (hops per channel vs position)")
+		fig9    = fs.Bool("fig9", false, "run Fig. 9 (fragmentation vs position)")
+		fig10   = fs.Bool("fig10", false, "run Fig. 10 (beamforming admission weight map)")
+		casefl  = fs.Bool("case", false, "run the beamforming case study")
+		all     = fs.Bool("all", false, "run every experiment")
+		apps    = fs.Int("apps", experiments.DefaultAppsPerDataset, "applications generated per dataset")
+		seqs    = fs.Int("seqs", 30, "random sequences per dataset")
+		seed    = fs.Int64("seed", 1, "base random seed")
+		grid    = fs.Bool("fullgrid", false, "fig10: sample the paper's full 26×101 grid (slow); default is a 26×41 grid")
+		workers = fs.Int("workers", 0, "worker pool size for replications (0 = all CPUs, 1 = serial)")
 	)
-	flag.Parse()
+	fs.SetOutput(stdout)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	if !(*table1 || *fig7 || *fig8 || *fig9 || *fig10 || *casefl || *all) {
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return errUsage
+	}
+	if *apps <= 0 || *seqs <= 0 {
+		return fmt.Errorf("-apps and -seqs must be positive")
 	}
 
 	proto := platform.CRISP()
@@ -55,18 +68,18 @@ func main() {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	fmt.Printf("platform: %v (%d workers)\n\n", proto, w)
+	fmt.Fprintf(stdout, "platform: %v (%d workers)\n\n", proto, w)
 
 	var datasets []experiments.Dataset
 	needDatasets := *all || *table1 || *fig7 || *fig8 || *fig9
 	if needDatasets {
 		start := time.Now()
 		datasets = experiments.BuildAllDatasets(*apps, *seed, *workers)
-		fmt.Printf("datasets (built in %v, filtered on empty platform):\n", time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(stdout, "datasets (built in %v, filtered on empty platform):\n", time.Since(start).Round(time.Millisecond))
 		for _, ds := range datasets {
-			fmt.Printf("  %-22s %3d apps (%d removed)\n", ds.Name, len(ds.Apps), ds.Removed)
+			fmt.Fprintf(stdout, "  %-22s %3d apps (%d removed)\n", ds.Name, len(ds.Apps), ds.Removed)
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 
 	if *all || *table1 || *fig7 {
@@ -79,18 +92,18 @@ func main() {
 		})
 		elapsed := time.Since(start).Round(time.Millisecond)
 		if *all || *table1 {
-			fmt.Printf("== Table I: dataset characteristics and failure distribution per phase ==\n")
-			fmt.Printf("(%d admission attempts in %v, weights=Both)\n", len(recs), elapsed)
-			fmt.Print(experiments.FormatTableI(experiments.TableI(datasets, recs)))
-			fmt.Println()
+			fmt.Fprintf(stdout, "== Table I: dataset characteristics and failure distribution per phase ==\n")
+			fmt.Fprintf(stdout, "(%d admission attempts in %v, weights=Both)\n", len(recs), elapsed)
+			fmt.Fprint(stdout, experiments.FormatTableI(experiments.TableI(datasets, recs)))
+			fmt.Fprintln(stdout)
 		}
 		if *all || *fig7 {
-			fmt.Printf("== Fig. 7: mean per-phase run time of successful allocations ==\n")
+			fmt.Fprintf(stdout, "== Fig. 7: mean per-phase run time of successful allocations ==\n")
 			if w > 1 {
-				fmt.Printf("(timed under %d-way parallelism; use -workers 1 for contention-free phase times)\n", w)
+				fmt.Fprintf(stdout, "(timed under %d-way parallelism; use -workers 1 for contention-free phase times)\n", w)
 			}
-			fmt.Print(experiments.FormatFig7(experiments.Fig7(recs)))
-			fmt.Println()
+			fmt.Fprint(stdout, experiments.FormatFig7(experiments.Fig7(recs)))
+			fmt.Fprintln(stdout)
 		}
 	}
 
@@ -112,17 +125,17 @@ func main() {
 		}
 		elapsed := time.Since(start).Round(time.Millisecond)
 		if *all || *fig8 {
-			fmt.Printf("== Fig. 8: mean communication resources allocated per channel (hops) ==\n")
-			fmt.Printf("(4 weight configurations in %v)\n", elapsed)
-			fmt.Print(experiments.FormatSeries(labels, series, "hops",
+			fmt.Fprintf(stdout, "== Fig. 8: mean communication resources allocated per channel (hops) ==\n")
+			fmt.Fprintf(stdout, "(4 weight configurations in %v)\n", elapsed)
+			fmt.Fprint(stdout, experiments.FormatSeries(labels, series, "hops",
 				func(p experiments.SeriesPoint) float64 { return p.MeanHops }))
-			fmt.Println()
+			fmt.Fprintln(stdout)
 		}
 		if *all || *fig9 {
-			fmt.Printf("== Fig. 9: external fragmentation of platform resources ==\n")
-			fmt.Print(experiments.FormatSeries(labels, series, "frag%",
+			fmt.Fprintf(stdout, "== Fig. 9: external fragmentation of platform resources ==\n")
+			fmt.Fprint(stdout, experiments.FormatSeries(labels, series, "frag%",
 				func(p experiments.SeriesPoint) float64 { return p.MeanFrag }))
-			fmt.Println()
+			fmt.Fprintln(stdout)
 		}
 	}
 
@@ -134,21 +147,34 @@ func main() {
 		}
 		start := time.Now()
 		res := experiments.Fig10(cfg)
-		fmt.Printf("== Fig. 10: admission of the beamforming application over the weight grid ==\n")
-		fmt.Printf("(%d allocations in %v)\n", res.Total, time.Since(start).Round(time.Millisecond))
-		fmt.Print(experiments.FormatFig10(res))
+		fmt.Fprintf(stdout, "== Fig. 10: admission of the beamforming application over the weight grid ==\n")
+		fmt.Fprintf(stdout, "(%d allocations in %v)\n", res.Total, time.Since(start).Round(time.Millisecond))
+		fmt.Fprint(stdout, experiments.FormatFig10(res))
 		if res.ZeroWeightAdmissions() == 0 {
-			fmt.Println("zero-weight borders never admit (matches the paper)")
+			fmt.Fprintln(stdout, "zero-weight borders never admit (matches the paper)")
 		} else {
-			fmt.Printf("NOTE: %d zero-weight border points admitted (paper: none)\n",
+			fmt.Fprintf(stdout, "NOTE: %d zero-weight border points admitted (paper: none)\n",
 				res.ZeroWeightAdmissions())
 		}
-		fmt.Println()
+		fmt.Fprintln(stdout)
 	}
 
 	if *all || *casefl {
-		fmt.Printf("== Case study: beamforming allocation (weights=Both) ==\n")
+		fmt.Fprintf(stdout, "== Case study: beamforming allocation (weights=Both) ==\n")
 		adm, err := experiments.CaseStudy(mapping.WeightsBoth)
-		fmt.Print(experiments.FormatCaseStudy(adm, err))
+		fmt.Fprint(stdout, experiments.FormatCaseStudy(adm, err))
+	}
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		if !errors.Is(err, errUsage) {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+		}
+		os.Exit(2)
 	}
 }

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestRunTable1Smoke is a one-replication end-to-end run of the
+// Table I pipeline at reduced scale.
+func TestRunTable1Smoke(t *testing.T) {
+	var out bytes.Buffer
+	args := []string{"-table1", "-apps", "8", "-seqs", "1", "-workers", "2", "-seed", "3"}
+	if err := run(args, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"datasets (built in",
+		"== Table I",
+		"Communication Small",
+		"Computation Large",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunCaseStudy(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-case"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "Case study") {
+		t.Errorf("case study output missing:\n%s", out.String())
+	}
+}
+
+func TestRunNoExperimentSelected(t *testing.T) {
+	var out bytes.Buffer
+	err := run(nil, &out)
+	if !errors.Is(err, errUsage) {
+		t.Fatalf("error = %v, want errUsage", err)
+	}
+	if !strings.Contains(out.String(), "Usage") {
+		t.Error("usage not printed")
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-table1", "-apps", "0"},
+		{"-table1", "-seqs", "-1"},
+		{"-nosuchflag"},
+	} {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted, want error", args)
+		}
+	}
+}

@@ -17,7 +17,6 @@ import (
 	"fmt"
 	"os"
 	"sort"
-	"strconv"
 	"strings"
 
 	"repro/internal/core"
@@ -28,55 +27,6 @@ import (
 	"repro/internal/routing"
 	"repro/internal/validation"
 )
-
-func buildPlatform(name string) (*platform.Platform, error) {
-	switch {
-	case name == "crisp":
-		return platform.CRISP(), nil
-	case strings.HasSuffix(name, ".json"):
-		f, err := os.Open(name)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return platform.ReadJSON(f)
-	case strings.HasPrefix(name, "mesh"):
-		dims := strings.SplitN(strings.TrimPrefix(name, "mesh"), "x", 2)
-		if len(dims) == 2 {
-			w, errW := strconv.Atoi(dims[0])
-			h, errH := strconv.Atoi(dims[1])
-			if errW == nil && errH == nil && w > 0 && h > 0 {
-				return platform.MeshWithIO(w, h, platform.DefaultVCs), nil
-			}
-		}
-		return nil, fmt.Errorf("bad mesh spec %q (want e.g. mesh4x4)", name)
-	default:
-		return nil, fmt.Errorf("unknown platform %q (crisp, mesh<W>x<H>)", name)
-	}
-}
-
-func parseWeights(s string) (mapping.Weights, error) {
-	switch s {
-	case "none":
-		return mapping.WeightsNone, nil
-	case "communication":
-		return mapping.WeightsCommunication, nil
-	case "fragmentation":
-		return mapping.WeightsFragmentation, nil
-	case "both":
-		return mapping.WeightsBoth, nil
-	}
-	parts := strings.SplitN(s, ",", 2)
-	if len(parts) != 2 {
-		return mapping.Weights{}, fmt.Errorf("bad weights %q (want C,F or a preset)", s)
-	}
-	c, errC := strconv.ParseFloat(parts[0], 64)
-	f, errF := strconv.ParseFloat(parts[1], 64)
-	if errC != nil || errF != nil {
-		return mapping.Weights{}, fmt.Errorf("bad weights %q", s)
-	}
-	return mapping.Weights{Communication: c, Fragmentation: f}, nil
-}
 
 // demoApp is a small video-pipeline-like application used by -demo.
 func demoApp() *graph.Application {
@@ -168,7 +118,7 @@ func main() {
 	)
 	flag.Parse()
 
-	p, err := buildPlatform(*platName)
+	p, err := platform.FromSpec(*platName)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kairos:", err)
 		os.Exit(2)
@@ -180,7 +130,7 @@ func main() {
 		}
 		return
 	}
-	w, err := parseWeights(*weights)
+	w, err := mapping.ParseWeights(*weights)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kairos:", err)
 		os.Exit(2)

@@ -1,92 +1,9 @@
 package main
 
-import (
-	"os"
-	"path/filepath"
-	"testing"
+import "testing"
 
-	"repro/internal/platform"
-)
-
-func TestBuildPlatformCRISP(t *testing.T) {
-	p, err := buildPlatform("crisp")
-	if err != nil {
-		t.Fatalf("crisp: %v", err)
-	}
-	if p.CountByType()[platform.TypeDSP] != 45 {
-		t.Error("crisp platform malformed")
-	}
-}
-
-func TestBuildPlatformMesh(t *testing.T) {
-	p, err := buildPlatform("mesh3x2")
-	if err != nil {
-		t.Fatalf("mesh3x2: %v", err)
-	}
-	// 6 mesh tiles + 2 IO tiles.
-	if p.NumElements() != 8 {
-		t.Errorf("mesh3x2 elements = %d, want 8", p.NumElements())
-	}
-	for _, bad := range []string{"mesh", "meshAxB", "mesh0x3", "mesh3", "torus2x2"} {
-		if _, err := buildPlatform(bad); err == nil {
-			t.Errorf("%q should be rejected", bad)
-		}
-	}
-}
-
-func TestBuildPlatformJSON(t *testing.T) {
-	dir := t.TempDir()
-	path := filepath.Join(dir, "p.json")
-	f, err := os.Create(path)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := platform.Mesh(2, 2, 2).WriteJSON(f, "m"); err != nil {
-		t.Fatal(err)
-	}
-	if err := f.Close(); err != nil {
-		t.Fatal(err)
-	}
-	p, err := buildPlatform(path)
-	if err != nil {
-		t.Fatalf("json platform: %v", err)
-	}
-	if p.NumElements() != 4 {
-		t.Errorf("elements = %d, want 4", p.NumElements())
-	}
-	if _, err := buildPlatform(filepath.Join(dir, "missing.json")); err == nil {
-		t.Error("missing file should fail")
-	}
-}
-
-func TestParseWeights(t *testing.T) {
-	cases := []struct {
-		in         string
-		comm, frag float64
-	}{
-		{"none", 0, 0},
-		{"communication", 1, 0},
-		{"fragmentation", 0, 25},
-		{"both", 1, 25},
-		{"3,400", 3, 400},
-		{"0.5,12.5", 0.5, 12.5},
-	}
-	for _, c := range cases {
-		w, err := parseWeights(c.in)
-		if err != nil {
-			t.Errorf("%q: %v", c.in, err)
-			continue
-		}
-		if w.Communication != c.comm || w.Fragmentation != c.frag {
-			t.Errorf("%q = %+v, want {%g %g}", c.in, w, c.comm, c.frag)
-		}
-	}
-	for _, bad := range []string{"", "x", "1;2", "a,b", "1,2,3extra,"} {
-		if _, err := parseWeights(bad); err == nil {
-			t.Errorf("%q should be rejected", bad)
-		}
-	}
-}
+// Platform-spec and weight parsing are tested where they live now:
+// internal/platform (FromSpec) and internal/mapping (ParseWeights).
 
 func TestDemoAppValid(t *testing.T) {
 	app := demoApp()

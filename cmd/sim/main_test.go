@@ -1,0 +1,65 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunComparisonSmoke(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-seed", "1", "-duration", "90s", "-platform", "mesh4x4"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{"policy comparison", "none", "periodic", "on-rejection"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestRunSinglePolicyJSONDeterministic(t *testing.T) {
+	dir := t.TempDir()
+	paths := [2]string{filepath.Join(dir, "a.json"), filepath.Join(dir, "b.json")}
+	for _, p := range paths {
+		var out bytes.Buffer
+		args := []string{"-seed", "7", "-duration", "2m", "-policy", "on-rejection", "-json", p}
+		if err := run(args, &out); err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	}
+	a, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(paths[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("JSON traces differ between two runs with the same seed")
+	}
+	if !bytes.Contains(a, []byte(`"trace"`)) || !bytes.Contains(a, []byte(`"series"`)) {
+		t.Error("JSON output missing trace or series")
+	}
+}
+
+func TestRunFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-rate", "0"},
+		{"-duration", "0s"},
+		{"-policy", "bogus", "-duration", "1s"},
+		{"-platform", "torus9"},
+		{"-weights", "heavy"},
+	}
+	for _, args := range cases {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted, want error", args)
+		}
+	}
+}

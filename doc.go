@@ -30,10 +30,14 @@
 //	                     lock, batched AdmitAll, Stats counters)
 //	internal/experiments the parallel evaluation harness for Table I
 //	                     and Figs. 7–10
+//	internal/sim         the discrete-event churn simulator (Poisson
+//	                     arrivals, exponential lifetimes, fault
+//	                     injection, defragmentation policies)
 //
 // The benchmarks in bench_test.go regenerate every table and figure of
 // the paper's evaluation at reduced scale; cmd/experiments regenerates
-// them at full scale. See README.md for a quickstart, DESIGN.md for
-// the system inventory and concurrency model, and EXPERIMENTS.md for
-// measured-vs-paper results.
+// them at full scale; cmd/sim drives a live manager through sustained
+// churn and compares defragmentation policies. See README.md for a
+// quickstart, DESIGN.md for the system inventory and concurrency
+// model, and EXPERIMENTS.md for measured-vs-paper results.
 package repro

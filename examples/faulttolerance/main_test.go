@@ -1,0 +1,10 @@
+package main
+
+import "testing"
+
+// TestExampleRuns executes the example end to end; examples are part
+// of the documented surface and must keep working (the example exits
+// the process on failure, which fails the test binary).
+func TestExampleRuns(t *testing.T) {
+	main()
+}

@@ -106,6 +106,37 @@ type Options struct {
 	// phase; zero means default.
 	ExtraRings      int
 	DistancePenalty int
+	// OnEvict, when non-nil, is called when an admission is
+	// definitively gone from the platform other than by an explicit
+	// Release or ReleaseAll: a successful Readmit retires the old
+	// instance name (the application continues under a new one,
+	// EvictReadmit), and a failed readmission whose layout replay also
+	// failed loses the application entirely (EvictLost). A failed
+	// Readmit with a successful restore fires nothing — the admission
+	// never left. Long-running callers (the churn simulator, a serving
+	// deployment's instance registry) use the hook to keep external
+	// per-instance state in step with the manager. The hook runs with
+	// the manager lock held: it must not call back into the manager.
+	OnEvict func(adm *Admission, reason EvictReason)
+}
+
+// EvictReason says why OnEvict fired for an admission.
+type EvictReason int
+
+const (
+	// EvictReadmit: the admission was retired by a successful Readmit;
+	// the application is running again under a new instance name.
+	EvictReadmit EvictReason = iota
+	// EvictLost: a failed re-admission could not replay the previous
+	// layout; the application is gone from the platform.
+	EvictLost
+)
+
+func (r EvictReason) String() string {
+	if r == EvictLost {
+		return "lost"
+	}
+	return "readmit"
 }
 
 // Admission is one admitted (or attempted) application: the execution
@@ -291,6 +322,11 @@ func (k *Kairos) ReleaseAll() {
 func (k *Kairos) Readmit(instance string) (*Admission, error) {
 	k.mu.Lock()
 	defer k.mu.Unlock()
+	return k.readmitLocked(instance)
+}
+
+// readmitLocked is the Readmit body under k.mu.
+func (k *Kairos) readmitLocked(instance string) (*Admission, error) {
 	old, ok := k.admitted[instance]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownInstance, instance)
@@ -301,28 +337,63 @@ func (k *Kairos) Readmit(instance string) (*Admission, error) {
 	adm, err := k.admitLocked(old.App)
 	if err == nil {
 		k.stats.Readmitted++
+		if k.opts.OnEvict != nil {
+			k.opts.OnEvict(old, EvictReadmit)
+		}
 		return adm, nil
 	}
 	// Restore the previous layout. The resources were free a moment
 	// ago and the failed attempt rolled itself back, so replaying the
-	// old placements and routes cannot fail; if it somehow does, the
-	// admission is lost and the error says so.
+	// old placements and routes cannot fail; if it somehow does (the
+	// platform was mutated behind the manager's back), the partial
+	// replay is unwound, the admission is lost, and the error says so.
+	restored := 0
+	var rerr error
 	for _, t := range old.App.Tasks {
 		occ := platform.Occupant{App: old.Instance, Task: t.ID}
 		if perr := k.p.Restore(old.Assignment[t.ID], occ, old.Binding.Demand(t.ID)); perr != nil {
-			return nil, fmt.Errorf("kairos: readmit failed (%w) and restore failed: %v", err, perr)
+			rerr = fmt.Errorf("kairos: readmit failed (%w) and restore failed: %v", err, perr)
+			break
 		}
+		restored++
 	}
-	for _, rt := range old.Routes {
-		for i := 0; i+1 < len(rt.Path); i++ {
-			if perr := k.p.RestoreVC(rt.Path[i], rt.Path[i+1]); perr != nil {
-				return nil, fmt.Errorf("kairos: readmit failed (%w) and route restore failed: %v", err, perr)
+	if rerr == nil {
+	routes:
+		for ri, rt := range old.Routes {
+			for i := 0; i+1 < len(rt.Path); i++ {
+				if perr := k.p.RestoreVC(rt.Path[i], rt.Path[i+1]); perr != nil {
+					rerr = fmt.Errorf("kairos: readmit failed (%w) and route restore failed: %v", err, perr)
+					for j := 0; j < ri; j++ {
+						releaseRoute(k.p, old.Routes[j])
+					}
+					for i2 := 0; i2 < i; i2++ {
+						_ = k.p.ReleaseVC(rt.Path[i2], rt.Path[i2+1])
+					}
+					break routes
+				}
 			}
 		}
+	}
+	if rerr != nil {
+		for _, t := range old.App.Tasks[:restored] {
+			occ := platform.Occupant{App: old.Instance, Task: t.ID}
+			_ = k.p.Remove(old.Assignment[t.ID], occ)
+		}
+		if k.opts.OnEvict != nil {
+			k.opts.OnEvict(old, EvictLost)
+		}
+		return nil, rerr
 	}
 	k.admitted[old.Instance] = old
 	k.stats.Restored++
 	return old, err
+}
+
+// releaseRoute frees every virtual channel of one route.
+func releaseRoute(p *platform.Platform, rt routing.Route) {
+	for i := 0; i+1 < len(rt.Path); i++ {
+		_ = p.ReleaseVC(rt.Path[i], rt.Path[i+1])
+	}
 }
 
 // Fragmentation returns the platform's current external resource

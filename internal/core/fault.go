@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// This file is the manager's fault-handling surface: finding the
+// admissions whose execution layouts touch faulty hardware and forcing
+// them through the restart path. The paper motivates run-time resource
+// management partly by fault tolerance (§I: circumventing "imperfect
+// production processes and wear of materials"); because task migration
+// is impossible (§I-A), restarting an application — release plus fresh
+// admission — is the only way to move it off a dead element or link.
+
+// ReadmitOutcome classifies what ReadmitAffected did to one instance.
+type ReadmitOutcome int
+
+const (
+	// ReadmitMoved: re-admission succeeded; the application runs under
+	// NewInstance with a fresh layout that avoids disabled resources.
+	ReadmitMoved ReadmitOutcome = iota
+	// ReadmitRestored: re-admission failed; the previous layout was
+	// replayed and the application keeps running where it was
+	// (including on disabled elements, which the platform tolerates
+	// for existing placements).
+	ReadmitRestored
+	// ReadmitEvicted: re-admission failed and the layout replay also
+	// failed; the application is gone.
+	ReadmitEvicted
+)
+
+func (o ReadmitOutcome) String() string {
+	switch o {
+	case ReadmitMoved:
+		return "moved"
+	case ReadmitRestored:
+		return "restored"
+	case ReadmitEvicted:
+		return "evicted"
+	default:
+		return fmt.Sprintf("outcome(%d)", int(o))
+	}
+}
+
+// ReadmitResult is the outcome of one forced readmission.
+type ReadmitResult struct {
+	// Instance is the instance name before the sweep.
+	Instance string
+	Outcome  ReadmitOutcome
+	// NewInstance is the instance name after a successful move (the
+	// restart allocates a fresh admission); equal to Instance for
+	// ReadmitRestored, empty for ReadmitEvicted.
+	NewInstance string
+	// Adm is the application's live admission after the readmission:
+	// the fresh one for ReadmitMoved, the replayed old one for
+	// ReadmitRestored, nil for ReadmitEvicted.
+	Adm *Admission
+	// Err is the admission error for Restored and Evicted outcomes.
+	Err error
+}
+
+// AffectedInstances returns, in sorted order, the instances whose
+// execution layout touches a disabled element or a disabled link: the
+// applications a fault handler should restart.
+func (k *Kairos) AffectedInstances() []string {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.affectedLocked()
+}
+
+func (k *Kairos) affectedLocked() []string {
+	var out []string
+	for name, adm := range k.admitted {
+		if k.touchesFault(adm) {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// touchesFault reports whether the admission's layout uses a disabled
+// element or crosses a disabled link.
+func (k *Kairos) touchesFault(adm *Admission) bool {
+	for _, t := range adm.App.Tasks {
+		if e := k.p.Element(adm.Assignment[t.ID]); e != nil && !e.Enabled() {
+			return true
+		}
+	}
+	for _, rt := range adm.Routes {
+		for i := 0; i+1 < len(rt.Path); i++ {
+			if l := k.p.Link(rt.Path[i], rt.Path[i+1]); l != nil && !l.Enabled() {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ReadmitAffected restarts every admission whose layout touches a
+// disabled element or link, in sorted instance order, as one atomic
+// sweep (no admissions or releases interleave). Each instance either
+// moves to a fresh layout, is restored to its old one when re-admission
+// fails, or — only if the platform state was corrupted externally — is
+// evicted. The sweep is what a fault handler runs after disabling
+// hardware, the run-time analogue of the paper's restart-based fault
+// circumvention.
+func (k *Kairos) ReadmitAffected() []ReadmitResult {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	affected := k.affectedLocked()
+	results := make([]ReadmitResult, 0, len(affected))
+	for _, name := range affected {
+		results = append(results, k.readmitClassifiedLocked(name))
+	}
+	return results
+}
+
+// ReadmitClassified restarts one instance like Readmit but returns
+// the outcome as a ReadmitResult instead of the raw (Admission, error)
+// pair — the form defragmentation policies consume. An unknown
+// instance classifies as ReadmitEvicted with the lookup error.
+func (k *Kairos) ReadmitClassified(instance string) ReadmitResult {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.readmitClassifiedLocked(instance)
+}
+
+func (k *Kairos) readmitClassifiedLocked(name string) ReadmitResult {
+	res := ReadmitResult{Instance: name}
+	adm, err := k.readmitLocked(name)
+	res.Adm = adm
+	switch {
+	case err == nil:
+		res.Outcome = ReadmitMoved
+		res.NewInstance = adm.Instance
+	case adm != nil: // restored under the old name
+		res.Outcome = ReadmitRestored
+		res.NewInstance = name
+		res.Err = err
+	default:
+		res.Outcome = ReadmitEvicted
+		res.Err = err
+	}
+	return res
+}

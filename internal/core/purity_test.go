@@ -1,0 +1,318 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/appgen"
+	"repro/internal/graph"
+	"repro/internal/mapping"
+	"repro/internal/platform"
+	"repro/internal/resource"
+)
+
+// allocState renders the complete allocation state the rollback
+// contract covers — per-element pools and occupants, per-link virtual
+// channels, external fragmentation, and the manager's live count — as
+// one string, so "unchanged" is literal byte identity. Element wear is
+// deliberately excluded: failed attempts wear the elements they
+// touched (material degradation is not rolled back).
+func allocState(p *platform.Platform, k *Kairos) string {
+	var b strings.Builder
+	for _, e := range p.Elements() {
+		fmt.Fprintf(&b, "e%d used=%v occ=%v\n", e.ID, e.Pool().Used(), e.Occupants())
+	}
+	for _, l := range p.Links() {
+		fmt.Fprintf(&b, "l%d-%d used=%d\n", l.From, l.To, l.Used())
+	}
+	fmt.Fprintf(&b, "frag=%.9f live=%d\n", p.ExternalFragmentation(), k.Stats().Live)
+	return b.String()
+}
+
+// admitExpectingFailure admits an application that must be rejected
+// and asserts the platform state is byte-identical to before the
+// attempt.
+func admitExpectingFailure(t *testing.T, k *Kairos, p *platform.Platform,
+	app *graph.Application, wantPhase Phase) {
+	t.Helper()
+	before := allocState(p, k)
+	_, err := k.Admit(app)
+	var pe *PhaseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("app %s: error = %v, want PhaseError", app.Name, err)
+	}
+	if pe.Phase != wantPhase {
+		t.Fatalf("app %s: rejected in %v, want %v", app.Name, pe.Phase, wantPhase)
+	}
+	if after := allocState(p, k); after != before {
+		t.Errorf("app %s: failed %v admit mutated the platform:\n--- before\n%s--- after\n%s",
+			app.Name, pe.Phase, before, after)
+	}
+}
+
+// TestRollbackPurityPerPhase forces a rejection in each of the four
+// workflow phases — via doctored applications and constraints — on a
+// platform that already carries admissions, and asserts the failed
+// attempt leaves no trace.
+func TestRollbackPurityPerPhase(t *testing.T) {
+	t.Run("binding", func(t *testing.T) {
+		p := platform.Mesh(2, 2, 4)
+		k := New(p, Options{Weights: mapping.WeightsBoth, SkipValidation: true})
+		if _, err := k.Admit(chainApp("pre", 2, 40)); err != nil {
+			t.Fatal(err)
+		}
+		app := graph.New("wants-fpga")
+		app.AddTask("t", graph.Internal, graph.Implementation{
+			Name: "f", Target: platform.TypeFPGA,
+			Requires: resource.Of(10, 10, 0, 10), Cost: 1, ExecTime: 5,
+		})
+		admitExpectingFailure(t, k, p, app, PhaseBinding)
+	})
+
+	t.Run("mapping", func(t *testing.T) {
+		// Binding's location-free estimate passes, but the third task
+		// cannot be reached from the origin's neighborhood.
+		p := platform.New()
+		a := p.AddElement(platform.TypeDSP, "a", platform.DSPCapacity)
+		b := p.AddElement(platform.TypeDSP, "b", platform.DSPCapacity)
+		p.AddElement(platform.TypeDSP, "island", platform.DSPCapacity)
+		p.MustConnect(a, b, 4)
+		k := New(p, Options{Weights: mapping.WeightsCommunication, SkipValidation: true})
+		admitExpectingFailure(t, k, p, chainApp("big", 3, 70), PhaseMapping)
+	})
+
+	t.Run("routing", func(t *testing.T) {
+		// Two elements, one VC per direction; the pre-admitted app
+		// holds the only forward lane.
+		p := platform.New()
+		p.AddElement(platform.TypeDSP, "a", platform.DSPCapacity)
+		p.AddElement(platform.TypeDSP, "b", platform.DSPCapacity)
+		p.MustConnect(0, 1, 1)
+		k := New(p, Options{Weights: mapping.WeightsCommunication, SkipValidation: true})
+		pre := graph.New("pre")
+		t0 := pre.AddTask("t0", graph.Internal, dspImpl(60, 5))
+		t1 := pre.AddTask("t1", graph.Internal, dspImpl(60, 5))
+		pre.AddChannel(t0, t1)
+		if _, err := k.Admit(pre); err != nil {
+			t.Fatal(err)
+		}
+		// The next app's tasks cannot co-locate (40+40 exceeds the 40%
+		// left per element) and its two parallel channels cannot share
+		// the element pair's lone directed VC.
+		next := graph.New("blocked")
+		u0 := next.AddTask("u0", graph.Internal, dspImpl(40, 5))
+		u1 := next.AddTask("u1", graph.Internal, dspImpl(40, 5))
+		next.AddChannel(u0, u1)
+		next.AddChannel(u0, u1)
+		admitExpectingFailure(t, k, p, next, PhaseRouting)
+	})
+
+	t.Run("validation", func(t *testing.T) {
+		p := platform.Mesh(3, 3, 4)
+		k := New(p, Options{Weights: mapping.WeightsBoth})
+		if _, err := k.Admit(chainApp("pre", 2, 40)); err != nil {
+			t.Fatal(err)
+		}
+		app := chainApp("tight", 3, 30)
+		app.Constraints.MinThroughput = 1e9 // doctored: unattainable
+		admitExpectingFailure(t, k, p, app, PhaseValidation)
+	})
+}
+
+// TestRollbackPurityRandomized drives randomized applications onto
+// randomized irregular platforms and asserts every naturally occurring
+// rejection — whatever the phase — leaves the allocation state
+// byte-identical; forced binding and validation rejections are mixed
+// in on the live state of every platform.
+func TestRollbackPurityRandomized(t *testing.T) {
+	const seeds = 20
+	phaseSeen := make(map[Phase]int)
+	for seed := int64(0); seed < seeds; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		p := platform.Irregular(6+r.Intn(10), seed)
+		k := New(p, Options{Weights: mapping.WeightsBoth})
+
+		cfg := appgen.NewConfig(
+			appgen.Profile(r.Intn(2)),
+			appgen.Size(r.Intn(3)),
+		)
+		for i, app := range appgen.Dataset(cfg, 12, seed) {
+			before := allocState(p, k)
+			_, err := k.Admit(app)
+			if err == nil {
+				continue // successes legitimately change the platform
+			}
+			var pe *PhaseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("seed %d app %d: non-phase error %v", seed, i, err)
+			}
+			phaseSeen[pe.Phase]++
+			if after := allocState(p, k); after != before {
+				t.Fatalf("seed %d app %d: failed %v admit mutated the platform", seed, i, pe.Phase)
+			}
+		}
+
+		// Forced binding rejection: Irregular platforms have no FPGA.
+		fpga := graph.New("forced-binding")
+		fpga.AddTask("t", graph.Internal, graph.Implementation{
+			Name: "f", Target: platform.TypeFPGA,
+			Requires: resource.Of(1, 1, 0, 1), Cost: 1, ExecTime: 5,
+		})
+		admitExpectingFailure(t, k, p, fpga, PhaseBinding)
+
+		// Forced validation rejection via a doctored constraint, when
+		// a small app still fits.
+		tight := chainApp("forced-validation", 1, 5)
+		tight.Constraints.MinThroughput = 1e9
+		if before := allocState(p, k); true {
+			_, err := k.Admit(tight)
+			var pe *PhaseError
+			if errors.As(err, &pe) && pe.Phase == PhaseValidation {
+				phaseSeen[PhaseValidation]++
+				if after := allocState(p, k); after != before {
+					t.Fatalf("seed %d: failed validation admit mutated the platform", seed)
+				}
+			} else if err == nil {
+				t.Fatalf("seed %d: unattainable constraint admitted", seed)
+			}
+		}
+	}
+	// The property run must actually have exercised the interesting
+	// rollback paths, not just trivial binding rejections.
+	for _, ph := range []Phase{PhaseBinding, PhaseMapping, PhaseRouting, PhaseValidation} {
+		if phaseSeen[ph] == 0 {
+			t.Errorf("randomized run never rejected in the %v phase (seen: %v)", ph, phaseSeen)
+		}
+	}
+}
+
+// TestReadmitRestorePurity covers the restore half of the rollback
+// contract: a failed Readmit must leave the allocation state —
+// including instance names and routes — byte-identical to before the
+// call, for crafted and randomized workloads.
+func TestReadmitRestorePurity(t *testing.T) {
+	t.Run("crafted", func(t *testing.T) {
+		p := platform.Mesh(2, 2, 4)
+		k := New(p, Options{Weights: mapping.WeightsBoth, SkipValidation: true})
+		adm, err := k.Admit(chainApp("a", 4, 70))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.DisableElement(adm.Assignment[0])
+		before := allocState(p, k)
+		if _, err := k.Readmit(adm.Instance); err == nil {
+			t.Fatal("readmit should fail: a used element is disabled and there is no slack")
+		}
+		if after := allocState(p, k); after != before {
+			t.Errorf("failed readmit mutated the platform:\n--- before\n%s--- after\n%s", before, after)
+		}
+	})
+
+	t.Run("randomized", func(t *testing.T) {
+		restores := 0
+		for seed := int64(0); seed < 15; seed++ {
+			p := platform.Irregular(8, 100+seed)
+			k := New(p, Options{Weights: mapping.WeightsBoth, SkipValidation: true})
+			cfg := appgen.NewConfig(appgen.Communication, appgen.Small)
+			var instances []string
+			for _, app := range appgen.Dataset(cfg, 6, seed) {
+				if adm, err := k.Admit(app); err == nil {
+					instances = append(instances, adm.Instance)
+				}
+			}
+			if len(instances) == 0 {
+				continue
+			}
+			// Disable every element so re-admission cannot succeed,
+			// then force each instance through the restore path.
+			for _, e := range p.Elements() {
+				p.DisableElement(e.ID)
+			}
+			for _, inst := range instances {
+				before := allocState(p, k)
+				if _, err := k.Readmit(inst); err == nil {
+					t.Fatalf("seed %d: readmit succeeded on a fully disabled platform", seed)
+				}
+				restores++
+				if after := allocState(p, k); after != before {
+					t.Fatalf("seed %d instance %s: failed readmit mutated the platform", seed, inst)
+				}
+			}
+		}
+		if restores == 0 {
+			t.Fatal("randomized run exercised no restore paths")
+		}
+	})
+}
+
+// TestEvictHookOnReadmit asserts the OnEvict hook fires exactly when
+// an admission is definitively gone: EvictReadmit on a successful
+// readmission, EvictLost when a corrupted platform makes both the
+// re-admission and the layout replay impossible.
+func TestEvictHookOnReadmit(t *testing.T) {
+	type evt struct {
+		instance string
+		reason   EvictReason
+	}
+	var events []evt
+	p := platform.Mesh(2, 2, 4)
+	k := New(p, Options{
+		Weights:        mapping.WeightsBoth,
+		SkipValidation: true,
+		OnEvict: func(adm *Admission, reason EvictReason) {
+			events = append(events, evt{adm.Instance, reason})
+		},
+	})
+	adm, err := k.Admit(chainApp("a", 1, 70))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := k.Readmit(adm.Instance); err != nil {
+		t.Fatalf("readmit: %v", err)
+	}
+	if len(events) != 1 || events[0].reason != EvictReadmit || events[0].instance != adm.Instance {
+		t.Fatalf("events after successful readmit = %v, want one EvictReadmit for %s", events, adm.Instance)
+	}
+
+	// Corrupt the platform behind the manager's back: drop the app's
+	// placement, park a bigger foreign occupant in the hole so the old
+	// layout cannot be replayed, and disable the other elements so
+	// re-admission fails too.
+	cur := k.Admitted()
+	if len(cur) != 1 {
+		t.Fatal("expected one admission")
+	}
+	var inst string
+	var a *Admission
+	for inst, a = range cur {
+	}
+	home := a.Assignment[0]
+	for _, e := range p.Elements() {
+		if e.ID != home {
+			p.DisableElement(e.ID)
+		}
+	}
+	if err := p.Remove(home, platform.Occupant{App: inst, Task: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Place(home, platform.Occupant{App: "intruder", Task: 0}, resource.Of(80, 0, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	events = nil
+	if _, err := k.Readmit(inst); err == nil {
+		t.Fatal("readmit must fail on the corrupted platform")
+	}
+	if len(events) != 1 || events[0].reason != EvictLost {
+		t.Fatalf("events = %v, want exactly one EvictLost", events)
+	}
+	if len(k.Admitted()) != 0 {
+		t.Error("evicted admission still tracked")
+	}
+	// The failed replay must not leak: only the intruder remains.
+	if got := p.Element(home).Occupants(); len(got) != 1 || got[0].App != "intruder" {
+		t.Errorf("occupants after eviction = %v, want only the intruder", got)
+	}
+}

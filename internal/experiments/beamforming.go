@@ -98,7 +98,7 @@ func Fig10(cfg Fig10Config) *Fig10Result {
 		res.Admitted[fi] = make([]bool, len(res.Comm))
 	}
 	res.Total = len(res.Frag) * len(res.Comm)
-	forEach(res.Total, cfg.Workers, func(i int) {
+	ForEach(res.Total, cfg.Workers, func(i int) {
 		fi, ci := i/len(res.Comm), i%len(res.Comm)
 		k := core.New(proto.Clone(), core.Options{
 			Weights: mapping.Weights{

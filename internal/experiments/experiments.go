@@ -27,9 +27,11 @@ import (
 	"repro/internal/routing"
 )
 
-// forEach runs fn(i) for i in [0, n) on a pool of the given size
-// (<= 0 means one worker per logical CPU) and waits for completion.
-func forEach(n, workers int, fn func(i int)) {
+// ForEach runs fn(i) for i in [0, n) on a pool of the given size
+// (<= 0 means one worker per logical CPU) and waits for completion. It
+// is the replication driver shared by the evaluation harness and the
+// churn simulator's policy-comparison runs.
+func ForEach(n, workers int, fn func(i int)) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -97,7 +99,7 @@ func BuildDataset(cfg appgen.Config, n int, seed int64, proto *platform.Platform
 	ds := Dataset{Name: appgen.DatasetName(cfg), Config: cfg}
 	apps := appgen.Dataset(cfg, n, seed)
 	keep := make([]bool, len(apps))
-	forEach(len(apps), workers, func(i int) {
+	ForEach(len(apps), workers, func(i int) {
 		k := core.New(proto.Clone(), core.Options{
 			Weights:        mapping.WeightsBoth,
 			SkipValidation: true,
@@ -196,7 +198,7 @@ func RunSequences(datasets []Dataset, proto *platform.Platform, cfg SequenceConf
 	}
 
 	perJob := make([][]Record, len(jobs))
-	forEach(len(jobs), cfg.Workers, func(ji int) {
+	ForEach(len(jobs), cfg.Workers, func(ji int) {
 		perJob[ji] = runSequence(jobs[ji].ds, proto, cfg, jobs[ji].seq, jobs[ji].order)
 	})
 

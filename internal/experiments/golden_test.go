@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/appgen"
+	"repro/internal/core"
+	"repro/internal/platform"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_seq.json from the current implementation")
+
+// goldenRecords runs a small fixed-seed experiment and strips the
+// wall-clock phase times (the only nondeterministic Record fields).
+func goldenRecords(workers int) []Record {
+	proto := platform.CRISP()
+	var datasets []Dataset
+	for i, cfg := range []appgen.Config{
+		appgen.NewConfig(appgen.Communication, appgen.Small),
+		appgen.NewConfig(appgen.Computation, appgen.Medium),
+	} {
+		datasets = append(datasets, BuildDataset(cfg, 10, 42+int64(i)*1000, proto, workers))
+	}
+	records := RunSequences(datasets, proto, SequenceConfig{
+		Sequences:            2,
+		Seed:                 42,
+		MaxPosition:          6,
+		SkipValidationTiming: true,
+		Workers:              workers,
+	})
+	for i := range records {
+		records[i].Times = core.PhaseTimes{}
+	}
+	return records
+}
+
+// TestGoldenSequenceRecords pins the exact admission outcomes of a
+// seeded experiment: RunSequences must reproduce the checked-in record
+// JSON byte for byte, at any worker count, so refactors of the
+// binding/mapping/routing stack cannot silently shift results. After
+// an intentional behavior change, regenerate with
+//
+//	go test ./internal/experiments -run Golden -update-golden
+func TestGoldenSequenceRecords(t *testing.T) {
+	path := filepath.Join("testdata", "golden_seq.json")
+	got, err := json.MarshalIndent(goldenRecords(3), "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, len(got))
+		return
+	}
+
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("seeded experiment records diverged from %s;\n"+
+			"if the change is intentional, regenerate with -update-golden", path)
+	}
+
+	// Worker-count independence: the serial path must produce the
+	// same bytes.
+	serial, err := json.MarshalIndent(goldenRecords(1), "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial = append(serial, '\n')
+	if !bytes.Equal(serial, want) {
+		t.Error("serial run diverged from the golden records")
+	}
+}

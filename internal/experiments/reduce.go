@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"sort"
+	"time"
+)
+
+// Shared metric reducers. The evaluation harness and the churn
+// simulator both reduce per-attempt samples into the same summary
+// quantities (latency percentiles, per-phase rates); keeping the
+// reducers here stops the two from drifting apart.
+
+// DurationPercentiles reduces samples to the requested percentiles
+// (0–100, e.g. 50, 90, 99) using the nearest-rank method. The input is
+// not modified. Returns zeros when samples is empty.
+func DurationPercentiles(samples []time.Duration, ps ...float64) []time.Duration {
+	out := make([]time.Duration, len(ps))
+	if len(samples) == 0 {
+		return out
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i, p := range ps {
+		out[i] = sorted[rankIndex(p, len(sorted))]
+	}
+	return out
+}
+
+// rankIndex maps a percentile to a nearest-rank index in [0, n).
+func rankIndex(p float64, n int) int {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 100 {
+		return n - 1
+	}
+	idx := int(p/100*float64(n)+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}
+
+// PhaseRates turns per-phase rejection counts into percentages of the
+// total rejection count (the quantity of Table I's failure
+// distribution). All-zero counts reduce to all-zero rates.
+func PhaseRates(counts [4]int64) [4]float64 {
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	var out [4]float64
+	if total == 0 {
+		return out
+	}
+	for i, c := range counts {
+		out[i] = 100 * float64(c) / float64(total)
+	}
+	return out
+}

@@ -1,0 +1,71 @@
+package graph_test
+
+// Fuzz hardening for the binary application-bundle codec (paper
+// §III-E): the decoder is the trust boundary of cmd/kairos — it reads
+// arbitrary files — so it must never panic, and accepted input must
+// reach a stable decode→encode→decode fixpoint.
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/appgen"
+	"repro/internal/graph"
+)
+
+// FuzzBundleRoundTrip seeds the corpus with real generator output
+// (what cmd/appgen writes) plus corrupt variants, then asserts that
+// any input the decoder accepts re-encodes to a fixpoint and that
+// corrupt input is rejected with an error, not a panic.
+func FuzzBundleRoundTrip(f *testing.F) {
+	for _, profile := range []appgen.Profile{appgen.Communication, appgen.Computation} {
+		for _, size := range []appgen.Size{appgen.Small, appgen.Medium, appgen.Large} {
+			for i, app := range appgen.Dataset(appgen.NewConfig(profile, size), 2, 7) {
+				data, err := graph.Bytes(app)
+				if err != nil {
+					f.Fatalf("%v/%v app %d: %v", profile, size, i, err)
+				}
+				f.Add(data)
+				// Truncations and bit flips of real bundles probe the
+				// decoder's bounds checks.
+				f.Add(data[:len(data)/2])
+				flipped := bytes.Clone(data)
+				flipped[len(flipped)/3] ^= 0xff
+				f.Add(flipped)
+			}
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte("KAPP"))
+	f.Add([]byte("not a bundle at all"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		app, err := graph.FromBytes(data)
+		if err != nil {
+			return // rejected without panicking: fine
+		}
+		// Accepted bundles decode to valid applications...
+		if verr := app.Validate(); verr != nil {
+			t.Fatalf("decoder accepted an invalid application: %v", verr)
+		}
+		// ...that survive encode→decode→encode byte-identically.
+		enc1, err := graph.Bytes(app)
+		if err != nil {
+			t.Fatalf("re-encode of accepted bundle failed: %v", err)
+		}
+		app2, err := graph.FromBytes(enc1)
+		if err != nil {
+			t.Fatalf("decode of re-encoded bundle failed: %v", err)
+		}
+		enc2, err := graph.Bytes(app2)
+		if err != nil {
+			t.Fatalf("second re-encode failed: %v", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("encode→decode→encode is not a fixpoint:\n%x\nvs\n%x", enc1, enc2)
+		}
+		if !graph.IsBundle(enc1) {
+			t.Fatal("re-encoded bundle lost its magic")
+		}
+	})
+}

@@ -30,6 +30,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
+	"strings"
 
 	"repro/internal/binding"
 	"repro/internal/gap"
@@ -60,6 +62,32 @@ var (
 	WeightsFragmentation = Weights{Fragmentation: 25}
 	WeightsBoth          = Weights{Communication: 1, Fragmentation: 25}
 )
+
+// ParseWeights parses the command-line weight vocabulary shared by
+// cmd/kairos and cmd/sim: one of the paper's preset names, or an
+// explicit "C,F" pair of communication and fragmentation weights.
+func ParseWeights(s string) (Weights, error) {
+	switch s {
+	case "none":
+		return WeightsNone, nil
+	case "communication":
+		return WeightsCommunication, nil
+	case "fragmentation":
+		return WeightsFragmentation, nil
+	case "both":
+		return WeightsBoth, nil
+	}
+	parts := strings.SplitN(s, ",", 2)
+	if len(parts) != 2 {
+		return Weights{}, fmt.Errorf("mapping: bad weights %q (want C,F or a preset)", s)
+	}
+	c, errC := strconv.ParseFloat(parts[0], 64)
+	f, errF := strconv.ParseFloat(parts[1], 64)
+	if errC != nil || errF != nil {
+		return Weights{}, fmt.Errorf("mapping: bad weights %q", s)
+	}
+	return Weights{Communication: c, Fragmentation: f}, nil
+}
 
 // Options configures MapApplication.
 type Options struct {

@@ -1,0 +1,32 @@
+package mapping
+
+import "testing"
+
+func TestParseWeights(t *testing.T) {
+	cases := []struct {
+		in         string
+		comm, frag float64
+	}{
+		{"none", 0, 0},
+		{"communication", 1, 0},
+		{"fragmentation", 0, 25},
+		{"both", 1, 25},
+		{"3,400", 3, 400},
+		{"0.5,12.5", 0.5, 12.5},
+	}
+	for _, c := range cases {
+		w, err := ParseWeights(c.in)
+		if err != nil {
+			t.Errorf("%q: %v", c.in, err)
+			continue
+		}
+		if w.Communication != c.comm || w.Fragmentation != c.frag {
+			t.Errorf("%q = %+v, want {%g %g}", c.in, w, c.comm, c.frag)
+		}
+	}
+	for _, bad := range []string{"", "x", "1;2", "a,b", "1,2,3extra,"} {
+		if _, err := ParseWeights(bad); err == nil {
+			t.Errorf("%q should be rejected", bad)
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package platform
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// FromSpec builds a platform from a textual spec, the shared
+// command-line vocabulary of cmd/kairos and cmd/sim:
+//
+//	crisp        the CRISP platform of the paper's evaluation (Fig. 6)
+//	mesh<W>x<H>  a W×H DSP mesh with I/O corner tiles
+//	<path>.json  a platform description written by WriteJSON
+func FromSpec(spec string) (*Platform, error) {
+	switch {
+	case spec == "crisp":
+		return CRISP(), nil
+	case strings.HasSuffix(spec, ".json"):
+		f, err := os.Open(spec)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return ReadJSON(f)
+	case strings.HasPrefix(spec, "mesh"):
+		dims := strings.SplitN(strings.TrimPrefix(spec, "mesh"), "x", 2)
+		if len(dims) == 2 {
+			w, errW := strconv.Atoi(dims[0])
+			h, errH := strconv.Atoi(dims[1])
+			if errW == nil && errH == nil && w > 0 && h > 0 {
+				return MeshWithIO(w, h, DefaultVCs), nil
+			}
+		}
+		return nil, fmt.Errorf("platform: bad mesh spec %q (want e.g. mesh4x4)", spec)
+	default:
+		return nil, fmt.Errorf("platform: unknown spec %q (crisp, mesh<W>x<H>, or a .json file)", spec)
+	}
+}
+
+// PhysicalLinks returns each physical (bidirectional) link once as an
+// ordered element-ID pair, in deterministic order. Fault injectors
+// draw from this list: disabling a physical link disables both
+// directed Links.
+func (p *Platform) PhysicalLinks() [][2]int {
+	var out [][2]int
+	for _, l := range p.Links() {
+		if l.From < l.To {
+			out = append(out, [2]int{l.From, l.To})
+		}
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package platform
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestFromSpecCRISP(t *testing.T) {
+	p, err := FromSpec("crisp")
+	if err != nil {
+		t.Fatalf("crisp: %v", err)
+	}
+	if p.CountByType()[TypeDSP] != 45 {
+		t.Error("crisp platform malformed")
+	}
+}
+
+func TestFromSpecMesh(t *testing.T) {
+	p, err := FromSpec("mesh3x2")
+	if err != nil {
+		t.Fatalf("mesh3x2: %v", err)
+	}
+	// 6 mesh tiles + 2 IO tiles.
+	if p.NumElements() != 8 {
+		t.Errorf("mesh3x2 elements = %d, want 8", p.NumElements())
+	}
+	for _, bad := range []string{"mesh", "meshAxB", "mesh0x3", "mesh3", "torus2x2"} {
+		if _, err := FromSpec(bad); err == nil {
+			t.Errorf("%q should be rejected", bad)
+		}
+	}
+}
+
+func TestFromSpecJSON(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Mesh(2, 2, 2).WriteJSON(f, "m"); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := FromSpec(path)
+	if err != nil {
+		t.Fatalf("json platform: %v", err)
+	}
+	if p.NumElements() != 4 {
+		t.Errorf("elements = %d, want 4", p.NumElements())
+	}
+	if _, err := FromSpec(filepath.Join(dir, "missing.json")); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestPhysicalLinks(t *testing.T) {
+	p := Mesh(3, 3, 2)
+	links := p.PhysicalLinks()
+	// A 3×3 mesh has 12 physical links (each Links() pair counted once).
+	if len(links) != 12 {
+		t.Fatalf("physical links = %d, want 12", len(links))
+	}
+	for _, l := range links {
+		if l[0] >= l[1] {
+			t.Errorf("link pair %v not ordered", l)
+		}
+		if p.Link(l[0], l[1]) == nil || p.Link(l[1], l[0]) == nil {
+			t.Errorf("link pair %v has a missing direction", l)
+		}
+	}
+}

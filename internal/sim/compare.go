@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+// RunComparison simulates the same seeded workload once per policy on
+// a worker pool (<= 0 = one worker per logical CPU). Each run draws
+// from its own stream seeded identically, so every policy faces the
+// same arrival process and the results are independent of the worker
+// count — the long-horizon analogue of the paper's Table I comparison,
+// with defragmentation policy instead of mapping weights as the
+// treatment.
+func RunComparison(cfg Config, policies []Policy, workers int) []*Result {
+	results := make([]*Result, len(policies))
+	experiments.ForEach(len(policies), workers, func(i int) {
+		c := cfg
+		c.Policy = policies[i]
+		results[i] = Run(c)
+	})
+	return results
+}
+
+// FormatComparison renders the policy comparison as a table: one row
+// per policy, steady-state rejection rate as the headline column.
+func FormatComparison(results []*Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-13s %8s %8s %8s %7s %9s %8s %8s %8s %8s\n",
+		"Policy", "Arrivals", "Admitted", "Rejected", "Retry",
+		"SteadyRej%", "Readmits", "Evicted", "MeanLive", "MeanFrag")
+	for _, r := range results {
+		t := r.Totals
+		fmt.Fprintf(&b, "%-13s %8d %8d %8d %7d %9.2f%% %8d %8d %8.1f %7.1f%%\n",
+			r.Policy, t.Arrivals, t.Admitted, t.Rejected, t.RetryAdmitted,
+			t.SteadyRejectionRate, t.Moved+t.Restored+t.Evicted,
+			t.Evicted, t.MeanLive, t.MeanFrag)
+	}
+	return b.String()
+}
+
+// FormatSummary renders one run's totals and wall-clock latency as a
+// human-readable block.
+func FormatSummary(r *Result) string {
+	t := r.Totals
+	var b strings.Builder
+	fmt.Fprintf(&b, "policy %s, seed %d, %.0fs simulated\n", r.Policy, r.Seed, r.Duration)
+	fmt.Fprintf(&b, "  arrivals %d: %d admitted (%d on retry), %d rejected "+
+		"(binding %d, mapping %d, routing %d, validation %d)\n",
+		t.Arrivals, t.Admitted, t.RetryAdmitted, t.Rejected,
+		t.RejectedByPhase[0], t.RejectedByPhase[1], t.RejectedByPhase[2], t.RejectedByPhase[3])
+	fmt.Fprintf(&b, "  churn: %d departures, %d faults, %d repairs; "+
+		"forced readmissions: %d moved, %d restored, %d evicted\n",
+		t.Departures, t.Faults, t.Repairs, t.Moved, t.Restored, t.Evicted)
+	fmt.Fprintf(&b, "  steady state: %.2f%% rejection rate (%d/%d), "+
+		"mean live %.1f, mean fragmentation %.1f%%, final %.1f%%\n",
+		t.SteadyRejectionRate, t.SteadyRejected, t.SteadyArrivals,
+		t.MeanLive, t.MeanFrag, t.FinalFrag)
+	fmt.Fprintf(&b, "  admission latency (wall clock, %d attempts): "+
+		"p50 %v, p90 %v, p99 %v\n",
+		r.Latency.N, r.Latency.P50, r.Latency.P90, r.Latency.P99)
+	return b.String()
+}

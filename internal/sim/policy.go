@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Policy is a defragmentation policy. The platform cannot migrate
+// tasks (paper §I-A), so every policy is built on the restart path:
+// core.Readmit releases an application and admits it afresh, letting
+// the mapping phase compact it into the current platform state.
+type Policy int
+
+const (
+	// PolicyNone never defragments; rejections stand. The baseline.
+	PolicyNone Policy = iota
+	// PolicyPeriodic readmits the worst-placed application (most
+	// route hops) every DefragPeriod seconds, spreading
+	// defragmentation work over time.
+	PolicyPeriodic
+	// PolicyOnRejection reacts to rejections: when an arrival is
+	// rejected, every live application is readmitted worst-first to
+	// compact the platform, and the arrival is retried once.
+	PolicyOnRejection
+)
+
+// AllPolicies returns every policy in comparison-report order.
+func AllPolicies() []Policy {
+	return []Policy{PolicyNone, PolicyPeriodic, PolicyOnRejection}
+}
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyNone:
+		return "none"
+	case PolicyPeriodic:
+		return "periodic"
+	case PolicyOnRejection:
+		return "on-rejection"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy parses a policy name as used by the cmd/sim -policy flag.
+func ParsePolicy(s string) (Policy, error) {
+	for _, p := range AllPolicies() {
+		if s == p.String() {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("sim: unknown policy %q (none, periodic, on-rejection)", s)
+}
+
+// worstFirst returns the live applications sorted by decreasing route
+// spread (ties by instance name, for determinism — s.live itself is
+// unordered).
+func (s *simulator) worstFirst() []*liveApp {
+	apps := append([]*liveApp(nil), s.live...)
+	sort.Slice(apps, func(i, j int) bool {
+		hi, hj := apps[i].hops(), apps[j].hops()
+		if hi != hj {
+			return hi > hj
+		}
+		return apps[i].instance < apps[j].instance
+	})
+	return apps
+}
+
+// periodicDefrag readmits the single worst-placed application
+// (PolicyPeriodic). Applications with zero-hop layouts cannot improve
+// and are left alone.
+func (s *simulator) periodicDefrag() {
+	apps := s.worstFirst()
+	if len(apps) == 0 || apps[0].hops() == 0 {
+		return
+	}
+	s.res.Totals.DefragReadmits++
+	res := s.readmitOne(apps[0])
+	s.applyReadmit(res, "defrag")
+}
+
+// repack readmits every live application worst-first
+// (PolicyOnRejection), compacting the platform before the rejected
+// arrival (rejectedApp, for the trace) is retried.
+func (s *simulator) repack(rejectedApp string) {
+	for _, a := range s.worstFirst() {
+		if a.dead {
+			continue
+		}
+		s.res.Totals.DefragReadmits++
+		res := s.readmitOne(a)
+		s.applyReadmit(res, "defrag")
+	}
+	s.trace(TraceEvent{Event: "retry", App: rejectedApp, Outcome: "repacked"})
+}
+
+// readmitOne forces one application through the restart path.
+func (s *simulator) readmitOne(a *liveApp) core.ReadmitResult {
+	return s.k.ReadmitClassified(a.instance)
+}

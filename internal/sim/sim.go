@@ -1,0 +1,617 @@
+// Package sim is a seeded discrete-event churn simulator for the
+// run-time resource manager: it drives a single live core.Kairos
+// through hours of simulated operation — applications arrive in a
+// Poisson stream drawn from the synthetic profiles of the evaluation
+// (paper §IV), run for exponentially distributed lifetimes, and leave;
+// hardware faults disable elements and links and force the affected
+// applications through the restart path (the paper's only fault
+// response, since task migration is impossible, §I-A); pluggable
+// defragmentation policies restart applications to compact the
+// platform.
+//
+// The static evaluation harness (internal/experiments) replays
+// admission sequences onto fresh platforms; the simulator instead
+// exercises the long-running serving regime the paper targets: one
+// platform, one manager, sustained churn. Every random draw comes from
+// a single seeded stream consumed in event order, so for a fixed seed
+// the per-event trace is byte-identical across runs and worker counts;
+// only wall-clock admission latencies (reported separately) vary.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/appgen"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/mapping"
+	"repro/internal/platform"
+	"repro/internal/routing"
+)
+
+// Config parameterizes one simulation run. Times are in simulated
+// seconds. The zero value is not useful; start from DefaultConfig.
+type Config struct {
+	// Platform is the prototype platform; it is cloned, never
+	// mutated. Nil means the CRISP platform of the paper.
+	Platform *platform.Platform
+	// Weights steers the mapping cost function. Note the zero value
+	// is mapping.WeightsNone (no objective) and is honored as such;
+	// DefaultConfig uses WeightsBoth, the paper's recommended
+	// configuration.
+	Weights mapping.Weights
+	// ArrivalRate is the mean application arrival rate per second
+	// (Poisson process).
+	ArrivalRate float64
+	// MeanLifetime is the mean application lifetime in seconds
+	// (exponentially distributed).
+	MeanLifetime float64
+	// Duration is the simulated horizon in seconds.
+	Duration float64
+	// Seed drives every random draw of the run.
+	Seed int64
+	// Policy is the defragmentation policy (PolicyNone by default).
+	Policy Policy
+	// DefragPeriod is the PolicyPeriodic readmission interval in
+	// seconds (0 = 30s).
+	DefragPeriod float64
+	// FaultRate is the mean hardware-fault rate per second (Poisson);
+	// 0 disables fault injection. Each fault disables one enabled
+	// element or physical link, chosen uniformly, and forces the
+	// affected applications through the restart path.
+	FaultRate float64
+	// MeanRepair is the mean seconds until a fault is repaired
+	// (exponential; 0 = 60s).
+	MeanRepair float64
+	// SampleEvery is the time-series sampling interval in seconds
+	// (0 = 10s).
+	SampleEvery float64
+}
+
+// DefaultConfig returns a CRISP-platform configuration with sustained
+// moderate overload: the offered load (ArrivalRate × MeanLifetime
+// concurrent applications) exceeds what the platform packs, so the
+// steady state has a meaningful rejection rate for the defragmentation
+// policies to work on.
+func DefaultConfig() Config {
+	return Config{
+		Weights:      mapping.WeightsBoth,
+		ArrivalRate:  10.0 / 60,
+		MeanLifetime: 60,
+		Duration:     600,
+		Seed:         1,
+		Policy:       PolicyNone,
+		DefragPeriod: 30,
+		FaultRate:    1.0 / 120,
+		MeanRepair:   45,
+		SampleEvery:  10,
+	}
+}
+
+// TraceEvent is one record of the per-event trace. All fields are
+// deterministic for a fixed seed.
+type TraceEvent struct {
+	// T is the simulated time in seconds.
+	T float64 `json:"t"`
+	// Event is arrival, departure, fault, repair, defrag or retry.
+	Event string `json:"event"`
+	// App is the application name (arrival/departure/defrag/retry).
+	App string `json:"app,omitempty"`
+	// Instance is the manager's instance name, when one exists.
+	Instance string `json:"instance,omitempty"`
+	// Outcome: admitted, rejected:<phase>, released, moved, restored,
+	// evicted, disabled, repaired.
+	Outcome string `json:"outcome,omitempty"`
+	// Target names the faulted element or link ("a-b").
+	Target string `json:"target,omitempty"`
+	// Live is the number of admitted applications after the event.
+	Live int `json:"live"`
+	// Frag is the platform's external fragmentation (percent) after
+	// the event.
+	Frag float64 `json:"frag"`
+}
+
+// Sample is one point of the time-series metrics. Counters are
+// cumulative since the start of the run.
+type Sample struct {
+	T               float64 `json:"t"`
+	Live            int     `json:"live"`
+	Arrivals        int     `json:"arrivals"`
+	Admitted        int     `json:"admitted"`
+	Rejected        int     `json:"rejected"`
+	RejectedByPhase [4]int  `json:"rejectedByPhase"`
+	Frag            float64 `json:"frag"`
+	Util            float64 `json:"util"`
+}
+
+// Totals summarizes one run.
+type Totals struct {
+	Arrivals        int    `json:"arrivals"`
+	Admitted        int    `json:"admitted"`
+	Rejected        int    `json:"rejected"`
+	RejectedByPhase [4]int `json:"rejectedByPhase"`
+	// RetryAdmitted counts arrivals that were rejected, then admitted
+	// on the post-defragmentation retry (PolicyOnRejection); they
+	// count as Admitted, not Rejected.
+	RetryAdmitted int `json:"retryAdmitted"`
+	Departures    int `json:"departures"`
+	Faults        int `json:"faults"`
+	Repairs       int `json:"repairs"`
+	// DefragReadmits counts policy-driven readmissions; Moved,
+	// Restored and Evicted classify every forced readmission
+	// (policy- and fault-driven).
+	DefragReadmits int `json:"defragReadmits"`
+	Moved          int `json:"moved"`
+	Restored       int `json:"restored"`
+	Evicted        int `json:"evicted"`
+	// Steady-state figures cover the second half of the run, after
+	// the platform has filled.
+	SteadyArrivals      int     `json:"steadyArrivals"`
+	SteadyRejected      int     `json:"steadyRejected"`
+	SteadyRejectionRate float64 `json:"steadyRejectionRate"` // percent
+	MeanLive            float64 `json:"meanLive"`            // time-weighted
+	MeanFrag            float64 `json:"meanFrag"`            // time-weighted percent
+	FinalFrag           float64 `json:"finalFrag"`
+	FinalLive           int     `json:"finalLive"`
+}
+
+// LatencySummary reduces measured admission latencies. Wall-clock
+// quantities are host-dependent and excluded from the deterministic
+// JSON result.
+type LatencySummary struct {
+	N             int
+	P50, P90, P99 time.Duration
+}
+
+// Result is the outcome of one simulation run. Everything serialized
+// to JSON is deterministic for a fixed seed.
+type Result struct {
+	Policy   string       `json:"policy"`
+	Seed     int64        `json:"seed"`
+	Duration float64      `json:"duration"`
+	Totals   Totals       `json:"totals"`
+	Series   []Sample     `json:"series"`
+	Trace    []TraceEvent `json:"trace"`
+	// Latency summarizes wall-clock admission latency over all
+	// arrival attempts; excluded from JSON (not reproducible).
+	Latency LatencySummary `json:"-"`
+}
+
+// event kinds, in tie-break-irrelevant order (ties are broken by
+// schedule sequence).
+const (
+	evArrival = iota
+	evDeparture
+	evFault
+	evRepair
+	evDefrag
+	evSample
+)
+
+type event struct {
+	t    float64
+	seq  int // insertion order; total-orders simultaneous events
+	kind int
+	app  *liveApp // departure
+	// fault repair target: element ID or link pair
+	elem int
+	link [2]int
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].t != q[j].t {
+		return q[i].t < q[j].t
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// liveApp is the simulator's view of one admitted application.
+type liveApp struct {
+	instance string // current instance name (changes on readmission)
+	adm      *core.Admission
+	idx      int  // position in s.live while alive
+	dead     bool // departed or evicted; pending events ignore it
+}
+
+// hops is the spread score used to pick the "worst" placed
+// application: total links crossed by its routes.
+func (a *liveApp) hops() int { return routing.TotalHops(a.adm.Routes) }
+
+type simulator struct {
+	cfg Config
+	// workRng drives the workload (arrival times, application draws,
+	// lifetimes) and faultRng the fault injection (times, targets,
+	// repairs). Two streams, both consumed unconditionally in event
+	// order, so every defragmentation policy faces the byte-identical
+	// workload and fault sequence: admission outcomes differ between
+	// policies, the offered load never does.
+	workRng  *rand.Rand
+	faultRng *rand.Rand
+	p        *platform.Platform
+	k        *core.Kairos
+	gens     []*appgen.Generator
+	queue    eventQueue
+	seq      int
+	now      float64
+	live     []*liveApp          // currently admitted (unordered; policies sort)
+	byName   map[string]*liveApp // current instance name → record
+	res      *Result
+	lat      []time.Duration
+	// time-weighted accumulators
+	lastT    float64
+	liveArea float64
+	fragArea float64
+}
+
+// Run simulates the configured workload and returns its trace, series
+// and totals.
+func Run(cfg Config) *Result {
+	if cfg.Platform == nil {
+		cfg.Platform = platform.CRISP()
+	}
+	if cfg.DefragPeriod <= 0 {
+		cfg.DefragPeriod = 30
+	}
+	if cfg.MeanRepair <= 0 {
+		cfg.MeanRepair = 60
+	}
+	if cfg.SampleEvery <= 0 {
+		cfg.SampleEvery = 10
+	}
+	s := &simulator{
+		cfg:      cfg,
+		workRng:  rand.New(rand.NewSource(cfg.Seed)),
+		faultRng: rand.New(rand.NewSource(cfg.Seed + 104729)),
+		p:        cfg.Platform.Clone(),
+		byName:   make(map[string]*liveApp),
+		res: &Result{
+			Policy:   cfg.Policy.String(),
+			Seed:     cfg.Seed,
+			Duration: cfg.Duration,
+		},
+	}
+	s.k = core.New(s.p, core.Options{
+		Weights: cfg.Weights,
+		// The synthetic profiles carry no performance constraints and
+		// the paper does not reject in validation for them (§IV); the
+		// phase still runs and is timed.
+		SkipValidation: true,
+		OnEvict:        s.onEvict,
+	})
+	// One generator per dataset profile, each on its own derived
+	// stream, so the app mix matches the six datasets of Table I.
+	for i, gcfg := range experiments.AllConfigs() {
+		s.gens = append(s.gens, appgen.New(gcfg, cfg.Seed+int64(i+1)*7919))
+	}
+
+	if cfg.ArrivalRate > 0 {
+		s.schedule(s.workExp(1/cfg.ArrivalRate), &event{kind: evArrival})
+	}
+	if cfg.FaultRate > 0 {
+		s.schedule(s.faultExp(1/cfg.FaultRate), &event{kind: evFault})
+	}
+	if cfg.Policy == PolicyPeriodic {
+		s.schedule(cfg.DefragPeriod, &event{kind: evDefrag})
+	}
+	s.schedule(cfg.SampleEvery, &event{kind: evSample})
+
+	for s.queue.Len() > 0 {
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.t > cfg.Duration {
+			break
+		}
+		s.advance(ev.t)
+		switch ev.kind {
+		case evArrival:
+			s.arrival()
+		case evDeparture:
+			s.departure(ev.app)
+		case evFault:
+			s.fault()
+			s.schedule(s.faultExp(1/cfg.FaultRate), &event{kind: evFault})
+		case evRepair:
+			s.repair(ev)
+		case evDefrag:
+			s.periodicDefrag()
+			s.schedule(cfg.DefragPeriod, &event{kind: evDefrag})
+		case evSample:
+			s.sample()
+			s.schedule(cfg.SampleEvery, &event{kind: evSample})
+		}
+	}
+	s.advance(cfg.Duration)
+	s.finish()
+	return s.res
+}
+
+// workExp and faultExp draw an exponential interval with the given
+// mean from the workload and fault streams respectively.
+func (s *simulator) workExp(mean float64) float64  { return s.workRng.ExpFloat64() * mean }
+func (s *simulator) faultExp(mean float64) float64 { return s.faultRng.ExpFloat64() * mean }
+
+// schedule enqueues an event dt seconds from now.
+func (s *simulator) schedule(dt float64, ev *event) {
+	ev.t = s.now + dt
+	ev.seq = s.seq
+	s.seq++
+	heap.Push(&s.queue, ev)
+}
+
+// advance moves simulated time forward, integrating the time-weighted
+// metrics.
+func (s *simulator) advance(t float64) {
+	dt := t - s.lastT
+	if dt > 0 {
+		s.liveArea += float64(s.liveCount()) * dt
+		s.fragArea += s.p.ExternalFragmentation() * dt
+		s.lastT = t
+	}
+	s.now = t
+}
+
+func (s *simulator) liveCount() int { return len(s.live) }
+
+// removeLive drops one application from the live table (swap-delete;
+// order does not matter, the policies sort deterministically). Pending
+// departure events for it see the dead flag and do nothing.
+func (s *simulator) removeLive(a *liveApp) {
+	if a.dead {
+		return
+	}
+	a.dead = true
+	last := len(s.live) - 1
+	s.live[a.idx] = s.live[last]
+	s.live[a.idx].idx = a.idx
+	s.live = s.live[:last]
+	delete(s.byName, a.instance)
+}
+
+// trace appends one event record with the current live/frag state.
+func (s *simulator) trace(ev TraceEvent) {
+	ev.T = s.now
+	ev.Live = s.liveCount()
+	ev.Frag = s.p.ExternalFragmentation()
+	s.res.Trace = append(s.res.Trace, ev)
+}
+
+// onEvict keeps the simulator's live table in step with the manager:
+// EvictLost removes the application for good; EvictReadmit is the
+// release half of a readmission the simulator itself initiated and is
+// resolved by the caller from the readmission result.
+func (s *simulator) onEvict(adm *core.Admission, reason core.EvictReason) {
+	if reason != core.EvictLost {
+		return
+	}
+	if a, ok := s.byName[adm.Instance]; ok {
+		s.removeLive(a)
+	}
+}
+
+// nextApp draws the next arriving application from a uniformly chosen
+// dataset profile.
+func (s *simulator) nextApp() *graph.Application {
+	return s.gens[s.workRng.Intn(len(s.gens))].Next()
+}
+
+// arrival admits one arriving application, applying the on-rejection
+// defragmentation policy when configured. Every workload draw — the
+// application, the next inter-arrival gap, the lifetime — happens
+// unconditionally and in fixed order, so the workload stream does not
+// depend on admission outcomes (and therefore not on the policy).
+func (s *simulator) arrival() {
+	app := s.nextApp()
+	s.schedule(s.workExp(1/s.cfg.ArrivalRate), &event{kind: evArrival})
+	lifetime := s.workExp(s.cfg.MeanLifetime)
+	s.res.Totals.Arrivals++
+	steady := s.now >= s.cfg.Duration/2
+	if steady {
+		s.res.Totals.SteadyArrivals++
+	}
+
+	adm, err := s.k.Admit(app)
+	if adm != nil {
+		s.lat = append(s.lat, adm.Times.Total())
+	}
+	retried := false
+	if err != nil && s.cfg.Policy == PolicyOnRejection && s.liveCount() > 0 {
+		s.repack(app.Name)
+		retried = true
+		adm, err = s.k.Admit(app)
+		if adm != nil {
+			s.lat = append(s.lat, adm.Times.Total())
+		}
+	}
+
+	if err != nil {
+		s.res.Totals.Rejected++
+		if steady {
+			s.res.Totals.SteadyRejected++
+		}
+		outcome := "rejected"
+		if pe, ok := err.(*core.PhaseError); ok {
+			outcome = "rejected:" + pe.Phase.String()
+			if pe.Phase >= 0 && int(pe.Phase) < 4 {
+				s.res.Totals.RejectedByPhase[pe.Phase]++
+			}
+		}
+		s.trace(TraceEvent{Event: "arrival", App: app.Name, Outcome: outcome})
+		return
+	}
+
+	s.res.Totals.Admitted++
+	outcome := "admitted"
+	if retried {
+		s.res.Totals.RetryAdmitted++
+		outcome = "retry-admitted"
+	}
+	a := &liveApp{instance: adm.Instance, adm: adm, idx: len(s.live)}
+	s.live = append(s.live, a)
+	s.byName[a.instance] = a
+	s.schedule(lifetime, &event{kind: evDeparture, app: a})
+	s.trace(TraceEvent{Event: "arrival", App: app.Name, Instance: adm.Instance, Outcome: outcome})
+}
+
+// departure releases an application at the end of its lifetime. The
+// record may already be dead (evicted), or renamed by readmission —
+// the record, not the name, is authoritative.
+func (s *simulator) departure(a *liveApp) {
+	if a.dead {
+		return
+	}
+	if err := s.k.Release(a.instance); err != nil {
+		// The manager and the simulator disagree about liveness; that
+		// is a bug, surface it in the trace.
+		s.trace(TraceEvent{Event: "departure", App: a.adm.App.Name, Instance: a.instance, Outcome: "release-error"})
+		return
+	}
+	s.removeLive(a)
+	s.res.Totals.Departures++
+	s.trace(TraceEvent{Event: "departure", App: a.adm.App.Name, Instance: a.instance, Outcome: "released"})
+}
+
+// applyReadmit folds one forced-readmission result into the live
+// table and totals.
+func (s *simulator) applyReadmit(res core.ReadmitResult, event string) {
+	a := s.byName[res.Instance]
+	switch res.Outcome {
+	case core.ReadmitMoved:
+		s.res.Totals.Moved++
+		if a != nil {
+			delete(s.byName, a.instance)
+			a.instance = res.NewInstance
+			a.adm = res.Adm
+			s.byName[a.instance] = a
+		}
+	case core.ReadmitRestored:
+		s.res.Totals.Restored++
+	case core.ReadmitEvicted:
+		s.res.Totals.Evicted++ // onEvict already removed the record
+	}
+	ev := TraceEvent{Event: event, Instance: res.Instance, Outcome: res.Outcome.String()}
+	if a != nil {
+		ev.App = a.adm.App.Name
+	}
+	s.trace(ev)
+}
+
+// fault disables one enabled element or physical link, chosen
+// uniformly, schedules its repair, and forces the affected
+// applications through the restart path.
+func (s *simulator) fault() {
+	var elems []int
+	for _, e := range s.p.Elements() {
+		if e.Enabled() {
+			elems = append(elems, e.ID)
+		}
+	}
+	var links [][2]int
+	for _, l := range s.p.PhysicalLinks() {
+		if s.p.Link(l[0], l[1]).Enabled() {
+			links = append(links, l)
+		}
+	}
+	n := len(elems) + len(links)
+	if n == 0 {
+		return
+	}
+	s.res.Totals.Faults++
+	pick := s.faultRng.Intn(n)
+	repair := &event{kind: evRepair, elem: -1, link: [2]int{-1, -1}}
+	var target string
+	if pick < len(elems) {
+		id := elems[pick]
+		s.p.DisableElement(id)
+		repair.elem = id
+		target = s.p.Element(id).Name
+	} else {
+		l := links[pick-len(elems)]
+		s.p.DisableLink(l[0], l[1])
+		repair.link = l
+		target = fmt.Sprintf("%s-%s", s.p.Element(l[0]).Name, s.p.Element(l[1]).Name)
+	}
+	s.schedule(s.faultExp(s.cfg.MeanRepair), repair)
+	s.trace(TraceEvent{Event: "fault", Target: target, Outcome: "disabled"})
+
+	for _, res := range s.k.ReadmitAffected() {
+		s.applyReadmit(res, "fault-readmit")
+	}
+}
+
+// repair re-enables a faulted element or link.
+func (s *simulator) repair(ev *event) {
+	s.res.Totals.Repairs++
+	var target string
+	if ev.elem >= 0 {
+		s.p.EnableElement(ev.elem)
+		target = s.p.Element(ev.elem).Name
+	} else {
+		s.p.EnableLink(ev.link[0], ev.link[1])
+		target = fmt.Sprintf("%s-%s", s.p.Element(ev.link[0]).Name, s.p.Element(ev.link[1]).Name)
+	}
+	s.trace(TraceEvent{Event: "repair", Target: target, Outcome: "repaired"})
+}
+
+// sample records one time-series point.
+func (s *simulator) sample() {
+	t := &s.res.Totals
+	s.res.Series = append(s.res.Series, Sample{
+		T:               s.now,
+		Live:            s.liveCount(),
+		Arrivals:        t.Arrivals,
+		Admitted:        t.Admitted,
+		Rejected:        t.Rejected,
+		RejectedByPhase: t.RejectedByPhase,
+		Frag:            s.p.ExternalFragmentation(),
+		Util:            s.utilization(),
+	})
+}
+
+// utilization is the mean per-element utilization over enabled
+// elements.
+func (s *simulator) utilization() float64 {
+	sum, n := 0.0, 0
+	for _, e := range s.p.Elements() {
+		if !e.Enabled() {
+			continue
+		}
+		sum += e.Pool().Utilization()
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// finish computes the end-of-run summary figures.
+func (s *simulator) finish() {
+	t := &s.res.Totals
+	if t.SteadyArrivals > 0 {
+		t.SteadyRejectionRate = 100 * float64(t.SteadyRejected) / float64(t.SteadyArrivals)
+	}
+	if s.cfg.Duration > 0 {
+		t.MeanLive = s.liveArea / s.cfg.Duration
+		t.MeanFrag = s.fragArea / s.cfg.Duration
+	}
+	t.FinalFrag = s.p.ExternalFragmentation()
+	t.FinalLive = s.liveCount()
+	ps := experiments.DurationPercentiles(s.lat, 50, 90, 99)
+	s.res.Latency = LatencySummary{N: len(s.lat), P50: ps[0], P90: ps[1], P99: ps[2]}
+}

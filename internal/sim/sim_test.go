@@ -1,0 +1,177 @@
+package sim
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/platform"
+)
+
+// shortConfig is a fast CRISP run with churn and faults.
+func shortConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Duration = 180
+	return cfg
+}
+
+// deterministicJSON marshals the deterministic part of a result.
+func deterministicJSON(t *testing.T, r *Result) string {
+	t.Helper()
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestRunDeterministic(t *testing.T) {
+	for _, pol := range AllPolicies() {
+		cfg := shortConfig()
+		cfg.Policy = pol
+		a := deterministicJSON(t, Run(cfg))
+		b := deterministicJSON(t, Run(cfg))
+		if a != b {
+			t.Errorf("policy %v: two runs with the same seed differ", pol)
+		}
+	}
+}
+
+func TestRunComparisonDeterministicAcrossWorkers(t *testing.T) {
+	cfg := shortConfig()
+	serial := RunComparison(cfg, AllPolicies(), 1)
+	parallel := RunComparison(cfg, AllPolicies(), 4)
+	for i := range serial {
+		if deterministicJSON(t, serial[i]) != deterministicJSON(t, parallel[i]) {
+			t.Errorf("policy %s: results differ between 1 and 4 workers", serial[i].Policy)
+		}
+	}
+}
+
+func TestPoliciesFaceIdenticalWorkload(t *testing.T) {
+	// The workload and fault streams are independent of the policy:
+	// every policy must see the same arrivals and faults.
+	results := RunComparison(shortConfig(), AllPolicies(), 0)
+	base := results[0].Totals
+	for _, r := range results[1:] {
+		if r.Totals.Arrivals != base.Arrivals {
+			t.Errorf("policy %s saw %d arrivals, baseline %d", r.Policy, r.Totals.Arrivals, base.Arrivals)
+		}
+		if r.Totals.Faults != base.Faults {
+			t.Errorf("policy %s saw %d faults, baseline %d", r.Policy, r.Totals.Faults, base.Faults)
+		}
+	}
+}
+
+func TestRunAccounting(t *testing.T) {
+	for _, pol := range AllPolicies() {
+		cfg := shortConfig()
+		cfg.Policy = pol
+		r := Run(cfg)
+		tot := r.Totals
+		if tot.Arrivals == 0 || tot.Admitted == 0 {
+			t.Fatalf("policy %v: no activity simulated: %+v", pol, tot)
+		}
+		if tot.Admitted+tot.Rejected != tot.Arrivals {
+			t.Errorf("policy %v: admitted %d + rejected %d != arrivals %d",
+				pol, tot.Admitted, tot.Rejected, tot.Arrivals)
+		}
+		if got := tot.Admitted - tot.Departures - tot.Evicted; got != tot.FinalLive {
+			t.Errorf("policy %v: admitted-departed-evicted = %d, final live = %d",
+				pol, got, tot.FinalLive)
+		}
+		var rej int
+		for _, c := range tot.RejectedByPhase {
+			rej += c
+		}
+		if rej != tot.Rejected {
+			t.Errorf("policy %v: per-phase rejections %d != total %d", pol, rej, tot.Rejected)
+		}
+		if len(r.Series) == 0 || len(r.Trace) == 0 {
+			t.Errorf("policy %v: empty series/trace", pol)
+		}
+		last := r.Series[len(r.Series)-1]
+		if last.Arrivals > tot.Arrivals || last.Live < 0 {
+			t.Errorf("policy %v: inconsistent final sample %+v", pol, last)
+		}
+		if r.Latency.N == 0 || r.Latency.P99 < r.Latency.P50 {
+			t.Errorf("policy %v: bad latency summary %+v", pol, r.Latency)
+		}
+	}
+}
+
+func TestFaultInjectionForcesReadmissions(t *testing.T) {
+	cfg := shortConfig()
+	cfg.FaultRate = 1.0 / 15 // a fault every 15 simulated seconds
+	r := Run(cfg)
+	if r.Totals.Faults == 0 {
+		t.Fatal("no faults injected")
+	}
+	if r.Totals.Moved+r.Totals.Restored == 0 {
+		t.Error("faults never forced a readmission")
+	}
+	// Repairs lag faults by the repair time but must be scheduled.
+	if r.Totals.Repairs == 0 {
+		t.Error("no repairs happened")
+	}
+}
+
+func TestNoFaultsWhenDisabled(t *testing.T) {
+	cfg := shortConfig()
+	cfg.FaultRate = 0
+	r := Run(cfg)
+	if r.Totals.Faults != 0 || r.Totals.Repairs != 0 {
+		t.Errorf("faults injected with FaultRate=0: %+v", r.Totals)
+	}
+}
+
+func TestDefragReducesSteadyStateRejection(t *testing.T) {
+	// The acceptance claim of the churn study: readmit-based
+	// defragmentation beats the no-defrag baseline on the CRISP
+	// platform at the default operating point.
+	results := RunComparison(DefaultConfig(), AllPolicies(), 0)
+	byPolicy := map[string]*Result{}
+	for _, r := range results {
+		byPolicy[r.Policy] = r
+	}
+	none := byPolicy[PolicyNone.String()]
+	onRej := byPolicy[PolicyOnRejection.String()]
+	if onRej.Totals.SteadyRejectionRate >= none.Totals.SteadyRejectionRate {
+		t.Errorf("on-rejection defrag did not reduce steady-state rejection: %.2f%% vs baseline %.2f%%",
+			onRej.Totals.SteadyRejectionRate, none.Totals.SteadyRejectionRate)
+	}
+	if onRej.Totals.DefragReadmits == 0 {
+		t.Error("on-rejection policy never defragmented")
+	}
+}
+
+func TestRunOnMeshPlatform(t *testing.T) {
+	cfg := shortConfig()
+	cfg.Platform = platform.MeshWithIO(5, 5, platform.DefaultVCs)
+	cfg.Policy = PolicyPeriodic
+	r := Run(cfg)
+	if r.Totals.Admitted == 0 {
+		t.Error("nothing admitted on the mesh platform")
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for _, p := range AllPolicies() {
+		got, err := ParsePolicy(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParsePolicy(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := ParsePolicy("aggressive"); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	results := RunComparison(shortConfig(), AllPolicies(), 0)
+	if s := FormatComparison(results); len(s) == 0 {
+		t.Error("empty comparison table")
+	}
+	if s := FormatSummary(results[0]); len(s) == 0 {
+		t.Error("empty summary")
+	}
+}
