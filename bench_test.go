@@ -7,11 +7,11 @@
 package repro_test
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/appgen"
 	"repro/internal/binding"
-	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/knapsack"
 	"repro/internal/mapping"
@@ -19,6 +19,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/routing"
 	"repro/internal/validation"
+	"repro/kairos"
 )
 
 // benchDatasets builds reduced datasets once and caches them across
@@ -246,7 +247,7 @@ func BenchmarkFig10(b *testing.B) {
 // measures binding 70.4 ms, mapping 21.7 ms, routing 7.4 ms,
 // validation 20.6 ms on a 200 MHz ARM926).
 func BenchmarkBeamformingCaseStudy(b *testing.B) {
-	var adm *core.Admission
+	var adm *kairos.Admission
 	for i := 0; i < b.N; i++ {
 		a, err := experiments.CaseStudy(mapping.WeightsBoth)
 		if err != nil {
@@ -262,11 +263,11 @@ func BenchmarkBeamformingCaseStudy(b *testing.B) {
 
 // beamformingPhases prepares the case-study inputs for the per-phase
 // micro-benchmarks below.
-func beamformingPhases(b *testing.B) (*core.Kairos, *core.Admission) {
+func beamformingPhases(b *testing.B) (*kairos.Manager, *kairos.Admission) {
 	b.Helper()
 	app, p := experiments.NewBeamforming()
-	k := core.New(p, core.Options{Weights: mapping.WeightsBoth})
-	adm, err := k.Admit(app)
+	k := kairos.New(p, kairos.WithWeights(mapping.WeightsBoth))
+	adm, err := k.Admit(context.Background(), app)
 	if err != nil {
 		b.Fatalf("beamforming admission failed: %v", err)
 	}
@@ -560,9 +561,12 @@ func BenchmarkAdmissionByProfile(b *testing.B) {
 				for i := 0; i < b.N; i++ {
 					b.StopTimer()
 					p := proto.Clone()
-					k := core.New(p, core.Options{Weights: mapping.WeightsBoth, SkipValidation: true})
+					k := kairos.New(p,
+						kairos.WithWeights(mapping.WeightsBoth),
+						kairos.WithAdvisoryValidation(),
+					)
 					b.StartTimer()
-					if _, err := k.Admit(app); err != nil {
+					if _, err := k.Admit(context.Background(), app); err != nil {
 						b.Fatalf("admission of the filter-surviving app failed: %v", err)
 					}
 				}

@@ -15,6 +15,7 @@
 //	experiments -all               # everything
 //	experiments -apps 100 -seqs 30 # dataset size / sequences per dataset
 //	experiments -workers 4         # bound the replication worker pool
+//	experiments -table1 -mapper firstfit   # swap a phase strategy
 package main
 
 import (
@@ -27,8 +28,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
-	"repro/internal/mapping"
-	"repro/internal/platform"
+	"repro/kairos"
 )
 
 // errUsage asks main for a usage-style exit; run has already printed
@@ -37,6 +37,7 @@ var errUsage = fmt.Errorf("no experiment selected")
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	shared := kairos.RegisterFlags(fs)
 	var (
 		table1  = fs.Bool("table1", false, "run Table I (failure distribution per phase)")
 		fig7    = fs.Bool("fig7", false, "run Fig. 7 (per-phase run times vs task count)")
@@ -63,7 +64,18 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("-apps and -seqs must be positive")
 	}
 
-	proto := platform.CRISP()
+	proto, err := shared.BuildPlatform()
+	if err != nil {
+		return err
+	}
+	weights, err := shared.Weights()
+	if err != nil {
+		return err
+	}
+	strategies, err := shared.PhaseStrategies()
+	if err != nil {
+		return err
+	}
 	w := *workers
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
@@ -85,10 +97,11 @@ func run(args []string, stdout io.Writer) error {
 	if *all || *table1 || *fig7 {
 		start := time.Now()
 		recs := experiments.RunSequences(datasets, proto, experiments.SequenceConfig{
-			Weights:   mapping.WeightsBoth,
+			Weights:   weights,
 			Sequences: *seqs,
 			Seed:      *seed,
 			Workers:   *workers,
+			Options:   strategies,
 		})
 		elapsed := time.Since(start).Round(time.Millisecond)
 		if *all || *table1 {
@@ -119,6 +132,7 @@ func run(args []string, stdout io.Writer) error {
 				MaxPosition:          29,
 				SkipValidationTiming: true,
 				Workers:              *workers,
+				Options:              strategies,
 			})
 			labels = append(labels, wc.Label)
 			series = append(series, experiments.PositionSeries(recs, 29))
@@ -161,7 +175,7 @@ func run(args []string, stdout io.Writer) error {
 
 	if *all || *casefl {
 		fmt.Fprintf(stdout, "== Case study: beamforming allocation (weights=Both) ==\n")
-		adm, err := experiments.CaseStudy(mapping.WeightsBoth)
+		adm, err := experiments.CaseStudy(kairos.WeightsBoth)
 		fmt.Fprint(stdout, experiments.FormatCaseStudy(adm, err))
 	}
 	return nil

@@ -2,48 +2,46 @@
 // resource manager: it builds a platform, loads one or more
 // application bundles (the binary format of paper §III-E, produced by
 // cmd/appgen) or a built-in demo application, admits them sequentially
-// and prints the resulting execution layouts.
+// and prints the resulting execution layouts. Every workflow phase can
+// be swapped for a registered alternate by name (-binder, -mapper,
+// -router, -validator).
 //
 // Usage:
 //
 //	kairos -platform crisp app1.kapp app2.kapp
 //	kairos -platform mesh8x8 -weights 1,25 -beamforming
-//	kairos -demo            # built-in demo application
-//	kairos -batch *.kapp    # batched admission (largest app first)
+//	kairos -demo                       # built-in demo application
+//	kairos -batch *.kapp               # batched admission (largest app first)
+//	kairos -demo -mapper gap -router dijkstra
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 	"strings"
 
-	"repro/internal/core"
-	"repro/internal/graph"
-	"repro/internal/mapping"
-	"repro/internal/platform"
-	"repro/internal/resource"
-	"repro/internal/routing"
-	"repro/internal/validation"
+	"repro/kairos"
 )
 
 // demoApp is a small video-pipeline-like application used by -demo.
-func demoApp() *graph.Application {
-	app := graph.New("demo-pipeline")
+func demoApp() *kairos.Application {
+	app := kairos.NewApplication("demo-pipeline")
 	dsp := func(name string, share int64, exec int64) int {
-		return app.AddTask(name, graph.Internal, graph.Implementation{
-			Name: name + "-dsp", Target: platform.TypeDSP,
-			Requires: resource.Of(share, 16, 0, 0), Cost: 2, ExecTime: exec,
+		return app.AddTask(name, kairos.Internal, kairos.Implementation{
+			Name: name + "-dsp", Target: kairos.TypeDSP,
+			Requires: kairos.Resources(share, 16, 0, 0), Cost: 2, ExecTime: exec,
 		})
 	}
 	src := dsp("capture", 30, 4)
-	app.Tasks[src].Kind = graph.Input
+	app.Tasks[src].Kind = kairos.Input
 	flt := dsp("filter", 60, 8)
 	est := dsp("estimate", 50, 6)
 	enc := dsp("encode", 70, 9)
 	snk := dsp("emit", 20, 3)
-	app.Tasks[snk].Kind = graph.Output
+	app.Tasks[snk].Kind = kairos.Output
 	app.AddChannelRated(src, flt, 1, 1, 4)
 	app.AddChannelRated(flt, est, 1, 1, 2)
 	app.AddChannelRated(flt, enc, 1, 1, 4)
@@ -56,7 +54,7 @@ func demoApp() *graph.Application {
 // printResult reports one admission attempt and returns whether it
 // succeeded. adm may be nil (a batch request filtered before the
 // workflow ran).
-func printResult(app *graph.Application, adm *core.Admission, err error, p *platform.Platform) bool {
+func printResult(app *kairos.Application, adm *kairos.Admission, err error, p *kairos.Platform) bool {
 	fmt.Printf("== admitting %v ==\n", app)
 	if err != nil {
 		if adm != nil {
@@ -72,7 +70,7 @@ func printResult(app *graph.Application, adm *core.Admission, err error, p *plat
 	return true
 }
 
-func printLayout(adm *core.Admission, p *platform.Platform) {
+func printLayout(adm *kairos.Admission, p *kairos.Platform) {
 	fmt.Printf("execution layout for %s:\n", adm.Instance)
 	type row struct{ task, impl, elem string }
 	var rows []row
@@ -86,7 +84,7 @@ func printLayout(adm *core.Admission, p *platform.Platform) {
 		fmt.Printf("  %-16s %-16s -> %s\n", r.task, r.impl, r.elem)
 	}
 	fmt.Printf("routes (%d channels, %d hops total, %.2f mean):\n",
-		len(adm.Routes), routing.TotalHops(adm.Routes), routing.MeanHops(adm.Routes))
+		len(adm.Routes), kairos.TotalHops(adm.Routes), kairos.MeanHops(adm.Routes))
 	for _, rt := range adm.Routes {
 		ch := adm.App.Channels[rt.Channel]
 		names := make([]string, len(rt.Path))
@@ -106,9 +104,8 @@ func printLayout(adm *core.Admission, p *platform.Platform) {
 }
 
 func main() {
+	shared := kairos.RegisterFlags(flag.CommandLine)
 	var (
-		platName = flag.String("platform", "crisp", "platform: crisp, mesh<W>x<H>, or a .json description")
-		weights  = flag.String("weights", "both", "cost weights: none|communication|fragmentation|both|C,F")
 		demo     = flag.Bool("demo", false, "admit the built-in demo application")
 		beam     = flag.Bool("beamforming", false, "admit the beamforming case-study application")
 		skipVal  = flag.Bool("skip-validation", false, "do not reject on constraint violations")
@@ -118,37 +115,44 @@ func main() {
 	)
 	flag.Parse()
 
-	p, err := platform.FromSpec(*platName)
+	p, err := shared.BuildPlatform()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kairos:", err)
 		os.Exit(2)
 	}
 	if *dumpPlat {
-		if err := p.WriteJSON(os.Stdout, *platName); err != nil {
+		if err := p.WriteJSON(os.Stdout, shared.PlatformSpec); err != nil {
 			fmt.Fprintln(os.Stderr, "kairos:", err)
 			os.Exit(1)
 		}
 		return
 	}
-	w, err := mapping.ParseWeights(*weights)
+	opts, err := shared.StrategyOptions()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kairos:", err)
 		os.Exit(2)
 	}
+	if *skipVal {
+		opts = append(opts, kairos.WithAdvisoryValidation())
+	}
+	if *fastVal {
+		opts = append(opts, kairos.WithFastValidation())
+	}
+	w, _ := shared.Weights()
 	fmt.Printf("%v, weights={comm:%g frag:%g}\n\n", p, w.Communication, w.Fragmentation)
 
-	var apps []*graph.Application
+	var apps []*kairos.Application
 	if *demo {
 		apps = append(apps, demoApp())
 	}
 	if *beam {
-		ioIn := graph.NoFixedElement
+		ioIn := kairos.NoFixedElement
 		for _, e := range p.Elements() {
 			if e.Name == "io-in" {
 				ioIn = e.ID
 			}
 		}
-		apps = append(apps, graph.Beamforming(graph.DefaultBeamforming(ioIn)))
+		apps = append(apps, kairos.Beamforming(kairos.DefaultBeamforming(ioIn)))
 	}
 	for _, path := range flag.Args() {
 		data, err := os.ReadFile(path)
@@ -156,11 +160,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "kairos:", err)
 			os.Exit(1)
 		}
-		if !graph.IsBundle(data) {
+		if !kairos.IsBundle(data) {
 			fmt.Fprintf(os.Stderr, "kairos: %s is not a Kairos application bundle\n", path)
 			os.Exit(1)
 		}
-		app, err := graph.FromBytes(data)
+		app, err := kairos.AppFromBytes(data)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "kairos: %s: %v\n", path, err)
 			os.Exit(1)
@@ -173,21 +177,18 @@ func main() {
 		os.Exit(2)
 	}
 
-	k := core.New(p, core.Options{
-		Weights:        w,
-		SkipValidation: *skipVal,
-		Validation:     validation.Options{Fast: *fastVal},
-	})
+	ctx := context.Background()
+	k := kairos.New(p, opts...)
 	admitted := 0
 	if *batch {
-		for _, res := range k.AdmitAll(apps) {
+		for _, res := range k.AdmitAll(ctx, apps) {
 			if printResult(res.App, res.Admission, res.Err, p) {
 				admitted++
 			}
 		}
 	} else {
 		for _, app := range apps {
-			adm, err := k.Admit(app)
+			adm, err := k.Admit(ctx, app)
 			if printResult(app, adm, err, p) {
 				admitted++
 			}

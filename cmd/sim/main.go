@@ -11,6 +11,7 @@
 //	sim -policy on-rejection -json trace.json # one policy, full JSON trace
 //	sim -platform mesh6x6 -rate 30 -lifetime 60s
 //	sim -fault-every 0s                       # disable fault injection
+//	sim -mapper firstfit -router dijkstra     # swap phase strategies
 //
 // For a fixed seed the JSON output is byte-identical across runs and
 // -workers settings; only the wall-clock latency lines of the text
@@ -26,16 +27,14 @@ import (
 	"os"
 	"time"
 
-	"repro/internal/mapping"
-	"repro/internal/platform"
 	"repro/internal/sim"
+	"repro/kairos"
 )
 
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("sim", flag.ContinueOnError)
+	shared := kairos.RegisterFlags(fs)
 	var (
-		platName   = fs.String("platform", "crisp", "platform: crisp, mesh<W>x<H>, or a .json description")
-		weights    = fs.String("weights", "both", "mapping cost weights: none|communication|fragmentation|both|C,F")
 		rate       = fs.Float64("rate", 10, "mean application arrivals per simulated minute")
 		lifetime   = fs.Duration("lifetime", 60*time.Second, "mean application lifetime (simulated)")
 		duration   = fs.Duration("duration", 10*time.Minute, "simulated horizon")
@@ -59,11 +58,15 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("-duration and -lifetime must be positive")
 	}
 
-	p, err := platform.FromSpec(*platName)
+	p, err := shared.BuildPlatform()
 	if err != nil {
 		return err
 	}
-	w, err := mapping.ParseWeights(*weights)
+	w, err := shared.Weights()
+	if err != nil {
+		return err
+	}
+	opts, err := shared.StrategyOptions()
 	if err != nil {
 		return err
 	}
@@ -71,6 +74,7 @@ func run(args []string, stdout io.Writer) error {
 	cfg := sim.Config{
 		Platform:     p,
 		Weights:      w,
+		Options:      opts,
 		ArrivalRate:  *rate / 60,
 		MeanLifetime: lifetime.Seconds(),
 		Duration:     duration.Seconds(),

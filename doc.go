@@ -4,7 +4,12 @@
 //	G.J.M. Smit: "Run-time Spatial Resource Management for Real-Time
 //	Applications on Heterogeneous MPSoCs", DATE 2010.
 //
-// The library lives in the internal packages:
+// The public, stable API is package repro/kairos: the manager with
+// functional options, pluggable per-phase strategies (Binder, Mapper,
+// Router, Validator) selectable by name, a typed lifecycle event
+// stream, context-aware admission, and typed sentinel errors. New
+// code imports repro/kairos; the engine lives in the internal
+// packages:
 //
 //	internal/resource    resource vectors and allocation pools
 //	internal/platform    heterogeneous MPSoC model (elements, links,
@@ -27,7 +32,8 @@
 //	internal/validation  phase 4: constraint checking on the SDF model
 //	internal/core        Kairos, the concurrent admission engine
 //	                     orchestrating the four phases (platform-state
-//	                     lock, batched AdmitAll, Stats counters)
+//	                     lock, batched AdmitAll, Stats counters,
+//	                     strategy seams, event stream)
 //	internal/experiments the parallel evaluation harness for Table I
 //	                     and Figs. 7–10
 //	internal/sim         the discrete-event churn simulator (Poisson

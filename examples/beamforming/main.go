@@ -10,20 +10,20 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
 	"repro/internal/experiments"
-	"repro/internal/mapping"
+	"repro/kairos"
 )
 
 func main() {
 	app, p := experiments.NewBeamforming()
 	fmt.Printf("application: %v\nplatform:    %v\n\n", app, p)
 
-	k := core.New(p, core.Options{Weights: mapping.WeightsBoth})
-	adm, err := k.Admit(app)
+	k := kairos.New(p, kairos.WithWeights(kairos.WeightsBoth))
+	adm, err := k.Admit(context.Background(), app)
 	if err != nil {
 		log.Fatalf("admission failed: %v", err)
 	}

@@ -15,23 +15,20 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/graph"
-	"repro/internal/mapping"
-	"repro/internal/platform"
-	"repro/internal/resource"
+	"repro/kairos"
 )
 
 // pipeline builds an n-stage streaming pipeline of 60%-compute tasks.
-func pipeline(n int) *graph.Application {
-	app := graph.New(fmt.Sprintf("pipeline%d", n))
+func pipeline(n int) *kairos.Application {
+	app := kairos.NewApplication(fmt.Sprintf("pipeline%d", n))
 	for i := 0; i < n; i++ {
-		app.AddTask(fmt.Sprintf("stage%d", i), graph.Internal, graph.Implementation{
-			Name: "stage-dsp", Target: platform.TypeDSP,
-			Requires: resource.Of(60, 16, 0, 0),
+		app.AddTask(fmt.Sprintf("stage%d", i), kairos.Internal, kairos.Implementation{
+			Name: "stage-dsp", Target: kairos.TypeDSP,
+			Requires: kairos.Resources(60, 16, 0, 0),
 			Cost:     2, ExecTime: 5,
 		})
 	}
@@ -41,7 +38,7 @@ func pipeline(n int) *graph.Application {
 	return app
 }
 
-func usedElements(p *platform.Platform, adm *core.Admission) []string {
+func usedElements(p *kairos.Platform, adm *kairos.Admission) []string {
 	var out []string
 	for _, t := range adm.App.Tasks {
 		out = append(out, p.Element(adm.Assignment[t.ID]).Name)
@@ -50,11 +47,15 @@ func usedElements(p *platform.Platform, adm *core.Admission) []string {
 }
 
 func main() {
-	p := platform.CRISP()
-	k := core.New(p, core.Options{Weights: mapping.WeightsBoth, SkipValidation: true})
+	ctx := context.Background()
+	p := kairos.CRISP()
+	k := kairos.New(p,
+		kairos.WithWeights(kairos.WeightsBoth),
+		kairos.WithAdvisoryValidation(),
+	)
 
 	app := pipeline(6)
-	adm, err := k.Admit(app)
+	adm, err := k.Admit(ctx, app)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -70,7 +71,7 @@ func main() {
 	}
 	p.DisableElement(victim)
 
-	adm, err = k.Admit(app)
+	adm, err = k.Admit(ctx, app)
 	if err != nil {
 		log.Fatalf("re-admission after element fault failed: %v", err)
 	}
@@ -91,7 +92,7 @@ func main() {
 			log.Fatal(err)
 		}
 		p.DisableLink(a, b)
-		adm, err = k.Admit(app)
+		adm, err = k.Admit(ctx, app)
 		if err != nil {
 			log.Fatalf("re-admission after link fault failed: %v", err)
 		}
@@ -118,7 +119,7 @@ func main() {
 				p.DisableElement(e.ID)
 			}
 		}
-		adm, err = k.Admit(app)
+		adm, err = k.Admit(ctx, app)
 		if err != nil {
 			fmt.Printf("  packages 0..%d dead: REJECTED (%v)\n", pkg, err)
 			break

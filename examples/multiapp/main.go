@@ -11,33 +11,34 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"repro/internal/appgen"
-	"repro/internal/core"
-	"repro/internal/mapping"
 	"repro/internal/platform"
 	"repro/internal/resource"
+	"repro/kairos"
 )
 
 func main() {
-	p := platform.CRISP()
-	k := core.New(p, core.Options{
-		Weights:        mapping.WeightsBoth,
-		SkipValidation: true, // synthetic apps carry no constraints
-	})
+	ctx := context.Background()
+	p := kairos.CRISP()
+	k := kairos.New(p,
+		kairos.WithWeights(kairos.WeightsBoth),
+		kairos.WithAdvisoryValidation(), // synthetic apps carry no constraints
+	)
 
 	gen := appgen.New(appgen.NewConfig(appgen.Communication, appgen.Medium), 7)
 
 	var order []string // admission order, for oldest-first release
 	admitted, rejected := 0, 0
-	rejectPhase := map[core.Phase]int{}
+	rejectPhase := map[kairos.Phase]int{}
 
 	fmt.Println("t   event                         result              frag%   dsp-used")
 	for t := 1; t <= 40; t++ {
 		app := gen.Next()
-		adm, err := k.Admit(app)
+		adm, err := k.Admit(ctx, app)
 		switch {
 		case err == nil:
 			admitted++
@@ -46,7 +47,7 @@ func main() {
 				t, app.Name, len(app.Tasks), k.Fragmentation(), dspLoad(p))
 		default:
 			rejected++
-			var pe *core.PhaseError
+			var pe *kairos.PhaseError
 			phase := "?"
 			if errors.As(err, &pe) {
 				rejectPhase[pe.Phase]++
@@ -71,7 +72,7 @@ func main() {
 	}
 
 	fmt.Printf("\nadmitted %d, rejected %d (", admitted, rejected)
-	for _, ph := range []core.Phase{core.PhaseBinding, core.PhaseMapping, core.PhaseRouting} {
+	for _, ph := range []kairos.Phase{kairos.PhaseBinding, kairos.PhaseMapping, kairos.PhaseRouting} {
 		fmt.Printf("%s: %d ", ph, rejectPhase[ph])
 	}
 	fmt.Printf(")\nresident applications at the end: %d\n", len(k.Admitted()))

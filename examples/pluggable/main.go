@@ -1,0 +1,113 @@
+// Pluggable: the public kairos API end to end, with a swapped phase
+// strategy — the downstream-consumer scenario the package exists for.
+// This example imports only repro/kairos; no internal packages.
+//
+// It builds a mesh platform, swaps the mapping phase for the
+// non-default one-shot GAP mapper (selected by name from the strategy
+// registry), subscribes to the manager's typed event stream, and
+// drives an application through its lifecycle: admit → readmit
+// (restart-based defragmentation) → release, printing every event the
+// manager publishes along the way.
+//
+// Run with: go run ./examples/pluggable
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/kairos"
+)
+
+// pipeline builds an n-stage streaming pipeline.
+func pipeline(name string, n int, share int64) *kairos.Application {
+	app := kairos.NewApplication(name)
+	for i := 0; i < n; i++ {
+		app.AddTask(fmt.Sprintf("stage%d", i), kairos.Internal, kairos.Implementation{
+			Name: "stage-dsp", Target: kairos.TypeDSP,
+			Requires: kairos.Resources(share, 16, 0, 0),
+			Cost:     2, ExecTime: 5,
+		})
+	}
+	for i := 0; i+1 < n; i++ {
+		app.AddChannelRated(i, i+1, 1, 1, 2)
+	}
+	return app
+}
+
+func main() {
+	ctx := context.Background()
+
+	// A non-default mapper from the strategy registry: one global GAP
+	// over all tasks and elements instead of the paper's incremental
+	// neighborhood search.
+	mapper, err := kairos.MapperByName("gap")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("registered mappers:", kairos.MapperNames())
+
+	p := kairos.Mesh(4, 4, kairos.DefaultVCs)
+	k := kairos.New(p,
+		kairos.WithWeights(kairos.WeightsBoth),
+		kairos.WithMapper(mapper),
+		kairos.WithoutValidation(),
+	)
+
+	// Subscribe before admitting: every lifecycle transition arrives
+	// as a typed event, delivered outside the manager lock.
+	events, cancel := k.Subscribe()
+	defer cancel()
+	drain := func() {
+		for {
+			select {
+			case ev := <-events:
+				switch e := ev.(type) {
+				case kairos.Admitted:
+					fmt.Printf("  event: admitted %s (%d tasks)\n", e.Adm.Instance, len(e.Adm.App.Tasks))
+				case kairos.Released:
+					fmt.Printf("  event: released %s\n", e.Instance)
+				case kairos.Evicted:
+					fmt.Printf("  event: evicted %s (%s)\n", e.Adm.Instance, e.Reason)
+				case kairos.ReadmitFailed:
+					fmt.Printf("  event: readmit of %s failed (restored=%v)\n", e.Instance, e.Restored)
+				}
+			default:
+				return
+			}
+		}
+	}
+
+	// Admit two pipelines, then release the first to leave a hole.
+	a, err := k.Admit(ctx, pipeline("a", 4, 60))
+	if err != nil {
+		log.Fatalf("admit a: %v", err)
+	}
+	b, err := k.Admit(ctx, pipeline("b", 4, 60))
+	if err != nil {
+		log.Fatalf("admit b: %v", err)
+	}
+	fmt.Printf("admitted %s and %s with the %q mapper\n", a.Instance, b.Instance, mapper.Name())
+	if err := k.Release(a.Instance); err != nil {
+		log.Fatal(err)
+	}
+	drain()
+
+	// Readmit b: restart-based defragmentation into the hole. The old
+	// instance is retired (Evicted with reason "readmit") and the
+	// application continues under a new name (Admitted).
+	b2, err := k.Readmit(ctx, b.Instance)
+	if err != nil {
+		log.Fatalf("readmit: %v", err)
+	}
+	fmt.Printf("readmitted %s as %s (fragmentation %.1f%%)\n", b.Instance, b2.Instance, k.Fragmentation())
+	drain()
+
+	// Release and show the final counters.
+	if err := k.Release(b2.Instance); err != nil {
+		log.Fatal(err)
+	}
+	drain()
+	fmt.Println("live admissions:", len(k.Admitted()))
+}

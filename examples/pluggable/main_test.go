@@ -1,0 +1,30 @@
+package main
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExampleRuns executes the example end to end; examples are part
+// of the documented surface and must keep working (the example exits
+// the process on failure, which fails the test binary).
+func TestExampleRuns(t *testing.T) {
+	main()
+}
+
+// TestNoInternalImports is the acceptance gate for the public API:
+// this example must compile against repro/kairos alone, with no
+// internal/... imports anywhere in its dependency graph below the
+// public package.
+func TestNoInternalImports(t *testing.T) {
+	out, err := exec.Command("go", "list", "-f", "{{range .Imports}}{{.}}\n{{end}}", ".").Output()
+	if err != nil {
+		t.Skipf("go list unavailable: %v", err)
+	}
+	for _, imp := range strings.Fields(string(out)) {
+		if strings.HasPrefix(imp, "repro/internal") {
+			t.Errorf("example imports internal package %s; it must use repro/kairos only", imp)
+		}
+	}
+}

@@ -9,51 +9,48 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/graph"
-	"repro/internal/mapping"
-	"repro/internal/platform"
-	"repro/internal/resource"
+	"repro/kairos"
 )
 
 func main() {
 	// 1. A platform: 16 DSP tiles in a mesh, with a stream-in tile
 	// attached to the north-west corner and a stream-out tile at the
 	// south-east corner.
-	p := platform.MeshWithIO(4, 4, platform.DefaultVCs)
+	p := kairos.MeshWithIO(4, 4, kairos.DefaultVCs)
 	fmt.Println("platform:", p)
 
 	// 2. An application: source → transform → sink. The source is
 	// pinned to the io-in tile (ID 16, the first tile appended after
 	// the 16 mesh tiles), like the paper's fixed I/O tasks.
-	app := graph.New("quickstart")
-	source := app.AddTask("source", graph.Input, graph.Implementation{
-		Name: "stream-in", Target: platform.TypeIO,
-		Requires: resource.Of(5, 4, 1, 0),
+	app := kairos.NewApplication("quickstart")
+	source := app.AddTask("source", kairos.Input, kairos.Implementation{
+		Name: "stream-in", Target: kairos.TypeIO,
+		Requires: kairos.Resources(5, 4, 1, 0),
 		Cost:     1, ExecTime: 4,
 	})
 	app.Tasks[source].FixedElement = 16
 
-	transform := app.AddTask("transform", graph.Internal,
+	transform := app.AddTask("transform", kairos.Internal,
 		// Two candidate implementations: the binding phase picks the
 		// cheaper one that fits.
-		graph.Implementation{
-			Name: "fir-accurate", Target: platform.TypeDSP,
-			Requires: resource.Of(80, 32, 0, 0),
+		kairos.Implementation{
+			Name: "fir-accurate", Target: kairos.TypeDSP,
+			Requires: kairos.Resources(80, 32, 0, 0),
 			Cost:     6, ExecTime: 10,
 		},
-		graph.Implementation{
-			Name: "fir-fast", Target: platform.TypeDSP,
-			Requires: resource.Of(50, 16, 0, 0),
+		kairos.Implementation{
+			Name: "fir-fast", Target: kairos.TypeDSP,
+			Requires: kairos.Resources(50, 16, 0, 0),
 			Cost:     3, ExecTime: 6,
 		})
 
-	sink := app.AddTask("sink", graph.Output, graph.Implementation{
-		Name: "stream-out", Target: platform.TypeDSP,
-		Requires: resource.Of(20, 8, 0, 0),
+	sink := app.AddTask("sink", kairos.Output, kairos.Implementation{
+		Name: "stream-out", Target: kairos.TypeDSP,
+		Requires: kairos.Resources(20, 8, 0, 0),
 		Cost:     1, ExecTime: 3,
 	})
 
@@ -63,8 +60,8 @@ func main() {
 	app.Constraints.MinThroughput = 50
 
 	// 3. Admit it.
-	k := core.New(p, core.Options{Weights: mapping.WeightsBoth})
-	adm, err := k.Admit(app)
+	k := kairos.New(p, kairos.WithWeights(kairos.WeightsBoth))
+	adm, err := k.Admit(context.Background(), app)
 	if err != nil {
 		log.Fatalf("admission failed: %v", err)
 	}

@@ -1,0 +1,197 @@
+package binding
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/platform"
+	"repro/internal/resource"
+)
+
+// BindExact is the exact alternative to the regret heuristic of Bind:
+// a branch-and-bound search over the joint implementation-selection
+// space that minimizes the total implementation cost, subject to the
+// same location-free capacity estimate (every selection must pack
+// into the platform's free elements best-fit, fixed locations
+// honored). Bind greedily commits the highest-regret task first and
+// never revisits a choice; BindExact backtracks, so it finds the
+// cheapest feasible selection when the search completes.
+//
+// The search is budgeted: after exactBudget explored nodes it returns
+// the best complete selection found so far, or falls back to the
+// regret heuristic when none was completed yet. The budget keeps the
+// worst case (many tasks with many near-equal implementations)
+// bounded at run-time scale; within the budget the result is exact
+// and deterministic.
+func BindExact(app *graph.Application, p *platform.Platform) (*Binding, error) {
+	n := len(app.Tasks)
+	st := newExactState(p)
+
+	// Cheapest-implementation tail sums: lower bound for pruning.
+	// tail[i] is the minimum possible cost of tasks order[i:].
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	// Fewest implementations first: small branching factors near the
+	// root keep the search tree narrow.
+	sort.SliceStable(order, func(a, b int) bool {
+		ia, ib := len(app.Tasks[order[a]].Implementations), len(app.Tasks[order[b]].Implementations)
+		if ia != ib {
+			return ia < ib
+		}
+		return order[a] < order[b]
+	})
+	tail := make([]float64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		t := app.Tasks[order[i]]
+		cheapest := math.Inf(1)
+		for _, im := range t.Implementations {
+			if im.Cost < cheapest {
+				cheapest = im.Cost
+			}
+		}
+		if math.IsInf(cheapest, 1) {
+			return nil, &Error{Task: t.ID, Name: t.Name, Reason: "task has no implementations"}
+		}
+		tail[i] = tail[i+1] + cheapest
+	}
+
+	// Per-task implementation order, cheapest first, computed once:
+	// the first complete selection becomes a good incumbent and the
+	// cost bound prunes early.
+	byCost := make([][]int, n)
+	for ti := range byCost {
+		t := app.Tasks[ti]
+		idx := make([]int, len(t.Implementations))
+		for j := range idx {
+			idx[j] = j
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			return t.Implementations[idx[a]].Cost < t.Implementations[idx[b]].Cost
+		})
+		byCost[ti] = idx
+	}
+
+	s := &exactSearch{
+		app: app, p: p, st: st, order: order, tail: tail, byCost: byCost,
+		cur: make([]int, n), bestCost: math.Inf(1),
+	}
+	s.dfs(0, 0)
+
+	if s.best == nil {
+		// No complete selection found — either the budget ran out or
+		// this packing order deemed every selection infeasible. The
+		// best-fit packing estimate is order-dependent, so the regret
+		// heuristic may still succeed; delegate to it (and to its
+		// failure attribution when it cannot).
+		return Bind(app, p)
+	}
+	return &Binding{app: app, impl: s.best}, nil
+}
+
+// exactBudget bounds the number of search nodes BindExact explores.
+const exactBudget = 200_000
+
+// exactState is the location-free capacity estimate: per-element free
+// vectors, mutated on commit and restored on backtrack.
+type exactState struct {
+	byType map[string][]int // element IDs per type, enabled only
+	free   map[int]resource.Vector
+	p      *platform.Platform
+}
+
+func newExactState(p *platform.Platform) *exactState {
+	st := &exactState{
+		byType: make(map[string][]int),
+		free:   make(map[int]resource.Vector),
+		p:      p,
+	}
+	for _, e := range p.Elements() {
+		if !e.Enabled() {
+			continue
+		}
+		st.byType[e.Type] = append(st.byType[e.Type], e.ID)
+		st.free[e.ID] = e.Pool().Free()
+	}
+	return st
+}
+
+// place packs the demand into the best-fitting element for the task
+// (honoring a fixed location) and returns the element ID, or -1 when
+// nothing fits.
+func (st *exactState) place(t *graph.Task, im *graph.Implementation) int {
+	if t.FixedElement != graph.NoFixedElement {
+		e := st.p.Element(t.FixedElement)
+		if e == nil || !e.Enabled() || e.Type != im.Target {
+			return -1
+		}
+		if f, ok := st.free[t.FixedElement]; ok && im.Requires.Fits(f) {
+			f.SubInPlace(im.Requires)
+			return t.FixedElement
+		}
+		return -1
+	}
+	best, bestSlack := -1, int64(0)
+	for _, id := range st.byType[im.Target] {
+		f := st.free[id]
+		if !im.Requires.Fits(f) {
+			continue
+		}
+		slack := f.Sub(im.Requires).Sum()
+		if best < 0 || slack < bestSlack {
+			best, bestSlack = id, slack
+		}
+	}
+	if best >= 0 {
+		st.free[best].SubInPlace(im.Requires)
+	}
+	return best
+}
+
+// unplace undoes a place.
+func (st *exactState) unplace(elem int, im *graph.Implementation) {
+	st.free[elem].AddInPlace(im.Requires)
+}
+
+type exactSearch struct {
+	app      *graph.Application
+	p        *platform.Platform
+	st       *exactState
+	order    []int
+	tail     []float64
+	byCost   [][]int // per task: implementation indices, cheapest first
+	cur      []int
+	best     []int
+	bestCost float64
+	nodes    int
+}
+
+// dfs explores implementation choices for order[i:]; cost is the cost
+// of the choices made so far.
+func (s *exactSearch) dfs(i int, cost float64) {
+	if s.nodes >= exactBudget {
+		return
+	}
+	s.nodes++
+	if cost+s.tail[i] >= s.bestCost {
+		return
+	}
+	if i == len(s.order) {
+		s.best = append([]int(nil), s.cur...)
+		s.bestCost = cost
+		return
+	}
+	t := s.app.Tasks[s.order[i]]
+	for _, j := range s.byCost[t.ID] {
+		im := &t.Implementations[j]
+		elem := s.st.place(t, im)
+		if elem < 0 {
+			continue
+		}
+		s.cur[t.ID] = j
+		s.dfs(i+1, cost+im.Cost)
+		s.st.unplace(elem, im)
+	}
+}

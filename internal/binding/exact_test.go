@@ -1,0 +1,126 @@
+package binding
+
+import (
+	"testing"
+
+	"repro/internal/appgen"
+	"repro/internal/graph"
+	"repro/internal/platform"
+	"repro/internal/resource"
+)
+
+// totalCost sums the cost of the selected implementations.
+func totalCost(app *graph.Application, b *Binding) float64 {
+	c := 0.0
+	for _, t := range app.Tasks {
+		c += b.Implementation(t.ID).Cost
+	}
+	return c
+}
+
+// TestBindExactNeverCostlierThanRegret: on the synthetic datasets,
+// whenever both binders succeed the exact selection must not cost
+// more than the regret heuristic's.
+func TestBindExactNeverCostlierThanRegret(t *testing.T) {
+	proto := platform.CRISP()
+	compared := 0
+	for seed := int64(0); seed < 6; seed++ {
+		cfg := appgen.NewConfig(appgen.Profile(seed%2), appgen.Size(seed%3))
+		for _, app := range appgen.Dataset(cfg, 8, seed) {
+			greedy, gerr := Bind(app, proto)
+			exact, eerr := BindExact(app, proto)
+			if gerr != nil {
+				// Exact explores more selections than the heuristic,
+				// so it may legitimately succeed where regret fails;
+				// the cost comparison only applies when both succeed.
+				continue
+			}
+			if eerr != nil {
+				t.Fatalf("seed %d app %s: exact failed where regret succeeded: %v", seed, app.Name, eerr)
+			}
+			compared++
+			gc, ec := totalCost(app, greedy), totalCost(app, exact)
+			if ec > gc+1e-9 {
+				t.Errorf("seed %d app %s: exact cost %.3f > regret cost %.3f", seed, app.Name, ec, gc)
+			}
+		}
+	}
+	if compared == 0 {
+		t.Fatal("no app was bound by both binders; the property was never exercised")
+	}
+}
+
+// TestBindExactBeatsRegretOnCraftedInstance: the regret order binds
+// the highest-regret task onto the DSP first, which blocks the cheap
+// DSP options of BOTH remaining tasks; backtracking instead moves the
+// big task to the GPP and wins.
+func TestBindExactBeatsRegretOnCraftedInstance(t *testing.T) {
+	p := platform.New()
+	p.AddElement(platform.TypeDSP, "d0", platform.DSPCapacity)
+	p.AddElement(platform.TypeGPP, "g0", platform.GPPCapacity)
+
+	app := graph.New("crafted")
+	big := func(name string) {
+		app.AddTask(name, graph.Internal,
+			graph.Implementation{Name: name + "-dsp", Target: platform.TypeDSP,
+				Requires: resource.Of(90, 8, 0, 0), Cost: 0, ExecTime: 5},
+			graph.Implementation{Name: name + "-gpp", Target: platform.TypeGPP,
+				Requires: resource.Of(10, 8, 0, 0), Cost: 3, ExecTime: 9})
+	}
+	small := func(name string) {
+		app.AddTask(name, graph.Internal,
+			graph.Implementation{Name: name + "-dsp", Target: platform.TypeDSP,
+				Requires: resource.Of(50, 8, 0, 0), Cost: 0, ExecTime: 5},
+			graph.Implementation{Name: name + "-gpp", Target: platform.TypeGPP,
+				Requires: resource.Of(10, 8, 0, 0), Cost: 2, ExecTime: 9})
+	}
+	big("a")   // regret 3: bound first by the heuristic, hogging the DSP
+	small("b") // regret 2
+	small("c") // regret 2
+
+	greedy, err := Bind(app, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := BindExact(app, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc, ec := totalCost(app, greedy), totalCost(app, exact)
+	if gc != 4 {
+		t.Fatalf("regret cost = %.1f, want 4 (a on dsp, b and c forced to gpp) — instance no longer crafts the trap", gc)
+	}
+	if ec != 3 {
+		t.Errorf("exact cost = %.1f, want 3 (b and c on dsp, a on gpp)", ec)
+	}
+}
+
+// TestBindExactHonorsFixedElements: fixed locations constrain the
+// exact search like the heuristic.
+func TestBindExactHonorsFixedElements(t *testing.T) {
+	p := smallPlatform()
+	app := graph.New("fixed")
+	a := app.AddTask("a", graph.Internal, dspImpl(5, 40), dspImpl(1, 40))
+	app.Tasks[a].FixedElement = 1
+	b, err := BindExact(app, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Implementation(a).Cost != 1 {
+		t.Errorf("exact picked cost %v, want the cheapest fixed-feasible implementation", b.Implementation(a).Cost)
+	}
+}
+
+// TestBindExactInfeasible delegates failure attribution to the
+// heuristic's error type.
+func TestBindExactInfeasible(t *testing.T) {
+	p := smallPlatform()
+	app := graph.New("fpga")
+	app.AddTask("t", graph.Internal, graph.Implementation{
+		Name: "f", Target: platform.TypeFPGA,
+		Requires: resource.Of(1, 1, 0, 1), Cost: 1, ExecTime: 5,
+	})
+	if _, err := BindExact(app, p); err == nil {
+		t.Fatal("infeasible app bound")
+	}
+}

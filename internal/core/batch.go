@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"sort"
 
@@ -38,7 +39,13 @@ type BatchResult struct {
 // Results are returned in input order, one per request. For a fixed
 // input the admission order, and therefore every resulting layout on a
 // given starting platform state, is deterministic.
-func (k *Kairos) AdmitAll(apps []*graph.Application) []BatchResult {
+//
+// The context is shared by the whole batch and checked between phases
+// of every entry; Options.AdmitTimeout applies per admission. Once the
+// context is done, the remaining entries fail fast with the context's
+// error — already-admitted entries stay admitted (the batch is not
+// transactional).
+func (k *Kairos) AdmitAll(ctx context.Context, apps []*graph.Application) []BatchResult {
 	results := make([]BatchResult, len(apps))
 	order := make([]int, 0, len(apps))
 	for i, app := range apps {
@@ -62,9 +69,12 @@ func (k *Kairos) AdmitAll(apps []*graph.Application) []BatchResult {
 	})
 
 	k.mu.Lock()
-	defer k.mu.Unlock()
 	for _, i := range order {
-		results[i].Admission, results[i].Err = k.admitLocked(apps[i])
+		results[i].Admission, results[i].Err = k.admitLocked(ctx, apps[i])
+		if results[i].Err == nil {
+			k.emit(Admitted{Adm: results[i].Admission})
+		}
 	}
+	k.unlockAndPublish()
 	return results
 }

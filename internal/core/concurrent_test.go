@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -29,7 +30,7 @@ func TestConcurrentAdmitRelease(t *testing.T) {
 			defer wg.Done()
 			app := chainApp(fmt.Sprintf("w%d", w), 2, 60)
 			for i := 0; i < iters; i++ {
-				adm, err := k.Admit(app)
+				adm, err := k.Admit(context.Background(), app)
 				if err != nil {
 					// Transient saturation while other workers hold
 					// resources is expected; platform cleanliness is
@@ -37,7 +38,7 @@ func TestConcurrentAdmitRelease(t *testing.T) {
 					continue
 				}
 				if i%5 == 0 {
-					if adm2, err := k.Readmit(adm.Instance); err == nil {
+					if adm2, err := k.Readmit(context.Background(), adm.Instance); err == nil {
 						adm = adm2
 					}
 				}
@@ -110,7 +111,7 @@ func TestConcurrentAdmitAllAndSnapshots(t *testing.T) {
 				nil,
 			}
 			for i := 0; i < 10; i++ {
-				for _, res := range k.AdmitAll(apps) {
+				for _, res := range k.AdmitAll(context.Background(), apps) {
 					if res.App == nil {
 						if !errors.Is(res.Err, ErrNilApplication) {
 							t.Errorf("nil request error = %v", res.Err)
@@ -142,7 +143,7 @@ func TestAdmitAllDeterministic(t *testing.T) {
 	fingerprint := func(apps []*graph.Application) string {
 		k := New(platform.CRISP(), Options{Weights: mapping.WeightsBoth, SkipValidation: true})
 		out := ""
-		for _, res := range k.AdmitAll(apps) {
+		for _, res := range k.AdmitAll(context.Background(), apps) {
 			if res.Err != nil {
 				out += fmt.Sprintf("%s: rejected\n", res.App.Name)
 				continue
@@ -199,7 +200,7 @@ func TestAdmitAllLargestFirst(t *testing.T) {
 	k := New(platform.Mesh(4, 4, 4), Options{Weights: mapping.WeightsBoth, SkipValidation: true})
 	small := chainApp("small", 2, 40)
 	big := chainApp("big", 4, 40)
-	results := k.AdmitAll([]*graph.Application{small, big})
+	results := k.AdmitAll(context.Background(), []*graph.Application{small, big})
 	if results[0].App != small || results[1].App != big {
 		t.Fatal("results not in input order")
 	}
@@ -217,7 +218,7 @@ func TestAdmitAllLargestFirst(t *testing.T) {
 func TestStatsSnapshot(t *testing.T) {
 	p := platform.Mesh(3, 3, 4)
 	k := New(p, Options{Weights: mapping.WeightsBoth, SkipValidation: true})
-	adm, err := k.Admit(chainApp("ok", 2, 60))
+	adm, err := k.Admit(context.Background(), chainApp("ok", 2, 60))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +227,7 @@ func TestStatsSnapshot(t *testing.T) {
 		Name: "fpga", Target: platform.TypeFPGA,
 		Requires: dspImpl(10, 5).Requires, Cost: 1, ExecTime: 5,
 	})
-	if _, err := k.Admit(app); err == nil {
+	if _, err := k.Admit(context.Background(), app); err == nil {
 		t.Fatal("unbindable app admitted")
 	}
 	st := k.Stats()

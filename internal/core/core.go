@@ -10,9 +10,15 @@
 // platform's 200 MHz ARM926; this implementation is a pure-Go library
 // over the platform model in internal/platform. Algorithms, data
 // structures and phase boundaries are the same; absolute times differ.
+//
+// This package is the engine; the public, stable surface is package
+// repro/kairos, which re-exports these types and adds functional
+// options and name-based strategy registries. New code outside the
+// module imports repro/kairos, not this package.
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -54,6 +60,8 @@ func (p Phase) String() string {
 }
 
 // PhaseError attributes an admission failure to a workflow phase.
+// It matches the sentinel errors of this package under errors.Is
+// (see ErrRejected) and unwraps to the phase's own error type.
 type PhaseError struct {
 	Phase Phase
 	Err   error
@@ -80,15 +88,24 @@ func (t PhaseTimes) Total() time.Duration {
 	return t.Binding + t.Mapping + t.Routing + t.Validation
 }
 
-// Options configures the resource manager.
+// Options configures the resource manager. The zero value runs the
+// paper's algorithms in every phase.
 type Options struct {
 	// Weights steers the mapping cost function (Figs. 8–10).
 	Weights mapping.Weights
 	// Solver is the knapsack subroutine; defaults to the paper's
 	// O(T²) greedy.
 	Solver knapsack.Solver
-	// Router is the routing algorithm; defaults to BFS (§II).
-	Router routing.Router
+	// Binder is the phase-1 strategy; nil means RegretBinder (the
+	// paper's regret-ordered heuristic).
+	Binder Binder
+	// Mapper is the phase-2 strategy; nil means IncrementalMapper
+	// (the paper's incremental divide-and-conquer algorithm).
+	Mapper Mapper
+	// Router is the phase-3 strategy; nil means BFS (§II).
+	Router Router
+	// Validator is the phase-4 strategy; nil means SDFValidator.
+	Validator Validator
 	// Validation configures the SDF model of phase 4.
 	Validation validation.Options
 	// SkipValidation admits applications without checking
@@ -106,21 +123,17 @@ type Options struct {
 	// phase; zero means default.
 	ExtraRings      int
 	DistancePenalty int
-	// OnEvict, when non-nil, is called when an admission is
-	// definitively gone from the platform other than by an explicit
-	// Release or ReleaseAll: a successful Readmit retires the old
-	// instance name (the application continues under a new one,
-	// EvictReadmit), and a failed readmission whose layout replay also
-	// failed loses the application entirely (EvictLost). A failed
-	// Readmit with a successful restore fires nothing — the admission
-	// never left. Long-running callers (the churn simulator, a serving
-	// deployment's instance registry) use the hook to keep external
-	// per-instance state in step with the manager. The hook runs with
-	// the manager lock held: it must not call back into the manager.
-	OnEvict func(adm *Admission, reason EvictReason)
+	// AdmitTimeout, when positive, bounds each admission attempt:
+	// the workflow checks the deadline between phases and rolls the
+	// attempt back once it has passed. It applies per admission, so
+	// every entry of an AdmitAll batch gets its own budget.
+	AdmitTimeout time.Duration
+	// EventBuffer is the per-subscription channel capacity of the
+	// event stream (see Subscribe); zero means DefaultEventBuffer.
+	EventBuffer int
 }
 
-// EvictReason says why OnEvict fired for an admission.
+// EvictReason says why an Evicted event fired for an admission.
 type EvictReason int
 
 const (
@@ -153,7 +166,7 @@ type Admission struct {
 	// MapStats exposes mapping introspection counters.
 	MapStats *mapping.Result
 	// Report is the validation outcome (nil when the validation
-	// phase itself failed to produce one).
+	// phase itself failed to produce one, or was disabled).
 	Report *validation.Report
 	// Times are the per-phase execution times.
 	Times PhaseTimes
@@ -166,7 +179,8 @@ type Admission struct {
 // attempts cannot interleave), exactly as the original prototype
 // serializes admission inside the kernel. Concurrent Admit, Release,
 // Readmit and snapshot calls may be issued from any number of
-// goroutines.
+// goroutines. Lifecycle transitions are published to Subscribe
+// channels after the lock is released.
 type Kairos struct {
 	mu       sync.Mutex
 	p        *platform.Platform
@@ -174,6 +188,9 @@ type Kairos struct {
 	admitted map[string]*Admission
 	seq      int
 	stats    Stats
+	// pending holds events queued under mu, published after unlock.
+	pending []Event
+	events  eventHub
 }
 
 // New returns a resource manager for the platform. The manager owns
@@ -206,39 +223,71 @@ func (k *Kairos) Admitted() map[string]*Admission {
 // rejection, the platform is left exactly as before the call, and the
 // partial Admission (with phase times measured so far) is returned
 // alongside the error for introspection.
-func (k *Kairos) Admit(app *graph.Application) (*Admission, error) {
+//
+// The context is checked between phases: once it is cancelled or its
+// deadline (or Options.AdmitTimeout) has passed, the attempt is
+// rolled back — allocation state byte-identical to before the call —
+// and the returned error matches context.Canceled or
+// context.DeadlineExceeded under errors.Is. A running phase is never
+// interrupted midway.
+func (k *Kairos) Admit(ctx context.Context, app *graph.Application) (*Admission, error) {
 	k.mu.Lock()
-	defer k.mu.Unlock()
-	return k.admitLocked(app)
+	adm, err := k.admitLocked(ctx, app)
+	if err == nil {
+		k.emit(Admitted{Adm: adm})
+	}
+	k.unlockAndPublish()
+	return adm, err
 }
 
 // admitLocked runs the four-phase workflow under k.mu.
-func (k *Kairos) admitLocked(app *graph.Application) (*Admission, error) {
-	adm, err := k.attemptLocked(app)
+func (k *Kairos) admitLocked(ctx context.Context, app *graph.Application) (*Admission, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if k.opts.AdmitTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, k.opts.AdmitTimeout)
+		defer cancel()
+	}
+	adm, err := k.attemptLocked(ctx, app)
 	k.stats.record(adm, err)
 	return adm, err
 }
 
+// cancelled wraps a context error for the attempt that hit it.
+func cancelled(app *graph.Application, next Phase, err error) error {
+	return fmt.Errorf("kairos: admission of %s cancelled before %s phase: %w", app.Name, next, err)
+}
+
 // attemptLocked is the workflow body without stats accounting.
-func (k *Kairos) attemptLocked(app *graph.Application) (*Admission, error) {
+func (k *Kairos) attemptLocked(ctx context.Context, app *graph.Application) (*Admission, error) {
 	k.seq++
 	adm := &Admission{
 		Instance: fmt.Sprintf("%s#%d", app.Name, k.seq),
 		App:      app,
 	}
 
+	if err := ctx.Err(); err != nil {
+		return adm, cancelled(app, PhaseBinding, err)
+	}
+
 	// Phase 1: binding.
 	start := time.Now()
-	bind, err := binding.Bind(app, k.p)
+	bind, err := k.opts.binder().Bind(app, k.p)
 	adm.Times.Binding = time.Since(start)
 	if err != nil {
 		return adm, &PhaseError{Phase: PhaseBinding, Err: err}
 	}
 	adm.Binding = bind
 
+	if err := ctx.Err(); err != nil {
+		return adm, cancelled(app, PhaseMapping, err)
+	}
+
 	// Phase 2: mapping.
 	start = time.Now()
-	res, err := mapping.MapApplication(app, k.p, bind, mapping.Options{
+	res, err := k.opts.mapper().Map(app, k.p, bind, mapping.Options{
 		Instance:        adm.Instance,
 		Weights:         k.opts.Weights,
 		Solver:          k.opts.Solver,
@@ -252,6 +301,11 @@ func (k *Kairos) attemptLocked(app *graph.Application) (*Admission, error) {
 	adm.Assignment = res.Assignment
 	adm.MapStats = res
 
+	if err := ctx.Err(); err != nil {
+		mapping.Unmap(k.p, adm.Instance, app)
+		return adm, cancelled(app, PhaseRouting, err)
+	}
+
 	// Phase 3: routing.
 	start = time.Now()
 	routes, err := routing.RouteAll(app, res.Assignment, k.p, k.opts.Router)
@@ -262,10 +316,16 @@ func (k *Kairos) attemptLocked(app *graph.Application) (*Admission, error) {
 	}
 	adm.Routes = routes
 
+	if err := ctx.Err(); err != nil {
+		routing.ReleaseAll(k.p, routes)
+		mapping.Unmap(k.p, adm.Instance, app)
+		return adm, cancelled(app, PhaseValidation, err)
+	}
+
 	// Phase 4: validation.
 	if !k.opts.DisableValidation {
 		start = time.Now()
-		rep, verr := validation.Validate(app, bind, res.Assignment, routes, k.p, k.opts.Validation)
+		rep, verr := k.opts.validator().Validate(app, bind, res.Assignment, routes, k.p, k.opts.Validation)
 		adm.Times.Validation = time.Since(start)
 		adm.Report = rep
 		if verr != nil && !k.opts.SkipValidation {
@@ -286,8 +346,9 @@ var ErrUnknownInstance = errors.New("kairos: unknown application instance")
 // the application exits or the user demand changes.
 func (k *Kairos) Release(instance string) error {
 	k.mu.Lock()
-	defer k.mu.Unlock()
-	return k.releaseLocked(instance)
+	err := k.releaseLocked(instance)
+	k.unlockAndPublish()
+	return err
 }
 
 func (k *Kairos) releaseLocked(instance string) error {
@@ -295,21 +356,30 @@ func (k *Kairos) releaseLocked(instance string) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrUnknownInstance, instance)
 	}
+	k.dropLocked(adm)
+	k.emit(Released{Instance: instance, App: adm.App})
+	return nil
+}
+
+// dropLocked frees an admission's resources and bookkeeping without
+// publishing an event: the release bookkeeping shared by an explicit
+// Release and the release half of a readmission (whose outcome events
+// say what happened instead).
+func (k *Kairos) dropLocked(adm *Admission) {
 	routing.ReleaseAll(k.p, adm.Routes)
 	mapping.Unmap(k.p, adm.Instance, adm.App)
-	delete(k.admitted, instance)
+	delete(k.admitted, adm.Instance)
 	k.stats.Released++
-	return nil
 }
 
 // ReleaseAll frees every admission (experiments empty the platform
 // between sequences).
 func (k *Kairos) ReleaseAll() {
 	k.mu.Lock()
-	defer k.mu.Unlock()
 	for name := range k.admitted {
 		_ = k.releaseLocked(name)
 	}
+	k.unlockAndPublish()
 }
 
 // Readmit restarts an admitted application: its resources are
@@ -319,27 +389,30 @@ func (k *Kairos) ReleaseAll() {
 // off worn or failing elements. When re-admission fails, the old
 // allocation is restored (the layout is replayed; the paper's
 // configuration layer would simply have kept the application running).
-func (k *Kairos) Readmit(instance string) (*Admission, error) {
+// The context governs the fresh admission exactly as in Admit; a
+// cancelled readmission restores the old layout.
+func (k *Kairos) Readmit(ctx context.Context, instance string) (*Admission, error) {
 	k.mu.Lock()
-	defer k.mu.Unlock()
-	return k.readmitLocked(instance)
+	adm, err := k.readmitLocked(ctx, instance)
+	k.unlockAndPublish()
+	return adm, err
 }
 
 // readmitLocked is the Readmit body under k.mu.
-func (k *Kairos) readmitLocked(instance string) (*Admission, error) {
+func (k *Kairos) readmitLocked(ctx context.Context, instance string) (*Admission, error) {
 	old, ok := k.admitted[instance]
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownInstance, instance)
 	}
-	if err := k.releaseLocked(instance); err != nil {
-		return nil, err
-	}
-	adm, err := k.admitLocked(old.App)
+	k.dropLocked(old)
+	adm, err := k.admitLocked(ctx, old.App)
 	if err == nil {
 		k.stats.Readmitted++
-		if k.opts.OnEvict != nil {
-			k.opts.OnEvict(old, EvictReadmit)
-		}
+		// Retirement before fresh admission: that is the timeline the
+		// subscriber observes (the old instance stops, then the new
+		// one starts).
+		k.emit(Evicted{Adm: old, Reason: EvictReadmit})
+		k.emit(Admitted{Adm: adm})
 		return adm, nil
 	}
 	// Restore the previous layout. The resources were free a moment
@@ -379,13 +452,13 @@ func (k *Kairos) readmitLocked(instance string) (*Admission, error) {
 			occ := platform.Occupant{App: old.Instance, Task: t.ID}
 			_ = k.p.Remove(old.Assignment[t.ID], occ)
 		}
-		if k.opts.OnEvict != nil {
-			k.opts.OnEvict(old, EvictLost)
-		}
+		k.emit(ReadmitFailed{Instance: old.Instance, App: old.App, Err: err, Restored: false})
+		k.emit(Evicted{Adm: old, Reason: EvictLost})
 		return nil, rerr
 	}
 	k.admitted[old.Instance] = old
 	k.stats.Restored++
+	k.emit(ReadmitFailed{Instance: old.Instance, App: old.App, Err: err, Restored: true})
 	return old, err
 }
 

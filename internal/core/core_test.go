@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -46,7 +47,7 @@ func snapshotClean(t *testing.T, p *platform.Platform) {
 func TestAdmitAndRelease(t *testing.T) {
 	p := platform.Mesh(3, 3, 4)
 	k := New(p, Options{Weights: mapping.WeightsBoth})
-	adm, err := k.Admit(chainApp("app", 3, 60))
+	adm, err := k.Admit(context.Background(), chainApp("app", 3, 60))
 	if err != nil {
 		t.Fatalf("Admit: %v", err)
 	}
@@ -76,7 +77,7 @@ func TestAdmitBindingFailureLeavesPlatformClean(t *testing.T) {
 		Name: "fpga", Target: platform.TypeFPGA,
 		Requires: resource.Of(10, 10, 0, 10), Cost: 1, ExecTime: 5,
 	})
-	_, err := k.Admit(app)
+	_, err := k.Admit(context.Background(), app)
 	var pe *PhaseError
 	if !errors.As(err, &pe) || pe.Phase != PhaseBinding {
 		t.Fatalf("error = %v, want binding PhaseError", err)
@@ -95,7 +96,7 @@ func TestAdmitMappingFailureLeavesPlatformClean(t *testing.T) {
 	p.AddElement(platform.TypeDSP, "island", platform.DSPCapacity)
 	p.MustConnect(a, b, 4)
 	k := New(p, Options{Weights: mapping.WeightsCommunication})
-	_, err := k.Admit(chainApp("big", 3, 70))
+	_, err := k.Admit(context.Background(), chainApp("big", 3, 70))
 	var pe *PhaseError
 	if !errors.As(err, &pe) || pe.Phase != PhaseMapping {
 		t.Fatalf("error = %v, want mapping PhaseError", err)
@@ -116,7 +117,7 @@ func TestAdmitRoutingFailureLeavesPlatformClean(t *testing.T) {
 	app.AddChannel(a, b)
 	app.AddChannel(a, b)
 	k := New(p, Options{Weights: mapping.WeightsCommunication})
-	_, err := k.Admit(app)
+	_, err := k.Admit(context.Background(), app)
 	var pe *PhaseError
 	if !errors.As(err, &pe) || pe.Phase != PhaseRouting {
 		t.Fatalf("error = %v, want routing PhaseError", err)
@@ -129,7 +130,7 @@ func TestAdmitValidationFailureLeavesPlatformClean(t *testing.T) {
 	app := chainApp("tight", 3, 60)
 	app.Constraints.MinThroughput = 1e6 // unattainable
 	k := New(p, Options{})
-	_, err := k.Admit(app)
+	_, err := k.Admit(context.Background(), app)
 	var pe *PhaseError
 	if !errors.As(err, &pe) || pe.Phase != PhaseValidation {
 		t.Fatalf("error = %v, want validation PhaseError", err)
@@ -142,7 +143,7 @@ func TestSkipValidationAdmitsAnyway(t *testing.T) {
 	app := chainApp("tight", 3, 60)
 	app.Constraints.MinThroughput = 1e6
 	k := New(p, Options{SkipValidation: true})
-	adm, err := k.Admit(app)
+	adm, err := k.Admit(context.Background(), app)
 	if err != nil {
 		t.Fatalf("Admit with SkipValidation: %v", err)
 	}
@@ -159,7 +160,7 @@ func TestSequentialAdmissionUntilSaturation(t *testing.T) {
 	k := New(p, Options{Weights: mapping.WeightsBoth, SkipValidation: true})
 	admitted := 0
 	for i := 0; i < 12; i++ {
-		if _, err := k.Admit(chainApp("seq", 2, 70)); err == nil {
+		if _, err := k.Admit(context.Background(), chainApp("seq", 2, 70)); err == nil {
 			admitted++
 		}
 	}
@@ -189,7 +190,7 @@ func TestAdmitBeamformingCaseStudy(t *testing.T) {
 	}
 	app := graph.Beamforming(graph.DefaultBeamforming(ioIn))
 	k := New(p, Options{Weights: mapping.WeightsBoth, Router: routing.BFS{}})
-	adm, err := k.Admit(app)
+	adm, err := k.Admit(context.Background(), app)
 	if err != nil {
 		t.Fatalf("beamforming admission failed: %v", err)
 	}

@@ -1,0 +1,48 @@
+package core
+
+import "errors"
+
+// Typed sentinel errors for the admission workflow, wired for
+// errors.Is so callers classify failures without string-matching
+// PhaseError text. Every phase rejection matches ErrRejected; the
+// phase-specific sentinels narrow it:
+//
+//	errors.Is(err, ErrRejected)           any phase rejected the app
+//	errors.Is(err, ErrNoImplementation)   binding found no feasible impl
+//	errors.Is(err, ErrUnroutable)         routing found no free path
+//	errors.Is(err, ErrConstraintViolated) validation refused the layout
+//
+// A cancelled or timed-out admission matches context.Canceled /
+// context.DeadlineExceeded instead — cancellation is not a rejection.
+var (
+	// ErrRejected matches every admission rejected by a workflow
+	// phase (any *PhaseError).
+	ErrRejected = errors.New("kairos: admission rejected")
+	// ErrNoImplementation matches binding-phase rejections: no task
+	// implementation with sufficient free resources anywhere in the
+	// platform.
+	ErrNoImplementation = errors.New("kairos: no feasible implementation")
+	// ErrUnroutable matches routing-phase rejections: some channel
+	// has no path with free virtual channels.
+	ErrUnroutable = errors.New("kairos: no route with free virtual channels")
+	// ErrConstraintViolated matches validation-phase rejections: the
+	// layout cannot satisfy the application's performance constraints.
+	ErrConstraintViolated = errors.New("kairos: performance constraints violated")
+)
+
+// Is wires the sentinel errors: a PhaseError matches ErrRejected
+// always and the sentinel of its phase. errors.Is unwrapping still
+// reaches the underlying phase error (*binding.Error etc.) via Unwrap.
+func (e *PhaseError) Is(target error) bool {
+	switch target {
+	case ErrRejected:
+		return true
+	case ErrNoImplementation:
+		return e.Phase == PhaseBinding
+	case ErrUnroutable:
+		return e.Phase == PhaseRouting
+	case ErrConstraintViolated:
+		return e.Phase == PhaseValidation
+	}
+	return false
+}

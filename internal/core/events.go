@@ -1,0 +1,179 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// The manager's event stream replaces the old lock-held OnEvict
+// callback: every lifecycle transition is published as a typed Event
+// to subscribers AFTER the platform-state mutex is released, over
+// bounded buffered channels with non-blocking sends. Subscribers may
+// therefore call back into the manager from their handler (readmit on
+// eviction, release on admission, ...) without deadlocking, and a slow
+// subscriber can never stall admission — it loses events instead
+// (counted per subscription).
+
+// Event is one lifecycle notification from the manager. The concrete
+// types are Admitted, Released, Evicted and ReadmitFailed.
+type Event interface {
+	// EventInstance returns the instance name the event concerns.
+	EventInstance() string
+	event()
+}
+
+// Admitted reports a successful admission: a plain Admit, a batch
+// entry of AdmitAll, or the fresh admission half of a successful
+// Readmit (which also publishes Evicted for the retired instance).
+type Admitted struct {
+	Adm *Admission
+}
+
+// EventInstance implements Event.
+func (e Admitted) EventInstance() string { return e.Adm.Instance }
+func (Admitted) event()                  {}
+
+// Released reports an explicit release (Release or ReleaseAll),
+// including the release half of a readmission only when the
+// readmission permanently retires the instance (that case is reported
+// as Evicted instead, never as Released).
+type Released struct {
+	Instance string
+	App      *graph.Application
+}
+
+// EventInstance implements Event.
+func (e Released) EventInstance() string { return e.Instance }
+func (Released) event()                  {}
+
+// Evicted reports that an admission is definitively gone from the
+// platform other than by an explicit release: retired by a successful
+// Readmit (EvictReadmit — the application continues under a new
+// instance name, reported separately as Admitted), or lost entirely
+// when a failed readmission could not replay the previous layout
+// (EvictLost).
+type Evicted struct {
+	Adm    *Admission
+	Reason EvictReason
+}
+
+// EventInstance implements Event.
+func (e Evicted) EventInstance() string { return e.Adm.Instance }
+func (Evicted) event()                  {}
+
+// ReadmitFailed reports a Readmit whose fresh admission was rejected.
+// Restored says whether the previous layout was replayed (the
+// application keeps running under its old instance name); when false,
+// the admission is gone and an Evicted event with EvictLost follows.
+type ReadmitFailed struct {
+	Instance string
+	App      *graph.Application
+	Err      error
+	Restored bool
+}
+
+// EventInstance implements Event.
+func (e ReadmitFailed) EventInstance() string { return e.Instance }
+func (ReadmitFailed) event()                  {}
+
+// DefaultEventBuffer is the per-subscription channel capacity when
+// Options.EventBuffer is zero.
+const DefaultEventBuffer = 64
+
+// subscriber is one Subscribe call's state.
+type subscriber struct {
+	ch      chan Event
+	dropped uint64
+}
+
+// eventHub fans manager events out to subscribers. It has its own
+// mutex: publishing happens outside the platform-state lock.
+type eventHub struct {
+	mu   sync.Mutex
+	subs map[int]*subscriber
+	next int
+}
+
+// Subscribe registers a subscriber and returns its event channel plus
+// a cancel function that unregisters it and closes the channel. The
+// channel is buffered with Options.EventBuffer slots (DefaultEventBuffer
+// when zero); events published while the buffer is full are dropped
+// for this subscriber and counted (see Dropped). Events are published
+// outside the manager lock, so a subscriber may call back into the
+// manager — including from the goroutine draining the channel —
+// without deadlocking.
+func (k *Kairos) Subscribe() (<-chan Event, func()) {
+	buffer := k.opts.EventBuffer
+	if buffer <= 0 {
+		buffer = DefaultEventBuffer
+	}
+	h := &k.events
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.subs == nil {
+		h.subs = make(map[int]*subscriber)
+	}
+	id := h.next
+	h.next++
+	sub := &subscriber{ch: make(chan Event, buffer)}
+	h.subs[id] = sub
+	return sub.ch, func() {
+		h.mu.Lock()
+		defer h.mu.Unlock()
+		if s, ok := h.subs[id]; ok {
+			delete(h.subs, id)
+			close(s.ch)
+		}
+	}
+}
+
+// Dropped returns the total number of events dropped across all
+// current subscriptions because their buffers were full.
+func (k *Kairos) Dropped() uint64 {
+	h := &k.events
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var n uint64
+	for _, s := range h.subs {
+		n += s.dropped
+	}
+	return n
+}
+
+// emit queues an event for publication. Called with k.mu held; the
+// queued events are published by the public entry point as it
+// releases the lock (unlockAndPublish).
+func (k *Kairos) emit(ev Event) {
+	k.pending = append(k.pending, ev)
+}
+
+// unlockAndPublish releases k.mu and delivers the pending events to
+// every subscriber with a non-blocking send. The hub mutex is
+// acquired BEFORE k.mu is released, so the publication order equals
+// the critical-section order — concurrent manager calls cannot
+// deliver an instance's Released before its Admitted. The sends
+// themselves happen outside k.mu (a subscriber may call back into
+// the manager; the lock order k.mu → events.mu is respected
+// everywhere and nothing takes them in reverse).
+func (k *Kairos) unlockAndPublish() {
+	evs := k.pending
+	k.pending = nil
+	if len(evs) == 0 {
+		k.mu.Unlock()
+		return
+	}
+	h := &k.events
+	h.mu.Lock()
+	k.mu.Unlock()
+	defer h.mu.Unlock()
+	for _, sub := range h.subs {
+		for _, ev := range evs {
+			select {
+			case sub.ch <- ev:
+			default:
+				sub.dropped++
+			}
+		}
+	}
+}

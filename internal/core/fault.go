@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 )
@@ -106,14 +107,14 @@ func (k *Kairos) touchesFault(adm *Admission) bool {
 // evicted. The sweep is what a fault handler runs after disabling
 // hardware, the run-time analogue of the paper's restart-based fault
 // circumvention.
-func (k *Kairos) ReadmitAffected() []ReadmitResult {
+func (k *Kairos) ReadmitAffected(ctx context.Context) []ReadmitResult {
 	k.mu.Lock()
-	defer k.mu.Unlock()
 	affected := k.affectedLocked()
 	results := make([]ReadmitResult, 0, len(affected))
 	for _, name := range affected {
-		results = append(results, k.readmitClassifiedLocked(name))
+		results = append(results, k.readmitClassifiedLocked(ctx, name))
 	}
+	k.unlockAndPublish()
 	return results
 }
 
@@ -121,15 +122,16 @@ func (k *Kairos) ReadmitAffected() []ReadmitResult {
 // the outcome as a ReadmitResult instead of the raw (Admission, error)
 // pair — the form defragmentation policies consume. An unknown
 // instance classifies as ReadmitEvicted with the lookup error.
-func (k *Kairos) ReadmitClassified(instance string) ReadmitResult {
+func (k *Kairos) ReadmitClassified(ctx context.Context, instance string) ReadmitResult {
 	k.mu.Lock()
-	defer k.mu.Unlock()
-	return k.readmitClassifiedLocked(instance)
+	res := k.readmitClassifiedLocked(ctx, instance)
+	k.unlockAndPublish()
+	return res
 }
 
-func (k *Kairos) readmitClassifiedLocked(name string) ReadmitResult {
+func (k *Kairos) readmitClassifiedLocked(ctx context.Context, name string) ReadmitResult {
 	res := ReadmitResult{Instance: name}
-	adm, err := k.readmitLocked(name)
+	adm, err := k.readmitLocked(ctx, name)
 	res.Adm = adm
 	switch {
 	case err == nil:

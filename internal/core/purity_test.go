@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -39,7 +40,7 @@ func admitExpectingFailure(t *testing.T, k *Kairos, p *platform.Platform,
 	app *graph.Application, wantPhase Phase) {
 	t.Helper()
 	before := allocState(p, k)
-	_, err := k.Admit(app)
+	_, err := k.Admit(context.Background(), app)
 	var pe *PhaseError
 	if !errors.As(err, &pe) {
 		t.Fatalf("app %s: error = %v, want PhaseError", app.Name, err)
@@ -61,7 +62,7 @@ func TestRollbackPurityPerPhase(t *testing.T) {
 	t.Run("binding", func(t *testing.T) {
 		p := platform.Mesh(2, 2, 4)
 		k := New(p, Options{Weights: mapping.WeightsBoth, SkipValidation: true})
-		if _, err := k.Admit(chainApp("pre", 2, 40)); err != nil {
+		if _, err := k.Admit(context.Background(), chainApp("pre", 2, 40)); err != nil {
 			t.Fatal(err)
 		}
 		app := graph.New("wants-fpga")
@@ -96,7 +97,7 @@ func TestRollbackPurityPerPhase(t *testing.T) {
 		t0 := pre.AddTask("t0", graph.Internal, dspImpl(60, 5))
 		t1 := pre.AddTask("t1", graph.Internal, dspImpl(60, 5))
 		pre.AddChannel(t0, t1)
-		if _, err := k.Admit(pre); err != nil {
+		if _, err := k.Admit(context.Background(), pre); err != nil {
 			t.Fatal(err)
 		}
 		// The next app's tasks cannot co-locate (40+40 exceeds the 40%
@@ -113,7 +114,7 @@ func TestRollbackPurityPerPhase(t *testing.T) {
 	t.Run("validation", func(t *testing.T) {
 		p := platform.Mesh(3, 3, 4)
 		k := New(p, Options{Weights: mapping.WeightsBoth})
-		if _, err := k.Admit(chainApp("pre", 2, 40)); err != nil {
+		if _, err := k.Admit(context.Background(), chainApp("pre", 2, 40)); err != nil {
 			t.Fatal(err)
 		}
 		app := chainApp("tight", 3, 30)
@@ -141,7 +142,7 @@ func TestRollbackPurityRandomized(t *testing.T) {
 		)
 		for i, app := range appgen.Dataset(cfg, 12, seed) {
 			before := allocState(p, k)
-			_, err := k.Admit(app)
+			_, err := k.Admit(context.Background(), app)
 			if err == nil {
 				continue // successes legitimately change the platform
 			}
@@ -168,7 +169,7 @@ func TestRollbackPurityRandomized(t *testing.T) {
 		tight := chainApp("forced-validation", 1, 5)
 		tight.Constraints.MinThroughput = 1e9
 		if before := allocState(p, k); true {
-			_, err := k.Admit(tight)
+			_, err := k.Admit(context.Background(), tight)
 			var pe *PhaseError
 			if errors.As(err, &pe) && pe.Phase == PhaseValidation {
 				phaseSeen[PhaseValidation]++
@@ -197,13 +198,13 @@ func TestReadmitRestorePurity(t *testing.T) {
 	t.Run("crafted", func(t *testing.T) {
 		p := platform.Mesh(2, 2, 4)
 		k := New(p, Options{Weights: mapping.WeightsBoth, SkipValidation: true})
-		adm, err := k.Admit(chainApp("a", 4, 70))
+		adm, err := k.Admit(context.Background(), chainApp("a", 4, 70))
 		if err != nil {
 			t.Fatal(err)
 		}
 		p.DisableElement(adm.Assignment[0])
 		before := allocState(p, k)
-		if _, err := k.Readmit(adm.Instance); err == nil {
+		if _, err := k.Readmit(context.Background(), adm.Instance); err == nil {
 			t.Fatal("readmit should fail: a used element is disabled and there is no slack")
 		}
 		if after := allocState(p, k); after != before {
@@ -219,7 +220,7 @@ func TestReadmitRestorePurity(t *testing.T) {
 			cfg := appgen.NewConfig(appgen.Communication, appgen.Small)
 			var instances []string
 			for _, app := range appgen.Dataset(cfg, 6, seed) {
-				if adm, err := k.Admit(app); err == nil {
+				if adm, err := k.Admit(context.Background(), app); err == nil {
 					instances = append(instances, adm.Instance)
 				}
 			}
@@ -233,7 +234,7 @@ func TestReadmitRestorePurity(t *testing.T) {
 			}
 			for _, inst := range instances {
 				before := allocState(p, k)
-				if _, err := k.Readmit(inst); err == nil {
+				if _, err := k.Readmit(context.Background(), inst); err == nil {
 					t.Fatalf("seed %d: readmit succeeded on a fully disabled platform", seed)
 				}
 				restores++
@@ -248,32 +249,47 @@ func TestReadmitRestorePurity(t *testing.T) {
 	})
 }
 
-// TestEvictHookOnReadmit asserts the OnEvict hook fires exactly when
-// an admission is definitively gone: EvictReadmit on a successful
-// readmission, EvictLost when a corrupted platform makes both the
-// re-admission and the layout replay impossible.
-func TestEvictHookOnReadmit(t *testing.T) {
+// TestEvictEventsOnReadmit asserts the Evicted event fires exactly
+// when an admission is definitively gone: EvictReadmit on a
+// successful readmission, EvictLost when a corrupted platform makes
+// both the re-admission and the layout replay impossible. (The event
+// stream replaced the old lock-held OnEvict callback.)
+func TestEvictEventsOnReadmit(t *testing.T) {
 	type evt struct {
 		instance string
 		reason   EvictReason
 	}
-	var events []evt
 	p := platform.Mesh(2, 2, 4)
 	k := New(p, Options{
 		Weights:        mapping.WeightsBoth,
 		SkipValidation: true,
-		OnEvict: func(adm *Admission, reason EvictReason) {
-			events = append(events, evt{adm.Instance, reason})
-		},
 	})
-	adm, err := k.Admit(chainApp("a", 1, 70))
+	ch, cancel := k.Subscribe()
+	defer cancel()
+	// drainEvictions collects the Evicted events delivered so far
+	// (the publish happens before the mutating call returns, so no
+	// waiting is needed in this single-goroutine test).
+	drainEvictions := func() []evt {
+		var events []evt
+		for {
+			select {
+			case ev := <-ch:
+				if e, ok := ev.(Evicted); ok {
+					events = append(events, evt{e.Adm.Instance, e.Reason})
+				}
+			default:
+				return events
+			}
+		}
+	}
+	adm, err := k.Admit(context.Background(), chainApp("a", 1, 70))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := k.Readmit(adm.Instance); err != nil {
+	if _, err := k.Readmit(context.Background(), adm.Instance); err != nil {
 		t.Fatalf("readmit: %v", err)
 	}
-	if len(events) != 1 || events[0].reason != EvictReadmit || events[0].instance != adm.Instance {
+	if events := drainEvictions(); len(events) != 1 || events[0].reason != EvictReadmit || events[0].instance != adm.Instance {
 		t.Fatalf("events after successful readmit = %v, want one EvictReadmit for %s", events, adm.Instance)
 	}
 
@@ -301,11 +317,10 @@ func TestEvictHookOnReadmit(t *testing.T) {
 	if err := p.Place(home, platform.Occupant{App: "intruder", Task: 0}, resource.Of(80, 0, 0, 0)); err != nil {
 		t.Fatal(err)
 	}
-	events = nil
-	if _, err := k.Readmit(inst); err == nil {
+	if _, err := k.Readmit(context.Background(), inst); err == nil {
 		t.Fatal("readmit must fail on the corrupted platform")
 	}
-	if len(events) != 1 || events[0].reason != EvictLost {
+	if events := drainEvictions(); len(events) != 1 || events[0].reason != EvictLost {
 		t.Fatalf("events = %v, want exactly one EvictLost", events)
 	}
 	if len(k.Admitted()) != 0 {

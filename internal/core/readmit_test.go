@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -12,7 +13,7 @@ import (
 
 func TestReadmitUnknownInstance(t *testing.T) {
 	k := New(platform.Mesh(2, 2, 2), Options{})
-	if _, err := k.Readmit("ghost"); !errors.Is(err, ErrUnknownInstance) {
+	if _, err := k.Readmit(context.Background(), "ghost"); !errors.Is(err, ErrUnknownInstance) {
 		t.Errorf("error = %v, want ErrUnknownInstance", err)
 	}
 }
@@ -23,13 +24,13 @@ func TestReadmitMovesOffFault(t *testing.T) {
 	// so the dead element's stale allocation is cleared too.)
 	p := platform.Mesh(3, 3, 4)
 	k := New(p, Options{Weights: mapping.WeightsBoth, SkipValidation: true})
-	adm, err := k.Admit(chainApp("app", 3, 60))
+	adm, err := k.Admit(context.Background(), chainApp("app", 3, 60))
 	if err != nil {
 		t.Fatal(err)
 	}
 	victim := adm.Assignment[1]
 	p.DisableElement(victim)
-	adm2, err := k.Readmit(adm.Instance)
+	adm2, err := k.Readmit(context.Background(), adm.Instance)
 	if err != nil {
 		t.Fatalf("Readmit: %v", err)
 	}
@@ -51,7 +52,7 @@ func TestReadmitRestoresOnFailure(t *testing.T) {
 	// back when the new admission fails.
 	p := platform.Mesh(2, 2, 4)
 	k := New(p, Options{Weights: mapping.WeightsBoth, SkipValidation: true})
-	adm, err := k.Admit(chainApp("a", 4, 70))
+	adm, err := k.Admit(context.Background(), chainApp("a", 4, 70))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestReadmitRestoresOnFailure(t *testing.T) {
 	// by the app but keep its occupancy: Readmit releases first, so
 	// the app cannot come back (3 enabled elements < 4 tasks).
 	p.DisableElement(adm.Assignment[0])
-	_, err = k.Readmit(adm.Instance)
+	_, err = k.Readmit(context.Background(), adm.Instance)
 	if err == nil {
 		t.Fatal("readmit should fail with a disabled element and no slack")
 	}
@@ -89,11 +90,11 @@ func TestReadmitDefragments(t *testing.T) {
 	// loop over Readmit.)
 	p := platform.Mesh(3, 3, 4)
 	k := New(p, Options{Weights: mapping.WeightsCommunication, SkipValidation: true})
-	a, err := k.Admit(chainApp("a", 3, 60))
+	a, err := k.Admit(context.Background(), chainApp("a", 3, 60))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := k.Admit(chainApp("b", 3, 60))
+	b, err := k.Admit(context.Background(), chainApp("b", 3, 60))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestReadmitDefragments(t *testing.T) {
 		t.Fatal(err)
 	}
 	fragBefore := k.Fragmentation()
-	b2, err := k.Readmit(b.Instance)
+	b2, err := k.Readmit(context.Background(), b.Instance)
 	if err != nil {
 		t.Fatalf("Readmit: %v", err)
 	}
@@ -122,7 +123,7 @@ func TestAdmitWithFastValidation(t *testing.T) {
 	})
 	app := chainApp("fast", 3, 60)
 	app.Constraints.MinThroughput = 10
-	adm, err := k.Admit(app)
+	adm, err := k.Admit(context.Background(), app)
 	if err != nil {
 		t.Fatalf("Admit with fast validation: %v", err)
 	}
@@ -146,7 +147,7 @@ func TestReadmitBeamformingAfterPackageLoss(t *testing.T) {
 	}
 	app := graph.Beamforming(graph.DefaultBeamforming(ioIn))
 	k := New(p, Options{Weights: mapping.WeightsBoth, SkipValidation: true})
-	adm, err := k.Admit(app)
+	adm, err := k.Admit(context.Background(), app)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -155,7 +156,7 @@ func TestReadmitBeamformingAfterPackageLoss(t *testing.T) {
 			p.DisableElement(e.ID)
 		}
 	}
-	if _, err := k.Readmit(adm.Instance); err == nil {
+	if _, err := k.Readmit(context.Background(), adm.Instance); err == nil {
 		t.Fatal("readmit must fail after losing a whole package")
 	}
 	if len(k.Admitted()) != 1 {

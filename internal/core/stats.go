@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 )
@@ -13,10 +15,14 @@ import (
 // keeping every Admission around.
 type Stats struct {
 	// Attempts counts workflow runs (Admit and the admission half of
-	// Readmit); Admitted and Rejected partition it.
+	// Readmit); Admitted, Rejected and Cancelled partition it.
 	Attempts int64
 	Admitted int64
 	Rejected int64
+	// Cancelled counts attempts abandoned between phases because the
+	// caller's context was cancelled or its deadline passed; they are
+	// not rejections (no phase refused the application).
+	Cancelled int64
 	// RejectedByPhase attributes rejections, indexed by Phase
 	// (Table I's failure distribution).
 	RejectedByPhase [4]int64
@@ -43,6 +49,10 @@ func (s *Stats) record(adm *Admission, err error) {
 	s.PhaseTotals.Validation += adm.Times.Validation
 	if err == nil {
 		s.Admitted++
+		return
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		s.Cancelled++
 		return
 	}
 	s.Rejected++

@@ -1,0 +1,165 @@
+package core
+
+import (
+	"repro/internal/binding"
+	"repro/internal/graph"
+	"repro/internal/mapping"
+	"repro/internal/platform"
+	"repro/internal/routing"
+	"repro/internal/validation"
+)
+
+// This file defines the strategy seams of the four-phase workflow.
+// Each phase of Fig. 1 is an interface with the paper's algorithm as
+// the default implementation and at least one alternate, so related
+// work that swaps a single phase (e.g. a different assignment solver
+// per Cohen–Katzir–Raz) plugs in without forking the engine. The
+// routing seam is routing.Router, which predates this file.
+
+// Binder selects an implementation for every task of the application
+// (phase 1). Implementations must not mutate the platform.
+type Binder interface {
+	Bind(app *graph.Application, p *platform.Platform) (*binding.Binding, error)
+	Name() string
+}
+
+// Mapper assigns a platform element to every task (phase 2),
+// committing placements to the platform under opts.Instance and
+// rolling back everything it placed on failure.
+type Mapper interface {
+	Map(app *graph.Application, p *platform.Platform, bind *binding.Binding, opts mapping.Options) (*mapping.Result, error)
+	Name() string
+}
+
+// Router is the phase-3 strategy seam: a path search over links with
+// free virtual channels. It is an alias of routing.Router (BFS and
+// Dijkstra implement it).
+type Router = routing.Router
+
+// Validator checks the performance constraints of an execution layout
+// (phase 4). A nil report with a nil error means the layout was
+// accepted without analysis (the no-op validator).
+type Validator interface {
+	Validate(app *graph.Application, bind *binding.Binding, assignment []int,
+		routes []routing.Route, p *platform.Platform, opts validation.Options) (*validation.Report, error)
+	Name() string
+}
+
+// RegretBinder is the paper's binding algorithm (§II): highest-regret
+// task first, cheapest feasible implementation, with a location-free
+// capacity estimate. The default Binder.
+type RegretBinder struct{}
+
+// Bind implements Binder.
+func (RegretBinder) Bind(app *graph.Application, p *platform.Platform) (*binding.Binding, error) {
+	return binding.Bind(app, p)
+}
+
+// Name implements Binder.
+func (RegretBinder) Name() string { return "regret" }
+
+// ExactBinder selects implementations by budgeted branch-and-bound
+// over the joint selection space, minimizing total implementation
+// cost (binding.BindExact). The quality ablation of the regret
+// heuristic.
+type ExactBinder struct{}
+
+// Bind implements Binder.
+func (ExactBinder) Bind(app *graph.Application, p *platform.Platform) (*binding.Binding, error) {
+	return binding.BindExact(app, p)
+}
+
+// Name implements Binder.
+func (ExactBinder) Name() string { return "exact" }
+
+// IncrementalMapper is the paper's main contribution (§III,
+// mapping.MapApplication): incremental neighborhood traversal with a
+// GAP solve per level. The default Mapper.
+type IncrementalMapper struct{}
+
+// Map implements Mapper.
+func (IncrementalMapper) Map(app *graph.Application, p *platform.Platform, bind *binding.Binding, opts mapping.Options) (*mapping.Result, error) {
+	return mapping.MapApplication(app, p, bind, opts)
+}
+
+// Name implements Mapper.
+func (IncrementalMapper) Name() string { return "incremental" }
+
+// GapMapper solves one global GAP over all tasks and all available
+// elements (mapping.MapGlobal): no neighborhood decomposition, no
+// ring growth. It ablates the incremental search that distinguishes
+// the paper's algorithm from a plain assignment-problem formulation.
+type GapMapper struct{}
+
+// Map implements Mapper.
+func (GapMapper) Map(app *graph.Application, p *platform.Platform, bind *binding.Binding, opts mapping.Options) (*mapping.Result, error) {
+	return mapping.MapGlobal(app, p, bind, opts)
+}
+
+// Name implements Mapper.
+func (GapMapper) Name() string { return "gap" }
+
+// FirstFitMapper is the naive baseline (mapping.FirstFit): each task
+// individually onto the nearest available element, no assignment
+// problem at all.
+type FirstFitMapper struct{}
+
+// Map implements Mapper.
+func (FirstFitMapper) Map(app *graph.Application, p *platform.Platform, bind *binding.Binding, opts mapping.Options) (*mapping.Result, error) {
+	return mapping.FirstFit(app, p, bind, opts.Instance)
+}
+
+// Name implements Mapper.
+func (FirstFitMapper) Name() string { return "firstfit" }
+
+// SDFValidator is the paper's validation phase (§II): the execution
+// layout is modeled as a timed SDF graph and the achieved throughput
+// is checked against the constraints. The default Validator.
+type SDFValidator struct{}
+
+// Validate implements Validator.
+func (SDFValidator) Validate(app *graph.Application, bind *binding.Binding, assignment []int,
+	routes []routing.Route, p *platform.Platform, opts validation.Options) (*validation.Report, error) {
+	return validation.Validate(app, bind, assignment, routes, p, opts)
+}
+
+// Name implements Validator.
+func (SDFValidator) Name() string { return "sdf" }
+
+// NoopValidator accepts every layout without building a model: no
+// report, no rejection, near-zero validation time. The synthetic
+// admission-outcome sweeps of §IV effectively run this.
+type NoopValidator struct{}
+
+// Validate implements Validator.
+func (NoopValidator) Validate(*graph.Application, *binding.Binding, []int,
+	[]routing.Route, *platform.Platform, validation.Options) (*validation.Report, error) {
+	return nil, nil
+}
+
+// Name implements Validator.
+func (NoopValidator) Name() string { return "none" }
+
+// binder returns the configured Binder or the paper's default.
+func (o Options) binder() Binder {
+	if o.Binder != nil {
+		return o.Binder
+	}
+	return RegretBinder{}
+}
+
+// mapper returns the configured Mapper or the paper's default.
+func (o Options) mapper() Mapper {
+	if o.Mapper != nil {
+		return o.Mapper
+	}
+	return IncrementalMapper{}
+}
+
+// validator returns the configured Validator or the paper's default.
+func (o Options) validator() Validator {
+	if o.Validator != nil {
+		return o.Validator
+	}
+	return SDFValidator{}
+}

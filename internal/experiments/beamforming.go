@@ -1,13 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
-	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/mapping"
 	"repro/internal/platform"
+	"repro/kairos"
 )
 
 // NewBeamforming builds the case-study application pinned to the
@@ -29,14 +30,14 @@ func NewBeamforming() (*graph.Application, *platform.Platform) {
 // 70.4 ms, mapping 21.7 ms, routing 7.4 ms, validation 20.6 ms on the
 // 200 MHz ARM926 — absolute values differ here, the ordering and
 // feasibility are what the reproduction checks).
-func CaseStudy(weights mapping.Weights) (*core.Admission, error) {
+func CaseStudy(weights mapping.Weights) (*kairos.Admission, error) {
 	app, p := NewBeamforming()
-	k := core.New(p, core.Options{Weights: weights})
-	return k.Admit(app)
+	k := kairos.New(p, kairos.WithWeights(weights))
+	return k.Admit(context.Background(), app)
 }
 
 // FormatCaseStudy renders the per-phase times of an admission.
-func FormatCaseStudy(adm *core.Admission, err error) string {
+func FormatCaseStudy(adm *kairos.Admission, err error) string {
 	s := fmt.Sprintf("beamforming: %d tasks, %d channels\n",
 		len(adm.App.Tasks), len(adm.App.Channels))
 	if err != nil {
@@ -100,14 +101,14 @@ func Fig10(cfg Fig10Config) *Fig10Result {
 	res.Total = len(res.Frag) * len(res.Comm)
 	ForEach(res.Total, cfg.Workers, func(i int) {
 		fi, ci := i/len(res.Comm), i%len(res.Comm)
-		k := core.New(proto.Clone(), core.Options{
-			Weights: mapping.Weights{
+		k := kairos.New(proto.Clone(),
+			kairos.WithWeights(mapping.Weights{
 				Communication: float64(res.Comm[ci]),
 				Fragmentation: float64(res.Frag[fi]),
-			},
-			DisableValidation: true,
-		})
-		_, err := k.Admit(app)
+			}),
+			kairos.WithoutValidation(),
+		)
+		_, err := k.Admit(context.Background(), app)
 		res.Admitted[fi][ci] = err == nil
 	})
 	for fi := range res.Frag {

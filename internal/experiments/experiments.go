@@ -14,17 +14,19 @@
 package experiments
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"runtime"
 	"sync"
 
 	"repro/internal/appgen"
-	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/mapping"
 	"repro/internal/platform"
 	"repro/internal/routing"
+	"repro/kairos"
 )
 
 // ForEach runs fn(i) for i in [0, n) on a pool of the given size
@@ -100,11 +102,11 @@ func BuildDataset(cfg appgen.Config, n int, seed int64, proto *platform.Platform
 	apps := appgen.Dataset(cfg, n, seed)
 	keep := make([]bool, len(apps))
 	ForEach(len(apps), workers, func(i int) {
-		k := core.New(proto.Clone(), core.Options{
-			Weights:        mapping.WeightsBoth,
-			SkipValidation: true,
-		})
-		_, err := k.Admit(apps[i])
+		k := kairos.New(proto.Clone(),
+			kairos.WithWeights(mapping.WeightsBoth),
+			kairos.WithAdvisoryValidation(),
+		)
+		_, err := k.Admit(context.Background(), apps[i])
 		keep[i] = err == nil
 	})
 	for i, app := range apps {
@@ -139,8 +141,8 @@ type Record struct {
 	Tasks    int
 	Success  bool
 	// FailPhase is meaningful when !Success.
-	FailPhase core.Phase
-	Times     core.PhaseTimes
+	FailPhase kairos.Phase
+	Times     kairos.PhaseTimes
 	// MeanHops is the average allocated communication resources per
 	// channel (Fig. 8); valid when Success.
 	MeanHops float64
@@ -159,7 +161,11 @@ type SequenceConfig struct {
 	// Seed drives the sequence shuffles.
 	Seed int64
 	// Router for the routing phase; nil = BFS.
-	Router routing.Router
+	Router kairos.Router
+	// Options are additional manager options appended after the ones
+	// derived from the fields above — the hook cmd/experiments uses
+	// to swap phase strategies by name for a whole run.
+	Options []kairos.Option
 	// MaxPosition truncates sequences (0 = admit every app). The
 	// paper's Figs. 8–9 plot positions 1..29.
 	MaxPosition int
@@ -213,12 +219,17 @@ func RunSequences(datasets []Dataset, proto *platform.Platform, cfg SequenceConf
 // clone and records every attempt.
 func runSequence(ds *Dataset, proto *platform.Platform, cfg SequenceConfig, seq int, order []int) []Record {
 	p := proto.Clone()
-	k := core.New(p, core.Options{
-		Weights:           cfg.Weights,
-		Router:            cfg.Router,
-		SkipValidation:    true,
-		DisableValidation: cfg.SkipValidationTiming,
-	})
+	opts := []kairos.Option{
+		kairos.WithWeights(cfg.Weights),
+		kairos.WithAdvisoryValidation(),
+	}
+	if cfg.Router != nil {
+		opts = append(opts, kairos.WithRouter(cfg.Router))
+	}
+	if cfg.SkipValidationTiming {
+		opts = append(opts, kairos.WithoutValidation())
+	}
+	k := kairos.New(p, append(opts, cfg.Options...)...)
 	limit := len(order)
 	if cfg.MaxPosition > 0 && cfg.MaxPosition < limit {
 		limit = cfg.MaxPosition
@@ -233,11 +244,12 @@ func runSequence(ds *Dataset, proto *platform.Platform, cfg SequenceConfig, seq 
 			Position: pos + 1,
 			Tasks:    len(app.Tasks),
 		}
-		adm, err := k.Admit(app)
+		adm, err := k.Admit(context.Background(), app)
 		rec.Times = adm.Times
 		if err != nil {
 			rec.Success = false
-			if pe, ok := err.(*core.PhaseError); ok {
+			var pe *kairos.PhaseError
+			if errors.As(err, &pe) {
 				rec.FailPhase = pe.Phase
 			}
 		} else {
@@ -274,11 +286,11 @@ func TableI(datasets []Dataset, records []Record) []TableIRow {
 				continue
 			}
 			switch rec.FailPhase {
-			case core.PhaseBinding:
+			case kairos.PhaseBinding:
 				b++
-			case core.PhaseMapping:
+			case kairos.PhaseMapping:
 				m++
-			case core.PhaseRouting:
+			case kairos.PhaseRouting:
 				rr++
 			}
 		}

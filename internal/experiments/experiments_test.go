@@ -1,13 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"repro/internal/appgen"
-	"repro/internal/core"
 	"repro/internal/mapping"
 	"repro/internal/platform"
+	"repro/kairos"
 )
 
 func TestBuildDatasetFilters(t *testing.T) {
@@ -22,10 +23,11 @@ func TestBuildDatasetFilters(t *testing.T) {
 	// Every surviving app must indeed be admittable on an empty
 	// platform.
 	for _, app := range ds.Apps {
-		k := core.New(proto.Clone(), core.Options{
-			Weights: mapping.WeightsBoth, SkipValidation: true,
-		})
-		if _, err := k.Admit(app); err != nil {
+		k := kairos.New(proto.Clone(),
+			kairos.WithWeights(mapping.WeightsBoth),
+			kairos.WithAdvisoryValidation(),
+		)
+		if _, err := k.Admit(context.Background(), app); err != nil {
 			t.Fatalf("filtered dataset contains unadmittable app %s: %v", app.Name, err)
 		}
 	}
@@ -63,11 +65,11 @@ func TestRunSequencesRecords(t *testing.T) {
 func TestTableIReduction(t *testing.T) {
 	ds := Dataset{Name: "X", Apps: nil}
 	recs := []Record{
-		{Dataset: "X", Success: false, FailPhase: core.PhaseBinding},
-		{Dataset: "X", Success: false, FailPhase: core.PhaseBinding},
-		{Dataset: "X", Success: false, FailPhase: core.PhaseRouting},
+		{Dataset: "X", Success: false, FailPhase: kairos.PhaseBinding},
+		{Dataset: "X", Success: false, FailPhase: kairos.PhaseBinding},
+		{Dataset: "X", Success: false, FailPhase: kairos.PhaseRouting},
 		{Dataset: "X", Success: true},
-		{Dataset: "Y", Success: false, FailPhase: core.PhaseMapping},
+		{Dataset: "Y", Success: false, FailPhase: kairos.PhaseMapping},
 	}
 	rows := TableI([]Dataset{ds}, recs)
 	if len(rows) != 1 {
@@ -90,10 +92,10 @@ func TestTableIReduction(t *testing.T) {
 
 func TestFig7Reduction(t *testing.T) {
 	recs := []Record{
-		{Success: true, Tasks: 3, Times: core.PhaseTimes{Binding: 1000, Mapping: 2000, Routing: 3000, Validation: 4000}},
-		{Success: true, Tasks: 3, Times: core.PhaseTimes{Binding: 3000, Mapping: 4000, Routing: 5000, Validation: 6000}},
+		{Success: true, Tasks: 3, Times: kairos.PhaseTimes{Binding: 1000, Mapping: 2000, Routing: 3000, Validation: 4000}},
+		{Success: true, Tasks: 3, Times: kairos.PhaseTimes{Binding: 3000, Mapping: 4000, Routing: 5000, Validation: 6000}},
 		{Success: false, Tasks: 3}, // failures excluded
-		{Success: true, Tasks: 7, Times: core.PhaseTimes{Binding: 1000}},
+		{Success: true, Tasks: 7, Times: kairos.PhaseTimes{Binding: 1000}},
 	}
 	pts := Fig7(recs)
 	if len(pts) != 2 {
@@ -153,7 +155,7 @@ func TestParallelMatchesSerial(t *testing.T) {
 		t.Fatalf("record counts differ: serial %d, parallel %d", len(serial), len(parallel))
 	}
 	for i := range serial {
-		serial[i].Times, parallel[i].Times = core.PhaseTimes{}, core.PhaseTimes{}
+		serial[i].Times, parallel[i].Times = kairos.PhaseTimes{}, kairos.PhaseTimes{}
 		if serial[i] != parallel[i] {
 			t.Fatalf("record %d differs:\nserial:   %+v\nparallel: %+v", i, serial[i], parallel[i])
 		}
@@ -213,7 +215,7 @@ func TestHarnessDeterministicForSeed(t *testing.T) {
 	for i := range a {
 		// Times are wall-clock and may differ; everything else must
 		// be identical.
-		a[i].Times, b[i].Times = core.PhaseTimes{}, core.PhaseTimes{}
+		a[i].Times, b[i].Times = kairos.PhaseTimes{}, kairos.PhaseTimes{}
 		if a[i] != b[i] {
 			t.Fatalf("record %d differs:\n%+v\n%+v", i, a[i], b[i])
 		}

@@ -1,0 +1,75 @@
+package mapping
+
+import (
+	"sort"
+
+	"repro/internal/binding"
+	"repro/internal/gap"
+	"repro/internal/graph"
+	"repro/internal/platform"
+)
+
+// MapGlobal is the one-shot assignment alternative to MapApplication:
+// a single GAP over every task and every enabled element, with no
+// neighborhood decomposition and no ring-by-ring candidate growth. It
+// ablates the incremental search of the paper's algorithm — the full
+// distance matrix is computed up front (the run-time cost the paper's
+// sparse, search-driven matrix avoids), and the Cohen–Katzir–Raz
+// solver sees the whole problem at once, so locality emerges only
+// from the cost function, not from the candidate structure.
+//
+// Placements are committed to the platform like MapApplication and
+// rolled back on failure.
+func MapGlobal(app *graph.Application, p *platform.Platform, bind *binding.Binding, opts Options) (*Result, error) {
+	if opts.Instance == "" {
+		return nil, &Error{Task: -1, Reason: "Options.Instance must be set"}
+	}
+	m := &mapper{
+		app: app, p: p, bind: bind, opts: opts.withDefaults(),
+		dm:     platform.NewDistanceMatrix(),
+		elemOf: make([]int, len(app.Tasks)),
+	}
+	for i := range m.elemOf {
+		m.elemOf[i] = -1
+	}
+
+	// Full weighted distance matrix: every enabled element is a BFS
+	// origin (cross-package hops weighted as in the incremental
+	// mapper, so the communication objective agrees between the two).
+	weight := platform.CrossPackageWeight(p, m.opts.CrossPackagePenalty)
+	var candidates []int
+	for _, e := range p.Elements() {
+		if !e.Enabled() {
+			continue
+		}
+		candidates = append(candidates, e.ID)
+	}
+	sort.Ints(candidates)
+	for _, o := range candidates {
+		for id, d := range p.WeightedDistances([]int{o}, weight) {
+			if d != platform.Unreachable {
+				m.dm.Record(o, id, d)
+			}
+		}
+	}
+
+	tasks := make([]int, len(app.Tasks))
+	for i := range tasks {
+		tasks[i] = i
+	}
+
+	state := gap.NewState()
+	m.curState = state
+	defer func() { m.curState = nil }()
+	m.res.GAPInvocations = 1
+	if !state.Process(gapInstance{m: m}, tasks, candidates, m.opts.Solver) {
+		un := state.Unassigned(tasks)
+		return nil, &Error{Task: un[0], Reason: "global GAP left tasks unassigned"}
+	}
+	if err := m.commitLevel(tasks, state); err != nil {
+		m.rollback()
+		return nil, err
+	}
+	m.res.Assignment = m.elemOf
+	return &m.res, nil
+}

@@ -1,0 +1,133 @@
+package mapping
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/binding"
+	"repro/internal/graph"
+	"repro/internal/platform"
+)
+
+// chainApp builds an n-stage pipeline of share%-compute DSP tasks.
+func chainApp(name string, n int, share int64) *graph.Application {
+	app := graph.New(name)
+	for i := 0; i < n; i++ {
+		app.AddTask(fmt.Sprintf("t%d", i), graph.Internal, dspImpl(share))
+	}
+	for i := 0; i+1 < n; i++ {
+		app.AddChannel(i, i+1)
+	}
+	return app
+}
+
+// TestMapGlobalPlacesChain: the one-shot GAP maps a chain onto a mesh
+// with all placements committed under the instance name.
+func TestMapGlobalPlacesChain(t *testing.T) {
+	p := platform.Mesh(3, 3, 4)
+	app := chainApp("g", 4, 40)
+	bind, err := binding.Bind(app, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MapGlobal(app, p, bind, Options{Instance: "g#1", Weights: WeightsBoth})
+	if err != nil {
+		t.Fatalf("MapGlobal: %v", err)
+	}
+	if res.GAPInvocations != 1 {
+		t.Errorf("GAPInvocations = %d, want exactly 1 (one-shot)", res.GAPInvocations)
+	}
+	for _, task := range app.Tasks {
+		e := p.Element(res.Assignment[task.ID])
+		if e == nil || !e.HostsTask(platform.Occupant{App: "g#1", Task: task.ID}) {
+			t.Fatalf("task %d not placed on its assigned element", task.ID)
+		}
+	}
+	Unmap(p, "g#1", app)
+	for _, e := range p.Elements() {
+		if e.InUse() {
+			t.Fatalf("element %d still in use after Unmap", e.ID)
+		}
+	}
+}
+
+// TestMapGlobalDeterministic: two runs on identical clones assign
+// identically.
+func TestMapGlobalDeterministic(t *testing.T) {
+	proto := platform.Mesh(4, 4, 4)
+	app := chainApp("g", 6, 50)
+	run := func() []int {
+		p := proto.Clone()
+		bind, err := binding.Bind(app, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := MapGlobal(app, p, bind, Options{Instance: "g#1", Weights: WeightsBoth})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Assignment
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("assignments differ: %v vs %v", a, b)
+		}
+	}
+}
+
+// TestMapGlobalFailureRollsBack: an unmappable app leaves no
+// placements behind.
+func TestMapGlobalFailureRollsBack(t *testing.T) {
+	p := platform.Mesh(2, 2, 4)
+	app := chainApp("big", 5, 70) // 5 × 70% on 4 elements cannot fit
+	bind, err := binding.BindExact(app, p)
+	if err == nil {
+		// Binding's location-free estimate may already reject; when it
+		// does not, mapping must.
+		if _, merr := MapGlobal(app, p, bind, Options{Instance: "big#1", Weights: WeightsBoth}); merr == nil {
+			t.Fatal("unmappable app mapped")
+		}
+	}
+	for _, e := range p.Elements() {
+		if e.InUse() {
+			t.Fatalf("element %d in use after failed MapGlobal", e.ID)
+		}
+	}
+}
+
+// TestMapGlobalHonorsFixedElement: av() constrains the global GAP to
+// the fixed location.
+func TestMapGlobalHonorsFixedElement(t *testing.T) {
+	p := platform.MeshWithIO(3, 3, 4)
+	ioIn := -1
+	for _, e := range p.Elements() {
+		if e.Type == platform.TypeIO {
+			ioIn = e.ID
+			break
+		}
+	}
+	app := graph.New("fixed")
+	src := app.AddTask("src", graph.Input, graph.Implementation{
+		Name: "src-io", Target: platform.TypeIO,
+		Requires: platform.IOCapacity.Clone(), Cost: 1, ExecTime: 2,
+	})
+	app.Tasks[src].FixedElement = ioIn
+	snk := app.AddTask("snk", graph.Internal, graph.Implementation{
+		Name: "snk-dsp", Target: platform.TypeDSP,
+		Requires: platform.DSPCapacity.Clone(), Cost: 1, ExecTime: 2,
+	})
+	app.AddChannel(src, snk)
+	bind, err := binding.Bind(app, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MapGlobal(app, p, bind, Options{Instance: "f#1", Weights: WeightsCommunication})
+	if err != nil {
+		t.Fatalf("MapGlobal: %v", err)
+	}
+	if res.Assignment[src] != ioIn {
+		t.Errorf("fixed task mapped to %d, want %d", res.Assignment[src], ioIn)
+	}
+	Unmap(p, "f#1", app)
+}

@@ -1,16 +1,18 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
-	"repro/internal/core"
+	"repro/kairos"
 )
 
 // Policy is a defragmentation policy. The platform cannot migrate
 // tasks (paper §I-A), so every policy is built on the restart path:
-// core.Readmit releases an application and admits it afresh, letting
-// the mapping phase compact it into the current platform state.
+// Manager.Readmit releases an application and admits it afresh,
+// letting the mapping phase compact it into the current platform
+// state.
 type Policy int
 
 const (
@@ -98,6 +100,6 @@ func (s *simulator) repack(rejectedApp string) {
 }
 
 // readmitOne forces one application through the restart path.
-func (s *simulator) readmitOne(a *liveApp) core.ReadmitResult {
-	return s.k.ReadmitClassified(a.instance)
+func (s *simulator) readmitOne(a *liveApp) kairos.ReadmitResult {
+	return s.k.ReadmitClassified(context.Background(), a.instance)
 }

@@ -20,17 +20,19 @@ package sim
 
 import (
 	"container/heap"
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
 
 	"repro/internal/appgen"
-	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/graph"
 	"repro/internal/mapping"
 	"repro/internal/platform"
 	"repro/internal/routing"
+	"repro/kairos"
 )
 
 // Config parameterizes one simulation run. Times are in simulated
@@ -70,6 +72,10 @@ type Config struct {
 	// SampleEvery is the time-series sampling interval in seconds
 	// (0 = 10s).
 	SampleEvery float64
+	// Options are additional manager options (e.g. swapped phase
+	// strategies from the cmd/sim -binder/-mapper/-router flags),
+	// applied after the ones derived from Weights.
+	Options []kairos.Option
 }
 
 // DefaultConfig returns a CRISP-platform configuration with sustained
@@ -225,7 +231,7 @@ func (q *eventQueue) Pop() any {
 // liveApp is the simulator's view of one admitted application.
 type liveApp struct {
 	instance string // current instance name (changes on readmission)
-	adm      *core.Admission
+	adm      *kairos.Admission
 	idx      int  // position in s.live while alive
 	dead     bool // departed or evicted; pending events ignore it
 }
@@ -245,7 +251,7 @@ type simulator struct {
 	workRng  *rand.Rand
 	faultRng *rand.Rand
 	p        *platform.Platform
-	k        *core.Kairos
+	k        *kairos.Manager
 	gens     []*appgen.Generator
 	queue    eventQueue
 	seq      int
@@ -287,14 +293,13 @@ func Run(cfg Config) *Result {
 			Duration: cfg.Duration,
 		},
 	}
-	s.k = core.New(s.p, core.Options{
-		Weights: cfg.Weights,
-		// The synthetic profiles carry no performance constraints and
-		// the paper does not reject in validation for them (§IV); the
-		// phase still runs and is timed.
-		SkipValidation: true,
-		OnEvict:        s.onEvict,
-	})
+	// The synthetic profiles carry no performance constraints and
+	// the paper does not reject in validation for them (§IV); the
+	// phase still runs and is timed (advisory validation).
+	s.k = kairos.New(s.p, append([]kairos.Option{
+		kairos.WithWeights(cfg.Weights),
+		kairos.WithAdvisoryValidation(),
+	}, cfg.Options...)...)
 	// One generator per dataset profile, each on its own derived
 	// stream, so the app mix matches the six datasets of Table I.
 	for i, gcfg := range experiments.AllConfigs() {
@@ -391,19 +396,6 @@ func (s *simulator) trace(ev TraceEvent) {
 	s.res.Trace = append(s.res.Trace, ev)
 }
 
-// onEvict keeps the simulator's live table in step with the manager:
-// EvictLost removes the application for good; EvictReadmit is the
-// release half of a readmission the simulator itself initiated and is
-// resolved by the caller from the readmission result.
-func (s *simulator) onEvict(adm *core.Admission, reason core.EvictReason) {
-	if reason != core.EvictLost {
-		return
-	}
-	if a, ok := s.byName[adm.Instance]; ok {
-		s.removeLive(a)
-	}
-}
-
 // nextApp draws the next arriving application from a uniformly chosen
 // dataset profile.
 func (s *simulator) nextApp() *graph.Application {
@@ -425,7 +417,7 @@ func (s *simulator) arrival() {
 		s.res.Totals.SteadyArrivals++
 	}
 
-	adm, err := s.k.Admit(app)
+	adm, err := s.k.Admit(context.Background(), app)
 	if adm != nil {
 		s.lat = append(s.lat, adm.Times.Total())
 	}
@@ -433,7 +425,7 @@ func (s *simulator) arrival() {
 	if err != nil && s.cfg.Policy == PolicyOnRejection && s.liveCount() > 0 {
 		s.repack(app.Name)
 		retried = true
-		adm, err = s.k.Admit(app)
+		adm, err = s.k.Admit(context.Background(), app)
 		if adm != nil {
 			s.lat = append(s.lat, adm.Times.Total())
 		}
@@ -445,7 +437,8 @@ func (s *simulator) arrival() {
 			s.res.Totals.SteadyRejected++
 		}
 		outcome := "rejected"
-		if pe, ok := err.(*core.PhaseError); ok {
+		var pe *kairos.PhaseError
+		if errors.As(err, &pe) {
 			outcome = "rejected:" + pe.Phase.String()
 			if pe.Phase >= 0 && int(pe.Phase) < 4 {
 				s.res.Totals.RejectedByPhase[pe.Phase]++
@@ -488,10 +481,10 @@ func (s *simulator) departure(a *liveApp) {
 
 // applyReadmit folds one forced-readmission result into the live
 // table and totals.
-func (s *simulator) applyReadmit(res core.ReadmitResult, event string) {
+func (s *simulator) applyReadmit(res kairos.ReadmitResult, event string) {
 	a := s.byName[res.Instance]
 	switch res.Outcome {
-	case core.ReadmitMoved:
+	case kairos.ReadmitMoved:
 		s.res.Totals.Moved++
 		if a != nil {
 			delete(s.byName, a.instance)
@@ -499,10 +492,15 @@ func (s *simulator) applyReadmit(res core.ReadmitResult, event string) {
 			a.adm = res.Adm
 			s.byName[a.instance] = a
 		}
-	case core.ReadmitRestored:
+	case kairos.ReadmitRestored:
 		s.res.Totals.Restored++
-	case core.ReadmitEvicted:
-		s.res.Totals.Evicted++ // onEvict already removed the record
+	case kairos.ReadmitEvicted:
+		s.res.Totals.Evicted++
+		if a != nil {
+			// The admission is gone for good; drop it from the live
+			// table (pending departure events see the dead flag).
+			s.removeLive(a)
+		}
 	}
 	ev := TraceEvent{Event: event, Instance: res.Instance, Outcome: res.Outcome.String()}
 	if a != nil {
@@ -549,7 +547,7 @@ func (s *simulator) fault() {
 	s.schedule(s.faultExp(s.cfg.MeanRepair), repair)
 	s.trace(TraceEvent{Event: "fault", Target: target, Outcome: "disabled"})
 
-	for _, res := range s.k.ReadmitAffected() {
+	for _, res := range s.k.ReadmitAffected(context.Background()) {
 		s.applyReadmit(res, "fault-readmit")
 	}
 }

@@ -1,0 +1,143 @@
+package kairos_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"sort"
+	"strings"
+	"testing"
+)
+
+var updateAPI = flag.Bool("update-api", false, "rewrite testdata/api_golden.txt from the current exported surface")
+
+const apiGoldenPath = "testdata/api_golden.txt"
+
+// TestAPISurfaceGolden is the API-compatibility gate: the exported
+// surface of package kairos — every exported type, function, constant
+// and variable with its signature — is dumped from the AST and
+// compared against the checked-in golden file. A PR that changes the
+// public surface fails here until the golden file is regenerated
+// deliberately with
+//
+//	go test ./kairos -run TestAPISurfaceGolden -update-api
+//
+// which makes surface changes explicit in review instead of silent.
+func TestAPISurfaceGolden(t *testing.T) {
+	// The public surface is the kairos declarations plus the methods
+	// of the internal/core types they alias (Manager, Admission, ...):
+	// both halves are what a downstream build compiles against.
+	got := apiSurface(t, ".", "kairos", false) +
+		apiSurface(t, "../internal/core", "core", true)
+	if *updateAPI {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(apiGoldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", apiGoldenPath)
+		return
+	}
+	want, err := os.ReadFile(apiGoldenPath)
+	if err != nil {
+		t.Fatalf("missing API golden file (run with -update-api to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exported API surface changed; if intended, regenerate with -update-api\n--- golden\n%s--- current\n%s",
+			want, got)
+	}
+}
+
+// apiSurface renders the exported declarations of the package in the
+// directory, one per line, sorted. With methods set, exported methods
+// on exported receiver types are included (used for the internal
+// engine types the public package aliases).
+func apiSurface(t *testing.T, dir, pkgName string, methods bool) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi os.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs[pkgName]
+	if !ok {
+		t.Fatalf("package %s not found in %s (have %v)", pkgName, dir, pkgs)
+	}
+
+	render := func(node any) string {
+		var buf bytes.Buffer
+		if err := printer.Fprint(&buf, fset, node); err != nil {
+			t.Fatal(err)
+		}
+		// One declaration per line: collapse the printer's layout.
+		return strings.Join(strings.Fields(buf.String()), " ")
+	}
+
+	var lines []string
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				if !d.Name.IsExported() {
+					continue
+				}
+				if d.Recv != nil {
+					if !methods || !receiverExported(d) {
+						continue
+					}
+					lines = append(lines, render(&ast.FuncDecl{Recv: d.Recv, Name: d.Name, Type: d.Type}))
+					continue
+				}
+				lines = append(lines, render(&ast.FuncDecl{Name: d.Name, Type: d.Type}))
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					switch sp := spec.(type) {
+					case *ast.TypeSpec:
+						if sp.Name.IsExported() {
+							lines = append(lines, "type "+render(sp))
+						}
+					case *ast.ValueSpec:
+						exported := false
+						for _, n := range sp.Names {
+							if n.IsExported() {
+								exported = true
+							}
+						}
+						if exported {
+							kw := "var"
+							if d.Tok == token.CONST {
+								kw = "const"
+							}
+							lines = append(lines, kw+" "+render(sp))
+						}
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(lines)
+	return fmt.Sprintf("exported surface of %s (%d declarations)\n%s\n",
+		pkgName, len(lines), strings.Join(lines, "\n"))
+}
+
+// receiverExported reports whether the method's receiver names an
+// exported type.
+func receiverExported(d *ast.FuncDecl) bool {
+	if len(d.Recv.List) != 1 {
+		return false
+	}
+	typ := d.Recv.List[0].Type
+	if star, ok := typ.(*ast.StarExpr); ok {
+		typ = star.X
+	}
+	id, ok := typ.(*ast.Ident)
+	return ok && id.IsExported()
+}

@@ -1,0 +1,86 @@
+package kairos
+
+import (
+	"repro/internal/graph"
+	"repro/internal/mapping"
+)
+
+// Application is an annotated task graph: tasks with alternative
+// implementations, channels with token rates, and performance
+// constraints. Build one with NewApplication and the Application
+// methods (AddTask, AddChannel, AddChannelRated), decode one from a
+// bundle with AppFromBytes, or generate the paper's case study with
+// Beamforming.
+type Application = graph.Application
+
+// Task is one task of an Application.
+type Task = graph.Task
+
+// Implementation is one way to execute a task: a target element type,
+// a resource demand, a base cost and an execution time.
+type Implementation = graph.Implementation
+
+// Channel is one directed communication channel between two tasks.
+type Channel = graph.Channel
+
+// Constraints are an application's performance requirements.
+type Constraints = graph.Constraints
+
+// TaskKind classifies tasks as internal, input or output.
+type TaskKind = graph.TaskKind
+
+// The task kinds.
+const (
+	Internal = graph.Internal
+	Input    = graph.Input
+	Output   = graph.Output
+)
+
+// NoFixedElement marks a task without a pre-determined location.
+const NoFixedElement = graph.NoFixedElement
+
+// NewApplication returns an empty application with the given name.
+func NewApplication(name string) *Application { return graph.New(name) }
+
+// IsBundle reports whether the bytes look like a Kairos application
+// bundle (the binary format of the paper's §III-E, written by
+// cmd/appgen).
+func IsBundle(data []byte) bool { return graph.IsBundle(data) }
+
+// AppFromBytes decodes an application bundle.
+func AppFromBytes(data []byte) (*Application, error) { return graph.FromBytes(data) }
+
+// AppBytes encodes the application as a bundle.
+func AppBytes(a *Application) ([]byte, error) { return graph.Bytes(a) }
+
+// BeamformingConfig parameterizes the paper's 53-task beamforming
+// case study (§IV-A).
+type BeamformingConfig = graph.BeamformingConfig
+
+// DefaultBeamforming returns the case-study configuration with the
+// source task fixed to the given element (NoFixedElement to leave it
+// free).
+func DefaultBeamforming(sourceElement int) BeamformingConfig {
+	return graph.DefaultBeamforming(sourceElement)
+}
+
+// Beamforming generates the case-study application.
+func Beamforming(cfg BeamformingConfig) *Application { return graph.Beamforming(cfg) }
+
+// Weights steers the mapping cost function between its objectives
+// (paper §III-D): communication distance, external fragmentation,
+// wear leveling and load balancing.
+type Weights = mapping.Weights
+
+// The four weight configurations evaluated in the paper (Figs. 8–10).
+var (
+	WeightsNone          = mapping.WeightsNone
+	WeightsCommunication = mapping.WeightsCommunication
+	WeightsFragmentation = mapping.WeightsFragmentation
+	WeightsBoth          = mapping.WeightsBoth
+)
+
+// ParseWeights parses the CLI weight vocabulary: a preset name
+// (none, communication, fragmentation, both) or an explicit "C,F"
+// pair.
+func ParseWeights(s string) (Weights, error) { return mapping.ParseWeights(s) }

@@ -1,0 +1,57 @@
+// Package kairos is the public, stable surface of the Kairos run-time
+// spatial resource manager — a from-scratch Go reproduction of ter
+// Braak et al., "Run-time Spatial Resource Management for Real-Time
+// Applications on Heterogeneous MPSoCs" (DATE 2010), grown toward a
+// production-scale admission service.
+//
+// A Manager owns the allocation state of a Platform and admits
+// Applications through the paper's four-phase workflow — binding,
+// mapping, routing, validation — rolling back on rejection, releasing
+// and readmitting at run time. Construct one with New and functional
+// options:
+//
+//	p := kairos.CRISP()
+//	k := kairos.New(p,
+//		kairos.WithWeights(kairos.WeightsBoth),
+//		kairos.WithRouter(kairos.RouterDijkstra),
+//		kairos.WithAdmissionTimeout(50*time.Millisecond),
+//	)
+//	adm, err := k.Admit(ctx, app)
+//
+// # Strategy seams
+//
+// Each workflow phase is an interface — Binder, Mapper, Router,
+// Validator — with the paper's algorithm as the default and at least
+// one alternate registered by name (BinderByName, MapperByName,
+// RouterByName, ValidatorByName), so experiments swap a single phase
+// without forking the engine:
+//
+//	m, _ := kairos.MapperByName("gap") // one-shot global GAP instead of the incremental mapper
+//	k := kairos.New(p, kairos.WithMapper(m))
+//
+// # Events
+//
+// Lifecycle transitions stream to subscribers as typed events
+// (Admitted, Released, Evicted, ReadmitFailed) over bounded channels,
+// delivered outside the manager lock — a subscriber may call back
+// into the manager from its handler without deadlocking:
+//
+//	events, cancel := k.Subscribe()
+//	defer cancel()
+//
+// # Errors
+//
+// Rejections carry a *PhaseError and match the typed sentinels under
+// errors.Is: ErrRejected for any phase rejection, narrowed by
+// ErrNoImplementation (binding), ErrUnroutable (routing) and
+// ErrConstraintViolated (validation). Cancelled admissions match
+// context.Canceled / context.DeadlineExceeded and leave the
+// allocation state untouched.
+//
+// # Stability
+//
+// Everything exported here is covered by the API-surface gate
+// (testdata/api_golden.txt): changes to the exported surface fail CI
+// until the golden file is regenerated deliberately. The internal/...
+// packages carry no such promise.
+package kairos

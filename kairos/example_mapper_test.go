@@ -1,0 +1,74 @@
+package kairos_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/kairos"
+)
+
+// lowestIDMapper is a custom phase-2 strategy written against the
+// public API alone: each task goes to the lowest-ID enabled element
+// of its target type that still fits the demand. No assignment
+// problem, no cost function — the simplest mapper that satisfies the
+// Mapper contract (commit placements under opts.Instance, roll back
+// everything on failure).
+type lowestIDMapper struct{}
+
+func (lowestIDMapper) Name() string { return "lowest-id" }
+
+func (lowestIDMapper) Map(app *kairos.Application, p *kairos.Platform,
+	bind *kairos.Binding, opts kairos.MapperOptions) (*kairos.MapResult, error) {
+	assign := make([]int, len(app.Tasks))
+	rollback := func(n int) {
+		for _, t := range app.Tasks[:n] {
+			_ = p.Remove(assign[t.ID], kairos.Occupant{App: opts.Instance, Task: t.ID})
+		}
+	}
+	for i, t := range app.Tasks {
+		demand, target := bind.Demand(t.ID), bind.Target(t.ID)
+		placed := false
+		for _, e := range p.Elements() {
+			if !e.Enabled() || e.Type != target || !demand.Fits(e.Pool().Free()) {
+				continue
+			}
+			if fixed := t.FixedElement; fixed != kairos.NoFixedElement && fixed != e.ID {
+				continue
+			}
+			if err := p.Place(e.ID, kairos.Occupant{App: opts.Instance, Task: t.ID}, demand); err != nil {
+				continue
+			}
+			assign[t.ID] = e.ID
+			placed = true
+			break
+		}
+		if !placed {
+			rollback(i)
+			return nil, fmt.Errorf("lowest-id: no element fits task %d (%s)", t.ID, t.Name)
+		}
+	}
+	return &kairos.MapResult{Assignment: assign}, nil
+}
+
+// Example_customMapper swaps a hand-written Mapper into the manager
+// via WithMapper — the seam related work uses to replace one workflow
+// phase while keeping the other three.
+func Example_customMapper() {
+	k := kairos.New(kairos.Mesh(3, 3, kairos.DefaultVCs),
+		kairos.WithMapper(lowestIDMapper{}),
+		kairos.WithoutValidation(),
+	)
+	adm, err := k.Admit(context.Background(), twoStage("custom"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("admitted as", adm.Instance)
+	for _, t := range adm.App.Tasks {
+		fmt.Printf("%s -> element %d\n", t.Name, adm.Assignment[t.ID])
+	}
+	// Output:
+	// admitted as custom#1
+	// produce -> element 0
+	// consume -> element 0
+}

@@ -1,0 +1,93 @@
+package kairos
+
+import (
+	"flag"
+	"strings"
+)
+
+// Flags is the CLI vocabulary shared by cmd/kairos, cmd/sim and
+// cmd/experiments: the platform spec, the mapping weights, and the
+// four per-phase strategy names. Register it on a FlagSet with
+// RegisterFlags, then resolve with BuildPlatform and StrategyOptions
+// after parsing.
+type Flags struct {
+	// PlatformSpec is the -platform value (see PlatformFromSpec).
+	PlatformSpec string
+	// WeightsSpec is the -weights value (see ParseWeights).
+	WeightsSpec string
+	// Binder, Mapper, Router and Validator are the -binder, -mapper,
+	// -router and -validator strategy names (see the *ByName
+	// registries).
+	Binder, Mapper, Router, Validator string
+}
+
+// RegisterFlags registers the shared flags on the FlagSet with their
+// default values (CRISP platform, the paper's weights and strategies)
+// and returns the struct the parsed values land in.
+func RegisterFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.PlatformSpec, "platform", "crisp",
+		"platform: crisp, mesh<W>x<H>, or a .json description")
+	fs.StringVar(&f.WeightsSpec, "weights", "both",
+		"mapping cost weights: none|communication|fragmentation|both|C,F")
+	fs.StringVar(&f.Binder, "binder", BinderNames()[0],
+		"binding strategy: "+strings.Join(BinderNames(), "|"))
+	fs.StringVar(&f.Mapper, "mapper", MapperNames()[0],
+		"mapping strategy: "+strings.Join(MapperNames(), "|"))
+	fs.StringVar(&f.Router, "router", RouterNames()[0],
+		"routing strategy: "+strings.Join(RouterNames(), "|"))
+	fs.StringVar(&f.Validator, "validator", ValidatorNames()[0],
+		"validation strategy: "+strings.Join(ValidatorNames(), "|"))
+	return f
+}
+
+// BuildPlatform resolves the -platform value.
+func (f *Flags) BuildPlatform() (*Platform, error) {
+	return PlatformFromSpec(f.PlatformSpec)
+}
+
+// Weights resolves the -weights value.
+func (f *Flags) Weights() (Weights, error) {
+	return ParseWeights(f.WeightsSpec)
+}
+
+// PhaseStrategies resolves the four strategy names into Manager
+// options, without the weights — for callers that set their own
+// weight treatment per run (cmd/experiments sweeps them per figure).
+// The default strategies resolve like any other, so appending these
+// options is always safe.
+func (f *Flags) PhaseStrategies() ([]Option, error) {
+	b, err := BinderByName(f.Binder)
+	if err != nil {
+		return nil, err
+	}
+	m, err := MapperByName(f.Mapper)
+	if err != nil {
+		return nil, err
+	}
+	r, err := RouterByName(f.Router)
+	if err != nil {
+		return nil, err
+	}
+	v, err := ValidatorByName(f.Validator)
+	if err != nil {
+		return nil, err
+	}
+	return []Option{
+		WithBinder(b), WithMapper(m), WithRouter(r), WithValidator(v),
+	}, nil
+}
+
+// StrategyOptions resolves the weights and the four strategy names
+// into Manager options.
+func (f *Flags) StrategyOptions() ([]Option, error) {
+	w, err := f.Weights()
+	if err != nil {
+		return nil, err
+	}
+	opts, err := f.PhaseStrategies()
+	if err != nil {
+		return nil, err
+	}
+	return append([]Option{WithWeights(w)}, opts...), nil
+}

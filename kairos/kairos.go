@@ -1,0 +1,133 @@
+package kairos
+
+import (
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/routing"
+)
+
+// Manager is the run-time resource manager: it owns the platform's
+// allocation state, admits applications through the four-phase
+// workflow, and is safe for concurrent use. See the package
+// documentation for an overview and New for construction.
+type Manager = core.Kairos
+
+// Admission is one admitted (or attempted) application: the execution
+// layout of the paper's Fig. 1 plus bookkeeping.
+type Admission = core.Admission
+
+// Route is one allocated communication channel of an execution
+// layout: the element path from the source task's element to the
+// destination task's element.
+type Route = routing.Route
+
+// TotalHops sums the hops of all routes of a layout.
+func TotalHops(routes []Route) int { return routing.TotalHops(routes) }
+
+// MeanHops returns the average hops per channel, or 0 for no routes.
+func MeanHops(routes []Route) float64 { return routing.MeanHops(routes) }
+
+// Phase identifies one phase of the resource-allocation workflow.
+type Phase = core.Phase
+
+// The run-time phases of the paper's Fig. 1.
+const (
+	PhaseBinding    = core.PhaseBinding
+	PhaseMapping    = core.PhaseMapping
+	PhaseRouting    = core.PhaseRouting
+	PhaseValidation = core.PhaseValidation
+)
+
+// PhaseError attributes an admission failure to a workflow phase. It
+// matches the sentinel errors under errors.Is.
+type PhaseError = core.PhaseError
+
+// PhaseTimes records the execution time spent in each phase of one
+// allocation attempt.
+type PhaseTimes = core.PhaseTimes
+
+// Stats is a snapshot of the manager's lifetime counters.
+type Stats = core.Stats
+
+// BatchResult is the outcome of one request in an AdmitAll batch.
+type BatchResult = core.BatchResult
+
+// ReadmitOutcome classifies what a forced readmission did to one
+// instance: moved, restored, or evicted.
+type ReadmitOutcome = core.ReadmitOutcome
+
+// The forced-readmission outcomes.
+const (
+	ReadmitMoved    = core.ReadmitMoved
+	ReadmitRestored = core.ReadmitRestored
+	ReadmitEvicted  = core.ReadmitEvicted
+)
+
+// ReadmitResult is the outcome of one forced readmission
+// (Manager.ReadmitAffected, Manager.ReadmitClassified).
+type ReadmitResult = core.ReadmitResult
+
+// EvictReason says why an Evicted event fired.
+type EvictReason = core.EvictReason
+
+// The eviction reasons.
+const (
+	EvictReadmit = core.EvictReadmit
+	EvictLost    = core.EvictLost
+)
+
+// Event is one lifecycle notification from the manager's event
+// stream (Manager.Subscribe). Concrete types: Admitted, Released,
+// Evicted, ReadmitFailed.
+type Event = core.Event
+
+// Admitted reports a successful admission.
+type Admitted = core.Admitted
+
+// Released reports an explicit release.
+type Released = core.Released
+
+// Evicted reports an admission definitively gone from the platform
+// other than by explicit release.
+type Evicted = core.Evicted
+
+// ReadmitFailed reports a Readmit whose fresh admission was rejected;
+// Restored says whether the old layout was replayed.
+type ReadmitFailed = core.ReadmitFailed
+
+// DefaultEventBuffer is the per-subscription event channel capacity
+// when WithEventBuffer is not given.
+const DefaultEventBuffer = core.DefaultEventBuffer
+
+// Typed sentinel errors, wired for errors.Is. Every phase rejection
+// matches ErrRejected; the phase-specific sentinels narrow it.
+var (
+	// ErrRejected matches every admission rejected by a workflow
+	// phase (any *PhaseError).
+	ErrRejected = core.ErrRejected
+	// ErrNoImplementation matches binding-phase rejections.
+	ErrNoImplementation = core.ErrNoImplementation
+	// ErrUnroutable matches routing-phase rejections.
+	ErrUnroutable = core.ErrUnroutable
+	// ErrConstraintViolated matches validation-phase rejections.
+	ErrConstraintViolated = core.ErrConstraintViolated
+	// ErrUnknownInstance is returned by Release and Readmit for
+	// instance names the manager does not track.
+	ErrUnknownInstance = core.ErrUnknownInstance
+	// ErrNilApplication is reported by AdmitAll for nil requests.
+	ErrNilApplication = core.ErrNilApplication
+)
+
+// New returns a resource manager for the platform, configured by
+// functional options. The manager owns the platform's allocation
+// state from here on: mutate the platform only through the manager.
+// With no options, every phase runs the paper's algorithm with the
+// paper's defaults (zero mapping weights — use WithWeights to enable
+// the cost-function objectives).
+func New(p *platform.Platform, opts ...Option) *Manager {
+	var cfg config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return core.New(p, cfg.core)
+}

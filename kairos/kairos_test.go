@@ -1,0 +1,425 @@
+package kairos_test
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/kairos"
+)
+
+// chain builds an n-stage pipeline of share%-compute DSP tasks.
+func chain(name string, n int, share int64) *kairos.Application {
+	app := kairos.NewApplication(name)
+	for i := 0; i < n; i++ {
+		app.AddTask(fmt.Sprintf("t%d", i), kairos.Internal, kairos.Implementation{
+			Name: "t-dsp", Target: kairos.TypeDSP,
+			Requires: kairos.Resources(share, 8, 0, 0), Cost: 1, ExecTime: 5,
+		})
+	}
+	for i := 0; i+1 < n; i++ {
+		app.AddChannelRated(i, i+1, 1, 1, 2)
+	}
+	return app
+}
+
+// allocState renders the complete allocation state as one string, so
+// "unchanged" is literal byte identity (element wear excluded: failed
+// attempts wear the elements they touched).
+func allocState(p *kairos.Platform, k *kairos.Manager) string {
+	var b strings.Builder
+	for _, e := range p.Elements() {
+		fmt.Fprintf(&b, "e%d used=%v occ=%v\n", e.ID, e.Pool().Used(), e.Occupants())
+	}
+	for _, l := range p.Links() {
+		fmt.Fprintf(&b, "l%d-%d used=%d\n", l.From, l.To, l.Used())
+	}
+	fmt.Fprintf(&b, "frag=%.9f live=%d\n", p.ExternalFragmentation(), k.Stats().Live)
+	return b.String()
+}
+
+// cancelAfterBinder wraps the default binder and cancels the
+// admission's context once binding has completed, so the engine's
+// between-phase check fires before mapping.
+type cancelAfterBinder struct {
+	kairos.Binder
+	cancel context.CancelFunc
+}
+
+func (b cancelAfterBinder) Bind(app *kairos.Application, p *kairos.Platform) (*kairos.Binding, error) {
+	bind, err := b.Binder.Bind(app, p)
+	b.cancel()
+	return bind, err
+}
+
+// cancelAfterMapper cancels once mapping has committed placements, so
+// the check before routing must unmap them.
+type cancelAfterMapper struct {
+	kairos.Mapper
+	cancel context.CancelFunc
+}
+
+func (m cancelAfterMapper) Map(app *kairos.Application, p *kairos.Platform,
+	bind *kairos.Binding, opts kairos.MapperOptions) (*kairos.MapResult, error) {
+	res, err := m.Mapper.Map(app, p, bind, opts)
+	m.cancel()
+	return res, err
+}
+
+// cancelAfterRouter cancels on the first path search, so routing
+// completes and the check before validation must release the routes
+// and the placements.
+type cancelAfterRouter struct {
+	kairos.Router
+	cancel context.CancelFunc
+}
+
+func (r cancelAfterRouter) FindPath(p *kairos.Platform, src, dst int) ([]int, bool) {
+	r.cancel()
+	return r.Router.FindPath(p, src, dst)
+}
+
+// TestCancellationPurity extends the rollback-purity property of
+// internal/core to the public wrapper and to cancellation: an Admit
+// cancelled after any phase must leave the allocation state
+// byte-identical, report a context error (not a rejection), and count
+// as Cancelled in the stats.
+func TestCancellationPurity(t *testing.T) {
+	bfs, _ := kairos.RouterByName("bfs")
+	cases := []struct {
+		name string
+		opts func(cancel context.CancelFunc) kairos.Option
+	}{
+		{"before-binding", nil}, // pre-cancelled context
+		{"after-binding", func(cancel context.CancelFunc) kairos.Option {
+			b, _ := kairos.BinderByName("regret")
+			return kairos.WithBinder(cancelAfterBinder{b, cancel})
+		}},
+		{"after-mapping", func(cancel context.CancelFunc) kairos.Option {
+			m, _ := kairos.MapperByName("incremental")
+			return kairos.WithMapper(cancelAfterMapper{m, cancel})
+		}},
+		{"after-routing", func(cancel context.CancelFunc) kairos.Option {
+			return kairos.WithRouter(cancelAfterRouter{bfs, cancel})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			opts := []kairos.Option{kairos.WithWeights(kairos.WeightsBoth)}
+			if tc.opts == nil {
+				cancel()
+			} else {
+				opts = append(opts, tc.opts(cancel))
+			}
+			p := kairos.Mesh(3, 3, kairos.DefaultVCs)
+			k := kairos.New(p, opts...)
+			// Pre-admit through a plain manager so the platform carries
+			// allocation state the rollback must preserve exactly (the
+			// wrapped strategies would fire their cancel during this
+			// setup admission).
+			setup := kairos.New(p, kairos.WithWeights(kairos.WeightsBoth))
+			if _, err := setup.Admit(context.Background(), chain("pre", 2, 40)); err != nil {
+				t.Fatal(err)
+			}
+
+			before := allocState(p, k)
+			_, err := k.Admit(ctx, chain("victim", 3, 30))
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("error = %v, want context.Canceled", err)
+			}
+			if errors.Is(err, kairos.ErrRejected) {
+				t.Error("cancellation must not classify as a rejection")
+			}
+			if after := allocState(p, k); after != before {
+				t.Errorf("cancelled admit mutated the platform:\n--- before\n%s--- after\n%s", before, after)
+			}
+			st := k.Stats()
+			if st.Cancelled != 1 || st.Rejected != 0 {
+				t.Errorf("stats after cancellation = %+v, want Cancelled=1 Rejected=0", st)
+			}
+		})
+	}
+}
+
+// TestAdmissionTimeout covers WithAdmissionTimeout: an admission whose
+// budget has passed rolls back and reports DeadlineExceeded.
+func TestAdmissionTimeout(t *testing.T) {
+	p := kairos.Mesh(3, 3, kairos.DefaultVCs)
+	k := kairos.New(p, kairos.WithAdmissionTimeout(time.Nanosecond))
+	before := allocState(p, k)
+	_, err := k.Admit(context.Background(), chain("late", 2, 40))
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("error = %v, want context.DeadlineExceeded", err)
+	}
+	if after := allocState(p, k); after != before {
+		t.Error("timed-out admit mutated the platform")
+	}
+}
+
+// TestSubscriberReentrancy is the regression test for the old
+// lock-held OnEvict hazard: a subscriber goroutine that receives an
+// event may call straight back into the manager (here: Readmit on
+// Admitted, Release after that) without deadlocking.
+func TestSubscriberReentrancy(t *testing.T) {
+	k := kairos.New(kairos.Mesh(3, 3, kairos.DefaultVCs),
+		kairos.WithWeights(kairos.WeightsBoth),
+		kairos.WithoutValidation(),
+	)
+	events, cancel := k.Subscribe()
+	defer cancel()
+
+	done := make(chan error, 1)
+	go func() {
+		for ev := range events {
+			adm, ok := ev.(kairos.Admitted)
+			if !ok {
+				continue
+			}
+			// Re-enter the manager from the subscriber: with the old
+			// callback design this deadlocked on the manager lock.
+			re, err := k.Readmit(context.Background(), adm.Adm.Instance)
+			if err != nil {
+				done <- fmt.Errorf("readmit from subscriber: %w", err)
+				return
+			}
+			done <- k.Release(re.Instance)
+			return
+		}
+	}()
+
+	if _, err := k.Admit(context.Background(), chain("app", 2, 40)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("subscriber re-entering the manager deadlocked")
+	}
+	if live := len(k.Admitted()); live != 0 {
+		t.Fatalf("live = %d after subscriber released everything", live)
+	}
+}
+
+// TestEventDropsAreCounted: a full subscription buffer drops events
+// instead of blocking admission, and the drops are observable.
+func TestEventDropsAreCounted(t *testing.T) {
+	k := kairos.New(kairos.Mesh(4, 4, kairos.DefaultVCs),
+		kairos.WithWeights(kairos.WeightsBoth),
+		kairos.WithoutValidation(),
+		kairos.WithEventBuffer(1),
+	)
+	_, cancel := k.Subscribe()
+	defer cancel()
+	for i := 0; i < 3; i++ {
+		if _, err := k.Admit(context.Background(), chain(fmt.Sprintf("a%d", i), 1, 10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if k.Dropped() != 2 {
+		t.Errorf("Dropped = %d, want 2 (buffer 1, three events)", k.Dropped())
+	}
+}
+
+// TestSentinelErrors wires every rejection class through errors.Is.
+func TestSentinelErrors(t *testing.T) {
+	ctx := context.Background()
+
+	t.Run("binding", func(t *testing.T) {
+		k := kairos.New(kairos.Mesh(2, 2, kairos.DefaultVCs))
+		app := kairos.NewApplication("wants-fpga")
+		app.AddTask("t", kairos.Internal, kairos.Implementation{
+			Name: "f", Target: kairos.TypeFPGA,
+			Requires: kairos.Resources(10, 10, 0, 10), Cost: 1, ExecTime: 5,
+		})
+		_, err := k.Admit(ctx, app)
+		if !errors.Is(err, kairos.ErrRejected) || !errors.Is(err, kairos.ErrNoImplementation) {
+			t.Fatalf("binding rejection %v must match ErrRejected and ErrNoImplementation", err)
+		}
+		if errors.Is(err, kairos.ErrUnroutable) || errors.Is(err, kairos.ErrConstraintViolated) {
+			t.Error("binding rejection must not match the other phase sentinels")
+		}
+		var pe *kairos.PhaseError
+		if !errors.As(err, &pe) || pe.Phase != kairos.PhaseBinding {
+			t.Errorf("errors.As = %v, want binding PhaseError", err)
+		}
+	})
+
+	t.Run("routing", func(t *testing.T) {
+		p := kairos.NewPlatform()
+		p.AddElement(kairos.TypeDSP, "a", kairos.DSPCapacity)
+		p.AddElement(kairos.TypeDSP, "b", kairos.DSPCapacity)
+		p.MustConnect(0, 1, 1)
+		k := kairos.New(p, kairos.WithWeights(kairos.WeightsCommunication))
+		app := kairos.NewApplication("par")
+		a := app.AddTask("a", kairos.Internal, kairos.Implementation{
+			Name: "a-dsp", Target: kairos.TypeDSP,
+			Requires: kairos.Resources(80, 8, 0, 0), Cost: 1, ExecTime: 5,
+		})
+		b := app.AddTask("b", kairos.Internal, kairos.Implementation{
+			Name: "b-dsp", Target: kairos.TypeDSP,
+			Requires: kairos.Resources(80, 8, 0, 0), Cost: 1, ExecTime: 5,
+		})
+		app.AddChannel(a, b)
+		app.AddChannel(a, b)
+		_, err := k.Admit(ctx, app)
+		if !errors.Is(err, kairos.ErrRejected) || !errors.Is(err, kairos.ErrUnroutable) {
+			t.Fatalf("routing rejection %v must match ErrRejected and ErrUnroutable", err)
+		}
+	})
+
+	t.Run("validation", func(t *testing.T) {
+		k := kairos.New(kairos.Mesh(3, 3, kairos.DefaultVCs), kairos.WithWeights(kairos.WeightsBoth))
+		app := chain("tight", 3, 30)
+		app.Constraints.MinThroughput = 1e9
+		_, err := k.Admit(ctx, app)
+		if !errors.Is(err, kairos.ErrRejected) || !errors.Is(err, kairos.ErrConstraintViolated) {
+			t.Fatalf("validation rejection %v must match ErrRejected and ErrConstraintViolated", err)
+		}
+	})
+
+	t.Run("unknown-instance", func(t *testing.T) {
+		k := kairos.New(kairos.Mesh(2, 2, kairos.DefaultVCs))
+		if err := k.Release("ghost"); !errors.Is(err, kairos.ErrUnknownInstance) {
+			t.Errorf("Release(ghost) = %v, want ErrUnknownInstance", err)
+		}
+	})
+}
+
+// TestStrategyRegistries: every registered name resolves, resolves to
+// the right Name(), and every combination admits a small app cleanly.
+func TestStrategyRegistries(t *testing.T) {
+	for _, name := range kairos.BinderNames() {
+		if b, err := kairos.BinderByName(name); err != nil || b.Name() != name {
+			t.Errorf("BinderByName(%q) = %v, %v", name, b, err)
+		}
+	}
+	for _, name := range kairos.MapperNames() {
+		if m, err := kairos.MapperByName(name); err != nil || m.Name() != name {
+			t.Errorf("MapperByName(%q) = %v, %v", name, m, err)
+		}
+	}
+	for _, name := range kairos.RouterNames() {
+		if r, err := kairos.RouterByName(name); err != nil || r.Name() != name {
+			t.Errorf("RouterByName(%q) = %v, %v", name, r, err)
+		}
+	}
+	for _, name := range kairos.ValidatorNames() {
+		if v, err := kairos.ValidatorByName(name); err != nil || v.Name() != name {
+			t.Errorf("ValidatorByName(%q) = %v, %v", name, v, err)
+		}
+	}
+	if _, err := kairos.BinderByName("bogus"); err == nil {
+		t.Error("unknown binder name accepted")
+	}
+	if _, err := kairos.MapperByName("bogus"); err == nil {
+		t.Error("unknown mapper name accepted")
+	}
+	if _, err := kairos.RouterByName("bogus"); err == nil {
+		t.Error("unknown router name accepted")
+	}
+	if _, err := kairos.ValidatorByName("bogus"); err == nil {
+		t.Error("unknown validator name accepted")
+	}
+
+	for _, bn := range kairos.BinderNames() {
+		for _, mn := range kairos.MapperNames() {
+			for _, vn := range kairos.ValidatorNames() {
+				t.Run(bn+"/"+mn+"/"+vn, func(t *testing.T) {
+					b, _ := kairos.BinderByName(bn)
+					m, _ := kairos.MapperByName(mn)
+					v, _ := kairos.ValidatorByName(vn)
+					p := kairos.Mesh(3, 3, kairos.DefaultVCs)
+					k := kairos.New(p,
+						kairos.WithWeights(kairos.WeightsBoth),
+						kairos.WithBinder(b), kairos.WithMapper(m), kairos.WithValidator(v),
+					)
+					adm, err := k.Admit(context.Background(), chain("combo", 3, 40))
+					if err != nil {
+						t.Fatalf("admission with %s/%s/%s failed: %v", bn, mn, vn, err)
+					}
+					if err := k.Release(adm.Instance); err != nil {
+						t.Fatal(err)
+					}
+					for _, e := range p.Elements() {
+						if e.InUse() {
+							t.Fatalf("element %d still in use after release", e.ID)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestFlagsHelper: the shared CLI helper parses, resolves, and
+// rejects bad values.
+func TestFlagsHelper(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := kairos.RegisterFlags(fs)
+	if err := fs.Parse([]string{
+		"-platform", "mesh4x4", "-weights", "communication",
+		"-mapper", "gap", "-router", "dijkstra", "-validator", "none", "-binder", "exact",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := f.BuildPlatform()
+	if err != nil || p.NumElements() != 18 { // 16 mesh + 2 I/O tiles
+		t.Fatalf("BuildPlatform = %v elements, %v", p.NumElements(), err)
+	}
+	opts, err := f.StrategyOptions()
+	if err != nil || len(opts) != 5 {
+		t.Fatalf("StrategyOptions = %d options, %v", len(opts), err)
+	}
+	k := kairos.New(p, opts...)
+	if adm, err := k.Admit(context.Background(), chain("flags", 2, 40)); err != nil {
+		t.Fatalf("admission with flag-selected strategies: %v", err)
+	} else if err := k.Release(adm.Instance); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, bad := range [][]string{
+		{"-weights", "heavy"},
+		{"-binder", "nope"},
+		{"-mapper", "nope"},
+		{"-router", "nope"},
+		{"-validator", "nope"},
+	} {
+		fs := flag.NewFlagSet("test", flag.ContinueOnError)
+		f := kairos.RegisterFlags(fs)
+		if err := fs.Parse(bad); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.StrategyOptions(); err == nil {
+			t.Errorf("StrategyOptions accepted %v", bad)
+		}
+	}
+}
+
+// TestAdmitAllContext: a cancelled batch fails the remaining entries
+// with the context error but keeps earlier admissions.
+func TestAdmitAllContext(t *testing.T) {
+	k := kairos.New(kairos.Mesh(4, 4, kairos.DefaultVCs),
+		kairos.WithWeights(kairos.WeightsBoth),
+		kairos.WithoutValidation(),
+	)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results := k.AdmitAll(ctx, []*kairos.Application{chain("x", 2, 40), chain("y", 2, 40)})
+	for _, res := range results {
+		if !errors.Is(res.Err, context.Canceled) {
+			t.Errorf("batch entry %d error = %v, want context.Canceled", res.Index, res.Err)
+		}
+	}
+	if live := len(k.Admitted()); live != 0 {
+		t.Errorf("cancelled batch admitted %d applications", live)
+	}
+}

@@ -1,0 +1,104 @@
+package kairos
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// config collects the engine options built by the functional options.
+type config struct {
+	core core.Options
+}
+
+// Option configures a Manager at construction (see New).
+type Option func(*config)
+
+// WithWeights sets the mapping cost-function weights (the paper's
+// Figs. 8–10 treatment). The zero value disables every objective;
+// WeightsBoth is the paper's recommended configuration.
+func WithWeights(w Weights) Option {
+	return func(c *config) { c.core.Weights = w }
+}
+
+// WithBinder swaps the phase-1 strategy (default: the paper's
+// regret-ordered heuristic, BinderByName("regret")).
+func WithBinder(b Binder) Option {
+	return func(c *config) { c.core.Binder = b }
+}
+
+// WithMapper swaps the phase-2 strategy (default: the paper's
+// incremental algorithm, MapperByName("incremental")).
+func WithMapper(m Mapper) Option {
+	return func(c *config) { c.core.Mapper = m }
+}
+
+// WithRouter swaps the phase-3 strategy (default: BFS,
+// RouterByName("bfs")).
+func WithRouter(r Router) Option {
+	return func(c *config) { c.core.Router = r }
+}
+
+// WithValidator swaps the phase-4 strategy (default: the SDF
+// throughput analysis, ValidatorByName("sdf")).
+func WithValidator(v Validator) Option {
+	return func(c *config) { c.core.Validator = v }
+}
+
+// WithSolver swaps the knapsack subroutine of the GAP solver inside
+// the mapping phase (default: the paper's O(T²) greedy).
+func WithSolver(s Solver) Option {
+	return func(c *config) { c.core.Solver = s }
+}
+
+// WithoutValidation omits the validation phase entirely: no SDF model
+// is built, Times.Validation stays zero. Admission-outcome sweeps use
+// this to skip thousands of throughput analyses.
+func WithoutValidation() Option {
+	return func(c *config) { c.core.DisableValidation = true }
+}
+
+// WithAdvisoryValidation runs and times the validation phase but
+// ignores its verdict, as the paper's synthetic-dataset experiments
+// do ("we do not reject applications in the validation phase", §IV).
+func WithAdvisoryValidation() Option {
+	return func(c *config) { c.core.SkipValidation = true }
+}
+
+// WithFastValidation switches the validation phase to the
+// maximum-cycle-ratio analysis for unit-rate models (state-space
+// exploration otherwise).
+func WithFastValidation() Option {
+	return func(c *config) { c.core.Validation.Fast = true }
+}
+
+// WithExtraRings sets the number of additional BFS candidate
+// expansion steps of the mapping phase (paper §III-B). Zero keeps the
+// paper's default of 1; negative means no extra expansion.
+func WithExtraRings(n int) Option {
+	return func(c *config) { c.core.ExtraRings = n }
+}
+
+// WithDistancePenalty sets the cost charged for a communication pair
+// whose distance is missing from the sparse matrix (paper §III-D,
+// "a relative high penalty"). Zero keeps the default of 64.
+func WithDistancePenalty(n int) Option {
+	return func(c *config) { c.core.DistancePenalty = n }
+}
+
+// WithAdmissionTimeout bounds every admission attempt: the workflow
+// checks the deadline between phases and rolls back once it has
+// passed, returning an error that matches context.DeadlineExceeded.
+// It applies per admission, so each AdmitAll entry gets its own
+// budget.
+func WithAdmissionTimeout(d time.Duration) Option {
+	return func(c *config) { c.core.AdmitTimeout = d }
+}
+
+// WithEventBuffer sets the per-subscription channel capacity of the
+// event stream (default DefaultEventBuffer). Events published while a
+// subscriber's buffer is full are dropped for that subscriber and
+// counted (Manager.Dropped).
+func WithEventBuffer(n int) Option {
+	return func(c *config) { c.core.EventBuffer = n }
+}

@@ -1,0 +1,72 @@
+package kairos
+
+import (
+	"repro/internal/platform"
+	"repro/internal/resource"
+)
+
+// Platform is the heterogeneous MPSoC model the manager allocates on:
+// typed processing elements with resource pools, connected by NoC
+// links that time-share virtual channels. Build one with CRISP, Mesh,
+// MeshWithIO, PlatformFromSpec, or element by element starting from
+// NewPlatform.
+type Platform = platform.Platform
+
+// Element is one processing element of a Platform.
+type Element = platform.Element
+
+// Link is one directed NoC link of a Platform.
+type Link = platform.Link
+
+// Occupant identifies one task instance placed on an element.
+type Occupant = platform.Occupant
+
+// Vector is a resource demand or capacity over the resource axes
+// (compute, memory, io, config).
+type Vector = resource.Vector
+
+// Resources builds a resource vector from per-axis amounts.
+func Resources(compute, memory, io, config int64) Vector {
+	return resource.Of(compute, memory, io, config)
+}
+
+// The element types used by the builders and the application
+// generator. Type strings are free-form: an implementation targets a
+// type, and only elements of that type can host it.
+const (
+	TypeDSP    = platform.TypeDSP
+	TypeGPP    = platform.TypeGPP
+	TypeFPGA   = platform.TypeFPGA
+	TypeMemory = platform.TypeMemory
+	TypeTest   = platform.TypeTest
+	TypeIO     = platform.TypeIO
+)
+
+// DefaultVCs is the builders' number of virtual channels per link
+// direction.
+var DefaultVCs = platform.DefaultVCs
+
+// DSPCapacity is the capacity of one DSP tile in the builders, the
+// base the synthetic generator expresses demands against.
+var DSPCapacity = platform.DSPCapacity
+
+// NewPlatform returns an empty platform to build element by element
+// (Platform.AddElement, Platform.Connect).
+func NewPlatform() *Platform { return platform.New() }
+
+// CRISP builds the platform of the paper's evaluation (Fig. 6): an
+// ARM, an FPGA hub, two I/O tiles, and 5 packages of 9 DSPs, 2 memory
+// tiles and a hardware test unit each.
+func CRISP() *Platform { return platform.CRISP() }
+
+// Mesh builds a w×h DSP mesh with vcs virtual channels per link
+// direction.
+func Mesh(w, h, vcs int) *Platform { return platform.Mesh(w, h, vcs) }
+
+// MeshWithIO builds a w×h DSP mesh with stream-in and stream-out I/O
+// tiles attached to opposite corners.
+func MeshWithIO(w, h, vcs int) *Platform { return platform.MeshWithIO(w, h, vcs) }
+
+// PlatformFromSpec parses the CLI platform vocabulary: "crisp",
+// "mesh<W>x<H>", or the path of a .json platform description.
+func PlatformFromSpec(spec string) (*Platform, error) { return platform.FromSpec(spec) }

@@ -1,0 +1,163 @@
+package kairos
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/binding"
+	"repro/internal/core"
+	"repro/internal/knapsack"
+	"repro/internal/mapping"
+	"repro/internal/routing"
+	"repro/internal/validation"
+)
+
+// The strategy interfaces mention these types in their method
+// signatures; they are aliased here so an implementation outside the
+// module can be written against repro/kairos alone.
+
+// Binding is the result of the binding phase: the selected
+// implementation per task (with accessors Implementation, Demand,
+// Target).
+type Binding = binding.Binding
+
+// MapperOptions configures one mapping-phase run: the instance name
+// placements are recorded under, the cost weights, and the search
+// parameters. Custom mappers receive it from the engine.
+type MapperOptions = mapping.Options
+
+// MapResult is a successful mapping: the element per task plus
+// introspection counters.
+type MapResult = mapping.Result
+
+// ValidationOptions configures the SDF model of the validation phase.
+type ValidationOptions = validation.Options
+
+// ValidationReport is the outcome of the validation phase.
+type ValidationReport = validation.Report
+
+// Solver is the knapsack subroutine of the GAP solver inside the
+// mapping phase (see WithSolver).
+type Solver = knapsack.Solver
+
+// The registered knapsack solvers.
+var (
+	// SolverGreedy is the paper's O(T²) density-greedy knapsack. The
+	// default.
+	SolverGreedy Solver = knapsack.Greedy{}
+	// SolverExact is the exact branch-and-bound knapsack (the quality
+	// ablation of the greedy).
+	SolverExact Solver = knapsack.Exact{}
+)
+
+// Binder selects an implementation for every task of an application
+// (phase 1). Implementations must not mutate the platform.
+type Binder = core.Binder
+
+// Mapper assigns a platform element to every task (phase 2),
+// committing placements under the instance name in its options and
+// rolling back everything it placed on failure.
+type Mapper = core.Mapper
+
+// Router finds a path between two elements over links with free
+// virtual channels (phase 3). Implementations must not allocate.
+type Router = core.Router
+
+// Validator checks the performance constraints of an execution layout
+// (phase 4). A nil report with a nil error accepts the layout without
+// analysis.
+type Validator = core.Validator
+
+// The registered routers.
+var (
+	// RouterBFS is the paper's router: fewest hops, least-loaded
+	// links first among equals (§II). The default.
+	RouterBFS Router = routing.BFS{}
+	// RouterDijkstra is the load-aware router of the paper's §II
+	// parity claim: link weight grows with virtual-channel occupancy.
+	RouterDijkstra Router = routing.Dijkstra{}
+)
+
+// The strategy registries: the implementations selectable by name
+// from the CLIs (cmd/kairos, cmd/sim, cmd/experiments -binder,
+// -mapper, -router, -validator). The first entry of each list is the
+// default.
+var (
+	binders = []Binder{core.RegretBinder{}, core.ExactBinder{}}
+	mappers = []Mapper{core.IncrementalMapper{}, core.GapMapper{}, core.FirstFitMapper{}}
+	routers = []Router{RouterBFS, RouterDijkstra}
+	// validators is ordered default-first like the others.
+	validators = []Validator{core.SDFValidator{}, core.NoopValidator{}}
+)
+
+// BinderByName returns the registered phase-1 strategy with the name:
+// "regret" (the paper's heuristic, default) or "exact" (budgeted
+// branch-and-bound over the selection space).
+func BinderByName(name string) (Binder, error) {
+	for _, b := range binders {
+		if b.Name() == name {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("kairos: unknown binder %q (have %v)", name, BinderNames())
+}
+
+// MapperByName returns the registered phase-2 strategy with the name:
+// "incremental" (the paper's algorithm, default), "gap" (one global
+// GAP over all tasks and elements) or "firstfit" (nearest-first-fit
+// baseline).
+func MapperByName(name string) (Mapper, error) {
+	for _, m := range mappers {
+		if m.Name() == name {
+			return m, nil
+		}
+	}
+	return nil, fmt.Errorf("kairos: unknown mapper %q (have %v)", name, MapperNames())
+}
+
+// RouterByName returns the registered phase-3 strategy with the name:
+// "bfs" (default) or "dijkstra".
+func RouterByName(name string) (Router, error) {
+	for _, r := range routers {
+		if r.Name() == name {
+			return r, nil
+		}
+	}
+	return nil, fmt.Errorf("kairos: unknown router %q (have %v)", name, RouterNames())
+}
+
+// ValidatorByName returns the registered phase-4 strategy with the
+// name: "sdf" (the SDF throughput analysis, default) or "none" (the
+// no-op validator: accept every layout without building a model).
+func ValidatorByName(name string) (Validator, error) {
+	for _, v := range validators {
+		if v.Name() == name {
+			return v, nil
+		}
+	}
+	return nil, fmt.Errorf("kairos: unknown validator %q (have %v)", name, ValidatorNames())
+}
+
+// named is the common shape of the strategy interfaces.
+type named interface{ Name() string }
+
+func names[T named](reg []T) []string {
+	out := make([]string, len(reg))
+	for i, s := range reg {
+		out[i] = s.Name()
+	}
+	sort.Strings(out[1:]) // keep the default first, the rest sorted
+	return out
+}
+
+// BinderNames lists the registered binder names, default first.
+func BinderNames() []string { return names(binders) }
+
+// MapperNames lists the registered mapper names, default first.
+func MapperNames() []string { return names(mappers) }
+
+// RouterNames lists the registered router names, default first.
+func RouterNames() []string { return names(routers) }
+
+// ValidatorNames lists the registered validator names, default first.
+func ValidatorNames() []string { return names(validators) }
