@@ -52,6 +52,7 @@ func BenchmarkExperiments(b *testing.B) {
 		{"parallel", 0},
 	} {
 		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
 			var recs []experiments.Record
 			for i := 0; i < b.N; i++ {
 				recs = experiments.RunSequences(ds, proto, experiments.SequenceConfig{
@@ -72,6 +73,42 @@ func BenchmarkExperiments(b *testing.B) {
 			b.ReportMetric(float64(len(recs)-success), "failures")
 			b.ReportMetric(float64(len(recs)), "attempts")
 		})
+	}
+}
+
+// BenchmarkAdmitReleaseSteadyState measures the pure admission hot
+// path: Admit followed by Release of one filter-surviving application
+// on a warm manager, so every per-admission buffer comes from the
+// scratch pools and the platform returns to its starting state after
+// each op. allocs/op here is what the allocation-free-hot-path work
+// defends (cmd/bench tracks the same quantity across revisions with a
+// CI gate; see internal/bench).
+func BenchmarkAdmitReleaseSteadyState(b *testing.B) {
+	proto := platform.CRISP()
+	ds := experiments.BuildDataset(appgen.NewConfig(appgen.Communication, appgen.Small), 20, 8, proto, 1)
+	if len(ds.Apps) == 0 {
+		b.Skip("no filter-surviving app in the sample")
+	}
+	app := ds.Apps[0]
+	k := kairos.New(platform.CRISP(),
+		kairos.WithWeights(mapping.WeightsBoth),
+		kairos.WithAdvisoryValidation(),
+	)
+	ctx := context.Background()
+	// Warm the scratch pools so the steady state is what is measured.
+	if adm, err := k.Admit(ctx, app); err == nil {
+		_ = k.Release(adm.Instance)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		adm, err := k.Admit(ctx, app)
+		if err != nil {
+			b.Fatalf("admission failed: %v", err)
+		}
+		if err := k.Release(adm.Instance); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -1,0 +1,192 @@
+// Command bench runs the repository's pinned benchmark suite (see
+// internal/bench) and writes one machine-readable BENCH_<git-sha>.json
+// per revision — the performance trajectory of the resource manager —
+// plus a human-readable table. It is also the CI regression gate: with
+// -compare it diffs two reports and exits non-zero when the new one
+// regresses (ns/op beyond -tolerance, or allocs/op beyond the
+// max(2, 0.5%) noise floor — allocation counts are deterministic, so
+// anything above that is a real regression).
+//
+// Usage:
+//
+//	bench                         # full suite, BENCH_<sha>.json in .
+//	bench -quick                  # the CI-sized run (same scenarios, fewer ops)
+//	bench -run 'admit/'           # subset by regexp
+//	bench -list                   # print the scenario set and ops, no run
+//	bench -out /tmp -sha abc123   # where and under which revision to record
+//	bench -compare -tolerance 0.15 old.json new.json
+//
+// For a fixed -seed and mode, two runs execute identical scenario
+// sets with identical ops and attempt counts; only the timing-derived
+// fields differ (EXPERIMENTS.md §5).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/bench"
+)
+
+// errRegression makes main exit 1 (gate failed) instead of 2 (usage).
+var errRegression = errors.New("regression gate failed")
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	var (
+		quick     = fs.Bool("quick", false, "CI-sized run: same scenario set, fewer ops per scenario")
+		seed      = fs.Int64("seed", 1, "random seed for datasets and the churn simulator")
+		runFilter = fs.String("run", "", "run only scenarios matching this regexp")
+		list      = fs.Bool("list", false, "list the scenario set and ops counts without running")
+		outDir    = fs.String("out", ".", "directory for the BENCH_<sha>.json report")
+		jsonPath  = fs.String("json", "", "explicit report path (overrides -out naming; - for stdout only)")
+		sha       = fs.String("sha", "", "revision to record in the report (default: git rev-parse --short HEAD)")
+		compare   = fs.Bool("compare", false, "compare two BENCH_*.json files: bench -compare old.json new.json")
+		tolerance = fs.Float64("tolerance", 0.15, "compare: acceptable ns/op growth fraction (allocs/op is gated separately at a max(2, 0.5%) noise floor)")
+		quiet     = fs.Bool("q", false, "suppress per-scenario progress lines")
+	)
+	fs.SetOutput(stdout)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *compare {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("-compare needs exactly two report files, got %d", fs.NArg())
+		}
+		return runCompare(fs.Arg(0), fs.Arg(1), *tolerance, stdout)
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments %v (did you mean -compare?)", fs.Args())
+	}
+
+	suite := bench.Suite(bench.Options{Quick: *quick, Seed: *seed})
+	suite, err := bench.Filter(suite, *runFilter)
+	if err != nil {
+		return err
+	}
+	if len(suite) == 0 {
+		return fmt.Errorf("no scenario matches -run %q", *runFilter)
+	}
+	if *list {
+		fmt.Fprintf(stdout, "%-28s %-10s %8s\n", "scenario", "group", "ops")
+		for _, sc := range suite {
+			fmt.Fprintf(stdout, "%-28s %-10s %8d\n", sc.Name, sc.Group, sc.Ops)
+		}
+		return nil
+	}
+
+	var logf bench.Logf
+	if !*quiet {
+		logf = func(format string, args ...any) {
+			fmt.Fprintf(stdout, format+"\n", args...)
+		}
+	}
+	rep, err := bench.Run(suite, *quick, *seed, logf)
+	if err != nil {
+		return err
+	}
+	rep.SHA = *sha
+	if rep.SHA == "" {
+		rep.SHA = gitSHA()
+	}
+
+	// -json - means machine-readable stdout: nothing but the JSON may
+	// land on the stream, so the table is skipped there.
+	if *jsonPath != "-" {
+		if !*quiet {
+			fmt.Fprintln(stdout)
+		}
+		fmt.Fprint(stdout, bench.FormatTable(rep))
+	}
+
+	data, err := rep.Marshal()
+	if err != nil {
+		return err
+	}
+	switch {
+	case *jsonPath == "-":
+		_, err = stdout.Write(data)
+		return err
+	case *jsonPath != "":
+		return writeReport(*jsonPath, data, stdout)
+	default:
+		name := filepath.Join(*outDir, "BENCH_"+rep.SHA+".json")
+		return writeReport(name, data, stdout)
+	}
+}
+
+func writeReport(path string, data []byte, stdout io.Writer) error {
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "\nwrote %s\n", path)
+	return nil
+}
+
+func runCompare(oldPath, newPath string, tolerance float64, stdout io.Writer) error {
+	oldRep, err := readReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := readReport(newPath)
+	if err != nil {
+		return err
+	}
+	regs, err := bench.Compare(oldRep, newRep, tolerance)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "comparing %s (%s) -> %s (%s)\n\n",
+		filepath.Base(oldPath), oldRep.SHA, filepath.Base(newPath), newRep.SHA)
+	fmt.Fprint(stdout, bench.FormatComparison(oldRep, newRep, regs, tolerance))
+	if len(regs) > 0 {
+		return errRegression
+	}
+	return nil
+}
+
+func readReport(path string) (*bench.Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := bench.UnmarshalReport(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if rep.Schema != bench.Schema {
+		return nil, fmt.Errorf("%s: schema %d, this binary speaks %d", path, rep.Schema, bench.Schema)
+	}
+	return rep, nil
+}
+
+// gitSHA asks git for the current short revision; "unknown" outside a
+// work tree.
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		if errors.Is(err, errRegression) {
+			fmt.Fprintln(os.Stderr, "bench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "bench:", err)
+		os.Exit(2)
+	}
+}

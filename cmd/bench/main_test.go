@@ -1,0 +1,106 @@
+package main
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// TestList prints the pinned scenario set without running anything.
+func TestList(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-list", "-quick"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"admit/communication-small", "admit/computation-large",
+		"admitall/10", "admitall/1000",
+		"readmit/after-fault", "churn/steady-state",
+		"strategy/binder-exact", "strategy/router-dijkstra",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("-list output lacks %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestRunSubsetEmitsValidJSON runs one real scenario and checks the
+// emitted report parses under the current schema with deterministic
+// counts filled in.
+func TestRunSubsetEmitsValidJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	var out bytes.Buffer
+	err := run([]string{
+		"-quick", "-q", "-run", "^admit/computation-small$",
+		"-json", path, "-sha", "testsha",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := bench.UnmarshalReport(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != bench.Schema || rep.SHA != "testsha" || !rep.Quick {
+		t.Errorf("report header wrong: %+v", rep)
+	}
+	if len(rep.Scenarios) != 1 || rep.Scenarios[0].Name != "admit/computation-small" {
+		t.Fatalf("unexpected scenarios: %+v", rep.Scenarios)
+	}
+	m := rep.Scenarios[0]
+	if m.Ops <= 0 || m.Attempts != m.Ops || m.NsPerOp <= 0 || m.AllocsPerOp <= 0 {
+		t.Errorf("implausible measurement: %+v", m)
+	}
+	if !strings.Contains(out.String(), "admit/computation-small") {
+		t.Errorf("table output lacks the scenario:\n%s", out.String())
+	}
+}
+
+// TestCompareGateExitPath checks the CLI comparison: a clean pair
+// passes, a regressed pair returns errRegression (exit 1 in main).
+func TestCompareGateExitPath(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, ns, allocs int64) string {
+		rep := &bench.Report{
+			Schema: bench.Schema, SHA: name, Quick: true, Seed: 1,
+			Scenarios: []bench.Measurement{{
+				Name: "admit/x", Group: "admit", Ops: 10, Attempts: 10,
+				NsPerOp: ns, AllocsPerOp: allocs,
+			}},
+		}
+		data, err := rep.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name+".json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	oldPath := write("old", 1000, 500)
+	okPath := write("ok", 1050, 500)
+	badPath := write("bad", 5000, 900)
+
+	var out bytes.Buffer
+	if err := run([]string{"-compare", oldPath, okPath}, &out); err != nil {
+		t.Errorf("clean compare should pass: %v\n%s", err, out.String())
+	}
+	out.Reset()
+	err := run([]string{"-compare", oldPath, badPath}, &out)
+	if !errors.Is(err, errRegression) {
+		t.Errorf("regressed compare returned %v, want errRegression", err)
+	}
+	if !strings.Contains(out.String(), "REGRESSIONS") {
+		t.Errorf("comparison output lacks the regression list:\n%s", out.String())
+	}
+}

@@ -1,0 +1,350 @@
+// Package bench is the repository's benchmark subsystem: a pinned
+// suite of admission scenarios — single admissions per generator
+// profile, AdmitAll batches, readmission after faults, churn-simulator
+// steady state, and the alternate phase strategies — measured with
+// fixed, deterministic iteration counts and reported as ns/op, B/op,
+// allocs/op and admission throughput.
+//
+// The paper sells Kairos on run-time admission speed (the per-phase
+// run times of Fig. 7 are the headline evidence); this package is how
+// the reproduction tracks its own. cmd/bench runs the suite and emits
+// a machine-readable BENCH_<git-sha>.json per revision — the repo's
+// performance trajectory — and CI compares head against base with
+// Compare to gate regressions (see EXPERIMENTS.md §5).
+//
+// Unlike `go test -bench`, iteration counts never adapt to wall-clock
+// time: for a fixed seed and mode, two runs execute the identical
+// scenario set with identical ops and admission-attempt counts, so
+// every field of the report except the timing-derived ones is
+// byte-reproducible (the determinism tests pin this).
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"regexp"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Schema is the current BENCH_*.json schema version. Bump it when the
+// Report shape changes incompatibly; the CI gate refuses to compare
+// reports across schema versions.
+const Schema = 1
+
+// Scenario is one named case of the benchmark suite.
+type Scenario struct {
+	// Name identifies the scenario, e.g. "admit/communication-small".
+	Name string
+	// Group is the scenario family, e.g. "admit" or "strategy".
+	Group string
+	// Ops is the fixed iteration count. It never adapts to timing.
+	Ops int
+	// Prepare builds the scenario state (excluded from measurement)
+	// and returns the op to measure. The op reports how many admission
+	// workflow attempts it performed, the basis of the throughput
+	// metric.
+	Prepare func() (func() (attempts int, err error), error)
+}
+
+// Measurement is the result of running one scenario.
+type Measurement struct {
+	Name  string `json:"name"`
+	Group string `json:"group"`
+	// Ops and Attempts are deterministic for a fixed seed and mode.
+	Ops      int `json:"ops"`
+	Attempts int `json:"attempts"`
+	// Timing-derived metrics; host-dependent, excluded from the
+	// determinism comparison.
+	NsPerOp      int64   `json:"nsPerOp"`
+	BytesPerOp   int64   `json:"bytesPerOp"`
+	AllocsPerOp  int64   `json:"allocsPerOp"`
+	AdmitsPerSec float64 `json:"admitsPerSec"`
+}
+
+// Report is the outcome of one suite run: the BENCH_<sha>.json
+// payload.
+type Report struct {
+	Schema    int           `json:"schema"`
+	SHA       string        `json:"sha"`
+	GoVersion string        `json:"goVersion"`
+	GOOS      string        `json:"goos"`
+	GOARCH    string        `json:"goarch"`
+	Quick     bool          `json:"quick"`
+	Seed      int64         `json:"seed"`
+	Scenarios []Measurement `json:"scenarios"`
+}
+
+// Marshal renders the report as indented JSON with a trailing newline
+// (the exact bytes cmd/bench writes).
+func (r *Report) Marshal() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", " ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// UnmarshalReport parses a BENCH_*.json payload.
+func UnmarshalReport(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: bad report: %w", err)
+	}
+	return &r, nil
+}
+
+// Logf is a progress callback; nil discards progress.
+type Logf func(format string, args ...any)
+
+// Run measures every scenario in order and assembles the report
+// skeleton (SHA is the caller's to fill in). A scenario whose Prepare
+// or op fails aborts the run: a suite that cannot run to completion
+// must not produce a trajectory point.
+//
+// The suite is single-goroutine by construction (serial harness
+// paths, one live manager), so Run pins GOMAXPROCS to 1 for the
+// duration: on multiple Ps the scheduler may migrate the goroutine
+// mid-scenario, and a sync.Pool Put parked in another P's private
+// slot is invisible to Get — allocs/op would then depend on scheduler
+// timing rather than on the code under test.
+func Run(scenarios []Scenario, quick bool, seed int64, logf Logf) (*Report, error) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	rep := &Report{
+		Schema:    Schema,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Quick:     quick,
+		Seed:      seed,
+	}
+	for _, sc := range scenarios {
+		m, err := runScenario(sc)
+		if err != nil {
+			return nil, fmt.Errorf("bench: scenario %s: %w", sc.Name, err)
+		}
+		if logf != nil {
+			logf("%-28s %8d ops %12d ns/op %8d B/op %6d allocs/op %10.1f admits/s",
+				m.Name, m.Ops, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp, m.AdmitsPerSec)
+		}
+		rep.Scenarios = append(rep.Scenarios, m)
+	}
+	return rep, nil
+}
+
+// runScenario measures one scenario with fixed iterations: ns/op from
+// the wall clock, B/op and allocs/op from the runtime's monotonic
+// allocation counters. The garbage collector is paused for the
+// measured loop — a GC cycle mid-loop flushes the sync.Pools the hot
+// path relies on, which would re-allocate pooled scratch and make
+// allocs/op depend on GC timing instead of the code under test. Every
+// scenario's working set is tens of megabytes at most, so the pause is
+// safe; the pre-loop runtime.GC keeps scenarios from billing each
+// other's garbage.
+func runScenario(sc Scenario) (Measurement, error) {
+	m := Measurement{Name: sc.Name, Group: sc.Group, Ops: sc.Ops}
+	if sc.Ops <= 0 {
+		return m, fmt.Errorf("non-positive ops %d", sc.Ops)
+	}
+	op, err := sc.Prepare()
+	if err != nil {
+		return m, err
+	}
+	runtime.GC()
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	// One untimed warmup op: it repopulates the scratch pools the GC
+	// flushed between scenarios and triggers lazy one-time work
+	// (adjacency caches and the like), so the measured loop sees the
+	// steady state and allocs/op is exact, not GC-phase-dependent.
+	if _, err := op(); err != nil {
+		return m, fmt.Errorf("warmup op: %w", err)
+	}
+	// The ops are split into up to five equal batches and ns/op is
+	// the fastest batch's per-op time: the minimum is far more robust
+	// to transient host noise (a scheduler hiccup inflates one batch,
+	// not all of them) than the mean, which is what a CI regression
+	// gate needs. Allocation counters cover the whole loop — they are
+	// deterministic and need no noise defence.
+	batches := sc.Ops
+	if batches > 5 {
+		batches = 5
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	bestNs := int64(0)
+	done := 0
+	for b := 0; b < batches; b++ {
+		n := sc.Ops / batches
+		if b < sc.Ops%batches {
+			n++
+		}
+		batchStart := time.Now()
+		for i := 0; i < n; i++ {
+			a, err := op()
+			if err != nil {
+				return m, fmt.Errorf("op %d: %w", done+i, err)
+			}
+			m.Attempts += a
+		}
+		done += n
+		perOp := time.Since(batchStart).Nanoseconds() / int64(n)
+		if bestNs == 0 || perOp < bestNs {
+			bestNs = perOp
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	ops := int64(sc.Ops)
+	m.NsPerOp = bestNs
+	m.BytesPerOp = int64(after.TotalAlloc-before.TotalAlloc) / ops
+	m.AllocsPerOp = int64(after.Mallocs-before.Mallocs) / ops
+	if secs := elapsed.Seconds(); secs > 0 {
+		m.AdmitsPerSec = float64(m.Attempts) / secs
+	}
+	return m, nil
+}
+
+// Filter returns the scenarios whose name matches the regular
+// expression (all of them for an empty pattern).
+func Filter(scenarios []Scenario, pattern string) ([]Scenario, error) {
+	if pattern == "" {
+		return scenarios, nil
+	}
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return nil, fmt.Errorf("bench: bad filter %q: %w", pattern, err)
+	}
+	var out []Scenario
+	for _, sc := range scenarios {
+		if re.MatchString(sc.Name) {
+			out = append(out, sc)
+		}
+	}
+	return out, nil
+}
+
+// FormatTable renders the human-readable results table.
+func FormatTable(r *Report) string {
+	var b strings.Builder
+	mode := "full"
+	if r.Quick {
+		mode = "quick"
+	}
+	fmt.Fprintf(&b, "bench %s suite, seed %d, %s %s/%s, rev %s\n\n",
+		mode, r.Seed, r.GoVersion, r.GOOS, r.GOARCH, r.SHA)
+	fmt.Fprintf(&b, "%-28s %8s %14s %10s %10s %12s\n",
+		"scenario", "ops", "ns/op", "B/op", "allocs/op", "admits/s")
+	for _, m := range r.Scenarios {
+		fmt.Fprintf(&b, "%-28s %8d %14d %10d %10d %12.1f\n",
+			m.Name, m.Ops, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp, m.AdmitsPerSec)
+	}
+	return b.String()
+}
+
+// Regression is one gate violation found by Compare.
+type Regression struct {
+	Scenario string
+	Metric   string // "nsPerOp", "allocsPerOp", "missing"
+	Old, New float64
+	// Limit is the largest acceptable New for the given Old.
+	Limit float64
+}
+
+func (r Regression) String() string {
+	if r.Metric == "missing" {
+		return fmt.Sprintf("%s: scenario missing from the new report", r.Scenario)
+	}
+	return fmt.Sprintf("%s: %s %.0f -> %.0f (limit %.0f)",
+		r.Scenario, r.Metric, r.Old, r.New, r.Limit)
+}
+
+// Compare gates a new report against an old one: ns/op may grow by at
+// most the tolerance fraction (e.g. 0.15 for +15%), allocs/op may not
+// grow beyond a fixed noise floor of max(2, 0.5%) — the workload's
+// allocation counts are deterministic (fixed ops, GC paused, one P),
+// but background runtime activity can bleed ≤2 allocations into a
+// long scenario, while a genuinely regressed hot path shows tens per
+// op — and every old scenario must still exist. Scenarios only
+// present in the new report are ignored — new scenarios have no
+// baseline. Reports from different schema versions or with different
+// quick/seed settings are incomparable.
+func Compare(old, new *Report, tolerance float64) ([]Regression, error) {
+	if old.Schema != new.Schema {
+		return nil, fmt.Errorf("bench: schema mismatch: old %d vs new %d", old.Schema, new.Schema)
+	}
+	if old.Quick != new.Quick || old.Seed != new.Seed {
+		return nil, fmt.Errorf("bench: incomparable runs: old quick=%v seed=%d, new quick=%v seed=%d",
+			old.Quick, old.Seed, new.Quick, new.Seed)
+	}
+	byName := make(map[string]Measurement, len(new.Scenarios))
+	for _, m := range new.Scenarios {
+		byName[m.Name] = m
+	}
+	var regs []Regression
+	for _, o := range old.Scenarios {
+		n, ok := byName[o.Name]
+		if !ok {
+			regs = append(regs, Regression{Scenario: o.Name, Metric: "missing"})
+			continue
+		}
+		if limit := float64(o.NsPerOp) * (1 + tolerance); float64(n.NsPerOp) > limit {
+			regs = append(regs, Regression{
+				Scenario: o.Name, Metric: "nsPerOp",
+				Old: float64(o.NsPerOp), New: float64(n.NsPerOp), Limit: limit,
+			})
+		}
+		allocLimit := o.AllocsPerOp + max(2, o.AllocsPerOp/200)
+		if n.AllocsPerOp > allocLimit {
+			regs = append(regs, Regression{
+				Scenario: o.Name, Metric: "allocsPerOp",
+				Old: float64(o.AllocsPerOp), New: float64(n.AllocsPerOp), Limit: float64(allocLimit),
+			})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Scenario != regs[j].Scenario {
+			return regs[i].Scenario < regs[j].Scenario
+		}
+		return regs[i].Metric < regs[j].Metric
+	})
+	return regs, nil
+}
+
+// FormatComparison renders a side-by-side old/new table plus the
+// regression verdict.
+func FormatComparison(old, new *Report, regs []Regression, tolerance float64) string {
+	var b strings.Builder
+	byName := make(map[string]Measurement, len(new.Scenarios))
+	for _, m := range new.Scenarios {
+		byName[m.Name] = m
+	}
+	fmt.Fprintf(&b, "%-28s %14s %14s %8s %10s %10s\n",
+		"scenario", "old ns/op", "new ns/op", "Δ%", "old allocs", "new allocs")
+	for _, o := range old.Scenarios {
+		n, ok := byName[o.Name]
+		if !ok {
+			fmt.Fprintf(&b, "%-28s %14d %14s\n", o.Name, o.NsPerOp, "(missing)")
+			continue
+		}
+		delta := 0.0
+		if o.NsPerOp > 0 {
+			delta = 100 * (float64(n.NsPerOp) - float64(o.NsPerOp)) / float64(o.NsPerOp)
+		}
+		fmt.Fprintf(&b, "%-28s %14d %14d %+7.1f%% %10d %10d\n",
+			o.Name, o.NsPerOp, n.NsPerOp, delta, o.AllocsPerOp, n.AllocsPerOp)
+	}
+	if len(regs) == 0 {
+		fmt.Fprintf(&b, "\nOK: no regressions (ns/op tolerance %.0f%%, allocs/op within noise floor)\n", tolerance*100)
+		return b.String()
+	}
+	fmt.Fprintf(&b, "\nREGRESSIONS (%d):\n", len(regs))
+	for _, r := range regs {
+		fmt.Fprintf(&b, "  %s\n", r)
+	}
+	return b.String()
+}

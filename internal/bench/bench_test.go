@@ -1,0 +1,216 @@
+package bench
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// TestSuiteDeterministic pins the suite-construction half of the
+// determinism contract: equal options build the identical scenario
+// set with identical ops, and quick mode changes ops only.
+func TestSuiteDeterministic(t *testing.T) {
+	a := Suite(Options{Quick: true, Seed: 1})
+	b := Suite(Options{Quick: true, Seed: 1})
+	if len(a) != len(b) {
+		t.Fatalf("suite sizes differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || a[i].Group != b[i].Group || a[i].Ops != b[i].Ops {
+			t.Errorf("scenario %d differs: %q/%q/%d vs %q/%q/%d",
+				i, a[i].Name, a[i].Group, a[i].Ops, b[i].Name, b[i].Group, b[i].Ops)
+		}
+	}
+	full := Suite(Options{Seed: 1})
+	if len(full) != len(a) {
+		t.Fatalf("full and quick suites differ in scenario count: %d vs %d", len(full), len(a))
+	}
+	for i := range full {
+		if full[i].Name != a[i].Name {
+			t.Errorf("scenario %d: full %q vs quick %q", i, full[i].Name, a[i].Name)
+		}
+		if full[i].Ops < a[i].Ops {
+			t.Errorf("scenario %s: full ops %d < quick ops %d", full[i].Name, full[i].Ops, a[i].Ops)
+		}
+	}
+	if len(full) < 8 {
+		t.Errorf("suite has %d scenarios, want >= 8", len(full))
+	}
+}
+
+// TestRunDeterministicCounts runs the whole suite twice at one op per
+// scenario and requires every non-timing field — scenario set, ops,
+// admission-attempt counts — to be identical. This is the benchstat
+// half of the determinism contract: only timings may differ between
+// runs.
+func TestRunDeterministicCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full scenario set twice")
+	}
+	shrink := func() []Scenario {
+		scs := Suite(Options{Quick: true, Seed: 1})
+		for i := range scs {
+			scs[i].Ops = 1
+		}
+		return scs
+	}
+	a, err := Run(shrink(), true, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(shrink(), true, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Scenarios) != len(b.Scenarios) {
+		t.Fatalf("scenario counts differ: %d vs %d", len(a.Scenarios), len(b.Scenarios))
+	}
+	for i := range a.Scenarios {
+		x, y := a.Scenarios[i], b.Scenarios[i]
+		if x.Name != y.Name || x.Group != y.Group || x.Ops != y.Ops || x.Attempts != y.Attempts {
+			t.Errorf("scenario %d counts differ: %+v vs %+v", i, x, y)
+		}
+		if x.NsPerOp <= 0 {
+			t.Errorf("scenario %s: non-positive ns/op %d", x.Name, x.NsPerOp)
+		}
+		if x.Attempts <= 0 {
+			t.Errorf("scenario %s: no admission attempts recorded", x.Name)
+		}
+	}
+}
+
+// report builds a one-scenario report for the Compare tests.
+func report(ns, allocs int64) *Report {
+	return &Report{
+		Schema: Schema, Quick: true, Seed: 1,
+		Scenarios: []Measurement{{
+			Name: "admit/x", Group: "admit", Ops: 10, Attempts: 10,
+			NsPerOp: ns, AllocsPerOp: allocs,
+		}},
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	old := report(1000, 500)
+
+	if regs, err := Compare(old, report(1100, 500), 0.15); err != nil || len(regs) != 0 {
+		t.Errorf("+10%% ns/op within tolerance should pass: regs=%v err=%v", regs, err)
+	}
+	if regs, _ := Compare(old, report(1200, 500), 0.15); len(regs) != 1 || regs[0].Metric != "nsPerOp" {
+		t.Errorf("+20%% ns/op should fail the 15%% gate: %v", regs)
+	}
+	// Allocation noise floor: +2 passes, beyond it fails.
+	if regs, _ := Compare(old, report(1000, 502), 0.15); len(regs) != 0 {
+		t.Errorf("+2 allocs/op is within the noise floor: %v", regs)
+	}
+	if regs, _ := Compare(old, report(1000, 520), 0.15); len(regs) != 1 || regs[0].Metric != "allocsPerOp" {
+		t.Errorf("+20 allocs/op should fail: %v", regs)
+	}
+	// Scenario disappearance is a regression.
+	empty := &Report{Schema: Schema, Quick: true, Seed: 1}
+	if regs, _ := Compare(old, empty, 0.15); len(regs) != 1 || regs[0].Metric != "missing" {
+		t.Errorf("missing scenario should regress: %v", regs)
+	}
+	// Incomparable runs error out instead of passing silently.
+	other := report(1000, 500)
+	other.Quick = false
+	if _, err := Compare(old, other, 0.15); err == nil {
+		t.Error("quick vs full comparison should error")
+	}
+	badSchema := report(1000, 500)
+	badSchema.Schema = Schema + 1
+	if _, err := Compare(old, badSchema, 0.15); err == nil {
+		t.Error("schema mismatch should error")
+	}
+}
+
+func TestFilter(t *testing.T) {
+	suite := Suite(Options{Quick: true, Seed: 1})
+	admitOnly, err := Filter(suite, "^admit/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(admitOnly) != 6 {
+		t.Errorf("^admit/ matched %d scenarios, want 6", len(admitOnly))
+	}
+	if _, err := Filter(suite, "["); err == nil {
+		t.Error("bad regexp should error")
+	}
+}
+
+// TestReportSchemaGolden pins the BENCH_*.json schema: the exact bytes
+// of a marshalled report with fixed values. Intentional schema changes
+// must bump Schema and regenerate with -update-golden.
+func TestReportSchemaGolden(t *testing.T) {
+	rep := &Report{
+		Schema:    Schema,
+		SHA:       "0123abc",
+		GoVersion: "go1.24.0",
+		GOOS:      "linux",
+		GOARCH:    "amd64",
+		Quick:     true,
+		Seed:      1,
+		Scenarios: []Measurement{
+			{
+				Name: "admit/communication-small", Group: "admit",
+				Ops: 100, Attempts: 100,
+				NsPerOp: 123456, BytesPerOp: 15800, AllocsPerOp: 345,
+				AdmitsPerSec: 8100.5,
+			},
+			{
+				Name: "churn/steady-state", Group: "churn",
+				Ops: 1, Attempts: 61,
+				NsPerOp: 40000000, BytesPerOp: 6716880, AllocsPerOp: 88498,
+				AdmitsPerSec: 1525,
+			},
+		},
+	}
+	got, err := rep.Marshal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "report_schema.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (regenerate with -update-golden): %v", err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("report schema drifted from %s:\n got: %s\nwant: %s\n(bump Schema and -update-golden if intentional)",
+			golden, got, want)
+	}
+
+	// The golden must round-trip through the parser.
+	parsed, err := UnmarshalReport(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Schema != Schema || len(parsed.Scenarios) != 2 {
+		t.Errorf("golden round-trip lost data: %+v", parsed)
+	}
+
+	// And every expected field must be present in the JSON, by name.
+	var raw map[string]any
+	if err := json.Unmarshal(want, &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"schema", "sha", "goVersion", "goos", "goarch", "quick", "seed", "scenarios"} {
+		if _, ok := raw[key]; !ok {
+			t.Errorf("schema golden lacks top-level key %q", key)
+		}
+	}
+	sc := raw["scenarios"].([]any)[0].(map[string]any)
+	for _, key := range []string{"name", "group", "ops", "attempts", "nsPerOp", "bytesPerOp", "allocsPerOp", "admitsPerSec"} {
+		if _, ok := sc[key]; !ok {
+			t.Errorf("schema golden scenario lacks key %q", key)
+		}
+	}
+}

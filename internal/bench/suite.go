@@ -1,0 +1,285 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/appgen"
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/platform"
+	"repro/internal/sim"
+	"repro/kairos"
+)
+
+// Options parameterizes Suite.
+type Options struct {
+	// Quick divides every scenario's iteration count for the CI gate
+	// (same scenario set, fewer ops).
+	Quick bool
+	// Seed drives every random draw: dataset generation, sequence
+	// shuffles, the churn simulator. Two Suite calls with equal
+	// options build the identical suite.
+	Seed int64
+}
+
+// ops picks the iteration count for a scenario: full or quick.
+func (o Options) ops(full, quick int) int {
+	if o.Quick {
+		return quick
+	}
+	return full
+}
+
+// Suite builds the pinned benchmark suite. The scenario set and every
+// Ops count depend only on the options, never on timing — that is
+// what makes BENCH_*.json files comparable across revisions.
+func Suite(opts Options) []Scenario {
+	var scs []Scenario
+
+	// Single Admit (plus the Release restoring the platform) for one
+	// representative, filter-surviving application of each generator
+	// profile, on a warm manager: the paper's per-phase run-time
+	// measurements (Fig. 7) as a trajectory metric.
+	for _, prof := range []appgen.Profile{appgen.Communication, appgen.Computation} {
+		for _, size := range []appgen.Size{appgen.Small, appgen.Medium, appgen.Large} {
+			scs = append(scs, admitScenario(prof, size, opts))
+		}
+	}
+
+	// AdmitAll batches: the batch admission path under increasing
+	// load, far past platform saturation at 1000.
+	for _, n := range []int{10, 100, 1000} {
+		scs = append(scs, admitAllScenario(n, opts))
+	}
+
+	scs = append(scs, readmitScenario(opts), churnScenario(opts))
+
+	// The alternate phase strategies, one admission each: the ablation
+	// surface of DESIGN.md §5 as part of the trajectory.
+	scs = append(scs,
+		strategyScenario("binder-exact", opts, kairos.WithBinder(mustBinder("exact"))),
+		strategyScenario("mapper-gap", opts, kairos.WithMapper(mustMapper("gap"))),
+		strategyScenario("mapper-firstfit", opts, kairos.WithMapper(mustMapper("firstfit"))),
+		strategyScenario("router-dijkstra", opts, kairos.WithRouter(mustRouter("dijkstra"))),
+	)
+	return scs
+}
+
+func mustBinder(name string) kairos.Binder {
+	b, err := kairos.BinderByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func mustMapper(name string) kairos.Mapper {
+	m, err := kairos.MapperByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func mustRouter(name string) kairos.Router {
+	r, err := kairos.RouterByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// sampleApp returns the first application of the profile that survives
+// the empty-platform filter (as the paper's datasets are filtered), or
+// an error when the sample contains none.
+func sampleApp(prof appgen.Profile, size appgen.Size, seed int64) (*graph.Application, error) {
+	proto := platform.CRISP()
+	ds := experiments.BuildDataset(appgen.NewConfig(prof, size), 20, seed+7, proto, 1)
+	if len(ds.Apps) == 0 {
+		return nil, fmt.Errorf("no filter-surviving %s-%s app in the sample", prof, size)
+	}
+	return ds.Apps[0], nil
+}
+
+// admitScenario: Admit followed by Release on a warm manager; the
+// platform returns to empty after every op.
+func admitScenario(prof appgen.Profile, size appgen.Size, opts Options) Scenario {
+	return Scenario{
+		Name:  fmt.Sprintf("admit/%s-%s", prof, size),
+		Group: "admit",
+		Ops:   opts.ops(200, 100),
+		Prepare: func() (func() (int, error), error) {
+			app, err := sampleApp(prof, size, opts.Seed)
+			if err != nil {
+				return nil, err
+			}
+			k := kairos.New(platform.CRISP(),
+				kairos.WithWeights(kairos.WeightsBoth),
+				kairos.WithAdvisoryValidation(),
+			)
+			ctx := context.Background()
+			return func() (int, error) {
+				adm, err := k.Admit(ctx, app)
+				if err != nil {
+					return 1, err
+				}
+				return 1, k.Release(adm.Instance)
+			}, nil
+		},
+	}
+}
+
+// batchApps draws n applications round-robin over the six dataset
+// profiles, matching the Table I mix.
+func batchApps(n int, seed int64) []*graph.Application {
+	var gens []*appgen.Generator
+	for i, cfg := range experiments.AllConfigs() {
+		gens = append(gens, appgen.New(cfg, seed+int64(i+1)*101))
+	}
+	apps := make([]*graph.Application, n)
+	for i := range apps {
+		apps[i] = gens[i%len(gens)].Next()
+	}
+	return apps
+}
+
+// admitAllScenario: one AdmitAll batch per op (largest-first under the
+// platform lock), then ReleaseAll. Past saturation most of the batch
+// is rejected — the op measures sustained workflow throughput, not
+// placements.
+func admitAllScenario(n int, opts Options) Scenario {
+	ops := opts.ops(20, 5)
+	if n >= 1000 {
+		ops = opts.ops(3, 1)
+	} else if n >= 100 {
+		ops = opts.ops(10, 3)
+	}
+	return Scenario{
+		Name:  fmt.Sprintf("admitall/%d", n),
+		Group: "admitall",
+		Ops:   ops,
+		Prepare: func() (func() (int, error), error) {
+			apps := batchApps(n, opts.Seed)
+			k := kairos.New(platform.CRISP(),
+				kairos.WithWeights(kairos.WeightsBoth),
+				kairos.WithAdvisoryValidation(),
+			)
+			ctx := context.Background()
+			return func() (int, error) {
+				results := k.AdmitAll(ctx, apps)
+				attempts := 0
+				for _, r := range results {
+					if r.Admission != nil {
+						attempts++
+					}
+				}
+				k.ReleaseAll()
+				return attempts, nil
+			}, nil
+		},
+	}
+}
+
+// readmitScenario: a populated platform, one element fault per op. The
+// affected applications are forced through the restart path
+// (ReadmitAffected): they either move off the faulted element or have
+// their old layout replayed, so the population never drains (eviction
+// needs the restore replay itself to fail, which a mere element fault
+// cannot cause).
+func readmitScenario(opts Options) Scenario {
+	return Scenario{
+		Name:  "readmit/after-fault",
+		Group: "readmit",
+		Ops:   opts.ops(100, 50),
+		Prepare: func() (func() (int, error), error) {
+			k := kairos.New(platform.CRISP(),
+				kairos.WithWeights(kairos.WeightsBoth),
+				kairos.WithAdvisoryValidation(),
+			)
+			ctx := context.Background()
+			// Populate: admit from the batch mix until 12 applications
+			// run (or the sample is exhausted).
+			for _, app := range batchApps(60, opts.Seed) {
+				if len(k.Admitted()) >= 12 {
+					break
+				}
+				_, _ = k.Admit(ctx, app)
+			}
+			if len(k.Admitted()) == 0 {
+				return nil, fmt.Errorf("populating the platform admitted nothing")
+			}
+			p := k.Platform()
+			return func() (int, error) {
+				// Fault the lowest-ID enabled element hosting tasks:
+				// deterministic, and always an element whose failure
+				// forces readmissions.
+				target := -1
+				for _, e := range p.Elements() {
+					if e.Enabled() && e.InUse() {
+						target = e.ID
+						break
+					}
+				}
+				if target < 0 {
+					return 0, fmt.Errorf("no occupied enabled element to fault")
+				}
+				p.DisableElement(target)
+				results := k.ReadmitAffected(ctx)
+				p.EnableElement(target)
+				return len(results), nil
+			}, nil
+		},
+	}
+}
+
+// churnScenario: one fixed-seed churn-simulator run per op — Poisson
+// arrivals over the six profiles, exponential lifetimes, fault
+// injection and on-rejection defragmentation on a single live manager
+// (the serving regime the paper targets).
+func churnScenario(opts Options) Scenario {
+	return Scenario{
+		Name:  "churn/steady-state",
+		Group: "churn",
+		Ops:   opts.ops(3, 1),
+		Prepare: func() (func() (int, error), error) {
+			cfg := sim.DefaultConfig()
+			cfg.Seed = opts.Seed
+			cfg.Duration = 180
+			cfg.Policy = sim.PolicyOnRejection
+			return func() (int, error) {
+				res := sim.Run(cfg)
+				return res.Totals.Arrivals + res.Totals.RetryAdmitted, nil
+			}, nil
+		},
+	}
+}
+
+// strategyScenario: Admit+Release of the communication-medium sample
+// under a swapped phase strategy.
+func strategyScenario(name string, opts Options, strat kairos.Option) Scenario {
+	return Scenario{
+		Name:  "strategy/" + name,
+		Group: "strategy",
+		Ops:   opts.ops(100, 50),
+		Prepare: func() (func() (int, error), error) {
+			app, err := sampleApp(appgen.Communication, appgen.Medium, opts.Seed)
+			if err != nil {
+				return nil, err
+			}
+			k := kairos.New(platform.CRISP(),
+				kairos.WithWeights(kairos.WeightsBoth),
+				kairos.WithAdvisoryValidation(),
+				strat,
+			)
+			ctx := context.Background()
+			return func() (int, error) {
+				adm, err := k.Admit(ctx, app)
+				if err != nil {
+					return 1, err
+				}
+				return 1, k.Release(adm.Instance)
+			}, nil
+		},
+	}
+}

@@ -15,7 +15,7 @@ package binding
 import (
 	"fmt"
 	"math"
-	"sort"
+	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/platform"
@@ -68,29 +68,66 @@ func (e *Error) Error() string {
 // (locality is the mapping phase's concern) but catches joint
 // infeasibility, so rejections concentrate in binding rather than
 // mapping, as in the paper's Table I.
+//
+// Trackers are pooled: one Bind runs per admission attempt and the
+// per-type lists, the element index and the vector storage are all
+// reusable, so repeated admissions do not allocate here.
 type tracker struct {
 	free   map[string][]resource.Vector // per type, per element
-	byElem map[int]resource.Vector      // element ID → tracked free vector
+	byElem []resource.Vector            // element ID → tracked free vector (nil when untracked)
+	back   []int64                      // backing storage for the tracked vectors
+}
+
+var trackerPool = sync.Pool{
+	New: func() any { return &tracker{free: make(map[string][]resource.Vector)} },
 }
 
 func newTracker(p *platform.Platform) *tracker {
-	tr := &tracker{
-		free:   make(map[string][]resource.Vector),
-		byElem: make(map[int]resource.Vector),
+	tr := trackerPool.Get().(*tracker)
+	for typ, s := range tr.free {
+		tr.free[typ] = s[:0]
 	}
+	n := p.NumElements()
+	if cap(tr.byElem) < n {
+		tr.byElem = make([]resource.Vector, n)
+	}
+	tr.byElem = tr.byElem[:n]
+	for i := range tr.byElem {
+		tr.byElem[i] = nil
+	}
+	// The backing array must be fully grown before vectors are carved
+	// from it: an append-triggered reallocation would orphan the
+	// already-handed-out slices.
+	total := 0
+	for _, e := range p.Elements() {
+		if e.Enabled() {
+			total += len(e.Pool().Capacity())
+		}
+	}
+	if cap(tr.back) < total {
+		tr.back = make([]int64, total)
+	}
+	tr.back = tr.back[:0]
 	for _, e := range p.Elements() {
 		if !e.Enabled() {
 			continue
 		}
-		f := e.Pool().Free()
+		start := len(tr.back)
+		tr.back = tr.back[:start+len(e.Pool().Capacity())]
+		f := resource.Vector(tr.back[start:])
+		e.Pool().FreeInto(f)
 		tr.free[e.Type] = append(tr.free[e.Type], f)
 		tr.byElem[e.ID] = f
 	}
 	return tr
 }
 
+// release returns the tracker to the pool.
+func (tr *tracker) release() { trackerPool.Put(tr) }
+
 // bestFit returns the fitting element vector with the least slack, or
-// nil when no element of the type fits the demand.
+// nil when no element of the type fits the demand. It is the innermost
+// loop of the O(T²·I) regret ordering and must not allocate.
 func (tr *tracker) bestFit(target string, demand resource.Vector) resource.Vector {
 	var best resource.Vector
 	var bestSlack int64
@@ -98,7 +135,10 @@ func (tr *tracker) bestFit(target string, demand resource.Vector) resource.Vecto
 		if !demand.Fits(f) {
 			continue
 		}
-		slack := f.Sub(demand).Sum()
+		var slack int64
+		for i := range f {
+			slack += f[i] - demand[i]
+		}
 		if best == nil || slack < bestSlack {
 			best, bestSlack = f, slack
 		}
@@ -121,12 +161,15 @@ func (tr *tracker) fitsFixed(p *platform.Platform, elem int, demand resource.Vec
 	if e == nil || !e.Enabled() || e.Type != target {
 		return false
 	}
-	free, ok := tr.byElem[elem]
-	return ok && demand.Fits(free)
+	free := tr.byElem[elem]
+	return free != nil && demand.Fits(free)
 }
 
 func (tr *tracker) commitFixed(elem int, demand resource.Vector, target string) {
-	if free, ok := tr.byElem[elem]; ok {
+	if elem < 0 || elem >= len(tr.byElem) {
+		return
+	}
+	if free := tr.byElem[elem]; free != nil {
 		free.SubInPlace(demand)
 	}
 }
@@ -136,12 +179,16 @@ func (tr *tracker) commitFixed(elem int, demand resource.Vector, target string) 
 // modified; the returned Binding feeds the mapping phase.
 func Bind(app *graph.Application, p *platform.Platform) (*Binding, error) {
 	tr := newTracker(p)
+	defer tr.release()
 	n := len(app.Tasks)
 
-	// candidate returns the indices of implementations currently
-	// feasible for the task, cheapest first.
+	// candidate appends the indices of implementations currently
+	// feasible for the task into buf, cheapest first. The buffer is
+	// reused across the O(T²) regret re-evaluations; callers that keep
+	// a candidate list across evaluations copy it out.
+	candBuf := make([]int, 0, 8)
 	candidates := func(t *graph.Task) []int {
-		var out []int
+		out := candBuf[:0]
 		for i, im := range t.Implementations {
 			if t.FixedElement != graph.NoFixedElement {
 				if tr.fitsFixed(p, t.FixedElement, im.Requires, im.Target) {
@@ -153,9 +200,15 @@ func Bind(app *graph.Application, p *platform.Platform) (*Binding, error) {
 				out = append(out, i)
 			}
 		}
-		sort.Slice(out, func(a, b int) bool {
-			return t.Implementations[out[a]].Cost < t.Implementations[out[b]].Cost
-		})
+		// Insertion sort by implementation cost: candidate lists are
+		// tiny (the generator emits 1–3 implementations per task), and
+		// sort.Slice's closure would allocate on every call.
+		for i := 1; i < len(out); i++ {
+			for j := i; j > 0 && t.Implementations[out[j]].Cost < t.Implementations[out[j-1]].Cost; j-- {
+				out[j], out[j-1] = out[j-1], out[j]
+			}
+		}
+		candBuf = out
 		return out
 	}
 
@@ -182,13 +235,13 @@ func Bind(app *graph.Application, p *platform.Platform) (*Binding, error) {
 		remaining[i] = i
 	}
 
+	bestCand := make([]int, 0, 8)
 	for len(remaining) > 0 {
 		// Recompute regrets against the current tracker state and
 		// bind the highest-regret task. O(T² · I) overall, which is
 		// the dominant cost the paper observes for the 53-task
 		// beamformer ("binding is actually the bottleneck").
 		bestIdx, bestRegret := -1, math.Inf(-1)
-		var bestCand []int
 		for idx, taskID := range remaining {
 			t := app.Tasks[taskID]
 			cand := candidates(t)
@@ -197,7 +250,8 @@ func Bind(app *graph.Application, p *platform.Platform) (*Binding, error) {
 					Reason: "no implementation with sufficient free resources in the platform"}
 			}
 			if r := regret(t, cand); r > bestRegret {
-				bestIdx, bestRegret, bestCand = idx, r, cand
+				bestIdx, bestRegret = idx, r
+				bestCand = append(bestCand[:0], cand...)
 			}
 		}
 		taskID := remaining[bestIdx]

@@ -302,7 +302,7 @@ func (k *Kairos) attemptLocked(ctx context.Context, app *graph.Application) (*Ad
 	adm.MapStats = res
 
 	if err := ctx.Err(); err != nil {
-		mapping.Unmap(k.p, adm.Instance, app)
+		mapping.UnmapAssigned(k.p, adm.Instance, app, adm.Assignment)
 		return adm, cancelled(app, PhaseRouting, err)
 	}
 
@@ -311,14 +311,14 @@ func (k *Kairos) attemptLocked(ctx context.Context, app *graph.Application) (*Ad
 	routes, err := routing.RouteAll(app, res.Assignment, k.p, k.opts.Router)
 	adm.Times.Routing = time.Since(start)
 	if err != nil {
-		mapping.Unmap(k.p, adm.Instance, app)
+		mapping.UnmapAssigned(k.p, adm.Instance, app, adm.Assignment)
 		return adm, &PhaseError{Phase: PhaseRouting, Err: err}
 	}
 	adm.Routes = routes
 
 	if err := ctx.Err(); err != nil {
 		routing.ReleaseAll(k.p, routes)
-		mapping.Unmap(k.p, adm.Instance, app)
+		mapping.UnmapAssigned(k.p, adm.Instance, app, adm.Assignment)
 		return adm, cancelled(app, PhaseValidation, err)
 	}
 
@@ -330,7 +330,7 @@ func (k *Kairos) attemptLocked(ctx context.Context, app *graph.Application) (*Ad
 		adm.Report = rep
 		if verr != nil && !k.opts.SkipValidation {
 			routing.ReleaseAll(k.p, routes)
-			mapping.Unmap(k.p, adm.Instance, app)
+			mapping.UnmapAssigned(k.p, adm.Instance, app, adm.Assignment)
 			return adm, &PhaseError{Phase: PhaseValidation, Err: verr}
 		}
 	}
@@ -367,7 +367,7 @@ func (k *Kairos) releaseLocked(instance string) error {
 // say what happened instead).
 func (k *Kairos) dropLocked(adm *Admission) {
 	routing.ReleaseAll(k.p, adm.Routes)
-	mapping.Unmap(k.p, adm.Instance, adm.App)
+	mapping.UnmapAssigned(k.p, adm.Instance, adm.App, adm.Assignment)
 	delete(k.admitted, adm.Instance)
 	k.stats.Released++
 }

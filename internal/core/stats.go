@@ -13,6 +13,14 @@ import (
 // same quantities from per-attempt Records; Stats exposes them on the
 // live manager so a serving deployment can export them without
 // keeping every Admission around.
+//
+// Locking discipline: the engine mutates its Stats only under k.mu
+// (record, dropLocked, readmitLocked), and Kairos.Stats copies the
+// struct under the same lock, so a snapshot is always internally
+// consistent — Attempts == Admitted + Rejected + Cancelled holds on
+// every copy. String and MeanTimes are deliberately value receivers:
+// they run on the caller's snapshot, never on the engine's live
+// struct (TestStatsSnapshotConsistency hammers this under -race).
 type Stats struct {
 	// Attempts counts workflow runs (Admit and the admission half of
 	// Readmit); Admitted, Rejected and Cancelled partition it.

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/appgen"
+	"repro/internal/platform"
+)
+
+// TestStatsSnapshotConsistency hammers Stats (and its value-receiver
+// formatters) from many goroutines while others admit, release and
+// readmit. Every snapshot must satisfy the partition invariant
+// Attempts == Admitted + Rejected + Cancelled: a torn read — counters
+// copied while an attempt is being recorded — would break it. Together
+// with the race detector (CI runs this package with -race) this pins
+// the audit result that all Stats mutations happen under the engine
+// lock and Stats() copies under the same lock, so the value receivers
+// of String and MeanTimes always operate on a consistent snapshot.
+func TestStatsSnapshotConsistency(t *testing.T) {
+	k := New(platform.CRISP(), Options{SkipValidation: true})
+	apps := appgen.Dataset(appgen.NewConfig(appgen.Communication, appgen.Small), 8, 42)
+
+	const (
+		writers  = 4
+		readers  = 4
+		rounds   = 50
+		perRound = 4
+	)
+	var writeWG, readWG sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		writeWG.Add(1)
+		go func(w int) {
+			defer writeWG.Done()
+			ctx := context.Background()
+			for r := 0; r < rounds; r++ {
+				var admitted []string
+				for i := 0; i < perRound; i++ {
+					if adm, err := k.Admit(ctx, apps[(w*perRound+i)%len(apps)]); err == nil {
+						admitted = append(admitted, adm.Instance)
+					}
+				}
+				for i, inst := range admitted {
+					if i%2 == 0 {
+						_, _ = k.Readmit(ctx, inst)
+					} else {
+						_ = k.Release(inst)
+					}
+				}
+			}
+		}(w)
+	}
+
+	for rd := 0; rd < readers; rd++ {
+		readWG.Add(1)
+		go func() {
+			defer readWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := k.Stats()
+				if got := s.Admitted + s.Rejected + s.Cancelled; got != s.Attempts {
+					t.Errorf("torn snapshot: admitted %d + rejected %d + cancelled %d = %d, want attempts %d",
+						s.Admitted, s.Rejected, s.Cancelled, got, s.Attempts)
+					return
+				}
+				var perPhase int64
+				for _, n := range s.RejectedByPhase {
+					perPhase += n
+				}
+				if perPhase > s.Rejected {
+					t.Errorf("torn snapshot: per-phase rejections %d exceed total %d", perPhase, s.Rejected)
+					return
+				}
+				// The value-receiver formatters must be usable on the
+				// snapshot while the engine keeps mutating its own copy.
+				if !strings.Contains(s.String(), "attempts") {
+					t.Error("Stats.String lost its shape")
+					return
+				}
+				if mt := s.MeanTimes(); s.Attempts > 0 && mt.Total() < 0 {
+					t.Errorf("negative mean phase times: %+v", mt)
+					return
+				}
+			}
+		}()
+	}
+
+	writeWG.Wait()
+	close(stop)
+	readWG.Wait()
+
+	s := k.Stats()
+	if s.Attempts == 0 {
+		t.Error("no attempts recorded; the hammer did not run")
+	}
+	k.ReleaseAll()
+	if got := k.Stats(); got.Live != 0 {
+		t.Errorf("Live %d after ReleaseAll, want 0", got.Live)
+	}
+}

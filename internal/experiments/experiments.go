@@ -101,13 +101,23 @@ func BuildDataset(cfg appgen.Config, n int, seed int64, proto *platform.Platform
 	ds := Dataset{Name: appgen.DatasetName(cfg), Config: cfg}
 	apps := appgen.Dataset(cfg, n, seed)
 	keep := make([]bool, len(apps))
+	// Probe platforms are pooled and Reset between probes instead of
+	// cloned per probe: each probe only asks "does this app fit an
+	// empty platform", and a Reset platform is empty. (Element wear
+	// accumulates across pooled probes, but the filter maps with
+	// WeightsBoth, which has no wear objective, so outcomes are
+	// unaffected.)
+	pool := sync.Pool{New: func() any { return proto.Clone() }}
 	ForEach(len(apps), workers, func(i int) {
-		k := kairos.New(proto.Clone(),
+		p := pool.Get().(*platform.Platform)
+		p.Reset()
+		k := kairos.New(p,
 			kairos.WithWeights(mapping.WeightsBoth),
 			kairos.WithAdvisoryValidation(),
 		)
 		_, err := k.Admit(context.Background(), apps[i])
 		keep[i] = err == nil
+		pool.Put(p)
 	})
 	for i, app := range apps {
 		if keep[i] {

@@ -39,40 +39,68 @@ type Instance interface {
 
 // State carries assignments across invocations of Process within one
 // mapping sub-problem. The zero value is not usable; use NewState.
+//
+// The state is slice-backed and indexed by task/element ID: GAP runs
+// once per neighborhood level of every admission attempt, and the
+// previous map-of-int representation cost two hash probes per cost
+// evaluation plus a rebuild per level. Reset makes an instance
+// reusable across sub-problems without reallocating (the mapping
+// phase pools its whole scratch, State included).
 type State struct {
 	// c1 is the cost of the best known mapping per task (paper:
 	// "vector c1 contains the cost of the best known mappings",
-	// initially very large).
-	c1 map[int]float64
-	// assign maps task → element for tasks with finite c1.
-	assign map[int]int
+	// initially very large), indexed by task ID.
+	c1 []float64
+	// assign holds task → element for tasks with finite c1; -1 means
+	// unassigned.
+	assign []int
 	// processed records bins already iterated over, so re-invocation
 	// with a grown element set only visits the new ones.
-	processed map[int]bool
+	processed []bool
+	// items and c2 are per-bin scratch for Process.
+	items []knapsack.Item
+	c2    []float64
 }
 
 // NewState returns an empty solver state.
-func NewState() *State {
-	return &State{
-		c1:        make(map[int]float64),
-		assign:    make(map[int]int),
-		processed: make(map[int]bool),
+func NewState() *State { return &State{} }
+
+// Reset forgets all assignments and processed bins, keeping storage.
+func (s *State) Reset() {
+	s.c1 = s.c1[:0]
+	s.assign = s.assign[:0]
+	s.processed = s.processed[:0]
+}
+
+// ensureTask grows the per-task vectors so task fits.
+func (s *State) ensureTask(task int) {
+	for len(s.assign) <= task {
+		s.assign = append(s.assign, -1)
+		s.c1 = append(s.c1, math.Inf(1))
+	}
+}
+
+// ensureElem grows the per-element vector so elem fits.
+func (s *State) ensureElem(elem int) {
+	for len(s.processed) <= elem {
+		s.processed = append(s.processed, false)
 	}
 }
 
 // Assignment returns the current task → element assignment (a copy).
 func (s *State) Assignment() map[int]int {
-	out := make(map[int]int, len(s.assign))
+	out := make(map[int]int)
 	for t, e := range s.assign {
-		out[t] = e
+		if e >= 0 {
+			out[t] = e
+		}
 	}
 	return out
 }
 
 // Assigned reports whether the task has an assignment.
 func (s *State) Assigned(task int) bool {
-	_, ok := s.assign[task]
-	return ok
+	return task >= 0 && task < len(s.assign) && s.assign[task] >= 0
 }
 
 // AssignedTo returns the element currently holding the task and
@@ -80,23 +108,27 @@ func (s *State) Assigned(task int) bool {
 // the partial mapping (the paper notes this costs extra re-evaluation)
 // read the tentative assignment through this.
 func (s *State) AssignedTo(task int) (int, bool) {
-	e, ok := s.assign[task]
-	return e, ok
+	if !s.Assigned(task) {
+		return 0, false
+	}
+	return s.assign[task], true
 }
 
 // Cost returns the cost of the task's current assignment, or +Inf.
 func (s *State) Cost(task int) float64 {
-	if c, ok := s.c1[task]; ok {
-		return c
+	if task < 0 || task >= len(s.c1) {
+		return math.Inf(1)
 	}
-	return math.Inf(1)
+	return s.c1[task]
 }
 
 // TotalCost returns the summed cost of all current assignments.
 func (s *State) TotalCost() float64 {
 	var sum float64
-	for _, c := range s.c1 {
-		sum += c
+	for t, c := range s.c1 {
+		if s.assign[t] >= 0 {
+			sum += c
+		}
 	}
 	return sum
 }
@@ -112,6 +144,17 @@ func (s *State) Unassigned(tasks []int) []int {
 	}
 	sort.Ints(out)
 	return out
+}
+
+// allAssigned reports whether every task in tasks has an assignment,
+// without materializing the unassigned list.
+func (s *State) allAssigned(tasks []int) bool {
+	for _, t := range tasks {
+		if !s.Assigned(t) {
+			return false
+		}
+	}
+	return true
 }
 
 // Process runs one GAP pass over the elements not yet processed, in
@@ -130,6 +173,15 @@ func (s *State) Process(inst Instance, tasks, elems []int, solver knapsack.Solve
 	// finite reduction, minus c2 so cheaper placements still win.
 	const unassignedBase = 1e12
 
+	for _, t := range tasks {
+		s.ensureTask(t)
+		for len(s.c2) <= t {
+			s.c2 = append(s.c2, 0)
+		}
+	}
+	for _, e := range elems {
+		s.ensureElem(e)
+	}
 	for _, e := range elems {
 		if s.processed[e] {
 			continue
@@ -137,25 +189,25 @@ func (s *State) Process(inst Instance, tasks, elems []int, solver knapsack.Solve
 		s.processed[e] = true
 
 		capacity := inst.Capacity(e)
-		items := make([]knapsack.Item, 0, len(tasks))
-		c2 := make(map[int]float64, len(tasks))
+		items := s.items[:0]
 		for _, t := range tasks {
-			if cur, ok := s.assign[t]; ok && cur == e {
+			if s.assign[t] == e {
 				continue // already here
 			}
 			cost, ok := inst.Cost(t, e)
 			if !ok {
 				continue
 			}
-			c2[t] = cost
+			s.c2[t] = cost
 			var profit float64
-			if c1, assigned := s.c1[t]; assigned {
-				profit = c1 - cost // only positive reductions matter
+			if s.assign[t] >= 0 {
+				profit = s.c1[t] - cost // only positive reductions matter
 			} else {
 				profit = unassignedBase - cost
 			}
 			items = append(items, knapsack.Item{ID: t, Size: inst.Demand(t), Profit: profit})
 		}
+		s.items = items[:0]
 		if len(items) == 0 {
 			continue
 		}
@@ -164,8 +216,8 @@ func (s *State) Process(inst Instance, tasks, elems []int, solver knapsack.Solve
 			// The task moves to e; its previous bin (if any) keeps
 			// the hole — bins are processed once, as in Cohen et al.
 			s.assign[t] = e
-			s.c1[t] = c2[t]
+			s.c1[t] = s.c2[t]
 		}
 	}
-	return len(s.Unassigned(tasks)) == 0
+	return s.allAssigned(tasks)
 }

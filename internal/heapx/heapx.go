@@ -1,0 +1,60 @@
+// Package heapx is a slice-based binary min-heap shared by the
+// weighted platform search and the Dijkstra router. Both previously
+// hand-rolled the same sift logic to avoid container/heap's per-item
+// interface boxing (one heap allocation per Push/Pop on the admission
+// hot path); this package keeps that property — the key extractor is
+// a plain function value, so calls do not allocate — while giving the
+// subtle part one home.
+//
+// The sift semantics deliberately mirror container/heap exactly:
+// strict-less comparisons only, and sift-down prefers the left child
+// when keys tie. Pop order for equal keys is therefore identical to a
+// container/heap over the same pushes — the property that keeps the
+// routers' visit order (and every chosen path) unchanged from the
+// original implementation (TestMatchesContainerHeap pins it).
+package heapx
+
+import "cmp"
+
+// Push appends it to the min-heap h (ordered by key ascending) and
+// sifts it up, returning the grown slice.
+func Push[T any, K cmp.Ordered](h []T, it T, key func(T) K) []T {
+	h = append(h, it)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if key(h[parent]) <= key(h[i]) {
+			break
+		}
+		h[parent], h[i] = h[i], h[parent]
+		i = parent
+	}
+	return h
+}
+
+// Pop removes and returns the minimum element, returning the shrunk
+// slice alongside it. Popping an empty heap panics, as with any
+// out-of-range slice access.
+func Pop[T any, K cmp.Ordered](h []T, key func(T) K) ([]T, T) {
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && key(h[l]) < key(h[smallest]) {
+			smallest = l
+		}
+		if r < n && key(h[r]) < key(h[smallest]) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+	return h, top
+}

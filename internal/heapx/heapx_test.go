@@ -1,0 +1,80 @@
+package heapx
+
+import (
+	"container/heap"
+	"math/rand"
+	"testing"
+)
+
+type pair struct {
+	id  int
+	key int
+}
+
+func pairKey(p pair) int { return p.key }
+
+// refHeap drives container/heap over the same pairs, including its
+// tie behavior, as the reference implementation.
+type refHeap []pair
+
+func (h refHeap) Len() int           { return len(h) }
+func (h refHeap) Less(i, j int) bool { return h[i].key < h[j].key }
+func (h refHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *refHeap) Push(x any)        { *h = append(*h, x.(pair)) }
+func (h *refHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+func (h *refHeap) push(p pair)       { heap.Push(h, p) }
+func (h *refHeap) pop() pair         { return heap.Pop(h).(pair) }
+
+// TestMatchesContainerHeap pins the contract the routers rely on: for
+// any interleaving of pushes and pops — with plenty of duplicate keys
+// — heapx pops the exact element (not just the same key) that
+// container/heap pops. That identity is what keeps the Dijkstra visit
+// order, and therefore every chosen route, unchanged.
+func TestMatchesContainerHeap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		var got []pair
+		ref := &refHeap{}
+		id := 0
+		for step := 0; step < 300; step++ {
+			if len(got) == 0 || rng.Intn(3) > 0 {
+				p := pair{id: id, key: rng.Intn(8)} // few distinct keys → many ties
+				id++
+				got = Push(got, p, pairKey)
+				ref.push(p)
+			} else {
+				var g pair
+				got, g = Pop(got, pairKey)
+				if r := ref.pop(); g != r {
+					t.Fatalf("trial %d step %d: heapx popped %+v, container/heap popped %+v", trial, step, g, r)
+				}
+			}
+			if len(got) != ref.Len() {
+				t.Fatalf("trial %d step %d: size %d vs %d", trial, step, len(got), ref.Len())
+			}
+		}
+		for len(got) > 0 {
+			var g pair
+			got, g = Pop(got, pairKey)
+			if r := ref.pop(); g != r {
+				t.Fatalf("trial %d drain: heapx popped %+v, container/heap popped %+v", trial, g, r)
+			}
+		}
+	}
+}
+
+func TestPushPopDoesNotAllocate(t *testing.T) {
+	h := make([]pair, 0, 64)
+	allocs := testing.AllocsPerRun(100, func() {
+		h = h[:0]
+		for i := 0; i < 32; i++ {
+			h = Push(h, pair{id: i, key: 31 - i}, pairKey)
+		}
+		for len(h) > 0 {
+			h, _ = Pop(h, pairKey)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("push/pop allocated %.1f times per run, want 0", allocs)
+	}
+}

@@ -14,6 +14,7 @@ package knapsack
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"repro/internal/resource"
 )
@@ -65,10 +66,32 @@ type Greedy struct{}
 // Name implements Solver.
 func (Greedy) Name() string { return "greedy" }
 
+// greedyScratch is the pooled working state of one Greedy.Solve: the
+// GAP solver runs one knapsack per candidate element per level, so the
+// residual-capacity vector and the taken marks are reused. Solution
+// IDs still allocate — they escape to the caller.
+type greedyScratch struct {
+	free  resource.Vector
+	taken []bool
+}
+
+var greedyPool = sync.Pool{New: func() any { return new(greedyScratch) }}
+
 // Solve implements Solver in O(n²) time.
 func (Greedy) Solve(capacity resource.Vector, items []Item) Solution {
-	free := capacity.Clone()
-	taken := make([]bool, len(items))
+	s := greedyPool.Get().(*greedyScratch)
+	if cap(s.free) < len(capacity) {
+		s.free = make(resource.Vector, len(capacity))
+	}
+	free := s.free[:len(capacity)]
+	copy(free, capacity)
+	if cap(s.taken) < len(items) {
+		s.taken = make([]bool, len(items))
+	}
+	taken := s.taken[:len(items)]
+	for i := range taken {
+		taken[i] = false
+	}
 	var sol Solution
 	for {
 		best, bestDensity := -1, 0.0
@@ -89,6 +112,8 @@ func (Greedy) Solve(capacity resource.Vector, items []Item) Solution {
 		sol.IDs = append(sol.IDs, items[best].ID)
 		sol.Profit += items[best].Profit
 	}
+	s.free, s.taken = free, taken
+	greedyPool.Put(s)
 	return sol
 }
 

@@ -22,15 +22,8 @@ func FirstFit(app *graph.Application, p *platform.Platform, bind *binding.Bindin
 	if instance == "" {
 		return nil, &Error{Task: -1, Reason: "instance must be set"}
 	}
-	m := &mapper{
-		app: app, p: p, bind: bind,
-		opts:   Options{Instance: instance}.withDefaults(),
-		dm:     platform.NewDistanceMatrix(),
-		elemOf: make([]int, len(app.Tasks)),
-	}
-	for i := range m.elemOf {
-		m.elemOf[i] = -1
-	}
+	m := newMapper(app, p, bind, Options{Instance: instance})
+	defer m.release()
 
 	origins, err := m.seedM0()
 	if err != nil {
@@ -51,8 +44,7 @@ func FirstFit(app *graph.Application, p *platform.Platform, bind *binding.Bindin
 			}
 		}
 	}
-	m.res.Assignment = m.elemOf
-	return &m.res, nil
+	return m.result(), nil
 }
 
 // firstFitPlace puts one task on the nearest available element,

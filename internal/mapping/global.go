@@ -4,7 +4,6 @@ import (
 	"sort"
 
 	"repro/internal/binding"
-	"repro/internal/gap"
 	"repro/internal/graph"
 	"repro/internal/platform"
 )
@@ -24,43 +23,40 @@ func MapGlobal(app *graph.Application, p *platform.Platform, bind *binding.Bindi
 	if opts.Instance == "" {
 		return nil, &Error{Task: -1, Reason: "Options.Instance must be set"}
 	}
-	m := &mapper{
-		app: app, p: p, bind: bind, opts: opts.withDefaults(),
-		dm:     platform.NewDistanceMatrix(),
-		elemOf: make([]int, len(app.Tasks)),
-	}
-	for i := range m.elemOf {
-		m.elemOf[i] = -1
-	}
+	m := newMapper(app, p, bind, opts)
+	defer m.release()
 
 	// Full weighted distance matrix: every enabled element is a BFS
 	// origin (cross-package hops weighted as in the incremental
 	// mapper, so the communication objective agrees between the two).
-	weight := platform.CrossPackageWeight(p, m.opts.CrossPackagePenalty)
-	var candidates []int
+	candidates := m.candidates[:0]
 	for _, e := range p.Elements() {
 		if !e.Enabled() {
 			continue
 		}
 		candidates = append(candidates, e.ID)
 	}
+	m.candidates = candidates
 	sort.Ints(candidates)
 	for _, o := range candidates {
-		for id, d := range p.WeightedDistances([]int{o}, weight) {
+		m.oneOrigin[0] = o
+		m.distBuf = p.WeightedDistancesInto(m.oneOrigin[:], m.weight, m.distBuf)
+		for id, d := range m.distBuf {
 			if d != platform.Unreachable {
 				m.dm.Record(o, id, d)
 			}
 		}
 	}
 
-	tasks := make([]int, len(app.Tasks))
+	tasks := intsFor(m.todo, len(app.Tasks))
+	m.todo = tasks
 	for i := range tasks {
 		tasks[i] = i
 	}
 
-	state := gap.NewState()
+	state := m.state
+	state.Reset()
 	m.curState = state
-	defer func() { m.curState = nil }()
 	m.res.GAPInvocations = 1
 	if !state.Process(gapInstance{m: m}, tasks, candidates, m.opts.Solver) {
 		un := state.Unassigned(tasks)
@@ -70,6 +66,5 @@ func MapGlobal(app *graph.Application, p *platform.Platform, bind *binding.Bindi
 		m.rollback()
 		return nil, err
 	}
-	m.res.Assignment = m.elemOf
-	return &m.res, nil
+	return m.result(), nil
 }

@@ -32,6 +32,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/binding"
 	"repro/internal/gap"
@@ -164,13 +165,18 @@ func (e *Error) Error() string {
 	return "mapping: " + e.Reason
 }
 
-// mapper carries the state of one MapApplication run.
+// mapper carries the state of one MapApplication run. Mappers are
+// pooled: one runs per admission attempt, and all of its working
+// state — the distance matrix, the GAP state, the per-task and
+// per-element marks, the search buffers — is reusable, so repeated
+// admissions allocate only what they return (the Assignment slice).
 type mapper struct {
 	app    *graph.Application
 	p      *platform.Platform
 	bind   *binding.Binding
 	opts   Options
 	dm     *platform.DistanceMatrix
+	weight platform.LinkWeight
 	elemOf []int // task → element, -1 while unmapped
 	placed []int // tasks committed to the platform, for rollback
 	// curState is the GAP state of the level being solved; the
@@ -179,6 +185,83 @@ type mapper struct {
 	// depend on the partial mapping M_i, at re-evaluation cost).
 	curState *gap.State
 	res      Result
+
+	// Pooled scratch, reused across runs.
+	state       *gap.State // backing store for curState
+	isPeer      []bool     // per task: undirected peer of the task being costed
+	inTi        []bool     // per task: member of the current level
+	neigh       []int      // neighbor iteration buffer
+	avail       []int      // availableElements buffer
+	todo        []int      // unmapped tasks of the current level
+	commitBuf   []int      // sorted commit order
+	originMark  []bool     // per element: BFS origin of the current level
+	elemOrigins []int      // BFS origins of the current level
+	setDist     []int      // per element: distance to the origin set
+	distBuf     []int      // WeightedDistancesInto buffer
+	radii       []int      // distinct expansion radii
+	candidates  []int      // candidate elements of the current level
+	oneOrigin   [1]int     // single-origin slice for WeightedDistancesInto
+	capBuf      resource.Vector
+}
+
+var mapperPool = sync.Pool{
+	New: func() any {
+		return &mapper{dm: platform.NewDistanceMatrix(), state: gap.NewState()}
+	},
+}
+
+// boolsFor returns s resized to n with every entry false.
+func boolsFor(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}
+
+// intsFor returns s resized to n (contents unspecified).
+func intsFor(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// newMapper readies a pooled mapper for one run.
+func newMapper(app *graph.Application, p *platform.Platform, bind *binding.Binding, opts Options) *mapper {
+	m := mapperPool.Get().(*mapper)
+	m.app, m.p, m.bind, m.opts = app, p, bind, opts.withDefaults()
+	m.weight = platform.CrossPackageWeight(p, m.opts.CrossPackagePenalty)
+	m.dm.Reset()
+	m.res = Result{}
+	m.elemOf = intsFor(m.elemOf, len(app.Tasks))
+	for i := range m.elemOf {
+		m.elemOf[i] = -1
+	}
+	m.placed = m.placed[:0]
+	m.isPeer = boolsFor(m.isPeer, len(app.Tasks))
+	m.curState = nil
+	return m
+}
+
+// release returns the mapper to the pool, dropping the references that
+// would otherwise pin the caller's application and platform.
+func (m *mapper) release() {
+	m.app, m.p, m.bind = nil, nil, nil
+	m.weight = nil
+	m.curState = nil
+	m.res = Result{}
+	mapperPool.Put(m)
+}
+
+// result copies the run's outcome out of the pooled mapper.
+func (m *mapper) result() *Result {
+	m.res.Assignment = append([]int(nil), m.elemOf...)
+	res := m.res
+	return &res
 }
 
 // MapApplication finds specific locations for every task of the
@@ -189,24 +272,19 @@ func MapApplication(app *graph.Application, p *platform.Platform, bind *binding.
 	if opts.Instance == "" {
 		return nil, &Error{Task: -1, Reason: "Options.Instance must be set"}
 	}
-	m := &mapper{
-		app: app, p: p, bind: bind, opts: opts.withDefaults(),
-		dm:     platform.NewDistanceMatrix(),
-		elemOf: make([]int, len(app.Tasks)),
-	}
-	for i := range m.elemOf {
-		m.elemOf[i] = -1
-	}
+	m := newMapper(app, p, bind, opts)
+	defer m.release()
 	if err := m.run(); err != nil {
 		m.rollback()
 		return nil, err
 	}
-	m.res.Assignment = m.elemOf
-	return &m.res, nil
+	return m.result(), nil
 }
 
 // Unmap releases every placement of the named application instance
-// from the platform (the inverse of MapApplication).
+// from the platform (the inverse of MapApplication). It scans every
+// element for the instance's occupants; callers that kept the
+// execution layout should use UnmapAssigned, the O(T) variant.
 func Unmap(p *platform.Platform, instance string, app *graph.Application) {
 	for _, t := range app.Tasks {
 		for _, e := range p.Elements() {
@@ -215,6 +293,20 @@ func Unmap(p *platform.Platform, instance string, app *graph.Application) {
 				_ = p.Remove(e.ID, occ)
 			}
 		}
+	}
+}
+
+// UnmapAssigned releases the placements recorded in assignment (task
+// ID → element ID, negative for unplaced) for the named instance: the
+// O(T) inverse of MapApplication for callers that kept the layout,
+// instead of Unmap's full platform scan. The resource manager releases
+// every admission through this on Release, Readmit and rollback.
+func UnmapAssigned(p *platform.Platform, instance string, app *graph.Application, assignment []int) {
+	for _, t := range app.Tasks {
+		if t.ID < 0 || t.ID >= len(assignment) || assignment[t.ID] < 0 {
+			continue
+		}
+		_ = p.Remove(assignment[t.ID], platform.Occupant{App: instance, Task: t.ID})
 	}
 }
 
@@ -236,15 +328,16 @@ func (m *mapper) av(e *platform.Element, task int) bool {
 }
 
 // availableElements returns the IDs of all elements available for the
-// task, in ID order.
+// task, in ID order. The returned slice is the mapper's reusable
+// buffer, valid until the next call.
 func (m *mapper) availableElements(task int) []int {
-	var out []int
+	m.avail = m.avail[:0]
 	for _, e := range m.p.Elements() {
 		if m.av(e, task) {
-			out = append(out, e.ID)
+			m.avail = append(m.avail, e.ID)
 		}
 	}
-	return out
+	return m.avail
 }
 
 func (m *mapper) place(task, elem int) error {
@@ -263,7 +356,7 @@ func (m *mapper) rollback() {
 		_ = m.p.Remove(m.elemOf[task], occ)
 		m.elemOf[task] = -1
 	}
-	m.placed = nil
+	m.placed = m.placed[:0]
 }
 
 // cost is the mapping cost function (paper §III-D).
@@ -285,47 +378,42 @@ func (m *mapper) cost(task, elem int) float64 {
 
 	if w := m.opts.Weights.Communication; w > 0 {
 		comm := 0.0
-		charge := func(chID int) {
-			ch := m.app.Channels[chID]
-			peer := ch.Src
-			if peer == task {
-				peer = ch.Dst
-			}
-			pe := m.elemOf[peer]
-			if pe < 0 {
-				return // unmapped peer: unknown distance, left out
-			}
-			d, ok := m.dm.Lookup(elem, pe)
-			if !ok {
-				d = m.opts.DistancePenalty
-			}
-			comm += float64(d) * float64(ch.TokenSize)
-		}
 		for _, chID := range m.app.InChannels(task) {
-			charge(chID)
+			comm += m.chargeComm(task, elem, chID)
 		}
 		for _, chID := range m.app.OutChannels(task) {
-			charge(chID)
+			comm += m.chargeComm(task, elem, chID)
 		}
 		c += w * comm
 	}
 
 	if w := m.opts.Weights.Fragmentation; w > 0 {
 		bonus := 0.0
-		peers := make(map[int]bool)
-		for _, nb := range m.app.UndirectedNeighbors(task) {
-			peers[nb] = true
+		// Mark the task's undirected peers in the per-task scratch;
+		// cleared below. cost runs once per (task, element) pair per
+		// GAP pass, so a per-call map here dominated the allocation
+		// profile of the whole admission workflow.
+		if len(m.isPeer) < len(m.app.Tasks) {
+			m.isPeer = boolsFor(m.isPeer, len(m.app.Tasks))
 		}
-		for _, nID := range m.p.Neighbors(elem) {
+		peers := m.app.UndirectedNeighbors(task)
+		for _, nb := range peers {
+			m.isPeer[nb] = true
+		}
+		m.neigh = m.p.AppendNeighbors(m.neigh[:0], elem)
+		for _, nID := range m.neigh {
 			n := m.p.Element(nID)
 			switch {
-			case m.hostsPeerOf(n, peers):
+			case n.HostsPeer(m.opts.Instance, m.isPeer):
 				bonus += 3
 			case n.HostsApp(m.opts.Instance):
 				bonus += 2
 			case n.InUse():
 				bonus += 1
 			}
+		}
+		for _, nb := range peers {
+			m.isPeer[nb] = false
 		}
 		// Connectivity: favor border elements (low degree). The
 		// CRISP meshes have degree ≤ 4 inside packages.
@@ -379,21 +467,40 @@ func (m *mapper) packageLoad(task, elem int) float64 {
 	return load
 }
 
-func (m *mapper) hostsPeerOf(e *platform.Element, peers map[int]bool) bool {
-	for _, occ := range e.Occupants() {
-		if occ.App == m.opts.Instance && peers[occ.Task] {
-			return true
-		}
+// chargeComm is the communication term of one channel: the distance
+// between elem and the element of the channel's other endpoint,
+// weighted by token size. Unmapped peers contribute nothing ("the
+// distance is inherently unknown"); a distance-matrix miss is charged
+// DistancePenalty.
+func (m *mapper) chargeComm(task, elem, chID int) float64 {
+	ch := m.app.Channels[chID]
+	peer := ch.Src
+	if peer == task {
+		peer = ch.Dst
 	}
-	return false
+	pe := m.elemOf[peer]
+	if pe < 0 {
+		return 0
+	}
+	d, ok := m.dm.Lookup(elem, pe)
+	if !ok {
+		d = m.opts.DistancePenalty
+	}
+	return float64(d) * float64(ch.TokenSize)
 }
 
 // gapInstance adapts the mapper to the gap.Instance interface.
 type gapInstance struct{ m *mapper }
 
 func (g gapInstance) Demand(task int) resource.Vector { return g.m.bind.Demand(task) }
+
+// Capacity returns the element's free resources in the mapper's reused
+// buffer; the value is valid until the next Capacity call, which is
+// all the GAP solver needs (it hands the vector straight to the
+// knapsack, which copies what it mutates).
 func (g gapInstance) Capacity(elem int) resource.Vector {
-	return g.m.p.Element(elem).Pool().Free()
+	g.m.capBuf = g.m.p.Element(elem).Pool().FreeInto(g.m.capBuf)
+	return g.m.capBuf
 }
 func (g gapInstance) Cost(task, elem int) (float64, bool) {
 	e := g.m.p.Element(elem)
@@ -416,12 +523,13 @@ func (m *mapper) run() error {
 		ti := levels[li]
 		// Skip tasks already mapped (fixed tasks can appear in
 		// later neighborhoods of disconnected fragments).
-		var todo []int
+		todo := m.todo[:0]
 		for _, t := range ti {
 			if m.elemOf[t] < 0 {
 				todo = append(todo, t)
 			}
 		}
+		m.todo = todo
 		if len(todo) == 0 {
 			continue
 		}
@@ -483,46 +591,50 @@ func (m *mapper) seedM0() ([]int, error) {
 func (m *mapper) mapLevel(ti []int) error {
 	// E+ and E− (lines 7–8): elements of mapped tasks communicating
 	// with T_i, split by channel direction. Both sides seed the BFS.
-	inTi := make(map[int]bool, len(ti))
+	inTi := boolsFor(m.inTi, len(m.app.Tasks))
+	m.inTi = inTi
 	for _, t := range ti {
 		inTi[t] = true
 	}
-	originSet := make(map[int]bool)
+	originMark := boolsFor(m.originMark, m.p.NumElements())
+	m.originMark = originMark
+	origins := m.elemOrigins[:0]
 	for _, ch := range m.app.Channels {
-		if inTi[ch.Dst] && m.elemOf[ch.Src] >= 0 {
-			originSet[m.elemOf[ch.Src]] = true
+		if inTi[ch.Dst] && m.elemOf[ch.Src] >= 0 && !originMark[m.elemOf[ch.Src]] {
+			originMark[m.elemOf[ch.Src]] = true
+			origins = append(origins, m.elemOf[ch.Src])
 		}
-		if inTi[ch.Src] && m.elemOf[ch.Dst] >= 0 {
-			originSet[m.elemOf[ch.Dst]] = true
+		if inTi[ch.Src] && m.elemOf[ch.Dst] >= 0 && !originMark[m.elemOf[ch.Dst]] {
+			originMark[m.elemOf[ch.Dst]] = true
+			origins = append(origins, m.elemOf[ch.Dst])
 		}
 	}
-	if len(originSet) == 0 {
+	if len(origins) == 0 {
 		// Disconnected fragment: search from all mapped elements.
 		for _, e := range m.elemOf {
-			if e >= 0 {
-				originSet[e] = true
+			if e >= 0 && !originMark[e] {
+				originMark[e] = true
+				origins = append(origins, e)
 			}
 		}
 	}
-	origins := make([]int, 0, len(originSet))
-	for e := range originSet {
-		origins = append(origins, e)
-	}
 	sort.Ints(origins)
+	m.elemOrigins = origins
 
 	// Exact per-origin weighted distances populate the sparse
 	// matrix; the set-distance (minimum over origins) defines the
 	// expansion rings. Cross-package hops weigh more than mesh hops
 	// (Options.CrossPackagePenalty), so candidate search and the
 	// communication cost both prefer staying inside a package.
-	weight := platform.CrossPackageWeight(m.p, m.opts.CrossPackagePenalty)
-	setDist := make([]int, m.p.NumElements())
+	setDist := intsFor(m.setDist, m.p.NumElements())
+	m.setDist = setDist
 	for i := range setDist {
 		setDist[i] = platform.Unreachable
 	}
 	for _, o := range origins {
-		dist := m.p.WeightedDistances([]int{o}, weight)
-		for id, d := range dist {
+		m.oneOrigin[0] = o
+		m.distBuf = m.p.WeightedDistancesInto(m.oneOrigin[:], m.weight, m.distBuf)
+		for id, d := range m.distBuf {
 			if d == platform.Unreachable {
 				continue
 			}
@@ -536,53 +648,42 @@ func (m *mapper) mapLevel(ti []int) error {
 	// actually occur: weighted distances are sparse in ℕ, and letting
 	// empty integer "rings" consume the extra search step would solve
 	// before any new candidate arrived.
-	distinct := map[int]bool{}
+	radii := m.radii[:0]
 	for _, d := range setDist {
 		if d != platform.Unreachable {
-			distinct[d] = true
+			radii = append(radii, d)
 		}
-	}
-	radii := make([]int, 0, len(distinct))
-	for d := range distinct {
-		radii = append(radii, d)
 	}
 	sort.Ints(radii)
-
-	// usable counts candidate elements available for ≥1 task.
-	usable := func(elems []int) int {
-		n := 0
-		for _, e := range elems {
-			el := m.p.Element(e)
-			for _, t := range ti {
-				if m.av(el, t) {
-					n++
-					break
-				}
-			}
+	// Dedupe in place (the slice is sorted).
+	uniq := radii[:0]
+	for i, d := range radii {
+		if i == 0 || d != radii[i-1] {
+			uniq = append(uniq, d)
 		}
-		return n
 	}
+	radii = uniq
+	m.radii = radii
 
-	state := gap.NewState()
+	state := m.state
+	state.Reset()
 	m.curState = state
-	defer func() { m.curState = nil }()
 	inst := gapInstance{m: m}
-	var candidates []int
+	candidates := m.candidates[:0]
 	enough := false
 	extra := 0
 
 	for ri, radius := range radii {
-		var ring []int
 		for id, d := range setDist {
 			if d == radius {
-				ring = append(ring, id)
+				candidates = append(candidates, id)
 			}
 		}
+		m.candidates = candidates
 		m.res.Rings++
-		candidates = append(candidates, ring...)
 
 		if !enough {
-			if usable(candidates) < len(ti) {
+			if m.usableCount(candidates, ti) < len(ti) {
 				continue // keep growing before the first solve
 			}
 			enough = true
@@ -610,15 +711,30 @@ func (m *mapper) mapLevel(ti []int) error {
 		"no feasible element among %d candidates (%d tasks unassigned)", len(candidates), len(un))}
 }
 
+// usableCount counts candidate elements available for ≥1 task of ti.
+func (m *mapper) usableCount(elems, ti []int) int {
+	n := 0
+	for _, e := range elems {
+		el := m.p.Element(e)
+		for _, t := range ti {
+			if m.av(el, t) {
+				n++
+				break
+			}
+		}
+	}
+	return n
+}
+
 // commitLevel places the GAP assignment of one level onto the
 // platform.
 func (m *mapper) commitLevel(ti []int, state *gap.State) error {
-	assign := state.Assignment()
 	// Deterministic order.
-	tasks := append([]int(nil), ti...)
+	tasks := append(m.commitBuf[:0], ti...)
+	m.commitBuf = tasks
 	sort.Ints(tasks)
 	for _, t := range tasks {
-		e, ok := assign[t]
+		e, ok := state.AssignedTo(t)
 		if !ok {
 			return &Error{Task: t, Reason: "internal: task missing from GAP assignment"}
 		}

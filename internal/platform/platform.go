@@ -73,6 +73,25 @@ func (e *Element) Enabled() bool { return e.enabled }
 // InUse reports whether any task occupies the element.
 func (e *Element) InUse() bool { return len(e.occupants) > 0 }
 
+// OccupantCount returns the number of tasks placed on the element
+// without materializing the occupant list (the validation phase reads
+// it for the time-sharing contention factor).
+func (e *Element) OccupantCount() int { return len(e.occupants) }
+
+// HostsPeer reports whether the element hosts a task of the named
+// application whose ID is marked in isPeer. The mapping cost function
+// calls it in its innermost loop; membership is order-independent, so
+// the map is iterated directly without building the sorted occupant
+// list.
+func (e *Element) HostsPeer(app string, isPeer []bool) bool {
+	for occ := range e.occupants {
+		if occ.App == app && occ.Task >= 0 && occ.Task < len(isPeer) && isPeer[occ.Task] {
+			return true
+		}
+	}
+	return false
+}
+
 // Occupants returns the occupants in deterministic (app, task) order.
 func (e *Element) Occupants() []Occupant {
 	out := make([]Occupant, 0, len(e.occupants))
@@ -236,24 +255,45 @@ func (p *Platform) Links() []*Link {
 // Neighbors returns the enabled neighbors of id reachable over enabled
 // links, in ID order.
 func (p *Platform) Neighbors(id int) []int {
-	var out []int
+	return p.AppendNeighbors(nil, id)
+}
+
+// AppendNeighbors appends the enabled neighbors of id reachable over
+// enabled links, in ID order, to dst and returns it. Hot paths (the
+// routers, the mapping cost function, the platform searches) call it
+// with a reused scratch buffer so neighbor iteration does not
+// allocate.
+func (p *Platform) AppendNeighbors(dst []int, id int) []int {
 	for _, n := range p.adj[id] {
 		if !p.elements[n].enabled {
 			continue
 		}
-		if l := p.Link(id, n); l == nil || !l.enabled {
+		if l := p.links[[2]int{id, n}]; l == nil || !l.enabled {
 			continue
 		}
-		out = append(out, n)
+		dst = append(dst, n)
 	}
-	return out
+	return dst
 }
 
 // Degree returns the number of enabled neighbors of id. The cost
 // function uses it as the connectivity of an element: elements on chip
 // borders have lower degree and are favored for isolation-prone
-// placements (paper §III-D).
-func (p *Platform) Degree(id int) int { return len(p.Neighbors(id)) }
+// placements (paper §III-D). It counts without materializing the
+// neighbor list — the cost function asks on every evaluation.
+func (p *Platform) Degree(id int) int {
+	n := 0
+	for _, nb := range p.adj[id] {
+		if !p.elements[nb].enabled {
+			continue
+		}
+		if l := p.links[[2]int{id, nb}]; l == nil || !l.enabled {
+			continue
+		}
+		n++
+	}
+	return n
+}
 
 // errors for placement bookkeeping
 var (

@@ -18,7 +18,7 @@ func (p *Platform) BFSDistances(origins []int) []int {
 	for i := range dist {
 		dist[i] = Unreachable
 	}
-	queue := make([]int, 0, len(origins))
+	queue := make([]int, 0, len(p.elements))
 	for _, o := range origins {
 		if o < 0 || o >= len(p.elements) || !p.elements[o].enabled {
 			continue
@@ -28,10 +28,11 @@ func (p *Platform) BFSDistances(origins []int) []int {
 			queue = append(queue, o)
 		}
 	}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
-		for _, n := range p.Neighbors(cur) {
+	var neigh []int
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
+		neigh = p.AppendNeighbors(neigh[:0], cur)
+		for _, n := range neigh {
 			if dist[n] == Unreachable {
 				dist[n] = dist[cur] + 1
 				queue = append(queue, n)
@@ -98,31 +99,68 @@ func (p *Platform) Connected() bool {
 // the platform for elements (paper §III-D): lookups that were never
 // discovered during the search fail, and the cost function charges a
 // penalty for them.
+//
+// The matrix is dense under the hood — one flat slice of n×n entries,
+// grown on demand — because the mapping phase probes it in the
+// innermost loop of every GAP cost evaluation and a map-of-maps costs
+// two hash lookups (and two allocations per new row) there. Reset
+// makes an instance reusable across admissions without reallocating.
 type DistanceMatrix struct {
-	d map[int]map[int]int
+	n       int   // row length (max element ID seen + 1)
+	d       []int // n×n distances; negative = unknown
+	entries int   // recorded directed entries, for Len
 }
 
 // NewDistanceMatrix returns an empty sparse matrix.
 func NewDistanceMatrix() *DistanceMatrix {
-	return &DistanceMatrix{d: make(map[int]map[int]int)}
+	return &DistanceMatrix{}
+}
+
+// Reset forgets every recorded distance, keeping the storage.
+func (m *DistanceMatrix) Reset() {
+	for i := range m.d {
+		m.d[i] = Unreachable
+	}
+	m.entries = 0
+}
+
+// grow resizes the matrix so IDs up to hi fit, preserving content.
+func (m *DistanceMatrix) grow(hi int) {
+	n := hi + 1
+	if n <= m.n {
+		return
+	}
+	d := make([]int, n*n)
+	for i := range d {
+		d[i] = Unreachable
+	}
+	for r := 0; r < m.n; r++ {
+		copy(d[r*n:r*n+m.n], m.d[r*m.n:(r+1)*m.n])
+	}
+	m.n, m.d = n, d
 }
 
 // Record stores the (symmetric) distance between two elements.
 func (m *DistanceMatrix) Record(a, b, dist int) {
+	if a < 0 || b < 0 {
+		return
+	}
+	if a >= m.n || b >= m.n {
+		m.grow(max(a, b))
+	}
 	m.set(a, b, dist)
 	m.set(b, a, dist)
 }
 
 func (m *DistanceMatrix) set(a, b, dist int) {
-	row, ok := m.d[a]
-	if !ok {
-		row = make(map[int]int)
-		m.d[a] = row
-	}
 	// Keep the smallest observed distance: rings may rediscover an
 	// element from a closer origin in a later iteration.
-	if cur, seen := row[b]; !seen || dist < cur {
-		row[b] = dist
+	cur := m.d[a*m.n+b]
+	if cur < 0 {
+		m.entries++
+	}
+	if cur < 0 || dist < cur {
+		m.d[a*m.n+b] = dist
 	}
 }
 
@@ -131,22 +169,18 @@ func (m *DistanceMatrix) Lookup(a, b int) (int, bool) {
 	if a == b {
 		return 0, true
 	}
-	row, ok := m.d[a]
-	if !ok {
+	if a < 0 || b < 0 || a >= m.n || b >= m.n {
 		return 0, false
 	}
-	d, ok := row[b]
-	return d, ok
+	d := m.d[a*m.n+b]
+	if d < 0 {
+		return 0, false
+	}
+	return d, true
 }
 
 // Len returns the number of (directed) entries, for introspection.
-func (m *DistanceMatrix) Len() int {
-	n := 0
-	for _, row := range m.d {
-		n += len(row)
-	}
-	return n
-}
+func (m *DistanceMatrix) Len() int { return m.entries }
 
 // RecordBFS runs a BFS from the origins and records the distance of
 // every reached element to each origin. It returns the distance slice

@@ -1,6 +1,10 @@
 package platform
 
-import "container/heap"
+import (
+	"sync"
+
+	"repro/internal/heapx"
+)
 
 // LinkWeight returns the cost of crossing one link for distance
 // estimation purposes. Weighted distances let the mapping cost
@@ -31,59 +35,80 @@ func CrossPackageWeight(p *Platform, penalty int) LinkWeight {
 	}
 }
 
+// wqItem is one entry of the weighted-search priority queue.
 type wqItem struct {
 	elem int
 	dist int
 }
 
+// wq is a slice min-heap over internal/heapx (container/heap-exact
+// sift semantics, no per-item interface boxing); the mapping phase
+// runs one multi-source Dijkstra per origin per neighborhood level,
+// so the queue is on the admission hot path.
 type wq []wqItem
 
-func (q wq) Len() int           { return len(q) }
-func (q wq) Less(i, j int) bool { return q[i].dist < q[j].dist }
-func (q wq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
-func (q *wq) Push(x any)        { *q = append(*q, x.(wqItem)) }
-func (q *wq) Pop() any {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	*q = old[:n-1]
-	return it
+func wqKey(it wqItem) int { return it.dist }
+
+// wqScratch bundles the reusable state of one weighted search.
+type wqScratch struct {
+	q     wq
+	neigh []int
 }
+
+var wqPool = sync.Pool{New: func() any { return new(wqScratch) }}
 
 // WeightedDistances returns the least total link weight from the
 // nearest origin to every element over enabled elements and links
 // (multi-source Dijkstra with integer weights). Unreachable elements
 // get Unreachable.
 func (p *Platform) WeightedDistances(origins []int, weight LinkWeight) []int {
+	return p.WeightedDistancesInto(origins, weight, make([]int, len(p.elements)))
+}
+
+// WeightedDistancesInto is WeightedDistances writing into dist
+// (resized as needed, so callers can reuse one buffer across calls).
+// It returns the distance slice. The priority queue and the neighbor
+// buffer come from an internal pool; the search itself does not
+// allocate.
+func (p *Platform) WeightedDistancesInto(origins []int, weight LinkWeight, dist []int) []int {
+	if cap(dist) < len(p.elements) {
+		dist = make([]int, len(p.elements))
+	}
+	dist = dist[:len(p.elements)]
 	if weight == nil {
 		weight = UnitWeight
 	}
-	dist := make([]int, len(p.elements))
 	for i := range dist {
 		dist[i] = Unreachable
 	}
-	q := &wq{}
+	s := wqPool.Get().(*wqScratch)
+	q := s.q[:0]
 	for _, o := range origins {
 		if o < 0 || o >= len(p.elements) || !p.elements[o].enabled {
 			continue
 		}
 		if dist[o] != 0 {
 			dist[o] = 0
-			heap.Push(q, wqItem{o, 0})
+			q = heapx.Push(q, wqItem{o, 0}, wqKey)
 		}
 	}
-	for q.Len() > 0 {
-		it := heap.Pop(q).(wqItem)
+	neigh := s.neigh
+	for len(q) > 0 {
+		var it wqItem
+		q, it = heapx.Pop(q, wqKey)
 		if dist[it.elem] != it.dist {
 			continue // stale entry
 		}
-		for _, n := range p.Neighbors(it.elem) {
+		neigh = p.AppendNeighbors(neigh[:0], it.elem)
+		for _, n := range neigh {
 			nd := it.dist + weight(it.elem, n)
 			if dist[n] == Unreachable || nd < dist[n] {
 				dist[n] = nd
-				heap.Push(q, wqItem{n, nd})
+				q = heapx.Push(q, wqItem{n, nd}, wqKey)
 			}
 		}
 	}
+	s.q, s.neigh = q[:0], neigh[:0]
+	wqPool.Put(s)
 	return dist
 }

@@ -41,8 +41,33 @@ func (p *Pool) Used() Vector { return p.used }
 // Free returns a fresh vector of currently free resources.
 func (p *Pool) Free() Vector { return p.capacity.Sub(p.used) }
 
-// Fits reports whether demand fits in the free resources.
-func (p *Pool) Fits(demand Vector) bool { return demand.Fits(p.Free()) }
+// FreeInto writes the currently free resources into dst (resized as
+// needed) and returns it. It is the allocation-free variant of Free
+// for hot paths that reuse a scratch vector.
+func (p *Pool) FreeInto(dst Vector) Vector {
+	if cap(dst) < len(p.capacity) {
+		dst = make(Vector, len(p.capacity))
+	}
+	dst = dst[:len(p.capacity)]
+	for i := range p.capacity {
+		dst[i] = p.capacity[i] - p.used[i]
+	}
+	return dst
+}
+
+// Fits reports whether demand fits in the free resources. It does not
+// allocate: the check runs against capacity−used componentwise. It is
+// on the hot path of every availability predicate (av(e,t)) of the
+// mapping phase.
+func (p *Pool) Fits(demand Vector) bool {
+	demand.mustMatch(p.capacity, "Fits")
+	for i := range demand {
+		if demand[i] > p.capacity[i]-p.used[i] {
+			return false
+		}
+	}
+	return true
+}
 
 // InUse reports whether any resource is currently allocated.
 func (p *Pool) InUse() bool { return !p.used.Zero() }
@@ -60,11 +85,13 @@ func (p *Pool) Alloc(demand Vector) error {
 // Release returns demand to the pool, or returns ErrOverRelease
 // leaving the pool unchanged.
 func (p *Pool) Release(demand Vector) error {
-	next := p.used.Sub(demand)
-	if !next.NonNegative() {
-		return fmt.Errorf("%w: release %v, used %v", ErrOverRelease, demand, p.used)
+	demand.mustMatch(p.used, "Release")
+	for i := range demand {
+		if p.used[i]-demand[i] < 0 {
+			return fmt.Errorf("%w: release %v, used %v", ErrOverRelease, demand, p.used)
+		}
 	}
-	p.used = next
+	p.used.SubInPlace(demand)
 	return nil
 }
 

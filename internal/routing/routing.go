@@ -11,11 +11,12 @@
 package routing
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/graph"
+	"repro/internal/heapx"
 	"repro/internal/platform"
 )
 
@@ -56,6 +57,35 @@ func usable(p *platform.Platform, a, b int) bool {
 	return l != nil && l.Enabled() && l.Free() > 0
 }
 
+// scratch is the reusable per-search state of the routers. A route
+// search runs for every channel of every admission attempt, so the
+// visited/frontier buffers come from a pool instead of the heap
+// (Router implementations must not allocate).
+type scratch struct {
+	prev  []int
+	queue []int
+	ids   []int
+	neigh []neighbor
+	dist  []float64
+	done  []bool
+	pq    pq
+}
+
+type neighbor struct {
+	elem int
+	used int
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
+// ints returns s resized to n (allocating only on growth).
+func ints(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
 // BFS is the paper's router: fewest hops over links with free VCs.
 // Among equal-hop alternatives it prefers the least-loaded link, so
 // parallel routes spread over the NoC instead of piling onto the same
@@ -74,24 +104,27 @@ func (BFS) FindPath(p *platform.Platform, src, dst int) ([]int, bool) {
 	if e := p.Element(src); e == nil || !e.Enabled() {
 		return nil, false
 	}
-	prev := make([]int, p.NumElements())
+	s := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(s)
+	prev := ints(s.prev, p.NumElements())
 	for i := range prev {
 		prev[i] = -1
 	}
 	prev[src] = src
-	queue := []int{src}
-	for len(queue) > 0 {
-		cur := queue[0]
-		queue = queue[1:]
+	queue := append(s.queue[:0], src)
+	s.prev, s.queue = prev, queue
+	for head := 0; head < len(queue); head++ {
+		cur := queue[head]
 		// Visit usable neighbors in increasing link-load order: the
 		// first parent to reach a node claims it, so low-load links
-		// win ties at equal hop distance.
-		neigh := p.Neighbors(cur)
-		sort.SliceStable(neigh, func(i, j int) bool {
-			li, lj := p.Link(cur, neigh[i]), p.Link(cur, neigh[j])
-			return li.Used() < lj.Used()
-		})
-		for _, n := range neigh {
+		// win ties at equal hop distance. Stable insertion sort over
+		// the (element, load) pairs: closure-based sorting would
+		// allocate in this innermost loop, and node degrees are ≤ 5.
+		s.ids = p.AppendNeighbors(s.ids[:0], cur)
+		neigh := neighborsByLoad(s.neigh[:0], p, cur, s.ids)
+		s.neigh = neigh
+		for _, nb := range neigh {
+			n := nb.elem
 			if prev[n] >= 0 || !usable(p, cur, n) {
 				continue
 			}
@@ -101,21 +134,38 @@ func (BFS) FindPath(p *platform.Platform, src, dst int) ([]int, bool) {
 			}
 			queue = append(queue, n)
 		}
+		s.queue = queue
 	}
 	return nil, false
 }
 
+// neighborsByLoad pairs the given neighbor IDs (in ID order) of cur
+// with their outgoing-link loads and stably insertion-sorts them by
+// increasing load, keeping ID order among equals — the same order
+// sort.SliceStable produced here before the scratch rework.
+func neighborsByLoad(dst []neighbor, p *platform.Platform, cur int, ids []int) []neighbor {
+	for _, n := range ids {
+		dst = append(dst, neighbor{elem: n, used: p.Link(cur, n).Used()})
+	}
+	for i := 1; i < len(dst); i++ {
+		for j := i; j > 0 && dst[j].used < dst[j-1].used; j-- {
+			dst[j], dst[j-1] = dst[j-1], dst[j]
+		}
+	}
+	return dst
+}
+
 func unwind(prev []int, src, dst int) []int {
-	var rev []int
-	for at := dst; ; at = prev[at] {
-		rev = append(rev, at)
+	n := 1
+	for at := dst; at != src; at = prev[at] {
+		n++
+	}
+	path := make([]int, n)
+	for at, i := dst, n-1; ; at, i = prev[at], i-1 {
+		path[i] = at
 		if at == src {
 			break
 		}
-	}
-	path := make([]int, len(rev))
-	for i, e := range rev {
-		path[len(rev)-1-i] = e
 	}
 	return path
 }
@@ -132,13 +182,13 @@ type pqItem struct {
 	cost float64
 }
 
+// pq is a slice min-heap over internal/heapx, whose sift semantics
+// match container/heap exactly — the visit order, and therefore the
+// chosen path, is identical to the original container/heap router
+// without boxing every item through an interface value.
 type pq []pqItem
 
-func (q pq) Len() int           { return len(q) }
-func (q pq) Less(i, j int) bool { return q[i].cost < q[j].cost }
-func (q pq) Swap(i, j int)      { q[i], q[j] = q[j], q[i] }
-func (q *pq) Push(x any)        { *q = append(*q, x.(pqItem)) }
-func (q *pq) Pop() any          { old := *q; n := len(old); it := old[n-1]; *q = old[:n-1]; return it }
+func pqKey(it pqItem) float64 { return it.cost }
 
 // FindPath implements Router.
 func (Dijkstra) FindPath(p *platform.Platform, src, dst int) ([]int, bool) {
@@ -149,37 +199,50 @@ func (Dijkstra) FindPath(p *platform.Platform, src, dst int) ([]int, bool) {
 		return nil, false
 	}
 	const inf = 1e18
-	dist := make([]float64, p.NumElements())
-	prev := make([]int, p.NumElements())
-	done := make([]bool, p.NumElements())
+	s := scratchPool.Get().(*scratch)
+	defer scratchPool.Put(s)
+	n := p.NumElements()
+	prev := ints(s.prev, n)
+	if cap(s.dist) < n {
+		s.dist = make([]float64, n)
+	}
+	if cap(s.done) < n {
+		s.done = make([]bool, n)
+	}
+	dist, done := s.dist[:n], s.done[:n]
+	s.prev, s.dist, s.done = prev, dist, done
 	for i := range dist {
-		dist[i], prev[i] = inf, -1
+		dist[i], prev[i], done[i] = inf, -1, false
 	}
 	dist[src], prev[src] = 0, src
-	q := &pq{{src, 0}}
-	for q.Len() > 0 {
-		it := heap.Pop(q).(pqItem)
+	q := append(s.pq[:0], pqItem{src, 0})
+	for len(q) > 0 {
+		var it pqItem
+		q, it = heapx.Pop(q, pqKey)
 		if done[it.elem] {
 			continue
 		}
 		done[it.elem] = true
 		if it.elem == dst {
+			s.pq = q[:0]
 			return unwind(prev, src, dst), true
 		}
-		for _, n := range p.Neighbors(it.elem) {
-			if !usable(p, it.elem, n) {
+		s.ids = p.AppendNeighbors(s.ids[:0], it.elem)
+		for _, nb := range s.ids {
+			if !usable(p, it.elem, nb) {
 				continue
 			}
-			l := p.Link(it.elem, n)
+			l := p.Link(it.elem, nb)
 			// 1 per hop, plus congestion pressure proportional to
 			// the fraction of the link's VCs already in use.
 			w := 1 + float64(l.Used())/float64(l.VCs)
-			if nd := dist[it.elem] + w; nd < dist[n] {
-				dist[n], prev[n] = nd, it.elem
-				heap.Push(q, pqItem{n, nd})
+			if nd := dist[it.elem] + w; nd < dist[nb] {
+				dist[nb], prev[nb] = nd, it.elem
+				q = heapx.Push(q, pqItem{nb, nd}, pqKey)
 			}
 		}
 	}
+	s.pq = q[:0]
 	return nil, false
 }
 
@@ -192,10 +255,16 @@ func RouteAll(app *graph.Application, assignment []int, p *platform.Platform, r 
 	if r == nil {
 		r = BFS{}
 	}
-	chans := append([]*graph.Channel(nil), app.Channels...)
-	sort.Slice(chans, func(i, j int) bool { return chans[i].ID < chans[j].ID })
+	// Channels are routed in increasing ID order. Application channels
+	// are normally already ID-ordered (the generator and codec emit
+	// them that way); only re-sort when they are not.
+	chans := app.Channels
+	if !sort.SliceIsSorted(chans, func(i, j int) bool { return chans[i].ID < chans[j].ID }) {
+		chans = append([]*graph.Channel(nil), app.Channels...)
+		sort.Slice(chans, func(i, j int) bool { return chans[i].ID < chans[j].ID })
+	}
 
-	var routes []Route
+	routes := make([]Route, 0, len(chans))
 	release := func() {
 		for _, rt := range routes {
 			for i := 0; i+1 < len(rt.Path); i++ {

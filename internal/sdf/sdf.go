@@ -10,7 +10,7 @@ package sdf
 import (
 	"fmt"
 	"sort"
-	"strings"
+	"strconv"
 )
 
 // Actor is one timed SDF actor. Duration is the firing time in
@@ -275,19 +275,40 @@ func (g *Graph) Analyze() (*Analysis, error) {
 	}
 	seen := make(map[string]snap)
 
-	stateKey := func() string {
-		var b strings.Builder
+	// stateKey serializes (tokens, in-flight firings with relative
+	// completion times) into the reused byte buffer. The exploration
+	// computes one key per quiescent point, so the previous
+	// fmt.Sprintf-per-token encoding dominated the validation phase's
+	// allocation profile; map lookups on string(keyBuf) do not copy,
+	// only a first-time insert materializes the string.
+	var keyBuf []byte
+	var rel []inflight
+	stateKey := func() []byte {
+		b := keyBuf[:0]
 		for _, tk := range tokens {
-			fmt.Fprintf(&b, "%d,", tk)
+			b = strconv.AppendInt(b, int64(tk), 10)
+			b = append(b, ',')
 		}
-		b.WriteByte('|')
-		rel := make([]string, 0, len(fl))
-		for _, f := range fl {
-			rel = append(rel, fmt.Sprintf("%d:%d", f.actor, f.complete-now))
+		b = append(b, '|')
+		// Canonical order for the in-flight set: by actor, then by
+		// relative completion time (the multiset is what matters).
+		rel = append(rel[:0], fl...)
+		sort.Slice(rel, func(i, j int) bool {
+			if rel[i].actor != rel[j].actor {
+				return rel[i].actor < rel[j].actor
+			}
+			return rel[i].complete < rel[j].complete
+		})
+		for i, f := range rel {
+			if i > 0 {
+				b = append(b, ';')
+			}
+			b = strconv.AppendInt(b, int64(f.actor), 10)
+			b = append(b, ':')
+			b = strconv.AppendInt(b, f.complete-now, 10)
 		}
-		sort.Strings(rel)
-		b.WriteString(strings.Join(rel, ";"))
-		return b.String()
+		keyBuf = b
+		return b
 	}
 
 	for events := 0; events < maxEvents; events++ {
@@ -311,9 +332,10 @@ func (g *Graph) Analyze() (*Analysis, error) {
 		}
 
 		// Recurrence detection at quiescent points (all enabled
-		// firings started).
+		// firings started). The string conversion in the lookup does
+		// not allocate; only first-time inserts do.
 		key := stateKey()
-		if prev, ok := seen[key]; ok {
+		if prev, ok := seen[string(key)]; ok {
 			period := now - prev.time
 			fired := firings[0] - prev.firings0
 			an := &Analysis{
@@ -327,10 +349,10 @@ func (g *Graph) Analyze() (*Analysis, error) {
 			}
 			return an, nil
 		}
-		seen[key] = snap{time: now, firings0: firings[0]}
+		seen[string(key)] = snap{time: now, firings0: firings[0]}
 
 		// Advance to the earliest completion and retire everything
-		// completing at that time.
+		// completing at that time (filtering fl in place).
 		next := fl[0].complete
 		for _, f := range fl[1:] {
 			if f.complete < next {
@@ -338,7 +360,7 @@ func (g *Graph) Analyze() (*Analysis, error) {
 			}
 		}
 		now = next
-		var keep []inflight
+		keep := fl[:0]
 		for _, f := range fl {
 			if f.complete > now {
 				keep = append(keep, f)

@@ -264,6 +264,9 @@ type simulator struct {
 	lastT    float64
 	liveArea float64
 	fragArea float64
+	// fault-candidate scratch, reused across fault events
+	elemBuf []int
+	linkBuf [][2]int
 }
 
 // Run simulates the configured workload and returns its trace, series
@@ -511,20 +514,23 @@ func (s *simulator) applyReadmit(res kairos.ReadmitResult, event string) {
 
 // fault disables one enabled element or physical link, chosen
 // uniformly, schedules its repair, and forces the affected
-// applications through the restart path.
+// applications through the restart path. The candidate buffers are
+// reused across fault events (long horizons inject thousands).
 func (s *simulator) fault() {
-	var elems []int
+	elems := s.elemBuf[:0]
 	for _, e := range s.p.Elements() {
 		if e.Enabled() {
 			elems = append(elems, e.ID)
 		}
 	}
-	var links [][2]int
+	s.elemBuf = elems
+	links := s.linkBuf[:0]
 	for _, l := range s.p.PhysicalLinks() {
 		if s.p.Link(l[0], l[1]).Enabled() {
 			links = append(links, l)
 		}
 	}
+	s.linkBuf = links
 	n := len(elems) + len(links)
 	if n == 0 {
 		return

@@ -91,7 +91,7 @@ func Build(app *graph.Application, bind *binding.Binding, assignment []int,
 		if opts.IgnoreContention {
 			return 1
 		}
-		n := int64(len(p.Element(elem).Occupants()))
+		n := int64(p.Element(elem).OccupantCount())
 		if n < 1 {
 			n = 1
 		}
@@ -106,17 +106,23 @@ func Build(app *graph.Application, bind *binding.Binding, assignment []int,
 		g.AddSelfLoop(actorOf[t.ID])
 	}
 
-	routeOf := make(map[int]routing.Route, len(routes))
+	// Hop counts per channel ID (channel IDs index app.Channels).
+	hopsOf := make([]int, len(app.Channels))
 	for _, rt := range routes {
-		routeOf[rt.Channel] = rt
+		if rt.Channel >= 0 && rt.Channel < len(hopsOf) {
+			hopsOf[rt.Channel] = rt.Hops()
+		}
 	}
 
 	for _, ch := range app.Channels {
 		src, dst := actorOf[ch.Src], actorOf[ch.Dst]
 		buf := opts.BufferTokens * max(ch.Produce, ch.Consume)
+		// Same guard as the writes above: a channel whose ID does not
+		// index app.Channels (possible for hand-built graphs) has no
+		// recorded route and zero hops, as with the old map lookup.
 		hops := 0
-		if rt, ok := routeOf[ch.ID]; ok {
-			hops = rt.Hops()
+		if ch.ID >= 0 && ch.ID < len(hopsOf) {
+			hops = hopsOf[ch.ID]
 		}
 		if hops == 0 {
 			// Same-element (or unrouted) channel: direct edge with

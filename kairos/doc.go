@@ -48,6 +48,20 @@
 // context.Canceled / context.DeadlineExceeded and leave the
 // allocation state untouched.
 //
+// # Performance
+//
+// The admission hot path (bind → map → route → validate) reuses
+// pooled scratch state throughout — visited sets and frontier queues
+// in the routers, candidate and score buffers in binding and mapping,
+// the GAP solver state, the SDF exploration key buffers — so a warm
+// manager admits and releases in a few hundred heap allocations
+// total, independent of how many admissions preceded it. The pinned
+// benchmark suite in internal/bench (run via cmd/bench) records
+// ns/op, B/op, allocs/op and admission throughput per revision as
+// BENCH_<sha>.json, and CI rejects changes that regress the suite
+// (EXPERIMENTS.md §5). Stats snapshots are taken under the engine
+// lock and are safe to read concurrently with admissions.
+//
 // # Stability
 //
 // Everything exported here is covered by the API-surface gate
