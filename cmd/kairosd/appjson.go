@@ -1,0 +1,191 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/kairos"
+)
+
+// The JSON wire format of an application: the task graph the binary
+// bundle codec (internal/graph/binfmt.go) carries, re-expressed for
+// the HTTP API. Channels and fixed elements reference tasks by index,
+// so task names need not be unique; a round trip through encodeApp and
+// decodeApp reproduces the graph exactly.
+
+type wireApp struct {
+	Name        string          `json:"name"`
+	Tasks       []wireTask      `json:"tasks"`
+	Channels    []wireChannel   `json:"channels,omitempty"`
+	Constraints wireConstraints `json:"constraints,omitempty"`
+}
+
+type wireTask struct {
+	Name string `json:"name"`
+	// Kind is "internal" (default), "input" or "output".
+	Kind string `json:"kind,omitempty"`
+	// FixedElement pins the task to a platform element; absent or -1
+	// leaves it free.
+	FixedElement    *int       `json:"fixedElement,omitempty"`
+	Implementations []wireImpl `json:"implementations"`
+}
+
+type wireImpl struct {
+	Name     string  `json:"name"`
+	Target   string  `json:"target"`
+	Compute  int64   `json:"compute,omitempty"`
+	Memory   int64   `json:"memory,omitempty"`
+	IO       int64   `json:"io,omitempty"`
+	Config   int64   `json:"config,omitempty"`
+	Cost     float64 `json:"cost,omitempty"`
+	ExecTime int64   `json:"execTime,omitempty"`
+}
+
+type wireChannel struct {
+	// Src and Dst are task indices into the tasks array.
+	Src       int   `json:"src"`
+	Dst       int   `json:"dst"`
+	Produce   int   `json:"produce,omitempty"`
+	Consume   int   `json:"consume,omitempty"`
+	TokenSize int64 `json:"tokenSize,omitempty"`
+	Initial   int   `json:"initial,omitempty"`
+}
+
+type wireConstraints struct {
+	MinThroughput float64 `json:"minThroughput,omitempty"`
+	MaxLatency    int64   `json:"maxLatency,omitempty"`
+}
+
+// parseKind maps the wire kind strings onto graph task kinds.
+func parseKind(s string) (kairos.TaskKind, error) {
+	switch s {
+	case "", "internal":
+		return kairos.Internal, nil
+	case "input":
+		return kairos.Input, nil
+	case "output":
+		return kairos.Output, nil
+	}
+	return 0, fmt.Errorf("unknown task kind %q (internal, input, output)", s)
+}
+
+func kindString(k kairos.TaskKind) string {
+	switch k {
+	case kairos.Input:
+		return "input"
+	case kairos.Output:
+		return "output"
+	default:
+		return "internal"
+	}
+}
+
+// decodeApp builds an application from its wire form and validates it.
+func decodeApp(w *wireApp) (*kairos.Application, error) {
+	if w.Name == "" {
+		return nil, fmt.Errorf("application needs a name")
+	}
+	app := kairos.NewApplication(w.Name)
+	for ti, wt := range w.Tasks {
+		kind, err := parseKind(wt.Kind)
+		if err != nil {
+			return nil, fmt.Errorf("task %d: %w", ti, err)
+		}
+		impls := make([]kairos.Implementation, len(wt.Implementations))
+		for i, wi := range wt.Implementations {
+			impls[i] = kairos.Implementation{
+				Name:     wi.Name,
+				Target:   wi.Target,
+				Requires: kairos.Resources(wi.Compute, wi.Memory, wi.IO, wi.Config),
+				Cost:     wi.Cost,
+				ExecTime: wi.ExecTime,
+			}
+		}
+		id := app.AddTask(wt.Name, kind, impls...)
+		if wt.FixedElement != nil {
+			app.Tasks[id].FixedElement = *wt.FixedElement
+		}
+	}
+	for ci, wc := range w.Channels {
+		if wc.Src < 0 || wc.Src >= len(app.Tasks) || wc.Dst < 0 || wc.Dst >= len(app.Tasks) {
+			return nil, fmt.Errorf("channel %d: task index out of range", ci)
+		}
+		produce, consume := wc.Produce, wc.Consume
+		if produce == 0 {
+			produce = 1
+		}
+		if consume == 0 {
+			consume = 1
+		}
+		tokenSize := wc.TokenSize
+		if tokenSize == 0 {
+			tokenSize = 1
+		}
+		id := app.AddChannelRated(wc.Src, wc.Dst, produce, consume, tokenSize)
+		app.Channels[id].Initial = wc.Initial
+	}
+	app.Constraints = kairos.Constraints{
+		MinThroughput: w.Constraints.MinThroughput,
+		MaxLatency:    w.Constraints.MaxLatency,
+	}
+	if err := app.Validate(); err != nil {
+		return nil, err
+	}
+	return app, nil
+}
+
+// encodeApp renders an application in the wire form (the loadgen
+// client posts generator-drawn applications this way).
+func encodeApp(app *kairos.Application) *wireApp {
+	w := &wireApp{
+		Name: app.Name,
+		Constraints: wireConstraints{
+			MinThroughput: app.Constraints.MinThroughput,
+			MaxLatency:    app.Constraints.MaxLatency,
+		},
+	}
+	for _, t := range app.Tasks {
+		wt := wireTask{Name: t.Name, Kind: kindString(t.Kind)}
+		if t.FixedElement != kairos.NoFixedElement {
+			fixed := t.FixedElement
+			wt.FixedElement = &fixed
+		}
+		for _, im := range t.Implementations {
+			wt.Implementations = append(wt.Implementations, wireImpl{
+				Name:    im.Name,
+				Target:  im.Target,
+				Compute: axis(im.Requires, 0), Memory: axis(im.Requires, 1),
+				IO: axis(im.Requires, 2), Config: axis(im.Requires, 3),
+				Cost:     im.Cost,
+				ExecTime: im.ExecTime,
+			})
+		}
+		w.Tasks = append(w.Tasks, wt)
+	}
+	for _, ch := range app.Channels {
+		w.Channels = append(w.Channels, wireChannel{
+			Src: ch.Src, Dst: ch.Dst,
+			Produce: ch.Produce, Consume: ch.Consume,
+			TokenSize: ch.TokenSize, Initial: ch.Initial,
+		})
+	}
+	return w
+}
+
+// axis reads one axis of a resource vector, tolerating short vectors.
+func axis(v kairos.Vector, i int) int64 {
+	if i < len(v) {
+		return v[i]
+	}
+	return 0
+}
+
+// mustJSON marshals a value the server itself constructed; a failure
+// is a programming error.
+func mustJSON(v any) []byte {
+	data, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return data
+}

@@ -1,0 +1,195 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sync"
+	"time"
+
+	"repro/internal/appgen"
+	"repro/internal/experiments"
+)
+
+// The load generator: replays synthetic applications drawn from the
+// six appgen profiles (the Table I mix) against a running kairosd and
+// reports admission throughput and wall-clock latency percentiles —
+// the client half of the zero-to-serving smoke loop.
+
+// loadgenConfig parameterizes one run.
+type loadgenConfig struct {
+	// Target is the server base URL.
+	Target string
+	// Rate is the offered admissions per second; 0 runs closed-loop
+	// at whatever the server sustains.
+	Rate float64
+	// Duration is the run length.
+	Duration time.Duration
+	// Concurrency is the number of in-flight workers.
+	Concurrency int
+	// Seed drives the application draws.
+	Seed int64
+	// Release controls whether admitted applications are released
+	// immediately (steady state) or left running (fill-up).
+	Release bool
+}
+
+// loadgenCounters aggregates worker outcomes.
+type loadgenCounters struct {
+	mu       sync.Mutex
+	requests int
+	admitted int
+	rejected int // HTTP 409: workflow rejection
+	errors   int // transport errors and unexpected statuses
+	// releaseErrors counts failed steady-state releases: if these pile
+	// up the cluster silently fills and the run measures fill-up, not
+	// steady state, so they fail the run like admit errors do.
+	releaseErrors int
+	latencies     []time.Duration
+}
+
+func (c *loadgenCounters) record(status int, lat time.Duration, transportErr bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.requests++
+	c.latencies = append(c.latencies, lat)
+	switch {
+	case transportErr:
+		c.errors++
+	case status == http.StatusOK:
+		c.admitted++
+	case status == http.StatusConflict:
+		c.rejected++
+	default:
+		c.errors++
+	}
+}
+
+// runLoadgen drives the configured workload and prints the report.
+func runLoadgen(cfg loadgenConfig, stdout io.Writer) error {
+	base, err := url.Parse(cfg.Target)
+	if err != nil || base.Scheme == "" || base.Host == "" {
+		return fmt.Errorf("loadgen: bad -target %q (want e.g. http://127.0.0.1:8080)", cfg.Target)
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 1
+	}
+	if cfg.Duration <= 0 {
+		return fmt.Errorf("loadgen: -duration must be positive")
+	}
+
+	// Quick reachability probe before spawning the fleet.
+	client := &http.Client{Timeout: 30 * time.Second}
+	resp, err := client.Get(base.JoinPath("/healthz").String())
+	if err != nil {
+		return fmt.Errorf("loadgen: server unreachable: %w", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	// One generator per dataset profile, the Table I mix; draws happen
+	// in the dispatcher goroutine only, so the stream is deterministic
+	// for a fixed seed regardless of worker count.
+	var gens []*appgen.Generator
+	for i, gcfg := range experiments.AllConfigs() {
+		gens = append(gens, appgen.New(gcfg, cfg.Seed+int64(i+1)*101))
+	}
+
+	jobs := make(chan []byte, cfg.Concurrency)
+	ctx, cancelCtx := context.WithTimeout(context.Background(), cfg.Duration)
+	defer cancelCtx()
+	go func() {
+		defer close(jobs)
+		var tick *time.Ticker
+		if cfg.Rate > 0 {
+			tick = time.NewTicker(time.Duration(float64(time.Second) / cfg.Rate))
+			defer tick.Stop()
+		}
+		for i := 0; ; i++ {
+			app := gens[i%len(gens)].Next()
+			payload := mustJSON(encodeApp(app))
+			if tick != nil {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+				}
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case jobs <- payload:
+			}
+		}
+	}()
+
+	counters := &loadgenCounters{}
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for payload := range jobs {
+				opStart := time.Now()
+				resp, err := client.Post(base.JoinPath("/v1/admit").String(),
+					"application/json", bytes.NewReader(payload))
+				lat := time.Since(opStart)
+				if err != nil {
+					counters.record(0, lat, true)
+					continue
+				}
+				var admitted admitResponse
+				status := resp.StatusCode
+				if status == http.StatusOK {
+					if err := json.NewDecoder(resp.Body).Decode(&admitted); err != nil {
+						status = 0
+					}
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				counters.record(status, lat, status == 0)
+				if status == http.StatusOK && cfg.Release {
+					req, _ := http.NewRequest(http.MethodDelete,
+						base.JoinPath("/v1/apps", url.PathEscape(admitted.Instance)).String(), nil)
+					released := false
+					if dr, err := client.Do(req); err == nil {
+						io.Copy(io.Discard, dr.Body)
+						dr.Body.Close()
+						released = dr.StatusCode == http.StatusNoContent
+					}
+					if !released {
+						counters.mu.Lock()
+						counters.releaseErrors++
+						counters.mu.Unlock()
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	c := counters
+	ps := experiments.DurationPercentiles(c.latencies, 50, 90, 99)
+	mode := fmt.Sprintf("%.1f offered req/s", cfg.Rate)
+	if cfg.Rate <= 0 {
+		mode = "closed loop"
+	}
+	fmt.Fprintf(stdout, "loadgen: %s for %v against %s, %d workers, seed %d\n",
+		mode, cfg.Duration, cfg.Target, cfg.Concurrency, cfg.Seed)
+	fmt.Fprintf(stdout, "  %d requests in %v (%.1f req/s achieved)\n",
+		c.requests, elapsed.Round(time.Millisecond), float64(c.requests)/elapsed.Seconds())
+	fmt.Fprintf(stdout, "  %d admitted, %d rejected, %d errors, %d release errors\n",
+		c.admitted, c.rejected, c.errors, c.releaseErrors)
+	fmt.Fprintf(stdout, "  admit latency p50 %v, p90 %v, p99 %v\n", ps[0], ps[1], ps[2])
+	if c.errors > 0 || c.releaseErrors > 0 {
+		return fmt.Errorf("loadgen: %d of %d requests errored, %d releases failed",
+			c.errors, c.requests, c.releaseErrors)
+	}
+	return nil
+}

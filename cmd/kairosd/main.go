@@ -1,0 +1,163 @@
+// Command kairosd serves a kairos.Cluster — N independent platform
+// shards behind one admission manager — over HTTP/JSON: the
+// long-running resource server the ROADMAP's scale-out goal asks for,
+// built from the paper's single-MPSoC run-time manager.
+//
+//	POST   /v1/admit     admit one application (JSON task graph)
+//	POST   /v1/admitall  admit a batch, largest-first
+//	DELETE /v1/apps/{id} release a cluster instance (URL-escaped)
+//	POST   /v1/readmit   restart one instance, or sweep fault-affected ones
+//	GET    /v1/stats     per-shard and aggregate counters
+//	GET    /v1/events    merged shard-tagged event stream (SSE)
+//	GET    /healthz      liveness probe
+//
+// The same binary is its own load generator: -loadgen replays
+// applications drawn from the six synthetic profiles of the paper's
+// evaluation against a running server and reports throughput and
+// latency percentiles.
+//
+// Usage:
+//
+//	kairosd -addr :8080 -shards 16 -placement power-of-two
+//	kairosd -platform mesh6x6 -shards 4 -spill 2
+//	kairosd -loadgen -target http://127.0.0.1:8080 -rate 50 -duration 30s
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/kairos"
+)
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("kairosd", flag.ContinueOnError)
+	shared := kairos.RegisterFlags(fs)
+	cluster := kairos.RegisterClusterFlags(fs)
+	var (
+		addr     = fs.String("addr", ":8080", "listen address")
+		seed     = fs.Int64("seed", 1, "cluster placement seed")
+		loadgen  = fs.Bool("loadgen", false, "run as a load generator client instead of a server")
+		target   = fs.String("target", "http://127.0.0.1:8080", "loadgen: server base URL")
+		rate     = fs.Float64("rate", 50, "loadgen: offered admissions per second (0 = closed loop)")
+		duration = fs.Duration("duration", 10*time.Second, "loadgen: run length")
+		workers  = fs.Int("concurrency", 8, "loadgen: concurrent in-flight requests")
+		noRel    = fs.Bool("no-release", false, "loadgen: leave admitted applications running (fill-up mode)")
+	)
+	fs.SetOutput(stdout)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// The two modes have disjoint vocabularies; a flag for the other
+	// mode is a mistake (e.g. `-loadgen -shards 16` parameterizes
+	// nothing — the loadgen hits whatever server is running). Reject it
+	// instead of silently running a different experiment.
+	serverOnly := map[string]bool{
+		"addr": true, "shards": true, "placement": true, "spill": true,
+		"platform": true, "weights": true,
+		"binder": true, "mapper": true, "router": true, "validator": true,
+	}
+	loadgenOnly := map[string]bool{
+		"target": true, "rate": true, "duration": true,
+		"concurrency": true, "no-release": true,
+	}
+	var wrongMode []string
+	fs.Visit(func(fl *flag.Flag) {
+		if *loadgen && serverOnly[fl.Name] || !*loadgen && loadgenOnly[fl.Name] {
+			wrongMode = append(wrongMode, "-"+fl.Name)
+		}
+	})
+	if len(wrongMode) > 0 {
+		mode := "server"
+		if *loadgen {
+			mode = "loadgen"
+		}
+		return fmt.Errorf("%s: not %s-mode flags", strings.Join(wrongMode, ", "), mode)
+	}
+
+	if *loadgen {
+		return runLoadgen(loadgenConfig{
+			Target:      *target,
+			Rate:        *rate,
+			Duration:    *duration,
+			Concurrency: *workers,
+			Seed:        *seed,
+			Release:     !*noRel,
+		}, stdout)
+	}
+
+	proto, err := shared.BuildPlatform()
+	if err != nil {
+		return err
+	}
+	shardOpts, err := shared.StrategyOptions()
+	if err != nil {
+		return err
+	}
+	clusterOpts, err := cluster.Options()
+	if err != nil {
+		return err
+	}
+	clusterOpts = append(clusterOpts,
+		kairos.WithClusterSeed(*seed),
+		kairos.WithShardOptions(shardOpts...),
+	)
+	c, err := kairos.NewCluster(cluster.Shards, func(int) *kairos.Platform { return proto.Clone() }, clusterOpts...)
+	if err != nil {
+		return err
+	}
+
+	srv := &server{cluster: c, placement: cluster.Placement, started: time.Now()}
+	httpSrv := &http.Server{
+		Handler:           srv.newMux(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "kairosd: serving %d×%v shard(s), placement %s, on http://%s\n",
+		cluster.Shards, proto, cluster.Placement, ln.Addr())
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests. SSE
+	// streams hold their connections open, so Shutdown's graceful wait
+	// is bounded and stragglers are closed hard at the deadline.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(stdout, "kairosd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		httpSrv.Close()
+	}
+	<-serveErr // Serve has returned http.ErrServerClosed by now
+	return nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		fmt.Fprintln(os.Stderr, "kairosd:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,415 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/appgen"
+	"repro/kairos"
+)
+
+// testServer builds a small cluster and its HTTP face.
+func testServer(t *testing.T, shards int, opts ...kairos.ClusterOption) (*httptest.Server, *server) {
+	t.Helper()
+	opts = append([]kairos.ClusterOption{
+		kairos.WithShardOptions(kairos.WithAdvisoryValidation(), kairos.WithWeights(kairos.WeightsBoth)),
+	}, opts...)
+	c, err := kairos.NewCluster(shards,
+		func(int) *kairos.Platform { return kairos.MeshWithIO(4, 4, kairos.DefaultVCs) }, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &server{cluster: c, placement: "least-loaded", started: time.Now()}
+	ts := httptest.NewServer(s.newMux())
+	t.Cleanup(ts.Close)
+	return ts, s
+}
+
+// quickstartWire is the three-stage quickstart application in wire
+// form (also the payload of the CI end-to-end smoke).
+func quickstartWire() *wireApp {
+	fixed := 16
+	return &wireApp{
+		Name: "quickstart",
+		Tasks: []wireTask{
+			{Name: "source", Kind: "input", FixedElement: &fixed, Implementations: []wireImpl{
+				{Name: "stream-in", Target: "io", Compute: 5, Memory: 4, IO: 1, Cost: 1, ExecTime: 4},
+			}},
+			{Name: "transform", Implementations: []wireImpl{
+				{Name: "fir-accurate", Target: "dsp", Compute: 80, Memory: 32, Cost: 6, ExecTime: 10},
+				{Name: "fir-fast", Target: "dsp", Compute: 50, Memory: 16, Cost: 3, ExecTime: 6},
+			}},
+			{Name: "sink", Kind: "output", Implementations: []wireImpl{
+				{Name: "stream-out", Target: "dsp", Compute: 20, Memory: 8, Cost: 1, ExecTime: 3},
+			}},
+		},
+		Channels: []wireChannel{
+			{Src: 0, Dst: 1, Produce: 1, Consume: 1, TokenSize: 4},
+			{Src: 1, Dst: 2, Produce: 1, Consume: 1, TokenSize: 2},
+		},
+		Constraints: wireConstraints{MinThroughput: 50},
+	}
+}
+
+func postJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(mustJSON(v)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeBody[T any](t *testing.T, resp *http.Response) T {
+	t.Helper()
+	defer resp.Body.Close()
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return v
+}
+
+// TestAdmitStatsReleaseOverHTTP is the in-process version of the CI
+// smoke: admit the quickstart app, see it in stats, release it, see it
+// gone.
+func TestAdmitStatsReleaseOverHTTP(t *testing.T) {
+	ts, _ := testServer(t, 2)
+
+	resp := postJSON(t, ts.URL+"/v1/admit", quickstartWire())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("admit status = %d", resp.StatusCode)
+	}
+	adm := decodeBody[admitResponse](t, resp)
+	if adm.Instance == "" || !strings.HasPrefix(adm.Instance, fmt.Sprintf("s%d:", adm.Shard)) {
+		t.Fatalf("bad instance %q for shard %d", adm.Instance, adm.Shard)
+	}
+	if len(adm.Layout) != 3 || adm.Times.Total <= 0 {
+		t.Errorf("layout %v times %+v incomplete", adm.Layout, adm.Times)
+	}
+
+	stats := decodeBody[statsResponse](t, mustGet(t, ts.URL+"/v1/stats"))
+	if stats.Stats.Total.Live != 1 || stats.Shards != 2 {
+		t.Errorf("stats live=%d shards=%d, want 1/2", stats.Stats.Total.Live, stats.Shards)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete,
+		ts.URL+"/v1/apps/"+url.PathEscape(adm.Instance), nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("release status = %d", dresp.StatusCode)
+	}
+
+	stats = decodeBody[statsResponse](t, mustGet(t, ts.URL+"/v1/stats"))
+	if stats.Stats.Total.Live != 0 || stats.Stats.Total.Released != 1 {
+		t.Errorf("after release: live=%d released=%d", stats.Stats.Total.Live, stats.Stats.Total.Released)
+	}
+
+	// Releasing again is a 404; garbage names too.
+	req, _ = http.NewRequest(http.MethodDelete, ts.URL+"/v1/apps/"+url.PathEscape(adm.Instance), nil)
+	dresp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNotFound {
+		t.Errorf("double release status = %d, want 404", dresp.StatusCode)
+	}
+}
+
+func mustGet(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestAdmitRejectionAndBadRequests(t *testing.T) {
+	ts, _ := testServer(t, 1)
+
+	// An application no shard can host: mapping has nowhere to put a
+	// task demanding more compute than any element offers.
+	impossible := &wireApp{
+		Name: "impossible",
+		Tasks: []wireTask{{Name: "t", Implementations: []wireImpl{
+			{Name: "huge", Target: "dsp", Compute: 1 << 40, ExecTime: 1},
+		}}},
+	}
+	resp := postJSON(t, ts.URL+"/v1/admit", impossible)
+	if resp.StatusCode != http.StatusConflict {
+		t.Errorf("impossible admit status = %d, want 409", resp.StatusCode)
+	}
+	body := decodeBody[errorBody](t, resp)
+	if body.Phase == "" || body.Error == "" {
+		t.Errorf("rejection body %+v lacks phase attribution", body)
+	}
+
+	for _, tc := range []struct {
+		name string
+		body string
+	}{
+		{"syntax", `{"name": `},
+		{"no-name", `{"tasks":[{"name":"t","implementations":[{"name":"i","target":"dsp"}]}]}`},
+		{"bad-kind", `{"name":"x","tasks":[{"name":"t","kind":"sideways","implementations":[{"name":"i","target":"dsp"}]}]}`},
+		{"bad-channel", `{"name":"x","tasks":[{"name":"t","implementations":[{"name":"i","target":"dsp"}]}],"channels":[{"src":0,"dst":9}]}`},
+		{"no-impls", `{"name":"x","tasks":[{"name":"t"}]}`},
+	} {
+		resp, err := http.Post(ts.URL+"/v1/admit", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+}
+
+func TestAdmitAllAndReadmitOverHTTP(t *testing.T) {
+	ts, _ := testServer(t, 2)
+
+	batch := admitAllRequest{Apps: []wireApp{*quickstartWire(), *quickstartWire()}}
+	resp := postJSON(t, ts.URL+"/v1/admitall", batch)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("admitall status = %d", resp.StatusCode)
+	}
+	out := decodeBody[struct {
+		Results []admitAllEntry `json:"results"`
+	}](t, resp)
+	if len(out.Results) != 2 {
+		t.Fatalf("got %d results", len(out.Results))
+	}
+	var first string
+	for i, r := range out.Results {
+		if r.Admission == nil {
+			t.Fatalf("batch entry %d rejected: %s", i, r.Error)
+		}
+		if i == 0 {
+			first = r.Admission.Instance
+		}
+	}
+
+	// Restart the first admission in place.
+	resp = postJSON(t, ts.URL+"/v1/readmit", readmitRequest{Instance: first})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("readmit status = %d", resp.StatusCode)
+	}
+	re := decodeBody[admitResponse](t, resp)
+	if re.Instance == first {
+		t.Errorf("readmit kept instance name %q", first)
+	}
+
+	// Unknown instance and malformed request shapes.
+	resp = postJSON(t, ts.URL+"/v1/readmit", readmitRequest{Instance: "s0:nope#9"})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("readmit unknown = %d, want 404", resp.StatusCode)
+	}
+	resp = postJSON(t, ts.URL+"/v1/readmit", readmitRequest{})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("empty readmit = %d, want 400", resp.StatusCode)
+	}
+
+	// The affected sweep with nothing disabled is an empty result set.
+	resp = postJSON(t, ts.URL+"/v1/readmit", readmitRequest{Affected: true})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("affected sweep status = %d", resp.StatusCode)
+	}
+	sweep := decodeBody[struct {
+		Results []readmitEntry `json:"results"`
+	}](t, resp)
+	if len(sweep.Results) != 0 {
+		t.Errorf("sweep with healthy hardware returned %v", sweep.Results)
+	}
+}
+
+// TestReadmitAffectedSweepOverHTTP: a fault makes the sweep return
+// cluster-scoped instance names that the DELETE endpoint accepts —
+// what the API shows must be releasable.
+func TestReadmitAffectedSweepOverHTTP(t *testing.T) {
+	ts, srv := testServer(t, 2)
+
+	adm := decodeBody[admitResponse](t, postJSON(t, ts.URL+"/v1/admit", quickstartWire()))
+	local := strings.TrimPrefix(adm.Instance, fmt.Sprintf("s%d:", adm.Shard))
+	shard := srv.cluster.Shard(adm.Shard)
+	inner := shard.Admitted()[local]
+	if inner == nil {
+		t.Fatalf("admission %q not found on shard %d", local, adm.Shard)
+	}
+	p := shard.Platform()
+	faulted := inner.Assignment[1] // the transform task's DSP
+	p.DisableElement(faulted)
+	defer p.EnableElement(faulted)
+
+	resp := postJSON(t, ts.URL+"/v1/readmit", readmitRequest{Affected: true})
+	sweep := decodeBody[struct {
+		Results []readmitEntry `json:"results"`
+	}](t, resp)
+	if len(sweep.Results) != 1 {
+		t.Fatalf("sweep returned %d results, want 1", len(sweep.Results))
+	}
+	entry := sweep.Results[0]
+	prefix := fmt.Sprintf("s%d:", adm.Shard)
+	if !strings.HasPrefix(entry.Instance, prefix) || !strings.HasPrefix(entry.NewInstance, prefix) {
+		t.Fatalf("sweep names %q/%q are not cluster-scoped", entry.Instance, entry.NewInstance)
+	}
+	if entry.Outcome == "evicted" {
+		t.Fatalf("sweep evicted the app: %s", entry.Error)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete,
+		ts.URL+"/v1/apps/"+url.PathEscape(entry.NewInstance), nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Errorf("DELETE of sweep-reported name %q = %d, want 204", entry.NewInstance, dresp.StatusCode)
+	}
+}
+
+// TestEventsSSE subscribes to the merged stream and sees a shard-
+// tagged admitted event with a cluster-scoped instance name.
+func TestEventsSSE(t *testing.T) {
+	ts, _ := testServer(t, 2)
+
+	resp, err := http.Get(ts.URL + "/v1/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("events content type = %q", ct)
+	}
+
+	admResp := postJSON(t, ts.URL+"/v1/admit", quickstartWire())
+	adm := decodeBody[admitResponse](t, admResp)
+
+	sc := bufio.NewScanner(resp.Body)
+	deadline := time.AfterFunc(10*time.Second, func() { resp.Body.Close() })
+	defer deadline.Stop()
+	var ev eventJSON
+	for sc.Scan() {
+		line := sc.Text()
+		if data, ok := strings.CutPrefix(line, "data: "); ok {
+			if err := json.Unmarshal([]byte(data), &ev); err != nil {
+				t.Fatalf("bad SSE data %q: %v", data, err)
+			}
+			break
+		}
+	}
+	if ev.Type != "admitted" || ev.Instance != adm.Instance || ev.Shard != adm.Shard {
+		t.Errorf("SSE event %+v, want admitted %s on shard %d", ev, adm.Instance, adm.Shard)
+	}
+}
+
+// TestLoadgenAgainstServer runs the loadgen client against the
+// in-process server: closed loop, a short burst, no transport errors.
+func TestLoadgenAgainstServer(t *testing.T) {
+	ts, _ := testServer(t, 4)
+	var out bytes.Buffer
+	err := runLoadgen(loadgenConfig{
+		Target:      ts.URL,
+		Rate:        200,
+		Duration:    500 * time.Millisecond,
+		Concurrency: 4,
+		Seed:        1,
+		Release:     true,
+	}, &out)
+	if err != nil {
+		t.Fatalf("loadgen: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "admit latency p50") {
+		t.Errorf("report lacks latency line:\n%s", out.String())
+	}
+	stats, _ := http.Get(ts.URL + "/v1/stats")
+	sr := decodeBody[statsResponse](t, stats)
+	if sr.Stats.Total.Attempts == 0 {
+		t.Error("server saw no admission attempts from the loadgen")
+	}
+	if sr.Stats.Total.Live != 0 {
+		t.Errorf("loadgen left %d applications running in release mode", sr.Stats.Total.Live)
+	}
+}
+
+func TestLoadgenBadTarget(t *testing.T) {
+	if err := runLoadgen(loadgenConfig{Target: "::bad::", Duration: time.Second}, io.Discard); err == nil {
+		t.Error("loadgen accepted a garbage target")
+	}
+}
+
+// TestAppJSONRoundTrip: generator-drawn applications survive the wire
+// format exactly (the loadgen depends on this).
+func TestAppJSONRoundTrip(t *testing.T) {
+	for _, prof := range []appgen.Profile{appgen.Communication, appgen.Computation} {
+		g := appgen.New(appgen.NewConfig(prof, appgen.Medium), 7)
+		for i := 0; i < 5; i++ {
+			app := g.Next()
+			decoded, err := decodeApp(encodeApp(app))
+			if err != nil {
+				t.Fatalf("%s app %d: %v", prof, i, err)
+			}
+			if decoded.Name != app.Name || len(decoded.Tasks) != len(app.Tasks) ||
+				len(decoded.Channels) != len(app.Channels) {
+				t.Fatalf("%s app %d: shape changed in round trip", prof, i)
+			}
+			for ti, task := range app.Tasks {
+				d := decoded.Tasks[ti]
+				if d.Name != task.Name || d.Kind != task.Kind || d.FixedElement != task.FixedElement ||
+					!reflect.DeepEqual(d.Implementations, task.Implementations) {
+					t.Fatalf("%s app %d task %d differs", prof, i, ti)
+				}
+			}
+			for ci, ch := range app.Channels {
+				d := decoded.Channels[ci]
+				if d.Src != ch.Src || d.Dst != ch.Dst || d.Produce != ch.Produce ||
+					d.Consume != ch.Consume || d.TokenSize != ch.TokenSize || d.Initial != ch.Initial {
+					t.Fatalf("%s app %d channel %d differs", prof, i, ci)
+				}
+			}
+			if decoded.Constraints != app.Constraints {
+				t.Fatalf("%s app %d constraints differ", prof, i)
+			}
+		}
+	}
+}
+
+// TestRunFlagErrors: bad flags and specs fail fast.
+func TestRunFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-placement", "nope"},
+		{"-platform", "nope"},
+		{"-shards", "-1"},
+		{"-binder", "nope"},
+		{"-loadgen", "-target", "::bad::"},
+		{"-loadgen", "-duration", "0s"},
+		// Cross-mode flags are rejected, not silently dropped.
+		{"-loadgen", "-shards", "16"},
+		{"-loadgen", "-placement", "power-of-two"},
+		{"-rate", "10"},
+		{"-target", "http://x"},
+	} {
+		var out bytes.Buffer
+		if err := run(args, &out); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

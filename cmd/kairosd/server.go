@@ -1,0 +1,346 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/kairos"
+)
+
+// server is the HTTP face of one kairos.Cluster.
+type server struct {
+	cluster   *kairos.Cluster
+	placement string
+	started   time.Time
+}
+
+// newMux wires the /v1 API onto a fresh ServeMux.
+func (s *server) newMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/admit", s.handleAdmit)
+	mux.HandleFunc("POST /v1/admitall", s.handleAdmitAll)
+	mux.HandleFunc("DELETE /v1/apps/{id}", s.handleRelease)
+	mux.HandleFunc("POST /v1/readmit", s.handleReadmit)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/events", s.handleEvents)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+// Request-body ceilings: a single task graph is kilobytes, a batch at
+// most a few thousand of them. Anything larger is a mistake or abuse
+// and must not be buffered by a long-running daemon.
+const (
+	maxBodyBytes      = 1 << 20  // admit, readmit
+	maxBatchBodyBytes = 16 << 20 // admitall
+)
+
+// errorBody is every non-2xx JSON payload.
+type errorBody struct {
+	Error string `json:"error"`
+	// Phase attributes an admission rejection to a workflow phase.
+	Phase string `json:"phase,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(mustJSON(v), '\n'))
+}
+
+// writeAdmissionError maps an admission error onto a status: 409 for
+// workflow rejections (the request was well-formed; the cluster is
+// full or the app unroutable), 503 for cancellations.
+func writeAdmissionError(w http.ResponseWriter, err error) {
+	body := errorBody{Error: err.Error()}
+	status := http.StatusConflict
+	var pe *kairos.PhaseError
+	if errors.As(err, &pe) {
+		body.Phase = pe.Phase.String()
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, body)
+}
+
+// placedTask is one row of an admission response's layout.
+type placedTask struct {
+	Task           string `json:"task"`
+	Implementation string `json:"implementation"`
+	Element        string `json:"element"`
+}
+
+// admitResponse describes one successful admission.
+type admitResponse struct {
+	Instance string       `json:"instance"`
+	Shard    int          `json:"shard"`
+	Attempts int          `json:"attempts"`
+	App      string       `json:"app"`
+	Layout   []placedTask `json:"layout"`
+	Routes   int          `json:"routes"`
+	Hops     int          `json:"hops"`
+	// Phase times in nanoseconds.
+	Times struct {
+		Binding    int64 `json:"binding"`
+		Mapping    int64 `json:"mapping"`
+		Routing    int64 `json:"routing"`
+		Validation int64 `json:"validation"`
+		Total      int64 `json:"total"`
+	} `json:"times"`
+}
+
+func (s *server) admitResponse(adm *kairos.ClusterAdmission) *admitResponse {
+	resp := &admitResponse{
+		Instance: adm.Instance,
+		Shard:    adm.Shard,
+		Attempts: adm.Attempts,
+		App:      adm.Adm.App.Name,
+		Routes:   len(adm.Adm.Routes),
+		Hops:     kairos.TotalHops(adm.Adm.Routes),
+	}
+	p := s.cluster.Shard(adm.Shard).Platform()
+	for _, t := range adm.Adm.App.Tasks {
+		resp.Layout = append(resp.Layout, placedTask{
+			Task:           t.Name,
+			Implementation: adm.Adm.Binding.Implementation(t.ID).Name,
+			Element:        p.Element(adm.Adm.Assignment[t.ID]).Name,
+		})
+	}
+	times := adm.Adm.Times
+	resp.Times.Binding = times.Binding.Nanoseconds()
+	resp.Times.Mapping = times.Mapping.Nanoseconds()
+	resp.Times.Routing = times.Routing.Nanoseconds()
+	resp.Times.Validation = times.Validation.Nanoseconds()
+	resp.Times.Total = times.Total().Nanoseconds()
+	return resp
+}
+
+func (s *server) handleAdmit(w http.ResponseWriter, r *http.Request) {
+	var wa wireApp
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&wa); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad application JSON: " + err.Error()})
+		return
+	}
+	app, err := decodeApp(&wa)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	adm, err := s.cluster.Admit(r.Context(), app)
+	if err != nil {
+		writeAdmissionError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.admitResponse(adm))
+}
+
+type admitAllRequest struct {
+	Apps []wireApp `json:"apps"`
+}
+
+type admitAllEntry struct {
+	Index     int            `json:"index"`
+	Admission *admitResponse `json:"admission,omitempty"`
+	Error     string         `json:"error,omitempty"`
+	Phase     string         `json:"phase,omitempty"`
+}
+
+func (s *server) handleAdmitAll(w http.ResponseWriter, r *http.Request) {
+	var req admitAllRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBatchBodyBytes)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad batch JSON: " + err.Error()})
+		return
+	}
+	apps := make([]*kairos.Application, len(req.Apps))
+	decodeErrs := make([]error, len(req.Apps))
+	for i := range req.Apps {
+		apps[i], decodeErrs[i] = decodeApp(&req.Apps[i])
+	}
+	results := s.cluster.AdmitAll(r.Context(), apps)
+	entries := make([]admitAllEntry, len(results))
+	for i, res := range results {
+		entries[i] = admitAllEntry{Index: res.Index}
+		err := res.Err
+		if decodeErrs[i] != nil {
+			err = decodeErrs[i] // more precise than the nil-app sentinel
+		}
+		if err != nil {
+			entries[i].Error = err.Error()
+			var pe *kairos.PhaseError
+			if errors.As(err, &pe) {
+				entries[i].Phase = pe.Phase.String()
+			}
+			continue
+		}
+		entries[i].Admission = s.admitResponse(res.Adm)
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Results []admitAllEntry `json:"results"`
+	}{entries})
+}
+
+func (s *server) handleRelease(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.cluster.Release(id); err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, kairos.ErrUnknownInstance) {
+			status = http.StatusNotFound
+		}
+		writeJSON(w, status, errorBody{Error: err.Error()})
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+type readmitRequest struct {
+	// Instance restarts one cluster admission; Affected sweeps every
+	// shard for admissions touching disabled hardware. Exactly one of
+	// the two must be set.
+	Instance string `json:"instance,omitempty"`
+	Affected bool   `json:"affected,omitempty"`
+}
+
+type readmitEntry struct {
+	Shard       int    `json:"shard"`
+	Instance    string `json:"instance"`
+	Outcome     string `json:"outcome"`
+	NewInstance string `json:"newInstance,omitempty"`
+	Error       string `json:"error,omitempty"`
+}
+
+func (s *server) handleReadmit(w http.ResponseWriter, r *http.Request) {
+	var req readmitRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad readmit JSON: " + err.Error()})
+		return
+	}
+	switch {
+	case req.Affected && req.Instance == "":
+		results := s.cluster.ReadmitAffected(r.Context())
+		entries := make([]readmitEntry, len(results))
+		for i, res := range results {
+			// The sweep reports shard-local names; every name this API
+			// returns must be cluster-scoped — what you see is what you
+			// can DELETE.
+			entries[i] = readmitEntry{
+				Shard:    res.Shard,
+				Instance: kairos.ClusterInstanceName(res.Shard, res.Instance),
+				Outcome:  res.Outcome.String(),
+			}
+			if res.Outcome != kairos.ReadmitEvicted {
+				entries[i].NewInstance = kairos.ClusterInstanceName(res.Shard, res.NewInstance)
+			}
+			if res.Err != nil {
+				entries[i].Error = res.Err.Error()
+			}
+		}
+		writeJSON(w, http.StatusOK, struct {
+			Results []readmitEntry `json:"results"`
+		}{entries})
+	case req.Instance != "" && !req.Affected:
+		adm, err := s.cluster.Readmit(r.Context(), req.Instance)
+		if err != nil {
+			if errors.Is(err, kairos.ErrUnknownInstance) {
+				writeJSON(w, http.StatusNotFound, errorBody{Error: err.Error()})
+				return
+			}
+			writeAdmissionError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, s.admitResponse(adm))
+	default:
+		writeJSON(w, http.StatusBadRequest,
+			errorBody{Error: `set exactly one of "instance" or "affected"`})
+	}
+}
+
+// statsResponse is the GET /v1/stats payload. Durations are
+// nanoseconds (encoding/json renders time.Duration as its int64).
+type statsResponse struct {
+	Shards    int                 `json:"shards"`
+	Placement string              `json:"placement"`
+	UptimeSec float64             `json:"uptimeSec"`
+	Dropped   uint64              `json:"droppedEvents"`
+	Stats     kairos.ClusterStats `json:"stats"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, statsResponse{
+		Shards:    s.cluster.NumShards(),
+		Placement: s.placement,
+		UptimeSec: time.Since(s.started).Seconds(),
+		Dropped:   s.cluster.Dropped(),
+		Stats:     s.cluster.Stats(),
+	})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	fmt.Fprintln(w, "ok")
+}
+
+// eventJSON is one SSE data payload.
+type eventJSON struct {
+	Shard    int    `json:"shard"`
+	Type     string `json:"type"`
+	Instance string `json:"instance"`
+	App      string `json:"app,omitempty"`
+	Reason   string `json:"reason,omitempty"`
+	Restored *bool  `json:"restored,omitempty"`
+}
+
+// handleEvents streams the merged cluster event stream as server-sent
+// events until the client disconnects. Instance names are rewritten to
+// their cluster-scoped form, so a client can DELETE what it sees here.
+func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: "streaming unsupported"})
+		return
+	}
+	events, cancel := s.cluster.Subscribe()
+	defer cancel()
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-events:
+			if !ok {
+				return
+			}
+			ej := eventJSON{Shard: ev.Shard, Instance: kairos.ClusterInstanceName(ev.Shard, ev.Event.EventInstance())}
+			switch e := ev.Event.(type) {
+			case kairos.Admitted:
+				ej.Type = "admitted"
+				ej.App = e.Adm.App.Name
+			case kairos.Released:
+				ej.Type = "released"
+				ej.App = e.App.Name
+			case kairos.Evicted:
+				ej.Type = "evicted"
+				ej.App = e.Adm.App.Name
+				ej.Reason = e.Reason.String()
+			case kairos.ReadmitFailed:
+				ej.Type = "readmit-failed"
+				ej.App = e.App.Name
+				restored := e.Restored
+				ej.Restored = &restored
+			default:
+				ej.Type = "event"
+			}
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ej.Type, mustJSON(ej))
+			fl.Flush()
+		}
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/sim"
@@ -46,6 +47,9 @@ func run(args []string, stdout io.Writer) error {
 		sample     = fs.Duration("sample", 10*time.Second, "time-series sampling interval")
 		jsonOut    = fs.String("json", "", "write the deterministic result as JSON to this file (- for stdout)")
 		workers    = fs.Int("workers", 0, "worker pool for the policy comparison (0 = all CPUs)")
+		cluster    = fs.Int("cluster", 0, "cluster churn scenario: number of platform shards (0 = single platform)")
+		placement  = fs.String("placement", "all", "cluster: placement policy name or all (comparison)")
+		spill      = fs.Int("spill", 0, "cluster: max shards tried per admission (0 = all)")
 	)
 	fs.SetOutput(stdout)
 	if err := fs.Parse(args); err != nil {
@@ -87,6 +91,65 @@ func run(args []string, stdout io.Writer) error {
 		cfg.FaultRate = 1 / faultEvery.Seconds()
 	}
 
+	if *cluster > 0 {
+		// The cluster scenario compares placement policies; the
+		// single-platform vocabulary (defrag policy, its period, the
+		// time series) does not apply there. Rejecting it beats
+		// silently running a different experiment than the user asked
+		// for.
+		var incompatible []string
+		fs.Visit(func(fl *flag.Flag) {
+			switch fl.Name {
+			case "policy", "defrag-period", "sample":
+				incompatible = append(incompatible, "-"+fl.Name)
+			}
+		})
+		if len(incompatible) > 0 {
+			return fmt.Errorf("%s: single-platform flags only; with -cluster use -placement/-spill",
+				strings.Join(incompatible, ", "))
+		}
+		phaseOpts, err := shared.PhaseStrategies()
+		if err != nil {
+			return err
+		}
+		ccfg := sim.ClusterConfig{
+			Shards:       *cluster,
+			Platform:     p,
+			Spill:        *spill,
+			Weights:      w,
+			Options:      phaseOpts,
+			ArrivalRate:  *rate / 60 * float64(*cluster),
+			MeanLifetime: lifetime.Seconds(),
+			Duration:     duration.Seconds(),
+			Seed:         *seed,
+			MeanRepair:   repair.Seconds(),
+		}
+		if *faultEvery > 0 {
+			ccfg.FaultRate = 1 / faultEvery.Seconds() * float64(*cluster)
+		}
+		fmt.Fprintf(stdout, "cluster of %d × %v, %.1f arrivals/min/shard, mean lifetime %v, horizon %v, seed %d\n\n",
+			*cluster, p, *rate, lifetime, duration, *seed)
+		var cresults []*sim.ClusterResult
+		if *placement == "all" {
+			cresults = sim.RunClusterComparison(ccfg, sim.AllPlacements(), *workers)
+			for _, r := range cresults {
+				fmt.Fprint(stdout, sim.FormatClusterSummary(r))
+			}
+			fmt.Fprintf(stdout, "\n== placement policy comparison ==\n")
+			fmt.Fprint(stdout, sim.FormatClusterComparison(cresults))
+		} else {
+			pol, err := kairos.PlacementByName(*placement)
+			if err != nil {
+				return err
+			}
+			ccfg.Placement = pol
+			r := sim.RunCluster(ccfg)
+			cresults = []*sim.ClusterResult{r}
+			fmt.Fprint(stdout, sim.FormatClusterSummary(r))
+		}
+		return writeJSONResult(stdout, *jsonOut, cresults)
+	}
+
 	fmt.Fprintf(stdout, "platform %v, %.1f arrivals/min, mean lifetime %v, horizon %v, seed %d\n\n",
 		p, *rate, lifetime, duration, *seed)
 
@@ -109,24 +172,30 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprint(stdout, sim.FormatSummary(r))
 	}
 
-	if *jsonOut == "" {
+	return writeJSONResult(stdout, *jsonOut, results)
+}
+
+// writeJSONResult writes the deterministic result(s) as indented JSON:
+// a bare object for one result, an array for a comparison. An empty
+// path skips the write, "-" targets stdout.
+func writeJSONResult[T any](stdout io.Writer, path string, results []T) error {
+	if path == "" {
 		return nil
 	}
-	var data []byte
+	var v any = results
 	if len(results) == 1 {
-		data, err = json.MarshalIndent(results[0], "", " ")
-	} else {
-		data, err = json.MarshalIndent(results, "", " ")
+		v = results[0]
 	}
+	data, err := json.MarshalIndent(v, "", " ")
 	if err != nil {
 		return err
 	}
 	data = append(data, '\n')
-	if *jsonOut == "-" {
+	if path == "-" {
 		_, err = stdout.Write(data)
 		return err
 	}
-	return os.WriteFile(*jsonOut, data, 0o644)
+	return os.WriteFile(path, data, 0o644)
 }
 
 func main() {

@@ -48,6 +48,44 @@ func TestRunSinglePolicyJSONDeterministic(t *testing.T) {
 	}
 }
 
+// TestRunClusterComparisonSmoke: the -cluster mode compares every
+// placement policy and writes deterministic JSON.
+func TestRunClusterComparisonSmoke(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-seed", "1", "-duration", "90s", "-cluster", "3", "-platform", "mesh4x4"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{"placement policy comparison", "least-loaded", "first-fit", "power-of-two"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+
+	dir := t.TempDir()
+	paths := []string{filepath.Join(dir, "a.json"), filepath.Join(dir, "b.json")}
+	for _, p := range paths {
+		var out bytes.Buffer
+		err := run([]string{"-seed", "3", "-duration", "90s", "-cluster", "3",
+			"-placement", "power-of-two", "-platform", "mesh4x4", "-json", p}, &out)
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+	}
+	a, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(paths[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("cluster JSON results differ between identical runs")
+	}
+}
+
 func TestRunFlagErrors(t *testing.T) {
 	cases := [][]string{
 		{"-rate", "0"},
@@ -55,6 +93,12 @@ func TestRunFlagErrors(t *testing.T) {
 		{"-policy", "bogus", "-duration", "1s"},
 		{"-platform", "torus9"},
 		{"-weights", "heavy"},
+		{"-cluster", "2", "-placement", "bogus", "-duration", "1s"},
+		// Single-platform flags are rejected in cluster mode instead of
+		// silently running a different experiment.
+		{"-cluster", "2", "-policy", "on-rejection", "-duration", "1s"},
+		{"-cluster", "2", "-defrag-period", "10s", "-duration", "1s"},
+		{"-cluster", "2", "-sample", "5s", "-duration", "1s"},
 	}
 	for _, args := range cases {
 		var out bytes.Buffer

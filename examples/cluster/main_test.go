@@ -1,0 +1,27 @@
+package main
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+// TestExampleRuns executes the example end to end (it exits the
+// process on failure, which fails the test binary).
+func TestExampleRuns(t *testing.T) {
+	main()
+}
+
+// TestNoInternalImports: the cluster example demonstrates the public
+// scale-out surface and must compile against repro/kairos alone.
+func TestNoInternalImports(t *testing.T) {
+	out, err := exec.Command("go", "list", "-f", "{{range .Imports}}{{.}}\n{{end}}", ".").Output()
+	if err != nil {
+		t.Skipf("go list unavailable: %v", err)
+	}
+	for _, imp := range strings.Fields(string(out)) {
+		if strings.HasPrefix(imp, "repro/internal") {
+			t.Errorf("example imports internal package %s; it must use repro/kairos only", imp)
+		}
+	}
+}

@@ -63,7 +63,59 @@ func Suite(opts Options) []Scenario {
 		strategyScenario("mapper-firstfit", opts, kairos.WithMapper(mustMapper("firstfit"))),
 		strategyScenario("router-dijkstra", opts, kairos.WithRouter(mustRouter("dijkstra"))),
 	)
+
+	// Cluster admission: one placement-and-admit through kairos.Cluster
+	// at increasing shard counts (the planning step scans every shard's
+	// load gauge, so ns/op tracks the scale-out overhead), plus the
+	// placement-policy variants at a fixed 16 shards.
+	for _, shards := range []int{4, 16, 64} {
+		scs = append(scs, clusterScenario(
+			fmt.Sprintf("cluster/admit-%dshards", shards), shards, kairos.PlacementLeastLoaded, opts))
+	}
+	for _, pol := range []kairos.PlacementPolicy{
+		kairos.PlacementLeastLoaded, kairos.PlacementFirstFit, kairos.PlacementPowerOfTwo,
+	} {
+		scs = append(scs, clusterScenario("cluster/place-"+pol.Name(), 16, pol, opts))
+	}
 	return scs
+}
+
+// clusterScenario: one cluster Admit (placement plan + shard workflow)
+// followed by the Release restoring the cluster to empty. Attempts per
+// op counts shards tried, which is deterministically 1 on an idle
+// cluster.
+func clusterScenario(name string, shards int, pol kairos.PlacementPolicy, opts Options) Scenario {
+	return Scenario{
+		Name:  name,
+		Group: "cluster",
+		Ops:   opts.ops(100, 50),
+		Prepare: func() (func() (int, error), error) {
+			app, err := sampleApp(appgen.Communication, appgen.Medium, opts.Seed)
+			if err != nil {
+				return nil, err
+			}
+			c, err := kairos.NewCluster(shards,
+				func(int) *platform.Platform { return platform.CRISP() },
+				kairos.WithPlacement(pol),
+				kairos.WithClusterSeed(opts.Seed),
+				kairos.WithShardOptions(
+					kairos.WithWeights(kairos.WeightsBoth),
+					kairos.WithAdvisoryValidation(),
+				),
+			)
+			if err != nil {
+				return nil, err
+			}
+			ctx := context.Background()
+			return func() (int, error) {
+				adm, err := c.Admit(ctx, app)
+				if err != nil {
+					return 1, err
+				}
+				return adm.Attempts, c.Release(adm.Instance)
+			}, nil
+		},
+	}
 }
 
 func mustBinder(name string) kairos.Binder {

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/binding"
@@ -188,6 +189,9 @@ type Kairos struct {
 	admitted map[string]*Admission
 	seq      int
 	stats    Stats
+	// load is the packed lock-free load gauge (see load.go): live
+	// count in the upper 32 bits, used share as a float32 below.
+	load atomic.Uint64
 	// pending holds events queued under mu, published after unlock.
 	pending []Event
 	events  eventHub

@@ -157,6 +157,7 @@ func (k *Kairos) emit(ev Event) {
 // the manager; the lock order k.mu → events.mu is respected
 // everywhere and nothing takes them in reverse).
 func (k *Kairos) unlockAndPublish() {
+	k.updateLoadLocked()
 	evs := k.pending
 	k.pending = nil
 	if len(evs) == 0 {

@@ -1,0 +1,56 @@
+package core
+
+import "math"
+
+// This file is the manager's load-snapshot hook for cluster placement
+// (see repro/kairos.Cluster): a lock-free, allocation-free gauge that
+// placement policies can sample for every incoming admission without
+// touching the platform-state mutex. The gauge is recomputed under the
+// lock at the end of every state-mutating entry point and packed into
+// one atomic word, so concurrent readers always observe an internally
+// consistent (live, used-share) pair from some recent quiescent state.
+
+// LoadHint is a lock-free snapshot of a manager's current load, the
+// quantity cluster placement policies rank shards by. It is updated
+// after every admission, release and readmission; reading it never
+// blocks behind a running admission.
+type LoadHint struct {
+	// Live is the number of currently admitted applications.
+	Live int
+	// UsedShare is the mean per-element resource utilization over the
+	// platform's enabled elements, in [0, 1]. 1-UsedShare is the
+	// residual-capacity share placement policies sample.
+	UsedShare float64
+}
+
+// Load returns the manager's current load hint without taking the
+// platform-state lock. The snapshot is consistent but may lag a
+// concurrent admission by one critical section.
+func (k *Kairos) Load() LoadHint {
+	packed := k.load.Load()
+	return LoadHint{
+		Live:      int(packed >> 32),
+		UsedShare: float64(math.Float32frombits(uint32(packed))),
+	}
+}
+
+// updateLoadLocked recomputes the packed load gauge. Called with k.mu
+// held by every state-mutating entry point as it leaves its critical
+// section; the O(elements) scan is allocation-free and negligible next
+// to one admission workflow.
+func (k *Kairos) updateLoadLocked() {
+	sum, n := 0.0, 0
+	for _, e := range k.p.Elements() {
+		if !e.Enabled() {
+			continue
+		}
+		sum += e.Pool().Utilization()
+		n++
+	}
+	share := 0.0
+	if n > 0 {
+		share = sum / float64(n)
+	}
+	packed := uint64(uint32(len(k.admitted)))<<32 | uint64(math.Float32bits(float32(share)))
+	k.load.Store(packed)
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/platform"
+)
+
+// TestLoadHintTracksAdmissions pins the load-gauge contract: the hint
+// starts at zero, rises with admissions, and returns to zero after
+// release.
+func TestLoadHintTracksAdmissions(t *testing.T) {
+	p := platform.Mesh(4, 4, 4)
+	k := New(p, Options{SkipValidation: true})
+
+	if h := k.Load(); h.Live != 0 || h.UsedShare != 0 {
+		t.Fatalf("fresh manager load = %+v, want zero", h)
+	}
+
+	adm, err := k.Admit(context.Background(), chainApp("load", 3, 60))
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	h := k.Load()
+	if h.Live != 1 {
+		t.Errorf("Live after admit = %d, want 1", h.Live)
+	}
+	if h.UsedShare <= 0 || h.UsedShare > 1 {
+		t.Errorf("UsedShare after admit = %v, want in (0, 1]", h.UsedShare)
+	}
+
+	if err := k.Release(adm.Instance); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if h := k.Load(); h.Live != 0 || h.UsedShare != 0 {
+		t.Errorf("load after release = %+v, want zero", h)
+	}
+}
+
+// TestLoadHintLockFree hammers Load from readers while writers admit
+// and release; under -race this pins that the gauge is safe to sample
+// without the platform-state lock.
+func TestLoadHintLockFree(t *testing.T) {
+	p := platform.Mesh(4, 4, 4)
+	k := New(p, Options{SkipValidation: true})
+	app := chainApp("load", 3, 60)
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h := k.Load()
+				if h.Live < 0 || h.UsedShare < 0 || h.UsedShare > 1 {
+					t.Errorf("inconsistent load hint %+v", h)
+					return
+				}
+			}
+		}()
+	}
+	var writers sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for i := 0; i < 50; i++ {
+				adm, err := k.Admit(context.Background(), app)
+				if err == nil {
+					_ = k.Release(adm.Instance)
+				}
+			}
+		}()
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+}

@@ -1,0 +1,418 @@
+package sim
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"repro/internal/appgen"
+	"repro/internal/experiments"
+	"repro/internal/mapping"
+	"repro/internal/platform"
+	"repro/kairos"
+)
+
+// The cluster-churn scenario: the single-platform churn model of this
+// package (Poisson arrivals over the six synthetic profiles,
+// exponential lifetimes, element/link fault injection with forced
+// readmission) driven against a kairos.Cluster instead of one manager,
+// with the *placement policy* as the treatment — the scale-out
+// analogue of the defragmentation-policy comparison.
+
+// ClusterConfig parameterizes one cluster churn run. Times are in
+// simulated seconds. Start from DefaultClusterConfig.
+type ClusterConfig struct {
+	// Shards is the number of platform shards.
+	Shards int
+	// Platform is the per-shard prototype; it is cloned once per
+	// shard. Nil means the CRISP platform.
+	Platform *platform.Platform
+	// Placement is the cluster placement policy (nil = least-loaded).
+	Placement kairos.PlacementPolicy
+	// Spill caps shards tried per admission (0 = all).
+	Spill int
+	// Weights steers every shard's mapping cost function.
+	Weights mapping.Weights
+	// ArrivalRate is the cluster-wide mean arrival rate per second.
+	ArrivalRate float64
+	// MeanLifetime is the mean application lifetime in seconds.
+	MeanLifetime float64
+	// Duration is the simulated horizon in seconds.
+	Duration float64
+	// Seed drives every random draw (and the cluster's placement
+	// stream, derived from it).
+	Seed int64
+	// FaultRate is the cluster-wide mean hardware-fault rate per
+	// second; each fault hits one uniformly chosen shard. 0 disables.
+	FaultRate float64
+	// MeanRepair is the mean seconds until a fault is repaired.
+	MeanRepair float64
+	// Options are additional per-shard manager options.
+	Options []kairos.Option
+}
+
+// DefaultClusterConfig scales the single-platform default to n shards:
+// the same per-shard offered load and fault pressure, n platforms.
+func DefaultClusterConfig(n int) ClusterConfig {
+	base := DefaultConfig()
+	return ClusterConfig{
+		Shards:       n,
+		Weights:      base.Weights,
+		ArrivalRate:  base.ArrivalRate * float64(n),
+		MeanLifetime: base.MeanLifetime,
+		Duration:     base.Duration,
+		Seed:         base.Seed,
+		FaultRate:    base.FaultRate * float64(n),
+		MeanRepair:   base.MeanRepair,
+	}
+}
+
+// ClusterTotals summarizes one cluster churn run. Everything is
+// deterministic for a fixed seed.
+type ClusterTotals struct {
+	Arrivals int `json:"arrivals"`
+	Admitted int `json:"admitted"`
+	Rejected int `json:"rejected"`
+	// Spilled counts admissions that left their primary shard;
+	// SpillAttempts counts the extra shard tries they took.
+	Spilled       int `json:"spilled"`
+	SpillAttempts int `json:"spillAttempts"`
+	Departures    int `json:"departures"`
+	Faults        int `json:"faults"`
+	Repairs       int `json:"repairs"`
+	// Moved, Restored and Evicted classify the fault-forced
+	// readmissions, as in the single-platform scenario.
+	Moved    int `json:"moved"`
+	Restored int `json:"restored"`
+	Evicted  int `json:"evicted"`
+	// Steady-state figures cover the second half of the run.
+	SteadyArrivals      int     `json:"steadyArrivals"`
+	SteadyRejected      int     `json:"steadyRejected"`
+	SteadyRejectionRate float64 `json:"steadyRejectionRate"` // percent
+	// ShardAdmitted is the per-shard admission count; Imbalance is
+	// max/mean over it (1.0 = perfectly even placement).
+	ShardAdmitted []int   `json:"shardAdmitted"`
+	ShardLive     []int   `json:"shardLive"`
+	Imbalance     float64 `json:"imbalance"`
+}
+
+// ClusterResult is the outcome of one cluster churn run.
+type ClusterResult struct {
+	Placement string        `json:"placement"`
+	Shards    int           `json:"shards"`
+	Seed      int64         `json:"seed"`
+	Duration  float64       `json:"duration"`
+	Totals    ClusterTotals `json:"totals"`
+}
+
+// clusterApp is the cluster simulator's view of one admitted
+// application.
+type clusterApp struct {
+	instance string // cluster-scoped name
+	shard    int
+	dead     bool
+}
+
+// RunCluster simulates the configured workload against a fresh
+// cluster and returns its totals. Every random draw comes from two
+// seeded streams consumed in event order (workload and faults, as in
+// Run), plus the cluster's own placement stream — so for a fixed seed
+// the result is byte-identical across runs and policies face the
+// identical offered load.
+func RunCluster(cfg ClusterConfig) *ClusterResult {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 1
+	}
+	if cfg.Platform == nil {
+		cfg.Platform = platform.CRISP()
+	}
+	if cfg.Placement == nil {
+		cfg.Placement = kairos.PlacementLeastLoaded
+	}
+	if cfg.MeanRepair <= 0 {
+		cfg.MeanRepair = 60
+	}
+	proto := cfg.Platform
+	cluster, err := kairos.NewCluster(cfg.Shards,
+		func(int) *platform.Platform { return proto.Clone() },
+		kairos.WithPlacement(cfg.Placement),
+		kairos.WithSpillLimit(cfg.Spill),
+		kairos.WithClusterSeed(cfg.Seed+31),
+		kairos.WithShardOptions(append([]kairos.Option{
+			kairos.WithWeights(cfg.Weights),
+			kairos.WithAdvisoryValidation(),
+		}, cfg.Options...)...),
+	)
+	if err != nil {
+		panic(err) // config validated above; a failure is a bug
+	}
+
+	s := &clusterSim{
+		cfg:      cfg,
+		cluster:  cluster,
+		workRng:  rand.New(rand.NewSource(cfg.Seed)),
+		faultRng: rand.New(rand.NewSource(cfg.Seed + 104729)),
+		byName:   make(map[string]*clusterApp),
+		res: &ClusterResult{
+			Placement: cfg.Placement.Name(),
+			Shards:    cfg.Shards,
+			Seed:      cfg.Seed,
+			Duration:  cfg.Duration,
+		},
+	}
+	s.res.Totals.ShardAdmitted = make([]int, cfg.Shards)
+	s.res.Totals.ShardLive = make([]int, cfg.Shards)
+	for i, gcfg := range experiments.AllConfigs() {
+		s.gens = append(s.gens, appgen.New(gcfg, cfg.Seed+int64(i+1)*7919))
+	}
+
+	if cfg.ArrivalRate > 0 {
+		s.schedule(s.workRng.ExpFloat64()/cfg.ArrivalRate, &event{kind: evArrival})
+	}
+	if cfg.FaultRate > 0 {
+		s.schedule(s.faultRng.ExpFloat64()/cfg.FaultRate, &event{kind: evFault})
+	}
+	for s.queue.Len() > 0 {
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.t > cfg.Duration {
+			break
+		}
+		s.now = ev.t
+		switch ev.kind {
+		case evArrival:
+			s.arrival()
+		case evDeparture:
+			s.departure(ev.capp)
+		case evFault:
+			s.fault()
+			s.schedule(s.faultRng.ExpFloat64()/cfg.FaultRate, &event{kind: evFault})
+		case evRepair:
+			s.repair(ev)
+		}
+	}
+	s.finish()
+	return s.res
+}
+
+// clusterSim is the event-loop state of one RunCluster.
+type clusterSim struct {
+	cfg      ClusterConfig
+	cluster  *kairos.Cluster
+	workRng  *rand.Rand
+	faultRng *rand.Rand
+	gens     []*appgen.Generator
+	queue    eventQueue
+	seq      int
+	now      float64
+	byName   map[string]*clusterApp
+	res      *ClusterResult
+}
+
+func (s *clusterSim) schedule(dt float64, ev *event) {
+	ev.t = s.now + dt
+	ev.seq = s.seq
+	s.seq++
+	heap.Push(&s.queue, ev)
+}
+
+// arrival places one arriving application on the cluster. As in the
+// single-platform loop, every workload draw happens unconditionally in
+// fixed order, so the offered load is identical for every placement
+// policy.
+func (s *clusterSim) arrival() {
+	app := s.gens[s.workRng.Intn(len(s.gens))].Next()
+	s.schedule(s.workRng.ExpFloat64()/s.cfg.ArrivalRate, &event{kind: evArrival})
+	lifetime := s.workRng.ExpFloat64() * s.cfg.MeanLifetime
+	t := &s.res.Totals
+	t.Arrivals++
+	steady := s.now >= s.cfg.Duration/2
+	if steady {
+		t.SteadyArrivals++
+	}
+	adm, err := s.cluster.Admit(context.Background(), app)
+	if err != nil {
+		t.Rejected++
+		if steady {
+			t.SteadyRejected++
+		}
+		return
+	}
+	t.Admitted++
+	t.ShardAdmitted[adm.Shard]++
+	if adm.Attempts > 1 {
+		t.Spilled++
+		t.SpillAttempts += adm.Attempts - 1
+	}
+	a := &clusterApp{instance: adm.Instance, shard: adm.Shard}
+	s.byName[a.instance] = a
+	s.schedule(lifetime, &event{kind: evDeparture, capp: a})
+}
+
+func (s *clusterSim) departure(a *clusterApp) {
+	if a.dead {
+		return
+	}
+	if err := s.cluster.Release(a.instance); err != nil {
+		return // evicted and renamed under our feet: a bug; totals show it
+	}
+	a.dead = true
+	delete(s.byName, a.instance)
+	s.res.Totals.Departures++
+}
+
+// fault disables one enabled element or physical link on one uniformly
+// chosen shard, schedules its repair, and sweeps the cluster's
+// restart path.
+func (s *clusterSim) fault() {
+	shard := s.faultRng.Intn(s.cfg.Shards)
+	p := s.cluster.Shard(shard).Platform()
+	var elems []int
+	for _, e := range p.Elements() {
+		if e.Enabled() {
+			elems = append(elems, e.ID)
+		}
+	}
+	var links [][2]int
+	for _, l := range p.PhysicalLinks() {
+		if p.Link(l[0], l[1]).Enabled() {
+			links = append(links, l)
+		}
+	}
+	n := len(elems) + len(links)
+	if n == 0 {
+		return
+	}
+	s.res.Totals.Faults++
+	pick := s.faultRng.Intn(n)
+	repair := &event{kind: evRepair, shard: shard, elem: -1, link: [2]int{-1, -1}}
+	if pick < len(elems) {
+		p.DisableElement(elems[pick])
+		repair.elem = elems[pick]
+	} else {
+		l := links[pick-len(elems)]
+		p.DisableLink(l[0], l[1])
+		repair.link = l
+	}
+	s.schedule(s.faultRng.ExpFloat64()*s.cfg.MeanRepair, repair)
+
+	for _, res := range s.cluster.ReadmitAffected(context.Background()) {
+		old := kairos.ClusterInstanceName(res.Shard, res.Instance)
+		a := s.byName[old]
+		t := &s.res.Totals
+		switch res.Outcome {
+		case kairos.ReadmitMoved:
+			t.Moved++
+			if a != nil {
+				delete(s.byName, a.instance)
+				a.instance = kairos.ClusterInstanceName(res.Shard, res.NewInstance)
+				s.byName[a.instance] = a
+			}
+		case kairos.ReadmitRestored:
+			t.Restored++
+		case kairos.ReadmitEvicted:
+			t.Evicted++
+			if a != nil {
+				a.dead = true
+				delete(s.byName, a.instance)
+			}
+		}
+	}
+}
+
+func (s *clusterSim) repair(ev *event) {
+	s.res.Totals.Repairs++
+	p := s.cluster.Shard(ev.shard).Platform()
+	if ev.elem >= 0 {
+		p.EnableElement(ev.elem)
+	} else {
+		p.EnableLink(ev.link[0], ev.link[1])
+	}
+}
+
+func (s *clusterSim) finish() {
+	t := &s.res.Totals
+	if t.SteadyArrivals > 0 {
+		t.SteadyRejectionRate = 100 * float64(t.SteadyRejected) / float64(t.SteadyArrivals)
+	}
+	cs := s.cluster.Stats()
+	for i, sh := range cs.Shards {
+		t.ShardLive[i] = sh.Live
+	}
+	// Imbalance over the per-shard ARRIVAL admissions (ShardAdmitted),
+	// not engine Stats.Admitted: the latter also counts successful
+	// fault-forced readmissions, which would skew the placement-
+	// evenness metric toward whichever shards absorbed faults.
+	sum, peak := 0, 0
+	for _, n := range t.ShardAdmitted {
+		sum += n
+		if n > peak {
+			peak = n
+		}
+	}
+	if sum > 0 {
+		t.Imbalance = float64(peak) * float64(s.cfg.Shards) / float64(sum)
+	}
+}
+
+// RunClusterComparison runs the same seeded workload once per
+// placement policy on a worker pool (<= 0 = one worker per logical
+// CPU); every policy faces the identical arrival and fault sequence.
+func RunClusterComparison(cfg ClusterConfig, policies []kairos.PlacementPolicy, workers int) []*ClusterResult {
+	results := make([]*ClusterResult, len(policies))
+	experiments.ForEach(len(policies), workers, func(i int) {
+		c := cfg
+		c.Placement = policies[i]
+		results[i] = RunCluster(c)
+	})
+	return results
+}
+
+// AllPlacements resolves every registered placement policy in
+// comparison-report order.
+func AllPlacements() []kairos.PlacementPolicy {
+	var out []kairos.PlacementPolicy
+	for _, name := range kairos.PlacementNames() {
+		p, err := kairos.PlacementByName(name)
+		if err != nil {
+			panic(err) // registry names resolve by construction
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// FormatClusterComparison renders the placement-policy comparison as a
+// table: steady-state rejection rate and placement imbalance are the
+// headline columns.
+func FormatClusterComparison(results []*ClusterResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-13s %8s %8s %8s %8s %10s %8s %9s %10s\n",
+		"Placement", "Arrivals", "Admitted", "Spilled", "Rejected",
+		"SteadyRej%", "Evicted", "Imbalance", "Faults")
+	for _, r := range results {
+		t := r.Totals
+		fmt.Fprintf(&b, "%-13s %8d %8d %8d %8d %9.2f%% %8d %9.2f %10d\n",
+			r.Placement, t.Arrivals, t.Admitted, t.Spilled, t.Rejected,
+			t.SteadyRejectionRate, t.Evicted, t.Imbalance, t.Faults)
+	}
+	return b.String()
+}
+
+// FormatClusterSummary renders one cluster run as a human-readable
+// block.
+func FormatClusterSummary(r *ClusterResult) string {
+	t := r.Totals
+	var b strings.Builder
+	fmt.Fprintf(&b, "placement %s, %d shards, seed %d, %.0fs simulated\n",
+		r.Placement, r.Shards, r.Seed, r.Duration)
+	fmt.Fprintf(&b, "  arrivals %d: %d admitted (%d spilled over %d extra tries), %d rejected\n",
+		t.Arrivals, t.Admitted, t.Spilled, t.SpillAttempts, t.Rejected)
+	fmt.Fprintf(&b, "  churn: %d departures, %d faults, %d repairs; "+
+		"forced readmissions: %d moved, %d restored, %d evicted\n",
+		t.Departures, t.Faults, t.Repairs, t.Moved, t.Restored, t.Evicted)
+	fmt.Fprintf(&b, "  steady state: %.2f%% rejection rate (%d/%d), imbalance %.2f, per-shard admitted %v\n",
+		t.SteadyRejectionRate, t.SteadyRejected, t.SteadyArrivals, t.Imbalance, t.ShardAdmitted)
+	return b.String()
+}

@@ -1,0 +1,104 @@
+package sim
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/kairos"
+)
+
+// shortClusterConfig is a fast 4-shard run with plenty of churn.
+func shortClusterConfig() ClusterConfig {
+	cfg := DefaultClusterConfig(4)
+	cfg.Duration = 120
+	return cfg
+}
+
+func TestRunClusterBasics(t *testing.T) {
+	res := RunCluster(shortClusterConfig())
+	tot := res.Totals
+	if tot.Arrivals == 0 || tot.Admitted == 0 {
+		t.Fatalf("vacuous run: %+v", tot)
+	}
+	if tot.Admitted+tot.Rejected != tot.Arrivals {
+		t.Errorf("admitted %d + rejected %d != arrivals %d", tot.Admitted, tot.Rejected, tot.Arrivals)
+	}
+	sum := 0
+	for _, n := range tot.ShardAdmitted {
+		sum += n
+	}
+	if sum != tot.Admitted {
+		t.Errorf("per-shard admitted sums to %d, total says %d", sum, tot.Admitted)
+	}
+	if tot.Faults == 0 {
+		t.Error("fault model injected nothing over the horizon")
+	}
+	if res.Shards != 4 || res.Placement != "least-loaded" {
+		t.Errorf("result header %+v", res)
+	}
+}
+
+// TestRunClusterDeterministic: equal configs produce byte-identical
+// JSON results.
+func TestRunClusterDeterministic(t *testing.T) {
+	a, _ := json.Marshal(RunCluster(shortClusterConfig()))
+	b, _ := json.Marshal(RunCluster(shortClusterConfig()))
+	if string(a) != string(b) {
+		t.Error("two identical cluster runs differ")
+	}
+}
+
+// TestClusterComparisonSameWorkload: every placement policy faces the
+// identical arrival stream, and the comparison is independent of the
+// worker count.
+func TestClusterComparisonSameWorkload(t *testing.T) {
+	cfg := shortClusterConfig()
+	serial := RunClusterComparison(cfg, AllPlacements(), 1)
+	parallel := RunClusterComparison(cfg, AllPlacements(), 3)
+	if len(serial) != 3 {
+		t.Fatalf("got %d results for %d policies", len(serial), 3)
+	}
+	for i := range serial {
+		if serial[i].Totals.Arrivals != serial[0].Totals.Arrivals {
+			t.Errorf("policy %s faced %d arrivals, policy %s %d — workload leaked",
+				serial[i].Placement, serial[i].Totals.Arrivals,
+				serial[0].Placement, serial[0].Totals.Arrivals)
+		}
+		sj, _ := json.Marshal(serial[i])
+		pj, _ := json.Marshal(parallel[i])
+		if string(sj) != string(pj) {
+			t.Errorf("policy %s differs between worker counts", serial[i].Placement)
+		}
+	}
+	if out := FormatClusterComparison(serial); out == "" {
+		t.Error("empty comparison table")
+	}
+	if out := FormatClusterSummary(serial[0]); out == "" {
+		t.Error("empty summary")
+	}
+}
+
+// TestClusterSpillAccounting: a cluster with one shard can never
+// spill; with first-fit and several shards under overload, spills
+// appear and stay within the attempt budget.
+func TestClusterSpillAccounting(t *testing.T) {
+	cfg := shortClusterConfig()
+	cfg.Shards = 1
+	cfg.ArrivalRate = DefaultConfig().ArrivalRate
+	one := RunCluster(cfg)
+	if one.Totals.Spilled != 0 || one.Totals.SpillAttempts != 0 {
+		t.Errorf("single shard spilled: %+v", one.Totals)
+	}
+
+	cfg = shortClusterConfig()
+	cfg.Placement = kairos.PlacementFirstFit
+	// Overload hard so shard 0 fills and spill-over must kick in.
+	cfg.ArrivalRate *= 2
+	many := RunCluster(cfg)
+	if many.Totals.Spilled == 0 {
+		t.Error("overloaded first-fit cluster never spilled; scenario is vacuous")
+	}
+	if many.Totals.SpillAttempts < many.Totals.Spilled {
+		t.Errorf("spill attempts %d < spilled %d", many.Totals.SpillAttempts, many.Totals.Spilled)
+	}
+}

@@ -202,10 +202,13 @@ type event struct {
 	t    float64
 	seq  int // insertion order; total-orders simultaneous events
 	kind int
-	app  *liveApp // departure
-	// fault repair target: element ID or link pair
-	elem int
-	link [2]int
+	app  *liveApp    // departure (single-platform runs)
+	capp *clusterApp // departure (cluster runs)
+	// fault repair target: element ID or link pair, plus the owning
+	// shard in cluster runs
+	elem  int
+	link  [2]int
+	shard int
 }
 
 type eventQueue []*event

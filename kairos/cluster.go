@@ -1,0 +1,454 @@
+package kairos
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Cluster is a sharded multi-platform resource manager: it owns N
+// independent platforms, each behind its own Manager (and therefore
+// its own platform-state lock), and places incoming applications
+// across them with a pluggable PlacementPolicy, spilling over to the
+// next-ranked shards when one rejects. Because no allocation state is
+// shared between shards, concurrent admissions on different shards
+// proceed fully in parallel — the scale-out step on top of the
+// single-platform manager of the paper.
+//
+// The only cross-shard state is the placement plan: picking a shard
+// samples every manager's lock-free load gauge and (for randomized
+// policies) the cluster's seeded stream, a critical section of
+// microseconds next to the milliseconds of an admission workflow.
+//
+// Admissions are cluster-scoped: the returned instance names embed the
+// shard ("s3:video#7") and Release/Readmit route on that prefix, so a
+// Cluster is used exactly like a Manager. For a fixed seed and a
+// single caller, shard choice is deterministic (the determinism tests
+// pin this).
+type Cluster struct {
+	shards []*Manager
+	policy PlacementPolicy
+	spill  int
+
+	// mu guards the rng and the load scratch during planning; the
+	// admission workflow itself runs outside it, on the chosen shard's
+	// own lock.
+	mu    sync.Mutex
+	rng   *rand.Rand
+	loads []LoadHint
+
+	planPool sync.Pool // *[]int plan scratch, one per in-flight admission
+
+	eventBuffer int
+}
+
+// clusterConfig collects the options of NewCluster.
+type clusterConfig struct {
+	policy      PlacementPolicy
+	spill       int
+	seed        int64
+	shardOpts   []Option
+	eventBuffer int
+}
+
+// ClusterOption configures a Cluster at construction (see NewCluster).
+type ClusterOption func(*clusterConfig)
+
+// WithPlacement swaps the placement policy (default
+// PlacementLeastLoaded).
+func WithPlacement(p PlacementPolicy) ClusterOption {
+	return func(c *clusterConfig) { c.policy = p }
+}
+
+// WithSpillLimit caps how many shards one admission may try: the
+// primary placement plus spill-1 retries. Zero (the default) tries
+// every shard in plan order.
+func WithSpillLimit(n int) ClusterOption {
+	return func(c *clusterConfig) { c.spill = n }
+}
+
+// WithClusterSeed seeds the stream randomized placement policies draw
+// from (default 1). Two single-caller clusters with equal seeds,
+// policies and workloads make identical shard choices.
+func WithClusterSeed(seed int64) ClusterOption {
+	return func(c *clusterConfig) { c.seed = seed }
+}
+
+// WithShardOptions passes manager options to every shard (weights,
+// phase strategies, timeouts, ...).
+func WithShardOptions(opts ...Option) ClusterOption {
+	return func(c *clusterConfig) { c.shardOpts = append(c.shardOpts, opts...) }
+}
+
+// WithClusterEventBuffer sets the merged event channel's capacity
+// (default DefaultEventBuffer). Each shard subscription additionally
+// buffers per the shard's own WithEventBuffer.
+func WithClusterEventBuffer(n int) ClusterOption {
+	return func(c *clusterConfig) { c.eventBuffer = n }
+}
+
+// NewCluster returns a cluster of `shards` independent platforms, the
+// i-th built by platformFor(i) (clone a prototype for homogeneous
+// shards, or vary it for a heterogeneous fleet). Each shard's platform
+// is owned by its manager from here on.
+func NewCluster(shards int, platformFor func(shard int) *Platform, opts ...ClusterOption) (*Cluster, error) {
+	if shards <= 0 {
+		return nil, fmt.Errorf("kairos: cluster needs at least one shard, got %d", shards)
+	}
+	if platformFor == nil {
+		return nil, errors.New("kairos: nil platform factory")
+	}
+	cfg := clusterConfig{policy: PlacementLeastLoaded, seed: 1}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	c := &Cluster{
+		policy:      cfg.policy,
+		spill:       cfg.spill,
+		rng:         rand.New(rand.NewSource(cfg.seed)),
+		loads:       make([]LoadHint, shards),
+		eventBuffer: cfg.eventBuffer,
+	}
+	for i := 0; i < shards; i++ {
+		p := platformFor(i)
+		if p == nil {
+			return nil, fmt.Errorf("kairos: platform factory returned nil for shard %d", i)
+		}
+		c.shards = append(c.shards, New(p, cfg.shardOpts...))
+	}
+	return c, nil
+}
+
+// NumShards returns the number of shards.
+func (c *Cluster) NumShards() int { return len(c.shards) }
+
+// Shard returns the i-th shard's manager, e.g. to inject faults into
+// its platform or inspect its admissions. The manager is live: what is
+// admitted through the cluster shows up here.
+func (c *Cluster) Shard(i int) *Manager { return c.shards[i] }
+
+// attempts returns how many shards one admission may try.
+func (c *Cluster) attempts() int {
+	if c.spill > 0 && c.spill < len(c.shards) {
+		return c.spill
+	}
+	return len(c.shards)
+}
+
+// plan samples every shard's load gauge and asks the policy for the
+// try order. The returned scratch goes back via putPlan.
+func (c *Cluster) plan() *[]int {
+	op, ok := c.planPool.Get().(*[]int)
+	if !ok {
+		s := make([]int, len(c.shards))
+		op = &s
+	}
+	c.mu.Lock()
+	for i, m := range c.shards {
+		c.loads[i] = m.Load()
+	}
+	c.policy.Plan(c.loads, c.rng, *op)
+	c.mu.Unlock()
+	return op
+}
+
+func (c *Cluster) putPlan(op *[]int) { c.planPool.Put(op) }
+
+// ClusterAdmission is one admission placed by the cluster.
+type ClusterAdmission struct {
+	// Shard is the index of the shard that admitted the application.
+	Shard int
+	// Instance is the cluster-scoped instance name ("s<shard>:<local>"),
+	// the handle Release and Readmit take.
+	Instance string
+	// Attempts is the number of shards tried (1 = the primary
+	// placement admitted; more = spill-over).
+	Attempts int
+	// Adm is the shard manager's admission (its Instance field is the
+	// shard-local name).
+	Adm *Admission
+}
+
+// ClusterInstanceName composes the cluster-scoped instance name for a
+// shard-local one ("s3:video#7" for shard 3's "video#7") — the format
+// Release and Readmit route on. Consumers that receive shard-local
+// names (ShardEvent, ClusterReadmitResult) use it to build the handle
+// the cluster accepts.
+func ClusterInstanceName(shard int, local string) string {
+	return "s" + strconv.Itoa(shard) + ":" + local
+}
+
+// resolve splits a cluster-scoped instance name into its shard index
+// and shard-local name.
+func (c *Cluster) resolve(instance string) (int, string, error) {
+	rest, ok := strings.CutPrefix(instance, "s")
+	if ok {
+		if idx, local, found := strings.Cut(rest, ":"); found {
+			if shard, err := strconv.Atoi(idx); err == nil && shard >= 0 && shard < len(c.shards) {
+				return shard, local, nil
+			}
+		}
+	}
+	return 0, "", fmt.Errorf("%w: %q is not a cluster instance name", ErrUnknownInstance, instance)
+}
+
+// Admit places one application: the policy ranks the shards, the
+// primary one runs the four-phase workflow, and on rejection the next
+// shards in plan order are tried (up to WithSpillLimit). On success
+// the ClusterAdmission says where the application landed and under
+// which cluster-scoped name. On total failure the returned error wraps
+// the last shard's error (so errors.Is(err, ErrRejected) and the phase
+// sentinels keep working); a cancelled context stops the spill-over
+// immediately and returns the cancellation.
+func (c *Cluster) Admit(ctx context.Context, app *Application) (*ClusterAdmission, error) {
+	op := c.plan()
+	defer c.putPlan(op)
+	var lastErr error
+	tried := 0
+	for _, shard := range (*op)[:c.attempts()] {
+		adm, err := c.shards[shard].Admit(ctx, app)
+		tried++
+		if err == nil {
+			return &ClusterAdmission{
+				Shard:    shard,
+				Instance: ClusterInstanceName(shard, adm.Instance),
+				Attempts: tried,
+				Adm:      adm,
+			}, nil
+		}
+		lastErr = err
+		// Stop only when the CALLER's context is done. A shard error
+		// matching the context sentinels can also mean that shard's own
+		// Options.AdmitTimeout expired — the next shard may be idle and
+		// must still be tried.
+		if ctx != nil && ctx.Err() != nil {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("kairos: cluster rejected %s on all %d shard(s) tried: %w",
+		app.Name, tried, lastErr)
+}
+
+// ClusterBatchResult is the outcome of one request in a cluster
+// AdmitAll batch.
+type ClusterBatchResult struct {
+	// Index is the request's position in the input slice.
+	Index int
+	// App is the requested application.
+	App *Application
+	// Adm is non-nil iff some shard admitted the application.
+	Adm *ClusterAdmission
+	// Err is nil iff the application was admitted.
+	Err error
+}
+
+// AdmitAll places a batch: requests are filtered (nil or invalid
+// applications fail up front) and the survivors are placed
+// largest-first — descending task count, ties by name and input order,
+// the same order the single-manager AdmitAll uses — each through the
+// full placement-and-spill path. Results come back in input order.
+//
+// Unlike the single-manager AdmitAll, the batch is not atomic with
+// respect to other callers: each entry locks only the shard it is
+// tried on, so concurrent Admit calls may interleave between entries.
+func (c *Cluster) AdmitAll(ctx context.Context, apps []*Application) []ClusterBatchResult {
+	results := make([]ClusterBatchResult, len(apps))
+	order := make([]int, 0, len(apps))
+	for i, app := range apps {
+		results[i] = ClusterBatchResult{Index: i, App: app}
+		if app == nil {
+			results[i].Err = ErrNilApplication
+			continue
+		}
+		if err := app.Validate(); err != nil {
+			results[i].Err = err
+			continue
+		}
+		order = append(order, i)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ta, tb := len(apps[order[a]].Tasks), len(apps[order[b]].Tasks)
+		if ta != tb {
+			return ta > tb
+		}
+		return apps[order[a]].Name < apps[order[b]].Name
+	})
+	for _, i := range order {
+		results[i].Adm, results[i].Err = c.Admit(ctx, apps[i])
+	}
+	return results
+}
+
+// Release frees the named cluster admission on its shard.
+func (c *Cluster) Release(instance string) error {
+	shard, local, err := c.resolve(instance)
+	if err != nil {
+		return err
+	}
+	return c.shards[shard].Release(local)
+}
+
+// Readmit restarts the named admission on its own shard (applications
+// never migrate between shards: a shard models one physical platform,
+// and the paper's restart path re-admits onto the same hardware pool).
+// The result carries the new cluster-scoped instance name.
+func (c *Cluster) Readmit(ctx context.Context, instance string) (*ClusterAdmission, error) {
+	shard, local, err := c.resolve(instance)
+	if err != nil {
+		return nil, err
+	}
+	adm, err := c.shards[shard].Readmit(ctx, local)
+	if err != nil {
+		return nil, err
+	}
+	return &ClusterAdmission{
+		Shard:    shard,
+		Instance: ClusterInstanceName(shard, adm.Instance),
+		Attempts: 1,
+		Adm:      adm,
+	}, nil
+}
+
+// ClusterReadmitResult tags one shard's forced-readmission outcome
+// with its shard index; the embedded result's instance names are
+// shard-local.
+type ClusterReadmitResult struct {
+	Shard int
+	ReadmitResult
+}
+
+// ReadmitAffected sweeps every shard in index order, restarting each
+// admission whose layout touches disabled hardware (see
+// Manager.ReadmitAffected). Each shard's sweep is atomic on that
+// shard; the cluster-level sweep is not.
+func (c *Cluster) ReadmitAffected(ctx context.Context) []ClusterReadmitResult {
+	var out []ClusterReadmitResult
+	for i, m := range c.shards {
+		for _, res := range m.ReadmitAffected(ctx) {
+			out = append(out, ClusterReadmitResult{Shard: i, ReadmitResult: res})
+		}
+	}
+	return out
+}
+
+// ReleaseAll frees every admission on every shard.
+func (c *Cluster) ReleaseAll() {
+	for _, m := range c.shards {
+		m.ReleaseAll()
+	}
+}
+
+// ClusterStats aggregates the shard managers' counters: one snapshot
+// per shard plus their sum. Each shard snapshot is internally
+// consistent; the cluster total is a sum of snapshots taken in shard
+// order, not one atomic cut across shards.
+type ClusterStats struct {
+	Shards []Stats `json:"shards"`
+	Total  Stats   `json:"total"`
+}
+
+// Stats snapshots every shard's counters and their aggregate.
+func (c *Cluster) Stats() ClusterStats {
+	cs := ClusterStats{Shards: make([]Stats, len(c.shards))}
+	for i, m := range c.shards {
+		s := m.Stats()
+		cs.Shards[i] = s
+		t := &cs.Total
+		t.Attempts += s.Attempts
+		t.Admitted += s.Admitted
+		t.Rejected += s.Rejected
+		t.Cancelled += s.Cancelled
+		for ph := range s.RejectedByPhase {
+			t.RejectedByPhase[ph] += s.RejectedByPhase[ph]
+		}
+		t.Released += s.Released
+		t.Readmitted += s.Readmitted
+		t.Restored += s.Restored
+		t.Live += s.Live
+		t.PhaseTotals.Binding += s.PhaseTotals.Binding
+		t.PhaseTotals.Mapping += s.PhaseTotals.Mapping
+		t.PhaseTotals.Routing += s.PhaseTotals.Routing
+		t.PhaseTotals.Validation += s.PhaseTotals.Validation
+	}
+	return cs
+}
+
+// Dropped sums the dropped-event counts of every shard's current
+// subscriptions (see Manager.Dropped).
+func (c *Cluster) Dropped() uint64 {
+	var n uint64
+	for _, m := range c.shards {
+		n += m.Dropped()
+	}
+	return n
+}
+
+// ShardEvent is one shard manager's lifecycle event tagged with its
+// shard index; the event's instance names are shard-local.
+type ShardEvent struct {
+	Shard int
+	Event Event
+}
+
+// Subscribe merges every shard's event stream into one shard-tagged
+// channel. Within a shard, events arrive in the shard's publication
+// order; across shards there is no ordering guarantee. The merged
+// channel is buffered with WithClusterEventBuffer slots
+// (DefaultEventBuffer by default); when it is full the forwarders
+// block on the shard-side buffers, which drop and count per shard
+// (Dropped) — the cluster consumer can therefore never stall an
+// admission. The cancel function unsubscribes from every shard and
+// closes the merged channel promptly: events still queued on the shard
+// side at that moment are discarded, so consumers that need every
+// event must drain before cancelling.
+func (c *Cluster) Subscribe() (<-chan ShardEvent, func()) {
+	buffer := c.eventBuffer
+	if buffer <= 0 {
+		buffer = DefaultEventBuffer
+	}
+	out := make(chan ShardEvent, buffer)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	cancels := make([]func(), len(c.shards))
+	for i, m := range c.shards {
+		ch, cancel := m.Subscribe()
+		cancels[i] = cancel
+		wg.Add(1)
+		go func(shard int, ch <-chan Event) {
+			defer wg.Done()
+			for {
+				select {
+				case ev, ok := <-ch:
+					if !ok {
+						return
+					}
+					select {
+					case out <- ShardEvent{Shard: shard, Event: ev}:
+					case <-done:
+						return
+					}
+				case <-done:
+					return
+				}
+			}
+		}(i, ch)
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	var once sync.Once
+	return out, func() {
+		once.Do(func() {
+			close(done)
+			for _, cancel := range cancels {
+				cancel()
+			}
+		})
+	}
+}

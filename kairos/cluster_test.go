@@ -1,0 +1,469 @@
+package kairos_test
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/kairos"
+)
+
+// meshFactory returns a homogeneous shard factory.
+func meshFactory(w, h int) func(int) *kairos.Platform {
+	return func(int) *kairos.Platform { return kairos.Mesh(w, h, kairos.DefaultVCs) }
+}
+
+func mustCluster(t *testing.T, shards int, factory func(int) *kairos.Platform, opts ...kairos.ClusterOption) *kairos.Cluster {
+	t.Helper()
+	c, err := kairos.NewCluster(shards, factory, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestClusterAdmitRelease(t *testing.T) {
+	c := mustCluster(t, 4, meshFactory(4, 4))
+	if c.NumShards() != 4 {
+		t.Fatalf("NumShards = %d, want 4", c.NumShards())
+	}
+
+	adm, err := c.Admit(context.Background(), chain("one", 3, 60))
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	if adm.Shard < 0 || adm.Shard >= 4 {
+		t.Fatalf("Shard = %d out of range", adm.Shard)
+	}
+	want := fmt.Sprintf("s%d:%s", adm.Shard, adm.Adm.Instance)
+	if adm.Instance != want {
+		t.Errorf("Instance = %q, want %q", adm.Instance, want)
+	}
+	if adm.Attempts != 1 {
+		t.Errorf("Attempts = %d, want 1 (uncontended cluster)", adm.Attempts)
+	}
+
+	cs := c.Stats()
+	if cs.Total.Live != 1 || cs.Total.Admitted != 1 {
+		t.Errorf("Stats.Total live=%d admitted=%d, want 1/1", cs.Total.Live, cs.Total.Admitted)
+	}
+	if got := cs.Shards[adm.Shard].Live; got != 1 {
+		t.Errorf("shard %d live = %d, want 1", adm.Shard, got)
+	}
+
+	if err := c.Release(adm.Instance); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if cs := c.Stats(); cs.Total.Live != 0 || cs.Total.Released != 1 {
+		t.Errorf("after release: live=%d released=%d, want 0/1", cs.Total.Live, cs.Total.Released)
+	}
+
+	// Malformed and unknown cluster instance names.
+	for _, bad := range []string{"", "one#1", "s9:one#1", "sX:one#1", "s1"} {
+		if err := c.Release(bad); !errors.Is(err, kairos.ErrUnknownInstance) {
+			t.Errorf("Release(%q) = %v, want ErrUnknownInstance", bad, err)
+		}
+	}
+}
+
+// TestClusterParallelAdmissionStress is the acceptance-criteria
+// stress: 16 shards admitting in parallel from many goroutines under
+// -race, with a live merged subscription, then a clean drain.
+func TestClusterParallelAdmissionStress(t *testing.T) {
+	const shards = 16
+	c := mustCluster(t, shards, meshFactory(4, 4),
+		kairos.WithShardOptions(kairos.WithoutValidation()))
+
+	events, cancel := c.Subscribe()
+	defer cancel()
+	var drained sync.WaitGroup
+	drained.Add(1)
+	var seen atomic.Uint64
+	go func() {
+		defer drained.Done()
+		for range events {
+			seen.Add(1)
+		}
+	}()
+
+	const workers = 32
+	var wg sync.WaitGroup
+	var admitted, rejected int64
+	var mu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			var mine []string
+			for i := 0; i < 12; i++ {
+				adm, err := c.Admit(context.Background(), chain(fmt.Sprintf("w%d", w), 3, 60))
+				if err != nil {
+					mu.Lock()
+					rejected++
+					mu.Unlock()
+					continue
+				}
+				mu.Lock()
+				admitted++
+				mu.Unlock()
+				mine = append(mine, adm.Instance)
+				if rng.Intn(2) == 0 {
+					last := mine[len(mine)-1]
+					mine = mine[:len(mine)-1]
+					if err := c.Release(last); err != nil {
+						t.Errorf("Release(%s): %v", last, err)
+					}
+				}
+			}
+			for _, inst := range mine {
+				if err := c.Release(inst); err != nil {
+					t.Errorf("Release(%s): %v", inst, err)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	cs := c.Stats()
+	if cs.Total.Admitted != admitted || cs.Total.Rejected != rejected {
+		t.Errorf("Stats admitted=%d rejected=%d, workers saw %d/%d",
+			cs.Total.Admitted, cs.Total.Rejected, admitted, rejected)
+	}
+	if cs.Total.Live != 0 {
+		t.Errorf("Live = %d after full release, want 0", cs.Total.Live)
+	}
+	if admitted == 0 {
+		t.Error("stress admitted nothing; the scenario is vacuous")
+	}
+	for i := 0; i < shards; i++ {
+		if n := len(c.Shard(i).Admitted()); n != 0 {
+			t.Errorf("shard %d still has %d admissions", i, n)
+		}
+	}
+	// Every admission was released, so 2×admitted events exist; wait
+	// for each to be delivered or counted as dropped before cancelling
+	// (cancel discards whatever is still queued on the shard side).
+	want := 2 * uint64(admitted)
+	deadline := time.Now().Add(10 * time.Second)
+	for seen.Load()+c.Dropped() < want && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got := seen.Load() + c.Dropped(); got < want {
+		t.Errorf("merged stream saw %d events (incl. dropped) for %d admissions+releases", got, want)
+	}
+	cancel()
+	drained.Wait()
+}
+
+// TestClusterPlacementDeterministic: for a fixed cluster seed and a
+// single caller, every placement policy picks the identical shard
+// sequence across two fresh clusters.
+func TestClusterPlacementDeterministic(t *testing.T) {
+	for _, name := range kairos.PlacementNames() {
+		pol, err := kairos.PlacementByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		run := func() []int {
+			c := mustCluster(t, 8, meshFactory(3, 3),
+				kairos.WithPlacement(pol), kairos.WithClusterSeed(7),
+				kairos.WithShardOptions(kairos.WithoutValidation()))
+			var shardSeq []int
+			for i := 0; i < 24; i++ {
+				adm, err := c.Admit(context.Background(), chain(fmt.Sprintf("d%d", i), 2, 70))
+				if err != nil {
+					shardSeq = append(shardSeq, -1)
+					continue
+				}
+				shardSeq = append(shardSeq, adm.Shard)
+			}
+			return shardSeq
+		}
+		a, b := run(), run()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%s: admission %d placed on shard %d vs %d across identical runs",
+					name, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+// TestClusterSpillOver: first-fit tries shards in index order, so an
+// application too large for shard 0 spills to shard 1; a spill limit
+// of 1 turns that into a rejection that still matches ErrRejected.
+func TestClusterSpillOver(t *testing.T) {
+	// Shard 0 is a 2×2 mesh (4 DSPs), shards 1+ are 4×4: five tasks at
+	// 80% need five elements and cannot fit shard 0.
+	factory := func(shard int) *kairos.Platform {
+		if shard == 0 {
+			return kairos.Mesh(2, 2, kairos.DefaultVCs)
+		}
+		return kairos.Mesh(4, 4, kairos.DefaultVCs)
+	}
+	big := chain("big", 5, 80)
+
+	c := mustCluster(t, 3, factory, kairos.WithPlacement(kairos.PlacementFirstFit))
+	adm, err := c.Admit(context.Background(), big)
+	if err != nil {
+		t.Fatalf("Admit: %v", err)
+	}
+	if adm.Shard != 1 || adm.Attempts != 2 {
+		t.Errorf("spill landed on shard %d after %d attempts, want shard 1 after 2", adm.Shard, adm.Attempts)
+	}
+
+	// Small apps keep packing shard 0 first under first-fit.
+	small, err := c.Admit(context.Background(), chain("small", 2, 40))
+	if err != nil {
+		t.Fatalf("Admit small: %v", err)
+	}
+	if small.Shard != 0 || small.Attempts != 1 {
+		t.Errorf("small app on shard %d after %d attempts, want shard 0 first try", small.Shard, small.Attempts)
+	}
+
+	// With the spill-over capped at the primary shard, the big app is
+	// rejected outright — and the error still matches the sentinels.
+	capped := mustCluster(t, 3, factory,
+		kairos.WithPlacement(kairos.PlacementFirstFit), kairos.WithSpillLimit(1))
+	if _, err := capped.Admit(context.Background(), big); !errors.Is(err, kairos.ErrRejected) {
+		t.Errorf("spill-limited Admit = %v, want ErrRejected", err)
+	}
+}
+
+// TestClusterSpillSurvivesShardTimeout: a shard's own AdmitTimeout
+// expiring must NOT stop the spill-over — only the caller's context
+// does. With a 1ns per-shard timeout every shard times out, so the
+// cluster must report having tried all of them rather than aborting
+// after the first.
+func TestClusterSpillSurvivesShardTimeout(t *testing.T) {
+	c := mustCluster(t, 3, meshFactory(3, 3),
+		kairos.WithPlacement(kairos.PlacementFirstFit),
+		kairos.WithShardOptions(kairos.WithAdmissionTimeout(time.Nanosecond)))
+	_, err := c.Admit(context.Background(), chain("slow", 2, 40))
+	if err == nil {
+		t.Fatal("1ns shard timeout admitted an app")
+	}
+	if !strings.Contains(err.Error(), "all 3 shard(s)") {
+		t.Errorf("error %q does not show all shards were tried", err)
+	}
+
+	// A dead CALLER context does stop the loop immediately.
+	live := mustCluster(t, 3, meshFactory(3, 3))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := live.Admit(ctx, chain("cancelled", 2, 40)); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled Admit = %v, want context.Canceled", err)
+	}
+}
+
+// TestPlacementPlans unit-tests the three policies' plan order against
+// fabricated load vectors.
+func TestPlacementPlans(t *testing.T) {
+	loads := []kairos.LoadHint{
+		{Live: 2, UsedShare: 0.8},
+		{Live: 0, UsedShare: 0.1},
+		{Live: 5, UsedShare: 0.5},
+		{Live: 1, UsedShare: 0.1},
+	}
+	order := make([]int, len(loads))
+
+	kairos.PlacementFirstFit.Plan(loads, nil, order)
+	if fmt.Sprint(order) != "[0 1 2 3]" {
+		t.Errorf("first-fit plan = %v, want identity", order)
+	}
+
+	kairos.PlacementLeastLoaded.Plan(loads, nil, order)
+	// Ascending used share; the 0.1 tie breaks on live count (1 before 3).
+	if fmt.Sprint(order) != "[1 3 2 0]" {
+		t.Errorf("least-loaded plan = %v, want [1 3 2 0]", order)
+	}
+
+	// Power-of-two: with a fixed stream, the sampled pair is fixed; the
+	// primary is the less loaded of the two and the tail is ascending.
+	rng := rand.New(rand.NewSource(3))
+	a, b := rng.Intn(4), rng.Intn(3)
+	if b >= a {
+		b++
+	}
+	rng = rand.New(rand.NewSource(3))
+	kairos.PlacementPowerOfTwo.Plan(loads, rng, order)
+	first, second := order[0], order[1]
+	if !(first == a && second == b || first == b && second == a) {
+		t.Errorf("power-of-two sampled (%d,%d), plan starts (%d,%d)", a, b, first, second)
+	}
+	if loads[first].UsedShare > loads[second].UsedShare {
+		t.Errorf("power-of-two primary %d is more loaded than loser %d", first, second)
+	}
+	seen := map[int]bool{}
+	for _, s := range order {
+		seen[s] = true
+	}
+	if len(seen) != len(loads) {
+		t.Errorf("plan %v is not a permutation", order)
+	}
+
+	// One-shard degenerate case.
+	one := make([]int, 1)
+	kairos.PlacementPowerOfTwo.Plan(loads[:1], rand.New(rand.NewSource(1)), one)
+	if one[0] != 0 {
+		t.Errorf("single-shard plan = %v", one)
+	}
+}
+
+func TestClusterAdmitAll(t *testing.T) {
+	c := mustCluster(t, 4, meshFactory(4, 4),
+		kairos.WithShardOptions(kairos.WithoutValidation()))
+	apps := []*kairos.Application{
+		chain("small", 2, 40),
+		nil,
+		chain("large", 6, 40),
+	}
+	results := c.AdmitAll(context.Background(), apps)
+	if len(results) != 3 {
+		t.Fatalf("got %d results, want 3", len(results))
+	}
+	for i, r := range results {
+		if r.Index != i {
+			t.Errorf("result %d has index %d", i, r.Index)
+		}
+	}
+	if !errors.Is(results[1].Err, kairos.ErrNilApplication) {
+		t.Errorf("nil app error = %v", results[1].Err)
+	}
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Fatalf("admissions failed: %v, %v", results[0].Err, results[2].Err)
+	}
+	if cs := c.Stats(); cs.Total.Live != 2 {
+		t.Errorf("Live = %d, want 2", cs.Total.Live)
+	}
+	c.ReleaseAll()
+	if cs := c.Stats(); cs.Total.Live != 0 {
+		t.Errorf("Live after ReleaseAll = %d, want 0", cs.Total.Live)
+	}
+}
+
+func TestClusterReadmitAndEvents(t *testing.T) {
+	c := mustCluster(t, 2, meshFactory(4, 4),
+		kairos.WithShardOptions(kairos.WithoutValidation()))
+	events, cancel := c.Subscribe()
+	defer cancel()
+
+	adm, err := c.Admit(context.Background(), chain("ra", 3, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := func() kairos.ShardEvent {
+		t.Helper()
+		select {
+		case ev, ok := <-events:
+			if !ok {
+				t.Fatal("merged event stream closed early")
+			}
+			return ev
+		case <-time.After(5 * time.Second):
+			t.Fatal("timed out waiting for a merged event")
+			panic("unreachable")
+		}
+	}
+	ev := next()
+	if _, isAdmit := ev.Event.(kairos.Admitted); !isAdmit || ev.Shard != adm.Shard {
+		t.Fatalf("first event = %T on shard %d, want Admitted on %d", ev.Event, ev.Shard, adm.Shard)
+	}
+
+	re, err := c.Readmit(context.Background(), adm.Instance)
+	if err != nil {
+		t.Fatalf("Readmit: %v", err)
+	}
+	if re.Shard != adm.Shard {
+		t.Errorf("readmission moved shards %d→%d; applications must stay on their shard", adm.Shard, re.Shard)
+	}
+	if re.Instance == adm.Instance {
+		t.Errorf("readmission kept instance name %q", re.Instance)
+	}
+	// Successful readmit publishes Evicted(readmit) then Admitted.
+	if ev := next(); ev.Shard != adm.Shard {
+		t.Errorf("readmit event on shard %d, want %d", ev.Shard, adm.Shard)
+	}
+	next()
+
+	// Fault the element hosting the first task; the sweep must find
+	// and restart (or restore) the admission.
+	p := c.Shard(re.Shard).Platform()
+	p.DisableElement(re.Adm.Assignment[0])
+	swept := c.ReadmitAffected(context.Background())
+	p.EnableElement(re.Adm.Assignment[0])
+	if len(swept) != 1 {
+		t.Fatalf("ReadmitAffected returned %d results, want 1", len(swept))
+	}
+	if swept[0].Shard != re.Shard || swept[0].Instance != re.Adm.Instance {
+		t.Errorf("sweep hit shard %d instance %q, want %d %q",
+			swept[0].Shard, swept[0].Instance, re.Shard, re.Adm.Instance)
+	}
+	if swept[0].Outcome == kairos.ReadmitEvicted {
+		t.Errorf("sweep evicted the app: %v", swept[0].Err)
+	}
+
+	cancel()
+	for range events { // drains and observes close
+	}
+}
+
+// TestClusterFlags covers RegisterClusterFlags: defaults, resolution,
+// and rejection of unknown placement names and bad shard counts.
+func TestClusterFlags(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := kairos.RegisterClusterFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if f.Shards != 4 || f.Placement != kairos.PlacementNames()[0] || f.Spill != 0 {
+		t.Errorf("defaults = %+v, want 4 shards, %q placement, 0 spill", f, kairos.PlacementNames()[0])
+	}
+	opts, err := f.Options()
+	if err != nil || len(opts) != 2 {
+		t.Fatalf("Options() = %d opts, %v", len(opts), err)
+	}
+	c, err := kairos.NewCluster(f.Shards, meshFactory(3, 3), opts...)
+	if err != nil || c.NumShards() != 4 {
+		t.Fatalf("NewCluster from flags: %v", err)
+	}
+
+	fs = flag.NewFlagSet("test", flag.ContinueOnError)
+	f = kairos.RegisterClusterFlags(fs)
+	if err := fs.Parse([]string{"-placement", "nope"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Options(); err == nil {
+		t.Error("Options() accepted unknown placement name")
+	}
+
+	fs = flag.NewFlagSet("test", flag.ContinueOnError)
+	f = kairos.RegisterClusterFlags(fs)
+	if err := fs.Parse([]string{"-shards", "0"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Options(); err == nil {
+		t.Error("Options() accepted zero shards")
+	}
+}
+
+// TestNewClusterErrors pins the constructor's validation.
+func TestNewClusterErrors(t *testing.T) {
+	if _, err := kairos.NewCluster(0, meshFactory(2, 2)); err == nil {
+		t.Error("NewCluster(0, ...) succeeded")
+	}
+	if _, err := kairos.NewCluster(2, nil); err == nil {
+		t.Error("NewCluster(nil factory) succeeded")
+	}
+	if _, err := kairos.NewCluster(2, func(int) *kairos.Platform { return nil }); err == nil {
+		t.Error("NewCluster with nil-returning factory succeeded")
+	}
+}

@@ -2,6 +2,7 @@ package kairos
 
 import (
 	"flag"
+	"fmt"
 	"strings"
 )
 
@@ -44,6 +45,45 @@ func RegisterFlags(fs *flag.FlagSet) *Flags {
 // BuildPlatform resolves the -platform value.
 func (f *Flags) BuildPlatform() (*Platform, error) {
 	return PlatformFromSpec(f.PlatformSpec)
+}
+
+// ClusterFlags is the CLI vocabulary of cluster deployments
+// (cmd/kairosd, cmd/sim -cluster): the shard count, the placement
+// policy name and the spill-over limit. Register it with
+// RegisterClusterFlags, then resolve with Options after parsing.
+type ClusterFlags struct {
+	// Shards is the -shards value.
+	Shards int
+	// Placement is the -placement policy name (see PlacementByName).
+	Placement string
+	// Spill is the -spill value (see WithSpillLimit).
+	Spill int
+}
+
+// RegisterClusterFlags registers the cluster flags on the FlagSet with
+// their default values (4 shards, least-loaded placement, unlimited
+// spill-over) and returns the struct the parsed values land in.
+func RegisterClusterFlags(fs *flag.FlagSet) *ClusterFlags {
+	f := &ClusterFlags{}
+	fs.IntVar(&f.Shards, "shards", 4, "number of platform shards in the cluster")
+	fs.StringVar(&f.Placement, "placement", PlacementNames()[0],
+		"placement policy: "+strings.Join(PlacementNames(), "|"))
+	fs.IntVar(&f.Spill, "spill", 0,
+		"max shards tried per admission (0 = all, in placement order)")
+	return f
+}
+
+// Options resolves the placement name and spill limit into cluster
+// options; the shard count stays the caller's to pass to NewCluster.
+func (f *ClusterFlags) Options() ([]ClusterOption, error) {
+	if f.Shards <= 0 {
+		return nil, fmt.Errorf("kairos: -shards must be positive, got %d", f.Shards)
+	}
+	p, err := PlacementByName(f.Placement)
+	if err != nil {
+		return nil, err
+	}
+	return []ClusterOption{WithPlacement(p), WithSpillLimit(f.Spill)}, nil
 }
 
 // Weights resolves the -weights value.

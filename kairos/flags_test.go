@@ -1,0 +1,120 @@
+package kairos_test
+
+import (
+	"context"
+	"flag"
+	"testing"
+
+	"repro/kairos"
+)
+
+// TestRegisterFlagsRegistration pins the shared CLI vocabulary: every
+// flag the CLIs rely on is registered, and the defaults are the
+// registries' default (first) entries, so a CLI that parses no
+// arguments gets exactly the paper's configuration.
+func TestRegisterFlagsRegistration(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := kairos.RegisterFlags(fs)
+	for _, name := range []string{"platform", "weights", "binder", "mapper", "router", "validator"} {
+		if fs.Lookup(name) == nil {
+			t.Errorf("RegisterFlags did not register -%s", name)
+		}
+	}
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if f.PlatformSpec != "crisp" || f.WeightsSpec != "both" {
+		t.Errorf("defaults = platform %q weights %q, want crisp/both", f.PlatformSpec, f.WeightsSpec)
+	}
+	if f.Binder != kairos.BinderNames()[0] || f.Mapper != kairos.MapperNames()[0] ||
+		f.Router != kairos.RouterNames()[0] || f.Validator != kairos.ValidatorNames()[0] {
+		t.Errorf("strategy defaults %q/%q/%q/%q are not the registry defaults",
+			f.Binder, f.Mapper, f.Router, f.Validator)
+	}
+
+	// The default wiring must produce a working manager: resolve the
+	// defaults, build the platform, admit and release one application.
+	p, err := f.BuildPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts, err := f.StrategyOptions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := kairos.New(p, opts...)
+	adm, err := k.Admit(context.Background(), chain("defaults", 2, 40))
+	if err != nil {
+		t.Fatalf("defaults failed to admit: %v", err)
+	}
+	if err := k.Release(adm.Instance); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRegistryNamesRoundTrip: every name a registry lists resolves
+// back to a strategy carrying that name, and unknown names fail with
+// an error that lists the vocabulary.
+func TestRegistryNamesRoundTrip(t *testing.T) {
+	for _, name := range kairos.BinderNames() {
+		if b, err := kairos.BinderByName(name); err != nil || b.Name() != name {
+			t.Errorf("BinderByName(%q) = %v, %v", name, b, err)
+		}
+	}
+	for _, name := range kairos.MapperNames() {
+		if m, err := kairos.MapperByName(name); err != nil || m.Name() != name {
+			t.Errorf("MapperByName(%q) = %v, %v", name, m, err)
+		}
+	}
+	for _, name := range kairos.RouterNames() {
+		if r, err := kairos.RouterByName(name); err != nil || r.Name() != name {
+			t.Errorf("RouterByName(%q) = %v, %v", name, r, err)
+		}
+	}
+	for _, name := range kairos.ValidatorNames() {
+		if v, err := kairos.ValidatorByName(name); err != nil || v.Name() != name {
+			t.Errorf("ValidatorByName(%q) = %v, %v", name, v, err)
+		}
+	}
+	for _, name := range kairos.PlacementNames() {
+		if p, err := kairos.PlacementByName(name); err != nil || p.Name() != name {
+			t.Errorf("PlacementByName(%q) = %v, %v", name, p, err)
+		}
+	}
+}
+
+// TestPhaseStrategiesPartialResolution: PhaseStrategies (the
+// weights-free variant cmd/experiments uses) resolves defaults and
+// propagates the first unknown name.
+func TestPhaseStrategiesPartialResolution(t *testing.T) {
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f := kairos.RegisterFlags(fs)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	opts, err := f.PhaseStrategies()
+	if err != nil || len(opts) != 4 {
+		t.Fatalf("PhaseStrategies = %d options, %v", len(opts), err)
+	}
+
+	f.Validator = "nope"
+	if _, err := f.PhaseStrategies(); err == nil {
+		t.Error("PhaseStrategies accepted an unknown validator")
+	}
+	f.Validator = kairos.ValidatorNames()[0]
+	f.Binder = "nope"
+	if _, err := f.PhaseStrategies(); err == nil {
+		t.Error("PhaseStrategies accepted an unknown binder")
+	}
+}
+
+// TestBuildPlatformSpecErrors: the -platform vocabulary rejects
+// malformed specs.
+func TestBuildPlatformSpecErrors(t *testing.T) {
+	for _, bad := range []string{"torus9", "mesh0x0", "meshAxB", "/nonexistent/p.json"} {
+		f := &kairos.Flags{PlatformSpec: bad}
+		if _, err := f.BuildPlatform(); err == nil {
+			t.Errorf("BuildPlatform(%q) succeeded", bad)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package kairos
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// LoadHint is a lock-free snapshot of one shard manager's load: the
+// live admission count and the mean used-capacity share of its
+// platform's enabled elements. Placement policies rank shards by it
+// without touching any shard's platform-state lock.
+type LoadHint = core.LoadHint
+
+// PlacementPolicy decides where a cluster places one incoming
+// admission. Plan fills order — a scratch slice of length len(loads) —
+// with a permutation of the shard indices: order[0] is the primary
+// placement and the remaining entries are the spill-over order the
+// cluster retries on rejection. rng is the cluster's seeded stream;
+// implementations must draw from it deterministically, so that equal
+// loads and equal stream state always produce the same plan (the basis
+// of the cluster's fixed-seed reproducibility).
+type PlacementPolicy interface {
+	// Name is the policy's registry name (see PlacementByName).
+	Name() string
+	Plan(loads []LoadHint, rng *rand.Rand, order []int)
+}
+
+// The registered placement policies.
+var (
+	// PlacementLeastLoaded ranks every shard by ascending used-capacity
+	// share (ties: fewer live admissions, then lower shard index). The
+	// default: it balances load and leaves the most residual capacity
+	// at the primary choice, at the cost of reading every shard's
+	// gauge.
+	PlacementLeastLoaded PlacementPolicy = leastLoaded{}
+	// PlacementFirstFit always tries the shards in index order. The
+	// cheapest policy: no load reads, no randomness; it packs low
+	// shards tight and leaves high shards as reserve, maximizing the
+	// chance that a later large application finds an empty shard.
+	PlacementFirstFit PlacementPolicy = firstFit{}
+	// PlacementPowerOfTwo samples two distinct shards uniformly from
+	// the cluster's seeded stream and places on the less loaded of the
+	// pair (the classic power-of-two-choices load balancer): almost the
+	// balance of least-loaded at two gauge reads per admission instead
+	// of a full scan. Spill-over falls back to the sampled loser, then
+	// the remaining shards in index order.
+	PlacementPowerOfTwo PlacementPolicy = powerOfTwo{}
+)
+
+// placements is the registry, default first (the *Names convention of
+// the strategy registries).
+var placements = []PlacementPolicy{PlacementLeastLoaded, PlacementFirstFit, PlacementPowerOfTwo}
+
+// PlacementByName returns the registered placement policy with the
+// name: "least-loaded" (default), "first-fit" or "power-of-two".
+func PlacementByName(name string) (PlacementPolicy, error) {
+	for _, p := range placements {
+		if p.Name() == name {
+			return p, nil
+		}
+	}
+	return nil, fmt.Errorf("kairos: unknown placement policy %q (have %v)", name, PlacementNames())
+}
+
+// PlacementNames lists the registered placement policies, default
+// first.
+func PlacementNames() []string { return names(placements) }
+
+// lessLoaded orders two shards by used share, then live count, then
+// index — the comparison every policy shares.
+func lessLoaded(loads []LoadHint, a, b int) bool {
+	if loads[a].UsedShare != loads[b].UsedShare {
+		return loads[a].UsedShare < loads[b].UsedShare
+	}
+	if loads[a].Live != loads[b].Live {
+		return loads[a].Live < loads[b].Live
+	}
+	return a < b
+}
+
+// identity fills order with 0..n-1.
+func identity(order []int) {
+	for i := range order {
+		order[i] = i
+	}
+}
+
+type leastLoaded struct{}
+
+func (leastLoaded) Name() string { return "least-loaded" }
+
+func (leastLoaded) Plan(loads []LoadHint, _ *rand.Rand, order []int) {
+	identity(order)
+	sort.Slice(order, func(i, j int) bool { return lessLoaded(loads, order[i], order[j]) })
+}
+
+type firstFit struct{}
+
+func (firstFit) Name() string { return "first-fit" }
+
+func (firstFit) Plan(_ []LoadHint, _ *rand.Rand, order []int) { identity(order) }
+
+type powerOfTwo struct{}
+
+func (powerOfTwo) Name() string { return "power-of-two" }
+
+func (powerOfTwo) Plan(loads []LoadHint, rng *rand.Rand, order []int) {
+	n := len(order)
+	if n == 1 {
+		order[0] = 0
+		return
+	}
+	// Two distinct uniform samples. Both draws happen unconditionally,
+	// so the stream advances by exactly two per plan regardless of the
+	// loads — plans at the same stream position are comparable across
+	// policies and runs.
+	a := rng.Intn(n)
+	b := rng.Intn(n - 1)
+	if b >= a {
+		b++
+	}
+	if lessLoaded(loads, b, a) {
+		a, b = b, a
+	}
+	order[0], order[1] = a, b
+	// Spill-over past the sampled pair: the remaining shards in index
+	// order.
+	k := 2
+	for i := 0; i < n; i++ {
+		if i != a && i != b {
+			order[k] = i
+			k++
+		}
+	}
+}
