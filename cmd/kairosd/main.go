@@ -3,13 +3,20 @@
 // long-running resource server the ROADMAP's scale-out goal asks for,
 // built from the paper's single-MPSoC run-time manager.
 //
-//	POST   /v1/admit     admit one application (JSON task graph)
-//	POST   /v1/admitall  admit a batch, largest-first
-//	DELETE /v1/apps/{id} release a cluster instance (URL-escaped)
-//	POST   /v1/readmit   restart one instance, or sweep fault-affected ones
-//	GET    /v1/stats     per-shard and aggregate counters
-//	GET    /v1/events    merged shard-tagged event stream (SSE)
-//	GET    /healthz      liveness probe
+//	POST   /v1/admit      admit one application (JSON task graph)
+//	POST   /v1/admitall   admit a batch, largest-first
+//	DELETE /v1/apps/{id}  release a cluster instance (URL-escaped)
+//	POST   /v1/readmit    restart one instance, or sweep fault-affected ones
+//	POST   /v1/checkpoint snapshot the admission log (durable servers only)
+//	GET    /v1/stats      per-shard and aggregate counters
+//	GET    /v1/events     merged shard-tagged event stream (SSE)
+//	GET    /healthz       liveness probe
+//
+// With -data-dir the daemon is durable: every committed admission is
+// fsynced to a write-ahead log before the response is sent, and a
+// restart with the same directory recovers the full allocation state —
+// admissions made before a crash can be released after it. The log is
+// checkpointed on shutdown (and periodically with -checkpoint-every).
 //
 // The same binary is its own load generator: -loadgen replays
 // applications drawn from the six synthetic profiles of the paper's
@@ -20,6 +27,7 @@
 //
 //	kairosd -addr :8080 -shards 16 -placement power-of-two
 //	kairosd -platform mesh6x6 -shards 4 -spill 2
+//	kairosd -data-dir /var/lib/kairosd -checkpoint-every 5m
 //	kairosd -loadgen -target http://127.0.0.1:8080 -rate 50 -duration 30s
 package main
 
@@ -47,6 +55,8 @@ func run(args []string, stdout io.Writer) error {
 	var (
 		addr     = fs.String("addr", ":8080", "listen address")
 		seed     = fs.Int64("seed", 1, "cluster placement seed")
+		dataDir  = fs.String("data-dir", "", "durable admission log directory; recovers prior state on start (empty = not durable)")
+		ckpEvery = fs.Duration("checkpoint-every", 0, "periodic log checkpoint interval; needs -data-dir (0 = checkpoint only on shutdown)")
 		loadgen  = fs.Bool("loadgen", false, "run as a load generator client instead of a server")
 		target   = fs.String("target", "http://127.0.0.1:8080", "loadgen: server base URL")
 		rate     = fs.Float64("rate", 50, "loadgen: offered admissions per second (0 = closed loop)")
@@ -67,6 +77,7 @@ func run(args []string, stdout io.Writer) error {
 		"addr": true, "shards": true, "placement": true, "spill": true,
 		"platform": true, "weights": true,
 		"binder": true, "mapper": true, "router": true, "validator": true,
+		"data-dir": true, "checkpoint-every": true,
 	}
 	loadgenOnly := map[string]bool{
 		"target": true, "rate": true, "duration": true,
@@ -113,12 +124,34 @@ func run(args []string, stdout io.Writer) error {
 		kairos.WithClusterSeed(*seed),
 		kairos.WithShardOptions(shardOpts...),
 	)
-	c, err := kairos.NewCluster(cluster.Shards, func(int) *kairos.Platform { return proto.Clone() }, clusterOpts...)
-	if err != nil {
-		return err
+	if *ckpEvery != 0 && *dataDir == "" {
+		return errors.New("-checkpoint-every needs -data-dir")
+	}
+	if *ckpEvery < 0 {
+		return fmt.Errorf("-checkpoint-every must be positive, got %v", *ckpEvery)
+	}
+	factory := func(int) *kairos.Platform { return proto.Clone() }
+	var (
+		c      *kairos.Cluster
+		walLog *kairos.WAL
+	)
+	if *dataDir != "" {
+		c, walLog, err = kairos.RecoverCluster(*dataDir, cluster.Shards, factory, clusterOpts...)
+		if err != nil {
+			return err
+		}
+		defer walLog.Close()
+		if live := c.Stats().Total.Live; live > 0 {
+			fmt.Fprintf(stdout, "kairosd: recovered %d admission(s) from %s\n", live, *dataDir)
+		}
+	} else {
+		c, err = kairos.NewCluster(cluster.Shards, factory, clusterOpts...)
+		if err != nil {
+			return err
+		}
 	}
 
-	srv := &server{cluster: c, placement: cluster.Placement, started: time.Now()}
+	srv := &server{cluster: c, wal: walLog, placement: cluster.Placement, started: time.Now()}
 	httpSrv := &http.Server{
 		Handler:           srv.newMux(),
 		ReadHeaderTimeout: 10 * time.Second,
@@ -137,6 +170,22 @@ func run(args []string, stdout io.Writer) error {
 	defer stop()
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
+	if walLog != nil && *ckpEvery > 0 {
+		ticker := time.NewTicker(*ckpEvery)
+		defer ticker.Stop()
+		go func() {
+			for {
+				select {
+				case <-ticker.C:
+					if err := kairos.CheckpointCluster(walLog, c); err != nil {
+						fmt.Fprintln(stdout, "kairosd: checkpoint failed:", err)
+					}
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
 	select {
 	case err := <-serveErr:
 		return err
@@ -149,6 +198,14 @@ func run(args []string, stdout io.Writer) error {
 		httpSrv.Close()
 	}
 	<-serveErr // Serve has returned http.ErrServerClosed by now
+	// Checkpoint the quiesced cluster so the next boot loads one
+	// snapshot instead of replaying the whole log; the deferred Close
+	// then rotates the log down cleanly.
+	if walLog != nil {
+		if err := kairos.CheckpointCluster(walLog, c); err != nil {
+			fmt.Fprintln(stdout, "kairosd: shutdown checkpoint failed:", err)
+		}
+	}
 	return nil
 }
 

@@ -9,8 +9,11 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"net/url"
+	"os"
 	"reflect"
 	"strings"
+	"sync"
+	"syscall"
 	"testing"
 	"time"
 
@@ -392,6 +395,144 @@ func TestAppJSONRoundTrip(t *testing.T) {
 	}
 }
 
+// syncBuffer is a goroutine-safe run() output sink the test can poll.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// startDaemon boots run() with the given extra flags on an ephemeral
+// port and returns the base URL, the output sink, and a stop function
+// that delivers SIGTERM and waits for a clean exit.
+func startDaemon(t *testing.T, extra ...string) (string, *syncBuffer, func()) {
+	t.Helper()
+	out := &syncBuffer{}
+	args := append([]string{"-addr", "127.0.0.1:0", "-platform", "mesh4x4", "-shards", "2"}, extra...)
+	done := make(chan error, 1)
+	go func() { done <- run(args, out) }()
+
+	deadline := time.After(15 * time.Second)
+	var base string
+	for base == "" {
+		if i := strings.Index(out.String(), "on http://"); i >= 0 {
+			line := out.String()[i+len("on "):]
+			base = strings.TrimSpace(strings.SplitN(line, "\n", 2)[0])
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("daemon exited before listening: %v\n%s", err, out.String())
+		case <-deadline:
+			t.Fatalf("daemon never started:\n%s", out.String())
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	return base, out, func() {
+		if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+			t.Fatalf("sending SIGTERM: %v", err)
+		}
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("daemon exit after SIGTERM: %v\n%s", err, out.String())
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatalf("daemon did not exit after SIGTERM:\n%s", out.String())
+		}
+	}
+}
+
+func liveCount(t *testing.T, base string) int {
+	t.Helper()
+	stats := decodeBody[statsResponse](t, mustGet(t, base+"/v1/stats"))
+	return stats.Stats.Total.Live
+}
+
+// TestRestartRecoversAdmissionsOverHTTP is the end-to-end durability
+// test: admit over HTTP, SIGTERM the daemon, restart it on the same
+// -data-dir, and the pre-restart admission is still there — visible in
+// /v1/stats and releasable by its old name.
+func TestRestartRecoversAdmissionsOverHTTP(t *testing.T) {
+	dir := t.TempDir()
+
+	base, _, stop := startDaemon(t, "-data-dir", dir)
+	admitted := decodeBody[admitResponse](t, postJSON(t, base+"/v1/admit", quickstartWire()))
+	if admitted.Instance == "" {
+		t.Fatal("no instance admitted")
+	}
+	scratch := decodeBody[admitResponse](t, postJSON(t, base+"/v1/admit", quickstartWire()))
+	req, _ := http.NewRequest(http.MethodDelete, base+"/v1/apps/"+url.PathEscape(scratch.Instance), nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("pre-restart release status = %d", dresp.StatusCode)
+	}
+	// The operator checkpoint hook works while serving.
+	cresp := postJSON(t, base+"/v1/checkpoint", struct{}{})
+	if cresp.StatusCode != http.StatusOK {
+		t.Fatalf("checkpoint status = %d", cresp.StatusCode)
+	}
+	ck := decodeBody[checkpointResponse](t, cresp)
+	if ck.Shards != 2 || ck.NextLSN == 0 {
+		t.Fatalf("checkpoint response %+v", ck)
+	}
+	if got := liveCount(t, base); got != 1 {
+		t.Fatalf("pre-restart live = %d, want 1", got)
+	}
+	stop() // SIGTERM: drain, checkpoint, rotate the log down
+
+	base2, out2, stop2 := startDaemon(t, "-data-dir", dir)
+	defer stop2()
+	if !strings.Contains(out2.String(), "recovered 1 admission(s)") {
+		t.Errorf("restart did not report recovery:\n%s", out2.String())
+	}
+	if got := liveCount(t, base2); got != 1 {
+		t.Fatalf("post-restart live = %d, want 1", got)
+	}
+	// The pre-restart instance name is still valid.
+	req, _ = http.NewRequest(http.MethodDelete, base2+"/v1/apps/"+url.PathEscape(admitted.Instance), nil)
+	dresp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("release of pre-restart instance %q = %d, want 204", admitted.Instance, dresp.StatusCode)
+	}
+	if got := liveCount(t, base2); got != 0 {
+		t.Fatalf("post-release live = %d, want 0", got)
+	}
+}
+
+// TestCheckpointOnNonDurableServer: the endpoint refuses politely when
+// the server has no log.
+func TestCheckpointOnNonDurableServer(t *testing.T) {
+	ts, _ := testServer(t, 1)
+	resp := postJSON(t, ts.URL+"/v1/checkpoint", struct{}{})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("checkpoint status = %d, want 409", resp.StatusCode)
+	}
+	body := decodeBody[errorBody](t, resp)
+	if !strings.Contains(body.Error, "data-dir") {
+		t.Errorf("error should mention -data-dir: %q", body.Error)
+	}
+}
+
 // TestRunFlagErrors: bad flags and specs fail fast.
 func TestRunFlagErrors(t *testing.T) {
 	for _, args := range [][]string{
@@ -404,8 +545,11 @@ func TestRunFlagErrors(t *testing.T) {
 		// Cross-mode flags are rejected, not silently dropped.
 		{"-loadgen", "-shards", "16"},
 		{"-loadgen", "-placement", "power-of-two"},
+		{"-loadgen", "-data-dir", "/tmp/nope"},
 		{"-rate", "10"},
 		{"-target", "http://x"},
+		// Durability flag dependencies.
+		{"-checkpoint-every", "5m"},
 	} {
 		var out bytes.Buffer
 		if err := run(args, &out); err == nil {

@@ -16,6 +16,9 @@ type server struct {
 	cluster   *kairos.Cluster
 	placement string
 	started   time.Time
+	// wal is the durable admission log (-data-dir); nil when the
+	// server is not durable.
+	wal *kairos.WAL
 }
 
 // newMux wires the /v1 API onto a fresh ServeMux.
@@ -25,6 +28,7 @@ func (s *server) newMux() *http.ServeMux {
 	mux.HandleFunc("POST /v1/admitall", s.handleAdmitAll)
 	mux.HandleFunc("DELETE /v1/apps/{id}", s.handleRelease)
 	mux.HandleFunc("POST /v1/readmit", s.handleReadmit)
+	mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/events", s.handleEvents)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -257,6 +261,32 @@ func (s *server) handleReadmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest,
 			errorBody{Error: `set exactly one of "instance" or "affected"`})
 	}
+}
+
+// checkpointResponse reports a completed snapshot: the next log
+// sequence number bounds how many ops a recovery could ever replay.
+type checkpointResponse struct {
+	Shards  int    `json:"shards"`
+	NextLSN uint64 `json:"nextLSN"`
+}
+
+// handleCheckpoint snapshots the admission log on demand (an operator
+// hook: take a snapshot before maintenance so the next boot replays a
+// minimal tail). 409 on non-durable servers.
+func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if s.wal == nil {
+		writeJSON(w, http.StatusConflict,
+			errorBody{Error: "server is not durable; restart with -data-dir to enable checkpoints"})
+		return
+	}
+	if err := kairos.CheckpointCluster(s.wal, s.cluster); err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, checkpointResponse{
+		Shards:  s.cluster.NumShards(),
+		NextLSN: s.wal.NextLSN(),
+	})
 }
 
 // statsResponse is the GET /v1/stats payload. Durations are

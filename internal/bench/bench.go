@@ -48,6 +48,10 @@ type Scenario struct {
 	// workflow attempts it performed, the basis of the throughput
 	// metric.
 	Prepare func() (func() (attempts int, err error), error)
+	// Cleanup, when non-nil, releases resources Prepare acquired
+	// (scratch directories and the like). It runs after the measured
+	// loop, and also when Prepare or the op fails.
+	Cleanup func()
 }
 
 // Measurement is the result of running one scenario.
@@ -148,6 +152,9 @@ func runScenario(sc Scenario) (Measurement, error) {
 	m := Measurement{Name: sc.Name, Group: sc.Group, Ops: sc.Ops}
 	if sc.Ops <= 0 {
 		return m, fmt.Errorf("non-positive ops %d", sc.Ops)
+	}
+	if sc.Cleanup != nil {
+		defer sc.Cleanup()
 	}
 	op, err := sc.Prepare()
 	if err != nil {

@@ -3,12 +3,15 @@ package bench
 import (
 	"context"
 	"fmt"
+	"os"
 
 	"repro/internal/appgen"
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/graph"
 	"repro/internal/platform"
 	"repro/internal/sim"
+	"repro/internal/wal"
 	"repro/kairos"
 )
 
@@ -77,6 +80,12 @@ func Suite(opts Options) []Scenario {
 	} {
 		scs = append(scs, clusterScenario("cluster/place-"+pol.Name(), 16, pol, opts))
 	}
+
+	// Crash-recovery replay: one full kairos.Recover boot from a durable
+	// admission log, at two log depths. Restart time is availability —
+	// the durability layer (DESIGN.md §8) re-executes every logged op,
+	// so this tracks how long a kairosd reboot takes per logged op.
+	scs = append(scs, recoveryScenario(1_000, opts), recoveryScenario(10_000, opts))
 	return scs
 }
 
@@ -303,6 +312,119 @@ func churnScenario(opts Options) Scenario {
 				res := sim.Run(cfg)
 				return res.Totals.Arrivals + res.Totals.RetryAdmitted, nil
 			}, nil
+		},
+	}
+}
+
+// benchJournal adapts the raw log to core.Journal for the log-building
+// half of the recovery scenario (shard 0, like a single manager).
+type benchJournal struct{ log *wal.Log }
+
+func (j benchJournal) Append(op core.Op) (uint64, error) { return j.log.Append(0, op) }
+
+// recoveryOptions are the manager options the recovery scenario uses
+// both to build the log and to recover from it — replay re-executes
+// the logged workflow, so the two sides must agree.
+func recoveryOptions() []kairos.Option {
+	return []kairos.Option{
+		kairos.WithWeights(kairos.WeightsBoth),
+		kairos.WithAdvisoryValidation(),
+	}
+}
+
+// buildRecoveryLog drives a journaled manager through a deterministic
+// admit/release churn until exactly logOps ops are durable, then closes
+// the log. Sync is off: the scenario measures replay, and the log's
+// bytes are identical either way. Returns the admit-record count — the
+// admission workflows a recovery re-executes, the basis of the
+// throughput metric.
+func buildRecoveryLog(dir string, logOps int, seed int64) (admits int, err error) {
+	log, _, err := wal.Open(dir, wal.Options{NoSync: true})
+	if err != nil {
+		return 0, err
+	}
+	defer log.Close()
+	k := kairos.New(platform.CRISP(), recoveryOptions()...)
+	k.AttachJournal(benchJournal{log: log})
+	var gens []*appgen.Generator
+	for i, cfg := range experiments.AllConfigs() {
+		gens = append(gens, appgen.New(cfg, seed+int64(i+1)*101))
+	}
+	ctx := context.Background()
+	var live []string
+	for i, journaled := 0, 0; journaled < logOps; i++ {
+		// Churn, don't fill: at 12 live applications release the oldest
+		// instead of admitting, so the log is an admit/release mix and
+		// the platform never saturates into pure rejections (rejections
+		// are not journaled and would stall the build).
+		if len(live) >= 12 {
+			if err := k.Release(live[0]); err != nil {
+				return 0, err
+			}
+			live = live[1:]
+			journaled++
+			continue
+		}
+		adm, err := k.Admit(ctx, gens[i%len(gens)].Next())
+		if err != nil {
+			if len(live) == 0 {
+				continue // unfit sample on an idle platform: skip it
+			}
+			if err := k.Release(live[0]); err != nil {
+				return 0, err
+			}
+			live = live[1:]
+			journaled++
+			continue
+		}
+		live = append(live, adm.Instance)
+		admits++
+		journaled++
+	}
+	return admits, nil
+}
+
+// recoveryScenario: one crash-recovery boot per op — kairos.Recover
+// scans the pre-built logOps-deep log and re-executes every logged
+// admission and release against a fresh platform. The log has no
+// snapshot, so this is the worst case: pure replay from LSN 1.
+func recoveryScenario(logOps int, opts Options) Scenario {
+	ops := opts.ops(10, 3)
+	if logOps >= 10_000 {
+		ops = opts.ops(3, 1)
+	}
+	var dir string
+	return Scenario{
+		Name:  fmt.Sprintf("recovery/replay-%dk", logOps/1000),
+		Group: "recovery",
+		Ops:   ops,
+		Prepare: func() (func() (int, error), error) {
+			d, err := os.MkdirTemp("", "bench-recovery-")
+			if err != nil {
+				return nil, err
+			}
+			dir = d
+			admits, err := buildRecoveryLog(dir, logOps, opts.Seed)
+			if err != nil {
+				return nil, err
+			}
+			want := uint64(logOps)
+			return func() (int, error) {
+				m, log, err := kairos.Recover(dir, platform.CRISP(), recoveryOptions()...)
+				if err != nil {
+					return 0, err
+				}
+				if got := m.LastLSN(); got != want {
+					log.Close()
+					return 0, fmt.Errorf("recovered through LSN %d, want %d", got, want)
+				}
+				return admits, log.Close()
+			}, nil
+		},
+		Cleanup: func() {
+			if dir != "" {
+				os.RemoveAll(dir)
+			}
 		},
 	}
 }

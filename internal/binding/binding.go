@@ -49,6 +49,23 @@ func (b *Binding) Target(task int) string {
 // ImplIndex returns the selected implementation index for the task.
 func (b *Binding) ImplIndex(task int) int { return b.impl[task] }
 
+// FromSelection rebuilds a Binding from recorded per-task
+// implementation indices, validating every index against the
+// application. The durability layer uses it to reconstruct recovered
+// admissions from snapshots; it does not consult platform capacity —
+// the recorded layout already existed.
+func FromSelection(app *graph.Application, impls []int) (*Binding, error) {
+	if len(impls) != len(app.Tasks) {
+		return nil, fmt.Errorf("binding: %d implementation indices for %d tasks", len(impls), len(app.Tasks))
+	}
+	for i, t := range app.Tasks {
+		if impls[i] < 0 || impls[i] >= len(t.Implementations) {
+			return nil, fmt.Errorf("binding: task %d (%s): implementation index %d out of range", i, t.Name, impls[i])
+		}
+	}
+	return &Binding{app: app, impl: append([]int(nil), impls...)}, nil
+}
+
 // Error is a binding failure, attributing the rejection to a task.
 type Error struct {
 	Task   int

@@ -72,7 +72,7 @@ func (k *Kairos) AdmitAll(ctx context.Context, apps []*graph.Application) []Batc
 	for _, i := range order {
 		results[i].Admission, results[i].Err = k.admitLocked(ctx, apps[i])
 		if results[i].Err == nil {
-			k.emit(Admitted{Adm: results[i].Admission})
+			results[i].Err = k.commitAdmitLocked(results[i].Admission)
 		}
 	}
 	k.unlockAndPublish()

@@ -195,6 +195,12 @@ type Kairos struct {
 	// pending holds events queued under mu, published after unlock.
 	pending []Event
 	events  eventHub
+	// journal, when non-nil, durably records committed ops (see
+	// journal.go); lastLSN is the log sequence number of the last op
+	// this engine recorded or replayed, the coverage mark snapshots
+	// carry.
+	journal Journal
+	lastLSN uint64
 }
 
 // New returns a resource manager for the platform. The manager owns
@@ -238,7 +244,7 @@ func (k *Kairos) Admit(ctx context.Context, app *graph.Application) (*Admission,
 	k.mu.Lock()
 	adm, err := k.admitLocked(ctx, app)
 	if err == nil {
-		k.emit(Admitted{Adm: adm})
+		err = k.commitAdmitLocked(adm)
 	}
 	k.unlockAndPublish()
 	return adm, err
@@ -361,6 +367,15 @@ func (k *Kairos) releaseLocked(instance string) error {
 		return fmt.Errorf("%w: %q", ErrUnknownInstance, instance)
 	}
 	k.dropLocked(adm)
+	if jerr := k.journalLocked(Op{Kind: OpRelease, Instance: instance}); jerr != nil {
+		// Journal append failed: the release is not durable, so it must
+		// not happen. The resources were free a moment ago, so replaying
+		// the layout cannot fail.
+		_ = k.restoreLayoutLocked(adm)
+		k.admitted[instance] = adm
+		k.stats.Released--
+		return jerr
+	}
 	k.emit(Released{Instance: instance, App: adm.App})
 	return nil
 }
@@ -411,6 +426,18 @@ func (k *Kairos) readmitLocked(ctx context.Context, instance string) (*Admission
 	k.dropLocked(old)
 	adm, err := k.admitLocked(ctx, old.App)
 	if err == nil {
+		// One OpReadmit record covers the whole transition (release of
+		// the old instance plus the fresh admission); k.seq is the fresh
+		// admission's number. On journal failure the readmission must
+		// not happen: unwind the fresh admission and put the old layout
+		// back (its resources just came free, so replay cannot fail).
+		if jerr := k.journalLocked(Op{Kind: OpReadmit, Seq: k.seq, Instance: old.Instance}); jerr != nil {
+			k.unwindAdmitLocked(adm)
+			_ = k.restoreLayoutLocked(old)
+			k.admitted[old.Instance] = old
+			k.stats.Released--
+			return old, jerr
+		}
 		k.stats.Readmitted++
 		// Retirement before fresh admission: that is the timeline the
 		// subscriber observes (the old instance stops, then the new
@@ -424,38 +451,12 @@ func (k *Kairos) readmitLocked(ctx context.Context, instance string) (*Admission
 	// old placements and routes cannot fail; if it somehow does (the
 	// platform was mutated behind the manager's back), the partial
 	// replay is unwound, the admission is lost, and the error says so.
-	restored := 0
-	var rerr error
-	for _, t := range old.App.Tasks {
-		occ := platform.Occupant{App: old.Instance, Task: t.ID}
-		if perr := k.p.Restore(old.Assignment[t.ID], occ, old.Binding.Demand(t.ID)); perr != nil {
-			rerr = fmt.Errorf("kairos: readmit failed (%w) and restore failed: %v", err, perr)
-			break
-		}
-		restored++
-	}
-	if rerr == nil {
-	routes:
-		for ri, rt := range old.Routes {
-			for i := 0; i+1 < len(rt.Path); i++ {
-				if perr := k.p.RestoreVC(rt.Path[i], rt.Path[i+1]); perr != nil {
-					rerr = fmt.Errorf("kairos: readmit failed (%w) and route restore failed: %v", err, perr)
-					for j := 0; j < ri; j++ {
-						releaseRoute(k.p, old.Routes[j])
-					}
-					for i2 := 0; i2 < i; i2++ {
-						_ = k.p.ReleaseVC(rt.Path[i2], rt.Path[i2+1])
-					}
-					break routes
-				}
-			}
-		}
-	}
-	if rerr != nil {
-		for _, t := range old.App.Tasks[:restored] {
-			occ := platform.Occupant{App: old.Instance, Task: t.ID}
-			_ = k.p.Remove(old.Assignment[t.ID], occ)
-		}
+	// A successful restore leaves no net state change, so nothing is
+	// journaled; the definitive loss is (best-effort — the platform
+	// corruption that caused it will fail replay anyway).
+	if rerr := k.restoreLayoutLocked(old); rerr != nil {
+		rerr = fmt.Errorf("kairos: readmit failed (%w) and restore failed: %v", err, rerr)
+		_ = k.journalLocked(Op{Kind: OpEvict, Instance: old.Instance})
 		k.emit(ReadmitFailed{Instance: old.Instance, App: old.App, Err: err, Restored: false})
 		k.emit(Evicted{Adm: old, Reason: EvictLost})
 		return nil, rerr

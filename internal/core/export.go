@@ -1,0 +1,168 @@
+package core
+
+// State export and import: the canonical serializable form of the
+// engine's durable state, used by the write-ahead log's snapshots and
+// by the crash-recovery tests' byte-identity oracle.
+//
+// The export deliberately covers only what recovery must reproduce:
+// the sequence counter, the journal coverage mark, the fault state
+// (disabled elements and links), and every live admission's layout.
+// Lifetime counters (Stats), per-phase times and element wear are
+// diagnostics, not allocation state — they are documented as
+// non-durable and reset on recovery.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/binding"
+	"repro/internal/graph"
+	"repro/internal/routing"
+)
+
+// AdmissionExport is one admitted application's durable state: the
+// execution layout, reduced to plain data.
+type AdmissionExport struct {
+	// Instance is the admission's unique name.
+	Instance string
+	// App is the admitted application bundle.
+	App *graph.Application
+	// Impls is the binding: the selected implementation index per task.
+	Impls []int
+	// Assignment is the mapping: the element ID per task.
+	Assignment []int
+	// Routes is the routing: the allocated channel paths.
+	Routes []routing.Route
+}
+
+// StateExport is the engine's durable state in canonical form: fields
+// in deterministic order, admissions sorted by instance name. Two
+// engines with equal exports hold identical allocation state.
+type StateExport struct {
+	// Seq is the admission sequence counter (instance-name suffix
+	// source). Rejected attempts consume numbers too, so Seq can
+	// exceed the count of ops ever journaled.
+	Seq int
+	// LastLSN is the log sequence number of the last journaled or
+	// replayed op; recovery uses it to align a snapshot with the log
+	// tail that follows it.
+	LastLSN uint64
+	// DisabledElements lists disabled element IDs, ascending.
+	DisabledElements []int
+	// DisabledLinks lists disabled directed links (from, to), in the
+	// platform's deterministic link order. Links disable in pairs, so
+	// both directions appear.
+	DisabledLinks [][2]int
+	// Admissions lists the live admissions sorted by instance name.
+	Admissions []AdmissionExport
+}
+
+// ExportState returns the engine's durable state in canonical form.
+func (k *Kairos) ExportState() *StateExport {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	se := &StateExport{Seq: k.seq, LastLSN: k.lastLSN}
+	for _, e := range k.p.Elements() {
+		if !e.Enabled() {
+			se.DisabledElements = append(se.DisabledElements, e.ID)
+		}
+	}
+	for _, l := range k.p.Links() {
+		if !l.Enabled() {
+			se.DisabledLinks = append(se.DisabledLinks, [2]int{l.From, l.To})
+		}
+	}
+	names := make([]string, 0, len(k.admitted))
+	for n := range k.admitted {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		adm := k.admitted[n]
+		impls := make([]int, len(adm.App.Tasks))
+		for i := range impls {
+			impls[i] = adm.Binding.ImplIndex(i)
+		}
+		routes := make([]routing.Route, len(adm.Routes))
+		for i, rt := range adm.Routes {
+			routes[i] = routing.Route{Channel: rt.Channel, Path: append([]int(nil), rt.Path...)}
+		}
+		se.Admissions = append(se.Admissions, AdmissionExport{
+			Instance:   n,
+			App:        adm.App,
+			Impls:      impls,
+			Assignment: append([]int(nil), adm.Assignment...),
+			Routes:     routes,
+		})
+	}
+	return se
+}
+
+// ImportState loads an exported state into a freshly constructed
+// engine (recovery's snapshot-load step): the fault state is applied
+// and every admission's layout is replayed onto the platform exactly
+// as recorded, without re-running the workflow. The engine must be
+// unused — importing over live state would corrupt the platform.
+func (k *Kairos) ImportState(se *StateExport) error {
+	k.mu.Lock()
+	defer k.unlockAndPublish()
+	if len(k.admitted) != 0 || k.seq != 0 {
+		return errors.New("kairos: state import into a used manager")
+	}
+	for _, id := range se.DisabledElements {
+		if k.p.Element(id) == nil {
+			return fmt.Errorf("kairos: snapshot disables unknown element %d", id)
+		}
+		k.p.DisableElement(id)
+	}
+	for _, ab := range se.DisabledLinks {
+		if k.p.Link(ab[0], ab[1]) == nil {
+			return fmt.Errorf("kairos: snapshot disables unknown link %d-%d", ab[0], ab[1])
+		}
+		k.p.DisableLink(ab[0], ab[1])
+	}
+	for _, ax := range se.Admissions {
+		if ax.App == nil {
+			return fmt.Errorf("kairos: snapshot admission %q without application", ax.Instance)
+		}
+		if err := ax.App.Validate(); err != nil {
+			return fmt.Errorf("kairos: snapshot admission %q: %w", ax.Instance, err)
+		}
+		bind, err := binding.FromSelection(ax.App, ax.Impls)
+		if err != nil {
+			return fmt.Errorf("kairos: snapshot admission %q: %w", ax.Instance, err)
+		}
+		if len(ax.Assignment) != len(ax.App.Tasks) {
+			return fmt.Errorf("kairos: snapshot admission %q: %d assignments for %d tasks",
+				ax.Instance, len(ax.Assignment), len(ax.App.Tasks))
+		}
+		for _, elem := range ax.Assignment {
+			if k.p.Element(elem) == nil {
+				return fmt.Errorf("kairos: snapshot admission %q assigned to unknown element %d", ax.Instance, elem)
+			}
+		}
+		adm := &Admission{
+			Instance:   ax.Instance,
+			App:        ax.App,
+			Binding:    bind,
+			Assignment: append([]int(nil), ax.Assignment...),
+			Routes:     ax.Routes,
+		}
+		if err := k.restoreLayoutLocked(adm); err != nil {
+			return fmt.Errorf("kairos: snapshot admission %q: layout replay failed: %w", ax.Instance, err)
+		}
+		k.admitted[ax.Instance] = adm
+	}
+	k.seq = se.Seq
+	k.lastLSN = se.LastLSN
+	return nil
+}
+
+// LastLSN returns the log sequence number of the last op this engine
+// journaled or replayed (zero when nothing was ever journaled).
+func (k *Kairos) LastLSN() uint64 {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.lastLSN
+}

@@ -1,0 +1,328 @@
+package core
+
+// This file is the engine's durability surface: a journal hook that
+// records every committed state transition (the basis of the
+// write-ahead log in internal/wal), manager-mediated fault injection
+// so enable/disable transitions are recorded too, and the
+// deterministic replay entry point recovery drives.
+//
+// The contract is strict ordering: an op is appended to the journal
+// under the platform-state mutex, after its validate-commit has
+// mutated the platform and before its event is published. A journal
+// append failure aborts the op — the just-committed mutation is
+// unwound (or the just-freed layout replayed) so the engine never
+// acknowledges state the log does not carry.
+//
+// Replay re-executes recorded ops through the ordinary workflow code
+// paths: the four phases are deterministic for a fixed platform state
+// and option set, so re-admitting the recorded application bundle
+// reproduces the original layout bit for bit. The only extra
+// bookkeeping a record carries is the engine sequence number its
+// admission attempt consumed — rejected attempts (never journaled)
+// also consume sequence numbers, so every replayed attempt pins the
+// counter before it runs to keep recovered instance names identical.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/mapping"
+	"repro/internal/platform"
+	"repro/internal/routing"
+)
+
+// OpKind identifies one durable operation.
+type OpKind uint8
+
+// The durable operation kinds.
+const (
+	// OpAdmit: a successful admission (Admit or one AdmitAll entry).
+	OpAdmit OpKind = iota + 1
+	// OpRelease: an explicit release.
+	OpRelease
+	// OpReadmit: a successful readmission (the release half and the
+	// fresh admission replay as one op).
+	OpReadmit
+	// OpEvict: an admission definitively lost by a failed readmission
+	// whose layout replay also failed (externally corrupted platform).
+	OpEvict
+	// OpElement: an element enabled/disabled through the manager.
+	OpElement
+	// OpLink: a physical link enabled/disabled through the manager.
+	OpLink
+)
+
+func (o OpKind) String() string {
+	switch o {
+	case OpAdmit:
+		return "admit"
+	case OpRelease:
+		return "release"
+	case OpReadmit:
+		return "readmit"
+	case OpEvict:
+		return "evict"
+	case OpElement:
+		return "element"
+	case OpLink:
+		return "link"
+	default:
+		return fmt.Sprintf("op(%d)", int(o))
+	}
+}
+
+// Op is one durable state transition of the engine, the unit the
+// write-ahead log records and recovery replays.
+type Op struct {
+	Kind OpKind
+	// Seq is the engine sequence number the op's admission attempt
+	// consumed (OpAdmit: the new instance's number; OpReadmit: the
+	// fresh admission's number). Replay pins the counter to Seq-1
+	// before re-executing, so recovered instance names match even
+	// though rejected attempts — which also consume numbers — are
+	// never journaled.
+	Seq int
+	// Instance names the admission the op concerns: the new instance
+	// for OpAdmit, the released/retired/lost one otherwise.
+	Instance string
+	// App is the admitted application (OpAdmit only).
+	App *graph.Application
+	// Elem is the element ID (OpElement).
+	Elem int
+	// A, B name the physical link (OpLink).
+	A, B int
+	// Enabled is the new state (OpElement, OpLink).
+	Enabled bool
+}
+
+// Journal records committed engine operations durably. Append is
+// called with the platform-state mutex held, after the op's commit and
+// before its event is published, and returns the op's log sequence
+// number; an error aborts the op (the engine unwinds the commit and
+// returns ErrJournal to the caller).
+type Journal interface {
+	Append(op Op) (uint64, error)
+}
+
+// ErrJournal matches every operation aborted because its journal
+// append failed; the underlying I/O error is in the message.
+var ErrJournal = errors.New("kairos: journal append failed")
+
+// journalLocked appends one op when a journal is attached. Called with
+// k.mu held.
+func (k *Kairos) journalLocked(op Op) error {
+	if k.journal == nil {
+		return nil
+	}
+	lsn, err := k.journal.Append(op)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrJournal, err)
+	}
+	k.lastLSN = lsn
+	return nil
+}
+
+// AttachJournal attaches (or, with nil, detaches) the journal. The
+// durability layer attaches after recovery has replayed the log tail,
+// so replayed ops are never re-recorded.
+func (k *Kairos) AttachJournal(j Journal) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.journal = j
+}
+
+// commitAdmitLocked journals a fresh admission and queues its event.
+// On journal failure the admission is unwound — platform and
+// bookkeeping byte-identical to before the attempt — and the
+// ErrJournal-wrapped error is returned for the caller to surface.
+func (k *Kairos) commitAdmitLocked(adm *Admission) error {
+	// k.seq is adm's own number: admitLocked's attempt was the last
+	// consumer under this lock hold.
+	if jerr := k.journalLocked(Op{Kind: OpAdmit, Seq: k.seq, Instance: adm.Instance, App: adm.App}); jerr != nil {
+		k.unwindAdmitLocked(adm)
+		return jerr
+	}
+	k.emit(Admitted{Adm: adm})
+	return nil
+}
+
+// unwindAdmitLocked reverses a just-committed admission (journal
+// append failed): frees its routes and placements, removes it from the
+// admitted table and reverses the stats the attempt recorded.
+func (k *Kairos) unwindAdmitLocked(adm *Admission) {
+	routing.ReleaseAll(k.p, adm.Routes)
+	mapping.UnmapAssigned(k.p, adm.Instance, adm.App, adm.Assignment)
+	delete(k.admitted, adm.Instance)
+	k.stats.Attempts--
+	k.stats.Admitted--
+}
+
+// SetElementEnabled enables or disables a platform element through the
+// manager, so the transition is journaled (fault injection that
+// bypasses the manager is invisible to recovery). Disabling follows
+// platform semantics: existing placements stay (tasks cannot migrate),
+// new placements and routes avoid the element. A no-op transition is
+// not journaled.
+func (k *Kairos) SetElementEnabled(id int, enabled bool) error {
+	k.mu.Lock()
+	defer k.unlockAndPublish()
+	e := k.p.Element(id)
+	if e == nil {
+		return fmt.Errorf("kairos: no element %d", id)
+	}
+	if e.Enabled() == enabled {
+		return nil
+	}
+	k.setElement(id, enabled)
+	if jerr := k.journalLocked(Op{Kind: OpElement, Elem: id, Enabled: enabled}); jerr != nil {
+		k.setElement(id, !enabled)
+		return jerr
+	}
+	return nil
+}
+
+func (k *Kairos) setElement(id int, enabled bool) {
+	if enabled {
+		k.p.EnableElement(id)
+	} else {
+		k.p.DisableElement(id)
+	}
+}
+
+// SetLinkEnabled enables or disables both directions of the physical
+// link a-b through the manager, journaling the transition. A no-op
+// transition is not journaled.
+func (k *Kairos) SetLinkEnabled(a, b int, enabled bool) error {
+	k.mu.Lock()
+	defer k.unlockAndPublish()
+	l := k.p.Link(a, b)
+	if l == nil {
+		return fmt.Errorf("kairos: no link %d-%d", a, b)
+	}
+	if l.Enabled() == enabled {
+		return nil
+	}
+	k.setLink(a, b, enabled)
+	if jerr := k.journalLocked(Op{Kind: OpLink, A: a, B: b, Enabled: enabled}); jerr != nil {
+		k.setLink(a, b, !enabled)
+		return jerr
+	}
+	return nil
+}
+
+func (k *Kairos) setLink(a, b int, enabled bool) {
+	if enabled {
+		k.p.EnableLink(a, b)
+	} else {
+		k.p.DisableLink(a, b)
+	}
+}
+
+// ReplayOp deterministically re-executes one recorded op during
+// recovery, then marks the engine as having applied the record's log
+// sequence number. The engine must not have a journal attached
+// (replayed ops must not be re-recorded) and must be driven from a
+// state reached by replaying the preceding ops — the four-phase
+// workflow is deterministic, so re-admitting the recorded application
+// reproduces the recorded layout; any divergence (wrong instance name,
+// a rejection where the log says success) is reported as corruption.
+func (k *Kairos) ReplayOp(lsn uint64, op Op) error {
+	k.mu.Lock()
+	defer k.unlockAndPublish()
+	if k.journal != nil {
+		return errors.New("kairos: replay with a journal attached")
+	}
+	var err error
+	switch op.Kind {
+	case OpAdmit:
+		if op.App == nil {
+			err = errors.New("kairos: replay admit without application")
+			break
+		}
+		k.seq = op.Seq - 1
+		var adm *Admission
+		adm, err = k.admitLocked(context.Background(), op.App)
+		if err == nil && adm.Instance != op.Instance {
+			err = fmt.Errorf("kairos: replay diverged: admitted %q, log records %q", adm.Instance, op.Instance)
+		}
+	case OpRelease:
+		err = k.releaseLocked(op.Instance)
+	case OpReadmit:
+		k.seq = op.Seq - 1
+		_, err = k.readmitLocked(context.Background(), op.Instance)
+	case OpEvict:
+		adm, ok := k.admitted[op.Instance]
+		if !ok {
+			err = fmt.Errorf("%w: %q", ErrUnknownInstance, op.Instance)
+			break
+		}
+		k.dropLocked(adm)
+	case OpElement:
+		if k.p.Element(op.Elem) == nil {
+			err = fmt.Errorf("kairos: replay references unknown element %d", op.Elem)
+			break
+		}
+		k.setElement(op.Elem, op.Enabled)
+	case OpLink:
+		if k.p.Link(op.A, op.B) == nil {
+			err = fmt.Errorf("kairos: replay references unknown link %d-%d", op.A, op.B)
+			break
+		}
+		k.setLink(op.A, op.B, op.Enabled)
+	default:
+		err = fmt.Errorf("kairos: replay of unknown op kind %d", op.Kind)
+	}
+	if err != nil {
+		return fmt.Errorf("kairos: replaying lsn %d (%s %q): %w", lsn, op.Kind, op.Instance, err)
+	}
+	k.lastLSN = lsn
+	return nil
+}
+
+// restoreLayoutLocked replays an admission's recorded layout onto the
+// platform: every task placement (accepting disabled elements — the
+// layout existed before) and every route's virtual channels. The
+// caller guarantees the resources are free (they were released a
+// moment ago, or the platform is a fresh recovery target), so replay
+// cannot fail unless the platform was mutated behind the manager's
+// back; in that case the partial replay is unwound and the error says
+// so. Bookkeeping (admitted table, stats) stays the caller's.
+func (k *Kairos) restoreLayoutLocked(old *Admission) error {
+	restored := 0
+	var rerr error
+	for _, t := range old.App.Tasks {
+		occ := platform.Occupant{App: old.Instance, Task: t.ID}
+		if perr := k.p.Restore(old.Assignment[t.ID], occ, old.Binding.Demand(t.ID)); perr != nil {
+			rerr = perr
+			break
+		}
+		restored++
+	}
+	if rerr == nil {
+	routes:
+		for ri, rt := range old.Routes {
+			for i := 0; i+1 < len(rt.Path); i++ {
+				if perr := k.p.RestoreVC(rt.Path[i], rt.Path[i+1]); perr != nil {
+					rerr = perr
+					for j := 0; j < ri; j++ {
+						releaseRoute(k.p, old.Routes[j])
+					}
+					for i2 := 0; i2 < i; i2++ {
+						_ = k.p.ReleaseVC(rt.Path[i2], rt.Path[i2+1])
+					}
+					break routes
+				}
+			}
+		}
+	}
+	if rerr != nil {
+		for _, t := range old.App.Tasks[:restored] {
+			occ := platform.Occupant{App: old.Instance, Task: t.ID}
+			_ = k.p.Remove(old.Assignment[t.ID], occ)
+		}
+		return rerr
+	}
+	return nil
+}

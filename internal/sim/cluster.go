@@ -287,13 +287,20 @@ func (s *clusterSim) fault() {
 	s.res.Totals.Faults++
 	pick := s.faultRng.Intn(n)
 	repair := &event{kind: evRepair, shard: shard, elem: -1, link: [2]int{-1, -1}}
+	// Transitions go through the shard manager so durable runs journal
+	// them (see the single-platform simulator).
+	var err error
 	if pick < len(elems) {
-		p.DisableElement(elems[pick])
+		err = s.cluster.Shard(shard).SetElementEnabled(elems[pick], false)
 		repair.elem = elems[pick]
 	} else {
 		l := links[pick-len(elems)]
-		p.DisableLink(l[0], l[1])
+		err = s.cluster.Shard(shard).SetLinkEnabled(l[0], l[1], false)
 		repair.link = l
+	}
+	if err != nil {
+		s.res.Totals.Faults--
+		return
 	}
 	s.schedule(s.faultRng.ExpFloat64()*s.cfg.MeanRepair, repair)
 
@@ -322,13 +329,17 @@ func (s *clusterSim) fault() {
 }
 
 func (s *clusterSim) repair(ev *event) {
-	s.res.Totals.Repairs++
-	p := s.cluster.Shard(ev.shard).Platform()
+	m := s.cluster.Shard(ev.shard)
+	var err error
 	if ev.elem >= 0 {
-		p.EnableElement(ev.elem)
+		err = m.SetElementEnabled(ev.elem, true)
 	} else {
-		p.EnableLink(ev.link[0], ev.link[1])
+		err = m.SetLinkEnabled(ev.link[0], ev.link[1], true)
 	}
+	if err != nil {
+		return
+	}
+	s.res.Totals.Repairs++
 }
 
 func (s *clusterSim) finish() {

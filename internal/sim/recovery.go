@@ -1,0 +1,191 @@
+package sim
+
+// Kill/recover under churn: run a churn simulation with every
+// committed operation journaled to a write-ahead log, kill the
+// "process" at a fixed operation index (the journal refuses the
+// N+1th append, exactly as if the machine died mid-commit), then boot
+// a fresh manager from the log directory and probe it. The whole
+// scenario is deterministic for a fixed seed, so the recovery test
+// pins its full trace as a golden file.
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+
+	"repro/internal/appgen"
+	"repro/internal/core"
+	"repro/internal/platform"
+	"repro/internal/wal"
+	"repro/kairos"
+)
+
+// errKilled is the injected crash: the append never reached the log.
+var errKilled = errors.New("sim: injected kill")
+
+// killJournal journals to the log until the kill point, then fails
+// every append (the process is dead; nothing more becomes durable).
+type killJournal struct {
+	log       *wal.Log
+	remaining int
+	killed    bool
+}
+
+func (j *killJournal) Append(op core.Op) (uint64, error) {
+	if j.remaining <= 0 {
+		j.killed = true
+		return 0, errKilled
+	}
+	j.remaining--
+	return j.log.Append(0, op)
+}
+
+// RecoveredSummary describes the manager state rebuilt from the log.
+type RecoveredSummary struct {
+	// Seq is the recovered admission sequence counter.
+	Seq int `json:"seq"`
+	// LastLSN is the last replayed log sequence number — the number of
+	// operations that survived the kill.
+	LastLSN uint64 `json:"lastLSN"`
+	// Live is the number of recovered admissions.
+	Live int `json:"live"`
+	// Instances lists the recovered instance names, sorted.
+	Instances []string `json:"instances"`
+	// DisabledElements and DisabledLinks are the recovered fault state.
+	DisabledElements []int    `json:"disabledElements"`
+	DisabledLinks    [][2]int `json:"disabledLinks"`
+	// StateDigest is the SHA-256 of the canonical state encoding; two
+	// managers with the same digest hold identical allocation state.
+	StateDigest string `json:"stateDigest"`
+}
+
+// ProbeEvent is one post-recovery operation and its outcome: the
+// recovered manager must serve traffic, not just hold state.
+type ProbeEvent struct {
+	Op       string `json:"op"`
+	Instance string `json:"instance,omitempty"`
+	App      string `json:"app,omitempty"`
+	Outcome  string `json:"outcome"`
+}
+
+// RecoveryResult is the outcome of one kill/recover scenario. All of
+// it is deterministic for a fixed seed.
+type RecoveryResult struct {
+	KillAfterOps int `json:"killAfterOps"`
+	// Killed says the kill point was reached before the simulated
+	// horizon ran out.
+	Killed bool `json:"killed"`
+	// KilledAt is the simulated time of the crash (the horizon if the
+	// run finished first).
+	KilledAt float64 `json:"killedAt"`
+	// Trace is the pre-crash churn trace.
+	Trace []TraceEvent `json:"trace"`
+	// Recovered summarizes the state rebuilt from the log.
+	Recovered RecoveredSummary `json:"recovered"`
+	// Probe lists the post-recovery operations and outcomes.
+	Probe []ProbeEvent `json:"probe"`
+}
+
+// RunRecovery runs the kill/recover-under-churn scenario: a churn
+// simulation journaling into a fresh log under dir, killed after
+// killAfterOps committed operations, then recovered and probed. The
+// recovered manager is built from the same configuration, as recovery
+// requires.
+func RunRecovery(cfg Config, dir string, killAfterOps int) (*RecoveryResult, error) {
+	if cfg.Platform == nil {
+		cfg.Platform = platform.CRISP()
+	}
+	log, rec, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		return nil, err
+	}
+	if rec.Snapshot != nil || len(rec.Ops) > 0 {
+		log.Close()
+		return nil, fmt.Errorf("sim: recovery scenario needs a fresh log dir, %s has %d ops", dir, len(rec.Ops))
+	}
+	kj := &killJournal{log: log, remaining: killAfterOps}
+	simCfg := cfg
+	simCfg.journal = kj
+	simCfg.halt = func() bool { return kj.killed }
+	legacy := Run(simCfg)
+	// The crash abandons the log: no Close, no rotation — only what
+	// Append fsynced is on disk.
+
+	res := &RecoveryResult{
+		KillAfterOps: killAfterOps,
+		Killed:       kj.killed,
+		KilledAt:     lastTraceTime(legacy.Trace, cfg.Duration),
+		Trace:        legacy.Trace,
+	}
+
+	m, log2, err := kairos.Recover(dir, cfg.Platform.Clone(), cfg.managerOptions()...)
+	if err != nil {
+		return nil, fmt.Errorf("sim: recovery failed: %w", err)
+	}
+	defer log2.Close()
+
+	se := m.ExportState()
+	enc, err := wal.EncodeState(nil, se)
+	if err != nil {
+		return nil, err
+	}
+	digest := sha256.Sum256(enc)
+	sum := RecoveredSummary{
+		Seq:              se.Seq,
+		LastLSN:          se.LastLSN,
+		Live:             len(se.Admissions),
+		DisabledElements: se.DisabledElements,
+		DisabledLinks:    se.DisabledLinks,
+		StateDigest:      hex.EncodeToString(digest[:]),
+	}
+	for _, adm := range se.Admissions {
+		sum.Instances = append(sum.Instances, adm.Instance)
+	}
+	res.Recovered = sum
+
+	res.Probe = probe(m, cfg, sum.Instances)
+	return res, nil
+}
+
+// probe drives a short deterministic workload through the recovered
+// manager: release one pre-crash admission, then admit a few fresh
+// applications through the re-attached log.
+func probe(m *kairos.Manager, cfg Config, instances []string) []ProbeEvent {
+	var events []ProbeEvent
+	if len(instances) > 0 {
+		outcome := "released"
+		if err := m.Release(instances[0]); err != nil {
+			outcome = "error: " + err.Error()
+		}
+		events = append(events, ProbeEvent{Op: "release", Instance: instances[0], Outcome: outcome})
+	}
+	gen := appgen.New(appgen.NewConfig(appgen.Communication, appgen.Small), cfg.Seed+31337)
+	for i := 0; i < 3; i++ {
+		app := gen.Next()
+		adm, err := m.Admit(context.Background(), app)
+		ev := ProbeEvent{Op: "admit", App: app.Name}
+		if err != nil {
+			ev.Outcome = "rejected"
+			var pe *kairos.PhaseError
+			if errors.As(err, &pe) {
+				ev.Outcome = "rejected:" + pe.Phase.String()
+			}
+		} else {
+			ev.Outcome = "admitted"
+			ev.Instance = adm.Instance
+		}
+		events = append(events, ev)
+	}
+	return events
+}
+
+// lastTraceTime returns the time of the final trace event, or the
+// fallback for an empty trace.
+func lastTraceTime(trace []TraceEvent, fallback float64) float64 {
+	if len(trace) == 0 {
+		return fallback
+	}
+	return trace[len(trace)-1].T
+}

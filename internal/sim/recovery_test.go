@@ -1,0 +1,112 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_recovery.json from the current implementation")
+
+// recoveryConfig is the pinned kill/recover scenario: CRISP platform
+// under churn with aggressive fault injection, killed mid-run.
+func recoveryConfig() (Config, int) {
+	cfg := DefaultConfig()
+	cfg.Duration = 300
+	cfg.FaultRate = 1.0 / 30
+	return cfg, 40 // kill after the 40th committed op
+}
+
+// TestGoldenRecoveryTrace pins the full kill/recover-under-churn
+// scenario: the pre-crash trace, the recovered state (down to its
+// canonical digest) and the post-recovery probe outcomes must
+// reproduce the checked-in JSON byte for byte. After an intentional
+// behavior change, regenerate with
+//
+//	go test ./internal/sim -run GoldenRecovery -update-golden
+func TestGoldenRecoveryTrace(t *testing.T) {
+	cfg, killAt := recoveryConfig()
+	res, err := RunRecovery(cfg, t.TempDir(), killAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Killed {
+		t.Fatalf("simulation finished (%d ops durable) before the kill point %d; raise churn or the horizon",
+			res.Recovered.LastLSN, killAt)
+	}
+	if got := res.Recovered.LastLSN; got != uint64(killAt) {
+		t.Fatalf("recovered %d ops, want exactly the %d durable before the kill", got, killAt)
+	}
+
+	got, err := json.MarshalIndent(res, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+
+	path := filepath.Join("testdata", "golden_recovery.json")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", path, len(got))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("recovery trace diverged from %s (rerun with -update-golden after intentional changes)", path)
+	}
+}
+
+// TestRecoveryScenarioDeterministic runs the scenario twice in fresh
+// directories: byte-identical results, including the state digest.
+func TestRecoveryScenarioDeterministic(t *testing.T) {
+	cfg, killAt := recoveryConfig()
+	cfg.Duration = 150
+	killAt = 20
+	a, err := RunRecovery(cfg, t.TempDir(), killAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunRecovery(cfg, t.TempDir(), killAt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, _ := json.Marshal(a)
+	bj, _ := json.Marshal(b)
+	if !bytes.Equal(aj, bj) {
+		t.Error("two recovery runs with the same seed differ")
+	}
+}
+
+// TestRecoveryScenarioSurvivesRunToCompletion covers the no-kill path:
+// the horizon ends before the op budget, the log holds every op, and
+// recovery still lands on the final state.
+func TestRecoveryScenarioSurvivesRunToCompletion(t *testing.T) {
+	cfg, _ := recoveryConfig()
+	cfg.Duration = 60
+	res, err := RunRecovery(cfg, t.TempDir(), 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Killed {
+		t.Fatal("kill tripped despite an unreachable op budget")
+	}
+	if res.Recovered.LastLSN == 0 {
+		t.Fatal("nothing was journaled")
+	}
+	for _, ev := range res.Probe {
+		if ev.Op == "release" && ev.Outcome != "released" {
+			t.Errorf("post-recovery release failed: %+v", ev)
+		}
+	}
+}

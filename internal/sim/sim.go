@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"repro/internal/appgen"
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/graph"
 	"repro/internal/mapping"
@@ -76,6 +77,22 @@ type Config struct {
 	// strategies from the cmd/sim -binder/-mapper/-router flags),
 	// applied after the ones derived from Weights.
 	Options []kairos.Option
+
+	// journal, when set, is attached to the manager after construction,
+	// and halt is checked after every event; both are the
+	// crash-recovery scenario's plumbing (see RunRecovery).
+	journal core.Journal
+	halt    func() bool
+}
+
+// managerOptions returns the option list Run constructs its manager
+// with; RunRecovery must boot the recovered manager with the same
+// options, since recovery re-executes the journaled workflow.
+func (cfg Config) managerOptions() []kairos.Option {
+	return append([]kairos.Option{
+		kairos.WithWeights(cfg.Weights),
+		kairos.WithAdvisoryValidation(),
+	}, cfg.Options...)
 }
 
 // DefaultConfig returns a CRISP-platform configuration with sustained
@@ -302,10 +319,10 @@ func Run(cfg Config) *Result {
 	// The synthetic profiles carry no performance constraints and
 	// the paper does not reject in validation for them (§IV); the
 	// phase still runs and is timed (advisory validation).
-	s.k = kairos.New(s.p, append([]kairos.Option{
-		kairos.WithWeights(cfg.Weights),
-		kairos.WithAdvisoryValidation(),
-	}, cfg.Options...)...)
+	s.k = kairos.New(s.p, cfg.managerOptions()...)
+	if cfg.journal != nil {
+		s.k.AttachJournal(cfg.journal)
+	}
 	// One generator per dataset profile, each on its own derived
 	// stream, so the app mix matches the six datasets of Table I.
 	for i, gcfg := range experiments.AllConfigs() {
@@ -345,6 +362,9 @@ func Run(cfg Config) *Result {
 		case evSample:
 			s.sample()
 			s.schedule(cfg.SampleEvery, &event{kind: evSample})
+		}
+		if cfg.halt != nil && cfg.halt() {
+			break // the crash scenario killed the process mid-run
 		}
 	}
 	s.advance(cfg.Duration)
@@ -541,17 +561,28 @@ func (s *simulator) fault() {
 	s.res.Totals.Faults++
 	pick := s.faultRng.Intn(n)
 	repair := &event{kind: evRepair, elem: -1, link: [2]int{-1, -1}}
+	// Fault transitions go through the manager, not the platform, so a
+	// durable run journals them: recovery must reproduce the fault
+	// state, or replayed admissions would map onto dead elements.
 	var target string
+	var err error
 	if pick < len(elems) {
 		id := elems[pick]
-		s.p.DisableElement(id)
+		err = s.k.SetElementEnabled(id, false)
 		repair.elem = id
 		target = s.p.Element(id).Name
 	} else {
 		l := links[pick-len(elems)]
-		s.p.DisableLink(l[0], l[1])
+		err = s.k.SetLinkEnabled(l[0], l[1], false)
 		repair.link = l
 		target = fmt.Sprintf("%s-%s", s.p.Element(l[0]).Name, s.p.Element(l[1]).Name)
+	}
+	if err != nil {
+		// Journal failure: the transition was rolled back; no repair to
+		// schedule.
+		s.res.Totals.Faults--
+		s.trace(TraceEvent{Event: "fault", Target: target, Outcome: "fault-error"})
+		return
 	}
 	s.schedule(s.faultExp(s.cfg.MeanRepair), repair)
 	s.trace(TraceEvent{Event: "fault", Target: target, Outcome: "disabled"})
@@ -561,17 +592,23 @@ func (s *simulator) fault() {
 	}
 }
 
-// repair re-enables a faulted element or link.
+// repair re-enables a faulted element or link (journaled, like the
+// fault itself).
 func (s *simulator) repair(ev *event) {
-	s.res.Totals.Repairs++
 	var target string
+	var err error
 	if ev.elem >= 0 {
-		s.p.EnableElement(ev.elem)
+		err = s.k.SetElementEnabled(ev.elem, true)
 		target = s.p.Element(ev.elem).Name
 	} else {
-		s.p.EnableLink(ev.link[0], ev.link[1])
+		err = s.k.SetLinkEnabled(ev.link[0], ev.link[1], true)
 		target = fmt.Sprintf("%s-%s", s.p.Element(ev.link[0]).Name, s.p.Element(ev.link[1]).Name)
 	}
+	if err != nil {
+		s.trace(TraceEvent{Event: "repair", Target: target, Outcome: "repair-error"})
+		return
+	}
+	s.res.Totals.Repairs++
 	s.trace(TraceEvent{Event: "repair", Target: target, Outcome: "repaired"})
 }
 

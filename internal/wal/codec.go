@@ -1,0 +1,401 @@
+// Package wal implements the durable admission log behind the public
+// package's WithDurability/Recover surface: a length-prefixed,
+// CRC32-checksummed, fsync-on-commit write-ahead log of committed
+// engine operations (core.Op), with full-state snapshots and
+// checkpoint compaction.
+//
+// On disk a log directory holds segment files (seg-<firstLSN>.wal,
+// rotated by size) and snapshot files (snap-<lsn>.snap, written by
+// Checkpoint via temp-file + atomic rename). Every record — op or
+// snapshot — is framed as
+//
+//	u32 payload length | u32 CRC32(payload) | payload
+//
+// in little-endian, and every file starts with an 8-byte magic. An op
+// payload is the log sequence number, the owning shard, and the op
+// itself; a snapshot payload is one canonical core.StateExport per
+// shard. Only the tail of the final segment can be torn (appends are
+// sequential and fsynced); recovery truncates it to the last durable
+// record and treats a bad CRC anywhere else as corruption.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/routing"
+)
+
+const (
+	segMagic  = "KWALSEG1"
+	snapMagic = "KWALSNP1"
+	// frameHeader is the record framing overhead: payload length + CRC.
+	frameHeader = 8
+	// maxRecord bounds a record's payload so a corrupt length prefix
+	// cannot drive a giant allocation.
+	maxRecord = 16 << 20
+)
+
+// ErrCorrupt matches every recovery failure caused by undecodable log
+// or snapshot contents (bad magic, bad CRC outside the torn tail, an
+// impossible field).
+var ErrCorrupt = errors.New("wal: corrupt")
+
+// RecordedOp is one decoded log record: the op, the shard whose engine
+// journaled it, and its log sequence number.
+type RecordedOp struct {
+	LSN   uint64
+	Shard int
+	Op    core.Op
+}
+
+// --- primitive append helpers (little-endian) ---
+
+func appendU8(b []byte, v uint8) []byte   { return append(b, v) }
+func appendU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+
+func appendString(b []byte, s string) []byte {
+	b = appendU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+func appendBytes(b, p []byte) []byte {
+	b = appendU32(b, uint32(len(p)))
+	return append(b, p...)
+}
+
+func appendInts(b []byte, v []int) []byte {
+	b = appendU32(b, uint32(len(v)))
+	for _, x := range v {
+		b = appendU32(b, uint32(int32(x)))
+	}
+	return b
+}
+
+// reader is a bounds-checked cursor over a payload; the first error
+// sticks and every subsequent read returns zero values.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: truncated %s at offset %d", ErrCorrupt, what, r.off)
+	}
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil || r.off+1 > len(r.b) {
+		r.fail("u8")
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil || r.off+4 > len(r.b) {
+		r.fail("u32")
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil || r.off+8 > len(r.b) {
+		r.fail("u64")
+		return 0
+	}
+	v := binary.LittleEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v
+}
+
+func (r *reader) bytes() []byte {
+	n := r.u32()
+	if r.err != nil || n > maxRecord || r.off+int(n) > len(r.b) {
+		r.fail("bytes")
+		return nil
+	}
+	v := r.b[r.off : r.off+int(n)]
+	r.off += int(n)
+	return v
+}
+
+func (r *reader) str() string { return string(r.bytes()) }
+
+func (r *reader) ints() []int {
+	n := r.u32()
+	if r.err != nil || n > maxRecord/4 {
+		r.fail("int slice")
+		return nil
+	}
+	out := make([]int, 0, n)
+	for i := uint32(0); i < n; i++ {
+		out = append(out, int(int32(r.u32())))
+	}
+	return out
+}
+
+func (r *reader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(r.b)-r.off)
+	}
+	return nil
+}
+
+// --- record framing ---
+
+// appendFrame appends the len|crc|payload frame for the payload.
+func appendFrame(b, payload []byte) []byte {
+	b = appendU32(b, uint32(len(payload)))
+	b = appendU32(b, crc32.ChecksumIEEE(payload))
+	return append(b, payload...)
+}
+
+// readFrame extracts the payload of the frame starting at b[off]. It
+// reports (payload, next offset, nil) for a whole, checksummed frame;
+// errTorn when the frame runs past the end of b or its CRC mismatches
+// (indistinguishable torn-tail shapes); a wrapped ErrCorrupt for an
+// impossible length.
+var errTorn = errors.New("wal: torn record")
+
+func readFrame(b []byte, off int) ([]byte, int, error) {
+	if off+frameHeader > len(b) {
+		return nil, off, errTorn
+	}
+	n := binary.LittleEndian.Uint32(b[off:])
+	if n > maxRecord {
+		return nil, off, fmt.Errorf("%w: record length %d exceeds limit", ErrCorrupt, n)
+	}
+	crc := binary.LittleEndian.Uint32(b[off+4:])
+	start := off + frameHeader
+	if start+int(n) > len(b) {
+		return nil, off, errTorn
+	}
+	payload := b[start : start+int(n)]
+	if crc32.ChecksumIEEE(payload) != crc {
+		return nil, off, errTorn
+	}
+	return payload, start + int(n), nil
+}
+
+// --- op codec ---
+
+// EncodeOp appends the op's record payload (not the frame) to b.
+func EncodeOp(b []byte, lsn uint64, shard int, op core.Op) ([]byte, error) {
+	if shard < 0 || op.Seq < 0 || op.Seq > math.MaxUint32 {
+		return nil, fmt.Errorf("wal: op out of range (shard %d, seq %d)", shard, op.Seq)
+	}
+	b = appendU64(b, lsn)
+	b = appendU32(b, uint32(shard))
+	b = appendU8(b, uint8(op.Kind))
+	switch op.Kind {
+	case core.OpAdmit:
+		app, err := graph.Bytes(op.App)
+		if err != nil {
+			return nil, fmt.Errorf("wal: encoding admitted application: %w", err)
+		}
+		b = appendU32(b, uint32(op.Seq))
+		b = appendString(b, op.Instance)
+		b = appendBytes(b, app)
+	case core.OpRelease, core.OpEvict:
+		b = appendString(b, op.Instance)
+	case core.OpReadmit:
+		b = appendU32(b, uint32(op.Seq))
+		b = appendString(b, op.Instance)
+	case core.OpElement:
+		b = appendU32(b, uint32(int32(op.Elem)))
+		b = appendU8(b, boolByte(op.Enabled))
+	case core.OpLink:
+		b = appendU32(b, uint32(int32(op.A)))
+		b = appendU32(b, uint32(int32(op.B)))
+		b = appendU8(b, boolByte(op.Enabled))
+	default:
+		return nil, fmt.Errorf("wal: unknown op kind %d", op.Kind)
+	}
+	return b, nil
+}
+
+func boolByte(v bool) byte {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// DecodeOp decodes one op record payload.
+func DecodeOp(payload []byte) (RecordedOp, error) {
+	r := &reader{b: payload}
+	rec := RecordedOp{LSN: r.u64(), Shard: int(r.u32())}
+	rec.Op.Kind = core.OpKind(r.u8())
+	switch rec.Op.Kind {
+	case core.OpAdmit:
+		rec.Op.Seq = int(r.u32())
+		rec.Op.Instance = r.str()
+		appBytes := r.bytes()
+		if r.err == nil {
+			app, err := graph.FromBytes(appBytes)
+			if err != nil {
+				return rec, fmt.Errorf("%w: embedded application: %v", ErrCorrupt, err)
+			}
+			rec.Op.App = app
+		}
+	case core.OpRelease, core.OpEvict:
+		rec.Op.Instance = r.str()
+	case core.OpReadmit:
+		rec.Op.Seq = int(r.u32())
+		rec.Op.Instance = r.str()
+	case core.OpElement:
+		rec.Op.Elem = int(int32(r.u32()))
+		rec.Op.Enabled = r.u8() != 0
+	case core.OpLink:
+		rec.Op.A = int(int32(r.u32()))
+		rec.Op.B = int(int32(r.u32()))
+		rec.Op.Enabled = r.u8() != 0
+	default:
+		return rec, fmt.Errorf("%w: unknown op kind %d", ErrCorrupt, rec.Op.Kind)
+	}
+	if err := r.done(); err != nil {
+		return rec, err
+	}
+	return rec, nil
+}
+
+// --- state codec ---
+
+// EncodeState appends the canonical byte encoding of one engine state
+// export to b. Recovery tests use equality of these bytes as the
+// byte-identity oracle: two engines with equal encodings hold
+// identical durable state.
+func EncodeState(b []byte, se *core.StateExport) ([]byte, error) {
+	if se.Seq < 0 || se.Seq > math.MaxUint32 {
+		return nil, fmt.Errorf("wal: state seq %d out of range", se.Seq)
+	}
+	b = appendU32(b, uint32(se.Seq))
+	b = appendU64(b, se.LastLSN)
+	b = appendInts(b, se.DisabledElements)
+	b = appendU32(b, uint32(len(se.DisabledLinks)))
+	for _, l := range se.DisabledLinks {
+		b = appendU32(b, uint32(int32(l[0])))
+		b = appendU32(b, uint32(int32(l[1])))
+	}
+	b = appendU32(b, uint32(len(se.Admissions)))
+	for _, a := range se.Admissions {
+		app, err := graph.Bytes(a.App)
+		if err != nil {
+			return nil, fmt.Errorf("wal: encoding application of %q: %w", a.Instance, err)
+		}
+		b = appendString(b, a.Instance)
+		b = appendBytes(b, app)
+		b = appendInts(b, a.Impls)
+		b = appendInts(b, a.Assignment)
+		b = appendU32(b, uint32(len(a.Routes)))
+		for _, rt := range a.Routes {
+			b = appendU32(b, uint32(int32(rt.Channel)))
+			b = appendInts(b, rt.Path)
+		}
+	}
+	return b, nil
+}
+
+// DecodeState decodes one engine state export.
+func DecodeState(payload []byte) (*core.StateExport, error) {
+	r := &reader{b: payload}
+	se := &core.StateExport{Seq: int(r.u32()), LastLSN: r.u64()}
+	se.DisabledElements = r.ints()
+	nLinks := r.u32()
+	if r.err == nil && nLinks > maxRecord/8 {
+		return nil, fmt.Errorf("%w: %d disabled links", ErrCorrupt, nLinks)
+	}
+	for i := uint32(0); i < nLinks && r.err == nil; i++ {
+		se.DisabledLinks = append(se.DisabledLinks, [2]int{int(int32(r.u32())), int(int32(r.u32()))})
+	}
+	nAdm := r.u32()
+	if r.err == nil && nAdm > maxRecord/8 {
+		return nil, fmt.Errorf("%w: %d admissions", ErrCorrupt, nAdm)
+	}
+	for i := uint32(0); i < nAdm && r.err == nil; i++ {
+		a := core.AdmissionExport{Instance: r.str()}
+		appBytes := r.bytes()
+		if r.err == nil {
+			app, err := graph.FromBytes(appBytes)
+			if err != nil {
+				return nil, fmt.Errorf("%w: application of %q: %v", ErrCorrupt, a.Instance, err)
+			}
+			a.App = app
+		}
+		a.Impls = r.ints()
+		a.Assignment = r.ints()
+		nRoutes := r.u32()
+		if r.err == nil && nRoutes > maxRecord/8 {
+			return nil, fmt.Errorf("%w: %d routes", ErrCorrupt, nRoutes)
+		}
+		for j := uint32(0); j < nRoutes && r.err == nil; j++ {
+			rt := routing.Route{Channel: int(int32(r.u32()))}
+			rt.Path = r.ints()
+			a.Routes = append(a.Routes, rt)
+		}
+		se.Admissions = append(se.Admissions, a)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return se, nil
+}
+
+// EncodeSnapshot appends the payload of a whole-cluster snapshot
+// record: one state export per shard, in shard order.
+func EncodeSnapshot(b []byte, states []*core.StateExport) ([]byte, error) {
+	b = appendU32(b, uint32(len(states)))
+	for i, se := range states {
+		stateStart := len(b)
+		b = appendU32(b, 0) // placeholder length
+		var err error
+		b, err = EncodeState(b, se)
+		if err != nil {
+			return nil, fmt.Errorf("wal: shard %d: %w", i, err)
+		}
+		binary.LittleEndian.PutUint32(b[stateStart:], uint32(len(b)-stateStart-4))
+	}
+	return b, nil
+}
+
+// DecodeSnapshot decodes a whole-cluster snapshot payload.
+func DecodeSnapshot(payload []byte) ([]*core.StateExport, error) {
+	r := &reader{b: payload}
+	n := r.u32()
+	if r.err == nil && n > 1<<16 {
+		return nil, fmt.Errorf("%w: %d shards", ErrCorrupt, n)
+	}
+	states := make([]*core.StateExport, 0, n)
+	for i := uint32(0); i < n; i++ {
+		stateBytes := r.bytes()
+		if r.err != nil {
+			break
+		}
+		se, err := DecodeState(stateBytes)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		states = append(states, se)
+	}
+	if err := r.done(); err != nil {
+		return nil, err
+	}
+	return states, nil
+}

@@ -1,0 +1,493 @@
+package wal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// DefaultSegmentBytes is the segment rotation threshold when
+// Options.SegmentBytes is zero.
+const DefaultSegmentBytes = 1 << 20
+
+// File is the writable-file surface the log needs. *os.File satisfies
+// it; the crash-injection test harness substitutes writers that fail
+// or tear after a byte budget.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// Options configures a log.
+type Options struct {
+	// SegmentBytes rotates the active segment once its size reaches
+	// the threshold; zero means DefaultSegmentBytes.
+	SegmentBytes int64
+	// NoSync skips the fsync after each append and checkpoint write.
+	// Benchmarks use it to measure replay cost without I/O latency;
+	// a crash can then lose acknowledged operations.
+	NoSync bool
+	// OpenFile creates a file for writing (segments, snapshot temp
+	// files); nil means os.Create. The crash-injection harness
+	// substitutes failing writers here.
+	OpenFile func(path string) (File, error)
+}
+
+func (o Options) segmentBytes() int64 {
+	if o.SegmentBytes > 0 {
+		return o.SegmentBytes
+	}
+	return DefaultSegmentBytes
+}
+
+func (o Options) openFile(path string) (File, error) {
+	if o.OpenFile != nil {
+		return o.OpenFile(path)
+	}
+	return os.Create(path)
+}
+
+// Recovered is what Open found on disk: the newest valid snapshot (nil
+// for a fresh or snapshot-less directory) and every durable op record
+// still present, in ascending LSN order. Ops already covered by the
+// snapshot may be included (compaction is lazy); replay filters them
+// with each shard's snapshot LastLSN.
+type Recovered struct {
+	// Snapshot holds one state export per shard, or nil.
+	Snapshot []*core.StateExport
+	// SnapshotLSN is the LSN the snapshot file was named with (the
+	// log's last assigned LSN at checkpoint time); zero without one.
+	SnapshotLSN uint64
+	// Ops are the durable op records, ascending by LSN.
+	Ops []RecordedOp
+}
+
+// Log is the write-ahead log: an append-only sequence of op records in
+// size-rotated segment files plus checkpoint snapshots, all under one
+// directory. Safe for concurrent use. Every append is fsynced before
+// it returns (unless Options.NoSync), so an acknowledged op survives a
+// crash; a write or sync failure is sticky — the log refuses further
+// appends, because the tail's durability is unknown.
+type Log struct {
+	mu      sync.Mutex
+	dir     string
+	opts    Options
+	seg     File
+	segPath string
+	segSize int64
+	// segFirst is the first LSN of the active segment (its filename).
+	segFirst uint64
+	nextLSN  uint64
+	// opBuf and frameBuf are reused append scratch space.
+	opBuf    []byte
+	frameBuf []byte
+	closed   bool
+	failed   error
+}
+
+// Open opens (creating if needed) the log directory, recovers its
+// durable contents, truncates any torn tail of the final segment, and
+// starts a fresh active segment for appends. The returned Recovered
+// holds the snapshot and op records for the caller to replay; the
+// returned Log is ready for appends continuing the LSN sequence.
+func Open(dir string, opts Options) (*Log, *Recovered, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	rec, lastLSN, err := scan(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	l := &Log{dir: dir, opts: opts, nextLSN: lastLSN + 1}
+	if err := l.startSegmentLocked(); err != nil {
+		return nil, nil, err
+	}
+	return l, rec, nil
+}
+
+// Dir returns the log directory.
+func (l *Log) Dir() string { return l.dir }
+
+// NextLSN returns the LSN the next append will be assigned.
+func (l *Log) NextLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN
+}
+
+// Append durably records one shard-tagged op and returns its LSN. It
+// satisfies core.Journal (curried per shard — see the kairos layer).
+func (l *Log) Append(shard int, op core.Op) (uint64, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("wal: log closed")
+	}
+	if l.failed != nil {
+		return 0, fmt.Errorf("wal: log failed earlier: %w", l.failed)
+	}
+	// Rotate before writing, never after: once a record is durable the
+	// append must succeed, or the engine would roll back an op the log
+	// will replay.
+	if l.segSize >= l.opts.segmentBytes() {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	lsn := l.nextLSN
+	payload, err := EncodeOp(l.opBuf[:0], lsn, shard, op)
+	if err != nil {
+		return 0, err
+	}
+	l.opBuf = payload
+	frame := appendFrame(l.frameBuf[:0], payload)
+	l.frameBuf = frame
+	if _, err := l.seg.Write(frame); err != nil {
+		l.failed = err
+		return 0, err
+	}
+	if !l.opts.NoSync {
+		if err := l.seg.Sync(); err != nil {
+			l.failed = err
+			return 0, err
+		}
+	}
+	l.nextLSN++
+	l.segSize += int64(len(frame))
+	return lsn, nil
+}
+
+// Checkpoint durably writes a full snapshot (one state export per
+// shard, in shard order) and compacts: closed segments whose every
+// record is covered by all shards' snapshots are deleted. The active
+// segment is rotated first so the log tail needed after this snapshot
+// starts in a fresh file.
+func (l *Log) Checkpoint(states []*core.StateExport) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: log closed")
+	}
+	payload, err := EncodeSnapshot(nil, states)
+	if err != nil {
+		return err
+	}
+	lsn := l.nextLSN - 1
+	path := filepath.Join(l.dir, snapName(lsn))
+	tmp := path + ".tmp"
+	f, err := l.opts.openFile(tmp)
+	if err != nil {
+		return err
+	}
+	buf := append(make([]byte, 0, len(snapMagic)+frameHeader+len(payload)), snapMagic...)
+	buf = appendFrame(buf, payload)
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		return err
+	}
+	if !l.opts.NoSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	syncDir(l.dir)
+	if err := l.rotateLocked(); err != nil {
+		return err
+	}
+	l.compactLocked(states)
+	return nil
+}
+
+// Close syncs and closes the active segment. Further appends fail.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.seg == nil {
+		return nil
+	}
+	var err error
+	if !l.opts.NoSync && l.failed == nil {
+		err = l.seg.Sync()
+	}
+	if cerr := l.seg.Close(); err == nil {
+		err = cerr
+	}
+	l.seg = nil
+	return err
+}
+
+// startSegmentLocked opens a fresh active segment at nextLSN.
+func (l *Log) startSegmentLocked() error {
+	path := filepath.Join(l.dir, segName(l.nextLSN))
+	f, err := l.opts.openFile(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write([]byte(segMagic)); err != nil {
+		f.Close()
+		return err
+	}
+	if !l.opts.NoSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	l.seg = f
+	l.segPath = path
+	l.segFirst = l.nextLSN
+	l.segSize = int64(len(segMagic))
+	syncDir(l.dir)
+	return nil
+}
+
+// rotateLocked closes the active segment and starts the next one. A
+// same-name rotation (no appends since the segment started) is a no-op.
+// A rotation failure is sticky: the log's tail state is unknown, so
+// further appends are refused.
+func (l *Log) rotateLocked() error {
+	if l.segFirst == l.nextLSN {
+		return nil
+	}
+	if l.seg != nil {
+		if err := l.seg.Close(); err != nil {
+			l.seg = nil
+			l.failed = err
+			return err
+		}
+		l.seg = nil
+	}
+	if err := l.startSegmentLocked(); err != nil {
+		l.failed = err
+		return err
+	}
+	return nil
+}
+
+// compactLocked deletes closed segments entirely covered by the
+// snapshot: a segment may go when every shard's snapshot already
+// covers the segment's last LSN. Shards that never journaled an op
+// (LastLSN zero) have no records anywhere and do not hold compaction
+// back.
+func (l *Log) compactLocked(states []*core.StateExport) {
+	cover := uint64(0)
+	have := false
+	for _, se := range states {
+		if se.LastLSN == 0 {
+			continue
+		}
+		if !have || se.LastLSN < cover {
+			cover = se.LastLSN
+			have = true
+		}
+	}
+	if !have {
+		return
+	}
+	segs := listSegments(l.dir)
+	for i, s := range segs {
+		if s.first == l.segFirst {
+			continue // active
+		}
+		// The segment's records end where the next segment starts.
+		var last uint64
+		if i+1 < len(segs) {
+			last = segs[i+1].first - 1
+		} else {
+			continue // no successor on disk; keep
+		}
+		if last <= cover {
+			os.Remove(filepath.Join(l.dir, s.name))
+		}
+	}
+	syncDir(l.dir)
+}
+
+// --- directory scanning / recovery ---
+
+type segEntry struct {
+	name  string
+	first uint64
+}
+
+func segName(first uint64) string       { return fmt.Sprintf("seg-%016x.wal", first) }
+func snapName(lsn uint64) string        { return fmt.Sprintf("snap-%016x.snap", lsn) }
+func parseHex(s string) (uint64, error) { return strconv.ParseUint(s, 16, 64) }
+
+func listSegments(dir string) []segEntry {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var segs []segEntry
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".wal") {
+			continue
+		}
+		first, err := parseHex(strings.TrimSuffix(strings.TrimPrefix(name, "seg-"), ".wal"))
+		if err != nil {
+			continue
+		}
+		segs = append(segs, segEntry{name: name, first: first})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+	return segs
+}
+
+// scan reads the directory's durable contents: the newest valid
+// snapshot, every op record in LSN order, and the last durable LSN.
+// Torn tails of the final segment are truncated on disk; leftover
+// snapshot temp files are removed.
+func scan(dir string) (*Recovered, uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, 0, err
+	}
+	var snaps []uint64
+	for _, e := range entries {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			os.Remove(filepath.Join(dir, name)) // crashed mid-checkpoint
+			continue
+		}
+		if strings.HasPrefix(name, "snap-") && strings.HasSuffix(name, ".snap") {
+			if lsn, err := parseHex(strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".snap")); err == nil {
+				snaps = append(snaps, lsn)
+			}
+		}
+	}
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i] > snaps[j] })
+
+	rec := &Recovered{}
+	for _, lsn := range snaps {
+		states, err := readSnapshot(filepath.Join(dir, snapName(lsn)))
+		if err != nil {
+			return nil, 0, fmt.Errorf("wal: snapshot %s: %w", snapName(lsn), err)
+		}
+		rec.Snapshot = states
+		rec.SnapshotLSN = lsn
+		break
+	}
+
+	segs := listSegments(dir)
+	lastLSN := rec.SnapshotLSN
+	for i, s := range segs {
+		path := filepath.Join(dir, s.name)
+		ops, durable, torn, err := readSegment(path, s.first)
+		if err != nil {
+			return nil, 0, fmt.Errorf("wal: segment %s: %w", s.name, err)
+		}
+		if torn {
+			if i != len(segs)-1 {
+				return nil, 0, fmt.Errorf("%w: segment %s torn but not final", ErrCorrupt, s.name)
+			}
+			if terr := os.Truncate(path, durable); terr != nil {
+				return nil, 0, terr
+			}
+		}
+		rec.Ops = append(rec.Ops, ops...)
+		if n := len(ops); n > 0 {
+			if ops[n-1].LSN > lastLSN {
+				lastLSN = ops[n-1].LSN
+			}
+		}
+	}
+	return rec, lastLSN, nil
+}
+
+// readSegment parses one segment file. It returns the decoded ops, the
+// byte offset of the end of the last whole record (the durable
+// prefix), and whether the file was torn after it. A file too short
+// for the magic counts as torn at offset zero only when it is brand
+// new (empty); a wrong magic is corruption.
+func readSegment(path string, first uint64) (ops []RecordedOp, durable int64, torn bool, err error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, 0, false, err
+	}
+	if len(b) < len(segMagic) {
+		// Crashed between creating the file and syncing its magic.
+		return nil, 0, true, nil
+	}
+	if string(b[:len(segMagic)]) != segMagic {
+		return nil, 0, false, fmt.Errorf("%w: bad segment magic", ErrCorrupt)
+	}
+	off := len(segMagic)
+	want := first
+	for off < len(b) {
+		payload, next, ferr := readFrame(b, off)
+		if ferr == errTorn {
+			return ops, int64(off), true, nil
+		}
+		if ferr != nil {
+			return nil, 0, false, ferr
+		}
+		rec, derr := DecodeOp(payload)
+		if derr != nil {
+			return nil, 0, false, fmt.Errorf("record at offset %d: %w", off, derr)
+		}
+		if rec.LSN != want {
+			return nil, 0, false, fmt.Errorf("%w: record at offset %d has lsn %d, want %d", ErrCorrupt, off, rec.LSN, want)
+		}
+		ops = append(ops, rec)
+		off = next
+		want++
+	}
+	return ops, int64(off), false, nil
+}
+
+// readSnapshot parses one snapshot file.
+func readSnapshot(path string) ([]*core.StateExport, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(b) < len(snapMagic) || string(b[:len(snapMagic)]) != snapMagic {
+		return nil, fmt.Errorf("%w: bad snapshot magic", ErrCorrupt)
+	}
+	payload, next, err := readFrame(b, len(snapMagic))
+	if err != nil {
+		if err == errTorn {
+			return nil, fmt.Errorf("%w: torn snapshot record", ErrCorrupt)
+		}
+		return nil, err
+	}
+	if next != len(b) {
+		return nil, fmt.Errorf("%w: %d trailing snapshot bytes", ErrCorrupt, len(b)-next)
+	}
+	states, err := DecodeSnapshot(payload)
+	if err != nil {
+		return nil, err
+	}
+	return states, nil
+}
+
+// syncDir fsyncs the directory so renames and removals are durable;
+// best-effort (not all platforms support directory sync).
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	_ = d.Sync()
+	d.Close()
+}

@@ -1,0 +1,407 @@
+package wal_test
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/appgen"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/wal"
+)
+
+// testApp returns a small deterministic application bundle.
+func testApp(seed int64) *graph.Application {
+	return appgen.New(appgen.NewConfig(appgen.Computation, appgen.Small), seed).Next()
+}
+
+// sampleOps returns a representative op stream for codec and log
+// round-trip tests: every kind, with realistic field values.
+func sampleOps(t testing.TB) []core.Op {
+	t.Helper()
+	app := testApp(7)
+	return []core.Op{
+		{Kind: core.OpAdmit, Seq: 1, Instance: app.Name + "#1", App: app},
+		{Kind: core.OpElement, Elem: 3, Enabled: false},
+		{Kind: core.OpLink, A: 0, B: 1, Enabled: false},
+		{Kind: core.OpReadmit, Seq: 4, Instance: app.Name + "#1"},
+		{Kind: core.OpLink, A: 0, B: 1, Enabled: true},
+		{Kind: core.OpRelease, Instance: app.Name + "#4"},
+		{Kind: core.OpElement, Elem: 3, Enabled: true},
+		{Kind: core.OpEvict, Instance: app.Name + "#9"},
+	}
+}
+
+// opEqual compares two ops field-wise; applications compare by their
+// canonical bundle encoding.
+func opEqual(t *testing.T, a, b core.Op) bool {
+	t.Helper()
+	if a.Kind != b.Kind || a.Seq != b.Seq || a.Instance != b.Instance ||
+		a.Elem != b.Elem || a.A != b.A || a.B != b.B || a.Enabled != b.Enabled {
+		return false
+	}
+	if (a.App == nil) != (b.App == nil) {
+		return false
+	}
+	if a.App != nil {
+		ab, err := graph.Bytes(a.App)
+		if err != nil {
+			t.Fatalf("encoding app: %v", err)
+		}
+		bb, err := graph.Bytes(b.App)
+		if err != nil {
+			t.Fatalf("encoding app: %v", err)
+		}
+		return bytes.Equal(ab, bb)
+	}
+	return true
+}
+
+func TestOpCodecRoundTrip(t *testing.T) {
+	for i, op := range sampleOps(t) {
+		payload, err := wal.EncodeOp(nil, uint64(i+1), i%3, op)
+		if err != nil {
+			t.Fatalf("op %d: encode: %v", i, err)
+		}
+		rec, err := wal.DecodeOp(payload)
+		if err != nil {
+			t.Fatalf("op %d: decode: %v", i, err)
+		}
+		if rec.LSN != uint64(i+1) || rec.Shard != i%3 {
+			t.Fatalf("op %d: decoded lsn/shard = %d/%d, want %d/%d", i, rec.LSN, rec.Shard, i+1, i%3)
+		}
+		if !opEqual(t, op, rec.Op) {
+			t.Fatalf("op %d: round trip mismatch: %+v vs %+v", i, op, rec.Op)
+		}
+	}
+}
+
+func TestLogAppendReopen(t *testing.T) {
+	dir := t.TempDir()
+	log, rec, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Snapshot != nil || len(rec.Ops) != 0 {
+		t.Fatalf("fresh dir recovered %d ops and snapshot %v", len(rec.Ops), rec.Snapshot != nil)
+	}
+	ops := sampleOps(t)
+	for i, op := range ops {
+		lsn, err := log.Append(i%2, op)
+		if err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+		if lsn != uint64(i+1) {
+			t.Fatalf("append %d: lsn = %d, want %d", i, lsn, i+1)
+		}
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	log2, rec2, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	if len(rec2.Ops) != len(ops) {
+		t.Fatalf("recovered %d ops, want %d", len(rec2.Ops), len(ops))
+	}
+	for i, r := range rec2.Ops {
+		if r.LSN != uint64(i+1) || r.Shard != i%2 || !opEqual(t, ops[i], r.Op) {
+			t.Fatalf("recovered op %d mismatch: %+v", i, r)
+		}
+	}
+	if got := log2.NextLSN(); got != uint64(len(ops)+1) {
+		t.Fatalf("NextLSN = %d, want %d", got, len(ops)+1)
+	}
+}
+
+func TestSegmentRotation(t *testing.T) {
+	dir := t.TempDir()
+	log, _, err := wal.Open(dir, wal.Options{SegmentBytes: 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		if _, err := log.Append(0, core.Op{Kind: core.OpRelease, Instance: "app#1"}); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs := segmentNames(t, dir)
+	if len(segs) < 3 {
+		t.Fatalf("expected several segments at 128-byte rotation, got %v", segs)
+	}
+	_, rec, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Ops) != n {
+		t.Fatalf("recovered %d ops across segments, want %d", len(rec.Ops), n)
+	}
+	for i, r := range rec.Ops {
+		if r.LSN != uint64(i+1) {
+			t.Fatalf("op %d: lsn %d out of order", i, r.LSN)
+		}
+	}
+}
+
+func TestTornFinalRecordTruncated(t *testing.T) {
+	dir := t.TempDir()
+	log, _, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := log.Append(0, core.Op{Kind: core.OpElement, Elem: i, Enabled: false}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := filepath.Join(dir, segmentNames(t, dir)[0])
+	whole, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear the final record: chop a few bytes off the file tail.
+	if err := os.WriteFile(seg, whole[:len(whole)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rec, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatalf("recovery after torn tail: %v", err)
+	}
+	if len(rec.Ops) != 4 {
+		t.Fatalf("recovered %d ops after torn final record, want 4", len(rec.Ops))
+	}
+	// The torn bytes must be gone from disk (truncated to the durable
+	// prefix).
+	after, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) >= len(whole) {
+		t.Fatalf("segment not truncated: %d bytes, had %d", len(after), len(whole))
+	}
+}
+
+func TestCorruptMiddleSegmentRejected(t *testing.T) {
+	dir := t.TempDir()
+	log, _, err := wal.Open(dir, wal.Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := log.Append(0, core.Op{Kind: core.OpRelease, Instance: "x#1"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs := segmentNames(t, dir)
+	if len(segs) < 3 {
+		t.Fatalf("need ≥3 segments, got %v", segs)
+	}
+	// Flip one payload byte in the FIRST segment: not a torn tail, so
+	// recovery must refuse rather than silently drop committed ops.
+	seg := filepath.Join(dir, segs[0])
+	b, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0xff
+	if err := os.WriteFile(seg, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := wal.Open(dir, wal.Options{}); !errors.Is(err, wal.ErrCorrupt) {
+		t.Fatalf("Open with corrupt middle segment: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCheckpointCompactsAndRecovers(t *testing.T) {
+	dir := t.TempDir()
+	log, _, err := wal.Open(dir, wal.Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last uint64
+	for i := 0; i < 10; i++ {
+		last, err = log.Append(0, core.Op{Kind: core.OpElement, Elem: i, Enabled: false})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	state := &core.StateExport{Seq: 0, LastLSN: last,
+		DisabledElements: []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}}
+	if err := log.Checkpoint([]*core.StateExport{state}); err != nil {
+		t.Fatal(err)
+	}
+	// Everything before the snapshot is covered: only the fresh active
+	// segment may remain.
+	segs := segmentNames(t, dir)
+	if len(segs) != 1 {
+		t.Fatalf("segments after checkpoint = %v, want just the active one", segs)
+	}
+	// A few post-snapshot ops form the tail.
+	for i := 0; i < 3; i++ {
+		if _, err := log.Append(0, core.Op{Kind: core.OpElement, Elem: i, Enabled: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	_, rec, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Snapshot) != 1 {
+		t.Fatalf("snapshot shards = %d, want 1", len(rec.Snapshot))
+	}
+	got := rec.Snapshot[0]
+	if got.LastLSN != last || len(got.DisabledElements) != 10 {
+		t.Fatalf("snapshot state = %+v, want LastLSN %d with 10 disabled elements", got, last)
+	}
+	tail := 0
+	for _, r := range rec.Ops {
+		if r.LSN > got.LastLSN {
+			tail++
+		}
+	}
+	if tail != 3 {
+		t.Fatalf("post-snapshot tail = %d ops, want 3", tail)
+	}
+}
+
+func TestSnapshotTmpCleanedUp(t *testing.T) {
+	dir := t.TempDir()
+	tmp := filepath.Join(dir, "snap-00000000000000ff.snap.tmp")
+	if err := os.WriteFile(tmp, []byte("partial snapshot from a crashed checkpoint"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	log, rec, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	if rec.Snapshot != nil {
+		t.Fatal("partial snapshot must not be recovered")
+	}
+	if _, err := os.Stat(tmp); !os.IsNotExist(err) {
+		t.Fatalf("leftover checkpoint temp file not removed: %v", err)
+	}
+}
+
+func TestStateCodecRoundTrip(t *testing.T) {
+	app := testApp(11)
+	se := &core.StateExport{
+		Seq:              42,
+		LastLSN:          99,
+		DisabledElements: []int{1, 5},
+		DisabledLinks:    [][2]int{{0, 1}, {1, 0}},
+		Admissions: []core.AdmissionExport{{
+			Instance:   app.Name + "#3",
+			App:        app,
+			Impls:      make([]int, len(app.Tasks)),
+			Assignment: make([]int, len(app.Tasks)),
+			Routes:     nil,
+		}},
+	}
+	for i := range se.Admissions[0].Assignment {
+		se.Admissions[0].Assignment[i] = i % 4
+	}
+	b, err := wal.EncodeState(nil, se)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := wal.DecodeState(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := wal.EncodeState(nil, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, b2) {
+		t.Fatal("state encoding is not a decode/encode fixpoint")
+	}
+}
+
+// TestSegmentCorruptionNoPanic flips every byte of a small segment in
+// turn and asserts recovery never panics: each corruption either still
+// recovers (a prefix) or reports an error.
+func TestSegmentCorruptionNoPanic(t *testing.T) {
+	srcDir := t.TempDir()
+	log, _, err := wal.Open(srcDir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := testApp(3)
+	ops := []core.Op{
+		{Kind: core.OpAdmit, Seq: 1, Instance: app.Name + "#1", App: app},
+		{Kind: core.OpElement, Elem: 2, Enabled: false},
+		{Kind: core.OpRelease, Instance: app.Name + "#1"},
+	}
+	for _, op := range ops {
+		if _, err := log.Append(0, op); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segName := segmentNames(t, srcDir)[0]
+	pristine, err := os.ReadFile(filepath.Join(srcDir, segName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	seg := filepath.Join(dir, segName)
+	for i := range pristine {
+		mutated := append([]byte(nil), pristine...)
+		mutated[i] ^= 0x5a
+		if err := os.WriteFile(seg, mutated, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		l, _, err := wal.Open(dir, wal.Options{})
+		if err == nil {
+			l.Close()
+		}
+		// Clean the extra segment Open starts, so the next iteration
+		// sees only its own mutation.
+		for _, name := range segmentNames(t, dir) {
+			if name != segName {
+				os.Remove(filepath.Join(dir, name))
+			}
+		}
+	}
+}
+
+func segmentNames(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "seg-") && strings.HasSuffix(e.Name(), ".wal") {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,202 @@
+package kairos
+
+// Durability: an optional write-ahead log that makes admissions
+// survive restarts. Every committed operation — admission, release,
+// readmission, eviction, fault transition — is appended to the log
+// under the engine lock, after its validate-commit and before its
+// event is published, and fsynced before the call returns; an
+// acknowledged operation is therefore durable. Recover (or
+// RecoverCluster) boots from a log directory: it loads the newest
+// checkpoint snapshot, deterministically re-executes the op tail
+// through the ordinary four-phase workflow, and returns a manager
+// whose allocation state is byte-identical to the crashed one's.
+//
+// Only allocation state is durable: the sequence counter, the fault
+// state (disabled elements/links) and every live admission's layout.
+// Lifetime counters (Stats), per-phase times and element wear are
+// diagnostics and reset on recovery.
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/wal"
+)
+
+// WAL is the durable admission log backing WithDurability and Recover:
+// segmented, CRC-checksummed, fsync-on-commit. Checkpoint writes a
+// full snapshot and compacts fully-covered segments; Close rotates the
+// log down cleanly on shutdown.
+type WAL = wal.Log
+
+// StateExport is the canonical serializable form of a manager's
+// durable state (Manager.ExportState); WAL.Checkpoint takes one per
+// shard.
+type StateExport = core.StateExport
+
+// AdmissionExport is one admission's durable state inside a
+// StateExport.
+type AdmissionExport = core.AdmissionExport
+
+// shardJournal curries a shard index onto the shared log, satisfying
+// the engine's journal interface.
+type shardJournal struct {
+	log   *wal.Log
+	shard int
+}
+
+func (j shardJournal) Append(op core.Op) (uint64, error) { return j.log.Append(j.shard, op) }
+
+// brokenJournal fails every append with a fixed error: the durability
+// a WithDurability caller asked for cannot be provided, so no
+// operation may commit.
+type brokenJournal struct{ err error }
+
+func (j brokenJournal) Append(core.Op) (uint64, error) { return 0, j.err }
+
+// WithDurability attaches a write-ahead log under dir to a new
+// manager: every committed operation is fsynced to the log before it
+// is acknowledged. The directory must be fresh (no prior log state) —
+// a manager built by New starts empty, so prior state would diverge
+// from it; boot from an existing directory with Recover instead. If
+// the directory cannot be initialised or holds prior state, every
+// subsequent operation fails with ErrJournal explaining why.
+//
+// For clusters, do not pass this through WithShardOptions (each shard
+// would open its own untagged log); use RecoverCluster.
+func WithDurability(dir string) Option {
+	return func(c *config) { c.durabilityDir = &dir }
+}
+
+// attachDurability wires a fresh-directory log onto a new manager
+// (the WithDurability path, where New cannot return an error).
+func attachDurability(m *Manager, dir string) {
+	log, rec, err := wal.Open(dir, wal.Options{})
+	if err == nil && (rec.Snapshot != nil || len(rec.Ops) > 0) {
+		log.Close()
+		err = fmt.Errorf("kairos: %s holds prior log state (%d ops); boot with Recover, not New", dir, len(rec.Ops))
+	}
+	if err != nil {
+		m.AttachJournal(brokenJournal{err: err})
+		return
+	}
+	m.AttachJournal(shardJournal{log: log, shard: 0})
+}
+
+// Recover boots a durable manager from the log directory: the platform
+// must be the pristine platform the crashed manager started from (same
+// spec, no allocations). The newest snapshot is loaded, the op tail is
+// re-executed deterministically, and the returned manager — with the
+// log attached for further appends — holds exactly the allocation
+// state every acknowledged operation left behind. A fresh or empty
+// directory recovers to an empty manager, so Recover is also the
+// normal way to START a durable deployment. The caller owns the
+// returned WAL: Checkpoint it periodically and Close it on shutdown.
+func Recover(dir string, p *Platform, opts ...Option) (*Manager, *WAL, error) {
+	var cfg config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	m := core.New(p, cfg.core)
+	log, rec, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	if rec.Snapshot != nil && len(rec.Snapshot) != 1 {
+		log.Close()
+		return nil, nil, fmt.Errorf("kairos: %s snapshot holds %d shards; recover it with RecoverCluster", dir, len(rec.Snapshot))
+	}
+	for _, r := range rec.Ops {
+		if r.Shard != 0 {
+			log.Close()
+			return nil, nil, fmt.Errorf("kairos: %s records shard %d; recover it with RecoverCluster", dir, r.Shard)
+		}
+	}
+	if err := replayShard(m, 0, rec); err != nil {
+		log.Close()
+		return nil, nil, err
+	}
+	m.AttachJournal(shardJournal{log: log, shard: 0})
+	return m, log, nil
+}
+
+// RecoverCluster boots a durable cluster from the log directory, the
+// cluster analogue of Recover: the shard count and platform factory
+// must rebuild the pristine platforms the crashed cluster started
+// from. Each shard's state is recovered independently from its
+// shard-tagged records. A fresh directory recovers to an empty
+// cluster. The caller owns the returned WAL.
+func RecoverCluster(dir string, shards int, platformFor func(shard int) *Platform, opts ...ClusterOption) (*Cluster, *WAL, error) {
+	c, err := NewCluster(shards, platformFor, opts...)
+	if err != nil {
+		return nil, nil, err
+	}
+	log, rec, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		return nil, nil, err
+	}
+	if rec.Snapshot != nil && len(rec.Snapshot) != shards {
+		log.Close()
+		return nil, nil, fmt.Errorf("kairos: %s snapshot holds %d shards, cluster has %d", dir, len(rec.Snapshot), shards)
+	}
+	for _, r := range rec.Ops {
+		if r.Shard < 0 || r.Shard >= shards {
+			log.Close()
+			return nil, nil, fmt.Errorf("kairos: %s records shard %d, cluster has %d", dir, r.Shard, shards)
+		}
+	}
+	for i := 0; i < shards; i++ {
+		if err := replayShard(c.Shard(i), i, rec); err != nil {
+			log.Close()
+			return nil, nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	for i := 0; i < shards; i++ {
+		c.Shard(i).AttachJournal(shardJournal{log: log, shard: i})
+	}
+	return c, log, nil
+}
+
+// replayShard rebuilds one shard's engine: snapshot first, then the
+// shard's op records beyond the snapshot's coverage, in LSN order.
+func replayShard(m *Manager, shard int, rec *wal.Recovered) error {
+	var snapLSN uint64
+	if shard < len(rec.Snapshot) {
+		se := rec.Snapshot[shard]
+		if err := m.ImportState(se); err != nil {
+			return err
+		}
+		snapLSN = se.LastLSN
+	}
+	for _, r := range rec.Ops {
+		if r.Shard != shard || r.LSN <= snapLSN {
+			continue
+		}
+		if err := m.ReplayOp(r.LSN, r.Op); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Checkpoint snapshots a single durable manager into its log and
+// compacts covered segments (see WAL.Checkpoint).
+func Checkpoint(log *WAL, m *Manager) error {
+	return log.Checkpoint([]*StateExport{m.ExportState()})
+}
+
+// CheckpointCluster snapshots every shard of a durable cluster into
+// the shared log and compacts covered segments. Each shard's export is
+// its own consistent cut; no cross-shard barrier is taken.
+func CheckpointCluster(log *WAL, c *Cluster) error {
+	states := make([]*StateExport, c.NumShards())
+	for i := range states {
+		states[i] = c.Shard(i).ExportState()
+	}
+	return log.Checkpoint(states)
+}
+
+// ErrJournal matches every operation aborted because its journal
+// append failed (durability could not be guaranteed, so the operation
+// did not happen).
+var ErrJournal = core.ErrJournal

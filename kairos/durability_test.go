@@ -1,0 +1,235 @@
+package kairos_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/wal"
+	"repro/kairos"
+)
+
+// stateBytes renders a manager's durable state in the WAL's canonical
+// encoding, so "identical state" is literal byte identity.
+func stateBytes(t *testing.T, m *kairos.Manager) []byte {
+	t.Helper()
+	b, err := wal.EncodeState(nil, m.ExportState())
+	if err != nil {
+		t.Fatalf("encoding state: %v", err)
+	}
+	return b
+}
+
+func mustRecover(t *testing.T, dir string, opts ...kairos.Option) (*kairos.Manager, *kairos.WAL) {
+	t.Helper()
+	m, log, err := kairos.Recover(dir, kairos.Mesh(4, 4, kairos.DefaultVCs), opts...)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	return m, log
+}
+
+func TestRecoverRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	m, log := mustRecover(t, dir)
+	a, err := m.Admit(ctx, chain("alpha", 3, 40))
+	if err != nil {
+		t.Fatalf("admit alpha: %v", err)
+	}
+	b, err := m.Admit(ctx, chain("beta", 2, 30))
+	if err != nil {
+		t.Fatalf("admit beta: %v", err)
+	}
+	if _, err := m.Admit(ctx, chain("gamma", 2, 20)); err != nil {
+		t.Fatalf("admit gamma: %v", err)
+	}
+	if err := m.Release(b.Instance); err != nil {
+		t.Fatalf("release beta: %v", err)
+	}
+	// A fault transition and a repair must survive recovery too.
+	if err := m.SetElementEnabled(15, false); err != nil {
+		t.Fatalf("disable element: %v", err)
+	}
+	if err := m.SetLinkEnabled(0, 1, false); err != nil {
+		t.Fatalf("disable link: %v", err)
+	}
+	if err := m.SetLinkEnabled(0, 1, true); err != nil {
+		t.Fatalf("enable link: %v", err)
+	}
+	want := stateBytes(t, m)
+	if err := log.Close(); err != nil {
+		t.Fatalf("close log: %v", err)
+	}
+
+	m2, log2 := mustRecover(t, dir)
+	defer log2.Close()
+	if got := stateBytes(t, m2); !bytes.Equal(got, want) {
+		t.Fatalf("recovered state differs from pre-shutdown state\ngot:  %x\nwant: %x", got, want)
+	}
+	// The recovered manager must serve traffic: release a pre-crash
+	// admission and admit a new one through the re-attached log.
+	if err := m2.Release(a.Instance); err != nil {
+		t.Fatalf("post-recovery release of pre-crash instance: %v", err)
+	}
+	if _, err := m2.Admit(ctx, chain("delta", 2, 20)); err != nil {
+		t.Fatalf("post-recovery admit: %v", err)
+	}
+}
+
+func TestRecoverAfterCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	m, log := mustRecover(t, dir)
+	for _, name := range []string{"a", "b", "c"} {
+		if _, err := m.Admit(ctx, chain(name, 2, 25)); err != nil {
+			t.Fatalf("admit %s: %v", name, err)
+		}
+	}
+	if err := kairos.Checkpoint(log, m); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	// Ops past the snapshot exercise the snapshot+tail replay path.
+	d, err := m.Admit(ctx, chain("d", 2, 25))
+	if err != nil {
+		t.Fatalf("admit d: %v", err)
+	}
+	if err := m.Release(d.Instance); err != nil {
+		t.Fatalf("release d: %v", err)
+	}
+	want := stateBytes(t, m)
+	if err := log.Close(); err != nil {
+		t.Fatalf("close log: %v", err)
+	}
+
+	m2, log2 := mustRecover(t, dir)
+	defer log2.Close()
+	if got := stateBytes(t, m2); !bytes.Equal(got, want) {
+		t.Fatal("recovered state differs after checkpoint + tail replay")
+	}
+}
+
+func TestWithDurabilityFreshDir(t *testing.T) {
+	m := kairos.New(kairos.Mesh(4, 4, kairos.DefaultVCs), kairos.WithDurability(t.TempDir()))
+	adm, err := m.Admit(context.Background(), chain("fresh", 2, 30))
+	if err != nil {
+		t.Fatalf("admit through WithDurability: %v", err)
+	}
+	if err := m.Release(adm.Instance); err != nil {
+		t.Fatalf("release: %v", err)
+	}
+}
+
+func TestWithDurabilityRejectsPriorState(t *testing.T) {
+	dir := t.TempDir()
+	m, log := mustRecover(t, dir)
+	if _, err := m.Admit(context.Background(), chain("old", 2, 30)); err != nil {
+		t.Fatalf("seeding admit: %v", err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatalf("close log: %v", err)
+	}
+
+	// New must not silently shadow the existing log: every operation
+	// fails with ErrJournal until the caller boots with Recover.
+	m2 := kairos.New(kairos.Mesh(4, 4, kairos.DefaultVCs), kairos.WithDurability(dir))
+	_, err := m2.Admit(context.Background(), chain("new", 2, 30))
+	if !errors.Is(err, kairos.ErrJournal) {
+		t.Fatalf("admit on prior-state dir: err = %v, want ErrJournal", err)
+	}
+	if !strings.Contains(err.Error(), "Recover") {
+		t.Errorf("error should point at Recover: %v", err)
+	}
+	if got := m2.Stats().Live; got != 0 {
+		t.Errorf("failed admit left Live = %d", got)
+	}
+}
+
+func TestRecoverClusterRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	const shards = 3
+
+	c, log, err := kairos.RecoverCluster(dir, shards, meshFactory(4, 4))
+	if err != nil {
+		t.Fatalf("RecoverCluster (fresh): %v", err)
+	}
+	var admitted []string
+	for i := 0; i < 6; i++ {
+		adm, err := c.Admit(ctx, chain("app", 2, 25))
+		if err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+		admitted = append(admitted, adm.Instance)
+	}
+	if err := c.Release(admitted[0]); err != nil {
+		t.Fatalf("release: %v", err)
+	}
+	if err := kairos.CheckpointCluster(log, c); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if _, err := c.Admit(ctx, chain("tail", 2, 25)); err != nil {
+		t.Fatalf("post-checkpoint admit: %v", err)
+	}
+	want := make([][]byte, shards)
+	for i := 0; i < shards; i++ {
+		want[i] = stateBytes(t, c.Shard(i))
+	}
+	if err := log.Close(); err != nil {
+		t.Fatalf("close log: %v", err)
+	}
+
+	c2, log2, err := kairos.RecoverCluster(dir, shards, meshFactory(4, 4))
+	if err != nil {
+		t.Fatalf("RecoverCluster: %v", err)
+	}
+	defer log2.Close()
+	for i := 0; i < shards; i++ {
+		if got := stateBytes(t, c2.Shard(i)); !bytes.Equal(got, want[i]) {
+			t.Errorf("shard %d: recovered state differs", i)
+		}
+	}
+	// Pre-crash cluster instance names must still resolve.
+	if err := c2.Release(admitted[1]); err != nil {
+		t.Fatalf("post-recovery release of %s: %v", admitted[1], err)
+	}
+	if _, err := c2.Admit(ctx, chain("post", 2, 25)); err != nil {
+		t.Fatalf("post-recovery admit: %v", err)
+	}
+
+	// The shard count is part of the contract.
+	if _, _, err := kairos.RecoverCluster(dir, shards+1, meshFactory(4, 4)); err == nil {
+		t.Error("RecoverCluster with wrong shard count succeeded")
+	}
+}
+
+func TestRecoverRejectsClusterLog(t *testing.T) {
+	dir := t.TempDir()
+	c, log, err := kairos.RecoverCluster(dir, 2, meshFactory(4, 4))
+	if err != nil {
+		t.Fatalf("RecoverCluster: %v", err)
+	}
+	// Land at least one op on shard 1 so the log is unmistakably
+	// cluster-shaped even without a snapshot.
+	for i := 0; i < 8; i++ {
+		if _, err := c.Admit(context.Background(), chain("app", 2, 25)); err != nil {
+			t.Fatalf("admit: %v", err)
+		}
+	}
+	shard1 := c.Shard(1).Stats().Live > 0
+	if err := log.Close(); err != nil {
+		t.Fatalf("close log: %v", err)
+	}
+	if !shard1 {
+		t.Skip("balancer left shard 1 empty; nothing to detect")
+	}
+	if _, _, err := kairos.Recover(dir, kairos.Mesh(4, 4, kairos.DefaultVCs)); err == nil {
+		t.Fatal("Recover accepted a cluster-tagged log")
+	} else if !strings.Contains(err.Error(), "RecoverCluster") {
+		t.Errorf("error should point at RecoverCluster: %v", err)
+	}
+}

@@ -129,5 +129,9 @@ func New(p *platform.Platform, opts ...Option) *Manager {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	return core.New(p, cfg.core)
+	m := core.New(p, cfg.core)
+	if cfg.durabilityDir != nil {
+		attachDurability(m, *cfg.durabilityDir)
+	}
+	return m
 }

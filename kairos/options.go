@@ -9,6 +9,9 @@ import (
 // config collects the engine options built by the functional options.
 type config struct {
 	core core.Options
+	// durabilityDir, when set, attaches a write-ahead log under the
+	// directory (see WithDurability).
+	durabilityDir *string
 }
 
 // Option configures a Manager at construction (see New).
