@@ -133,6 +133,15 @@ func (k *Kairos) AttachJournal(j Journal) {
 	k.journal = j
 }
 
+// Journal returns the attached journal, or nil. The durability layer
+// uses it to hand the owner of a journaled manager back the underlying
+// log for checkpointing and shutdown.
+func (k *Kairos) Journal() Journal {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.journal
+}
+
 // commitAdmitLocked journals a fresh admission and queues its event.
 // On journal failure the admission is unwound — platform and
 // bookkeeping byte-identical to before the attempt — and the

@@ -76,6 +76,11 @@ type Recovered struct {
 // crash; a write or sync failure is sticky — the log refuses further
 // appends, because the tail's durability is unknown.
 type Log struct {
+	// ckptMu serializes whole checkpoints (state export through
+	// snapshot publication), so a slow checkpoint can never overwrite a
+	// faster one's newer snapshot with stale state. It is always taken
+	// before mu, never while holding it.
+	ckptMu  sync.Mutex
 	mu      sync.Mutex
 	dir     string
 	opts    Options
@@ -85,6 +90,10 @@ type Log struct {
 	// segFirst is the first LSN of the active segment (its filename).
 	segFirst uint64
 	nextLSN  uint64
+	// snapCover is the newest durable snapshot's per-shard LastLSN (nil
+	// before any snapshot): the floor a new snapshot must not regress
+	// below.
+	snapCover []uint64
 	// opBuf and frameBuf are reused append scratch space.
 	opBuf    []byte
 	frameBuf []byte
@@ -106,6 +115,12 @@ func Open(dir string, opts Options) (*Log, *Recovered, error) {
 		return nil, nil, err
 	}
 	l := &Log{dir: dir, opts: opts, nextLSN: lastLSN + 1}
+	if rec.Snapshot != nil {
+		l.snapCover = make([]uint64, len(rec.Snapshot))
+		for i, se := range rec.Snapshot {
+			l.snapCover[i] = se.LastLSN
+		}
+	}
 	if err := l.startSegmentLocked(); err != nil {
 		return nil, nil, err
 	}
@@ -165,19 +180,42 @@ func (l *Log) Append(shard int, op core.Op) (uint64, error) {
 }
 
 // Checkpoint durably writes a full snapshot (one state export per
-// shard, in shard order) and compacts: closed segments whose every
-// record is covered by all shards' snapshots are deleted. The active
-// segment is rotated first so the log tail needed after this snapshot
-// starts in a fresh file.
-func (l *Log) Checkpoint(states []*core.StateExport) error {
+// shard, in shard order, produced by the export callback) and
+// compacts: closed segments whose every record is covered by all
+// shards' snapshots are deleted, as are snapshot files the new one
+// supersedes. The active segment is rotated so the log tail needed
+// after this snapshot starts in a fresh file.
+//
+// The export callback runs under the log's checkpoint mutex, so
+// concurrent Checkpoint calls fully serialize: no caller can export
+// state, lose the race to a newer checkpoint that already compacted,
+// and then publish its stale export as the newest snapshot — the
+// silent-data-loss shape that motivates the callback signature. As a
+// backstop (for exports produced outside the callback discipline), a
+// snapshot whose per-shard LastLSN regresses below the newest durable
+// snapshot's is refused.
+func (l *Log) Checkpoint(export func() []*core.StateExport) error {
+	l.ckptMu.Lock()
+	defer l.ckptMu.Unlock()
+	states := export()
+	payload, err := EncodeSnapshot(nil, states)
+	if err != nil {
+		return err
+	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.closed {
 		return fmt.Errorf("wal: log closed")
 	}
-	payload, err := EncodeSnapshot(nil, states)
-	if err != nil {
-		return err
+	if l.snapCover != nil {
+		if len(states) != len(l.snapCover) {
+			return fmt.Errorf("wal: checkpoint with %d shard(s), newest snapshot has %d", len(states), len(l.snapCover))
+		}
+		for i, se := range states {
+			if se.LastLSN < l.snapCover[i] {
+				return fmt.Errorf("wal: stale checkpoint: shard %d exported at lsn %d, behind the newest snapshot's %d", i, se.LastLSN, l.snapCover[i])
+			}
+		}
 	}
 	lsn := l.nextLSN - 1
 	path := filepath.Join(l.dir, snapName(lsn))
@@ -205,11 +243,44 @@ func (l *Log) Checkpoint(states []*core.StateExport) error {
 		return err
 	}
 	syncDir(l.dir)
+	l.snapCover = make([]uint64, len(states))
+	for i, se := range states {
+		l.snapCover[i] = se.LastLSN
+	}
+	l.removeOldSnapshotsLocked(lsn)
 	if err := l.rotateLocked(); err != nil {
 		return err
 	}
 	l.compactLocked(states)
 	return nil
+}
+
+// removeOldSnapshotsLocked deletes snapshot files superseded by the
+// snapshot named keep, the only recovery source from now on; without
+// this a periodically-checkpointing daemon accumulates a full-state
+// file per interval forever.
+func (l *Log) removeOldSnapshotsLocked(keep uint64) {
+	entries, err := os.ReadDir(l.dir)
+	if err != nil {
+		return
+	}
+	removed := false
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "snap-") || !strings.HasSuffix(name, ".snap") {
+			continue
+		}
+		lsn, err := parseHex(strings.TrimSuffix(strings.TrimPrefix(name, "snap-"), ".snap"))
+		if err != nil || lsn >= keep {
+			continue
+		}
+		if os.Remove(filepath.Join(l.dir, name)) == nil {
+			removed = true
+		}
+	}
+	if removed {
+		syncDir(l.dir)
+	}
 }
 
 // Close syncs and closes the active segment. Further appends fail.
@@ -288,18 +359,8 @@ func (l *Log) rotateLocked() error {
 // (LastLSN zero) have no records anywhere and do not hold compaction
 // back.
 func (l *Log) compactLocked(states []*core.StateExport) {
-	cover := uint64(0)
-	have := false
-	for _, se := range states {
-		if se.LastLSN == 0 {
-			continue
-		}
-		if !have || se.LastLSN < cover {
-			cover = se.LastLSN
-			have = true
-		}
-	}
-	if !have {
+	cover := snapshotFloor(states)
+	if cover == 0 {
 		return
 	}
 	segs := listSegments(l.dir)
@@ -390,7 +451,23 @@ func scan(dir string) (*Recovered, uint64, error) {
 
 	segs := listSegments(dir)
 	lastLSN := rec.SnapshotLSN
+	// Continuity: the on-disk LSN sequence is dense (an LSN is assigned
+	// only once its record is durable), so records may be absent only
+	// where compaction could have deleted them — at or below the
+	// snapshot's compaction floor. Any other hole means a lost or
+	// mis-deleted segment; replaying around it would silently diverge.
+	cover := snapshotFloor(rec.Snapshot)
+	next := uint64(1) // the LSN the next segment must continue from
 	for i, s := range segs {
+		if s.first < next {
+			return nil, 0, fmt.Errorf("%w: segment %s overlaps records up to lsn %d", ErrCorrupt, s.name, next-1)
+		}
+		if s.first > next && s.first > cover+1 {
+			return nil, 0, fmt.Errorf("%w: log records %d..%d missing (gap before segment %s exceeds snapshot coverage %d)", ErrCorrupt, next, s.first-1, s.name, cover)
+		}
+		if s.first > next {
+			next = s.first // hole fully covered by the snapshot
+		}
 		path := filepath.Join(dir, s.name)
 		ops, durable, torn, err := readSegment(path, s.first)
 		if err != nil {
@@ -406,12 +483,31 @@ func scan(dir string) (*Recovered, uint64, error) {
 		}
 		rec.Ops = append(rec.Ops, ops...)
 		if n := len(ops); n > 0 {
-			if ops[n-1].LSN > lastLSN {
-				lastLSN = ops[n-1].LSN
-			}
+			next = ops[n-1].LSN + 1
 		}
 	}
+	if next-1 > lastLSN {
+		lastLSN = next - 1
+	}
 	return rec, lastLSN, nil
+}
+
+// snapshotFloor is the compaction floor of a recovered snapshot: the
+// minimum LastLSN across shards that journaled at all (compactLocked
+// uses the same floor, so every record above it is still on disk).
+func snapshotFloor(states []*core.StateExport) uint64 {
+	floor := uint64(0)
+	have := false
+	for _, se := range states {
+		if se.LastLSN == 0 {
+			continue
+		}
+		if !have || se.LastLSN < floor {
+			floor = se.LastLSN
+			have = true
+		}
+	}
+	return floor
 }
 
 // readSegment parses one segment file. It returns the decoded ops, the
@@ -436,6 +532,14 @@ func readSegment(path string, first uint64) (ops []RecordedOp, durable int64, to
 	for off < len(b) {
 		payload, next, ferr := readFrame(b, off)
 		if ferr == errTorn {
+			// A torn tail is a prefix of one record with nothing after
+			// it. If later records are decodable, this is bit rot (or an
+			// overwritten frame) in the middle of acknowledged history;
+			// truncating here would silently drop those records, so fail
+			// loudly instead.
+			if laterRecordExists(b, off, want) {
+				return nil, 0, false, fmt.Errorf("%w: record %d at offset %d undecodable but later records follow (mid-segment corruption, not a torn tail)", ErrCorrupt, want, off)
+			}
 			return ops, int64(off), true, nil
 		}
 		if ferr != nil {
@@ -453,6 +557,24 @@ func readSegment(path string, first uint64) (ops []RecordedOp, durable int64, to
 		want++
 	}
 	return ops, int64(off), false, nil
+}
+
+// laterRecordExists scans the bytes after an undecodable frame at off
+// for any whole, checksummed frame that decodes to an op record at or
+// beyond the LSN the bad frame was supposed to hold. Finding one means
+// acknowledged records follow the damage — a torn tail cannot look
+// like that, because a crash tears the log's very last write.
+func laterRecordExists(b []byte, off int, want uint64) bool {
+	for o := off + 1; o+frameHeader <= len(b); o++ {
+		payload, _, err := readFrame(b, o)
+		if err != nil {
+			continue
+		}
+		if rec, derr := DecodeOp(payload); derr == nil && rec.LSN >= want {
+			return true
+		}
+	}
+	return false
 }
 
 // readSnapshot parses one snapshot file.

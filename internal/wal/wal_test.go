@@ -230,6 +230,11 @@ func TestCorruptMiddleSegmentRejected(t *testing.T) {
 	}
 }
 
+// exportOf adapts fixed states to Checkpoint's export callback.
+func exportOf(states ...*core.StateExport) func() []*core.StateExport {
+	return func() []*core.StateExport { return states }
+}
+
 func TestCheckpointCompactsAndRecovers(t *testing.T) {
 	dir := t.TempDir()
 	log, _, err := wal.Open(dir, wal.Options{SegmentBytes: 64})
@@ -245,7 +250,7 @@ func TestCheckpointCompactsAndRecovers(t *testing.T) {
 	}
 	state := &core.StateExport{Seq: 0, LastLSN: last,
 		DisabledElements: []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}}
-	if err := log.Checkpoint([]*core.StateExport{state}); err != nil {
+	if err := log.Checkpoint(exportOf(state)); err != nil {
 		t.Fatal(err)
 	}
 	// Everything before the snapshot is covered: only the fresh active
@@ -284,6 +289,155 @@ func TestCheckpointCompactsAndRecovers(t *testing.T) {
 	if tail != 3 {
 		t.Fatalf("post-snapshot tail = %d ops, want 3", tail)
 	}
+}
+
+// TestCheckpointRemovesOldSnapshots: a periodically-checkpointing
+// daemon must not accumulate one full-state snapshot file per interval
+// forever — each checkpoint deletes the files it supersedes.
+func TestCheckpointRemovesOldSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	log, _, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last uint64
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 3; i++ {
+			last, err = log.Append(0, core.Op{Kind: core.OpElement, Elem: round*3 + i, Enabled: false})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		state := &core.StateExport{LastLSN: last}
+		if err := log.Checkpoint(exportOf(state)); err != nil {
+			t.Fatalf("checkpoint %d: %v", round, err)
+		}
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if snaps := snapshotNames(t, dir); len(snaps) != 1 {
+		t.Fatalf("snapshot files after 4 checkpoints = %v, want only the newest", snaps)
+	}
+	_, rec, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Snapshot == nil || rec.Snapshot[0].LastLSN != last {
+		t.Fatalf("recovered snapshot = %+v, want LastLSN %d", rec.Snapshot, last)
+	}
+}
+
+// TestStaleCheckpointRefused: the backstop against the lost-update
+// shape — a snapshot whose coverage regresses behind the newest
+// durable snapshot's must be refused, never published.
+func TestStaleCheckpointRefused(t *testing.T) {
+	dir := t.TempDir()
+	log, _, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	var last uint64
+	for i := 0; i < 5; i++ {
+		if last, err = log.Append(0, core.Op{Kind: core.OpElement, Elem: i, Enabled: false}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Checkpoint(exportOf(&core.StateExport{LastLSN: last})); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if err := log.Checkpoint(exportOf(&core.StateExport{LastLSN: last - 2})); err == nil {
+		t.Fatal("stale checkpoint (coverage behind newest snapshot) was accepted")
+	}
+	if err := log.Checkpoint(exportOf(&core.StateExport{LastLSN: last}, &core.StateExport{LastLSN: last})); err == nil {
+		t.Fatal("checkpoint with a different shard count was accepted")
+	}
+	// The stale attempts must not have displaced the good snapshot.
+	if snaps := snapshotNames(t, dir); len(snaps) != 1 {
+		t.Fatalf("snapshot files = %v, want exactly the good one", snaps)
+	}
+}
+
+// TestMidSegmentCorruptionInFinalSegmentRejected: a bad CRC in the
+// final segment followed by valid acknowledged records is bit rot, not
+// a torn tail — recovery must fail loudly instead of truncating the
+// valid records away.
+func TestMidSegmentCorruptionInFinalSegmentRejected(t *testing.T) {
+	dir := t.TempDir()
+	log, _, err := wal.Open(dir, wal.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := log.Append(0, core.Op{Kind: core.OpElement, Elem: i, Enabled: false}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs := segmentNames(t, dir)
+	seg := filepath.Join(dir, segs[len(segs)-1])
+	b, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one byte of the FIRST record's payload (after the 8-byte
+	// file magic and 8-byte frame header): its CRC now mismatches while
+	// records 2..5 after it remain whole.
+	b[16] ^= 0xff
+	if err := os.WriteFile(seg, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := wal.Open(dir, wal.Options{}); !errors.Is(err, wal.ErrCorrupt) {
+		t.Fatalf("Open with mid-segment corruption in final segment: err = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestMissingMiddleSegmentRejected: a hole in the LSN sequence that no
+// snapshot covers (a lost or mis-deleted segment file) must fail
+// recovery, not silently replay around the gap.
+func TestMissingMiddleSegmentRejected(t *testing.T) {
+	dir := t.TempDir()
+	log, _, err := wal.Open(dir, wal.Options{SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := log.Append(0, core.Op{Kind: core.OpRelease, Instance: "x#1"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs := segmentNames(t, dir)
+	if len(segs) < 3 {
+		t.Fatalf("need ≥3 segments, got %v", segs)
+	}
+	if err := os.Remove(filepath.Join(dir, segs[1])); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := wal.Open(dir, wal.Options{}); !errors.Is(err, wal.ErrCorrupt) {
+		t.Fatalf("Open with a missing middle segment: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func snapshotNames(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []string
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "snap-") && strings.HasSuffix(e.Name(), ".snap") {
+			out = append(out, e.Name())
+		}
+	}
+	sort.Strings(out)
+	return out
 }
 
 func TestSnapshotTmpCleanedUp(t *testing.T) {

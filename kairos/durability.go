@@ -30,7 +30,7 @@ import (
 type WAL = wal.Log
 
 // StateExport is the canonical serializable form of a manager's
-// durable state (Manager.ExportState); WAL.Checkpoint takes one per
+// durable state (Manager.ExportState); a checkpoint snapshots one per
 // shard.
 type StateExport = core.StateExport
 
@@ -61,6 +61,10 @@ func (j brokenJournal) Append(core.Op) (uint64, error) { return 0, j.err }
 // from it; boot from an existing directory with Recover instead. If
 // the directory cannot be initialised or holds prior state, every
 // subsequent operation fails with ErrJournal explaining why.
+//
+// New cannot return the log handle, so retrieve it with DurableLog to
+// checkpoint the log periodically and close it on shutdown; without
+// that the log grows uncompacted for the process lifetime.
 //
 // For clusters, do not pass this through WithShardOptions (each shard
 // would open its own untagged log); use RecoverCluster.
@@ -180,20 +184,44 @@ func replayShard(m *Manager, shard int, rec *wal.Recovered) error {
 }
 
 // Checkpoint snapshots a single durable manager into its log and
-// compacts covered segments (see WAL.Checkpoint).
+// compacts covered segments (see WAL.Checkpoint). Safe to call
+// concurrently with appends and with other checkpoints: the export is
+// taken under the log's checkpoint mutex, so a slow checkpoint can
+// never publish stale state over a newer snapshot.
 func Checkpoint(log *WAL, m *Manager) error {
-	return log.Checkpoint([]*StateExport{m.ExportState()})
+	return log.Checkpoint(func() []*StateExport {
+		return []*StateExport{m.ExportState()}
+	})
 }
 
 // CheckpointCluster snapshots every shard of a durable cluster into
 // the shared log and compacts covered segments. Each shard's export is
-// its own consistent cut; no cross-shard barrier is taken.
+// its own consistent cut; no cross-shard barrier is taken. Concurrent
+// checkpoints (a periodic ticker racing an operator request racing
+// shutdown) serialize inside WAL.Checkpoint — exports happen under the
+// log's checkpoint mutex, so the newest snapshot always reflects the
+// newest exported state.
 func CheckpointCluster(log *WAL, c *Cluster) error {
-	states := make([]*StateExport, c.NumShards())
-	for i := range states {
-		states[i] = c.Shard(i).ExportState()
+	return log.Checkpoint(func() []*StateExport {
+		states := make([]*StateExport, c.NumShards())
+		for i := range states {
+			states[i] = c.Shard(i).ExportState()
+		}
+		return states
+	})
+}
+
+// DurableLog returns the write-ahead log a WithDurability manager
+// journals into, or nil (the manager is not durable, or attaching the
+// log failed — in which case every operation already fails with
+// ErrJournal). The caller should Checkpoint it periodically so the log
+// compacts, and Close it on shutdown. Managers booted with Recover or
+// RecoverCluster get the log handed back directly.
+func DurableLog(m *Manager) *WAL {
+	if j, ok := m.Journal().(shardJournal); ok {
+		return j.log
 	}
-	return log.Checkpoint(states)
+	return nil
 }
 
 // ErrJournal matches every operation aborted because its journal

@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/wal"
@@ -146,6 +147,110 @@ func TestWithDurabilityRejectsPriorState(t *testing.T) {
 	}
 	if got := m2.Stats().Live; got != 0 {
 		t.Errorf("failed admit left Live = %d", got)
+	}
+}
+
+// TestDurableLog: a WithDurability manager's log is reachable through
+// DurableLog, so its owner can checkpoint it and close it cleanly —
+// and a recovery afterwards loads the snapshot that checkpoint wrote.
+func TestDurableLog(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	m := kairos.New(kairos.Mesh(4, 4, kairos.DefaultVCs), kairos.WithDurability(dir))
+	log := kairos.DurableLog(m)
+	if log == nil {
+		t.Fatal("DurableLog returned nil for a WithDurability manager")
+	}
+	if _, err := m.Admit(ctx, chain("alpha", 2, 30)); err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	if err := kairos.Checkpoint(log, m); err != nil {
+		t.Fatalf("checkpoint through DurableLog: %v", err)
+	}
+	want := stateBytes(t, m)
+	if err := log.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	m2, log2 := mustRecover(t, dir)
+	defer log2.Close()
+	if got := stateBytes(t, m2); !bytes.Equal(got, want) {
+		t.Fatal("state recovered from a DurableLog checkpoint differs")
+	}
+
+	if got := kairos.DurableLog(kairos.New(kairos.Mesh(4, 4, kairos.DefaultVCs))); got != nil {
+		t.Fatal("DurableLog returned a log for a non-durable manager")
+	}
+}
+
+// TestConcurrentCheckpointsUnderLoad races appends and overlapping
+// checkpoint callers (kairosd runs a ticker, an HTTP endpoint and the
+// shutdown path concurrently) and requires recovery to land exactly on
+// the final acknowledged state: a stale export published over a newer
+// snapshot whose compaction already deleted segments would lose
+// acknowledged admissions here.
+func TestConcurrentCheckpointsUnderLoad(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	const shards = 2
+
+	c, log, err := kairos.RecoverCluster(dir, shards, meshFactory(4, 4))
+	if err != nil {
+		t.Fatalf("RecoverCluster (fresh): %v", err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				adm, err := c.Admit(ctx, chain("churn", 2, 20))
+				if err != nil {
+					continue // rejection under load is normal traffic
+				}
+				if i%2 == 0 {
+					if err := c.Release(adm.Instance); err != nil {
+						t.Errorf("worker %d: release: %v", w, err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if err := kairos.CheckpointCluster(log, c); err != nil {
+					t.Errorf("concurrent checkpoint: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	want := make([][]byte, shards)
+	for i := 0; i < shards; i++ {
+		want[i] = stateBytes(t, c.Shard(i))
+	}
+	if err := log.Close(); err != nil {
+		t.Fatalf("close log: %v", err)
+	}
+
+	c2, log2, err := kairos.RecoverCluster(dir, shards, meshFactory(4, 4))
+	if err != nil {
+		t.Fatalf("RecoverCluster after concurrent checkpoints: %v", err)
+	}
+	defer log2.Close()
+	for i := 0; i < shards; i++ {
+		if got := stateBytes(t, c2.Shard(i)); !bytes.Equal(got, want[i]) {
+			t.Errorf("shard %d: recovered state differs from final acknowledged state", i)
+		}
 	}
 }
 
