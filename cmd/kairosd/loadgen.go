@@ -49,21 +49,28 @@ type loadgenCounters struct {
 	// up the cluster silently fills and the run measures fill-up, not
 	// steady state, so they fail the run like admit errors do.
 	releaseErrors int
-	latencies     []time.Duration
+	// latencies holds only the successful and workflow-rejected admit
+	// round-trips — the server actually ran the workflow for those.
+	// Transport errors (connection resets, full 30s client timeouts)
+	// measure the network or a dead server, not admission latency;
+	// folding them in would let a handful of errors wreck the reported
+	// percentiles, so they are counted in errors and excluded here.
+	latencies []time.Duration
 }
 
 func (c *loadgenCounters) record(status int, lat time.Duration, transportErr bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.requests++
-	c.latencies = append(c.latencies, lat)
 	switch {
 	case transportErr:
 		c.errors++
 	case status == http.StatusOK:
 		c.admitted++
+		c.latencies = append(c.latencies, lat)
 	case status == http.StatusConflict:
 		c.rejected++
+		c.latencies = append(c.latencies, lat)
 	default:
 		c.errors++
 	}

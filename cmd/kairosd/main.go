@@ -77,7 +77,7 @@ func run(args []string, stdout io.Writer) error {
 		"addr": true, "shards": true, "placement": true, "spill": true,
 		"platform": true, "weights": true,
 		"binder": true, "mapper": true, "router": true, "validator": true,
-		"data-dir": true, "checkpoint-every": true,
+		"layout-cache": true, "data-dir": true, "checkpoint-every": true,
 	}
 	loadgenOnly := map[string]bool{
 		"target": true, "rate": true, "duration": true,

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"time"
 
@@ -19,7 +20,16 @@ type server struct {
 	// wal is the durable admission log (-data-dir); nil when the
 	// server is not durable.
 	wal *kairos.WAL
+	// keepalive overrides the SSE heartbeat interval (tests shrink
+	// it); zero means sseKeepalive.
+	keepalive time.Duration
 }
+
+// sseKeepalive is how often an idle /v1/events stream emits a
+// ": keepalive" comment, so half-open connections are detected by the
+// failing write instead of holding their cluster subscription (and
+// forwarder goroutines) forever.
+const sseKeepalive = 15 * time.Second
 
 // newMux wires the /v1 API onto a fresh ServeMux.
 func (s *server) newMux() *http.ServeMux {
@@ -341,10 +351,23 @@ func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	h.Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
 	fl.Flush()
+	interval := s.keepalive
+	if interval <= 0 {
+		interval = sseKeepalive
+	}
+	heartbeat := time.NewTicker(interval)
+	defer heartbeat.Stop()
 	for {
 		select {
 		case <-r.Context().Done():
 			return
+		case <-heartbeat.C:
+			// A failing write is how a half-open connection finally
+			// surfaces; terminate so the subscription is released.
+			if _, err := io.WriteString(w, ": keepalive\n\n"); err != nil {
+				return
+			}
+			fl.Flush()
 		case ev, ok := <-events:
 			if !ok {
 				return
@@ -369,7 +392,9 @@ func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			default:
 				ej.Type = "event"
 			}
-			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ej.Type, mustJSON(ej))
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ej.Type, mustJSON(ej)); err != nil {
+				return
+			}
 			fl.Flush()
 		}
 	}

@@ -1,0 +1,144 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// TestLoadgenRecordExcludesTransportErrors pins the percentile purity
+// fix: transport errors (connection resets, full client timeouts)
+// measure the network or a dead server, not admission latency, so
+// record must keep them out of the latency population. Before the fix
+// a handful of 30s timeouts dragged p99 from milliseconds to the full
+// timeout.
+func TestLoadgenRecordExcludesTransportErrors(t *testing.T) {
+	c := &loadgenCounters{}
+	c.record(http.StatusOK, 5*time.Millisecond, false)
+	c.record(http.StatusConflict, 7*time.Millisecond, false)
+	c.record(0, 30*time.Second, true)                               // client timeout
+	c.record(http.StatusInternalServerError, 29*time.Second, false) // dying server
+	c.record(http.StatusOK, 9*time.Millisecond, false)
+	c.record(0, 30*time.Second, true)
+
+	if c.requests != 6 || c.admitted != 2 || c.rejected != 1 || c.errors != 3 {
+		t.Fatalf("counters = %d req / %d admitted / %d rejected / %d errors, want 6/2/1/3",
+			c.requests, c.admitted, c.rejected, c.errors)
+	}
+	if len(c.latencies) != 3 {
+		t.Fatalf("latency population has %d samples, want 3 (errors leaked in)", len(c.latencies))
+	}
+	for _, l := range c.latencies {
+		if l >= time.Second {
+			t.Fatalf("error-path latency %v leaked into the percentile population", l)
+		}
+	}
+	ps := experiments.DurationPercentiles(c.latencies, 50, 90, 99)
+	if ps[2] >= time.Second {
+		t.Fatalf("p99 = %v; transport errors wrecked the percentiles", ps[2])
+	}
+}
+
+// TestEventsSSEKeepalive shrinks the server's heartbeat interval and
+// asserts an idle /v1/events stream still carries periodic keepalive
+// comments — the write that lets the server notice half-open
+// connections instead of holding their subscriptions forever.
+func TestEventsSSEKeepalive(t *testing.T) {
+	ts, s := testServer(t, 2)
+	s.keepalive = 20 * time.Millisecond
+
+	resp, err := http.Get(ts.URL + "/v1/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	// No admissions happen: every byte on the stream is heartbeat.
+	sc := bufio.NewScanner(resp.Body)
+	deadline := time.AfterFunc(10*time.Second, func() { resp.Body.Close() })
+	defer deadline.Stop()
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), ": keepalive") {
+			return
+		}
+	}
+	t.Fatal("stream ended without a keepalive comment")
+}
+
+// brokenSSEWriter is a ResponseWriter+Flusher whose writes start
+// failing after a budget — a half-open connection as the handler sees
+// it once the kernel buffers drain.
+type brokenSSEWriter struct {
+	mu     sync.Mutex
+	header http.Header
+	budget int
+}
+
+func (w *brokenSSEWriter) Header() http.Header {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.header == nil {
+		w.header = http.Header{}
+	}
+	return w.header
+}
+
+func (w *brokenSSEWriter) WriteHeader(int) {}
+
+func (w *brokenSSEWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.budget <= 0 {
+		return 0, errors.New("write: broken pipe")
+	}
+	w.budget--
+	return len(p), nil
+}
+
+func (w *brokenSSEWriter) Flush() {}
+
+// TestEventsSSEWriteErrorTerminates drives handleEvents against a
+// connection whose writes fail, once through the event path and once
+// through the keepalive path. Both must make the handler return (and
+// so release its subscription); before the fix the event loop ignored
+// write errors and spun on a dead connection until process exit.
+func TestEventsSSEWriteErrorTerminates(t *testing.T) {
+	run := func(t *testing.T, s *server, kick func()) {
+		t.Helper()
+		req := httptest.NewRequest(http.MethodGet, "/v1/events", nil)
+		req = req.WithContext(context.Background()) // never cancelled: only the write error can end the loop
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			s.handleEvents(&brokenSSEWriter{}, req)
+		}()
+		kick()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatal("handleEvents kept serving a connection whose writes fail")
+		}
+	}
+
+	t.Run("event-write", func(t *testing.T) {
+		ts, s := testServer(t, 1)
+		run(t, s, func() {
+			// An admission publishes an event; writing it fails.
+			resp := postJSON(t, ts.URL+"/v1/admit", quickstartWire())
+			resp.Body.Close()
+		})
+	})
+	t.Run("keepalive-write", func(t *testing.T) {
+		_, s := testServer(t, 1)
+		s.keepalive = 20 * time.Millisecond
+		run(t, s, func() {}) // idle stream: the heartbeat write fails
+	})
+}

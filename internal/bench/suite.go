@@ -81,6 +81,14 @@ func Suite(opts Options) []Scenario {
 		scs = append(scs, clusterScenario("cluster/place-"+pol.Name(), 16, pol, opts))
 	}
 
+	// Layout cache: the same admit+release op with the cache disabled
+	// (cold: every op pays bind+map+route) and enabled-and-warmed
+	// (hot: every op replays the memoized layout). The pair is the
+	// regression gate on the cache fast-path — hot must stay an order
+	// of magnitude under cold. Validation is off in both, so the
+	// comparison isolates the three cached phases.
+	scs = append(scs, cacheScenario(false, opts), cacheScenario(true, opts))
+
 	// Crash-recovery replay: one full kairos.Recover boot from a durable
 	// admission log, at two log depths. Restart time is availability —
 	// the durability layer (DESIGN.md §8) re-executes every logged op,
@@ -425,6 +433,54 @@ func recoveryScenario(logOps int, opts Options) Scenario {
 			if dir != "" {
 				os.RemoveAll(dir)
 			}
+		},
+	}
+}
+
+// cacheScenario: Admit+Release of the communication-medium sample,
+// without (cold) or with (hot) the layout cache. Release restores the
+// platform to empty, so in the hot variant every measured op after
+// the warm-up admission is a cache hit.
+func cacheScenario(hot bool, opts Options) Scenario {
+	name := "cache/admit-cold"
+	if hot {
+		name = "cache/admit-hot"
+	}
+	return Scenario{
+		Name:  name,
+		Group: "cache",
+		Ops:   opts.ops(200, 100),
+		Prepare: func() (func() (int, error), error) {
+			app, err := sampleApp(appgen.Communication, appgen.Medium, opts.Seed)
+			if err != nil {
+				return nil, err
+			}
+			kopts := []kairos.Option{
+				kairos.WithWeights(kairos.WeightsBoth),
+				kairos.WithoutValidation(),
+			}
+			if hot {
+				kopts = append(kopts, kairos.WithLayoutCache(16))
+			}
+			k := kairos.New(platform.CRISP(), kopts...)
+			ctx := context.Background()
+			if hot {
+				// Warm the cache: one full admission inserts the layout.
+				adm, err := k.Admit(ctx, app)
+				if err != nil {
+					return nil, fmt.Errorf("warming the layout cache: %w", err)
+				}
+				if err := k.Release(adm.Instance); err != nil {
+					return nil, err
+				}
+			}
+			return func() (int, error) {
+				adm, err := k.Admit(ctx, app)
+				if err != nil {
+					return 1, err
+				}
+				return 1, k.Release(adm.Instance)
+			}, nil
 		},
 	}
 }

@@ -1,0 +1,353 @@
+package core
+
+// The layout cache: a per-manager memo of successful execution
+// layouts, keyed on a canonical fingerprint of the application's
+// structure plus a residual-capacity sketch of the platform. The
+// paper's admission workflow is deterministic for a fixed option set:
+// two admissions of structurally identical applications onto
+// byte-identical platform states produce byte-identical layouts. The
+// cache exploits exactly that — on a hit it skips binding, mapping
+// and routing and replays the remembered layout under the new
+// instance name, running only the validation phase (when enabled)
+// before committing.
+//
+// Correctness rests on what the sketch captures: everything the four
+// phases observe about the platform. Binding reads free capacity by
+// type (capacity is fixed; used vectors and enabled flags are in the
+// sketch). Mapping's cost function reads used vectors, enabled
+// elements and links, occupancy (InUse, and own-instance HostsPeer /
+// HostsApp, which are instance-rename-symmetric), element wear (only
+// when Weights.Wear > 0 — wear grows monotonically and never resets,
+// so it is sketched only when it can steer a placement) and pool
+// utilization. Routing reads link enabled flags and free virtual
+// channels. Validation reads occupant counts and the layout itself.
+// Sketch-equal therefore implies the full workflow would reproduce
+// the cached layout bit for bit, which is what lets a cached commit
+// journal identically to a full admission: recovery replays OpAdmit
+// records through admitLocked, where the cache is just as legal as
+// the full workflow.
+//
+// Invalidation is structural: a release, readmission or fault flip
+// changes the used vectors, occupancy or enabled flags, so the sketch
+// bytes — and the lookup key — change, and stale entries simply never
+// match again (they age out of the LRU). Fault transitions that go
+// through the manager (SetElementEnabled, SetLinkEnabled, replayed
+// OpElement/OpLink) additionally flush the whole cache: a fault
+// epoch's layouts route around different hardware, so keeping the old
+// epoch's entries only wastes capacity. Hash collisions cannot break
+// the byte-identity invariant: every entry stores its full fingerprint
+// and sketch bytes and a hit requires bytewise equality.
+
+import (
+	"encoding/binary"
+	"hash/maphash"
+	"math"
+	"time"
+
+	"repro/internal/binding"
+	"repro/internal/graph"
+	"repro/internal/platform"
+	"repro/internal/routing"
+)
+
+// cacheKey is the 128-bit hash pair a lookup indexes on; the stored
+// byte strings disambiguate collisions.
+type cacheKey struct{ fp, sketch uint64 }
+
+// cacheEntry is one memoized layout.
+type cacheEntry struct {
+	// fp and sketch are the full canonical byte strings the entry was
+	// inserted under; a hit requires bytewise equality with both.
+	fp, sketch []byte
+	// impls, assignment and routes are the remembered layout: the
+	// selected implementation index, the assigned element and the
+	// allocated channel paths, all positional (task/channel IDs), so
+	// they translate to any structurally identical application.
+	impls      []int
+	assignment []int
+	routes     []routing.Route
+	// lastUsed is the cache tick of the entry's last hit or insert,
+	// the LRU eviction order.
+	lastUsed uint64
+}
+
+// layoutCache memoizes successful layouts, capacity-bounded with LRU
+// eviction. All access happens under the engine's platform-state
+// mutex.
+type layoutCache struct {
+	cap     int
+	entries map[cacheKey]*cacheEntry
+	tick    uint64
+	// seed keys the lookup hash; collisions are resolved by the byte
+	// compare, so the seed only has to be stable for this cache's
+	// lifetime, never across processes.
+	seed maphash.Seed
+	// fpBuf and skBuf are the per-lookup encoding scratch, reused
+	// across admissions (the hot path stays allocation-lean).
+	fpBuf, skBuf []byte
+	// links caches the platform's deterministic link order: topology
+	// is fixed for a manager's lifetime, and rebuilding the sorted
+	// slice per sketch would dominate the fast path.
+	links []*platform.Link
+}
+
+func newLayoutCache(capacity int) *layoutCache {
+	return &layoutCache{
+		cap:     capacity,
+		entries: make(map[cacheKey]*cacheEntry, capacity),
+		seed:    maphash.MakeSeed(),
+	}
+}
+
+func (c *layoutCache) key(fp, sketch []byte) cacheKey {
+	return cacheKey{fp: maphash.Bytes(c.seed, fp), sketch: maphash.Bytes(c.seed, sketch)}
+}
+
+// lookup returns the entry for the fingerprint+sketch pair, or nil.
+// A key match with different bytes (hash collision) is a miss.
+func (c *layoutCache) lookup(fp, sketch []byte) *cacheEntry {
+	e, ok := c.entries[c.key(fp, sketch)]
+	if !ok || !bytesEqual(e.fp, fp) || !bytesEqual(e.sketch, sketch) {
+		return nil
+	}
+	c.tick++
+	e.lastUsed = c.tick
+	return e
+}
+
+// bytesEqual avoids importing bytes for one call.
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// insert memoizes a successful admission's layout under the
+// pre-attempt fingerprint and sketch, evicting the least recently
+// used entry at capacity. The layout is deep-copied: the admission
+// owns its slices and may outlive the entry (and vice versa).
+func (c *layoutCache) insert(fp, sketch []byte, adm *Admission) {
+	key := c.key(fp, sketch)
+	if _, exists := c.entries[key]; !exists && len(c.entries) >= c.cap {
+		var victim cacheKey
+		oldest := uint64(math.MaxUint64)
+		for k, e := range c.entries {
+			if e.lastUsed < oldest {
+				oldest = e.lastUsed
+				victim = k
+			}
+		}
+		delete(c.entries, victim)
+	}
+	impls := make([]int, len(adm.App.Tasks))
+	for i := range impls {
+		impls[i] = adm.Binding.ImplIndex(i)
+	}
+	routes := make([]routing.Route, len(adm.Routes))
+	for i, rt := range adm.Routes {
+		routes[i] = routing.Route{Channel: rt.Channel, Path: append([]int(nil), rt.Path...)}
+	}
+	c.tick++
+	c.entries[key] = &cacheEntry{
+		fp:         append([]byte(nil), fp...),
+		sketch:     append([]byte(nil), sketch...),
+		impls:      impls,
+		assignment: append([]int(nil), adm.Assignment...),
+		routes:     routes,
+		lastUsed:   c.tick,
+	}
+}
+
+// drop removes one entry (a fallback proved it stale).
+func (c *layoutCache) drop(fp, sketch []byte) {
+	delete(c.entries, c.key(fp, sketch))
+}
+
+// flush empties the cache (fault transitions start a new epoch).
+func (c *layoutCache) flush() {
+	clear(c.entries)
+}
+
+// FlushLayoutCache drops every memoized layout. The engine flushes
+// automatically on manager-mediated fault transitions; this is the
+// hook for callers that mutate the platform directly.
+func (k *Kairos) FlushLayoutCache() {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.cache != nil {
+		k.cache.flush()
+	}
+}
+
+// flushCacheLocked is the internal flush hook. Called with k.mu held.
+func (k *Kairos) flushCacheLocked() {
+	if k.cache != nil {
+		k.cache.flush()
+	}
+}
+
+// Canonical encoding helpers. These mirror the canonical-bytes
+// discipline of internal/wal's codec (fixed-width little-endian,
+// length-prefixed sequences) but live here because wal imports core.
+
+func cacheU32(b []byte, v uint32) []byte { return binary.LittleEndian.AppendUint32(b, v) }
+func cacheU64(b []byte, v uint64) []byte { return binary.LittleEndian.AppendUint64(b, v) }
+
+func cacheString(b []byte, s string) []byte {
+	b = cacheU32(b, uint32(len(s)))
+	return append(b, s...)
+}
+
+// appendFingerprint appends the canonical byte encoding of the
+// application's admission-relevant structure: tasks (kind, fixed
+// element, implementation set), channels and constraints — everything
+// the four phases read, and nothing they don't. Names (application,
+// task, implementation) are deliberately excluded: the workflow never
+// branches on them (instance names are rename-symmetric), and traffic
+// repeats shapes under fresh names.
+func appendFingerprint(b []byte, app *graph.Application) []byte {
+	b = cacheU32(b, uint32(len(app.Tasks)))
+	for _, t := range app.Tasks {
+		b = append(b, byte(t.Kind))
+		b = cacheU32(b, uint32(int32(t.FixedElement)))
+		b = cacheU32(b, uint32(len(t.Implementations)))
+		for _, im := range t.Implementations {
+			b = cacheString(b, im.Target)
+			b = cacheU32(b, uint32(len(im.Requires)))
+			for _, v := range im.Requires {
+				b = cacheU64(b, uint64(v))
+			}
+			b = cacheU64(b, math.Float64bits(im.Cost))
+			b = cacheU64(b, uint64(im.ExecTime))
+		}
+	}
+	b = cacheU32(b, uint32(len(app.Channels)))
+	for _, ch := range app.Channels {
+		b = cacheU32(b, uint32(int32(ch.Src)))
+		b = cacheU32(b, uint32(int32(ch.Dst)))
+		b = cacheU32(b, uint32(int32(ch.Produce)))
+		b = cacheU32(b, uint32(int32(ch.Consume)))
+		b = cacheU64(b, uint64(ch.TokenSize))
+		b = cacheU32(b, uint32(int32(ch.Initial)))
+	}
+	b = cacheU64(b, math.Float64bits(app.Constraints.MinThroughput))
+	b = cacheU64(b, uint64(app.Constraints.MaxLatency))
+	return b
+}
+
+// appendSketch appends the canonical byte encoding of the platform
+// state the workflow observes: per element (ID order) the enabled
+// flag, used resource vector and occupant count — plus wear when the
+// cost function weighs it — and per link (deterministic link order)
+// the enabled flag and used virtual channels. Capacities and topology
+// are fixed for a manager's lifetime and excluded. Called with k.mu
+// held.
+func (k *Kairos) appendSketch(b []byte) []byte {
+	if k.cache.links == nil {
+		k.cache.links = k.p.Links()
+	}
+	sketchWear := k.opts.Weights.Wear > 0
+	for _, e := range k.p.Elements() {
+		flag := byte(0)
+		if e.Enabled() {
+			flag = 1
+		}
+		b = append(b, flag)
+		for _, v := range e.Pool().Used() {
+			b = cacheU64(b, uint64(v))
+		}
+		b = cacheU32(b, uint32(e.OccupantCount()))
+		if sketchWear {
+			b = cacheU32(b, uint32(e.Wear()))
+		}
+	}
+	for _, l := range k.cache.links {
+		flag := byte(0)
+		if l.Enabled() {
+			flag = 1
+		}
+		b = append(b, flag)
+		b = cacheU32(b, uint32(l.Used()))
+	}
+	return b
+}
+
+// replayCachedLocked commits a cache hit: the remembered layout is
+// replayed under a fresh instance name — placements, then routes,
+// then the validation phase exactly as the full workflow runs it —
+// and the admission is committed. Any failure (capacity mismatch,
+// fault overlap, validation conflict) unwinds every partial
+// allocation, returns the sequence number, and reports !ok so the
+// caller falls back to the full workflow; the platform is then
+// byte-identical to before the call.
+func (k *Kairos) replayCachedLocked(app *graph.Application, e *cacheEntry) (*Admission, bool) {
+	k.seq++
+	adm := &Admission{
+		Instance: instanceName(app, k.seq),
+		App:      app,
+	}
+	bind, err := binding.FromSelection(app, e.impls)
+	if err != nil {
+		k.seq--
+		return nil, false
+	}
+	adm.Binding = bind
+	placed := 0
+	var fail bool
+	for _, t := range app.Tasks {
+		occ := platform.Occupant{App: adm.Instance, Task: t.ID}
+		if perr := k.p.Place(e.assignment[t.ID], occ, bind.Demand(t.ID)); perr != nil {
+			fail = true
+			break
+		}
+		placed++
+	}
+	if !fail {
+		adm.Assignment = append([]int(nil), e.assignment...)
+		routes := make([]routing.Route, 0, len(e.routes))
+	alloc:
+		for _, rt := range e.routes {
+			for i := 0; i+1 < len(rt.Path); i++ {
+				if perr := k.p.AllocVC(rt.Path[i], rt.Path[i+1]); perr != nil {
+					for j := 0; j < i; j++ {
+						_ = k.p.ReleaseVC(rt.Path[j], rt.Path[j+1])
+					}
+					fail = true
+					break alloc
+				}
+			}
+			routes = append(routes, routing.Route{Channel: rt.Channel, Path: append([]int(nil), rt.Path...)})
+		}
+		if !fail {
+			adm.Routes = routes
+			if !k.opts.DisableValidation {
+				start := time.Now()
+				rep, verr := k.opts.validator().Validate(app, bind, adm.Assignment, routes, k.p, k.opts.Validation)
+				adm.Times.Validation = time.Since(start)
+				adm.Report = rep
+				if verr != nil && !k.opts.SkipValidation {
+					routing.ReleaseAll(k.p, routes)
+					fail = true
+				}
+			}
+		} else {
+			routing.ReleaseAll(k.p, routes)
+		}
+	}
+	if fail {
+		for _, t := range app.Tasks[:placed] {
+			occ := platform.Occupant{App: adm.Instance, Task: t.ID}
+			_ = k.p.Remove(e.assignment[t.ID], occ)
+		}
+		k.seq--
+		return nil, false
+	}
+	k.admitted[adm.Instance] = adm
+	return adm, true
+}

@@ -132,6 +132,14 @@ type Options struct {
 	// EventBuffer is the per-subscription channel capacity of the
 	// event stream (see Subscribe); zero means DefaultEventBuffer.
 	EventBuffer int
+	// LayoutCache, when positive, memoizes up to this many successful
+	// layouts keyed on a canonical application fingerprint plus a
+	// residual-capacity sketch of the platform (see cache.go). A hit
+	// skips binding, mapping and routing and replays the remembered
+	// layout under the new instance name, falling back to the full
+	// workflow when the replay or its validation fails. Zero disables
+	// the cache.
+	LayoutCache int
 }
 
 // EvictReason says why an Evicted event fired for an admission.
@@ -201,13 +209,20 @@ type Kairos struct {
 	// carry.
 	journal Journal
 	lastLSN uint64
+	// cache, when non-nil, memoizes successful layouts (see
+	// Options.LayoutCache and cache.go).
+	cache *layoutCache
 }
 
 // New returns a resource manager for the platform. The manager owns
 // the platform's allocation state from here on: mutate it only
 // through the manager.
 func New(p *platform.Platform, opts Options) *Kairos {
-	return &Kairos{p: p, opts: opts, admitted: make(map[string]*Admission)}
+	k := &Kairos{p: p, opts: opts, admitted: make(map[string]*Admission)}
+	if opts.LayoutCache > 0 {
+		k.cache = newLayoutCache(opts.LayoutCache)
+	}
+	return k
 }
 
 // Platform returns the managed platform. The platform itself is not
@@ -250,7 +265,8 @@ func (k *Kairos) Admit(ctx context.Context, app *graph.Application) (*Admission,
 	return adm, err
 }
 
-// admitLocked runs the four-phase workflow under k.mu.
+// admitLocked runs the four-phase workflow under k.mu, consulting the
+// layout cache first when one is configured.
 func (k *Kairos) admitLocked(ctx context.Context, app *graph.Application) (*Admission, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -260,8 +276,32 @@ func (k *Kairos) admitLocked(ctx context.Context, app *graph.Application) (*Admi
 		ctx, cancel = context.WithTimeout(ctx, k.opts.AdmitTimeout)
 		defer cancel()
 	}
+	var fp, sketch []byte
+	if c := k.cache; c != nil && ctx.Err() == nil {
+		c.fpBuf = appendFingerprint(c.fpBuf[:0], app)
+		c.skBuf = k.appendSketch(c.skBuf[:0])
+		fp, sketch = c.fpBuf, c.skBuf
+		if e := c.lookup(fp, sketch); e != nil {
+			if adm, ok := k.replayCachedLocked(app, e); ok {
+				k.stats.CacheHits++
+				k.stats.record(adm, nil)
+				return adm, nil
+			}
+			// The entry matched byte-for-byte but would not replay:
+			// the platform disagrees with what the sketch promised
+			// (e.g. it was mutated directly, bypassing the manager).
+			// Drop the stale entry and run the full workflow.
+			c.drop(fp, sketch)
+			k.stats.CacheFallbacks++
+		} else {
+			k.stats.CacheMisses++
+		}
+	}
 	adm, err := k.attemptLocked(ctx, app)
 	k.stats.record(adm, err)
+	if err == nil && k.cache != nil && fp != nil {
+		k.cache.insert(fp, sketch, adm)
+	}
 	return adm, err
 }
 
@@ -270,11 +310,17 @@ func cancelled(app *graph.Application, next Phase, err error) error {
 	return fmt.Errorf("kairos: admission of %s cancelled before %s phase: %w", app.Name, next, err)
 }
 
+// instanceName composes the unique name an admission attempt runs
+// under; seq is the attempt's freshly consumed sequence number.
+func instanceName(app *graph.Application, seq int) string {
+	return fmt.Sprintf("%s#%d", app.Name, seq)
+}
+
 // attemptLocked is the workflow body without stats accounting.
 func (k *Kairos) attemptLocked(ctx context.Context, app *graph.Application) (*Admission, error) {
 	k.seq++
 	adm := &Admission{
-		Instance: fmt.Sprintf("%s#%d", app.Name, k.seq),
+		Instance: instanceName(app, k.seq),
 		App:      app,
 	}
 

@@ -198,6 +198,10 @@ func (k *Kairos) setElement(id int, enabled bool) {
 	} else {
 		k.p.DisableElement(id)
 	}
+	// A fault transition starts a new epoch: layouts memoized against
+	// the old hardware state would only waste cache capacity (their
+	// sketches can never match again once the transition sticks).
+	k.flushCacheLocked()
 }
 
 // SetLinkEnabled enables or disables both directions of the physical
@@ -227,6 +231,7 @@ func (k *Kairos) setLink(a, b int, enabled bool) {
 	} else {
 		k.p.DisableLink(a, b)
 	}
+	k.flushCacheLocked()
 }
 
 // ReplayOp deterministically re-executes one recorded op during

@@ -43,6 +43,16 @@ type Stats struct {
 	Restored   int64
 	// Live is the number of currently admitted applications.
 	Live int
+	// CacheHits, CacheMisses and CacheFallbacks count layout-cache
+	// outcomes (Options.LayoutCache): a hit committed a memoized
+	// layout without binding/mapping/routing; a miss found no entry
+	// for the fingerprint+sketch pair and ran the full workflow; a
+	// fallback found an entry that would not replay (the platform
+	// disagreed with the sketch) and ran the full workflow too. All
+	// three stay zero when the cache is disabled.
+	CacheHits      int64
+	CacheMisses    int64
+	CacheFallbacks int64
 	// PhaseTotals accumulates the per-phase execution time over all
 	// attempts, successful or not (the basis of Fig. 7).
 	PhaseTotals PhaseTimes

@@ -90,6 +90,15 @@ func managerOptions() []kairos.Option {
 	return []kairos.Option{kairos.WithoutValidation()}
 }
 
+// cachedManagerOptions turns the layout cache on for every engine in a
+// trial — live, reference replay, and real recovery alike — so crash
+// injection also proves cached commits journal identically to full
+// admissions (recovery replays OpAdmit through the same admit path,
+// where a hit must reproduce the recorded layout bit-for-bit).
+func cachedManagerOptions() []kairos.Option {
+	return append(managerOptions(), kairos.WithLayoutCache(8))
+}
+
 func encState(t *testing.T, se *core.StateExport) []byte {
 	t.Helper()
 	b, err := wal.EncodeState(nil, se)
@@ -127,6 +136,10 @@ func drive(t *testing.T, m *kairos.Manager, p *platform.Platform, log *wal.Log,
 	rng *rand.Rand, steps int, checkpointEvery int) driveResult {
 	t.Helper()
 	gen := appgen.New(appgen.NewConfig(appgen.Communication, appgen.Small), rng.Int63())
+	// One recurring shape alongside the fresh draws: repeated
+	// admissions of the same graph are what a layout cache memoizes,
+	// so cache-enabled runs crash inside hits too, not just misses.
+	hot := gen.Next()
 	res := driveResult{ack: map[uint64]*core.StateExport{0: m.ExportState()}, m: m}
 	links := p.Links()
 	ctx := context.Background()
@@ -145,6 +158,8 @@ func drive(t *testing.T, m *kairos.Manager, p *platform.Platform, log *wal.Log,
 		before := m.ExportState()
 		var err error
 		switch roll := rng.Intn(10); {
+		case roll < 2:
+			_, err = m.Admit(ctx, hot)
 		case roll < 4:
 			_, err = m.Admit(ctx, gen.Next())
 		case roll < 6:
@@ -192,8 +207,10 @@ func drive(t *testing.T, m *kairos.Manager, p *platform.Platform, log *wal.Log,
 // recoverAndCheck recovers dir twice — once as a plain scan feeding a
 // reference engine that replays the durable ops, once through the real
 // kairos.Recover path — and asserts both land on identical state that
-// matches the live engine's acknowledged prefix.
-func recoverAndCheck(t *testing.T, dir string, res driveResult) {
+// matches the live engine's acknowledged prefix. opts configures the
+// reference and recovered engines; it must match what the live engine
+// ran with, or replay legitimately diverges.
+func recoverAndCheck(t *testing.T, dir string, res driveResult, opts []kairos.Option) {
 	t.Helper()
 	// Reference: scan the directory and replay what is durable.
 	refLog, rec, err := wal.Open(dir, wal.Options{})
@@ -201,7 +218,7 @@ func recoverAndCheck(t *testing.T, dir string, res driveResult) {
 		t.Fatalf("reference scan: %v", err)
 	}
 	refLog.Close()
-	ref := kairos.New(freshPlatform(), managerOptions()...)
+	ref := kairos.New(freshPlatform(), opts...)
 	var snapLSN uint64
 	if len(rec.Snapshot) > 0 {
 		if err := ref.ImportState(rec.Snapshot[0]); err != nil {
@@ -219,7 +236,7 @@ func recoverAndCheck(t *testing.T, dir string, res driveResult) {
 	}
 
 	// Real recovery.
-	m2, log2, err := kairos.Recover(dir, freshPlatform(), managerOptions()...)
+	m2, log2, err := kairos.Recover(dir, freshPlatform(), opts...)
 	if err != nil {
 		t.Fatalf("Recover: %v", err)
 	}
@@ -262,6 +279,23 @@ func TestCrashRecoveryProperty(t *testing.T) {
 	if testing.Short() {
 		trials = 8
 	}
+	runCrashRecoveryProperty(t, trials, managerOptions())
+}
+
+// TestCrashRecoveryPropertyWithCache reruns the crash-injection
+// property with the layout cache enabled everywhere. Hot admissions
+// commit through the memoized fast path, so the torn-write sweep now
+// also covers journal appends and rollbacks of cached commits, and
+// recovery replays them through a cache-enabled engine.
+func TestCrashRecoveryPropertyWithCache(t *testing.T) {
+	trials := 16
+	if testing.Short() {
+		trials = 6
+	}
+	runCrashRecoveryProperty(t, trials, cachedManagerOptions())
+}
+
+func runCrashRecoveryProperty(t *testing.T, trials int, opts []kairos.Option) {
 	for trial := 0; trial < trials; trial++ {
 		trial := trial
 		t.Run(fmt.Sprintf("trial%02d", trial), func(t *testing.T) {
@@ -282,7 +316,7 @@ func TestCrashRecoveryProperty(t *testing.T) {
 				t.Fatalf("fresh dir has %d ops", len(rec.Ops))
 			}
 			p := freshPlatform()
-			m := kairos.New(p, managerOptions()...)
+			m := kairos.New(p, opts...)
 			m.AttachJournal(journalFunc(func(op core.Op) (uint64, error) {
 				return log.Append(0, op)
 			}))
@@ -295,7 +329,7 @@ func TestCrashRecoveryProperty(t *testing.T) {
 			res := drive(t, m, p, log, rng, 60, checkpointEvery)
 			// The crash abandons the log without closing it, like a
 			// real process death.
-			recoverAndCheck(t, dir, res)
+			recoverAndCheck(t, dir, res, opts)
 		})
 	}
 }

@@ -1,0 +1,239 @@
+package kairos_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/appgen"
+	"repro/kairos"
+)
+
+// TestLayoutCacheLockstep is the cache correctness property test: a
+// cached manager and an uncached twin walk the same deterministic op
+// sequence, and after every single op their durable state must be
+// byte-identical under the WAL's canonical encoding. Since the twin
+// always runs the full four-phase workflow, any byte of divergence
+// means a cache hit committed a layout the workflow would not have
+// produced. The sequence forces hits (repeated admit/release of one
+// app), misses (fresh generator shapes), and an invalidation epoch
+// (a fault flip, which must flush the cache).
+func TestLayoutCacheLockstep(t *testing.T) {
+	ctx := context.Background()
+	opts := []kairos.Option{kairos.WithWeights(kairos.WeightsBoth)}
+	plain := kairos.New(kairos.Mesh(4, 4, kairos.DefaultVCs), opts...)
+	cached := kairos.New(kairos.Mesh(4, 4, kairos.DefaultVCs),
+		append([]kairos.Option{kairos.WithLayoutCache(8)}, opts...)...)
+
+	step := 0
+	check := func(what string) {
+		t.Helper()
+		step++
+		if got, want := stateBytes(t, cached), stateBytes(t, plain); !bytes.Equal(got, want) {
+			t.Fatalf("step %d (%s): cached manager state diverged from full-workflow twin", step, what)
+		}
+	}
+	admitBoth := func(app *kairos.Application) (string, bool) {
+		t.Helper()
+		admC, errC := cached.Admit(ctx, app)
+		admP, errP := plain.Admit(ctx, app)
+		if (errC == nil) != (errP == nil) {
+			t.Fatalf("admit %s: cached err %v, plain err %v", app.Name, errC, errP)
+		}
+		check("admit " + app.Name)
+		if errC != nil {
+			return "", false
+		}
+		if admC.Instance != admP.Instance {
+			t.Fatalf("admit %s: cached instance %q, plain %q", app.Name, admC.Instance, admP.Instance)
+		}
+		return admC.Instance, true
+	}
+	releaseBoth := func(instance string) {
+		t.Helper()
+		if err := cached.Release(instance); err != nil {
+			t.Fatalf("cached release %s: %v", instance, err)
+		}
+		if err := plain.Release(instance); err != nil {
+			t.Fatalf("plain release %s: %v", instance, err)
+		}
+		check("release " + instance)
+	}
+
+	// Repeated shape: the first admit is a miss, every later one (the
+	// platform is back in the same state after each release) a hit.
+	pipe := chain("pipe", 3, 40)
+	for round := 0; round < 4; round++ {
+		if inst, ok := admitBoth(pipe); ok {
+			releaseBoth(inst)
+		} else {
+			t.Fatalf("round %d: pipe rejected", round)
+		}
+	}
+
+	// Fresh shapes from the generator: misses, including rejections
+	// (both sides must reject identically), with a few left resident
+	// so later hits replay onto a non-empty platform.
+	gen := appgen.New(appgen.NewConfig(appgen.Communication, appgen.Small), 7)
+	var resident []string
+	for i := 0; i < 6; i++ {
+		if inst, ok := admitBoth(gen.Next()); ok {
+			resident = append(resident, inst)
+		}
+	}
+
+	// Hits against the now-partially-loaded platform.
+	if inst, ok := admitBoth(pipe); ok {
+		releaseBoth(inst)
+	}
+	if inst, ok := admitBoth(pipe); ok {
+		releaseBoth(inst)
+	}
+
+	// A fault transition starts a new epoch: the cached manager must
+	// flush, and post-fault admissions must still track the twin.
+	for _, m := range []*kairos.Manager{cached, plain} {
+		if err := m.SetElementEnabled(5, false); err != nil {
+			t.Fatalf("disable element: %v", err)
+		}
+	}
+	check("disable element 5")
+	if inst, ok := admitBoth(pipe); ok {
+		releaseBoth(inst)
+	}
+	if inst, ok := admitBoth(pipe); ok {
+		releaseBoth(inst)
+	}
+	for _, m := range []*kairos.Manager{cached, plain} {
+		if err := m.SetElementEnabled(5, true); err != nil {
+			t.Fatalf("re-enable element: %v", err)
+		}
+	}
+	check("re-enable element 5")
+
+	for _, inst := range resident {
+		releaseBoth(inst)
+	}
+
+	cs, ps := cached.Stats(), plain.Stats()
+	if cs.CacheHits == 0 {
+		t.Fatal("cached manager recorded zero cache hits; the test never exercised the fast path")
+	}
+	if cs.CacheMisses == 0 {
+		t.Fatal("cached manager recorded zero cache misses")
+	}
+	if cs.Attempts != ps.Attempts || cs.Admitted != ps.Admitted || cs.Rejected != ps.Rejected {
+		t.Fatalf("attempt accounting diverged: cached %+v, plain %+v", cs, ps)
+	}
+	if ps.CacheHits != 0 || ps.CacheMisses != 0 || ps.CacheFallbacks != 0 {
+		t.Fatalf("uncached manager reported cache traffic: %+v", ps)
+	}
+}
+
+// TestLayoutCacheCounters pins the exact hit/miss accounting for a
+// scripted sequence, including the flush on a fault transition.
+func TestLayoutCacheCounters(t *testing.T) {
+	ctx := context.Background()
+	m := kairos.New(kairos.Mesh(4, 4, kairos.DefaultVCs),
+		kairos.WithLayoutCache(8), kairos.WithWeights(kairos.WeightsBoth))
+	app := chain("rpt", 3, 40)
+
+	admit := func() string {
+		t.Helper()
+		adm, err := m.Admit(ctx, app)
+		if err != nil {
+			t.Fatalf("admit: %v", err)
+		}
+		return adm.Instance
+	}
+
+	// miss, then two hits: release restores the exact platform sketch.
+	m.Release(admit())
+	m.Release(admit())
+	inst := admit()
+	if s := m.Stats(); s.CacheHits != 2 || s.CacheMisses != 1 || s.CacheFallbacks != 0 {
+		t.Fatalf("after 3 admits: hits=%d misses=%d fallbacks=%d, want 2/1/0",
+			s.CacheHits, s.CacheMisses, s.CacheFallbacks)
+	}
+
+	// With rpt#3 resident the sketch differs: a miss, and a second
+	// entry for the loaded-platform state.
+	m.Release(admit())
+	admit2 := func() { m.Release(admit()) }
+	admit2()
+	if s := m.Stats(); s.CacheHits != 3 || s.CacheMisses != 2 {
+		t.Fatalf("after resident-state admits: hits=%d misses=%d, want 3/2",
+			s.CacheHits, s.CacheMisses)
+	}
+	if err := m.Release(inst); err != nil {
+		t.Fatalf("release: %v", err)
+	}
+
+	// A fault flip flushes everything: the next admit of the very same
+	// shape on the restored platform must miss again.
+	if err := m.SetElementEnabled(0, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SetElementEnabled(0, true); err != nil {
+		t.Fatal(err)
+	}
+	m.Release(admit())
+	if s := m.Stats(); s.CacheHits != 3 || s.CacheMisses != 3 {
+		t.Fatalf("after fault-flip flush: hits=%d misses=%d, want 3/3",
+			s.CacheHits, s.CacheMisses)
+	}
+}
+
+// TestLayoutCacheEviction fills a capacity-1 cache with alternating
+// shapes; every admit after the first pair must evict the other entry,
+// so the sequence stays correct (lockstep-checked) while never hitting.
+func TestLayoutCacheEviction(t *testing.T) {
+	ctx := context.Background()
+	m := kairos.New(kairos.Mesh(4, 4, kairos.DefaultVCs),
+		kairos.WithLayoutCache(1), kairos.WithWeights(kairos.WeightsBoth))
+	a, b := chain("a", 2, 30), chain("b", 3, 40)
+	for i := 0; i < 3; i++ {
+		for _, app := range []*kairos.Application{a, b} {
+			adm, err := m.Admit(ctx, app)
+			if err != nil {
+				t.Fatalf("admit %s: %v", app.Name, err)
+			}
+			if err := m.Release(adm.Instance); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	s := m.Stats()
+	if s.CacheHits != 0 {
+		t.Fatalf("capacity-1 cache with alternating shapes hit %d times", s.CacheHits)
+	}
+	if s.CacheMisses != 6 {
+		t.Fatalf("misses = %d, want 6", s.CacheMisses)
+	}
+}
+
+// TestLayoutCacheInstanceNames verifies cached commits keep consuming
+// sequence numbers: instance names from hits and misses interleave
+// into the exact series the uncached engine would issue.
+func TestLayoutCacheInstanceNames(t *testing.T) {
+	ctx := context.Background()
+	m := kairos.New(kairos.Mesh(4, 4, kairos.DefaultVCs),
+		kairos.WithLayoutCache(4), kairos.WithWeights(kairos.WeightsBoth))
+	app := chain("seq", 2, 30)
+	for i := 1; i <= 5; i++ {
+		adm, err := m.Admit(ctx, app)
+		if err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+		if want := fmt.Sprintf("seq#%d", i); adm.Instance != want {
+			t.Fatalf("admit %d: instance %q, want %q", i, adm.Instance, want)
+		}
+		if err := m.Release(adm.Instance); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := m.Stats(); s.CacheHits != 4 {
+		t.Fatalf("hits = %d, want 4", s.CacheHits)
+	}
+}

@@ -184,12 +184,17 @@ func ClusterInstanceName(shard int, local string) string {
 }
 
 // resolve splits a cluster-scoped instance name into its shard index
-// and shard-local name.
+// and shard-local name. Only canonical names — exactly what
+// ClusterInstanceName issues — resolve: "s007:video#1" and
+// "s+7:video#1" would alias shard 7 under a plain Atoi, handing out
+// admission handles the server never issued and breaking client-side
+// dedup, so any index that does not round-trip is rejected.
 func (c *Cluster) resolve(instance string) (int, string, error) {
 	rest, ok := strings.CutPrefix(instance, "s")
 	if ok {
 		if idx, local, found := strings.Cut(rest, ":"); found {
-			if shard, err := strconv.Atoi(idx); err == nil && shard >= 0 && shard < len(c.shards) {
+			if shard, err := strconv.Atoi(idx); err == nil &&
+				shard >= 0 && shard < len(c.shards) && strconv.Itoa(shard) == idx {
 				return shard, local, nil
 			}
 		}
@@ -278,7 +283,17 @@ func (c *Cluster) AdmitAll(ctx context.Context, apps []*Application) []ClusterBa
 		}
 		return apps[order[a]].Name < apps[order[b]].Name
 	})
-	for _, i := range order {
+	for n, i := range order {
+		// Once the caller's context is done, pushing the leftover
+		// entries through Admit would only take shard locks and count
+		// one spurious cancellation per app; short-circuit them all
+		// with the context error instead.
+		if ctx != nil && ctx.Err() != nil {
+			for _, j := range order[n:] {
+				results[j].Err = fmt.Errorf("kairos: batch abandoned: %w", ctx.Err())
+			}
+			break
+		}
 		results[i].Adm, results[i].Err = c.Admit(ctx, apps[i])
 	}
 	return results
@@ -370,6 +385,9 @@ func (c *Cluster) Stats() ClusterStats {
 		t.Readmitted += s.Readmitted
 		t.Restored += s.Restored
 		t.Live += s.Live
+		t.CacheHits += s.CacheHits
+		t.CacheMisses += s.CacheMisses
+		t.CacheFallbacks += s.CacheFallbacks
 		t.PhaseTotals.Binding += s.PhaseTotals.Binding
 		t.PhaseTotals.Mapping += s.PhaseTotals.Mapping
 		t.PhaseTotals.Routing += s.PhaseTotals.Routing

@@ -467,3 +467,97 @@ func TestNewClusterErrors(t *testing.T) {
 		t.Error("NewCluster with nil-returning factory succeeded")
 	}
 }
+
+// TestClusterAdmitAllCancelled checks a cancelled batch is abandoned
+// rather than pushed through the shards: before the fix every
+// remaining entry still called Admit, took a shard lock, and counted
+// one spurious Cancelled per leftover app, inflating the stats with
+// attempts the caller had already walked away from.
+func TestClusterAdmitAllCancelled(t *testing.T) {
+	c := mustCluster(t, 4, meshFactory(4, 4),
+		kairos.WithShardOptions(kairos.WithoutValidation()))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	apps := []*kairos.Application{
+		chain("a", 2, 40), chain("b", 3, 40), chain("c", 4, 40), nil,
+	}
+	results := c.AdmitAll(ctx, apps)
+	if len(results) != 4 {
+		t.Fatalf("got %d results, want 4", len(results))
+	}
+	for i, r := range results {
+		if i == 3 {
+			if !errors.Is(r.Err, kairos.ErrNilApplication) {
+				t.Errorf("nil entry error = %v", r.Err)
+			}
+			continue
+		}
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("entry %d: err = %v, want context.Canceled", i, r.Err)
+		}
+		if r.Adm != nil {
+			t.Errorf("entry %d admitted despite cancelled batch", i)
+		}
+	}
+	// Nothing reached a shard: no attempts, and in particular no
+	// per-app Cancelled inflation.
+	if cs := c.Stats(); cs.Total.Attempts != 0 || cs.Total.Cancelled != 0 {
+		t.Errorf("abandoned batch touched shards: attempts=%d cancelled=%d, want 0/0",
+			cs.Total.Attempts, cs.Total.Cancelled)
+	}
+}
+
+// TestClusterInstanceNameRoundTrip pins resolve to exactly the names
+// ClusterInstanceName issues. Non-canonical spellings of a valid shard
+// index ("s007:", "s+7:") must not alias it: under a plain Atoi they
+// resolve, handing out admission handles the cluster never issued.
+func TestClusterInstanceNameRoundTrip(t *testing.T) {
+	c := mustCluster(t, 8, meshFactory(4, 4),
+		kairos.WithShardOptions(kairos.WithoutValidation()))
+	adm, err := c.Admit(context.Background(), chain("video", 3, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Locals with colons and '#' must round-trip: resolve splits on
+	// the FIRST colon only.
+	locals := []string{"video#1", "a:b#2", "::", "", "s3:x#4"}
+	for shard := 0; shard < 8; shard++ {
+		for _, local := range locals {
+			name := kairos.ClusterInstanceName(shard, local)
+			err := c.Release(name)
+			if name == adm.Instance {
+				if err != nil {
+					t.Errorf("release of issued name %q failed: %v", name, err)
+				}
+				continue
+			}
+			// The name parses; the shard just doesn't know the local
+			// instance. A parse failure would blame the whole name.
+			if !errors.Is(err, kairos.ErrUnknownInstance) {
+				t.Errorf("Release(%q) = %v, want ErrUnknownInstance", name, err)
+			}
+			if err != nil && strings.Contains(err.Error(), "not a cluster instance name") {
+				t.Errorf("canonical name %q failed to parse: %v", name, err)
+			}
+		}
+	}
+
+	// Malformed and non-canonical names must be rejected as names —
+	// even when the aliased index ("7") is a live shard.
+	bad := []string{
+		"s007:video#1", "s+7:video#1", "s-1:video#1", "s 7:video#1",
+		"s7.0:video#1", "s8:video#1", "s99:video#1", "07:video#1",
+		"s:video#1", "video#1", "s7video#1", "S7:video#1", "s0x1:video#1",
+	}
+	for _, name := range bad {
+		err := c.Release(name)
+		if err == nil {
+			t.Errorf("Release(%q) succeeded; non-canonical name resolved", name)
+			continue
+		}
+		if !strings.Contains(err.Error(), "not a cluster instance name") {
+			t.Errorf("Release(%q) = %v, want name rejection", name, err)
+		}
+	}
+}

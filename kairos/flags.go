@@ -20,6 +20,9 @@ type Flags struct {
 	// -router and -validator strategy names (see the *ByName
 	// registries).
 	Binder, Mapper, Router, Validator string
+	// LayoutCache is the -layout-cache value (see WithLayoutCache);
+	// 0 disables the cache.
+	LayoutCache int
 }
 
 // RegisterFlags registers the shared flags on the FlagSet with their
@@ -39,6 +42,8 @@ func RegisterFlags(fs *flag.FlagSet) *Flags {
 		"routing strategy: "+strings.Join(RouterNames(), "|"))
 	fs.StringVar(&f.Validator, "validator", ValidatorNames()[0],
 		"validation strategy: "+strings.Join(ValidatorNames(), "|"))
+	fs.IntVar(&f.LayoutCache, "layout-cache", 0,
+		"memoize up to N successful layouts per manager (0 = disabled)")
 	return f
 }
 
@@ -118,9 +123,12 @@ func (f *Flags) PhaseStrategies() ([]Option, error) {
 	}, nil
 }
 
-// StrategyOptions resolves the weights and the four strategy names
-// into Manager options.
+// StrategyOptions resolves the weights, the four strategy names and
+// the layout-cache size into Manager options.
 func (f *Flags) StrategyOptions() ([]Option, error) {
+	if f.LayoutCache < 0 {
+		return nil, fmt.Errorf("kairos: -layout-cache must be non-negative, got %d", f.LayoutCache)
+	}
 	w, err := f.Weights()
 	if err != nil {
 		return nil, err
@@ -129,5 +137,9 @@ func (f *Flags) StrategyOptions() ([]Option, error) {
 	if err != nil {
 		return nil, err
 	}
-	return append([]Option{WithWeights(w)}, opts...), nil
+	opts = append([]Option{WithWeights(w)}, opts...)
+	if f.LayoutCache > 0 {
+		opts = append(opts, WithLayoutCache(f.LayoutCache))
+	}
+	return opts, nil
 }

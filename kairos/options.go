@@ -98,6 +98,23 @@ func WithAdmissionTimeout(d time.Duration) Option {
 	return func(c *config) { c.core.AdmitTimeout = d }
 }
 
+// WithLayoutCache memoizes up to n successful execution layouts,
+// keyed on a canonical fingerprint of the application's structure
+// (tasks, implementation sets, channels, constraints — names
+// excluded) plus a residual-capacity sketch of the platform. When an
+// incoming application's fingerprint and the platform sketch match a
+// memoized layout byte for byte, the manager skips binding, mapping
+// and routing and replays the remembered layout under the new
+// instance name, running only the validation phase before committing;
+// any replay or validation failure falls back to the full workflow.
+// Cached commits journal identically to full admissions, so
+// durability and recovery are unaffected. Outcomes are counted in
+// Stats (CacheHits / CacheMisses / CacheFallbacks). n <= 0 disables
+// the cache (the default).
+func WithLayoutCache(n int) Option {
+	return func(c *config) { c.core.LayoutCache = n }
+}
+
 // WithEventBuffer sets the per-subscription channel capacity of the
 // event stream (default DefaultEventBuffer). Events published while a
 // subscriber's buffer is full are dropped for that subscriber and
