@@ -197,4 +197,6 @@ func main() {
 	fmt.Printf("admitted %d/%d applications; platform fragmentation %.1f%%\n",
 		admitted, len(apps), k.Fragmentation())
 	fmt.Printf("stats: %v\n", k.Stats())
+	load := k.Load()
+	fmt.Printf("load: live=%d used-share=%.1f%%\n", load.Live, 100*load.UsedShare)
 }

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"repro/kairos"
+)
+
+// Elasticity admin endpoints: an operator grows the cluster with
+// POST /v1/shards (a new shard cloned from the boot platform), shrinks
+// it with DELETE /v1/shards/{i} (drain: the shard stops admitting and
+// its residents are rehomed onto the remaining shards), and inspects
+// membership with GET /v1/shards. Shard indices are stable across both
+// — draining never renumbers, so issued instance names stay valid.
+
+type shardListResponse struct {
+	Shards []kairos.ShardInfo `json:"shards"`
+}
+
+func (s *server) handleShardList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, shardListResponse{Shards: s.cluster.Shards()})
+}
+
+type shardAddResponse struct {
+	Shard  int `json:"shard"`
+	Shards int `json:"shards"`
+}
+
+func (s *server) handleShardAdd(w http.ResponseWriter, r *http.Request) {
+	if s.proto == nil {
+		writeJSON(w, http.StatusConflict,
+			errorBody{Error: "server has no platform prototype to clone for a new shard"})
+		return
+	}
+	shard, err := s.cluster.AddShard(s.proto.Clone())
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusCreated, shardAddResponse{Shard: shard, Shards: s.cluster.NumShards()})
+}
+
+// drainResponse reports a drain, successful or not: the per-instance
+// moves and failures are meaningful either way, so they accompany the
+// error rather than being discarded by it.
+type drainResponse struct {
+	Error  string              `json:"error,omitempty"`
+	Result *kairos.DrainResult `json:"result,omitempty"`
+}
+
+func (s *server) handleShardDrain(w http.ResponseWriter, r *http.Request) {
+	i, err := strconv.Atoi(r.PathValue("i"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad shard index: " + err.Error()})
+		return
+	}
+	if i < 0 || i >= s.cluster.NumShards() {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "no shard " + strconv.Itoa(i)})
+		return
+	}
+	res, err := s.cluster.DrainShard(r.Context(), i)
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, drainResponse{Error: err.Error(), Result: res})
+		return
+	}
+	writeJSON(w, http.StatusOK, drainResponse{Result: res})
+}

@@ -18,6 +18,10 @@ type wireApp struct {
 	Tasks       []wireTask      `json:"tasks"`
 	Channels    []wireChannel   `json:"channels,omitempty"`
 	Constraints wireConstraints `json:"constraints,omitempty"`
+	// QoS is the admission priority class: "low", "normal" (default)
+	// or "high". It parameterizes the server's admission queue, not
+	// the task graph — see qos.go — so decodeApp ignores it.
+	QoS string `json:"qos,omitempty"`
 }
 
 type wireTask struct {

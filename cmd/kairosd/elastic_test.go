@@ -1,0 +1,331 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/kairos"
+)
+
+func TestParseQoS(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want qosClass
+	}{
+		{"", qosNormal}, {"normal", qosNormal}, {"low", qosLow}, {"high", qosHigh},
+	} {
+		got, err := parseQoS(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("parseQoS(%q) = %v, %v; want %v", tc.in, got, err, tc.want)
+		}
+	}
+	if _, err := parseQoS("gold"); err == nil {
+		t.Error("parseQoS accepted an unknown class")
+	}
+}
+
+// waitDepth polls the gate until the queue reaches depth n — the only
+// way a test can order concurrent enqueues deterministically.
+func waitDepth(t *testing.T, g *qosGate, n int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for g.depth() != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth never reached %d (at %d)", n, g.depth())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestQosGatePriorityOrder: with one busy slot and a waiter of each
+// class queued, releases serve high before normal before low — the
+// queue is a priority queue, not FIFO across classes.
+func TestQosGatePriorityOrder(t *testing.T) {
+	g := newQosGate(1, 10, 0.85, nil)
+	if err := g.acquire(context.Background(), qosNormal); err != nil {
+		t.Fatal(err)
+	}
+	order := make(chan qosClass, 3)
+	// Enqueue in worst-case arrival order: low first, high last.
+	for i, class := range []qosClass{qosLow, qosNormal, qosHigh} {
+		go func() {
+			if err := g.acquire(context.Background(), class); err != nil {
+				t.Errorf("%v waiter: %v", class, err)
+				return
+			}
+			order <- class
+			g.release()
+		}()
+		waitDepth(t, g, i+1)
+	}
+	g.release() // frees the slot; the chain drains the queue
+	var got []qosClass
+	for i := 0; i < 3; i++ {
+		select {
+		case c := <-order:
+			got = append(got, c)
+		case <-time.After(10 * time.Second):
+			t.Fatalf("only %d waiters served: %v", i, got)
+		}
+	}
+	if got[0] != qosHigh || got[1] != qosNormal || got[2] != qosLow {
+		t.Errorf("service order %v, want [high normal low]", got)
+	}
+	// Everything released: a fresh acquire is immediate.
+	if err := g.acquire(context.Background(), qosLow); err != nil {
+		t.Errorf("acquire on an idle gate: %v", err)
+	}
+}
+
+func TestQosGateQueueFull(t *testing.T) {
+	g := newQosGate(1, 1, 0.85, nil)
+	if err := g.acquire(context.Background(), qosNormal); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- g.acquire(context.Background(), qosNormal) }()
+	waitDepth(t, g, 1)
+	if err := g.acquire(context.Background(), qosHigh); !errors.Is(err, errQueueFull) {
+		t.Errorf("acquire on a full queue = %v, want errQueueFull", err)
+	}
+	g.release()
+	if err := <-done; err != nil {
+		t.Errorf("queued waiter: %v", err)
+	}
+}
+
+// TestQosGateShedsLow: low-priority work is refused with errShed once
+// the cluster load is over the watermark or the queue is half full —
+// in both cases before it consumes a slot or queue space.
+func TestQosGateShedsLow(t *testing.T) {
+	load := 0.5
+	g := newQosGate(1, 4, 0.85, func() float64 { return load })
+
+	load = 0.9 // over the watermark: low shed even with a free slot
+	if err := g.acquire(context.Background(), qosLow); !errors.Is(err, errShed) {
+		t.Errorf("low over watermark = %v, want errShed", err)
+	}
+	if err := g.acquire(context.Background(), qosNormal); err != nil {
+		t.Errorf("normal over watermark = %v, want admitted (shedding is low-only)", err)
+	}
+	load = 0.5
+
+	// Queue half full ((maxQueue+1)/2 = 2): low shed, normal queues.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for i := 0; i < 2; i++ {
+		go g.acquire(ctx, qosNormal) //nolint:errcheck // released via cancel
+		waitDepth(t, g, i+1)
+	}
+	if err := g.acquire(context.Background(), qosLow); !errors.Is(err, errShed) {
+		t.Errorf("low with half-full queue = %v, want errShed", err)
+	}
+}
+
+func TestQosGateCancelWhileQueued(t *testing.T) {
+	g := newQosGate(1, 4, 0.85, nil)
+	if err := g.acquire(context.Background(), qosNormal); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- g.acquire(ctx, qosNormal) }()
+	waitDepth(t, g, 1)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter = %v, want context.Canceled", err)
+	}
+	if d := g.depth(); d != 0 {
+		t.Errorf("cancelled waiter left queue depth %d", d)
+	}
+	g.release()
+	if err := g.acquire(context.Background(), qosNormal); err != nil {
+		t.Errorf("acquire after cancel+release: %v (slot leaked?)", err)
+	}
+}
+
+// TestQosGateGrantCancelRace drives the grant-vs-cancel race hard: a
+// waiter whose context is cancelled concurrently with the release that
+// grants it. Whatever interleaving wins, no slot may leak — after each
+// round the gate must hand out a slot immediately.
+func TestQosGateGrantCancelRace(t *testing.T) {
+	g := newQosGate(1, 4, 0.85, nil)
+	for i := 0; i < 200; i++ {
+		if err := g.acquire(context.Background(), qosNormal); err != nil {
+			t.Fatalf("round %d: slot leaked: %v", i, err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() {
+			err := g.acquire(ctx, qosNormal)
+			if err == nil {
+				g.release()
+			}
+			done <- err
+		}()
+		waitDepth(t, g, 1)
+		go cancel()
+		g.release()
+		<-done
+	}
+}
+
+// TestShardAdminOverHTTP: grow, inspect, and drain shards through the
+// admin endpoints, with a resident application surviving the drain
+// under a new name.
+func TestShardAdminOverHTTP(t *testing.T) {
+	ts, srv := testServer(t, 2)
+	srv.proto = kairos.MeshWithIO(4, 4, kairos.DefaultVCs)
+
+	list := decodeBody[shardListResponse](t, mustGet(t, ts.URL+"/v1/shards"))
+	if len(list.Shards) != 2 {
+		t.Fatalf("boot membership %d shards, want 2", len(list.Shards))
+	}
+	for _, si := range list.Shards {
+		if si.State != kairos.ShardActive {
+			t.Errorf("boot shard %d state %v, want active", si.Shard, si.State)
+		}
+	}
+
+	resp := postJSON(t, ts.URL+"/v1/shards", struct{}{})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("shard add status = %d, want 201", resp.StatusCode)
+	}
+	added := decodeBody[shardAddResponse](t, resp)
+	if added.Shard != 2 || added.Shards != 3 {
+		t.Fatalf("shard add response %+v, want shard 2 of 3", added)
+	}
+
+	adm := decodeBody[admitResponse](t, postJSON(t, ts.URL+"/v1/admit", quickstartWire()))
+	if adm.Instance == "" {
+		t.Fatal("no instance admitted")
+	}
+
+	// Drain the resident's shard: 200, one move, no failures, and the
+	// application is still live under its new home.
+	req, _ := http.NewRequest(http.MethodDelete, fmt.Sprintf("%s/v1/shards/%d", ts.URL, adm.Shard), nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("drain status = %d, want 200", dresp.StatusCode)
+	}
+	drain := decodeBody[drainResponse](t, dresp)
+	if drain.Error != "" || drain.Result == nil {
+		t.Fatalf("drain response %+v", drain)
+	}
+	if len(drain.Result.Failed) != 0 || len(drain.Result.Moved) != 1 {
+		t.Fatalf("drain moved %d failed %d, want 1/0", len(drain.Result.Moved), len(drain.Result.Failed))
+	}
+	mv := drain.Result.Moved[0]
+	if mv.From != adm.Instance || mv.To == adm.Instance {
+		t.Errorf("drain move %+v does not rehome %q", mv, adm.Instance)
+	}
+	if got := liveCount(t, ts.URL); got != 1 {
+		t.Errorf("post-drain live = %d, want 1 (the rehomed app)", got)
+	}
+
+	list = decodeBody[shardListResponse](t, mustGet(t, ts.URL+"/v1/shards"))
+	if len(list.Shards) != 3 {
+		t.Fatalf("membership shrank to %d entries; drain must not renumber", len(list.Shards))
+	}
+	if st := list.Shards[adm.Shard].State; st != kairos.ShardDrained {
+		t.Errorf("drained shard state %v, want drained", st)
+	}
+
+	// Bad indices: non-numeric is a 400, out-of-range a 404.
+	for _, tc := range []struct {
+		path string
+		want int
+	}{
+		{"/v1/shards/abc", http.StatusBadRequest},
+		{"/v1/shards/99", http.StatusNotFound},
+	} {
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+tc.path, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("DELETE %s = %d, want %d", tc.path, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+func TestShardAddWithoutPrototype(t *testing.T) {
+	ts, _ := testServer(t, 1)
+	resp := postJSON(t, ts.URL+"/v1/shards", struct{}{})
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("shard add without prototype = %d, want 409", resp.StatusCode)
+	}
+	body := decodeBody[errorBody](t, resp)
+	if !strings.Contains(body.Error, "prototype") {
+		t.Errorf("error %q should explain the missing prototype", body.Error)
+	}
+}
+
+// TestAdmitQoSOverHTTP: the wire qos field reaches the gate — bad
+// values are 400s, shed low-priority admits are 503s with Retry-After,
+// high-priority admits pass, and the stats report the queue depth.
+func TestAdmitQoSOverHTTP(t *testing.T) {
+	ts, srv := testServer(t, 2)
+	srv.gate = newQosGate(2, 4, 0.85, func() float64 { return 0.99 })
+
+	bad := quickstartWire()
+	bad.QoS = "gold"
+	resp := postJSON(t, ts.URL+"/v1/admit", bad)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad qos = %d, want 400", resp.StatusCode)
+	}
+
+	low := quickstartWire()
+	low.QoS = "low"
+	resp = postJSON(t, ts.URL+"/v1/admit", low)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("shed low admit = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Error("shed response lacks Retry-After")
+	}
+	resp.Body.Close()
+
+	// A batch inherits the highest class of its members: one high app
+	// lifts the whole batch over the shedding.
+	lowApp, highApp := *quickstartWire(), *quickstartWire()
+	lowApp.QoS, highApp.QoS = "low", "high"
+	resp = postJSON(t, ts.URL+"/v1/admitall", admitAllRequest{Apps: []wireApp{lowApp, highApp}})
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("high-carrying batch = %d, want 200", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// An all-low batch sheds as a whole.
+	resp = postJSON(t, ts.URL+"/v1/admitall", admitAllRequest{Apps: []wireApp{lowApp}})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("all-low batch = %d, want 503", resp.StatusCode)
+	}
+
+	high := quickstartWire()
+	high.QoS = "high"
+	resp = postJSON(t, ts.URL+"/v1/admit", high)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("high admit under load = %d, want 200", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	stats := decodeBody[statsResponse](t, mustGet(t, ts.URL+"/v1/stats"))
+	if stats.QueueDepth == nil {
+		t.Error("stats lack queueDepth with the gate enabled")
+	} else if *stats.QueueDepth != 0 {
+		t.Errorf("idle queue depth = %d, want 0", *stats.QueueDepth)
+	}
+}

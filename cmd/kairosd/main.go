@@ -8,9 +8,20 @@
 //	DELETE /v1/apps/{id}  release a cluster instance (URL-escaped)
 //	POST   /v1/readmit    restart one instance, or sweep fault-affected ones
 //	POST   /v1/checkpoint snapshot the admission log (durable servers only)
-//	GET    /v1/stats      per-shard and aggregate counters
+//	GET    /v1/stats      per-shard and aggregate counters and load gauges
 //	GET    /v1/events     merged shard-tagged event stream (SSE)
+//	GET    /v1/shards     shard membership: state and load per shard
+//	POST   /v1/shards     add a shard (cloned from the boot platform)
+//	DELETE /v1/shards/{i} drain shard i and rehome its residents
 //	GET    /healthz       liveness probe
+//
+// Admissions pass a QoS gate: applications may carry a "qos" class
+// (low, normal, high) and the server runs a bounded priority queue in
+// front of the cluster — full queue means a fast 429, and low-priority
+// work is shed with a 503 once the queue or the shards pass their load
+// watermarks (-admit-queue, -admit-slots, -shed-load). A background
+// rebalancer (-rebalance threshold) migrates applications off hot
+// shards to keep the load spread inside a hysteresis band.
 //
 // With -data-dir the daemon is durable: every committed admission is
 // fsynced to a write-ahead log before the response is sent, and a
@@ -45,6 +56,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/rebalance"
 	"repro/kairos"
 )
 
@@ -57,6 +69,9 @@ func run(args []string, stdout io.Writer) error {
 		seed     = fs.Int64("seed", 1, "cluster placement seed")
 		dataDir  = fs.String("data-dir", "", "durable admission log directory; recovers prior state on start (empty = not durable)")
 		ckpEvery = fs.Duration("checkpoint-every", 0, "periodic log checkpoint interval; needs -data-dir (0 = checkpoint only on shutdown)")
+		qQueue   = fs.Int("admit-queue", 64, "max queued admissions before 429 (0 disables the QoS gate)")
+		qSlots   = fs.Int("admit-slots", 0, "concurrent admissions before queueing (0 = 2 per shard)")
+		shedLoad = fs.Float64("shed-load", 0.85, "mean used-share watermark above which low-priority admissions are shed")
 		loadgen  = fs.Bool("loadgen", false, "run as a load generator client instead of a server")
 		target   = fs.String("target", "http://127.0.0.1:8080", "loadgen: server base URL")
 		rate     = fs.Float64("rate", 50, "loadgen: offered admissions per second (0 = closed loop)")
@@ -78,6 +93,8 @@ func run(args []string, stdout io.Writer) error {
 		"platform": true, "weights": true,
 		"binder": true, "mapper": true, "router": true, "validator": true,
 		"layout-cache": true, "data-dir": true, "checkpoint-every": true,
+		"admit-queue": true, "admit-slots": true, "shed-load": true,
+		"rebalance": true, "rebalance-every": true, "rebalance-budget": true,
 	}
 	loadgenOnly := map[string]bool{
 		"target": true, "rate": true, "duration": true,
@@ -151,7 +168,25 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
-	srv := &server{cluster: c, wal: walLog, placement: cluster.Placement, started: time.Now()}
+	// The rebalancer config is validated up front even when the policy
+	// is off, so a typo'd -rebalance fails the boot, not the first tick.
+	reb, err := rebalance.New(c, rebalance.Config{
+		Policy:   cluster.Rebalance,
+		Interval: cluster.RebalanceEvery,
+		Budget:   cluster.RebalanceBudget,
+	})
+	if err != nil {
+		return err
+	}
+
+	srv := &server{cluster: c, wal: walLog, placement: cluster.Placement, proto: proto, started: time.Now()}
+	if *qQueue > 0 {
+		slots := *qSlots
+		if slots <= 0 {
+			slots = 2 * cluster.Shards
+		}
+		srv.gate = newQosGate(slots, *qQueue, *shedLoad, srv.meanLoad)
+	}
 	httpSrv := &http.Server{
 		Handler:           srv.newMux(),
 		ReadHeaderTimeout: 10 * time.Second,
@@ -170,6 +205,7 @@ func run(args []string, stdout io.Writer) error {
 	defer stop()
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- httpSrv.Serve(ln) }()
+	go reb.Run(ctx) // returns immediately when the policy is off
 	if walLog != nil && *ckpEvery > 0 {
 		ticker := time.NewTicker(*ckpEvery)
 		defer ticker.Stop()

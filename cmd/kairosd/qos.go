@@ -1,0 +1,165 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// QoS admission control: requests carry an optional "qos" class, and
+// the server runs them through a bounded priority queue in front of
+// the cluster. When all slots are busy, waiters queue per class and a
+// freed slot goes to the highest class first; when the queue is full
+// the request gets an immediate 429 instead of a connection pile-up;
+// and when the server is over its load watermarks, low-priority
+// requests are shed with a 503 before they consume queue space the
+// paying classes need.
+
+// qosClass orders the wire "qos" values; higher is served first.
+type qosClass int
+
+const (
+	qosLow qosClass = iota
+	qosNormal
+	qosHigh
+	qosClasses // count, not a class
+)
+
+// parseQoS maps the wire field; absent means normal.
+func parseQoS(s string) (qosClass, error) {
+	switch s {
+	case "", "normal":
+		return qosNormal, nil
+	case "low":
+		return qosLow, nil
+	case "high":
+		return qosHigh, nil
+	}
+	return 0, fmt.Errorf("unknown qos %q (low, normal, high)", s)
+}
+
+func (q qosClass) String() string {
+	switch q {
+	case qosLow:
+		return "low"
+	case qosHigh:
+		return "high"
+	default:
+		return "normal"
+	}
+}
+
+var (
+	// errQueueFull refuses work the queue has no room for (429).
+	errQueueFull = errors.New("admission queue full")
+	// errShed refuses low-priority work on an overloaded server (503).
+	errShed = errors.New("low-priority admission shed: server over load watermark")
+)
+
+// qosWaiter is one queued acquire. The granted flag is written under
+// the gate mutex, so a grant racing the waiter's cancellation is
+// detected and the slot handed back instead of leaked.
+type qosWaiter struct {
+	ch      chan struct{}
+	granted bool
+}
+
+// qosGate is the bounded priority admission queue.
+type qosGate struct {
+	slots    int            // concurrent admissions before queueing
+	maxQueue int            // waiter ceiling; beyond it, 429
+	shedLoad float64        // mean used-share watermark for shedding
+	load     func() float64 // samples the cluster's mean used share
+
+	mu       sync.Mutex
+	inflight int
+	queued   int
+	waiters  [qosClasses][]*qosWaiter // FIFO per class
+}
+
+func newQosGate(slots, maxQueue int, shedLoad float64, load func() float64) *qosGate {
+	return &qosGate{slots: slots, maxQueue: maxQueue, shedLoad: shedLoad, load: load}
+}
+
+// acquire blocks until the caller may run one admission (pair with
+// release) or refuses fast: errQueueFull when the queue is at its
+// ceiling, errShed for low-priority work once the queue is half full
+// or the cluster is over the load watermark, the context error if the
+// client gives up while queued.
+func (g *qosGate) acquire(ctx context.Context, class qosClass) error {
+	g.mu.Lock()
+	if class == qosLow {
+		if g.queued >= (g.maxQueue+1)/2 || (g.load != nil && g.load() > g.shedLoad) {
+			g.mu.Unlock()
+			return errShed
+		}
+	}
+	if g.inflight < g.slots {
+		g.inflight++
+		g.mu.Unlock()
+		return nil
+	}
+	if g.queued >= g.maxQueue {
+		g.mu.Unlock()
+		return errQueueFull
+	}
+	w := &qosWaiter{ch: make(chan struct{})}
+	g.waiters[class] = append(g.waiters[class], w)
+	g.queued++
+	g.mu.Unlock()
+
+	select {
+	case <-w.ch:
+		return nil
+	case <-ctx.Done():
+		g.mu.Lock()
+		if w.granted {
+			// The grant raced the cancellation: the slot was already
+			// transferred to this waiter. Pass it on.
+			g.releaseLocked()
+		} else {
+			q := g.waiters[class]
+			for i, other := range q {
+				if other == w {
+					g.waiters[class] = append(q[:i], q[i+1:]...)
+					break
+				}
+			}
+			g.queued--
+		}
+		g.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// release frees the caller's slot, handing it to the highest-class
+// waiter if any is queued.
+func (g *qosGate) release() {
+	g.mu.Lock()
+	g.releaseLocked()
+	g.mu.Unlock()
+}
+
+func (g *qosGate) releaseLocked() {
+	for class := qosHigh; class >= qosLow; class-- {
+		q := g.waiters[class]
+		if len(q) == 0 {
+			continue
+		}
+		w := q[0]
+		g.waiters[class] = q[1:]
+		g.queued--
+		w.granted = true
+		close(w.ch) // slot transfers to the waiter; inflight unchanged
+		return
+	}
+	g.inflight--
+}
+
+// depth reports the current queue depth (stats endpoint).
+func (g *qosGate) depth() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.queued
+}

@@ -20,6 +20,11 @@ type server struct {
 	// wal is the durable admission log (-data-dir); nil when the
 	// server is not durable.
 	wal *kairos.WAL
+	// proto is the boot platform prototype; POST /v1/shards clones it
+	// for new shards. nil disables shard adding.
+	proto *kairos.Platform
+	// gate is the QoS admission queue (qos.go); nil disables gating.
+	gate *qosGate
 	// keepalive overrides the SSE heartbeat interval (tests shrink
 	// it); zero means sseKeepalive.
 	keepalive time.Duration
@@ -41,8 +46,50 @@ func (s *server) newMux() *http.ServeMux {
 	mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/shards", s.handleShardList)
+	mux.HandleFunc("POST /v1/shards", s.handleShardAdd)
+	mux.HandleFunc("DELETE /v1/shards/{i}", s.handleShardDrain)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return mux
+}
+
+// meanLoad samples the mean used share over the active shards — the
+// QoS gate's load signal for shedding.
+func (s *server) meanLoad() float64 {
+	var sum float64
+	n := 0
+	for _, si := range s.cluster.Shards() {
+		if si.State != kairos.ShardActive {
+			continue
+		}
+		sum += si.Load.UsedShare
+		n++
+	}
+	if n == 0 {
+		return 1 // nothing admittable: as overloaded as it gets
+	}
+	return sum / float64(n)
+}
+
+// admitGate runs the QoS gate for one admission-carrying request and
+// writes the refusal if the request may not proceed. The caller must
+// call the returned release exactly once iff ok.
+func (s *server) admitGate(w http.ResponseWriter, r *http.Request, class qosClass) (release func(), ok bool) {
+	if s.gate == nil {
+		return func() {}, true
+	}
+	switch err := s.gate.acquire(r.Context(), class); {
+	case err == nil:
+		return s.gate.release, true
+	case errors.Is(err, errQueueFull):
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error()})
+	case errors.Is(err, errShed):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+	default: // client gave up while queued
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+	}
+	return nil, false
 }
 
 // Request-body ceilings: a single task graph is kilobytes, a batch at
@@ -145,6 +192,16 @@ func (s *server) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
 	}
+	class, err := parseQoS(wa.QoS)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	release, ok := s.admitGate(w, r, class)
+	if !ok {
+		return
+	}
+	defer release()
 	adm, err := s.cluster.Admit(r.Context(), app)
 	if err != nil {
 		writeAdmissionError(w, err)
@@ -172,9 +229,28 @@ func (s *server) handleAdmitAll(w http.ResponseWriter, r *http.Request) {
 	}
 	apps := make([]*kairos.Application, len(req.Apps))
 	decodeErrs := make([]error, len(req.Apps))
+	// The batch is one queue entry; it rides at the highest class any
+	// of its apps carries.
+	class := qosLow
+	if len(req.Apps) == 0 {
+		class = qosNormal
+	}
 	for i := range req.Apps {
 		apps[i], decodeErrs[i] = decodeApp(&req.Apps[i])
+		c, err := parseQoS(req.Apps[i].QoS)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("app %d: %v", i, err)})
+			return
+		}
+		if c > class {
+			class = c
+		}
 	}
+	release, ok := s.admitGate(w, r, class)
+	if !ok {
+		return
+	}
+	defer release()
 	results := s.cluster.AdmitAll(r.Context(), apps)
 	entries := make([]admitAllEntry, len(results))
 	for i, res := range results {
@@ -302,21 +378,29 @@ func (s *server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
 // statsResponse is the GET /v1/stats payload. Durations are
 // nanoseconds (encoding/json renders time.Duration as its int64).
 type statsResponse struct {
-	Shards    int                 `json:"shards"`
-	Placement string              `json:"placement"`
-	UptimeSec float64             `json:"uptimeSec"`
-	Dropped   uint64              `json:"droppedEvents"`
-	Stats     kairos.ClusterStats `json:"stats"`
+	Shards    int     `json:"shards"`
+	Placement string  `json:"placement"`
+	UptimeSec float64 `json:"uptimeSec"`
+	Dropped   uint64  `json:"droppedEvents"`
+	// QueueDepth is the QoS admission queue's current depth; absent
+	// when the gate is disabled.
+	QueueDepth *int                `json:"queueDepth,omitempty"`
+	Stats      kairos.ClusterStats `json:"stats"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, statsResponse{
+	resp := statsResponse{
 		Shards:    s.cluster.NumShards(),
 		Placement: s.placement,
 		UptimeSec: time.Since(s.started).Seconds(),
 		Dropped:   s.cluster.Dropped(),
 		Stats:     s.cluster.Stats(),
-	})
+	}
+	if s.gate != nil {
+		depth := s.gate.depth()
+		resp.QueueDepth = &depth
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {

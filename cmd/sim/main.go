@@ -50,6 +50,11 @@ func run(args []string, stdout io.Writer) error {
 		cluster    = fs.Int("cluster", 0, "cluster churn scenario: number of platform shards (0 = single platform)")
 		placement  = fs.String("placement", "all", "cluster: placement policy name or all (comparison)")
 		spill      = fs.Int("spill", 0, "cluster: max shards tried per admission (0 = all)")
+		autoscale  = fs.Int("autoscale", 0, "autoscaling scenario: number of boot shards (0 = off)")
+		scenario   = fs.String("scenario", "flash", "autoscale: load shape: "+strings.Join(sim.AutoscaleScenarios(), "|"))
+		rebPolicy  = fs.String("rebalance", "all", "autoscale: rebalance policy name or all (comparison)")
+		rebBudget  = fs.Int("rebalance-budget", 4, "autoscale: max migrations per rebalance tick")
+		peak       = fs.Float64("peak", 3, "autoscale: peak arrival-rate multiplier over the baseline")
 	)
 	fs.SetOutput(stdout)
 	if err := fs.Parse(args); err != nil {
@@ -89,6 +94,57 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *faultEvery > 0 {
 		cfg.FaultRate = 1 / faultEvery.Seconds()
+	}
+
+	if *autoscale > 0 {
+		// The autoscaling scenario compares rebalance policies under a
+		// pinned first-fit/spill-1 router; the other modes' vocabulary
+		// does not apply.
+		var incompatible []string
+		fs.Visit(func(fl *flag.Flag) {
+			switch fl.Name {
+			case "cluster", "placement", "spill",
+				"policy", "defrag-period", "sample", "fault-every", "repair":
+				incompatible = append(incompatible, "-"+fl.Name)
+			}
+		})
+		if len(incompatible) > 0 {
+			return fmt.Errorf("%s: not -autoscale flags; use -scenario/-rebalance/-rebalance-budget/-peak",
+				strings.Join(incompatible, ", "))
+		}
+		acfg := sim.DefaultAutoscaleConfig(*autoscale)
+		acfg.Platform = p
+		acfg.Weights = w
+		acfg.Scenario = *scenario
+		acfg.BaseRate = *rate / 60
+		acfg.PeakFactor = *peak
+		acfg.MeanLifetime = lifetime.Seconds()
+		acfg.Duration = duration.Seconds()
+		acfg.Seed = *seed
+		acfg.Rebalance.Budget = *rebBudget
+		fmt.Fprintf(stdout, "autoscale %s: %d × %v, %.1f arrivals/min baseline ×%.1f peak, mean lifetime %v, horizon %v, seed %d\n\n",
+			*scenario, *autoscale, p, *rate, *peak, lifetime, duration, *seed)
+		var aresults []*sim.AutoscaleResult
+		if *rebPolicy == "all" {
+			aresults, err = sim.RunAutoscaleComparison(acfg, sim.RebalancePolicies(), *workers)
+			if err != nil {
+				return err
+			}
+			for _, r := range aresults {
+				fmt.Fprint(stdout, sim.FormatAutoscaleSummary(r))
+			}
+			fmt.Fprintf(stdout, "\n== rebalance policy comparison ==\n")
+			fmt.Fprint(stdout, sim.FormatAutoscaleComparison(aresults))
+		} else {
+			acfg.Rebalance.Policy = *rebPolicy
+			r, err := sim.RunAutoscale(acfg)
+			if err != nil {
+				return err
+			}
+			aresults = []*sim.AutoscaleResult{r}
+			fmt.Fprint(stdout, sim.FormatAutoscaleSummary(r))
+		}
+		return writeJSONResult(stdout, *jsonOut, aresults)
 	}
 
 	if *cluster > 0 {

@@ -10,6 +10,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/graph"
 	"repro/internal/platform"
+	"repro/internal/rebalance"
 	"repro/internal/sim"
 	"repro/internal/wal"
 	"repro/kairos"
@@ -80,6 +81,11 @@ func Suite(opts Options) []Scenario {
 	} {
 		scs = append(scs, clusterScenario("cluster/place-"+pol.Name(), 16, pol, opts))
 	}
+
+	// Elasticity: the decommission path (drain a packed shard and
+	// rehome its residents) and the steady-state serving regime with
+	// the background rebalancer migrating load off hot shards.
+	scs = append(scs, drainScenario(opts), rebalanceScenario(opts))
 
 	// Layout cache: the same admit+release op with the cache disabled
 	// (cold: every op pays bind+map+route) and enabled-and-warmed
@@ -319,6 +325,85 @@ func churnScenario(opts Options) Scenario {
 			return func() (int, error) {
 				res := sim.Run(cfg)
 				return res.Totals.Arrivals + res.Totals.RetryAdmitted, nil
+			}, nil
+		},
+	}
+}
+
+// drainScenario: one decommission per op — a fresh two-shard cluster
+// is packed onto shard 0 (first-fit, spill disabled) and shard 0 is
+// drained, forcing every resident through the make-before-break rehome
+// onto shard 1. Attempts counts rehomed residents; shard 1 starts
+// empty so a stranded resident is an error, not a data point.
+func drainScenario(opts Options) Scenario {
+	return Scenario{
+		Name:  "cluster/drain-rehome",
+		Group: "cluster",
+		Ops:   opts.ops(50, 20),
+		Prepare: func() (func() (int, error), error) {
+			app, err := sampleApp(appgen.Communication, appgen.Medium, opts.Seed)
+			if err != nil {
+				return nil, err
+			}
+			ctx := context.Background()
+			return func() (int, error) {
+				c, err := kairos.NewCluster(2,
+					func(int) *platform.Platform { return platform.CRISP() },
+					kairos.WithPlacement(kairos.PlacementFirstFit),
+					kairos.WithSpillLimit(1),
+					kairos.WithClusterSeed(opts.Seed),
+					kairos.WithShardOptions(
+						kairos.WithWeights(kairos.WeightsBoth),
+						kairos.WithAdvisoryValidation(),
+					),
+				)
+				if err != nil {
+					return 0, err
+				}
+				for i := 0; i < 6; i++ {
+					if _, err := c.Admit(ctx, app); err != nil {
+						break // shard 0 saturated; drain whatever fit
+					}
+				}
+				res, err := c.DrainShard(ctx, 0)
+				if err != nil {
+					return 0, err
+				}
+				if len(res.Failed) > 0 {
+					return 0, fmt.Errorf("%d residents stranded on the drained shard", len(res.Failed))
+				}
+				if len(res.Moved) == 0 {
+					return 0, fmt.Errorf("drain rehomed nothing; the op measured an empty shard")
+				}
+				return len(res.Moved), nil
+			}, nil
+		},
+	}
+}
+
+// rebalanceScenario: one fixed-seed autoscale flash-crowd run per op
+// with the threshold rebalancer on — the elastic serving regime, where
+// background migrations chase the hot shard while arrivals keep
+// landing (DESIGN.md §10).
+func rebalanceScenario(opts Options) Scenario {
+	return Scenario{
+		Name:  "churn/rebalance-flash",
+		Group: "churn",
+		Ops:   opts.ops(3, 1),
+		Prepare: func() (func() (int, error), error) {
+			cfg := sim.DefaultAutoscaleConfig(4)
+			cfg.Seed = opts.Seed
+			cfg.Duration = 180
+			cfg.Rebalance.Policy = rebalance.PolicyThreshold
+			return func() (int, error) {
+				res, err := sim.RunAutoscale(cfg)
+				if err != nil {
+					return 0, err
+				}
+				if res.Totals.Migrations == 0 {
+					return 0, fmt.Errorf("the rebalancer migrated nothing; the op degenerated to plain churn")
+				}
+				return res.Totals.Arrivals + res.Totals.Migrations, nil
 			}, nil
 		},
 	}

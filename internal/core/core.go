@@ -209,6 +209,11 @@ type Kairos struct {
 	// carry.
 	journal Journal
 	lastLSN uint64
+	// draining marks the manager refusing fresh admissions (see
+	// SetDraining): a cluster drains a shard by setting the mark, then
+	// migrating the residents elsewhere. Release and the restore half
+	// of a failed Readmit stay available so residents can leave.
+	draining bool
 	// cache, when non-nil, memoizes successful layouts (see
 	// Options.LayoutCache and cache.go).
 	cache *layoutCache
@@ -268,6 +273,15 @@ func (k *Kairos) Admit(ctx context.Context, app *graph.Application) (*Admission,
 // admitLocked runs the four-phase workflow under k.mu, consulting the
 // layout cache first when one is configured.
 func (k *Kairos) admitLocked(ctx context.Context, app *graph.Application) (*Admission, error) {
+	if k.draining {
+		// Refused before the workflow runs: no sequence number is
+		// consumed and no stats are recorded, so a drained shard's
+		// counters and instance names are unaffected by the traffic it
+		// turns away. Readmit is gated here too — its restore path puts
+		// the old layout back, so a draining shard sheds rather than
+		// reshuffles.
+		return nil, fmt.Errorf("kairos: admission of %s refused: %w", app.Name, ErrDraining)
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -397,6 +411,31 @@ func (k *Kairos) attemptLocked(ctx context.Context, app *graph.Application) (*Ad
 
 // ErrUnknownInstance is returned by Release for unknown instances.
 var ErrUnknownInstance = errors.New("kairos: unknown application instance")
+
+// ErrDraining matches every admission refused because the manager is
+// draining (SetDraining): its shard is leaving the cluster and must
+// shed residents, not gain them.
+var ErrDraining = errors.New("kairos: manager is draining")
+
+// SetDraining marks the manager as draining, or clears the mark.
+// While draining, Admit, AdmitAll and the admission half of Readmit
+// are refused with an error matching ErrDraining before any sequence
+// number is consumed; Release and the restore path of a failed
+// Readmit keep working so residents can leave. The mark is visible
+// lock-free through Load and is part of the durable state export, so
+// a recovered shard stays unadmittable.
+func (k *Kairos) SetDraining(draining bool) {
+	k.mu.Lock()
+	k.draining = draining
+	k.unlockAndPublish()
+}
+
+// Draining reports whether the manager is refusing fresh admissions.
+func (k *Kairos) Draining() bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return k.draining
+}
 
 // Release frees all resources held by the named admission, e.g. when
 // the application exits or the user demand changes.

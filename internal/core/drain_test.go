@@ -1,0 +1,94 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/mapping"
+	"repro/internal/platform"
+)
+
+// TestDrainGate: a draining engine refuses Admit, AdmitAll and Readmit
+// before the workflow runs — no sequence number consumed, no stats
+// recorded — while Release stays available so residents can leave.
+func TestDrainGate(t *testing.T) {
+	ctx := context.Background()
+	p := platform.Mesh(3, 3, 4)
+	k := New(p, Options{Weights: mapping.WeightsBoth})
+	adm, err := k.Admit(ctx, chainApp("resident", 2, 30))
+	if err != nil {
+		t.Fatalf("seeding admit: %v", err)
+	}
+
+	k.SetDraining(true)
+	if !k.Draining() {
+		t.Fatal("Draining() false after SetDraining(true)")
+	}
+	before := k.Stats()
+
+	if _, err := k.Admit(ctx, chainApp("refused", 2, 30)); !errors.Is(err, ErrDraining) {
+		t.Errorf("Admit while draining = %v, want ErrDraining", err)
+	}
+	batch := []*graph.Application{chainApp("b0", 2, 20), chainApp("b1", 2, 20)}
+	for _, r := range k.AdmitAll(ctx, batch) {
+		if !errors.Is(r.Err, ErrDraining) {
+			t.Errorf("AdmitAll entry %d while draining = %v, want ErrDraining", r.Index, r.Err)
+		}
+	}
+	if got := k.Stats(); !reflect.DeepEqual(got, before) {
+		t.Errorf("refused traffic moved the stats:\nbefore %+v\nafter  %+v", before, got)
+	}
+	// Readmit is gated on its admission half; the restore replays the
+	// old layout, so the resident survives under its old name and no
+	// workflow attempt is recorded.
+	if _, err := k.Readmit(ctx, adm.Instance); !errors.Is(err, ErrDraining) {
+		t.Errorf("Readmit while draining = %v, want ErrDraining", err)
+	}
+	if got := k.Stats(); got.Attempts != before.Attempts || got.Live != 1 {
+		t.Errorf("gated Readmit ran a workflow or evicted: attempts %d→%d live %d",
+			before.Attempts, got.Attempts, got.Live)
+	}
+	if k.Admitted()[adm.Instance] == nil {
+		t.Fatalf("gated Readmit lost resident %q", adm.Instance)
+	}
+
+	// Residents can still leave.
+	if err := k.Release(adm.Instance); err != nil {
+		t.Errorf("Release while draining: %v", err)
+	}
+
+	// Reopening admits again, and the instance suffix shows the refused
+	// attempts consumed no sequence numbers.
+	k.SetDraining(false)
+	adm2, err := k.Admit(ctx, chainApp("fresh", 2, 30))
+	if err != nil {
+		t.Fatalf("Admit after reopening: %v", err)
+	}
+	if !strings.HasSuffix(adm2.Instance, "#2") {
+		t.Errorf("post-reopen instance %q, want suffix #2 (gate must not burn sequence numbers)", adm2.Instance)
+	}
+}
+
+// TestDrainFlagSurvivesExportImport: the drain mark is durable state.
+func TestDrainFlagSurvivesExportImport(t *testing.T) {
+	k := New(platform.Mesh(2, 2, 4), Options{})
+	k.SetDraining(true)
+	se := k.ExportState()
+	if !se.Draining {
+		t.Fatal("ExportState dropped the drain mark")
+	}
+	k2 := New(platform.Mesh(2, 2, 4), Options{})
+	if err := k2.ImportState(se); err != nil {
+		t.Fatal(err)
+	}
+	if !k2.Draining() {
+		t.Error("ImportState dropped the drain mark")
+	}
+	if _, err := k2.Admit(context.Background(), chainApp("x", 2, 30)); !errors.Is(err, ErrDraining) {
+		t.Errorf("imported-draining engine admitted: %v", err)
+	}
+}

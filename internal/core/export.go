@@ -48,6 +48,11 @@ type StateExport struct {
 	// replayed op; recovery uses it to align a snapshot with the log
 	// tail that follows it.
 	LastLSN uint64
+	// Draining marks an engine refusing fresh admissions because its
+	// shard was drained from its cluster (SetDraining); recovery
+	// restores the mark so a drained shard stays unadmittable even
+	// after its OpShardDrain record is compacted away.
+	Draining bool
 	// DisabledElements lists disabled element IDs, ascending.
 	DisabledElements []int
 	// DisabledLinks lists disabled directed links (from, to), in the
@@ -62,7 +67,7 @@ type StateExport struct {
 func (k *Kairos) ExportState() *StateExport {
 	k.mu.Lock()
 	defer k.mu.Unlock()
-	se := &StateExport{Seq: k.seq, LastLSN: k.lastLSN}
+	se := &StateExport{Seq: k.seq, LastLSN: k.lastLSN, Draining: k.draining}
 	for _, e := range k.p.Elements() {
 		if !e.Enabled() {
 			se.DisabledElements = append(se.DisabledElements, e.ID)
@@ -156,6 +161,7 @@ func (k *Kairos) ImportState(se *StateExport) error {
 	}
 	k.seq = se.Seq
 	k.lastLSN = se.LastLSN
+	k.draining = se.Draining
 	return nil
 }
 

@@ -52,6 +52,14 @@ const (
 	OpElement
 	// OpLink: a physical link enabled/disabled through the manager.
 	OpLink
+	// OpShardAdd: the shard joined its cluster at run time
+	// (Cluster.AddShard). Recovery sizes the recovered cluster from
+	// these records; the engine itself replays them as no-ops.
+	OpShardAdd
+	// OpShardDrain: the shard was drained (Cluster.DrainShard
+	// completed). Replay re-marks the engine draining so a recovered
+	// drained shard stays unadmittable.
+	OpShardDrain
 )
 
 func (o OpKind) String() string {
@@ -68,6 +76,10 @@ func (o OpKind) String() string {
 		return "element"
 	case OpLink:
 		return "link"
+	case OpShardAdd:
+		return "shard-add"
+	case OpShardDrain:
+		return "shard-drain"
 	default:
 		return fmt.Sprintf("op(%d)", int(o))
 	}
@@ -140,6 +152,30 @@ func (k *Kairos) Journal() Journal {
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	return k.journal
+}
+
+// JournalMembership durably records a cluster-membership transition of
+// this shard: OpShardAdd when the shard joins a running cluster,
+// OpShardDrain when its drain completes. The record advances the
+// engine's LastLSN, so subsequent snapshots cover the transition, and
+// OpShardDrain additionally marks the engine draining under the same
+// lock hold — the durable record and the in-memory gate cannot
+// diverge. With no journal attached the drain mark is still applied
+// and nil is returned (ephemeral clusters track membership in memory
+// only).
+func (k *Kairos) JournalMembership(kind OpKind) error {
+	if kind != OpShardAdd && kind != OpShardDrain {
+		return fmt.Errorf("kairos: %s is not a membership op", kind)
+	}
+	k.mu.Lock()
+	defer k.unlockAndPublish()
+	if err := k.journalLocked(Op{Kind: kind}); err != nil {
+		return err
+	}
+	if kind == OpShardDrain {
+		k.draining = true
+	}
+	return nil
 }
 
 // commitAdmitLocked journals a fresh admission and queues its event.
@@ -285,6 +321,15 @@ func (k *Kairos) ReplayOp(lsn uint64, op Op) error {
 			break
 		}
 		k.setLink(op.A, op.B, op.Enabled)
+	case OpShardAdd:
+		// Membership records matter to the cluster recovery layer
+		// (they size the recovered shard set); the engine only
+		// advances its LSN past them.
+	case OpShardDrain:
+		// No admission of this shard can follow its drain record in
+		// the log — the drain gate was already set when the record was
+		// appended — so re-marking here cannot refuse a later replay.
+		k.draining = true
 	default:
 		err = fmt.Errorf("kairos: replay of unknown op kind %d", op.Kind)
 	}

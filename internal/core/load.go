@@ -16,12 +16,24 @@ import "math"
 // blocks behind a running admission.
 type LoadHint struct {
 	// Live is the number of currently admitted applications.
-	Live int
+	Live int `json:"live"`
 	// UsedShare is the mean per-element resource utilization over the
 	// platform's enabled elements, in [0, 1]. 1-UsedShare is the
 	// residual-capacity share placement policies sample.
-	UsedShare float64
+	UsedShare float64 `json:"usedShare"`
+	// Draining reports the manager refusing fresh admissions (see
+	// SetDraining); cluster placement skips draining shards, so the
+	// flag rides in the same atomic word as the quantities sampled
+	// alongside it.
+	Draining bool `json:"draining,omitempty"`
 }
+
+// The drain flag occupies the top bit of the packed gauge word, so
+// Live is capped at 31 bits — comfortably above any real population.
+const (
+	loadDrainBit = uint64(1) << 63
+	loadLiveMask = uint64(1)<<31 - 1
+)
 
 // Load returns the manager's current load hint without taking the
 // platform-state lock. The snapshot is consistent but may lag a
@@ -29,8 +41,9 @@ type LoadHint struct {
 func (k *Kairos) Load() LoadHint {
 	packed := k.load.Load()
 	return LoadHint{
-		Live:      int(packed >> 32),
+		Live:      int(packed >> 32 & loadLiveMask),
 		UsedShare: float64(math.Float32frombits(uint32(packed))),
+		Draining:  packed&loadDrainBit != 0,
 	}
 }
 
@@ -51,6 +64,9 @@ func (k *Kairos) updateLoadLocked() {
 	if n > 0 {
 		share = sum / float64(n)
 	}
-	packed := uint64(uint32(len(k.admitted)))<<32 | uint64(math.Float32bits(float32(share)))
+	packed := (uint64(len(k.admitted))&loadLiveMask)<<32 | uint64(math.Float32bits(float32(share)))
+	if k.draining {
+		packed |= loadDrainBit
+	}
 	k.load.Store(packed)
 }

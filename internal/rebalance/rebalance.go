@@ -1,0 +1,246 @@
+// Package rebalance implements the cluster's background load
+// rebalancer: a loop that samples the shards' lock-free load gauges,
+// scores the imbalance as the used-share spread between the hottest
+// and coldest active shard, and migrates admissions off the hot shard
+// (make-before-break, via Cluster.Migrate) when the policy says to.
+//
+// Two mechanisms keep it from thrashing. A hysteresis band: the
+// threshold policy starts acting only when the spread exceeds the
+// High watermark and keeps acting until it falls below Low — one
+// migration moves a whole application's footprint, so a single
+// watermark would oscillate whenever an application's share exceeds
+// the measurement noise. And a per-tick migration budget: each tick
+// moves at most Budget applications, bounding the disturbance rate no
+// matter how wrong the distribution is.
+package rebalance
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/kairos"
+)
+
+// The pluggable policies (Config.Policy).
+const (
+	// PolicyOff never migrates; the rebalancer only observes.
+	PolicyOff = "off"
+	// PolicyThreshold migrates only while the hysteresis latch is set:
+	// set when the spread exceeds High, cleared when it falls below
+	// Low.
+	PolicyThreshold = "threshold"
+	// PolicyPeriodic migrates on every tick whose spread exceeds Low,
+	// with no latch — simpler, but it chases transient skew the
+	// threshold policy would ignore.
+	PolicyPeriodic = "periodic"
+)
+
+// Policies lists the policy names, for flag help and validation.
+func Policies() []string { return []string{PolicyOff, PolicyThreshold, PolicyPeriodic} }
+
+// Config parameterizes a Rebalancer. The zero value is not valid; use
+// New, which applies the documented defaults to zero fields.
+type Config struct {
+	// Policy is one of Policies() (default PolicyOff).
+	Policy string
+	// High and Low are the hysteresis watermarks on the used-share
+	// spread (defaults 0.20 and 0.10). Low also serves as the
+	// act-at-all floor of the periodic policy.
+	High, Low float64
+	// Budget caps migrations per tick (default 2).
+	Budget int
+	// Interval is the Run loop period (default 5s).
+	Interval time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Policy == "" {
+		c.Policy = PolicyOff
+	}
+	if c.High == 0 {
+		c.High = 0.20
+	}
+	if c.Low == 0 {
+		c.Low = 0.10
+	}
+	if c.Budget == 0 {
+		c.Budget = 2
+	}
+	if c.Interval == 0 {
+		c.Interval = 5 * time.Second
+	}
+	return c
+}
+
+// Move records one migration a tick performed: the old and new
+// cluster-scoped instance names and the destination shard.
+type Move struct {
+	From  string
+	To    string
+	Shard int
+}
+
+// TickResult reports one tick: the used-share spread it observed (at
+// tick start), whether the policy acted, the migrations made, and how
+// many migration attempts failed (target shards rejecting).
+type TickResult struct {
+	Spread float64
+	Acted  bool
+	Moves  []Move
+	Failed int
+}
+
+// Rebalancer drives migrations on one cluster. It is single-threaded
+// by design: drive it either with Run (one loop goroutine) or with
+// explicit Tick calls, never both.
+type Rebalancer struct {
+	c      *kairos.Cluster
+	cfg    Config
+	active bool // threshold policy's hysteresis latch
+}
+
+// New validates the config and returns a rebalancer for the cluster.
+func New(c *kairos.Cluster, cfg Config) (*Rebalancer, error) {
+	cfg = cfg.withDefaults()
+	switch cfg.Policy {
+	case PolicyOff, PolicyThreshold, PolicyPeriodic:
+	default:
+		return nil, fmt.Errorf("rebalance: unknown policy %q (have %v)", cfg.Policy, Policies())
+	}
+	if cfg.Low < 0 || cfg.High < cfg.Low {
+		return nil, fmt.Errorf("rebalance: watermarks must satisfy 0 <= low <= high, got low %.3f high %.3f", cfg.Low, cfg.High)
+	}
+	if cfg.Budget < 0 {
+		return nil, fmt.Errorf("rebalance: negative budget %d", cfg.Budget)
+	}
+	if cfg.Interval < 0 {
+		return nil, fmt.Errorf("rebalance: negative interval %v", cfg.Interval)
+	}
+	return &Rebalancer{c: c, cfg: cfg}, nil
+}
+
+// Config returns the validated configuration (defaults applied).
+func (r *Rebalancer) Config() Config { return r.cfg }
+
+// spread returns the used-share spread over the active shards and the
+// hottest and coldest shard indices (ties to the lowest index). With
+// fewer than two active shards there is nothing to balance and hot is
+// -1.
+func (r *Rebalancer) spread() (spread float64, hot, cold int) {
+	hot, cold = -1, -1
+	var max, min float64
+	for _, si := range r.c.Shards() {
+		if si.State != kairos.ShardActive {
+			continue
+		}
+		u := si.Load.UsedShare
+		if hot < 0 || u > max {
+			hot, max = si.Shard, u
+		}
+		if cold < 0 || u < min {
+			cold, min = si.Shard, u
+		}
+	}
+	if hot < 0 || hot == cold {
+		return 0, -1, -1
+	}
+	return max - min, hot, cold
+}
+
+// Tick runs one rebalancing pass: sample, decide, migrate within the
+// budget. Deterministic for a fixed cluster state — it consumes no
+// randomness, picks hot/cold shards with lowest-index ties, and tries
+// the hot shard's residents in sorted name order — so the simulator
+// can drive it as a discrete event.
+func (r *Rebalancer) Tick(ctx context.Context) TickResult {
+	var res TickResult
+	spread, hot, _ := r.spread()
+	res.Spread = spread
+	if hot < 0 {
+		return res
+	}
+	switch r.cfg.Policy {
+	case PolicyOff:
+		return res
+	case PolicyThreshold:
+		if !r.active && spread > r.cfg.High {
+			r.active = true
+		}
+		if r.active && spread <= r.cfg.Low {
+			r.active = false
+		}
+		if !r.active {
+			return res
+		}
+	case PolicyPeriodic:
+		if spread <= r.cfg.Low {
+			return res
+		}
+	}
+	res.Acted = true
+	// Each iteration re-samples: a completed migration changes both
+	// shards' gauges synchronously, so the loop converges toward Low
+	// instead of overshooting on stale readings.
+	attempts := 0
+	for len(res.Moves) < r.cfg.Budget && attempts <= 2*r.cfg.Budget {
+		spread, hot, cold := r.spread()
+		if hot < 0 || spread <= r.cfg.Low {
+			break
+		}
+		moved := false
+		for _, name := range sortedResidents(r.c.Shard(hot)) {
+			attempts++
+			ca, err := r.c.Migrate(ctx, kairos.ClusterInstanceName(hot, name), cold)
+			if err != nil {
+				res.Failed++
+				if attempts > 2*r.cfg.Budget {
+					break
+				}
+				continue
+			}
+			res.Moves = append(res.Moves, Move{
+				From:  kairos.ClusterInstanceName(hot, name),
+				To:    ca.Instance,
+				Shard: ca.Shard,
+			})
+			moved = true
+			break
+		}
+		if !moved {
+			break // hot shard empty or nothing fits anywhere colder
+		}
+	}
+	return res
+}
+
+// Run ticks every Config.Interval until the context is done. PolicyOff
+// returns immediately — there is nothing to run.
+func (r *Rebalancer) Run(ctx context.Context) {
+	if r.cfg.Policy == PolicyOff {
+		return
+	}
+	t := time.NewTicker(r.cfg.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			r.Tick(ctx)
+		}
+	}
+}
+
+// sortedResidents lists a shard's admitted instance names in sorted
+// order, so migration candidate order is deterministic.
+func sortedResidents(m *kairos.Manager) []string {
+	adm := m.Admitted()
+	names := make([]string, 0, len(adm))
+	for name := range adm {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

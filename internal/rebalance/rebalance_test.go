@@ -1,0 +1,313 @@
+package rebalance_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/rebalance"
+	"repro/kairos"
+)
+
+func meshFactory(w, h int) func(int) *kairos.Platform {
+	return func(int) *kairos.Platform { return kairos.Mesh(w, h, kairos.DefaultVCs) }
+}
+
+// chain builds an n-task pipeline of DSP tasks at the given compute
+// share, the same shape the kairos package tests use.
+func chain(name string, n int, share int64) *kairos.Application {
+	app := kairos.NewApplication(name)
+	for i := 0; i < n; i++ {
+		app.AddTask(fmt.Sprintf("t%d", i), kairos.Internal, kairos.Implementation{
+			Name: "t-dsp", Target: kairos.TypeDSP,
+			Requires: kairos.Resources(share, 8, 0, 0), Cost: 1, ExecTime: 5,
+		})
+	}
+	for i := 0; i+1 < n; i++ {
+		app.AddChannelRated(i, i+1, 1, 1, 2)
+	}
+	return app
+}
+
+// skewedCluster builds a 2-shard cluster and packs n single-task apps
+// onto shard 0 (first-fit keeps choosing it), returning the cluster
+// and the resulting used-share spread.
+func skewedCluster(t *testing.T, n int) (*kairos.Cluster, float64) {
+	t.Helper()
+	c, err := kairos.NewCluster(2, meshFactory(2, 2),
+		kairos.WithPlacement(kairos.PlacementFirstFit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		adm, err := c.Admit(context.Background(), chain(fmt.Sprintf("a%d", i), 1, 50))
+		if err != nil {
+			t.Fatalf("Admit a%d: %v", i, err)
+		}
+		if adm.Shard != 0 {
+			t.Fatalf("first-fit placed a%d on shard %d, want 0", i, adm.Shard)
+		}
+	}
+	return c, spreadOf(c)
+}
+
+func spreadOf(c *kairos.Cluster) float64 {
+	loads := c.Stats().Loads
+	max, min := loads[0].UsedShare, loads[0].UsedShare
+	for _, l := range loads[1:] {
+		if l.UsedShare > max {
+			max = l.UsedShare
+		}
+		if l.UsedShare < min {
+			min = l.UsedShare
+		}
+	}
+	return max - min
+}
+
+func liveCounts(c *kairos.Cluster) []int {
+	cs := c.Stats()
+	counts := make([]int, len(cs.Shards))
+	for i, s := range cs.Shards {
+		counts[i] = s.Live
+	}
+	return counts
+}
+
+func TestNewValidation(t *testing.T) {
+	c, _ := skewedCluster(t, 1)
+	cases := []rebalance.Config{
+		{Policy: "nope"},
+		{Policy: rebalance.PolicyThreshold, High: 0.1, Low: 0.2},
+		{Policy: rebalance.PolicyThreshold, Low: -0.1, High: 0.2},
+		{Policy: rebalance.PolicyThreshold, Budget: -1},
+		{Policy: rebalance.PolicyThreshold, Interval: -time.Second},
+	}
+	for _, cfg := range cases {
+		if _, err := rebalance.New(c, cfg); err == nil {
+			t.Errorf("New accepted %+v", cfg)
+		}
+	}
+
+	r, err := rebalance.New(c, rebalance.Config{})
+	if err != nil {
+		t.Fatalf("New with zero config: %v", err)
+	}
+	got := r.Config()
+	want := rebalance.Config{Policy: rebalance.PolicyOff, High: 0.20, Low: 0.10, Budget: 2, Interval: 5 * time.Second}
+	if got != want {
+		t.Errorf("defaults = %+v, want %+v", got, want)
+	}
+}
+
+func TestTickOffOnlyObserves(t *testing.T) {
+	c, spread := skewedCluster(t, 4)
+	r, err := rebalance.New(c, rebalance.Config{Policy: rebalance.PolicyOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Tick(context.Background())
+	if res.Acted || len(res.Moves) != 0 {
+		t.Errorf("off policy acted: %+v", res)
+	}
+	if res.Spread != spread {
+		t.Errorf("Spread = %v, want observed %v", res.Spread, spread)
+	}
+	if got := fmt.Sprint(liveCounts(c)); got != "[4 0]" {
+		t.Errorf("off policy changed placement: live = %s", got)
+	}
+}
+
+// TestThresholdRebalances: 4 apps on shard 0 of 2 (spread 0.5); one
+// tick with enough budget migrates until the spread is at or below the
+// Low watermark, and the next tick has nothing to do.
+func TestThresholdRebalances(t *testing.T) {
+	c, spread := skewedCluster(t, 4)
+	if spread <= 0.3 {
+		t.Fatalf("scenario not skewed enough: spread %v", spread)
+	}
+	r, err := rebalance.New(c, rebalance.Config{
+		Policy: rebalance.PolicyThreshold, High: 0.3, Low: 0.05, Budget: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Tick(context.Background())
+	if !res.Acted {
+		t.Fatalf("spread %v over high watermark but tick did not act", res.Spread)
+	}
+	if len(res.Moves) == 0 || res.Failed != 0 {
+		t.Fatalf("tick = %+v, want clean migrations", res)
+	}
+	if after := spreadOf(c); after > 0.05 {
+		t.Errorf("spread after tick = %v, want <= low watermark 0.05", after)
+	}
+	if got := fmt.Sprint(liveCounts(c)); got != "[2 2]" {
+		t.Errorf("live counts after rebalance = %s, want [2 2]", got)
+	}
+	// Moves name real placements: the From name is gone, To is live.
+	for _, mv := range res.Moves {
+		if _, err := c.Readmit(context.Background(), mv.From); err == nil {
+			t.Errorf("source name %q still resolves after migration", mv.From)
+		}
+	}
+
+	if res := r.Tick(context.Background()); res.Acted || len(res.Moves) != 0 {
+		t.Errorf("balanced cluster still acted: %+v", res)
+	}
+}
+
+// TestThresholdHysteresis: a spread between Low and High must not
+// trigger the threshold policy (no latch), but does trigger periodic.
+func TestThresholdHysteresis(t *testing.T) {
+	c, spread := skewedCluster(t, 2) // spread 0.25
+	r, err := rebalance.New(c, rebalance.Config{
+		Policy: rebalance.PolicyThreshold, High: spread + 0.1, Low: 0.05, Budget: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := r.Tick(context.Background()); res.Acted {
+		t.Errorf("threshold acted below the high watermark: %+v", res)
+	}
+
+	p, err := rebalance.New(c, rebalance.Config{
+		Policy: rebalance.PolicyPeriodic, High: spread + 0.1, Low: 0.05, Budget: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := p.Tick(context.Background()); !res.Acted || len(res.Moves) == 0 {
+		t.Errorf("periodic ignored spread %v over low watermark: %+v", spread, res)
+	}
+}
+
+// TestThresholdLatch: once the spread crosses High the policy keeps
+// migrating on later ticks (budget-limited) even though the remaining
+// spread is below High, until it reaches Low.
+func TestThresholdLatch(t *testing.T) {
+	c, _ := skewedCluster(t, 4) // spread 0.5
+	r, err := rebalance.New(c, rebalance.Config{
+		Policy: rebalance.PolicyThreshold, High: 0.4, Low: 0.05, Budget: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := r.Tick(context.Background())
+	if !first.Acted || len(first.Moves) != 1 {
+		t.Fatalf("first tick = %+v, want exactly one budgeted move", first)
+	}
+	// Spread is now 0.25 < High; an unlatched policy would stop here.
+	second := r.Tick(context.Background())
+	if !second.Acted || len(second.Moves) != 1 {
+		t.Fatalf("latch lost: second tick = %+v", second)
+	}
+	if got := fmt.Sprint(liveCounts(c)); got != "[2 2]" {
+		t.Errorf("live counts = %s, want [2 2]", got)
+	}
+	if res := r.Tick(context.Background()); res.Acted {
+		t.Errorf("tick at spread %v acted after latch should clear", res.Spread)
+	}
+}
+
+// TestTickFailedMigrations: the cold shard cannot host the hot shard's
+// apps, so the tick reports failures and gives up without looping.
+func TestTickFailedMigrations(t *testing.T) {
+	factory := func(shard int) *kairos.Platform {
+		if shard == 1 {
+			return kairos.Mesh(1, 1, kairos.DefaultVCs)
+		}
+		return kairos.Mesh(2, 2, kairos.DefaultVCs)
+	}
+	c, err := kairos.NewCluster(2, factory, kairos.WithPlacement(kairos.PlacementFirstFit))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := c.Admit(context.Background(), chain(fmt.Sprintf("big%d", i), 2, 80)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r, err := rebalance.New(c, rebalance.Config{
+		Policy: rebalance.PolicyThreshold, High: 0.1, Low: 0.01, Budget: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := r.Tick(context.Background())
+	if !res.Acted || res.Failed == 0 || len(res.Moves) != 0 {
+		t.Errorf("tick = %+v, want acted with only failed attempts", res)
+	}
+	if got := fmt.Sprint(liveCounts(c)); got != "[2 0]" {
+		t.Errorf("failed migrations changed placement: live = %s", got)
+	}
+}
+
+// TestTickSkipsInactiveShards: with shard 1 drained only one active
+// shard remains, so there is nothing to balance — and nothing may be
+// migrated onto the drained shard.
+func TestTickSkipsInactiveShards(t *testing.T) {
+	c, _ := skewedCluster(t, 4)
+	if _, err := c.DrainShard(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	r, err := rebalance.New(c, rebalance.Config{
+		Policy: rebalance.PolicyThreshold, High: 0.1, Low: 0.01, Budget: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := r.Tick(context.Background()); res.Acted || res.Spread != 0 || len(res.Moves) != 0 {
+		t.Errorf("tick on a one-active-shard cluster = %+v, want inert", res)
+	}
+	if got := fmt.Sprint(liveCounts(c)); got != "[4 0]" {
+		t.Errorf("live counts = %s, want [4 0]", got)
+	}
+}
+
+// TestTickDeterministic: identical clusters produce identical move
+// sequences — the property the simulator depends on.
+func TestTickDeterministic(t *testing.T) {
+	run := func() string {
+		c, _ := skewedCluster(t, 4)
+		r, err := rebalance.New(c, rebalance.Config{
+			Policy: rebalance.PolicyThreshold, High: 0.3, Low: 0.05, Budget: 1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var trace string
+		for i := 0; i < 4; i++ {
+			trace += fmt.Sprintf("%+v\n", r.Tick(context.Background()))
+		}
+		return trace
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("tick traces diverged:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestRunLoop: the Run goroutine balances a skewed cluster on its own.
+func TestRunLoop(t *testing.T) {
+	c, _ := skewedCluster(t, 4)
+	r, err := rebalance.New(c, rebalance.Config{
+		Policy: rebalance.PolicyThreshold, High: 0.3, Low: 0.05, Budget: 1,
+		Interval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() { defer close(done); r.Run(ctx) }()
+	deadline := time.Now().Add(10 * time.Second)
+	for spreadOf(c) > 0.05 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	<-done
+	if s := spreadOf(c); s > 0.05 {
+		t.Errorf("Run left spread %v after 10s", s)
+	}
+}

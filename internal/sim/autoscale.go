@@ -1,0 +1,460 @@
+package sim
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"repro/internal/appgen"
+	"repro/internal/experiments"
+	"repro/internal/mapping"
+	"repro/internal/platform"
+	"repro/internal/rebalance"
+	"repro/kairos"
+)
+
+// The autoscaling scenarios: time-varying load and shard-membership
+// churn against a kairos.Cluster, with the REBALANCE POLICY as the
+// treatment. The cluster is deliberately operated the way a cheap
+// front-end would: first-fit placement with a spill limit of 1, so
+// every application goes to its planned primary shard and is rejected
+// if that shard cannot host it — no retry. Under that router the
+// distribution of load across shards is everything, which is exactly
+// what the background rebalancer controls; the comparison shows how
+// much admission probability and balance the threshold policy buys
+// over leaving the skew in place.
+//
+// Arrivals are an inhomogeneous Poisson process simulated by thinning:
+// candidates arrive at the scenario's peak rate and each is accepted
+// with probability rate(t)/peak. Every random draw (acceptance, app,
+// lifetime) happens unconditionally in fixed event order, so the
+// offered load is byte-identical across rebalance policies.
+
+// AutoscaleScenarios lists the scenario names RunAutoscale accepts.
+func AutoscaleScenarios() []string { return []string{"diurnal", "flash", "drain"} }
+
+// RebalancePolicies re-exports the rebalance policy vocabulary, so
+// cmd/sim's flag handling need not import the internal package.
+func RebalancePolicies() []string { return rebalance.Policies() }
+
+// AutoscaleConfig parameterizes one autoscaling run. Times are in
+// simulated seconds. Start from DefaultAutoscaleConfig.
+type AutoscaleConfig struct {
+	// Shards is the number of platform shards at boot.
+	Shards int
+	// Platform is the per-shard prototype (nil = CRISP).
+	Platform *platform.Platform
+	// Weights steers every shard's mapping cost function.
+	Weights mapping.Weights
+	// Scenario is one of AutoscaleScenarios():
+	//   diurnal — the arrival rate follows one smooth day cycle,
+	//             BaseRate at the edges, BaseRate×PeakFactor mid-run;
+	//   flash   — BaseRate, except a flash crowd at PeakFactor× during
+	//             the middle fifth of the run;
+	//   drain   — constant BaseRate; shard 0 is drained at half-time
+	//             (decommission after a hardware failure) and a
+	//             replacement shard is added at 60% of the run.
+	Scenario string
+	// BaseRate is the baseline cluster arrival rate per second.
+	BaseRate float64
+	// PeakFactor multiplies BaseRate at the scenario's peak (>= 1).
+	PeakFactor float64
+	// MeanLifetime is the mean application lifetime in seconds.
+	MeanLifetime float64
+	// Duration is the simulated horizon in seconds.
+	Duration float64
+	// Seed drives every random draw.
+	Seed int64
+	// Rebalance is the rebalancer under test; its Interval is ignored
+	// (ticks are simulation events every TickEvery seconds).
+	Rebalance rebalance.Config
+	// TickEvery is the rebalancer tick and spread-sampling period in
+	// simulated seconds (0 = 5).
+	TickEvery float64
+}
+
+// DefaultAutoscaleConfig returns an n-shard CRISP configuration whose
+// baseline load moderately overloads ONE shard — so the off policy,
+// which under the first-fit router leaves everything on shard 0, is
+// visibly worse than spreading it.
+func DefaultAutoscaleConfig(n int) AutoscaleConfig {
+	base := DefaultConfig()
+	return AutoscaleConfig{
+		Shards:       n,
+		Weights:      base.Weights,
+		Scenario:     "flash",
+		BaseRate:     base.ArrivalRate,
+		PeakFactor:   3,
+		MeanLifetime: base.MeanLifetime,
+		Duration:     base.Duration,
+		Seed:         base.Seed,
+		Rebalance: rebalance.Config{
+			Policy: rebalance.PolicyOff,
+			High:   0.20, Low: 0.05,
+			Budget: 4,
+		},
+		TickEvery: 5,
+	}
+}
+
+// AutoscaleTotals summarizes one autoscaling run. Everything is
+// deterministic for a fixed seed.
+type AutoscaleTotals struct {
+	Arrivals int `json:"arrivals"`
+	Admitted int `json:"admitted"`
+	Rejected int `json:"rejected"`
+	// Steady-state figures cover the second half of the run.
+	SteadyArrivals      int     `json:"steadyArrivals"`
+	SteadyRejected      int     `json:"steadyRejected"`
+	SteadyRejectionRate float64 `json:"steadyRejectionRate"` // percent
+	Departures          int     `json:"departures"`
+	// Migrations and MigrationFailed count the rebalancer's moves and
+	// failed attempts over all ticks.
+	Migrations      int `json:"migrations"`
+	MigrationFailed int `json:"migrationFailed"`
+	// Drain-scenario membership churn.
+	Drains      int `json:"drains"`
+	ShardAdds   int `json:"shardAdds"`
+	DrainMoved  int `json:"drainMoved"`
+	DrainFailed int `json:"drainFailed"`
+	// MeanSpread is the mean used-share spread sampled at every tick
+	// in the steady half; PeakSpread is the maximum over the whole
+	// run. Spread is the rebalancer's own imbalance score.
+	MeanSpread float64 `json:"meanSpread"`
+	PeakSpread float64 `json:"peakSpread"`
+	// ShardLive is the per-shard live count at the horizon.
+	ShardLive []int `json:"shardLive"`
+}
+
+// AutoscaleResult is the outcome of one autoscaling run.
+type AutoscaleResult struct {
+	Scenario string          `json:"scenario"`
+	Policy   string          `json:"policy"`
+	Shards   int             `json:"shards"`
+	Seed     int64           `json:"seed"`
+	Duration float64         `json:"duration"`
+	Totals   AutoscaleTotals `json:"totals"`
+}
+
+// RunAutoscale simulates one autoscaling scenario and returns its
+// totals. For a fixed config the result is byte-identical across runs,
+// and across rebalance policies the offered load (arrival times, apps,
+// lifetimes) is identical — only what the cluster does with it varies.
+func RunAutoscale(cfg AutoscaleConfig) (*AutoscaleResult, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 4
+	}
+	if cfg.Platform == nil {
+		cfg.Platform = platform.CRISP()
+	}
+	if cfg.Scenario == "" {
+		cfg.Scenario = "flash"
+	}
+	valid := false
+	for _, s := range AutoscaleScenarios() {
+		valid = valid || s == cfg.Scenario
+	}
+	if !valid {
+		return nil, fmt.Errorf("sim: unknown autoscale scenario %q (have %v)", cfg.Scenario, AutoscaleScenarios())
+	}
+	if cfg.PeakFactor < 1 {
+		cfg.PeakFactor = 1
+	}
+	if cfg.TickEvery <= 0 {
+		cfg.TickEvery = 5
+	}
+	proto := cfg.Platform
+	cluster, err := kairos.NewCluster(cfg.Shards,
+		func(int) *platform.Platform { return proto.Clone() },
+		kairos.WithPlacement(kairos.PlacementFirstFit),
+		kairos.WithSpillLimit(1),
+		kairos.WithClusterSeed(cfg.Seed+31),
+		kairos.WithShardOptions(
+			kairos.WithWeights(cfg.Weights),
+			kairos.WithAdvisoryValidation(),
+		),
+	)
+	if err != nil {
+		panic(err) // config validated above; a failure is a bug
+	}
+	reb, err := rebalance.New(cluster, cfg.Rebalance)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &autoscaleSim{
+		cfg:     cfg,
+		cluster: cluster,
+		proto:   proto,
+		reb:     reb,
+		workRng: rand.New(rand.NewSource(cfg.Seed)),
+		byName:  make(map[string]*clusterApp),
+		res: &AutoscaleResult{
+			Scenario: cfg.Scenario,
+			Policy:   reb.Config().Policy,
+			Shards:   cfg.Shards,
+			Seed:     cfg.Seed,
+			Duration: cfg.Duration,
+		},
+	}
+	for i, gcfg := range experiments.AllConfigs() {
+		s.gens = append(s.gens, appgen.New(gcfg, cfg.Seed+int64(i+1)*7919))
+	}
+
+	if cfg.BaseRate > 0 {
+		s.schedule(s.workRng.ExpFloat64()/s.peakRate(), &event{kind: evArrival})
+	}
+	s.schedule(cfg.TickEvery, &event{kind: evRebTick})
+	if cfg.Scenario == "drain" {
+		s.schedule(0.5*cfg.Duration, &event{kind: evDrainShard, shard: 0})
+		s.schedule(0.6*cfg.Duration, &event{kind: evAddShard})
+	}
+	for s.queue.Len() > 0 {
+		ev := heap.Pop(&s.queue).(*event)
+		if ev.t > cfg.Duration {
+			break
+		}
+		s.now = ev.t
+		switch ev.kind {
+		case evArrival:
+			s.arrival()
+		case evDeparture:
+			s.departure(ev.capp)
+		case evRebTick:
+			s.tick()
+			s.schedule(cfg.TickEvery, &event{kind: evRebTick})
+		case evDrainShard:
+			s.drain(ev.shard)
+		case evAddShard:
+			s.addShard()
+		}
+	}
+	s.finish()
+	return s.res, nil
+}
+
+// autoscaleSim is the event-loop state of one RunAutoscale.
+type autoscaleSim struct {
+	cfg     AutoscaleConfig
+	cluster *kairos.Cluster
+	proto   *platform.Platform
+	reb     *rebalance.Rebalancer
+	workRng *rand.Rand
+	gens    []*appgen.Generator
+	queue   eventQueue
+	seq     int
+	now     float64
+	byName  map[string]*clusterApp
+	res     *AutoscaleResult
+	// spread samples taken at each tick
+	spreadSum   float64
+	spreadCount int
+}
+
+func (s *autoscaleSim) schedule(dt float64, ev *event) {
+	ev.t = s.now + dt
+	ev.seq = s.seq
+	s.seq++
+	heap.Push(&s.queue, ev)
+}
+
+// peakRate is the thinning envelope: candidates arrive at this
+// homogeneous rate and rate(t)/peakRate of them are accepted.
+func (s *autoscaleSim) peakRate() float64 { return s.cfg.BaseRate * s.cfg.PeakFactor }
+
+// rate is the scenario's instantaneous arrival rate.
+func (s *autoscaleSim) rate(t float64) float64 {
+	base, d := s.cfg.BaseRate, s.cfg.Duration
+	switch s.cfg.Scenario {
+	case "flash":
+		if t >= 0.4*d && t < 0.6*d {
+			return base * s.cfg.PeakFactor
+		}
+		return base
+	case "diurnal":
+		// One smooth day cycle: base at the edges, peak mid-run.
+		return base * (1 + (s.cfg.PeakFactor-1)*0.5*(1-math.Cos(2*math.Pi*t/d)))
+	default: // drain: membership churn is the treatment, load is flat
+		return base
+	}
+}
+
+// arrival processes one thinned candidate. Every draw is unconditional
+// and in fixed order — acceptance, app, lifetime — so the offered load
+// cannot depend on what the cluster (or the rebalancer) did with
+// earlier arrivals.
+func (s *autoscaleSim) arrival() {
+	s.schedule(s.workRng.ExpFloat64()/s.peakRate(), &event{kind: evArrival})
+	accept := s.workRng.Float64() < s.rate(s.now)/s.peakRate()
+	app := s.gens[s.workRng.Intn(len(s.gens))].Next()
+	lifetime := s.workRng.ExpFloat64() * s.cfg.MeanLifetime
+	if !accept {
+		return
+	}
+	t := &s.res.Totals
+	t.Arrivals++
+	steady := s.now >= s.cfg.Duration/2
+	if steady {
+		t.SteadyArrivals++
+	}
+	adm, err := s.cluster.Admit(context.Background(), app)
+	if err != nil {
+		t.Rejected++
+		if steady {
+			t.SteadyRejected++
+		}
+		return
+	}
+	t.Admitted++
+	a := &clusterApp{instance: adm.Instance, shard: adm.Shard}
+	s.byName[a.instance] = a
+	s.schedule(lifetime, &event{kind: evDeparture, capp: a})
+}
+
+func (s *autoscaleSim) departure(a *clusterApp) {
+	if a.dead {
+		return
+	}
+	if err := s.cluster.Release(a.instance); err != nil {
+		return // renamed under our feet: a bug; totals show it
+	}
+	a.dead = true
+	delete(s.byName, a.instance)
+	s.res.Totals.Departures++
+}
+
+// rename moves one live app's bookkeeping to its post-migration name.
+func (s *autoscaleSim) rename(from, to string, shard int) {
+	a := s.byName[from]
+	if a == nil {
+		return
+	}
+	delete(s.byName, from)
+	a.instance = to
+	a.shard = shard
+	s.byName[to] = a
+}
+
+// tick runs one rebalancer pass and samples the spread it observed.
+func (s *autoscaleSim) tick() {
+	res := s.reb.Tick(context.Background())
+	t := &s.res.Totals
+	t.Migrations += len(res.Moves)
+	t.MigrationFailed += res.Failed
+	for _, mv := range res.Moves {
+		s.rename(mv.From, mv.To, mv.Shard)
+	}
+	if res.Spread > t.PeakSpread {
+		t.PeakSpread = res.Spread
+	}
+	if s.now >= s.cfg.Duration/2 {
+		s.spreadSum += res.Spread
+		s.spreadCount++
+	}
+}
+
+// drain decommissions one shard mid-run and rehomes its residents.
+func (s *autoscaleSim) drain(shard int) {
+	res, err := s.cluster.DrainShard(context.Background(), shard)
+	if err != nil && res == nil {
+		return // nothing happened (bad shard index)
+	}
+	t := &s.res.Totals
+	t.Drains++
+	t.DrainMoved += len(res.Moved)
+	t.DrainFailed += len(res.Failed)
+	for _, mv := range res.Moved {
+		s.rename(mv.From, mv.To, mv.Shard)
+	}
+}
+
+// addShard grows the cluster by one shard cloned from the prototype.
+func (s *autoscaleSim) addShard() {
+	if _, err := s.cluster.AddShard(s.proto.Clone()); err != nil {
+		return
+	}
+	s.res.Totals.ShardAdds++
+}
+
+func (s *autoscaleSim) finish() {
+	t := &s.res.Totals
+	if t.SteadyArrivals > 0 {
+		t.SteadyRejectionRate = 100 * float64(t.SteadyRejected) / float64(t.SteadyArrivals)
+	}
+	if s.spreadCount > 0 {
+		t.MeanSpread = s.spreadSum / float64(s.spreadCount)
+	}
+	cs := s.cluster.Stats()
+	t.ShardLive = make([]int, len(cs.Shards))
+	for i, sh := range cs.Shards {
+		t.ShardLive[i] = sh.Live
+	}
+}
+
+// RunAutoscaleComparison runs the same seeded scenario once per
+// rebalance policy on a worker pool (<= 0 = one worker per logical
+// CPU); every policy faces the identical offered load.
+func RunAutoscaleComparison(cfg AutoscaleConfig, policies []string, workers int) ([]*AutoscaleResult, error) {
+	// Validate every policy before spending simulation time on any.
+	for _, p := range policies {
+		c := cfg.Rebalance
+		c.Policy = p
+		if _, err := rebalance.New(nil, c); err != nil {
+			return nil, err
+		}
+	}
+	results := make([]*AutoscaleResult, len(policies))
+	errs := make([]error, len(policies))
+	experiments.ForEach(len(policies), workers, func(i int) {
+		c := cfg
+		c.Rebalance.Policy = policies[i]
+		results[i], errs[i] = RunAutoscale(c)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// FormatAutoscaleComparison renders the rebalance-policy comparison as
+// a table: steady-state rejection rate and mean spread are the
+// headline columns.
+func FormatAutoscaleComparison(results []*AutoscaleResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %8s %8s %8s %10s %10s %10s %9s %8s\n",
+		"Rebalance", "Arrivals", "Admitted", "Rejected",
+		"SteadyRej%", "MeanSprd", "PeakSprd", "Migrated", "Failed")
+	for _, r := range results {
+		t := r.Totals
+		fmt.Fprintf(&b, "%-10s %8d %8d %8d %9.2f%% %10.3f %10.3f %9d %8d\n",
+			r.Policy, t.Arrivals, t.Admitted, t.Rejected,
+			t.SteadyRejectionRate, t.MeanSpread, t.PeakSpread,
+			t.Migrations, t.MigrationFailed)
+	}
+	return b.String()
+}
+
+// FormatAutoscaleSummary renders one autoscaling run as a
+// human-readable block.
+func FormatAutoscaleSummary(r *AutoscaleResult) string {
+	t := r.Totals
+	var b strings.Builder
+	fmt.Fprintf(&b, "scenario %s, rebalance %s, %d shards, seed %d, %.0fs simulated\n",
+		r.Scenario, r.Policy, r.Shards, r.Seed, r.Duration)
+	fmt.Fprintf(&b, "  arrivals %d: %d admitted, %d rejected; %d departures\n",
+		t.Arrivals, t.Admitted, t.Rejected, t.Departures)
+	fmt.Fprintf(&b, "  rebalance: %d migrations (%d failed); spread mean %.3f peak %.3f\n",
+		t.Migrations, t.MigrationFailed, t.MeanSpread, t.PeakSpread)
+	if t.Drains > 0 || t.ShardAdds > 0 {
+		fmt.Fprintf(&b, "  membership: %d drain(s) (%d rehomed, %d stranded), %d shard(s) added\n",
+			t.Drains, t.DrainMoved, t.DrainFailed, t.ShardAdds)
+	}
+	fmt.Fprintf(&b, "  steady state: %.2f%% rejection rate (%d/%d), per-shard live %v\n",
+		t.SteadyRejectionRate, t.SteadyRejected, t.SteadyArrivals, t.ShardLive)
+	return b.String()
+}

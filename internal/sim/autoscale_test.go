@@ -1,0 +1,103 @@
+package sim
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/rebalance"
+)
+
+// TestAutoscaleDeterministic: the full result is byte-identical across
+// runs for a fixed config — the property the CI smoke diffs on.
+func TestAutoscaleDeterministic(t *testing.T) {
+	run := func() []byte {
+		cfg := DefaultAutoscaleConfig(3)
+		cfg.Duration = 300
+		cfg.Scenario = "drain" // most moving parts: migrations + membership churn
+		cfg.Rebalance.Policy = rebalance.PolicyThreshold
+		r, err := RunAutoscale(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a, b := run(), run()
+	if string(a) != string(b) {
+		t.Errorf("autoscale results diverged across identical runs:\n%s\nvs\n%s", a, b)
+	}
+}
+
+// TestAutoscaleThresholdBeatsOff is the PR's acceptance scenario: on
+// the flash-crowd, the threshold rebalancer must reduce BOTH the
+// steady-state imbalance (mean spread) and the rejection rate relative
+// to leaving the skew in place.
+func TestAutoscaleThresholdBeatsOff(t *testing.T) {
+	cfg := DefaultAutoscaleConfig(4)
+	cfg.Scenario = "flash"
+	results, err := RunAutoscaleComparison(cfg,
+		[]string{rebalance.PolicyOff, rebalance.PolicyThreshold}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, thr := results[0].Totals, results[1].Totals
+	// Identical offered load first — otherwise the comparison is void.
+	if off.Arrivals != thr.Arrivals {
+		t.Fatalf("offered load diverged: %d vs %d arrivals", off.Arrivals, thr.Arrivals)
+	}
+	if thr.Migrations == 0 {
+		t.Fatal("threshold policy migrated nothing; the treatment is vacuous")
+	}
+	if thr.MeanSpread >= off.MeanSpread {
+		t.Errorf("threshold mean spread %.3f, off %.3f: rebalancing did not reduce imbalance",
+			thr.MeanSpread, off.MeanSpread)
+	}
+	if thr.SteadyRejectionRate >= off.SteadyRejectionRate {
+		t.Errorf("threshold steady rejection %.2f%%, off %.2f%%: rebalancing did not reduce rejections",
+			thr.SteadyRejectionRate, off.SteadyRejectionRate)
+	}
+}
+
+// TestAutoscaleDrainScenario: the drain scenario decommissions shard 0
+// at half-time and adds a replacement, with every resident either
+// rehomed or reported.
+func TestAutoscaleDrainScenario(t *testing.T) {
+	cfg := DefaultAutoscaleConfig(4)
+	cfg.Scenario = "drain"
+	cfg.Rebalance.Policy = rebalance.PolicyThreshold
+	r, err := RunAutoscale(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := r.Totals
+	if tot.Drains != 1 || tot.ShardAdds != 1 {
+		t.Fatalf("drains=%d shardAdds=%d, want 1/1", tot.Drains, tot.ShardAdds)
+	}
+	if len(tot.ShardLive) != cfg.Shards+1 {
+		t.Errorf("ShardLive has %d entries, want %d (boot shards + added)",
+			len(tot.ShardLive), cfg.Shards+1)
+	}
+	if tot.DrainMoved+tot.DrainFailed == 0 {
+		t.Error("drain hit an empty shard; the scenario exercised nothing")
+	}
+}
+
+// TestAutoscaleConfigErrors pins the validation paths.
+func TestAutoscaleConfigErrors(t *testing.T) {
+	cfg := DefaultAutoscaleConfig(2)
+	cfg.Scenario = "tsunami"
+	if _, err := RunAutoscale(cfg); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+	cfg = DefaultAutoscaleConfig(2)
+	cfg.Rebalance.Policy = "nope"
+	if _, err := RunAutoscale(cfg); err == nil {
+		t.Error("unknown rebalance policy accepted")
+	}
+	if _, err := RunAutoscaleComparison(DefaultAutoscaleConfig(2), []string{"nope"}, 1); err == nil {
+		t.Error("comparison accepted an unknown policy")
+	}
+}

@@ -213,6 +213,11 @@ const (
 	evRepair
 	evDefrag
 	evSample
+	// Autoscale-scenario events (autoscale.go): a rebalancer tick, a
+	// shard drain, a shard addition.
+	evRebTick
+	evDrainShard
+	evAddShard
 )
 
 type event struct {

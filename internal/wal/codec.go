@@ -225,6 +225,9 @@ func EncodeOp(b []byte, lsn uint64, shard int, op core.Op) ([]byte, error) {
 		b = appendU32(b, uint32(int32(op.A)))
 		b = appendU32(b, uint32(int32(op.B)))
 		b = appendU8(b, boolByte(op.Enabled))
+	case core.OpShardAdd, core.OpShardDrain:
+		// Membership transitions carry no payload beyond the shard in
+		// the record header.
 	default:
 		return nil, fmt.Errorf("wal: unknown op kind %d", op.Kind)
 	}
@@ -267,6 +270,8 @@ func DecodeOp(payload []byte) (RecordedOp, error) {
 		rec.Op.A = int(int32(r.u32()))
 		rec.Op.B = int(int32(r.u32()))
 		rec.Op.Enabled = r.u8() != 0
+	case core.OpShardAdd, core.OpShardDrain:
+		// No payload.
 	default:
 		return rec, fmt.Errorf("%w: unknown op kind %d", ErrCorrupt, rec.Op.Kind)
 	}
@@ -288,6 +293,7 @@ func EncodeState(b []byte, se *core.StateExport) ([]byte, error) {
 	}
 	b = appendU32(b, uint32(se.Seq))
 	b = appendU64(b, se.LastLSN)
+	b = appendU8(b, boolByte(se.Draining))
 	b = appendInts(b, se.DisabledElements)
 	b = appendU32(b, uint32(len(se.DisabledLinks)))
 	for _, l := range se.DisabledLinks {
@@ -317,6 +323,7 @@ func EncodeState(b []byte, se *core.StateExport) ([]byte, error) {
 func DecodeState(payload []byte) (*core.StateExport, error) {
 	r := &reader{b: payload}
 	se := &core.StateExport{Seq: int(r.u32()), LastLSN: r.u64()}
+	se.Draining = r.u8() != 0
 	se.DisabledElements = r.ints()
 	nLinks := r.u32()
 	if r.err == nil && nLinks > maxRecord/8 {

@@ -65,8 +65,33 @@ type Recovered struct {
 	// SnapshotLSN is the LSN the snapshot file was named with (the
 	// log's last assigned LSN at checkpoint time); zero without one.
 	SnapshotLSN uint64
+	// SnapshotPath is the file name the snapshot was read from (empty
+	// without one), so shape-mismatch diagnostics can point at the
+	// offending file.
+	SnapshotPath string
 	// Ops are the durable op records, ascending by LSN.
 	Ops []RecordedOp
+	// Segments locates, in LSN order, the segment file each recovered
+	// op range came from (see SegmentFor).
+	Segments []SegmentRange
+}
+
+// SegmentRange is the inclusive LSN range of op records recovered from
+// one segment file.
+type SegmentRange struct {
+	Name        string
+	First, Last uint64
+}
+
+// SegmentFor names the segment file the op with the given LSN was
+// recovered from, or "" when no recovered segment holds it.
+func (r *Recovered) SegmentFor(lsn uint64) string {
+	for _, s := range r.Segments {
+		if s.First <= lsn && lsn <= s.Last {
+			return s.Name
+		}
+	}
+	return ""
 }
 
 // Log is the write-ahead log: an append-only sequence of op records in
@@ -208,12 +233,16 @@ func (l *Log) Checkpoint(export func() []*core.StateExport) error {
 		return fmt.Errorf("wal: log closed")
 	}
 	if l.snapCover != nil {
-		if len(states) != len(l.snapCover) {
-			return fmt.Errorf("wal: checkpoint with %d shard(s), newest snapshot has %d", len(states), len(l.snapCover))
+		// The shard set may legitimately grow between snapshots
+		// (Cluster.AddShard journals the membership change); it never
+		// shrinks — drained shards keep their slot so shard-tagged LSNs
+		// stay attributable.
+		if len(states) < len(l.snapCover) {
+			return fmt.Errorf("wal: checkpoint with %d shard(s), newest snapshot has %d (the shard set can grow but never shrink)", len(states), len(l.snapCover))
 		}
-		for i, se := range states {
-			if se.LastLSN < l.snapCover[i] {
-				return fmt.Errorf("wal: stale checkpoint: shard %d exported at lsn %d, behind the newest snapshot's %d", i, se.LastLSN, l.snapCover[i])
+		for i, cover := range l.snapCover {
+			if states[i].LastLSN < cover {
+				return fmt.Errorf("wal: stale checkpoint: shard %d exported at lsn %d, behind the newest snapshot's %d", i, states[i].LastLSN, cover)
 			}
 		}
 	}
@@ -446,6 +475,7 @@ func scan(dir string) (*Recovered, uint64, error) {
 		}
 		rec.Snapshot = states
 		rec.SnapshotLSN = lsn
+		rec.SnapshotPath = snapName(lsn)
 		break
 	}
 
@@ -483,6 +513,7 @@ func scan(dir string) (*Recovered, uint64, error) {
 		}
 		rec.Ops = append(rec.Ops, ops...)
 		if n := len(ops); n > 0 {
+			rec.Segments = append(rec.Segments, SegmentRange{Name: s.name, First: ops[0].LSN, Last: ops[n-1].LSN})
 			next = ops[n-1].LSN + 1
 		}
 	}

@@ -34,6 +34,8 @@ func sampleOps(t testing.TB) []core.Op {
 		{Kind: core.OpRelease, Instance: app.Name + "#4"},
 		{Kind: core.OpElement, Elem: 3, Enabled: true},
 		{Kind: core.OpEvict, Instance: app.Name + "#9"},
+		{Kind: core.OpShardAdd},
+		{Kind: core.OpShardDrain},
 	}
 }
 
@@ -350,12 +352,18 @@ func TestStaleCheckpointRefused(t *testing.T) {
 	if err := log.Checkpoint(exportOf(&core.StateExport{LastLSN: last - 2})); err == nil {
 		t.Fatal("stale checkpoint (coverage behind newest snapshot) was accepted")
 	}
-	if err := log.Checkpoint(exportOf(&core.StateExport{LastLSN: last}, &core.StateExport{LastLSN: last})); err == nil {
-		t.Fatal("checkpoint with a different shard count was accepted")
+	// The shard set can legitimately grow (Cluster.AddShard) but never
+	// shrink: a shrinking checkpoint would orphan the dropped shard's
+	// records.
+	if err := log.Checkpoint(exportOf(&core.StateExport{LastLSN: last}, &core.StateExport{LastLSN: last})); err != nil {
+		t.Fatalf("checkpoint growing the shard set was refused: %v", err)
 	}
-	// The stale attempts must not have displaced the good snapshot.
+	if err := log.Checkpoint(exportOf(&core.StateExport{LastLSN: last})); err == nil {
+		t.Fatal("checkpoint shrinking the shard set was accepted")
+	}
+	// The refused attempts must not have displaced the newest snapshot.
 	if snaps := snapshotNames(t, dir); len(snaps) != 1 {
-		t.Fatalf("snapshot files = %v, want exactly the good one", snaps)
+		t.Fatalf("snapshot files = %v, want exactly the newest one", snaps)
 	}
 }
 
@@ -464,6 +472,7 @@ func TestStateCodecRoundTrip(t *testing.T) {
 	se := &core.StateExport{
 		Seq:              42,
 		LastLSN:          99,
+		Draining:         true,
 		DisabledElements: []int{1, 5},
 		DisabledLinks:    [][2]int{{0, 1}, {1, 0}},
 		Admissions: []core.AdmissionExport{{
@@ -484,6 +493,9 @@ func TestStateCodecRoundTrip(t *testing.T) {
 	got, err := wal.DecodeState(b)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if !got.Draining {
+		t.Error("Draining flag lost in the state round trip")
 	}
 	b2, err := wal.EncodeState(nil, got)
 	if err != nil {

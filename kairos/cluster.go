@@ -9,6 +9,9 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
 )
 
 // Cluster is a sharded multi-platform resource manager: it owns N
@@ -30,22 +33,99 @@ import (
 // Cluster is used exactly like a Manager. For a fixed seed and a
 // single caller, shard choice is deterministic (the determinism tests
 // pin this).
+//
+// The shard set is elastic: AddShard appends a shard at run time and
+// DrainShard retires one, migrating its residents to the remaining
+// shards. Shard indices are stable for the cluster's lifetime — a
+// drained shard keeps its slot (and its "s<shard>:" names stay
+// resolvable) but is skipped by placement.
 type Cluster struct {
-	shards []*Manager
 	policy PlacementPolicy
 	spill  int
 
-	// mu guards the rng and the load scratch during planning; the
+	// membership is the current shard set, swapped atomically so the
+	// hot admission path reads it lock-free; memberMu serializes the
+	// writers (AddShard, DrainShard) behind copy-on-write updates.
+	membership atomic.Pointer[[]shardSlot]
+	memberMu   sync.Mutex
+	// shardOpts builds the managers of shards added at run time with
+	// the same configuration the construction-time shards got.
+	shardOpts []Option
+	// log, set by RecoverCluster, journals membership transitions of a
+	// durable cluster; nil for ephemeral clusters.
+	log *WAL
+
+	// mu guards the rng and the plan scratch during planning; the
 	// admission workflow itself runs outside it, on the chosen shard's
 	// own lock.
-	mu    sync.Mutex
-	rng   *rand.Rand
-	loads []LoadHint
+	mu     sync.Mutex
+	rng    *rand.Rand
+	loads  []LoadHint
+	admIdx []int // admittable-shard index scratch
 
 	planPool sync.Pool // *[]int plan scratch, one per in-flight admission
 
 	eventBuffer int
 }
+
+// ShardState is one shard's membership state.
+type ShardState int
+
+const (
+	// ShardActive: the shard accepts placements.
+	ShardActive ShardState = iota
+	// ShardDraining: a DrainShard call is migrating the shard's
+	// residents away; placement skips it.
+	ShardDraining
+	// ShardDrained: the shard was drained. It keeps its index (names
+	// stay resolvable, stragglers reported by the drain can still be
+	// released) but never receives placements again.
+	ShardDrained
+)
+
+func (s ShardState) String() string {
+	switch s {
+	case ShardActive:
+		return "active"
+	case ShardDraining:
+		return "draining"
+	case ShardDrained:
+		return "drained"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// MarshalText renders the state name, so JSON membership listings read
+// "active"/"draining"/"drained" rather than bare integers.
+func (s ShardState) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// UnmarshalText parses a state name, so membership listings round-trip
+// through JSON (API clients decode what the admin endpoint encodes).
+func (s *ShardState) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "active":
+		*s = ShardActive
+	case "draining":
+		*s = ShardDraining
+	case "drained":
+		*s = ShardDrained
+	default:
+		return fmt.Errorf("kairos: unknown shard state %q", text)
+	}
+	return nil
+}
+
+// shardSlot pairs one shard's manager with its membership state inside
+// an immutable membership view.
+type shardSlot struct {
+	m     *Manager
+	state ShardState
+}
+
+// slots returns the current membership view. The slice is immutable —
+// writers replace it wholesale under memberMu.
+func (c *Cluster) slots() []shardSlot { return *c.membership.Load() }
 
 // clusterConfig collects the options of NewCluster.
 type clusterConfig struct {
@@ -112,49 +192,105 @@ func NewCluster(shards int, platformFor func(shard int) *Platform, opts ...Clust
 		spill:       cfg.spill,
 		rng:         rand.New(rand.NewSource(cfg.seed)),
 		loads:       make([]LoadHint, shards),
+		shardOpts:   cfg.shardOpts,
 		eventBuffer: cfg.eventBuffer,
 	}
+	slots := make([]shardSlot, 0, shards)
 	for i := 0; i < shards; i++ {
 		p := platformFor(i)
 		if p == nil {
 			return nil, fmt.Errorf("kairos: platform factory returned nil for shard %d", i)
 		}
-		c.shards = append(c.shards, New(p, cfg.shardOpts...))
+		slots = append(slots, shardSlot{m: New(p, cfg.shardOpts...), state: ShardActive})
 	}
+	c.membership.Store(&slots)
 	return c, nil
 }
 
-// NumShards returns the number of shards.
-func (c *Cluster) NumShards() int { return len(c.shards) }
+// NumShards returns the number of shard slots, including drained ones
+// (indices are stable, so a drained shard still counts).
+func (c *Cluster) NumShards() int { return len(c.slots()) }
 
 // Shard returns the i-th shard's manager, e.g. to inject faults into
 // its platform or inspect its admissions. The manager is live: what is
 // admitted through the cluster shows up here.
-func (c *Cluster) Shard(i int) *Manager { return c.shards[i] }
+func (c *Cluster) Shard(i int) *Manager { return c.slots()[i].m }
 
-// attempts returns how many shards one admission may try.
-func (c *Cluster) attempts() int {
-	if c.spill > 0 && c.spill < len(c.shards) {
-		return c.spill
-	}
-	return len(c.shards)
+// ShardInfo is one shard's membership state and current load, the
+// tuple the rebalancer and the admin membership endpoint consume.
+type ShardInfo struct {
+	// Shard is the stable shard index.
+	Shard int `json:"shard"`
+	// State is the membership state.
+	State ShardState `json:"state"`
+	// Load is the shard's lock-free load gauge snapshot.
+	Load LoadHint `json:"load"`
 }
 
-// plan samples every shard's load gauge and asks the policy for the
-// try order. The returned scratch goes back via putPlan.
-func (c *Cluster) plan() *[]int {
+// Shards snapshots the membership: one ShardInfo per slot, in index
+// order.
+func (c *Cluster) Shards() []ShardInfo {
+	slots := c.slots()
+	out := make([]ShardInfo, len(slots))
+	for i, s := range slots {
+		out[i] = ShardInfo{Shard: i, State: s.state, Load: s.m.Load()}
+	}
+	return out
+}
+
+// attemptsFor returns how many of n admittable shards one admission
+// may try.
+func (c *Cluster) attemptsFor(n int) int {
+	if c.spill > 0 && c.spill < n {
+		return c.spill
+	}
+	return n
+}
+
+// plan samples the admittable shards' load gauges and asks the policy
+// for the try order over them, remapping the policy's positions back
+// to stable shard indices. It returns the scratch (to go back via
+// putPlan) and the number of admittable shards; n == 0 means every
+// shard is draining or drained and nothing can be placed.
+func (c *Cluster) plan(slots []shardSlot) (op *[]int, n int) {
 	op, ok := c.planPool.Get().(*[]int)
 	if !ok {
-		s := make([]int, len(c.shards))
+		s := make([]int, len(slots))
 		op = &s
 	}
 	c.mu.Lock()
-	for i, m := range c.shards {
-		c.loads[i] = m.Load()
+	c.admIdx = c.admIdx[:0]
+	for i, s := range slots {
+		if s.state == ShardActive {
+			c.admIdx = append(c.admIdx, i)
+		}
 	}
-	c.policy.Plan(c.loads, c.rng, *op)
+	n = len(c.admIdx)
+	if n == 0 {
+		c.mu.Unlock()
+		c.planPool.Put(op)
+		return nil, 0
+	}
+	if cap(c.loads) < n {
+		c.loads = make([]LoadHint, n)
+	}
+	loads := c.loads[:n]
+	for j, i := range c.admIdx {
+		loads[j] = slots[i].m.Load()
+	}
+	if cap(*op) < n {
+		*op = make([]int, n)
+	}
+	order := (*op)[:n]
+	*op = order
+	c.policy.Plan(loads, c.rng, order)
+	// The policy ranked positions within the admittable subset; map
+	// them back to stable shard indices.
+	for j := range order {
+		order[j] = c.admIdx[order[j]]
+	}
 	c.mu.Unlock()
-	return op
+	return op, n
 }
 
 func (c *Cluster) putPlan(op *[]int) { c.planPool.Put(op) }
@@ -194,7 +330,7 @@ func (c *Cluster) resolve(instance string) (int, string, error) {
 	if ok {
 		if idx, local, found := strings.Cut(rest, ":"); found {
 			if shard, err := strconv.Atoi(idx); err == nil &&
-				shard >= 0 && shard < len(c.shards) && strconv.Itoa(shard) == idx {
+				shard >= 0 && shard < c.NumShards() && strconv.Itoa(shard) == idx {
 				return shard, local, nil
 			}
 		}
@@ -211,12 +347,16 @@ func (c *Cluster) resolve(instance string) (int, string, error) {
 // sentinels keep working); a cancelled context stops the spill-over
 // immediately and returns the cancellation.
 func (c *Cluster) Admit(ctx context.Context, app *Application) (*ClusterAdmission, error) {
-	op := c.plan()
+	slots := c.slots()
+	op, n := c.plan(slots)
+	if n == 0 {
+		return nil, fmt.Errorf("kairos: cluster rejected %s: %w", app.Name, ErrNoAdmittableShards)
+	}
 	defer c.putPlan(op)
 	var lastErr error
 	tried := 0
-	for _, shard := range (*op)[:c.attempts()] {
-		adm, err := c.shards[shard].Admit(ctx, app)
+	for _, shard := range (*op)[:c.attemptsFor(n)] {
+		adm, err := slots[shard].m.Admit(ctx, app)
 		tried++
 		if err == nil {
 			return &ClusterAdmission{
@@ -299,13 +439,15 @@ func (c *Cluster) AdmitAll(ctx context.Context, apps []*Application) []ClusterBa
 	return results
 }
 
-// Release frees the named cluster admission on its shard.
+// Release frees the named cluster admission on its shard. Drained
+// shards release too — a straggler the drain could not move still
+// leaves normally.
 func (c *Cluster) Release(instance string) error {
 	shard, local, err := c.resolve(instance)
 	if err != nil {
 		return err
 	}
-	return c.shards[shard].Release(local)
+	return c.Shard(shard).Release(local)
 }
 
 // Readmit restarts the named admission on its own shard (applications
@@ -317,7 +459,7 @@ func (c *Cluster) Readmit(ctx context.Context, instance string) (*ClusterAdmissi
 	if err != nil {
 		return nil, err
 	}
-	adm, err := c.shards[shard].Readmit(ctx, local)
+	adm, err := c.Shard(shard).Readmit(ctx, local)
 	if err != nil {
 		return nil, err
 	}
@@ -343,18 +485,19 @@ type ClusterReadmitResult struct {
 // shard; the cluster-level sweep is not.
 func (c *Cluster) ReadmitAffected(ctx context.Context) []ClusterReadmitResult {
 	var out []ClusterReadmitResult
-	for i, m := range c.shards {
-		for _, res := range m.ReadmitAffected(ctx) {
+	for i, s := range c.slots() {
+		for _, res := range s.m.ReadmitAffected(ctx) {
 			out = append(out, ClusterReadmitResult{Shard: i, ReadmitResult: res})
 		}
 	}
 	return out
 }
 
-// ReleaseAll frees every admission on every shard.
+// ReleaseAll frees every admission on every shard, drained ones
+// included.
 func (c *Cluster) ReleaseAll() {
-	for _, m := range c.shards {
-		m.ReleaseAll()
+	for _, s := range c.slots() {
+		s.m.ReleaseAll()
 	}
 }
 
@@ -364,14 +507,21 @@ func (c *Cluster) ReleaseAll() {
 // order, not one atomic cut across shards.
 type ClusterStats struct {
 	Shards []Stats `json:"shards"`
-	Total  Stats   `json:"total"`
+	// Loads is the per-shard load gauge at snapshot time (live
+	// instances, used share, drain flag), indexed like Shards.
+	Loads []LoadHint `json:"loads"`
+	Total Stats      `json:"total"`
 }
 
-// Stats snapshots every shard's counters and their aggregate.
+// Stats snapshots every shard's counters, its load gauge, and their
+// aggregate.
 func (c *Cluster) Stats() ClusterStats {
-	cs := ClusterStats{Shards: make([]Stats, len(c.shards))}
-	for i, m := range c.shards {
+	slots := c.slots()
+	cs := ClusterStats{Shards: make([]Stats, len(slots)), Loads: make([]LoadHint, len(slots))}
+	for i, slot := range slots {
+		m := slot.m
 		s := m.Stats()
+		cs.Loads[i] = m.Load()
 		cs.Shards[i] = s
 		t := &cs.Total
 		t.Attempts += s.Attempts
@@ -400,8 +550,8 @@ func (c *Cluster) Stats() ClusterStats {
 // subscriptions (see Manager.Dropped).
 func (c *Cluster) Dropped() uint64 {
 	var n uint64
-	for _, m := range c.shards {
-		n += m.Dropped()
+	for _, s := range c.slots() {
+		n += s.m.Dropped()
 	}
 	return n
 }
@@ -424,17 +574,21 @@ type ShardEvent struct {
 // closes the merged channel promptly: events still queued on the shard
 // side at that moment are discarded, so consumers that need every
 // event must drain before cancelling.
+//
+// The subscription covers the shards present at call time; a shard
+// added later publishes only to subscriptions opened after it joined.
 func (c *Cluster) Subscribe() (<-chan ShardEvent, func()) {
 	buffer := c.eventBuffer
 	if buffer <= 0 {
 		buffer = DefaultEventBuffer
 	}
+	slots := c.slots()
 	out := make(chan ShardEvent, buffer)
 	done := make(chan struct{})
 	var wg sync.WaitGroup
-	cancels := make([]func(), len(c.shards))
-	for i, m := range c.shards {
-		ch, cancel := m.Subscribe()
+	cancels := make([]func(), len(slots))
+	for i, s := range slots {
+		ch, cancel := s.m.Subscribe()
 		cancels[i] = cancel
 		wg.Add(1)
 		go func(shard int, ch <-chan Event) {
@@ -469,4 +623,283 @@ func (c *Cluster) Subscribe() (<-chan ShardEvent, func()) {
 			}
 		})
 	}
+}
+
+// --- elastic membership ---
+
+// ErrNoAdmittableShards matches admissions and migrations refused
+// because every shard is draining or drained.
+var ErrNoAdmittableShards = errors.New("kairos: no admittable shards")
+
+// setStateLocked publishes a membership view with shard i's state
+// changed. Called with memberMu held.
+func (c *Cluster) setStateLocked(i int, state ShardState) {
+	old := c.slots()
+	next := make([]shardSlot, len(old))
+	copy(next, old)
+	next[i].state = state
+	c.membership.Store(&next)
+}
+
+// AddShard appends a shard for the platform at run time and returns
+// its index. The new shard is built with the same manager options the
+// construction-time shards got, starts empty and active, and receives
+// placements from the next plan on. On a durable cluster the
+// membership change is journaled before the shard is published, so a
+// recovery sees the grown shard set; recovery's platform factory must
+// produce the added shard's platform for its index just like the
+// original shards' (the usual clone-a-prototype factory does).
+func (c *Cluster) AddShard(p *Platform) (int, error) {
+	if p == nil {
+		return 0, errors.New("kairos: nil platform")
+	}
+	c.memberMu.Lock()
+	defer c.memberMu.Unlock()
+	old := c.slots()
+	i := len(old)
+	m := New(p, c.shardOpts...)
+	if c.log != nil {
+		m.AttachJournal(shardJournal{log: c.log, shard: i})
+		if err := m.JournalMembership(core.OpShardAdd); err != nil {
+			return 0, err
+		}
+	}
+	next := make([]shardSlot, i+1)
+	copy(next, old)
+	next[i] = shardSlot{m: m, state: ShardActive}
+	c.membership.Store(&next)
+	return i, nil
+}
+
+// DrainMove records one resident DrainShard rehomed: the old and new
+// cluster-scoped instance names and the destination shard.
+type DrainMove struct {
+	From  string `json:"from"`
+	To    string `json:"to"`
+	Shard int    `json:"shard"`
+}
+
+// DrainFailure records one resident DrainShard could not rehome; it
+// stays admitted on the drained shard until released.
+type DrainFailure struct {
+	Instance string `json:"instance"`
+	Err      error  `json:"-"`
+	// Reason is Err's text, carried separately so the failure
+	// serializes over the wire.
+	Reason string `json:"reason"`
+}
+
+// DrainResult reports what a DrainShard call did: every resident
+// either appears in Moved (rehomed, with its new name) or in Failed
+// (explicitly reported, still resident) — acknowledged placements are
+// never silently lost.
+type DrainResult struct {
+	Shard  int            `json:"shard"`
+	Moved  []DrainMove    `json:"moved,omitempty"`
+	Failed []DrainFailure `json:"failed,omitempty"`
+}
+
+// DrainShard retires shard i: the shard is marked unadmittable —
+// placement skips it and its own engine refuses admissions already
+// planned onto it — and every resident is force-readmitted onto the
+// remaining shards in spill-over plan order, make-before-break (the
+// application is admitted on the destination before the original is
+// released, so a failure at any point leaves it fully placed
+// somewhere). Residents that no remaining shard accepts are reported
+// in the result's Failed list and stay admitted on the drained shard;
+// the shard still ends drained, so they can only leave, not be joined.
+//
+// On a durable cluster the completed drain is journaled, so recovery
+// keeps the shard unadmittable. Draining an already-drained shard
+// retries its stragglers without re-journaling.
+//
+// Cancelling the context stops the drain between migrations and rolls
+// the membership mark back: completed moves stay (each was atomic),
+// the remaining residents are untouched, and the shard returns to its
+// previous state. The partial result is returned with the
+// cancellation error.
+func (c *Cluster) DrainShard(ctx context.Context, i int) (*DrainResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	c.memberMu.Lock()
+	defer c.memberMu.Unlock()
+	slots := c.slots()
+	if i < 0 || i >= len(slots) {
+		return nil, fmt.Errorf("kairos: no shard %d (cluster has %d)", i, len(slots))
+	}
+	prev := slots[i].state
+	m := slots[i].m
+	// Gate first, then hide from placement: once SetDraining returns,
+	// no in-flight admission can add a resident (the engine refuses
+	// under its own lock), so the resident snapshot below is complete.
+	m.SetDraining(true)
+	c.setStateLocked(i, ShardDraining)
+
+	res := &DrainResult{Shard: i}
+	failed := map[string]error{}
+	for {
+		residents := residentNames(m)
+		pending := residents[:0]
+		for _, name := range residents {
+			if _, ok := failed[name]; !ok {
+				pending = append(pending, name)
+			}
+		}
+		if len(pending) == 0 {
+			break
+		}
+		progress := false
+		for _, local := range pending {
+			mv, err := c.rehome(ctx, i, local)
+			switch {
+			case err == nil:
+				res.Moved = append(res.Moved, *mv)
+				progress = true
+			case errors.Is(err, ErrUnknownInstance):
+				// Released concurrently between snapshot and migration:
+				// nothing left to move.
+				progress = true
+			case ctx.Err() != nil:
+				// Roll the membership mark back; completed moves stay.
+				if prev == ShardActive {
+					m.SetDraining(false)
+				}
+				c.setStateLocked(i, prev)
+				appendFailures(res, failed)
+				return res, fmt.Errorf("kairos: drain of shard %d cancelled: %w", i, ctx.Err())
+			default:
+				failed[local] = err
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+
+	if prev == ShardActive {
+		// Journal the transition once (the drain gate was set before any
+		// resident moved, so every migration's records precede this one in
+		// the shard's LSN order). On append failure the drain is not
+		// durable, so it must not happen: re-open the shard.
+		if err := m.JournalMembership(core.OpShardDrain); err != nil {
+			m.SetDraining(false)
+			c.setStateLocked(i, prev)
+			appendFailures(res, failed)
+			return res, err
+		}
+	}
+	c.setStateLocked(i, ShardDrained)
+	appendFailures(res, failed)
+	return res, nil
+}
+
+// residentNames snapshots a shard's admitted instance names in sorted
+// order, so drain migration order is deterministic.
+func residentNames(m *Manager) []string {
+	adm := m.Admitted()
+	names := make([]string, 0, len(adm))
+	for name := range adm {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// appendFailures renders the failed-resident map into the result in
+// sorted instance order.
+func appendFailures(res *DrainResult, failed map[string]error) {
+	names := make([]string, 0, len(failed))
+	for name := range failed {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		err := failed[name]
+		res.Failed = append(res.Failed, DrainFailure{
+			Instance: ClusterInstanceName(res.Shard, name),
+			Err:      err,
+			Reason:   err.Error(),
+		})
+	}
+}
+
+// rehome migrates one resident of shard `from` to the first willing
+// shard in plan order (spill-over bounded like Admit).
+func (c *Cluster) rehome(ctx context.Context, from int, local string) (*DrainMove, error) {
+	slots := c.slots()
+	adm := slots[from].m.Admitted()[local]
+	if adm == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownInstance, ClusterInstanceName(from, local))
+	}
+	op, n := c.plan(slots)
+	if n == 0 {
+		return nil, fmt.Errorf("kairos: cannot rehome %s: %w", ClusterInstanceName(from, local), ErrNoAdmittableShards)
+	}
+	defer c.putPlan(op)
+	var lastErr error
+	for _, target := range (*op)[:c.attemptsFor(n)] {
+		ca, err := c.moveTo(ctx, slots, from, local, adm, target)
+		if err == nil {
+			return &DrainMove{From: ClusterInstanceName(from, local), To: ca.Instance, Shard: ca.Shard}, nil
+		}
+		if errors.Is(err, ErrUnknownInstance) {
+			return nil, err
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, err
+		}
+	}
+	return nil, fmt.Errorf("kairos: no remaining shard admitted %s (%d tried): %w",
+		ClusterInstanceName(from, local), c.attemptsFor(n), lastErr)
+}
+
+// moveTo is the make-before-break migration step: admit the
+// application on the target shard, then release the original. If the
+// release loses a race (the resident vanished concurrently) or its
+// journal append fails, the fresh admission is undone so the
+// application is never placed twice.
+func (c *Cluster) moveTo(ctx context.Context, slots []shardSlot, from int, local string, adm *Admission, target int) (*ClusterAdmission, error) {
+	tadm, err := slots[target].m.Admit(ctx, adm.App)
+	if err != nil {
+		return nil, err
+	}
+	if rerr := slots[from].m.Release(local); rerr != nil {
+		_ = slots[target].m.Release(tadm.Instance)
+		return nil, rerr
+	}
+	return &ClusterAdmission{
+		Shard:    target,
+		Instance: ClusterInstanceName(target, tadm.Instance),
+		Attempts: 1,
+		Adm:      tadm,
+	}, nil
+}
+
+// Migrate moves one admission to the chosen active shard,
+// make-before-break, and returns the new cluster admission (the old
+// name is released). The rebalancer uses it to move load off hot
+// shards; it refuses targets that are draining, drained, or the
+// instance's own shard.
+func (c *Cluster) Migrate(ctx context.Context, instance string, target int) (*ClusterAdmission, error) {
+	shard, local, err := c.resolve(instance)
+	if err != nil {
+		return nil, err
+	}
+	slots := c.slots()
+	if target < 0 || target >= len(slots) {
+		return nil, fmt.Errorf("kairos: no shard %d (cluster has %d)", target, len(slots))
+	}
+	if target == shard {
+		return nil, fmt.Errorf("kairos: %s already lives on shard %d", instance, target)
+	}
+	if st := slots[target].state; st != ShardActive {
+		return nil, fmt.Errorf("kairos: migration target shard %d is %s", target, st)
+	}
+	adm := slots[shard].m.Admitted()[local]
+	if adm == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownInstance, instance)
+	}
+	return c.moveTo(ctx, slots, shard, local, adm, target)
 }

@@ -125,39 +125,77 @@ func Recover(dir string, p *Platform, opts ...Option) (*Manager, *WAL, error) {
 }
 
 // RecoverCluster boots a durable cluster from the log directory, the
-// cluster analogue of Recover: the shard count and platform factory
-// must rebuild the pristine platforms the crashed cluster started
-// from. Each shard's state is recovered independently from its
-// shard-tagged records. A fresh directory recovers to an empty
-// cluster. The caller owns the returned WAL.
+// cluster analogue of Recover: `shards` is the construction-time
+// (base) shard count and the platform factory must rebuild the
+// pristine platforms the crashed cluster started from. A cluster
+// whose shard set grew at run time journals each AddShard, so
+// recovery sizes the recovered membership from the log — the factory
+// is called for the added shards' indices too and must reproduce
+// their platforms the same way (the usual clone-a-prototype factory
+// does). Drained shards recover drained: they keep their slot and
+// their stragglers, and stay unadmittable. Each shard's state is
+// recovered independently from its shard-tagged records. A fresh
+// directory recovers to an empty cluster of the base count. The
+// caller owns the returned WAL.
 func RecoverCluster(dir string, shards int, platformFor func(shard int) *Platform, opts ...ClusterOption) (*Cluster, *WAL, error) {
-	c, err := NewCluster(shards, platformFor, opts...)
-	if err != nil {
-		return nil, nil, err
-	}
 	log, rec, err := wal.Open(dir, wal.Options{})
 	if err != nil {
 		return nil, nil, err
 	}
-	if rec.Snapshot != nil && len(rec.Snapshot) != shards {
-		log.Close()
-		return nil, nil, fmt.Errorf("kairos: %s snapshot holds %d shards, cluster has %d", dir, len(rec.Snapshot), shards)
+	// Size the membership: the base count, grown by every journaled
+	// shard-add and by any snapshot taken after growth. The shard set
+	// never shrinks, so a snapshot smaller than the base count means
+	// the caller's count is not the one this log was written with.
+	count := shards
+	if len(rec.Snapshot) > count {
+		count = len(rec.Snapshot)
 	}
 	for _, r := range rec.Ops {
-		if r.Shard < 0 || r.Shard >= shards {
-			log.Close()
-			return nil, nil, fmt.Errorf("kairos: %s records shard %d, cluster has %d", dir, r.Shard, shards)
+		if r.Op.Kind == core.OpShardAdd && r.Shard >= count {
+			count = r.Shard + 1
 		}
 	}
-	for i := 0; i < shards; i++ {
+	if rec.Snapshot != nil && len(rec.Snapshot) < shards {
+		log.Close()
+		return nil, nil, fmt.Errorf("kairos: %s: snapshot %s holds %d shard(s) but the cluster was booted with %d — not a corrupt log; pass the shard count the log was written with",
+			dir, rec.SnapshotPath, len(rec.Snapshot), shards)
+	}
+	for _, r := range rec.Ops {
+		if r.Shard < 0 || r.Shard >= count {
+			log.Close()
+			seg := rec.SegmentFor(r.LSN)
+			if seg == "" {
+				seg = "an unidentified segment"
+			}
+			return nil, nil, fmt.Errorf("kairos: %s: op lsn %d (%s) in %s is tagged shard %d but the recovered membership has only %d shard(s) (base count %d plus journaled shard-adds) — not a corrupt log; pass the shard count the log was written with",
+				dir, r.LSN, r.Op.Kind, seg, r.Shard, count, shards)
+		}
+	}
+	c, err := NewCluster(count, platformFor, opts...)
+	if err != nil {
+		log.Close()
+		return nil, nil, err
+	}
+	for i := 0; i < count; i++ {
 		if err := replayShard(c.Shard(i), i, rec); err != nil {
 			log.Close()
 			return nil, nil, fmt.Errorf("shard %d: %w", i, err)
 		}
 	}
-	for i := 0; i < shards; i++ {
+	// A shard whose engine recovered draining (snapshot flag or a
+	// replayed shard-drain record) was drained from this cluster;
+	// restore the membership mark so placement keeps skipping it.
+	c.memberMu.Lock()
+	for i := 0; i < count; i++ {
+		if c.Shard(i).Draining() {
+			c.setStateLocked(i, ShardDrained)
+		}
+	}
+	c.memberMu.Unlock()
+	for i := 0; i < count; i++ {
 		c.Shard(i).AttachJournal(shardJournal{log: log, shard: i})
 	}
+	c.log = log
 	return c, log, nil
 }
 

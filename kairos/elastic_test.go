@@ -1,0 +1,538 @@
+package kairos_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/kairos"
+)
+
+// TestDrainShardRehomesResidents: draining a populated shard moves
+// every resident onto the remaining shards, kills the old names,
+// issues valid new ones, and leaves the shard permanently
+// unadmittable with its index intact.
+func TestDrainShardRehomesResidents(t *testing.T) {
+	ctx := context.Background()
+	c := mustCluster(t, 3, meshFactory(4, 4),
+		kairos.WithPlacement(kairos.PlacementFirstFit),
+		kairos.WithShardOptions(kairos.WithoutValidation()))
+
+	var onZero int
+	for i := 0; i < 4; i++ {
+		adm, err := c.Admit(ctx, chain(fmt.Sprintf("app%d", i), 2, 30))
+		if err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+		if adm.Shard == 0 {
+			onZero++
+		}
+	}
+	if onZero == 0 {
+		t.Fatal("first-fit landed nothing on shard 0; nothing to drain")
+	}
+	liveBefore := c.Stats().Total.Live
+
+	res, err := c.DrainShard(ctx, 0)
+	if err != nil {
+		t.Fatalf("DrainShard: %v", err)
+	}
+	if len(res.Failed) != 0 {
+		t.Fatalf("drain stranded %d residents on a cluster with empty shards: %+v", len(res.Failed), res.Failed)
+	}
+	if len(res.Moved) != onZero {
+		t.Fatalf("drain moved %d residents, want %d", len(res.Moved), onZero)
+	}
+	if got := c.Stats().Total.Live; got != liveBefore {
+		t.Errorf("drain changed total live %d → %d; make-before-break must conserve placements", liveBefore, got)
+	}
+	if got := c.Stats().Shards[0].Live; got != 0 {
+		t.Errorf("drained shard still hosts %d residents", got)
+	}
+	for _, mv := range res.Moved {
+		if !strings.HasPrefix(mv.From, "s0:") || mv.Shard == 0 {
+			t.Errorf("move %+v does not leave shard 0", mv)
+		}
+		if err := c.Release(mv.From); !errors.Is(err, kairos.ErrUnknownInstance) {
+			t.Errorf("old name %q still resolves after the move", mv.From)
+		}
+	}
+	if err := c.Release(res.Moved[0].To); err != nil {
+		t.Errorf("new name %q not releasable: %v", res.Moved[0].To, err)
+	}
+
+	// The shard keeps its slot, marked drained, and never admits again.
+	infos := c.Shards()
+	if len(infos) != 3 || infos[0].State != kairos.ShardDrained {
+		t.Fatalf("membership after drain: %+v", infos)
+	}
+	for i := 0; i < 6; i++ {
+		adm, err := c.Admit(ctx, chain("after", 2, 30))
+		if err != nil {
+			break // saturation of the remaining shards is fine
+		}
+		if adm.Shard == 0 {
+			t.Fatal("admission placed on a drained shard")
+		}
+	}
+
+	// Draining a drained shard retries its (empty) straggler set.
+	res, err = c.DrainShard(ctx, 0)
+	if err != nil || len(res.Moved) != 0 || len(res.Failed) != 0 {
+		t.Errorf("re-drain = %+v, %v; want an empty result", res, err)
+	}
+
+	// Growth reopens capacity at the next index.
+	idx, err := c.AddShard(kairos.Mesh(4, 4, kairos.DefaultVCs))
+	if err != nil || idx != 3 {
+		t.Fatalf("AddShard = %d, %v; want index 3", idx, err)
+	}
+	if got := c.Shards()[3].State; got != kairos.ShardActive {
+		t.Errorf("added shard state %v, want active", got)
+	}
+}
+
+// TestDrainShardReportsUnplaceable: residents no remaining shard can
+// host are reported in Failed — by cluster-scoped name, still resident
+// and releasable — rather than silently dropped; the shard still ends
+// drained.
+func TestDrainShardReportsUnplaceable(t *testing.T) {
+	ctx := context.Background()
+	// Shard 1 is a single-element mesh that cannot host the two-task
+	// 80%-share chains living on shard 0.
+	factory := func(i int) *kairos.Platform {
+		if i == 0 {
+			return kairos.Mesh(4, 4, kairos.DefaultVCs)
+		}
+		return kairos.Mesh(1, 1, kairos.DefaultVCs)
+	}
+	c := mustCluster(t, 2, factory, kairos.WithShardOptions(kairos.WithoutValidation()))
+	var names []string
+	for i := 0; i < 2; i++ {
+		adm, err := c.Admit(ctx, chain("big", 2, 80))
+		if err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+		if adm.Shard != 0 {
+			t.Fatalf("admission %d landed on shard %d; the tiny shard should reject it", i, adm.Shard)
+		}
+		names = append(names, adm.Instance)
+	}
+
+	res, err := c.DrainShard(ctx, 0)
+	if err != nil {
+		t.Fatalf("DrainShard: %v", err)
+	}
+	if len(res.Moved) != 0 || len(res.Failed) != len(names) {
+		t.Fatalf("drain moved %d failed %d, want 0/%d", len(res.Moved), len(res.Failed), len(names))
+	}
+	for _, f := range res.Failed {
+		if !strings.HasPrefix(f.Instance, "s0:") || f.Reason == "" {
+			t.Errorf("failure %+v lacks a cluster-scoped name or a reason", f)
+		}
+	}
+	if got := c.Shards()[0].State; got != kairos.ShardDrained {
+		t.Errorf("shard state after partial drain %v, want drained (stragglers leave, never joined)", got)
+	}
+	// The stragglers are still resident and can leave normally.
+	if got := c.Stats().Shards[0].Live; got != len(names) {
+		t.Errorf("drained shard live = %d, want %d stragglers", got, len(names))
+	}
+	for _, name := range names {
+		if err := c.Release(name); err != nil {
+			t.Errorf("releasing straggler %q: %v", name, err)
+		}
+	}
+}
+
+// TestDrainShardCancellationPurity extends the PR 2 rollback-purity
+// property to drains: a DrainShard cancelled before any migration
+// completed must leave the drained shard's durable state byte-identical
+// (the canonical WAL encoding), the target shards' allocation state
+// untouched, and the membership mark rolled back.
+func TestDrainShardCancellationPurity(t *testing.T) {
+	bg := context.Background()
+	c := mustCluster(t, 2, meshFactory(4, 4),
+		kairos.WithPlacement(kairos.PlacementFirstFit))
+	for i := 0; i < 3; i++ {
+		adm, err := c.Admit(bg, chain(fmt.Sprintf("app%d", i), 2, 30))
+		if err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+		if adm.Shard != 0 {
+			t.Fatalf("first-fit put app %d on shard %d", i, adm.Shard)
+		}
+	}
+	wantState := stateBytes(t, c.Shard(0))
+	wantAlloc := allocState(c.Shard(1).Platform(), c.Shard(1))
+
+	ctx, cancel := context.WithCancel(bg)
+	cancel()
+	res, err := c.DrainShard(ctx, 0)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled drain error = %v, want context.Canceled", err)
+	}
+	if res == nil || len(res.Moved) != 0 {
+		t.Fatalf("cancelled drain reported moves: %+v", res)
+	}
+	if got := stateBytes(t, c.Shard(0)); !bytes.Equal(got, wantState) {
+		t.Error("cancelled drain mutated the shard's durable state")
+	}
+	if got := allocState(c.Shard(1).Platform(), c.Shard(1)); got != wantAlloc {
+		t.Errorf("cancelled drain left allocations on the target shard:\n--- before\n%s--- after\n%s", wantAlloc, got)
+	}
+	if got := c.Shards()[0].State; got != kairos.ShardActive {
+		t.Errorf("membership state after cancelled drain %v, want active (rolled back)", got)
+	}
+	if c.Shard(0).Draining() {
+		t.Error("drain gate left set after cancellation")
+	}
+	// The shard serves again.
+	adm, err := c.Admit(bg, chain("post", 2, 30))
+	if err != nil {
+		t.Fatalf("admit after cancelled drain: %v", err)
+	}
+	if adm.Shard != 0 {
+		t.Errorf("first-fit avoided the rolled-back shard (landed on %d)", adm.Shard)
+	}
+}
+
+// TestDrainUnderChurnLosesNothing is the acceptance stress: drains and
+// a shard add race a full admission/release churn under -race, and at
+// the end every acknowledged placement is accounted for — released by
+// its owner, rehomed under a drain-reported new name, or still
+// resident — with none lost.
+func TestDrainUnderChurnLosesNothing(t *testing.T) {
+	ctx := context.Background()
+	c := mustCluster(t, 4, meshFactory(4, 4),
+		kairos.WithShardOptions(kairos.WithoutValidation()))
+
+	const workers = 8
+	var mu sync.Mutex
+	live := map[string]bool{} // acknowledged admissions not acknowledged-released
+	var wg sync.WaitGroup
+	started := make(chan struct{})
+	var startOnce sync.Once
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			var mine []string
+			for i := 0; i < 40; i++ {
+				adm, err := c.Admit(ctx, chain(fmt.Sprintf("w%d", w), 2, 25))
+				if err == nil {
+					mu.Lock()
+					live[adm.Instance] = true
+					mu.Unlock()
+					mine = append(mine, adm.Instance)
+					startOnce.Do(func() { close(started) })
+				}
+				if len(mine) > 0 && rng.Intn(2) == 0 {
+					name := mine[len(mine)-1]
+					mine = mine[:len(mine)-1]
+					if err := c.Release(name); err == nil {
+						mu.Lock()
+						delete(live, name)
+						mu.Unlock()
+					}
+					// ErrUnknownInstance: a drain rehomed it between our
+					// admit and this release. It stays tracked under its
+					// old name and is resolved through the rename maps
+					// below — losing it here would hide a lost placement.
+				}
+			}
+		}(w)
+	}
+
+	<-started
+	renames := map[string]string{}
+	for _, step := range []func() (*kairos.DrainResult, error){
+		func() (*kairos.DrainResult, error) { return c.DrainShard(ctx, 0) },
+		func() (*kairos.DrainResult, error) {
+			if _, err := c.AddShard(kairos.Mesh(4, 4, kairos.DefaultVCs)); err != nil {
+				return nil, err
+			}
+			return c.DrainShard(ctx, 1)
+		},
+	} {
+		res, err := step()
+		if err != nil {
+			t.Fatalf("membership change under churn: %v", err)
+		}
+		for _, mv := range res.Moved {
+			renames[mv.From] = mv.To
+		}
+	}
+	wg.Wait()
+
+	// Resolve every tracked placement through the rename chains and
+	// release it: each must still exist exactly once.
+	resolve := func(name string) string {
+		for {
+			to, ok := renames[name]
+			if !ok {
+				return name
+			}
+			name = to
+		}
+	}
+	if got, want := c.Stats().Total.Live, len(live); got != want {
+		t.Errorf("cluster live = %d, tracked acknowledged placements = %d", got, want)
+	}
+	for name := range live {
+		if err := c.Release(resolve(name)); err != nil {
+			t.Errorf("placement %q (resolved %q) lost: %v", name, resolve(name), err)
+		}
+	}
+	if got := c.Stats().Total.Live; got != 0 {
+		t.Errorf("%d unaccounted placements remain after releasing every tracked one", got)
+	}
+	// Both drained shards hold nothing the drain did not report.
+	for i := 0; i < 2; i++ {
+		if got := c.Stats().Shards[i].Live; got != 0 {
+			t.Errorf("drained shard %d still hosts %d unreported residents", i, got)
+		}
+	}
+}
+
+// TestNoAdmittableShards: with every shard drained the cluster refuses
+// admissions with the sentinel, and growth restores service.
+func TestNoAdmittableShards(t *testing.T) {
+	ctx := context.Background()
+	c := mustCluster(t, 1, meshFactory(4, 4))
+	if _, err := c.DrainShard(ctx, 0); err != nil {
+		t.Fatalf("draining an empty shard: %v", err)
+	}
+	if _, err := c.Admit(ctx, chain("app", 2, 30)); !errors.Is(err, kairos.ErrNoAdmittableShards) {
+		t.Fatalf("admit on a fully drained cluster = %v, want ErrNoAdmittableShards", err)
+	}
+	if _, err := c.AddShard(kairos.Mesh(4, 4, kairos.DefaultVCs)); err != nil {
+		t.Fatal(err)
+	}
+	adm, err := c.Admit(ctx, chain("app", 2, 30))
+	if err != nil {
+		t.Fatalf("admit after growth: %v", err)
+	}
+	if adm.Shard != 1 {
+		t.Errorf("admission on shard %d, want the added shard 1", adm.Shard)
+	}
+}
+
+// TestClusterReleaseAllRacesSubscribeAndAdmit hammers ReleaseAll
+// against concurrent admissions and subscription churn under -race;
+// the invariant is that the final quiesced ReleaseAll leaves zero live
+// placements and the subscription machinery shuts down cleanly.
+func TestClusterReleaseAllRacesSubscribeAndAdmit(t *testing.T) {
+	ctx := context.Background()
+	c := mustCluster(t, 4, meshFactory(4, 4),
+		kairos.WithShardOptions(kairos.WithoutValidation()))
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				adm, err := c.Admit(ctx, chain(fmt.Sprintf("w%d", w), 2, 25))
+				if err == nil && i%3 == 0 {
+					_ = c.Release(adm.Instance) // may race a ReleaseAll; both outcomes fine
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 25; i++ {
+			events, cancel := c.Subscribe()
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				for range events {
+				}
+			}()
+			time.Sleep(time.Millisecond)
+			cancel()
+			<-done
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 15; i++ {
+			c.ReleaseAll()
+		}
+	}()
+	wg.Wait()
+
+	c.ReleaseAll()
+	if got := c.Stats().Total.Live; got != 0 {
+		t.Fatalf("quiesced ReleaseAll left %d live placements", got)
+	}
+}
+
+// TestMembershipRecovery: a durable cluster that grew and drained at
+// run time recovers with the caller passing the BOOT count — the log's
+// membership records size the recovered cluster, the drained shard
+// stays drained, and every shard's state is byte-identical. Both the
+// pure-replay and the snapshot+tail paths are covered.
+func TestMembershipRecovery(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+
+	c, log, err := kairos.RecoverCluster(dir, 2, meshFactory(4, 4))
+	if err != nil {
+		t.Fatalf("RecoverCluster (fresh): %v", err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := c.Admit(ctx, chain(fmt.Sprintf("app%d", i), 2, 25)); err != nil {
+			t.Fatalf("admit %d: %v", i, err)
+		}
+	}
+	if idx, err := c.AddShard(kairos.Mesh(4, 4, kairos.DefaultVCs)); err != nil || idx != 2 {
+		t.Fatalf("AddShard = %d, %v", idx, err)
+	}
+	if _, err := c.Admit(ctx, chain("young", 2, 25)); err != nil {
+		t.Fatalf("post-growth admit: %v", err)
+	}
+	res, err := c.DrainShard(ctx, 0)
+	if err != nil {
+		t.Fatalf("DrainShard: %v", err)
+	}
+	if len(res.Failed) != 0 {
+		t.Fatalf("drain stranded residents: %+v", res.Failed)
+	}
+	want := make([][]byte, 3)
+	for i := range want {
+		want[i] = stateBytes(t, c.Shard(i))
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Pure replay: the base count is 2; the journaled AddShard grows
+	// the recovered membership to 3 and the journaled drain keeps
+	// shard 0 out of service.
+	c2, log2, err := kairos.RecoverCluster(dir, 2, meshFactory(4, 4))
+	if err != nil {
+		t.Fatalf("RecoverCluster (replay): %v", err)
+	}
+	if c2.NumShards() != 3 {
+		t.Fatalf("recovered %d shards, want 3 (base 2 + journaled add)", c2.NumShards())
+	}
+	if got := c2.Shards()[0].State; got != kairos.ShardDrained {
+		t.Errorf("recovered shard 0 state %v, want drained", got)
+	}
+	for i := range want {
+		if got := stateBytes(t, c2.Shard(i)); !bytes.Equal(got, want[i]) {
+			t.Errorf("shard %d: recovered state differs", i)
+		}
+	}
+	for i := 0; i < 4; i++ {
+		adm, err := c2.Admit(ctx, chain("post", 2, 25))
+		if err != nil {
+			t.Fatalf("post-recovery admit: %v", err)
+		}
+		if adm.Shard == 0 {
+			t.Fatal("recovered cluster admitted onto the drained shard")
+		}
+	}
+
+	// Snapshot + tail: checkpoint the grown membership, append a tail
+	// op, and recover again with the boot count.
+	if err := kairos.CheckpointCluster(log2, c2); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if _, err := c2.Admit(ctx, chain("tail", 2, 25)); err != nil {
+		t.Fatalf("tail admit: %v", err)
+	}
+	want2 := make([][]byte, 3)
+	for i := range want2 {
+		want2[i] = stateBytes(t, c2.Shard(i))
+	}
+	if err := log2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	c3, log3, err := kairos.RecoverCluster(dir, 2, meshFactory(4, 4))
+	if err != nil {
+		t.Fatalf("RecoverCluster (snapshot): %v", err)
+	}
+	defer log3.Close()
+	if c3.NumShards() != 3 || c3.Shards()[0].State != kairos.ShardDrained {
+		t.Fatalf("snapshot recovery membership: %d shards, shard 0 %v", c3.NumShards(), c3.Shards()[0].State)
+	}
+	for i := range want2 {
+		if got := stateBytes(t, c3.Shard(i)); !bytes.Equal(got, want2[i]) {
+			t.Errorf("shard %d: snapshot+tail recovery differs", i)
+		}
+	}
+}
+
+// TestRecoverClusterShapeErrors pins the improved shape-mismatch
+// diagnostics: both refusals must say the log is not corrupt and name
+// the evidence (the snapshot, or the offending op's LSN).
+func TestRecoverClusterShapeErrors(t *testing.T) {
+	ctx := context.Background()
+
+	t.Run("op-beyond-membership", func(t *testing.T) {
+		dir := t.TempDir()
+		c, log, err := kairos.RecoverCluster(dir, 2, meshFactory(4, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 4; i++ {
+			if _, err := c.Admit(ctx, chain("app", 2, 25)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		onOne := c.Shard(1).Stats().Live > 0
+		if err := log.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if !onOne {
+			t.Skip("balancer left shard 1 empty; nothing to detect")
+		}
+		_, _, err = kairos.RecoverCluster(dir, 1, meshFactory(4, 4))
+		if err == nil {
+			t.Fatal("RecoverCluster(1) accepted a 2-shard log")
+		}
+		for _, frag := range []string{"lsn", "tagged shard 1", "not a corrupt log", "pass the shard count"} {
+			if !strings.Contains(err.Error(), frag) {
+				t.Errorf("error %q lacks %q", err, frag)
+			}
+		}
+	})
+
+	t.Run("snapshot-smaller-than-base", func(t *testing.T) {
+		dir := t.TempDir()
+		c, log, err := kairos.RecoverCluster(dir, 2, meshFactory(4, 4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Admit(ctx, chain("app", 2, 25)); err != nil {
+			t.Fatal(err)
+		}
+		if err := kairos.CheckpointCluster(log, c); err != nil {
+			t.Fatal(err)
+		}
+		if err := log.Close(); err != nil {
+			t.Fatal(err)
+		}
+		_, _, err = kairos.RecoverCluster(dir, 3, meshFactory(4, 4))
+		if err == nil {
+			t.Fatal("RecoverCluster(3) accepted a 2-shard snapshot")
+		}
+		for _, frag := range []string{"snapshot", "holds 2 shard(s)", "booted with 3", "not a corrupt log"} {
+			if !strings.Contains(err.Error(), frag) {
+				t.Errorf("error %q lacks %q", err, frag)
+			}
+		}
+	})
+}

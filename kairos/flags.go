@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"strings"
+	"time"
 )
 
 // Flags is the CLI vocabulary shared by cmd/kairos, cmd/sim and
@@ -63,6 +64,13 @@ type ClusterFlags struct {
 	Placement string
 	// Spill is the -spill value (see WithSpillLimit).
 	Spill int
+	// Rebalance, RebalanceEvery and RebalanceBudget are the -rebalance
+	// policy name, loop period and per-tick migration cap. They are
+	// carried raw: resolve them with internal/rebalance (which imports
+	// this package, so this package only names the vocabulary).
+	Rebalance       string
+	RebalanceEvery  time.Duration
+	RebalanceBudget int
 }
 
 // RegisterClusterFlags registers the cluster flags on the FlagSet with
@@ -75,6 +83,12 @@ func RegisterClusterFlags(fs *flag.FlagSet) *ClusterFlags {
 		"placement policy: "+strings.Join(PlacementNames(), "|"))
 	fs.IntVar(&f.Spill, "spill", 0,
 		"max shards tried per admission (0 = all, in placement order)")
+	fs.StringVar(&f.Rebalance, "rebalance", "off",
+		"background rebalance policy: off|threshold|periodic")
+	fs.DurationVar(&f.RebalanceEvery, "rebalance-every", 5*time.Second,
+		"period of the background rebalance loop")
+	fs.IntVar(&f.RebalanceBudget, "rebalance-budget", 2,
+		"max migrations per rebalance tick")
 	return f
 }
 
