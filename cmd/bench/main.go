@@ -29,6 +29,8 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/internal/bench"
@@ -50,6 +52,8 @@ func run(args []string, stdout io.Writer) error {
 		compare   = fs.Bool("compare", false, "compare two BENCH_*.json files: bench -compare old.json new.json")
 		tolerance = fs.Float64("tolerance", 0.15, "compare: acceptable ns/op growth fraction (allocs/op is gated separately at a max(2, 0.5%) noise floor)")
 		quiet     = fs.Bool("q", false, "suppress per-scenario progress lines")
+		mutexProf = fs.String("mutexprofile", "", "write a mutex-contention profile of the run to this file")
+		blockProf = fs.String("blockprofile", "", "write a blocking profile of the run to this file")
 	)
 	fs.SetOutput(stdout)
 	if err := fs.Parse(args); err != nil {
@@ -88,6 +92,25 @@ func run(args []string, stdout io.Writer) error {
 			fmt.Fprintf(stdout, format+"\n", args...)
 		}
 	}
+	// Contention profiles for triaging the contended scenarios: sampled
+	// mutex contention and goroutine blocking over the whole run. The
+	// sampling changes timings a little, so CI records the profiles in
+	// a dedicated artifact run, not in the gated measurement run.
+	// Status goes to stderr so `-json -` stays machine-readable.
+	if *mutexProf != "" {
+		runtime.SetMutexProfileFraction(5)
+		defer func() {
+			runtime.SetMutexProfileFraction(0)
+			writeProfile("mutex", *mutexProf)
+		}()
+	}
+	if *blockProf != "" {
+		runtime.SetBlockProfileRate(10_000) // one sample per 10µs blocked
+		defer func() {
+			runtime.SetBlockProfileRate(0)
+			writeProfile("block", *blockProf)
+		}()
+	}
 	rep, err := bench.Run(suite, *quick, *seed, logf)
 	if err != nil {
 		return err
@@ -120,6 +143,27 @@ func run(args []string, stdout io.Writer) error {
 		name := filepath.Join(*outDir, "BENCH_"+rep.SHA+".json")
 		return writeReport(name, data, stdout)
 	}
+}
+
+// writeProfile dumps the named runtime profile; profile failures warn
+// rather than fail the run (the measurements are already taken).
+func writeProfile(name, path string) {
+	p := pprof.Lookup(name)
+	if p == nil {
+		fmt.Fprintf(os.Stderr, "bench: no %s profile available\n", name)
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %s profile: %v\n", name, err)
+		return
+	}
+	defer f.Close()
+	if err := p.WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: writing %s profile: %v\n", name, err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %s profile %s\n", name, path)
 }
 
 func writeReport(path string, data []byte, stdout io.Writer) error {

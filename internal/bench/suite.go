@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"os"
+	"sync"
 
 	"repro/internal/appgen"
 	"repro/internal/core"
@@ -100,7 +101,83 @@ func Suite(opts Options) []Scenario {
 	// the durability layer (DESIGN.md §8) re-executes every logged op,
 	// so this tracks how long a kairosd reboot takes per logged op.
 	scs = append(scs, recoveryScenario(1_000, opts), recoveryScenario(10_000, opts))
+
+	// Contended admission: N admitter goroutines hammering one shard
+	// with admit+release, optimistic admission on — the tentpole's
+	// scaling claim — plus the serialized 4-admitter baseline the CI
+	// bench job ratios admit-4 against. The group runs un-pinned
+	// (Procs) and is exempt from Compare's per-metric gates; the
+	// admits/s column is the signal.
+	for _, n := range []int{1, 4, 16} {
+		scs = append(scs, contendScenario(fmt.Sprintf("contend/admit-%d", n), n, true, opts))
+	}
+	scs = append(scs, contendScenario("contend/admit-serial4", 4, false, opts))
 	return scs
+}
+
+// contendScenario: one op is a round of admit+release churn by
+// `admitters` concurrent goroutines against a single manager — the
+// intra-shard contention the optimistic protocol targets. Every
+// admitter runs a fixed number of admissions per round, so Attempts is
+// deterministic; capacity rejections under peak concurrency are part
+// of the workload, not errors. The admitters draw from different
+// generator profiles so their plans spread over the platform instead
+// of racing for one "best" element every time.
+func contendScenario(name string, admitters int, optimistic bool, opts Options) Scenario {
+	const perAdmitter = 10
+	return Scenario{
+		Name:  name,
+		Group: "contend",
+		Ops:   opts.ops(30, 10),
+		Procs: admitters,
+		Prepare: func() (func() (int, error), error) {
+			profiles := []appgen.Profile{appgen.Communication, appgen.Computation}
+			sizes := []appgen.Size{appgen.Small, appgen.Medium}
+			apps := make([]*graph.Application, admitters)
+			for i := range apps {
+				app, err := sampleApp(profiles[i%2], sizes[(i/2)%2], opts.Seed+int64(i/4))
+				if err != nil {
+					return nil, err
+				}
+				apps[i] = app
+			}
+			kopts := []kairos.Option{
+				kairos.WithWeights(kairos.WeightsBoth),
+				kairos.WithAdvisoryValidation(),
+			}
+			if optimistic {
+				kopts = append(kopts, kairos.WithOptimisticAdmission(4))
+			}
+			k := kairos.New(platform.CRISP(), kopts...)
+			ctx := context.Background()
+			return func() (int, error) {
+				var wg sync.WaitGroup
+				errc := make(chan error, admitters)
+				for g := 0; g < admitters; g++ {
+					wg.Add(1)
+					go func(g int) {
+						defer wg.Done()
+						for i := 0; i < perAdmitter; i++ {
+							adm, err := k.Admit(ctx, apps[g])
+							if err != nil {
+								continue // transient capacity rejection under peak concurrency
+							}
+							if err := k.Release(adm.Instance); err != nil {
+								errc <- err
+								return
+							}
+						}
+					}(g)
+				}
+				wg.Wait()
+				close(errc)
+				for err := range errc {
+					return 0, err
+				}
+				return admitters * perAdmitter, nil
+			}, nil
+		},
+	}
 }
 
 // clusterScenario: one cluster Admit (placement plan + shard workflow)

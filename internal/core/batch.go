@@ -45,6 +45,20 @@ type BatchResult struct {
 // context is done, the remaining entries fail fast with the context's
 // error — already-admitted entries stay admitted (the batch is not
 // transactional).
+//
+// With Options.OptimisticAttempts > 0 and more than one survivor the
+// batch plans its entries in parallel against a snapshot of the
+// batch-start state and commits them under a single lock hold in the
+// same largest-first order (see admitAllOptimistic). The outcome is
+// still deterministic for a fixed input and starting state, and the
+// commit phase is still atomic with respect to other callers, but the
+// planning runs outside the lock — concurrent Admit or Release calls
+// may commit between the snapshot and the batch's commit, in which
+// case affected entries are re-planned serially at commit time. The
+// committed layouts — and, for marginal entries, the admit/reject
+// outcomes — may differ from the serialized batch's: a batch-start
+// plan that still fits after earlier commits is kept even where a
+// serial re-plan would have packed the platform differently.
 func (k *Kairos) AdmitAll(ctx context.Context, apps []*graph.Application) []BatchResult {
 	results := make([]BatchResult, len(apps))
 	order := make([]int, 0, len(apps))
@@ -67,6 +81,11 @@ func (k *Kairos) AdmitAll(ctx context.Context, apps []*graph.Application) []Batc
 		}
 		return apps[order[a]].Name < apps[order[b]].Name
 	})
+
+	if k.opts.OptimisticAttempts > 0 && len(order) > 1 {
+		k.admitAllOptimistic(ctx, apps, order, results)
+		return results
+	}
 
 	k.mu.Lock()
 	for _, i := range order {

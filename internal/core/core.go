@@ -140,6 +140,15 @@ type Options struct {
 	// workflow when the replay or its validation fails. Zero disables
 	// the cache.
 	LayoutCache int
+	// OptimisticAttempts, when positive, runs the bind/map/route/
+	// validate workflow of Admit against a lock-free snapshot of the
+	// platform and only acquires the platform-state mutex to validate
+	// and commit the planned layout (see optimistic.go). A commit that
+	// no longer fits the live platform is a conflict; the admission is
+	// re-planned up to OptimisticAttempts times in total, then falls
+	// back to the fully serialized path so admission never livelocks.
+	// Zero (the default) serializes every admission under the mutex.
+	OptimisticAttempts int
 }
 
 // EvictReason says why an Evicted event fired for an admission.
@@ -217,6 +226,17 @@ type Kairos struct {
 	// cache, when non-nil, memoizes successful layouts (see
 	// Options.LayoutCache and cache.go).
 	cache *layoutCache
+	// epoch versions the platform allocation state for optimistic
+	// admission (see optimistic.go): it advances every time a critical
+	// section that may have mutated the platform ends, so a planner can
+	// tell whether the state it snapshotted is still current. Guarded
+	// by mu.
+	epoch uint64
+	// planHook, when non-nil, runs between the lock-free planning step
+	// of an optimistic admission and its commit. Tests use it to force
+	// deterministic conflict interleavings; it is never set in
+	// production.
+	planHook func()
 }
 
 // New returns a resource manager for the platform. The manager owns
@@ -260,7 +280,15 @@ func (k *Kairos) Admitted() map[string]*Admission {
 // and the returned error matches context.Canceled or
 // context.DeadlineExceeded under errors.Is. A running phase is never
 // interrupted midway.
+//
+// With Options.OptimisticAttempts > 0 the workflow runs against a
+// lock-free snapshot of the platform and only the validate-and-commit
+// step holds the mutex (see optimistic.go); the observable outcome for
+// a single admitter is identical to the serialized path.
 func (k *Kairos) Admit(ctx context.Context, app *graph.Application) (*Admission, error) {
+	if k.opts.OptimisticAttempts > 0 {
+		return k.admitOptimistic(ctx, app)
+	}
 	k.mu.Lock()
 	adm, err := k.admitLocked(ctx, app)
 	if err == nil {
@@ -333,8 +361,23 @@ func instanceName(app *graph.Application, seq int) string {
 // attemptLocked is the workflow body without stats accounting.
 func (k *Kairos) attemptLocked(ctx context.Context, app *graph.Application) (*Admission, error) {
 	k.seq++
+	adm, err := k.runWorkflow(ctx, app, instanceName(app, k.seq), k.p)
+	if err != nil {
+		return adm, err
+	}
+	k.admitted[adm.Instance] = adm
+	return adm, nil
+}
+
+// runWorkflow executes the four phases against p under the given
+// instance name, leaving p untouched on failure (every phase rolls its
+// own mutations back). It is the shared body of the serialized attempt
+// (p is the live platform, k.mu held) and of optimistic planning (p is
+// a private snapshot, no lock held) — it must not touch any engine
+// state besides the immutable option set.
+func (k *Kairos) runWorkflow(ctx context.Context, app *graph.Application, instance string, p *platform.Platform) (*Admission, error) {
 	adm := &Admission{
-		Instance: instanceName(app, k.seq),
+		Instance: instance,
 		App:      app,
 	}
 
@@ -344,7 +387,7 @@ func (k *Kairos) attemptLocked(ctx context.Context, app *graph.Application) (*Ad
 
 	// Phase 1: binding.
 	start := time.Now()
-	bind, err := k.opts.binder().Bind(app, k.p)
+	bind, err := k.opts.binder().Bind(app, p)
 	adm.Times.Binding = time.Since(start)
 	if err != nil {
 		return adm, &PhaseError{Phase: PhaseBinding, Err: err}
@@ -357,7 +400,7 @@ func (k *Kairos) attemptLocked(ctx context.Context, app *graph.Application) (*Ad
 
 	// Phase 2: mapping.
 	start = time.Now()
-	res, err := k.opts.mapper().Map(app, k.p, bind, mapping.Options{
+	res, err := k.opts.mapper().Map(app, p, bind, mapping.Options{
 		Instance:        adm.Instance,
 		Weights:         k.opts.Weights,
 		Solver:          k.opts.Solver,
@@ -372,40 +415,39 @@ func (k *Kairos) attemptLocked(ctx context.Context, app *graph.Application) (*Ad
 	adm.MapStats = res
 
 	if err := ctx.Err(); err != nil {
-		mapping.UnmapAssigned(k.p, adm.Instance, app, adm.Assignment)
+		mapping.UnmapAssigned(p, adm.Instance, app, adm.Assignment)
 		return adm, cancelled(app, PhaseRouting, err)
 	}
 
 	// Phase 3: routing.
 	start = time.Now()
-	routes, err := routing.RouteAll(app, res.Assignment, k.p, k.opts.Router)
+	routes, err := routing.RouteAll(app, res.Assignment, p, k.opts.Router)
 	adm.Times.Routing = time.Since(start)
 	if err != nil {
-		mapping.UnmapAssigned(k.p, adm.Instance, app, adm.Assignment)
+		mapping.UnmapAssigned(p, adm.Instance, app, adm.Assignment)
 		return adm, &PhaseError{Phase: PhaseRouting, Err: err}
 	}
 	adm.Routes = routes
 
 	if err := ctx.Err(); err != nil {
-		routing.ReleaseAll(k.p, routes)
-		mapping.UnmapAssigned(k.p, adm.Instance, app, adm.Assignment)
+		routing.ReleaseAll(p, routes)
+		mapping.UnmapAssigned(p, adm.Instance, app, adm.Assignment)
 		return adm, cancelled(app, PhaseValidation, err)
 	}
 
 	// Phase 4: validation.
 	if !k.opts.DisableValidation {
 		start = time.Now()
-		rep, verr := k.opts.validator().Validate(app, bind, res.Assignment, routes, k.p, k.opts.Validation)
+		rep, verr := k.opts.validator().Validate(app, bind, res.Assignment, routes, p, k.opts.Validation)
 		adm.Times.Validation = time.Since(start)
 		adm.Report = rep
 		if verr != nil && !k.opts.SkipValidation {
-			routing.ReleaseAll(k.p, routes)
-			mapping.UnmapAssigned(k.p, adm.Instance, app, adm.Assignment)
+			routing.ReleaseAll(p, routes)
+			mapping.UnmapAssigned(p, adm.Instance, app, adm.Assignment)
 			return adm, &PhaseError{Phase: PhaseValidation, Err: verr}
 		}
 	}
 
-	k.admitted[adm.Instance] = adm
 	return adm, nil
 }
 

@@ -157,6 +157,13 @@ func (k *Kairos) emit(ev Event) {
 // the manager; the lock order k.mu → events.mu is respected
 // everywhere and nothing takes them in reverse).
 func (k *Kairos) unlockAndPublish() {
+	// Every critical section that may have mutated allocation state ends
+	// here, so this is the single place the optimistic-admission epoch
+	// advances (see optimistic.go). Bumping unconditionally is sound:
+	// a spurious bump (a section that mutated nothing) costs an in-
+	// flight plan at most a re-validation at commit, never a re-plan —
+	// conflict detection is replay-based, not epoch-based.
+	k.epoch++
 	k.updateLoadLocked()
 	evs := k.pending
 	k.pending = nil

@@ -27,6 +27,7 @@ import (
 	"errors"
 	"fmt"
 
+	"repro/internal/binding"
 	"repro/internal/graph"
 	"repro/internal/mapping"
 	"repro/internal/platform"
@@ -107,6 +108,26 @@ type Op struct {
 	A, B int
 	// Enabled is the new state (OpElement, OpLink).
 	Enabled bool
+	// Layout, when non-nil on an OpAdmit, is the committed layout
+	// verbatim. It is recorded only by optimistic commits whose plan was
+	// computed against a platform state older than the commit-time state
+	// (a stale but still-fitting snapshot): re-running the workflow from
+	// the pre-commit state would not necessarily reproduce the layout
+	// that actually committed, so recovery restores the record instead
+	// of re-planning. Serialized commits — and epoch-exact optimistic
+	// commits, whose plan state equals the commit state — leave it nil
+	// and replay through the deterministic workflow as before.
+	Layout *OpLayout
+}
+
+// OpLayout is the explicit layout an out-of-epoch optimistic commit
+// journals: the selected implementation index and assigned element per
+// task, and the allocated route per channel. Positional, like the
+// layout cache's entries.
+type OpLayout struct {
+	Impls      []int
+	Assignment []int
+	Routes     []routing.Route
 }
 
 // Journal records committed engine operations durably. Append is
@@ -183,9 +204,16 @@ func (k *Kairos) JournalMembership(kind OpKind) error {
 // bookkeeping byte-identical to before the attempt — and the
 // ErrJournal-wrapped error is returned for the caller to surface.
 func (k *Kairos) commitAdmitLocked(adm *Admission) error {
-	// k.seq is adm's own number: admitLocked's attempt was the last
+	return k.commitAdmitOpLocked(adm, nil)
+}
+
+// commitAdmitOpLocked is commitAdmitLocked with an optional explicit
+// layout record, used by optimistic commits whose plan epoch is older
+// than the commit epoch (see Op.Layout).
+func (k *Kairos) commitAdmitOpLocked(adm *Admission, layout *OpLayout) error {
+	// k.seq is adm's own number: the admitting attempt was the last
 	// consumer under this lock hold.
-	if jerr := k.journalLocked(Op{Kind: OpAdmit, Seq: k.seq, Instance: adm.Instance, App: adm.App}); jerr != nil {
+	if jerr := k.journalLocked(Op{Kind: OpAdmit, Seq: k.seq, Instance: adm.Instance, App: adm.App, Layout: layout}); jerr != nil {
 		k.unwindAdmitLocked(adm)
 		return jerr
 	}
@@ -291,6 +319,13 @@ func (k *Kairos) ReplayOp(lsn uint64, op Op) error {
 			err = errors.New("kairos: replay admit without application")
 			break
 		}
+		if op.Layout != nil {
+			// An out-of-epoch optimistic commit: restore the recorded
+			// layout verbatim (the workflow run from this state would
+			// not necessarily reproduce it).
+			err = k.replayLayoutOpLocked(op)
+			break
+		}
 		k.seq = op.Seq - 1
 		var adm *Admission
 		adm, err = k.admitLocked(context.Background(), op.App)
@@ -337,6 +372,40 @@ func (k *Kairos) ReplayOp(lsn uint64, op Op) error {
 		return fmt.Errorf("kairos: replaying lsn %d (%s %q): %w", lsn, op.Kind, op.Instance, err)
 	}
 	k.lastLSN = lsn
+	return nil
+}
+
+// replayLayoutOpLocked re-applies a layout-carrying OpAdmit record: it
+// rebuilds the admission from the recorded implementation selection,
+// assignment and routes, restores the layout onto the platform and
+// pins the sequence counter to the recorded number, exactly as the
+// original commit did. Called with k.mu held during recovery.
+func (k *Kairos) replayLayoutOpLocked(op Op) error {
+	l := op.Layout
+	if len(l.Impls) != len(op.App.Tasks) || len(l.Assignment) != len(op.App.Tasks) {
+		return fmt.Errorf("kairos: layout record sized for %d/%d tasks, application has %d",
+			len(l.Impls), len(l.Assignment), len(op.App.Tasks))
+	}
+	if want := instanceName(op.App, op.Seq); want != op.Instance {
+		return fmt.Errorf("kairos: layout record names %q, seq %d implies %q", op.Instance, op.Seq, want)
+	}
+	bind, err := binding.FromSelection(op.App, l.Impls)
+	if err != nil {
+		return err
+	}
+	adm := &Admission{
+		Instance:   op.Instance,
+		App:        op.App,
+		Binding:    bind,
+		Assignment: l.Assignment,
+		Routes:     l.Routes,
+	}
+	if rerr := k.restoreLayoutLocked(adm); rerr != nil {
+		return rerr
+	}
+	k.seq = op.Seq
+	k.admitted[adm.Instance] = adm
+	k.stats.record(adm, nil)
 	return nil
 }
 

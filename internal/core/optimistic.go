@@ -1,0 +1,409 @@
+package core
+
+// Optimistic intra-shard admission (DESIGN.md §11). The serialized
+// path holds the platform-state mutex for the whole four-phase
+// workflow, so a shard admits on one core no matter how many callers
+// it has. This file splits an admission into a lock-free planning step
+// and a short validate-and-commit critical section:
+//
+//  1. Snapshot (under the lock, briefly): deep-copy the platform and
+//     record the allocation-state epoch. The epoch advances whenever a
+//     critical section that may have mutated allocation state ends, so
+//     it names the exact state the copy captured.
+//  2. Plan (no lock): run bind → map → route → validate against the
+//     private snapshot under a placeholder instance name. Layouts are
+//     instance-rename-symmetric (see cache.go), so the placeholder is
+//     free. Any number of admitters plan concurrently.
+//  3. Validate-and-commit (under the lock): consume a sequence number,
+//     name the instance, and replay the planned layout onto the live
+//     platform. If the epoch is unchanged the platform is byte-
+//     identical to the snapshot, the replay cannot fail and the plan's
+//     validation verdict still stands. If the epoch moved, the checked
+//     replay IS the conflict test: every placement and virtual channel
+//     is re-checked against live capacity and the validation phase is
+//     re-run; any failure unwinds the partial replay and reports a
+//     conflict. Rejections commit only against an unchanged epoch — a
+//     stale rejection may have been starved by capacity that has since
+//     been freed.
+//  4. Conflicts retry the whole plan against a fresh snapshot, up to
+//     Options.OptimisticAttempts plans in total; after that the
+//     admission takes the fully serialized path under the lock, which
+//     cannot conflict — admission never livelocks.
+//
+// Determinism: with a single admitter the epoch never moves between
+// snapshot and commit, so every committed layout is exactly what the
+// serialized path would have produced, one sequence number is consumed
+// per outcome (success, rejection or cancellation — the serialized
+// parity), and the journal records plain OpAdmit ops. A commit whose
+// epoch moved may carry a layout the workflow would no longer produce
+// from the pre-commit state, so it journals a layout-carrying OpAdmit
+// (see OpLayout): recovery restores the recorded layout verbatim
+// instead of re-planning. Journal appends stay inside the commit
+// critical section, so WAL order equals commit order either way.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/mapping"
+	"repro/internal/platform"
+	"repro/internal/routing"
+)
+
+// planned is the outcome of one lock-free planning pass: the workflow
+// result computed against a private snapshot, plus the epoch that
+// snapshot captured.
+type planned struct {
+	// adm carries the layout (on success) or the partial admission with
+	// phase times (on failure) under the placeholder instance name.
+	adm *Admission
+	// err is nil for a plan that admitted on the snapshot; a PhaseError
+	// or cancellation otherwise.
+	err error
+	// epoch is the allocation-state epoch the snapshot captured.
+	epoch uint64
+}
+
+// planInstance is the placeholder name a plan runs under. Committed
+// instance names always end in "#<digits>" (instanceName), so the
+// placeholder can never collide with an occupant of the snapshot.
+func planInstance(app *graph.Application) string { return app.Name + "#plan" }
+
+// isCancellation mirrors the partition Stats.record applies.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// planAgainst runs the four-phase workflow against the snapshot with
+// no lock held. Options.AdmitTimeout budgets each planning pass
+// exactly as it budgets each serialized attempt.
+func (k *Kairos) planAgainst(ctx context.Context, app *graph.Application, snap *platform.Platform, epoch uint64) planned {
+	if k.opts.AdmitTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, k.opts.AdmitTimeout)
+		defer cancel()
+	}
+	adm, err := k.runWorkflow(ctx, app, planInstance(app), snap)
+	return planned{adm: adm, err: err, epoch: epoch}
+}
+
+// unplan reverses a successful plan's mutations of its snapshot, so a
+// worker can reuse one snapshot for several independent plans (the
+// AdmitAll planning pool). Failed plans already rolled themselves back.
+func unplan(snap *platform.Platform, pl planned) {
+	if pl.err != nil {
+		return
+	}
+	routing.ReleaseAll(snap, pl.adm.Routes)
+	mapping.UnmapAssigned(snap, pl.adm.Instance, pl.adm.App, pl.adm.Assignment)
+}
+
+// admitOptimistic is the Admit body when optimistic admission is on.
+func (k *Kairos) admitOptimistic(ctx context.Context, app *graph.Application) (*Admission, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	for attempt := 0; attempt < k.opts.OptimisticAttempts; attempt++ {
+		k.mu.Lock()
+		if k.draining {
+			// Same refusal as the serialized path: no sequence number,
+			// no stats.
+			k.mu.Unlock()
+			return nil, fmt.Errorf("kairos: admission of %s refused: %w", app.Name, ErrDraining)
+		}
+		// The layout cache consults and commits under one lock hold —
+		// byte-identical to the serialized fast path, and a retry whose
+		// conflictor inserted a matching layout hits it for free.
+		var fp []byte
+		if c := k.cache; c != nil && ctx.Err() == nil {
+			c.fpBuf = appendFingerprint(c.fpBuf[:0], app)
+			c.skBuf = k.appendSketch(c.skBuf[:0])
+			if e := c.lookup(c.fpBuf, c.skBuf); e != nil {
+				if adm, ok := k.replayCachedLocked(app, e); ok {
+					k.stats.CacheHits++
+					k.stats.record(adm, nil)
+					err := k.commitAdmitLocked(adm)
+					k.unlockAndPublish()
+					return adm, err
+				}
+				c.drop(c.fpBuf, c.skBuf)
+				k.stats.CacheFallbacks++
+			} else {
+				k.stats.CacheMisses++
+			}
+			// The shared scratch buffer is overwritten by concurrent
+			// admitters once the lock drops: keep a private copy for
+			// the insert at commit time.
+			fp = append([]byte(nil), c.fpBuf...)
+		}
+		if attempt > 0 {
+			k.stats.Retries++
+		}
+		snap := k.p.Clone()
+		epoch := k.epoch
+		k.mu.Unlock()
+
+		pl := k.planAgainst(ctx, app, snap, epoch)
+		if k.planHook != nil {
+			k.planHook()
+		}
+
+		k.mu.Lock()
+		adm, done, err := k.commitPlanLocked(app, pl, fp)
+		if done {
+			k.unlockAndPublish()
+			return adm, err
+		}
+		k.stats.Conflicts++
+		k.mu.Unlock()
+	}
+	// Optimism exhausted: the serialized path under the lock cannot
+	// conflict, so admission terminates.
+	k.mu.Lock()
+	adm, err := k.admitLocked(ctx, app)
+	if err == nil {
+		err = k.commitAdmitLocked(adm)
+	}
+	k.unlockAndPublish()
+	return adm, err
+}
+
+// commitPlanLocked validates a finished plan against the live platform
+// and commits it under k.mu. done reports whether the admission
+// reached a final outcome; !done means the plan conflicted with state
+// committed since its snapshot and must be retried.
+func (k *Kairos) commitPlanLocked(app *graph.Application, pl planned, fp []byte) (*Admission, bool, error) {
+	if k.draining {
+		// The shard started draining while the plan ran; refuse exactly
+		// as if the admission had arrived now.
+		return nil, true, fmt.Errorf("kairos: admission of %s refused: %w", app.Name, ErrDraining)
+	}
+	exact := k.epoch == pl.epoch
+	if pl.err != nil {
+		if !exact && !isCancellation(pl.err) {
+			// A rejection against a stale snapshot proves nothing: the
+			// capacity that starved the plan may have been freed since.
+			return nil, false, nil
+		}
+		// Cancellations are final regardless of the epoch — the
+		// caller's deadline has passed, re-planning cannot help — and
+		// an epoch-exact rejection is exactly the serialized verdict.
+		// Both consume one sequence number, as every serialized attempt
+		// does.
+		k.seq++
+		k.stats.record(pl.adm, pl.err)
+		return pl.adm, true, pl.err
+	}
+	// The cache insert (when one is due) is keyed on the pre-commit
+	// platform state: compute the sketch before the replay mutates it.
+	var sketch []byte
+	if k.cache != nil && fp != nil {
+		sketch = k.appendSketch(nil)
+	}
+	adm, ok := k.replayPlanLocked(pl.adm, !exact)
+	if !ok {
+		return nil, false, nil
+	}
+	k.stats.record(adm, nil)
+	if k.cache != nil && fp != nil {
+		k.cache.insert(fp, sketch, adm)
+	}
+	var layout *OpLayout
+	if !exact {
+		// The committed layout was planned against an older epoch;
+		// recovery must restore it verbatim, not re-plan (see journal
+		// ordering note atop this file).
+		layout = layoutOf(adm)
+	}
+	return adm, true, k.commitAdmitOpLocked(adm, layout)
+}
+
+// replayPlanLocked replays a successful plan's layout onto the live
+// platform under a freshly consumed sequence number. With validate set
+// (the snapshot's epoch is stale) every placement and virtual channel
+// is a live capacity check and the validation phase is re-run; without
+// it the platform is byte-identical to the snapshot and the checks are
+// pure paranoia against external mutation. Any failure unwinds the
+// partial replay, returns the sequence number and reports !ok.
+func (k *Kairos) replayPlanLocked(pl *Admission, validate bool) (*Admission, bool) {
+	k.seq++
+	adm := &Admission{
+		Instance:   instanceName(pl.App, k.seq),
+		App:        pl.App,
+		Binding:    pl.Binding,
+		Assignment: pl.Assignment,
+		MapStats:   pl.MapStats,
+		Report:     pl.Report,
+		Times:      pl.Times,
+	}
+	placed := 0
+	fail := false
+	for _, t := range pl.App.Tasks {
+		occ := platform.Occupant{App: adm.Instance, Task: t.ID}
+		if perr := k.p.Place(pl.Assignment[t.ID], occ, pl.Binding.Demand(t.ID)); perr != nil {
+			fail = true
+			break
+		}
+		placed++
+	}
+	if !fail {
+		allocated := make([]routing.Route, 0, len(pl.Routes))
+	alloc:
+		for _, rt := range pl.Routes {
+			for i := 0; i+1 < len(rt.Path); i++ {
+				if perr := k.p.AllocVC(rt.Path[i], rt.Path[i+1]); perr != nil {
+					for j := 0; j < i; j++ {
+						_ = k.p.ReleaseVC(rt.Path[j], rt.Path[j+1])
+					}
+					fail = true
+					break alloc
+				}
+			}
+			allocated = append(allocated, rt)
+		}
+		if !fail {
+			adm.Routes = pl.Routes
+			if validate && !k.opts.DisableValidation {
+				start := time.Now()
+				rep, verr := k.opts.validator().Validate(adm.App, adm.Binding, adm.Assignment, adm.Routes, k.p, k.opts.Validation)
+				adm.Times.Validation += time.Since(start)
+				adm.Report = rep
+				if verr != nil && !k.opts.SkipValidation {
+					routing.ReleaseAll(k.p, adm.Routes)
+					fail = true
+				}
+			}
+		} else {
+			routing.ReleaseAll(k.p, allocated)
+		}
+	}
+	if fail {
+		for _, t := range pl.App.Tasks[:placed] {
+			occ := platform.Occupant{App: adm.Instance, Task: t.ID}
+			_ = k.p.Remove(pl.Assignment[t.ID], occ)
+		}
+		k.seq--
+		return nil, false
+	}
+	k.admitted[adm.Instance] = adm
+	return adm, true
+}
+
+// layoutOf extracts the journal layout record of a committed
+// admission. The slices are shared: an admission's layout is immutable
+// once committed.
+func layoutOf(adm *Admission) *OpLayout {
+	impls := make([]int, len(adm.App.Tasks))
+	for i := range impls {
+		impls[i] = adm.Binding.ImplIndex(i)
+	}
+	return &OpLayout{Impls: impls, Assignment: adm.Assignment, Routes: adm.Routes}
+}
+
+// admitAllOptimistic is the AdmitAll body when optimistic admission is
+// on and more than one entry survived filtering. Every surviving entry
+// is planned in parallel against the batch-start platform state — a
+// worker pool strides over the sorted order, each worker reusing one
+// private snapshot by unwinding each successful plan before the next —
+// and the plans commit under a single lock hold in the same
+// largest-first order the serialized path uses.
+//
+// The first commit is checked against a platform that (absent outside
+// interference) equals the batch-start state, so it lands as planned;
+// every later commit replays against a state the plan did not see —
+// earlier batch entries have landed — so it runs the full checked
+// replay with re-validation, exactly like an out-of-epoch single
+// admission. An entry whose plan no longer fits (or whose rejection is
+// no longer conclusive) counts one conflict and is re-planned serially
+// on the spot, in order, under the same lock hold.
+//
+// Both planning (order and snapshot are fixed) and commit (order is
+// fixed, each step is deterministic in the state the previous steps
+// built) are scheduling-independent, so the batch outcome is
+// deterministic for a fixed input and starting state. Layouts may
+// legitimately differ from the fully serialized mode's: serialized
+// entries each observe their predecessors, optimistic plans
+// deliberately don't (that is where the parallelism comes from).
+func (k *Kairos) admitAllOptimistic(ctx context.Context, apps []*graph.Application, order []int, results []BatchResult) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	k.mu.Lock()
+	base := k.p.Clone()
+	baseEpoch := k.epoch
+	k.mu.Unlock()
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(order) {
+		workers = len(order)
+	}
+	plans := make([]planned, len(order))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Workers never share a platform: even worker 0 clones, so
+			// no plan mutates the base another worker is copying.
+			snap := base.Clone()
+			for oi := w; oi < len(order); oi += workers {
+				pl := k.planAgainst(ctx, apps[order[oi]], snap, baseEpoch)
+				plans[oi] = pl
+				unplan(snap, pl)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if k.planHook != nil {
+		k.planHook()
+	}
+
+	k.mu.Lock()
+	// diverged tracks whether the live platform still equals the state
+	// the plans were computed against; the first committed entry (or
+	// any outside commit since the snapshot) flips it.
+	diverged := k.epoch != baseEpoch
+	for oi, i := range order {
+		pl := plans[oi]
+		if k.draining {
+			results[i].Err = fmt.Errorf("kairos: admission of %s refused: %w", apps[i].Name, ErrDraining)
+			continue
+		}
+		if pl.err != nil {
+			if isCancellation(pl.err) || !diverged {
+				// Final, exactly as in commitPlanLocked.
+				k.seq++
+				k.stats.record(pl.adm, pl.err)
+				results[i].Admission, results[i].Err = pl.adm, pl.err
+				continue
+			}
+		} else {
+			if adm, ok := k.replayPlanLocked(pl.adm, diverged); ok {
+				k.stats.record(adm, nil)
+				var layout *OpLayout
+				if diverged {
+					layout = layoutOf(adm)
+				}
+				results[i].Admission = adm
+				results[i].Err = k.commitAdmitOpLocked(adm, layout)
+				diverged = true
+				continue
+			}
+		}
+		// The plan conflicted with state it did not see — an earlier
+		// batch entry or an outside commit. Re-plan serially in place:
+		// the batch's commit order, and so its determinism, is kept.
+		k.stats.Conflicts++
+		results[i].Admission, results[i].Err = k.admitLocked(ctx, apps[i])
+		if results[i].Err == nil {
+			results[i].Err = k.commitAdmitLocked(results[i].Admission)
+			diverged = true
+		}
+	}
+	k.unlockAndPublish()
+}

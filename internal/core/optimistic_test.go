@@ -1,0 +1,389 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/binding"
+	"repro/internal/graph"
+	"repro/internal/mapping"
+	"repro/internal/platform"
+	"repro/internal/resource"
+)
+
+// TestOptimisticSingleAdmitterParity drives a serialized and an
+// optimistic manager through the same operation sequence (admissions,
+// rejections, releases) in lockstep and requires identical observable
+// state after every step: with a single admitter the epoch never moves
+// between snapshot and commit, so the optimistic path must reproduce
+// the serialized outcome bit for bit.
+func TestOptimisticSingleAdmitterParity(t *testing.T) {
+	serial := New(platform.Mesh(3, 3, 4), Options{Weights: mapping.WeightsBoth, SkipValidation: true})
+	opt := New(platform.Mesh(3, 3, 4), Options{Weights: mapping.WeightsBoth, SkipValidation: true, OptimisticAttempts: 4})
+
+	check := func(step string) {
+		t.Helper()
+		a, b := serial.ExportState(), opt.ExportState()
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: state diverged:\nserial: %+v\noptimistic: %+v", step, a, b)
+		}
+		so, oo := serial.Stats(), opt.Stats()
+		if oo.Conflicts != 0 || oo.Retries != 0 {
+			t.Fatalf("%s: single admitter counted conflicts/retries: %d/%d", step, oo.Conflicts, oo.Retries)
+		}
+		oo.Conflicts, oo.Retries = 0, 0
+		// Phase times are wall clock; only the counters must agree.
+		so.PhaseTotals, oo.PhaseTotals = PhaseTimes{}, PhaseTimes{}
+		if so != oo {
+			t.Fatalf("%s: stats diverged:\nserial: %+v\noptimistic: %+v", step, so, oo)
+		}
+	}
+
+	var instS, instO []string
+	for i := 0; i < 10; i++ {
+		// Share 70 saturates the 9-element mesh after a few admissions,
+		// so the tail of the loop exercises rejection parity too.
+		app := chainApp(fmt.Sprintf("par%d", i), 2, 70)
+		admS, errS := serial.Admit(context.Background(), app)
+		admO, errO := opt.Admit(context.Background(), app)
+		if (errS == nil) != (errO == nil) {
+			t.Fatalf("step %d: outcomes diverged: serial %v, optimistic %v", i, errS, errO)
+		}
+		if errS == nil {
+			if admS.Instance != admO.Instance {
+				t.Fatalf("step %d: instance names diverged: %q vs %q", i, admS.Instance, admO.Instance)
+			}
+			instS = append(instS, admS.Instance)
+			instO = append(instO, admO.Instance)
+		}
+		check(fmt.Sprintf("admit %d", i))
+	}
+	// Free alternating instances, then admit again into the holes.
+	for i := 0; i < len(instS); i += 2 {
+		if err := serial.Release(instS[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := opt.Release(instO[i]); err != nil {
+			t.Fatal(err)
+		}
+		check(fmt.Sprintf("release %d", i))
+	}
+	for i := 0; i < 3; i++ {
+		app := chainApp(fmt.Sprintf("ref%d", i), 2, 70)
+		_, errS := serial.Admit(context.Background(), app)
+		_, errO := opt.Admit(context.Background(), app)
+		if (errS == nil) != (errO == nil) {
+			t.Fatalf("refill %d: outcomes diverged: serial %v, optimistic %v", i, errS, errO)
+		}
+		check(fmt.Sprintf("refill %d", i))
+	}
+}
+
+// TestOptimisticBatchDeterministic requires AdmitAll under optimism to
+// produce the same outcome for the same input and starting state on
+// every run, regardless of goroutine scheduling in the planning pool.
+func TestOptimisticBatchDeterministic(t *testing.T) {
+	batch := func() []*graph.Application {
+		var apps []*graph.Application
+		for i := 0; i < 8; i++ {
+			apps = append(apps, chainApp(fmt.Sprintf("b%d", i), 1+i%3, 50))
+		}
+		return apps
+	}
+	var ref *StateExport
+	for round := 0; round < 5; round++ {
+		k := New(platform.Mesh(3, 3, 4), Options{Weights: mapping.WeightsBoth, SkipValidation: true, OptimisticAttempts: 4})
+		results := k.AdmitAll(context.Background(), batch())
+		for _, r := range results {
+			if r.Err != nil {
+				t.Fatalf("round %d: entry %d rejected: %v", round, r.Index, r.Err)
+			}
+		}
+		se := k.ExportState()
+		if ref == nil {
+			ref = se
+			continue
+		}
+		if !reflect.DeepEqual(ref, se) {
+			t.Fatalf("round %d: batch outcome diverged:\nfirst: %+v\nnow:   %+v", round, ref, se)
+		}
+	}
+}
+
+// TestOptimisticConflictRetrySucceeds stages the canonical conflict:
+// two admitters plan against the same residual capacity, one commits
+// first, the loser's replay fails, and the retry — planned against the
+// winner's commit — lands on the remaining capacity. The interleaving
+// is forced deterministically through the planHook seam.
+func TestOptimisticConflictRetrySucceeds(t *testing.T) {
+	// Two elements; each app fills 60% of one, so both apps fit the
+	// platform but never one element.
+	k := New(platform.Mesh(2, 1, 4), Options{Weights: mapping.WeightsBoth, SkipValidation: true, OptimisticAttempts: 4})
+	fired := false
+	var winner *Admission
+	k.planHook = func() {
+		if fired {
+			return
+		}
+		fired = true
+		// The competing admitter wins the race: it plans (from the same
+		// empty-platform state, so it chooses the same element) and
+		// commits while the loser's plan is in flight.
+		adm, err := k.Admit(context.Background(), chainApp("winner", 1, 60))
+		if err != nil {
+			t.Errorf("winner rejected: %v", err)
+			return
+		}
+		winner = adm
+	}
+	loser, err := k.Admit(context.Background(), chainApp("loser", 1, 60))
+	if err != nil {
+		t.Fatalf("loser not admitted after retry: %v", err)
+	}
+	if winner == nil {
+		t.Fatal("winner admission never ran")
+	}
+	if winner.Assignment[0] == loser.Assignment[0] {
+		t.Fatalf("both admissions on element %d: the retry did not re-plan", loser.Assignment[0])
+	}
+	s := k.Stats()
+	if s.Conflicts != 1 || s.Retries != 1 {
+		t.Errorf("Conflicts/Retries = %d/%d, want 1/1", s.Conflicts, s.Retries)
+	}
+	if s.Admitted != 2 || s.Live != 2 {
+		t.Errorf("Admitted/Live = %d/%d, want 2/2", s.Admitted, s.Live)
+	}
+}
+
+// TestOptimisticExhaustedFallsBack forces a conflict on every
+// optimistic attempt and requires the admission to land through the
+// serialized fallback, with every conflict accounted.
+func TestOptimisticExhaustedFallsBack(t *testing.T) {
+	const attempts = 2
+	p := platform.Mesh(1, 1, 4) // a single element
+	k := New(p, Options{Weights: mapping.WeightsBoth, SkipValidation: true, OptimisticAttempts: attempts})
+	demand := resource.Of(60, 8, 0, 0)
+	round := 0
+	k.planHook = func() {
+		// Flip the element between full and free behind the planner's
+		// back, bumping the epoch so rejections planned against the
+		// full state are not final. Every optimistic attempt therefore
+		// conflicts: successful plans (planned free, committed full)
+		// fail their replay; rejections (planned full, committed free)
+		// are stale.
+		k.mu.Lock()
+		if round%2 == 0 {
+			if err := k.p.Place(0, platform.Occupant{App: "blocker", Task: 0}, demand); err != nil {
+				t.Errorf("placing blocker: %v", err)
+			}
+		} else {
+			if err := k.p.Remove(0, platform.Occupant{App: "blocker", Task: 0}); err != nil {
+				t.Errorf("removing blocker: %v", err)
+			}
+		}
+		round++
+		k.epoch++
+		k.mu.Unlock()
+	}
+	adm, err := k.Admit(context.Background(), chainApp("fb", 1, 60))
+	if err != nil {
+		t.Fatalf("fallback did not admit: %v", err)
+	}
+	if adm == nil || adm.Instance == "" {
+		t.Fatal("fallback returned no admission")
+	}
+	s := k.Stats()
+	if s.Conflicts != attempts {
+		t.Errorf("Conflicts = %d, want %d (every optimistic attempt)", s.Conflicts, attempts)
+	}
+	if s.Retries != attempts-1 {
+		t.Errorf("Retries = %d, want %d", s.Retries, attempts-1)
+	}
+	if s.Admitted != 1 || s.Attempts != 1 {
+		t.Errorf("Attempts/Admitted = %d/%d, want 1/1", s.Attempts, s.Admitted)
+	}
+}
+
+// TestOptimisticConflictHammer runs many concurrent optimistic
+// admitters with interleaved releases and checks the invariants that
+// must survive any interleaving: stats balance, a clean platform after
+// releasing everything, and conflict/retry accounting that matches the
+// protocol (every retry follows a conflict).
+func TestOptimisticConflictHammer(t *testing.T) {
+	p := platform.Mesh(6, 6, 4)
+	k := New(p, Options{Weights: mapping.WeightsBoth, SkipValidation: true, OptimisticAttempts: 3})
+	const workers = 8
+	const iters = 25
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				adm, err := k.Admit(context.Background(), chainApp(fmt.Sprintf("h%d", w), 2, 60))
+				if err != nil {
+					continue // capacity rejections are expected under load
+				}
+				if err := k.Release(adm.Instance); err != nil {
+					errc <- fmt.Errorf("worker %d: release %s: %w", w, adm.Instance, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+	s := k.Stats()
+	if s.Attempts != s.Admitted+s.Rejected+s.Cancelled {
+		t.Errorf("stats unbalanced: %d attempts != %d+%d+%d", s.Attempts, s.Admitted, s.Rejected, s.Cancelled)
+	}
+	if s.Admitted != s.Released {
+		t.Errorf("admitted %d != released %d", s.Admitted, s.Released)
+	}
+	if s.Live != 0 {
+		t.Errorf("%d instances leaked", s.Live)
+	}
+	if s.Retries > s.Conflicts {
+		t.Errorf("retries %d exceed conflicts %d: a retry without a conflict", s.Retries, s.Conflicts)
+	}
+	snapshotClean(t, p)
+}
+
+// gateBinder wraps the default binder and signals/blocks through
+// channels, so a test can observe engine state while a plan is
+// provably mid-workflow.
+type gateBinder struct {
+	entered chan struct{}
+	proceed chan struct{}
+}
+
+func (g *gateBinder) Bind(app *graph.Application, p *platform.Platform) (*binding.Binding, error) {
+	g.entered <- struct{}{}
+	<-g.proceed
+	return RegretBinder{}.Bind(app, p)
+}
+
+func (g *gateBinder) Name() string { return "gate" }
+
+// TestOptimisticLoadUpdatesAtCommit pins the Load-gauge satellite: an
+// in-flight optimistic plan must not move the lock-free load gauge —
+// placement policies would otherwise double-count speculative plans —
+// and the gauge must reflect the admission only at commit.
+func TestOptimisticLoadUpdatesAtCommit(t *testing.T) {
+	gate := &gateBinder{entered: make(chan struct{}), proceed: make(chan struct{})}
+	k := New(platform.Mesh(3, 3, 4), Options{SkipValidation: true, OptimisticAttempts: 2, Binder: gate})
+	done := make(chan *Admission)
+	go func() {
+		adm, err := k.Admit(context.Background(), chainApp("inflight", 2, 60))
+		if err != nil {
+			t.Errorf("admit: %v", err)
+		}
+		done <- adm
+	}()
+	<-gate.entered // the plan is inside the lock-free workflow now
+	if h := k.Load(); h.Live != 0 || h.UsedShare != 0 {
+		t.Errorf("mid-plan load = %+v, want zero (plan must not publish)", h)
+	}
+	close(gate.proceed)
+	adm := <-done
+	if adm == nil {
+		t.Fatal("no admission")
+	}
+	if h := k.Load(); h.Live != 1 || h.UsedShare == 0 {
+		t.Errorf("post-commit load = %+v, want live=1 and non-zero share", h)
+	}
+}
+
+// sliceJournal records ops in memory for replay tests.
+type sliceJournal struct {
+	ops []Op
+}
+
+func (j *sliceJournal) Append(op Op) (uint64, error) {
+	j.ops = append(j.ops, op)
+	return uint64(len(j.ops)), nil
+}
+
+// TestOptimisticStaleCommitJournalsLayout checks the WAL-divergence
+// defense: a commit whose plan epoch went stale must journal its
+// layout verbatim, and replaying the journal into a fresh engine must
+// reproduce the exact state — even though re-running the workflow from
+// the replay state could choose differently.
+func TestOptimisticStaleCommitJournalsLayout(t *testing.T) {
+	j := &sliceJournal{}
+	k := New(platform.Mesh(3, 3, 4), Options{Weights: mapping.WeightsBoth, SkipValidation: true, OptimisticAttempts: 4})
+	k.AttachJournal(j)
+
+	fired := false
+	k.planHook = func() {
+		if fired {
+			return
+		}
+		fired = true
+		// Admit and release a competitor while the plan is in flight:
+		// the platform ends up back in the snapshotted state (so the
+		// stale plan still fits and commits), but the epoch has moved.
+		adm, err := k.Admit(context.Background(), chainApp("transient", 2, 60))
+		if err != nil {
+			t.Errorf("transient admit: %v", err)
+			return
+		}
+		if err := k.Release(adm.Instance); err != nil {
+			t.Errorf("transient release: %v", err)
+		}
+	}
+	if _, err := k.Admit(context.Background(), chainApp("stale", 2, 60)); err != nil {
+		t.Fatalf("stale-plan admit: %v", err)
+	}
+	if s := k.Stats(); s.Conflicts != 0 {
+		t.Errorf("Conflicts = %d, want 0 (the stale plan still fits)", s.Conflicts)
+	}
+
+	if len(j.ops) != 3 {
+		t.Fatalf("journaled %d ops, want 3 (admit, release, stale admit)", len(j.ops))
+	}
+	if j.ops[0].Layout != nil || j.ops[1].Layout != nil {
+		t.Error("epoch-exact ops must not carry layouts")
+	}
+	if j.ops[2].Layout == nil {
+		t.Fatal("stale commit journaled no layout")
+	}
+
+	k2 := New(platform.Mesh(3, 3, 4), Options{Weights: mapping.WeightsBoth, SkipValidation: true, OptimisticAttempts: 4})
+	for i, op := range j.ops {
+		if err := k2.ReplayOp(uint64(i+1), op); err != nil {
+			t.Fatalf("replaying op %d: %v", i, err)
+		}
+	}
+	a, b := k.ExportState(), k2.ExportState()
+	a.LastLSN = b.LastLSN // the original engine journaled, the replica replayed
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("replayed state diverged:\noriginal: %+v\nreplica:  %+v", a, b)
+	}
+}
+
+// TestOptimisticDrainRefusal checks both refusal points: a drain set
+// before the admission and one set between plan and commit.
+func TestOptimisticDrainRefusal(t *testing.T) {
+	k := New(platform.Mesh(2, 2, 4), Options{SkipValidation: true, OptimisticAttempts: 2})
+	k.SetDraining(true)
+	if _, err := k.Admit(context.Background(), chainApp("pre", 1, 30)); !errors.Is(err, ErrDraining) {
+		t.Errorf("pre-plan refusal: %v, want ErrDraining", err)
+	}
+	k.SetDraining(false)
+	k.planHook = func() { k.SetDraining(true) }
+	if _, err := k.Admit(context.Background(), chainApp("mid", 1, 30)); !errors.Is(err, ErrDraining) {
+		t.Errorf("mid-plan refusal: %v, want ErrDraining", err)
+	}
+	if s := k.Stats(); s.Attempts != 0 {
+		t.Errorf("refusals consumed %d attempts, want 0", s.Attempts)
+	}
+}

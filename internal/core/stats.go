@@ -53,6 +53,16 @@ type Stats struct {
 	CacheHits      int64
 	CacheMisses    int64
 	CacheFallbacks int64
+	// Conflicts and Retries count optimistic-admission outcomes
+	// (Options.OptimisticAttempts, see optimistic.go): a conflict is a
+	// plan that failed validate-and-commit because the platform changed
+	// under it; a retry is a fresh plan made after a conflict. Every
+	// conflict is followed by either a retry or — once the attempt
+	// budget is spent — a serialized fallback, so Conflicts − Retries
+	// aggregates the fallbacks. Both stay zero when optimism is off, and
+	// under a single admitter (no concurrent mutation to conflict with).
+	Conflicts int64
+	Retries   int64
 	// PhaseTotals accumulates the per-phase execution time over all
 	// attempts, successful or not (the basis of Fig. 7).
 	PhaseTotals PhaseTimes

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/platform"
+	"repro/kairos"
 )
 
 // shortConfig is a fast CRISP run with churn and faults.
@@ -32,6 +33,24 @@ func TestRunDeterministic(t *testing.T) {
 		b := deterministicJSON(t, Run(cfg))
 		if a != b {
 			t.Errorf("policy %v: two runs with the same seed differ", pol)
+		}
+	}
+}
+
+func TestOptimisticTraceParity(t *testing.T) {
+	// The simulator drives a single admitter, so optimistic admission
+	// must be invisible: every plan commits against the exact epoch it
+	// was planned under and replays without re-validation. The whole
+	// result — trace, series, totals, latency — must be byte-identical
+	// to the serialized run.
+	for _, pol := range AllPolicies() {
+		cfg := shortConfig()
+		cfg.Policy = pol
+		serial := deterministicJSON(t, Run(cfg))
+		cfg.Options = append(cfg.Options, kairos.WithOptimisticAdmission(4))
+		optimistic := deterministicJSON(t, Run(cfg))
+		if serial != optimistic {
+			t.Errorf("policy %v: optimistic trace diverges from serialized", pol)
 		}
 	}
 }

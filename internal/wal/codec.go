@@ -213,6 +213,20 @@ func EncodeOp(b []byte, lsn uint64, shard int, op core.Op) ([]byte, error) {
 		b = appendU32(b, uint32(op.Seq))
 		b = appendString(b, op.Instance)
 		b = appendBytes(b, app)
+		// Out-of-epoch optimistic commits carry their layout verbatim
+		// (core.Op.Layout); replay restores it instead of re-planning.
+		if op.Layout == nil {
+			b = appendU8(b, 0)
+		} else {
+			b = appendU8(b, 1)
+			b = appendInts(b, op.Layout.Impls)
+			b = appendInts(b, op.Layout.Assignment)
+			b = appendU32(b, uint32(len(op.Layout.Routes)))
+			for _, rt := range op.Layout.Routes {
+				b = appendU32(b, uint32(int32(rt.Channel)))
+				b = appendInts(b, rt.Path)
+			}
+		}
 	case core.OpRelease, core.OpEvict:
 		b = appendString(b, op.Instance)
 	case core.OpReadmit:
@@ -257,6 +271,21 @@ func DecodeOp(payload []byte) (RecordedOp, error) {
 				return rec, fmt.Errorf("%w: embedded application: %v", ErrCorrupt, err)
 			}
 			rec.Op.App = app
+		}
+		if r.u8() != 0 {
+			l := &core.OpLayout{Impls: r.ints(), Assignment: r.ints()}
+			nRoutes := r.u32()
+			if r.err == nil && nRoutes > maxRecord/8 {
+				return rec, fmt.Errorf("%w: %d layout routes", ErrCorrupt, nRoutes)
+			}
+			for i := uint32(0); i < nRoutes && r.err == nil; i++ {
+				rt := routing.Route{Channel: int(int32(r.u32()))}
+				rt.Path = r.ints()
+				l.Routes = append(l.Routes, rt)
+			}
+			if r.err == nil {
+				rec.Op.Layout = l
+			}
 		}
 	case core.OpRelease, core.OpEvict:
 		rec.Op.Instance = r.str()

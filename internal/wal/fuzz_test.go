@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/appgen"
 	"repro/internal/core"
+	"repro/internal/routing"
 	"repro/internal/wal"
 )
 
@@ -35,6 +36,25 @@ func FuzzWALRoundTrip(f *testing.F) {
 			App:      gen.Next(),
 		}))
 	}
+	// A layout-carrying admit record (out-of-epoch optimistic commit).
+	layoutApp := gen.Next()
+	layout := &core.OpLayout{
+		Impls:      make([]int, len(layoutApp.Tasks)),
+		Assignment: make([]int, len(layoutApp.Tasks)),
+	}
+	for i := range layout.Assignment {
+		layout.Assignment[i] = i % 3
+	}
+	for i := range layoutApp.Channels {
+		layout.Routes = append(layout.Routes, routing.Route{Channel: i, Path: []int{i % 3, 3, (i + 1) % 3}})
+	}
+	seeds = append(seeds, seed(200, 2, core.Op{
+		Kind:     core.OpAdmit,
+		Seq:      9,
+		Instance: "fuzz-layout",
+		App:      layoutApp,
+		Layout:   layout,
+	}))
 	for _, s := range seeds {
 		f.Add(s)
 		// Truncations and flips: decoder must reject or survive both.

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"os"
 	"path/filepath"
+	"reflect"
 	"sort"
 	"strings"
 	"testing"
@@ -12,6 +13,7 @@ import (
 	"repro/internal/appgen"
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/routing"
 	"repro/internal/wal"
 )
 
@@ -25,8 +27,19 @@ func testApp(seed int64) *graph.Application {
 func sampleOps(t testing.TB) []core.Op {
 	t.Helper()
 	app := testApp(7)
+	layout := &core.OpLayout{
+		Impls:      make([]int, len(app.Tasks)),
+		Assignment: make([]int, len(app.Tasks)),
+	}
+	for i := range layout.Assignment {
+		layout.Assignment[i] = i % 2
+	}
+	for i := range app.Channels {
+		layout.Routes = append(layout.Routes, routing.Route{Channel: i, Path: []int{i % 2, 2, (i + 1) % 2}})
+	}
 	return []core.Op{
 		{Kind: core.OpAdmit, Seq: 1, Instance: app.Name + "#1", App: app},
+		{Kind: core.OpAdmit, Seq: 2, Instance: app.Name + "#2", App: app, Layout: layout},
 		{Kind: core.OpElement, Elem: 3, Enabled: false},
 		{Kind: core.OpLink, A: 0, B: 1, Enabled: false},
 		{Kind: core.OpReadmit, Seq: 4, Instance: app.Name + "#1"},
@@ -50,6 +63,12 @@ func opEqual(t *testing.T, a, b core.Op) bool {
 	if (a.App == nil) != (b.App == nil) {
 		return false
 	}
+	if (a.Layout == nil) != (b.Layout == nil) {
+		return false
+	}
+	if a.Layout != nil && !reflect.DeepEqual(normalizeLayout(a.Layout), normalizeLayout(b.Layout)) {
+		return false
+	}
 	if a.App != nil {
 		ab, err := graph.Bytes(a.App)
 		if err != nil {
@@ -62,6 +81,20 @@ func opEqual(t *testing.T, a, b core.Op) bool {
 		return bytes.Equal(ab, bb)
 	}
 	return true
+}
+
+// normalizeLayout maps nil slices to empty ones: the codec does not
+// distinguish them, and the tests should not either.
+func normalizeLayout(l *core.OpLayout) *core.OpLayout {
+	n := &core.OpLayout{
+		Impls:      append([]int{}, l.Impls...),
+		Assignment: append([]int{}, l.Assignment...),
+		Routes:     append([]routing.Route{}, l.Routes...),
+	}
+	for i := range n.Routes {
+		n.Routes[i].Path = append([]int{}, n.Routes[i].Path...)
+	}
+	return n
 }
 
 func TestOpCodecRoundTrip(t *testing.T) {

@@ -538,6 +538,8 @@ func (c *Cluster) Stats() ClusterStats {
 		t.CacheHits += s.CacheHits
 		t.CacheMisses += s.CacheMisses
 		t.CacheFallbacks += s.CacheFallbacks
+		t.Conflicts += s.Conflicts
+		t.Retries += s.Retries
 		t.PhaseTotals.Binding += s.PhaseTotals.Binding
 		t.PhaseTotals.Mapping += s.PhaseTotals.Mapping
 		t.PhaseTotals.Routing += s.PhaseTotals.Routing

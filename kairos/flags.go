@@ -24,6 +24,9 @@ type Flags struct {
 	// LayoutCache is the -layout-cache value (see WithLayoutCache);
 	// 0 disables the cache.
 	LayoutCache int
+	// Optimistic is the -optimistic value (see
+	// WithOptimisticAdmission); 0 keeps admissions fully serialized.
+	Optimistic int
 }
 
 // RegisterFlags registers the shared flags on the FlagSet with their
@@ -45,6 +48,8 @@ func RegisterFlags(fs *flag.FlagSet) *Flags {
 		"validation strategy: "+strings.Join(ValidatorNames(), "|"))
 	fs.IntVar(&f.LayoutCache, "layout-cache", 0,
 		"memoize up to N successful layouts per manager (0 = disabled)")
+	fs.IntVar(&f.Optimistic, "optimistic", 0,
+		"plan admissions lock-free with up to N attempts before serializing (0 = serialized)")
 	return f
 }
 
@@ -143,6 +148,9 @@ func (f *Flags) StrategyOptions() ([]Option, error) {
 	if f.LayoutCache < 0 {
 		return nil, fmt.Errorf("kairos: -layout-cache must be non-negative, got %d", f.LayoutCache)
 	}
+	if f.Optimistic < 0 {
+		return nil, fmt.Errorf("kairos: -optimistic must be non-negative, got %d", f.Optimistic)
+	}
 	w, err := f.Weights()
 	if err != nil {
 		return nil, err
@@ -154,6 +162,9 @@ func (f *Flags) StrategyOptions() ([]Option, error) {
 	opts = append([]Option{WithWeights(w)}, opts...)
 	if f.LayoutCache > 0 {
 		opts = append(opts, WithLayoutCache(f.LayoutCache))
+	}
+	if f.Optimistic > 0 {
+		opts = append(opts, WithOptimisticAdmission(f.Optimistic))
 	}
 	return opts, nil
 }

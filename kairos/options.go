@@ -115,6 +115,27 @@ func WithLayoutCache(n int) Option {
 	return func(c *config) { c.core.LayoutCache = n }
 }
 
+// WithOptimisticAdmission lets concurrent admissions overlap: each
+// Admit plans its bind → map → route → validate workflow against a
+// lock-free snapshot of the platform and only the validate-and-commit
+// step holds the shard lock, replaying the planned layout against the
+// live platform (re-validating it when the platform changed since the
+// snapshot). A plan that no longer fits is a conflict; the admission
+// is re-planned up to n times in total, then falls back to the fully
+// serialized path, so admission never livelocks. AdmitAll plans its
+// batch entries in parallel and commits them in the usual
+// deterministic order under one lock hold.
+//
+// A single admitter observes exactly the serialized behaviour —
+// identical layouts, instance names, journal records and stats — so
+// the option is safe to leave on; it pays off when several goroutines
+// (or served clients) admit into one shard concurrently. Conflict and
+// retry counts are exported via Stats (Conflicts / Retries). n <= 0
+// disables optimism (the default, fully serialized).
+func WithOptimisticAdmission(n int) Option {
+	return func(c *config) { c.core.OptimisticAttempts = n }
+}
+
 // WithEventBuffer sets the per-subscription channel capacity of the
 // event stream (default DefaultEventBuffer). Events published while a
 // subscriber's buffer is full are dropped for that subscriber and
