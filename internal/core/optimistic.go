@@ -116,6 +116,13 @@ func (k *Kairos) admitOptimistic(ctx context.Context, app *graph.Application) (*
 			k.mu.Unlock()
 			return nil, fmt.Errorf("kairos: admission of %s refused: %w", app.Name, ErrDraining)
 		}
+		if attempt > 0 {
+			// Counted before the cache lookup: a retry that the
+			// conflictor's freshly inserted layout satisfies is still a
+			// retry, and Conflicts − Retries must keep counting exactly
+			// the serialized fallbacks (see Stats).
+			k.stats.Retries++
+		}
 		// The layout cache consults and commits under one lock hold —
 		// byte-identical to the serialized fast path, and a retry whose
 		// conflictor inserted a matching layout hits it for free.
@@ -140,9 +147,6 @@ func (k *Kairos) admitOptimistic(ctx context.Context, app *graph.Application) (*
 			// admitters once the lock drops: keep a private copy for
 			// the insert at commit time.
 			fp = append([]byte(nil), c.fpBuf...)
-		}
-		if attempt > 0 {
-			k.stats.Retries++
 		}
 		snap := k.p.Clone()
 		epoch := k.epoch
@@ -194,15 +198,24 @@ func (k *Kairos) commitPlanLocked(app *graph.Application, pl planned, fp []byte)
 		// caller's deadline has passed, re-planning cannot help — and
 		// an epoch-exact rejection is exactly the serialized verdict.
 		// Both consume one sequence number, as every serialized attempt
-		// does.
+		// does, and the placeholder gives way to the name the serialized
+		// path would have reported for the failed attempt.
 		k.seq++
+		pl.adm.Instance = instanceName(app, k.seq)
 		k.stats.record(pl.adm, pl.err)
 		return pl.adm, true, pl.err
 	}
 	// The cache insert (when one is due) is keyed on the pre-commit
 	// platform state: compute the sketch before the replay mutates it.
+	// Only epoch-exact commits are cacheable — their layout is what the
+	// workflow produces from the commit-time state, so a later cache
+	// hit at that state may journal a plain OpAdmit and let recovery
+	// re-plan. A stale plan's layout is not reproducible that way (it
+	// journals OpLayout below); memoizing it would let cache hits
+	// commit it without the verbatim-restore record.
+	cacheable := k.cache != nil && fp != nil && exact
 	var sketch []byte
-	if k.cache != nil && fp != nil {
+	if cacheable {
 		sketch = k.appendSketch(nil)
 	}
 	adm, ok := k.replayPlanLocked(pl.adm, !exact)
@@ -210,7 +223,7 @@ func (k *Kairos) commitPlanLocked(app *graph.Application, pl planned, fp []byte)
 		return nil, false, nil
 	}
 	k.stats.record(adm, nil)
-	if k.cache != nil && fp != nil {
+	if cacheable {
 		k.cache.insert(fp, sketch, adm)
 	}
 	var layout *OpLayout
@@ -378,6 +391,7 @@ func (k *Kairos) admitAllOptimistic(ctx context.Context, apps []*graph.Applicati
 			if isCancellation(pl.err) || !diverged {
 				// Final, exactly as in commitPlanLocked.
 				k.seq++
+				pl.adm.Instance = instanceName(apps[i], k.seq)
 				k.stats.record(pl.adm, pl.err)
 				results[i].Admission, results[i].Err = pl.adm, pl.err
 				continue

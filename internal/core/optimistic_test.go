@@ -59,6 +59,11 @@ func TestOptimisticSingleAdmitterParity(t *testing.T) {
 			}
 			instS = append(instS, admS.Instance)
 			instO = append(instO, admO.Instance)
+		} else if admS.Instance != admO.Instance {
+			// Failed attempts carry names too: the optimistic path must
+			// rename the plan placeholder to the sequence-numbered name
+			// the serialized attempt ran under.
+			t.Fatalf("step %d: failed-attempt instance names diverged: %q vs %q", i, admS.Instance, admO.Instance)
 		}
 		check(fmt.Sprintf("admit %d", i))
 	}
@@ -367,6 +372,124 @@ func TestOptimisticStaleCommitJournalsLayout(t *testing.T) {
 	a.LastLSN = b.LastLSN // the original engine journaled, the replica replayed
 	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("replayed state diverged:\noriginal: %+v\nreplica:  %+v", a, b)
+	}
+}
+
+// TestOptimisticStaleCommitNotCached pins the cache/journal safety
+// seam: a commit whose plan epoch went stale journals its layout
+// verbatim (recovery cannot re-derive it), so it must NOT be memoized
+// — a cache hit commits via a plain OpAdmit and relies on recovery
+// re-planning the layout from the commit-time state.
+func TestOptimisticStaleCommitNotCached(t *testing.T) {
+	j := &sliceJournal{}
+	k := New(platform.Mesh(3, 3, 4), Options{Weights: mapping.WeightsBoth, SkipValidation: true, OptimisticAttempts: 4, LayoutCache: 8})
+	k.AttachJournal(j)
+
+	fired := false
+	k.planHook = func() {
+		if fired {
+			return
+		}
+		fired = true
+		// A different-shaped competitor admits and releases mid-plan:
+		// the platform returns to the snapshotted bytes but the epoch
+		// has moved, so the in-flight plan commits stale. The distinct
+		// shape keeps the competitor's own (legitimate, epoch-exact)
+		// cache entry from aliasing the probe below.
+		adm, err := k.Admit(context.Background(), chainApp("transient", 1, 30))
+		if err != nil {
+			t.Errorf("transient admit: %v", err)
+			return
+		}
+		if err := k.Release(adm.Instance); err != nil {
+			t.Errorf("transient release: %v", err)
+		}
+	}
+	stale, err := k.Admit(context.Background(), chainApp("stale", 2, 60))
+	if err != nil {
+		t.Fatalf("stale-plan admit: %v", err)
+	}
+	if len(j.ops) != 3 || j.ops[2].Layout == nil {
+		t.Fatal("staging failed: the admission did not commit a stale layout")
+	}
+	if err := k.Release(stale.Instance); err != nil {
+		t.Fatal(err)
+	}
+	// The platform is now byte-identical to the stale commit's
+	// pre-replay state. Had the stale layout been memoized, this probe
+	// (same shape) would hit the entry and commit a non-reproducible
+	// layout under a plain OpAdmit.
+	if _, err := k.Admit(context.Background(), chainApp("probe", 2, 60)); err != nil {
+		t.Fatalf("probe admit: %v", err)
+	}
+	if s := k.Stats(); s.CacheHits != 0 {
+		t.Errorf("CacheHits = %d, want 0: a stale commit must not be memoized", s.CacheHits)
+	}
+}
+
+// TestOptimisticRetryCountedOnCacheHit pins the Stats invariant that
+// Conflicts − Retries counts serialized fallbacks: a conflict retry
+// that is satisfied by a layout-cache hit is still a retry and must be
+// counted before the cache lookup short-circuits it.
+func TestOptimisticRetryCountedOnCacheHit(t *testing.T) {
+	opts := Options{Weights: mapping.WeightsBoth, SkipValidation: true, OptimisticAttempts: 4, LayoutCache: 4}
+	app := chainApp("racer", 1, 60)
+	demand := resource.Of(60, 8, 0, 0)
+	blocker := platform.Occupant{App: "blocker", Task: 0}
+
+	// Twin engines learn the deterministic layouts without touching the
+	// engine under test: pick is the element an empty-platform plan
+	// chooses; alt is the admission a re-plan at "pick blocked" yields.
+	twin := New(platform.Mesh(2, 1, 4), opts)
+	ref, err := twin.Admit(context.Background(), chainApp("racer", 1, 60))
+	if err != nil {
+		t.Fatalf("twin admit: %v", err)
+	}
+	pick := ref.Assignment[0]
+	twin2 := New(platform.Mesh(2, 1, 4), opts)
+	if err := twin2.p.Place(pick, blocker, demand); err != nil {
+		t.Fatal(err)
+	}
+	alt, err := twin2.Admit(context.Background(), chainApp("racer", 1, 60))
+	if err != nil {
+		t.Fatalf("blocked twin admit: %v", err)
+	}
+	if alt.Assignment[0] == pick {
+		t.Fatalf("staging failed: blocked plan still chose element %d", pick)
+	}
+
+	k := New(platform.Mesh(2, 1, 4), opts)
+	fired := false
+	k.planHook = func() {
+		if fired {
+			return
+		}
+		fired = true
+		// While the plan is in flight: block the element it chose (its
+		// replay will conflict) and memoize, keyed by the post-block
+		// state, the layout a re-plan would produce — the "conflictor
+		// inserted a matching layout" case from admitOptimistic.
+		k.mu.Lock()
+		if err := k.p.Place(pick, blocker, demand); err != nil {
+			t.Errorf("placing blocker: %v", err)
+		}
+		k.epoch++
+		k.cache.insert(appendFingerprint(nil, app), k.appendSketch(nil), alt)
+		k.mu.Unlock()
+	}
+	adm, err := k.Admit(context.Background(), app)
+	if err != nil {
+		t.Fatalf("admit after conflict: %v", err)
+	}
+	if adm.Assignment[0] == pick {
+		t.Errorf("admission landed on the blocked element %d", pick)
+	}
+	s := k.Stats()
+	if s.CacheHits != 1 {
+		t.Errorf("CacheHits = %d, want 1 (the retry must hit the conflictor's entry)", s.CacheHits)
+	}
+	if s.Conflicts != 1 || s.Retries != 1 {
+		t.Errorf("Conflicts/Retries = %d/%d, want 1/1 (a cache-satisfied retry is still a retry)", s.Conflicts, s.Retries)
 	}
 }
 
