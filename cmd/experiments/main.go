@@ -12,6 +12,7 @@
 //	experiments -fig9              # fragmentation vs sequence position
 //	experiments -fig10             # beamforming admission weight map
 //	experiments -case              # beamforming case study timings
+//	experiments -replangap         # replanner gap-to-optimal ablation
 //	experiments -all               # everything
 //	experiments -apps 100 -seqs 30 # dataset size / sequences per dataset
 //	experiments -workers 4         # bound the replication worker pool
@@ -45,6 +46,7 @@ func run(args []string, stdout io.Writer) error {
 		fig9    = fs.Bool("fig9", false, "run Fig. 9 (fragmentation vs position)")
 		fig10   = fs.Bool("fig10", false, "run Fig. 10 (beamforming admission weight map)")
 		casefl  = fs.Bool("case", false, "run the beamforming case study")
+		gap     = fs.Bool("replangap", false, "run the replanner gap-to-optimal ablation")
 		all     = fs.Bool("all", false, "run every experiment")
 		apps    = fs.Int("apps", experiments.DefaultAppsPerDataset, "applications generated per dataset")
 		seqs    = fs.Int("seqs", 30, "random sequences per dataset")
@@ -56,7 +58,7 @@ func run(args []string, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if !(*table1 || *fig7 || *fig8 || *fig9 || *fig10 || *casefl || *all) {
+	if !(*table1 || *fig7 || *fig8 || *fig9 || *fig10 || *casefl || *gap || *all) {
 		fs.Usage()
 		return errUsage
 	}
@@ -177,6 +179,26 @@ func run(args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "== Case study: beamforming allocation (weights=Both) ==\n")
 		adm, err := experiments.CaseStudy(kairos.WeightsBoth)
 		fmt.Fprint(stdout, experiments.FormatCaseStudy(adm, err))
+		fmt.Fprintln(stdout)
+	}
+
+	if *all || *gap {
+		gcfg := experiments.DefaultReplanGapConfig()
+		gcfg.Platform = proto
+		gcfg.Seed = *seed
+		gcfg.Workers = *workers
+		if shared.ReplanBudget > 0 {
+			gcfg.Budget = shared.ReplanBudget
+		}
+		start := time.Now()
+		rows, err := experiments.ReplanGap(gcfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "== Replanner ablation: gap to the isolated-optimum bound ==\n")
+		fmt.Fprintf(stdout, "(%d residents/profile target, budget %d, seed %d, in %v)\n",
+			gcfg.Residents, gcfg.Budget, gcfg.Seed, time.Since(start).Round(time.Millisecond))
+		fmt.Fprint(stdout, experiments.FormatReplanGap(rows))
 	}
 	return nil
 }

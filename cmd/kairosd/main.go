@@ -7,6 +7,7 @@
 //	POST   /v1/admitall   admit a batch, largest-first
 //	DELETE /v1/apps/{id}  release a cluster instance (URL-escaped)
 //	POST   /v1/readmit    restart one instance, or sweep fault-affected ones
+//	POST   /v1/replan     offline replanning pass over every shard (-replan servers)
 //	POST   /v1/checkpoint snapshot the admission log (durable servers only)
 //	GET    /v1/stats      per-shard and aggregate counters and load gauges
 //	GET    /v1/events     merged shard-tagged event stream (SSE)
@@ -93,6 +94,7 @@ func run(args []string, stdout io.Writer) error {
 		"platform": true, "weights": true,
 		"binder": true, "mapper": true, "router": true, "validator": true,
 		"layout-cache": true, "data-dir": true, "checkpoint-every": true,
+		"replan": true, "replan-budget": true, "replan-seed": true,
 		"admit-queue": true, "admit-slots": true, "shed-load": true,
 		"rebalance": true, "rebalance-every": true, "rebalance-budget": true,
 	}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/url"
+	"strings"
+	"testing"
+
+	"repro/internal/replan"
+	"repro/kairos"
+)
+
+func postReplan(t *testing.T, url, body string) (*http.Response, replanResponse, errorBody) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/replan", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ok replanResponse
+	var bad errorBody
+	dec := json.NewDecoder(resp.Body)
+	if resp.StatusCode == http.StatusOK {
+		if err := dec.Decode(&ok); err != nil {
+			t.Fatalf("bad replan response: %v", err)
+		}
+	} else if err := dec.Decode(&bad); err != nil {
+		t.Fatalf("bad error body: %v", err)
+	}
+	return resp, ok, bad
+}
+
+func TestReplanWithoutReplannerConflicts(t *testing.T) {
+	ts, _ := testServer(t, 2)
+	resp, _, bad := postReplan(t, ts.URL, "")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("status = %d, want 409 on a server without -replan", resp.StatusCode)
+	}
+	if !strings.Contains(bad.Error, "-replan") {
+		t.Errorf("error %q does not point at the missing -replan flag", bad.Error)
+	}
+}
+
+func TestReplanEndpoint(t *testing.T) {
+	ts, s := testServer(t, 2, kairos.WithShardOptions(
+		kairos.WithReplanner(replan.LNS{Seed: 1}),
+	))
+
+	// Fill both shards, then release half the residents so the pass
+	// has fragmentation to chew on.
+	var admitted []string
+	for i := 0; i < 6; i++ {
+		app := quickstartWire()
+		app.Name = "fill"
+		app.Tasks[0].FixedElement = nil
+		resp := postJSON(t, ts.URL+"/v1/admit", app)
+		if resp.StatusCode == http.StatusOK {
+			admitted = append(admitted, decodeBody[admitResponse](t, resp).Instance)
+		} else {
+			resp.Body.Close()
+		}
+	}
+	if len(admitted) < 2 {
+		t.Fatalf("only %d fill admissions landed", len(admitted))
+	}
+	for i := 0; i < len(admitted); i += 2 {
+		req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/apps/"+url.PathEscape(admitted[i]), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil || resp.StatusCode != http.StatusNoContent {
+			t.Fatalf("release %s: %v / %v", admitted[i], err, resp.Status)
+		}
+		resp.Body.Close()
+	}
+
+	resp, ok, _ := postReplan(t, ts.URL, `{"budget": 32}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", resp.StatusCode)
+	}
+	if len(ok.Shards) != 2 {
+		t.Fatalf("response covers %d shards, want 2", len(ok.Shards))
+	}
+	if ok.DurationMS < 0 {
+		t.Errorf("durationMs = %v, want >= 0", ok.DurationMS)
+	}
+	moves := 0
+	for _, sh := range ok.Shards {
+		moves += len(sh.Moves)
+		if sh.CostAfter > sh.CostBefore {
+			t.Errorf("shard %d: pass worsened the composite: %v -> %v", sh.Shard, sh.CostBefore, sh.CostAfter)
+		}
+	}
+	if moves != ok.Moves {
+		t.Errorf("aggregate moves %d != per-shard sum %d", ok.Moves, moves)
+	}
+
+	// The pass's work shows up in the aggregate stats.
+	stats := decodeBody[statsResponse](t, mustGet(t, ts.URL+"/v1/stats"))
+	if got := stats.Stats.Total.ReplanMoves; int(got) != ok.Moves {
+		t.Errorf("stats ReplanMoves = %d, want %d", got, ok.Moves)
+	}
+
+	// A pass in flight serializes later requests with a 409.
+	s.replanning.Store(true)
+	if resp, _, _ := postReplan(t, ts.URL, ""); resp.StatusCode != http.StatusConflict {
+		t.Errorf("concurrent replan status = %d, want 409", resp.StatusCode)
+	}
+	s.replanning.Store(false)
+
+	// Malformed inputs fail fast.
+	if resp, _, _ := postReplan(t, ts.URL, `{"budget": -1}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative budget status = %d, want 400", resp.StatusCode)
+	}
+	if resp, _, _ := postReplan(t, ts.URL, `{broken`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("broken JSON status = %d, want 400", resp.StatusCode)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"repro/kairos"
@@ -28,6 +29,10 @@ type server struct {
 	// keepalive overrides the SSE heartbeat interval (tests shrink
 	// it); zero means sseKeepalive.
 	keepalive time.Duration
+	// replanning serializes POST /v1/replan: a pass sweeps every
+	// shard's lock in turn, so concurrent passes would only contend —
+	// the second request gets a fast 409 instead.
+	replanning atomic.Bool
 }
 
 // sseKeepalive is how often an idle /v1/events stream emits a
@@ -43,6 +48,7 @@ func (s *server) newMux() *http.ServeMux {
 	mux.HandleFunc("POST /v1/admitall", s.handleAdmitAll)
 	mux.HandleFunc("DELETE /v1/apps/{id}", s.handleRelease)
 	mux.HandleFunc("POST /v1/readmit", s.handleReadmit)
+	mux.HandleFunc("POST /v1/replan", s.handleReplan)
 	mux.HandleFunc("POST /v1/checkpoint", s.handleCheckpoint)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /v1/events", s.handleEvents)
@@ -347,6 +353,92 @@ func (s *server) handleReadmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest,
 			errorBody{Error: `set exactly one of "instance" or "affected"`})
 	}
+}
+
+// replanRequest is the POST /v1/replan body. An empty body is valid:
+// every shard replans under its configured default budget.
+type replanRequest struct {
+	// Budget overrides the per-shard move budget for this pass
+	// (0 = the server's configured default).
+	Budget int `json:"budget,omitempty"`
+}
+
+// replanMoveJSON is one committed replan move; both names are
+// cluster-scoped, so a client can DELETE what it sees here.
+type replanMoveJSON struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+}
+
+// replanShardResult is one shard's pass in a replan response.
+type replanShardResult struct {
+	Shard      int              `json:"shard"`
+	Moves      []replanMoveJSON `json:"moves,omitempty"`
+	CostBefore float64          `json:"costBefore"`
+	CostAfter  float64          `json:"costAfter"`
+	Evaluated  int              `json:"evaluated"`
+	Improved   bool             `json:"improved"`
+}
+
+// replanResponse is the POST /v1/replan payload: the aggregate moves
+// and cost delta plus the per-shard passes.
+type replanResponse struct {
+	Moves      int                 `json:"moves"`
+	CostDelta  float64             `json:"costDelta"`
+	DurationMS float64             `json:"durationMs"`
+	Shards     []replanShardResult `json:"shards"`
+}
+
+// handleReplan runs one offline replanning pass over every active
+// shard (see Cluster.Replan). Passes are serialized: a request
+// arriving while one runs gets a 409. Servers booted without -replan
+// get a 409 explaining the missing configuration.
+func (s *server) handleReplan(w http.ResponseWriter, r *http.Request) {
+	var req replanRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes)).Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "bad replan JSON: " + err.Error()})
+		return
+	}
+	if req.Budget < 0 {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: "budget must be non-negative"})
+		return
+	}
+	if !s.replanning.CompareAndSwap(false, true) {
+		writeJSON(w, http.StatusConflict, errorBody{Error: "a replanning pass is already running"})
+		return
+	}
+	defer s.replanning.Store(false)
+	start := time.Now()
+	results, err := s.cluster.ReplanWithBudget(r.Context(), req.Budget)
+	if err != nil {
+		if errors.Is(err, kairos.ErrNoReplanner) {
+			writeJSON(w, http.StatusConflict,
+				errorBody{Error: "no replanner configured; restart with -replan " + kairos.ReplannerNames()[0]})
+			return
+		}
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: err.Error()})
+		return
+	}
+	resp := replanResponse{DurationMS: float64(time.Since(start).Nanoseconds()) / 1e6}
+	for _, res := range results {
+		sh := replanShardResult{
+			Shard:      res.Shard,
+			CostBefore: res.CostBefore,
+			CostAfter:  res.CostAfter,
+			Evaluated:  res.Evaluated,
+			Improved:   res.Improved,
+		}
+		for _, m := range res.Moves {
+			sh.Moves = append(sh.Moves, replanMoveJSON{
+				From: kairos.ClusterInstanceName(res.Shard, m.From),
+				To:   kairos.ClusterInstanceName(res.Shard, m.To),
+			})
+		}
+		resp.Moves += len(res.Moves)
+		resp.CostDelta += res.CostAfter - res.CostBefore
+		resp.Shards = append(resp.Shards, sh)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // checkpointResponse reports a completed snapshot: the next log

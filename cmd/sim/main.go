@@ -40,7 +40,7 @@ func run(args []string, stdout io.Writer) error {
 		lifetime   = fs.Duration("lifetime", 60*time.Second, "mean application lifetime (simulated)")
 		duration   = fs.Duration("duration", 10*time.Minute, "simulated horizon")
 		seed       = fs.Int64("seed", 1, "random seed")
-		policy     = fs.String("policy", "all", "defragmentation policy: none|periodic|on-rejection|all (comparison)")
+		policy     = fs.String("policy", "all", "defragmentation policy: "+strings.Join(sim.PolicyNames(), "|")+"|all (comparison)")
 		defragPer  = fs.Duration("defrag-period", 30*time.Second, "periodic policy: readmission interval (simulated)")
 		faultEvery = fs.Duration("fault-every", 2*time.Minute, "mean time between hardware faults (0 disables)")
 		repair     = fs.Duration("repair", 45*time.Second, "mean time until a fault is repaired")
@@ -89,6 +89,8 @@ func run(args []string, stdout io.Writer) error {
 		Duration:     duration.Seconds(),
 		Seed:         *seed,
 		DefragPeriod: defragPer.Seconds(),
+		ReplanBudget: shared.ReplanBudget,
+		ReplanSeed:   shared.ReplanSeed,
 		MeanRepair:   repair.Seconds(),
 		SampleEvery:  sample.Seconds(),
 	}

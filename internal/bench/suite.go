@@ -12,6 +12,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/platform"
 	"repro/internal/rebalance"
+	"repro/internal/replan"
 	"repro/internal/sim"
 	"repro/internal/wal"
 	"repro/kairos"
@@ -112,7 +113,58 @@ func Suite(opts Options) []Scenario {
 		scs = append(scs, contendScenario(fmt.Sprintf("contend/admit-%d", n), n, true, opts))
 	}
 	scs = append(scs, contendScenario("contend/admit-serial4", 4, false, opts))
+
+	// Offline replanning: one budgeted LNS pass over a freshly
+	// fragmented manager, at a small and the default budget — the cost
+	// of the maintenance window DESIGN.md §12 describes, and how it
+	// scales with the move budget.
+	scs = append(scs, replanScenario(8, opts), replanScenario(64, opts))
 	return scs
+}
+
+// replanScenario: one op builds a fragmented manager — fill with
+// small communication apps, release every other — and runs a single
+// budgeted replanning pass. Attempts counts candidate moves evaluated,
+// so ns/op over attempts is the per-candidate cost of the LNS search.
+// The rebuild keeps ops independent: a pass leaves the platform
+// compacted, so re-running on the same manager would measure the
+// cheap nothing-to-do path instead.
+func replanScenario(budget int, opts Options) Scenario {
+	return Scenario{
+		Name:  fmt.Sprintf("replan/steady-budget%d", budget),
+		Group: "replan",
+		Ops:   opts.ops(30, 10),
+		Prepare: func() (func() (int, error), error) {
+			gen := appgen.New(appgen.NewConfig(appgen.Communication, appgen.Small), opts.Seed+31)
+			var apps []*graph.Application
+			for i := 0; i < 12; i++ {
+				apps = append(apps, gen.Next())
+			}
+			ctx := context.Background()
+			return func() (int, error) {
+				m := kairos.New(platform.CRISP(),
+					kairos.WithoutValidation(),
+					kairos.WithReplanner(replan.LNS{Seed: opts.Seed}),
+				)
+				var admitted []string
+				for _, app := range apps {
+					if adm, err := m.Admit(ctx, app); err == nil {
+						admitted = append(admitted, adm.Instance)
+					}
+				}
+				for i := 0; i < len(admitted); i += 2 {
+					if err := m.Release(admitted[i]); err != nil {
+						return 0, err
+					}
+				}
+				res, err := m.ReplanWithBudget(ctx, budget)
+				if err != nil {
+					return 0, err
+				}
+				return res.Evaluated, nil
+			}, nil
+		},
+	}
 }
 
 // contendScenario: one op is a round of admit+release churn by

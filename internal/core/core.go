@@ -149,6 +149,13 @@ type Options struct {
 	// back to the fully serialized path so admission never livelocks.
 	// Zero (the default) serializes every admission under the mutex.
 	OptimisticAttempts int
+	// Replanner is the offline-replanning strategy Replan runs (see
+	// replan.go); nil disables replanning (Replan returns
+	// ErrNoReplanner).
+	Replanner Replanner
+	// ReplanBudget bounds one replanning pass in re-admission attempts;
+	// zero means DefaultReplanBudget.
+	ReplanBudget int
 }
 
 // EvictReason says why an Evicted event fired for an admission.

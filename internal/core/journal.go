@@ -30,7 +30,6 @@ import (
 	"repro/internal/binding"
 	"repro/internal/graph"
 	"repro/internal/mapping"
-	"repro/internal/platform"
 	"repro/internal/routing"
 )
 
@@ -61,6 +60,11 @@ const (
 	// completed). Replay re-marks the engine draining so a recovered
 	// drained shard stays unadmittable.
 	OpShardDrain
+	// OpReplan: an accepted offline replanning pass (see replan.go).
+	// The whole composite — every retired resident and the layout it
+	// was re-admitted under — is one record, so recovery applies the
+	// accepted plan atomically: a crash keeps all of it or none.
+	OpReplan
 )
 
 func (o OpKind) String() string {
@@ -81,6 +85,8 @@ func (o OpKind) String() string {
 		return "shard-add"
 	case OpShardDrain:
 		return "shard-drain"
+	case OpReplan:
+		return "replan"
 	default:
 		return fmt.Sprintf("op(%d)", int(o))
 	}
@@ -118,6 +124,19 @@ type Op struct {
 	// commits, whose plan state equals the commit state — leave it nil
 	// and replay through the deterministic workflow as before.
 	Layout *OpLayout
+	// Moves is the composite payload of an OpReplan record: every move
+	// of the accepted plan, in commit order. Seq is then the sequence
+	// number the last move consumed.
+	Moves []OpMove
+}
+
+// OpMove is one move of an OpReplan record: the resident From was
+// retired and its application re-admitted as To (the name the
+// sequence number Seq implies) with the recorded layout.
+type OpMove struct {
+	Seq      int
+	From, To string
+	Layout   OpLayout
 }
 
 // OpLayout is the explicit layout an out-of-epoch optimistic commit
@@ -365,6 +384,8 @@ func (k *Kairos) ReplayOp(lsn uint64, op Op) error {
 		// the log — the drain gate was already set when the record was
 		// appended — so re-marking here cannot refuse a later replay.
 		k.draining = true
+	case OpReplan:
+		err = k.replayReplanLocked(op)
 	default:
 		err = fmt.Errorf("kairos: replay of unknown op kind %d", op.Kind)
 	}
@@ -418,39 +439,5 @@ func (k *Kairos) replayLayoutOpLocked(op Op) error {
 // back; in that case the partial replay is unwound and the error says
 // so. Bookkeeping (admitted table, stats) stays the caller's.
 func (k *Kairos) restoreLayoutLocked(old *Admission) error {
-	restored := 0
-	var rerr error
-	for _, t := range old.App.Tasks {
-		occ := platform.Occupant{App: old.Instance, Task: t.ID}
-		if perr := k.p.Restore(old.Assignment[t.ID], occ, old.Binding.Demand(t.ID)); perr != nil {
-			rerr = perr
-			break
-		}
-		restored++
-	}
-	if rerr == nil {
-	routes:
-		for ri, rt := range old.Routes {
-			for i := 0; i+1 < len(rt.Path); i++ {
-				if perr := k.p.RestoreVC(rt.Path[i], rt.Path[i+1]); perr != nil {
-					rerr = perr
-					for j := 0; j < ri; j++ {
-						releaseRoute(k.p, old.Routes[j])
-					}
-					for i2 := 0; i2 < i; i2++ {
-						_ = k.p.ReleaseVC(rt.Path[i2], rt.Path[i2+1])
-					}
-					break routes
-				}
-			}
-		}
-	}
-	if rerr != nil {
-		for _, t := range old.App.Tasks[:restored] {
-			occ := platform.Occupant{App: old.Instance, Task: t.ID}
-			_ = k.p.Remove(old.Assignment[t.ID], occ)
-		}
-		return rerr
-	}
-	return nil
+	return restoreLayout(k.p, old)
 }

@@ -1,0 +1,428 @@
+package core
+
+// This file is the engine's offline-replanning surface: a fifth
+// strategy seam (Replanner) beside the four phase strategies. A
+// replanner operates on a sandbox — a private clone of the platform
+// carrying the live resident set — and improves the placement by
+// composite moves: release a neighborhood of residents, re-admit them
+// in a candidate order through the ordinary four-phase workflow, keep
+// the result only if it helps. The engine then applies the sandbox's
+// accepted plan to the live platform under one lock hold and journals
+// it as a single atomic OpReplan record, so a crash either keeps the
+// whole plan or none of it (the write-ahead log refuses further
+// appends after an I/O failure, which rules out multi-record
+// compensation).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/binding"
+	"repro/internal/graph"
+	"repro/internal/mapping"
+	"repro/internal/platform"
+	"repro/internal/routing"
+)
+
+// DefaultReplanBudget bounds a replan pass when neither the call nor
+// Options.ReplanBudget says otherwise. The budget is counted in
+// re-admission attempts (workflow runs), never wall-clock, so a pass
+// is deterministic for a fixed seed.
+const DefaultReplanBudget = 64
+
+// ErrNoReplanner is returned by Replan when no Replanner is
+// configured.
+var ErrNoReplanner = errors.New("kairos: no replanner configured")
+
+// Replanner is the offline-replanning strategy seam. Replan explores
+// composite moves through the sandbox and returns the total objective
+// cost of the resident set before and after its pass; the engine
+// commits the sandbox's final layout only when after < before.
+// Implementations must be deterministic: any randomness comes from
+// their own seeded source, and effort is bounded by the sandbox's
+// move budget, never by time.
+type Replanner interface {
+	Replan(sb *ReplanSandbox) (before, after float64)
+	Name() string
+}
+
+// shuffleRecord remembers one accepted Shuffle so Undo can reverse it.
+type shuffleRecord struct {
+	members []string
+	prev    []*Admission
+	next    []*Admission
+}
+
+// ReplanSandbox is the state a Replanner works on: a private clone of
+// the platform carrying the resident set at the start of the pass.
+// Every mutation goes through Shuffle/Undo, which keep the clone and
+// the per-resident layouts consistent; the live engine is untouched
+// until the pass ends and the engine decides to commit. Residents keep
+// their live instance names inside the sandbox — renaming to fresh
+// sequence numbers happens only at commit.
+type ReplanSandbox struct {
+	k      *Kairos
+	ctx    context.Context
+	p      *platform.Platform
+	names  []string
+	cur    map[string]*Admission
+	budget int
+	used   int
+	last   *shuffleRecord
+}
+
+// Platform returns the sandbox's private platform clone. Read it
+// freely (distances, capacities); mutate it only through Shuffle.
+func (sb *ReplanSandbox) Platform() *platform.Platform { return sb.p }
+
+// Residents returns the resident instance names, sorted, as a fresh
+// slice the caller may reorder.
+func (sb *ReplanSandbox) Residents() []string {
+	return append([]string(nil), sb.names...)
+}
+
+// Layout returns the resident's current sandbox layout, or nil for an
+// unknown instance. The returned Admission is shared bookkeeping —
+// callers must not mutate it.
+func (sb *ReplanSandbox) Layout(instance string) *Admission { return sb.cur[instance] }
+
+// Remaining returns the move budget left; Used returns the moves
+// consumed. Each re-admission attempt of a Shuffle costs one move.
+func (sb *ReplanSandbox) Remaining() int { return sb.budget - sb.used }
+
+// Used returns the number of moves consumed so far.
+func (sb *ReplanSandbox) Used() int { return sb.used }
+
+// Shuffle tentatively re-places a neighborhood: the named residents
+// are released from the sandbox platform and re-admitted one by one,
+// in the given order, through the ordinary four-phase workflow. It
+// reports whether the whole neighborhood was re-admitted; on failure
+// (or when the member list is invalid or exceeds the remaining
+// budget) the sandbox is restored exactly as before the call. Each
+// re-admission attempt consumes one unit of budget; a refused call
+// that never ran the workflow consumes none. A successful Shuffle can
+// be reversed by Undo until the next Shuffle.
+func (sb *ReplanSandbox) Shuffle(members []string) bool {
+	if len(members) == 0 || sb.used+len(members) > sb.budget {
+		return false
+	}
+	seen := make(map[string]bool, len(members))
+	prev := make([]*Admission, len(members))
+	for i, m := range members {
+		adm := sb.cur[m]
+		if adm == nil || seen[m] {
+			return false
+		}
+		seen[m] = true
+		prev[i] = adm
+	}
+	for _, adm := range prev {
+		routing.ReleaseAll(sb.p, adm.Routes)
+		mapping.UnmapAssigned(sb.p, adm.Instance, adm.App, adm.Assignment)
+	}
+	next := make([]*Admission, len(members))
+	for i, m := range members {
+		sb.used++
+		adm, err := sb.k.runWorkflow(sb.ctx, prev[i].App, m, sb.p)
+		if err != nil {
+			// Unwind the members already re-placed, then put every
+			// previous layout back. The resources just came free, so
+			// the restore cannot fail.
+			for j := 0; j < i; j++ {
+				routing.ReleaseAll(sb.p, next[j].Routes)
+				mapping.UnmapAssigned(sb.p, next[j].Instance, next[j].App, next[j].Assignment)
+			}
+			for _, old := range prev {
+				_ = restoreLayout(sb.p, old)
+			}
+			return false
+		}
+		next[i] = adm
+	}
+	for i, m := range members {
+		sb.cur[m] = next[i]
+	}
+	sb.last = &shuffleRecord{members: members, prev: prev, next: next}
+	return true
+}
+
+// Undo reverses the last successful Shuffle (the consumed budget
+// stays spent). It reports whether there was one to reverse.
+func (sb *ReplanSandbox) Undo() bool {
+	rec := sb.last
+	if rec == nil {
+		return false
+	}
+	for _, adm := range rec.next {
+		routing.ReleaseAll(sb.p, adm.Routes)
+		mapping.UnmapAssigned(sb.p, adm.Instance, adm.App, adm.Assignment)
+	}
+	for i, old := range rec.prev {
+		_ = restoreLayout(sb.p, old)
+		sb.cur[rec.members[i]] = old
+	}
+	sb.last = nil
+	return true
+}
+
+// ReplanMove is one applied move of an accepted replan: the resident
+// From was retired and its application re-admitted under the fresh
+// instance name To with the sandbox's layout.
+type ReplanMove struct {
+	From, To string
+	Adm      *Admission
+}
+
+// ReplanResult reports one replan pass: the moves applied (empty when
+// the pass found no improvement), the replanner's objective cost
+// before and after, the budget consumed, and whether the plan was
+// committed.
+type ReplanResult struct {
+	Moves      []ReplanMove
+	CostBefore float64
+	CostAfter  float64
+	Evaluated  int
+	Improved   bool
+}
+
+// Replan runs one offline replanning pass with the configured
+// replanner and budget (Options.ReplanBudget, defaulting to
+// DefaultReplanBudget): the replanner explores composite moves on a
+// sandbox clone of the platform, and the engine commits the resulting
+// layout only when it strictly improves the replanner's objective —
+// rejection leaves the live platform byte-identical to before the
+// call. An accepted plan retires every moved resident and re-admits
+// its application under a fresh instance name (task migration is
+// impossible, §I-A — moving is restarting), journaled as one atomic
+// OpReplan record; subscribers observe an Evicted(EvictReadmit) +
+// Admitted pair per move. The context gates the sandbox's workflow
+// runs exactly as in Admit.
+func (k *Kairos) Replan(ctx context.Context) (*ReplanResult, error) {
+	return k.ReplanWithBudget(ctx, 0)
+}
+
+// ReplanWithBudget is Replan with an explicit move budget for this
+// pass; budget <= 0 falls back to the configured default.
+func (k *Kairos) ReplanWithBudget(ctx context.Context, budget int) (*ReplanResult, error) {
+	r := k.opts.Replanner
+	if r == nil {
+		return nil, ErrNoReplanner
+	}
+	if budget <= 0 {
+		budget = k.opts.ReplanBudget
+	}
+	if budget <= 0 {
+		budget = DefaultReplanBudget
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	k.mu.Lock()
+	defer k.unlockAndPublish()
+	if k.draining {
+		return nil, fmt.Errorf("kairos: replan refused: %w", ErrDraining)
+	}
+	res := &ReplanResult{}
+	if len(k.admitted) == 0 {
+		return res, nil
+	}
+	sb := &ReplanSandbox{
+		k:      k,
+		ctx:    ctx,
+		p:      k.p.Clone(),
+		names:  make([]string, 0, len(k.admitted)),
+		cur:    make(map[string]*Admission, len(k.admitted)),
+		budget: budget,
+	}
+	for name, adm := range k.admitted {
+		sb.names = append(sb.names, name)
+		sb.cur[name] = adm
+	}
+	sort.Strings(sb.names)
+
+	res.CostBefore, res.CostAfter = r.Replan(sb)
+	res.Evaluated = sb.used
+
+	var changed []string
+	for _, name := range sb.names {
+		if sb.cur[name] != k.admitted[name] {
+			changed = append(changed, name)
+		}
+	}
+	if len(changed) == 0 || res.CostAfter >= res.CostBefore {
+		// Rejected (or nothing moved): the sandbox clone is discarded
+		// and the live platform was never touched.
+		return res, nil
+	}
+	return res, k.commitReplanLocked(res, sb, changed)
+}
+
+// commitReplanLocked applies an accepted plan to the live platform:
+// every changed resident is retired, its sandbox layout restored under
+// a fresh instance name, and the whole composite journaled as one
+// OpReplan record. On journal failure the composite is fully unwound —
+// allocation state byte-identical to before the pass — and the
+// ErrJournal-wrapped error returned. Called with k.mu held; changed is
+// sorted.
+func (k *Kairos) commitReplanLocked(res *ReplanResult, sb *ReplanSandbox, changed []string) error {
+	olds := make([]*Admission, len(changed))
+	news := make([]*Admission, len(changed))
+	ops := make([]OpMove, len(changed))
+	for i, name := range changed {
+		olds[i] = k.admitted[name]
+		k.dropLocked(olds[i])
+	}
+	for i, name := range changed {
+		adm := sb.cur[name]
+		k.seq++
+		adm.Instance = instanceName(adm.App, k.seq)
+		if err := k.restoreLayoutLocked(adm); err != nil {
+			// Impossible unless the platform was mutated behind the
+			// manager's back: the sandbox proved the combined layout
+			// fits. Unwind what was restored and put the old set back.
+			for j := 0; j < i; j++ {
+				routing.ReleaseAll(k.p, news[j].Routes)
+				mapping.UnmapAssigned(k.p, news[j].Instance, news[j].App, news[j].Assignment)
+				delete(k.admitted, news[j].Instance)
+				k.stats.Attempts--
+				k.stats.Admitted--
+			}
+			for _, old := range olds {
+				_ = k.restoreLayoutLocked(old)
+				k.admitted[old.Instance] = old
+			}
+			k.stats.Released -= int64(len(olds))
+			return fmt.Errorf("kairos: replan commit failed restoring %q: %w", adm.Instance, err)
+		}
+		k.admitted[adm.Instance] = adm
+		k.stats.record(adm, nil)
+		news[i] = adm
+		ops[i] = OpMove{Seq: k.seq, From: name, To: adm.Instance, Layout: *layoutOf(adm)}
+	}
+	if jerr := k.journalLocked(Op{Kind: OpReplan, Seq: k.seq, Moves: ops}); jerr != nil {
+		// The plan is not durable, so it must not happen: unwind every
+		// fresh placement and replay every retired layout (their
+		// resources just came free, so replay cannot fail).
+		for _, adm := range news {
+			k.unwindAdmitLocked(adm)
+		}
+		for _, old := range olds {
+			_ = k.restoreLayoutLocked(old)
+			k.admitted[old.Instance] = old
+		}
+		k.stats.Released -= int64(len(olds))
+		return jerr
+	}
+	res.Moves = make([]ReplanMove, len(changed))
+	for i, name := range changed {
+		res.Moves[i] = ReplanMove{From: name, To: news[i].Instance, Adm: news[i]}
+		k.emit(Evicted{Adm: olds[i], Reason: EvictReadmit})
+		k.emit(Admitted{Adm: news[i]})
+	}
+	k.stats.ReplanMoves += int64(len(changed))
+	k.stats.ReplanImproved++
+	res.Improved = true
+	return nil
+}
+
+// replayReplanLocked re-applies one OpReplan record during recovery:
+// every moved resident is dropped, then every recorded layout restored
+// under its recorded fresh name, exactly as the original commit did.
+// Called with k.mu held.
+func (k *Kairos) replayReplanLocked(op Op) error {
+	if len(op.Moves) == 0 {
+		return errors.New("kairos: replan record without moves")
+	}
+	olds := make([]*Admission, len(op.Moves))
+	for i, m := range op.Moves {
+		old, ok := k.admitted[m.From]
+		if !ok {
+			return fmt.Errorf("%w: %q", ErrUnknownInstance, m.From)
+		}
+		if want := instanceName(old.App, m.Seq); want != m.To {
+			return fmt.Errorf("kairos: replan record names %q, seq %d implies %q", m.To, m.Seq, want)
+		}
+		olds[i] = old
+	}
+	for _, old := range olds {
+		k.dropLocked(old)
+	}
+	for i, m := range op.Moves {
+		adm, err := admissionFromLayout(olds[i].App, m.To, &op.Moves[i].Layout)
+		if err != nil {
+			return err
+		}
+		if rerr := k.restoreLayoutLocked(adm); rerr != nil {
+			return rerr
+		}
+		k.admitted[adm.Instance] = adm
+		k.stats.record(adm, nil)
+	}
+	k.seq = op.Seq
+	k.stats.ReplanMoves += int64(len(op.Moves))
+	k.stats.ReplanImproved++
+	return nil
+}
+
+// admissionFromLayout rebuilds an Admission from a recorded layout
+// under the given instance name (replay and recovery paths).
+func admissionFromLayout(app *graph.Application, instance string, l *OpLayout) (*Admission, error) {
+	if len(l.Impls) != len(app.Tasks) || len(l.Assignment) != len(app.Tasks) {
+		return nil, fmt.Errorf("kairos: layout record sized for %d/%d tasks, application has %d",
+			len(l.Impls), len(l.Assignment), len(app.Tasks))
+	}
+	bind, err := binding.FromSelection(app, l.Impls)
+	if err != nil {
+		return nil, err
+	}
+	return &Admission{
+		Instance:   instance,
+		App:        app,
+		Binding:    bind,
+		Assignment: l.Assignment,
+		Routes:     l.Routes,
+	}, nil
+}
+
+// restoreLayout replays an admission's recorded layout onto an
+// arbitrary platform (the live one under k.mu, or a replan sandbox's
+// private clone). See Kairos.restoreLayoutLocked for the contract.
+func restoreLayout(p *platform.Platform, old *Admission) error {
+	restored := 0
+	var rerr error
+	for _, t := range old.App.Tasks {
+		occ := platform.Occupant{App: old.Instance, Task: t.ID}
+		if perr := p.Restore(old.Assignment[t.ID], occ, old.Binding.Demand(t.ID)); perr != nil {
+			rerr = perr
+			break
+		}
+		restored++
+	}
+	if rerr == nil {
+	routes:
+		for ri, rt := range old.Routes {
+			for i := 0; i+1 < len(rt.Path); i++ {
+				if perr := p.RestoreVC(rt.Path[i], rt.Path[i+1]); perr != nil {
+					rerr = perr
+					for j := 0; j < ri; j++ {
+						releaseRoute(p, old.Routes[j])
+					}
+					for i2 := 0; i2 < i; i2++ {
+						_ = p.ReleaseVC(rt.Path[i2], rt.Path[i2+1])
+					}
+					break routes
+				}
+			}
+		}
+	}
+	if rerr != nil {
+		for _, t := range old.App.Tasks[:restored] {
+			occ := platform.Occupant{App: old.Instance, Task: t.ID}
+			_ = p.Remove(old.Assignment[t.ID], occ)
+		}
+		return rerr
+	}
+	return nil
+}

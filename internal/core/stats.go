@@ -63,6 +63,11 @@ type Stats struct {
 	// under a single admitter (no concurrent mutation to conflict with).
 	Conflicts int64
 	Retries   int64
+	// ReplanMoves counts residents moved by accepted replanning passes
+	// (see replan.go); ReplanImproved counts the accepted passes
+	// themselves. A pass that found no improvement touches neither.
+	ReplanMoves    int64
+	ReplanImproved int64
 	// PhaseTotals accumulates the per-phase execution time over all
 	// attempts, successful or not (the basis of Fig. 7).
 	PhaseTotals PhaseTimes

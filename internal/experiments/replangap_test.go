@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/appgen"
+	"repro/internal/platform"
+)
+
+// One small profile keeps the test fast; the full six-profile sweep is
+// the cmd/experiments -replangap run documented in EXPERIMENTS.md §8.
+func TestReplanGapProfile(t *testing.T) {
+	cfg := DefaultReplanGapConfig()
+	cfg.Residents = 3
+	cfg.Platform = platform.CRISP()
+	row, err := replanGapProfile(appgen.NewConfig(appgen.Communication, appgen.Small), cfg, cfg.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row.Residents == 0 {
+		t.Fatal("no residents survived the fill/thin phases")
+	}
+	if row.CostOptimal <= 0 {
+		t.Errorf("bound = %v, want > 0 (implementation base costs)", row.CostOptimal)
+	}
+	if row.CostGreedy < row.CostOptimal-1e-9 {
+		t.Errorf("greedy cost %v beats the lower bound %v", row.CostGreedy, row.CostOptimal)
+	}
+	if row.CostReplanned > row.CostGreedy+1e-9 {
+		t.Errorf("replanning worsened the composite: %v -> %v", row.CostGreedy, row.CostReplanned)
+	}
+	if row.CostReplanned < row.CostOptimal-1e-9 {
+		t.Errorf("replanned cost %v beats the lower bound %v", row.CostReplanned, row.CostOptimal)
+	}
+	if row.Exact != row.Residents {
+		t.Errorf("small instances should all be exactly bounded: %d/%d", row.Exact, row.Residents)
+	}
+}

@@ -61,11 +61,10 @@ type Solver struct {
 // the search space is too large to be worth exploring exactly.
 const MaxTasks = 12
 
-// New prepares an exact solver. The platform is read, never modified.
+// New prepares a solver. The platform is read, never modified. Any
+// instance size is accepted — CostOf and LowerBound are polynomial;
+// only Solve enforces MaxTasks.
 func New(app *graph.Application, p *platform.Platform, bind *binding.Binding, obj Objective) (*Solver, error) {
-	if len(app.Tasks) > MaxTasks {
-		return nil, fmt.Errorf("optimal: %d tasks exceed the exact-solver limit of %d", len(app.Tasks), MaxTasks)
-	}
 	s := &Solver{app: app, p: p, bind: bind, obj: obj}
 
 	n := p.NumElements()
@@ -124,10 +123,40 @@ func (s *Solver) CostOf(assignment []int) float64 {
 	return cost
 }
 
+// LowerBound returns an admissible bound on the cost of any complete
+// assignment: the binding's implementation base costs plus, per
+// channel, the cheapest distance over all candidate element pairs
+// (capacity interactions between tasks are relaxed away). Unlike
+// Solve it is polynomial, so it bounds instances beyond MaxTasks.
+func (s *Solver) LowerBound() float64 {
+	bound := 0.0
+	for _, t := range s.app.Tasks {
+		bound += s.bind.Implementation(t.ID).Cost
+	}
+	for _, ch := range s.app.Channels {
+		min := math.Inf(1)
+		for _, a := range s.avail[ch.Src] {
+			for _, b := range s.avail[ch.Dst] {
+				if d := s.dist[a][b]; d != platform.Unreachable && float64(d) < min {
+					min = float64(d)
+				}
+			}
+		}
+		if !math.IsInf(min, 1) {
+			bound += s.obj.CommWeight * min * float64(ch.TokenSize)
+		}
+	}
+	return bound
+}
+
 // Solve finds a minimum-cost complete assignment, or an error when the
-// instance is infeasible (no capacity-respecting assignment exists).
+// instance is infeasible (no capacity-respecting assignment exists) or
+// larger than MaxTasks.
 func (s *Solver) Solve() (*Result, error) {
 	nTasks := len(s.app.Tasks)
+	if nTasks > MaxTasks {
+		return nil, fmt.Errorf("optimal: %d tasks exceed the exact-solver limit of %d", nTasks, MaxTasks)
+	}
 
 	// Branch order: most-constrained task first (fewest candidates),
 	// which shrinks the tree near the root.

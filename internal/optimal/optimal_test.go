@@ -141,8 +141,38 @@ func TestTooManyTasksRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := New(app, p, b, DefaultObjective()); err == nil {
-		t.Error("oversized instance must be rejected")
+	s, err := New(app, p, b, DefaultObjective())
+	if err != nil {
+		t.Fatalf("New must accept oversized instances (only Solve is bounded): %v", err)
+	}
+	if _, err := s.Solve(); err == nil {
+		t.Error("oversized instance must be rejected by Solve")
+	}
+	if lb := s.LowerBound(); lb <= 0 {
+		t.Errorf("LowerBound on an oversized instance = %v, want > 0 (base costs)", lb)
+	}
+}
+
+func TestLowerBoundNeverExceedsOptimum(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		p := platform.Mesh(3, 3, 2)
+		app := randomApp(r, 2+r.Intn(5))
+		b, err := binding.Bind(app, p)
+		if err != nil {
+			continue
+		}
+		s, err := New(app, p, b, DefaultObjective())
+		if err != nil {
+			continue
+		}
+		res, err := s.Solve()
+		if err != nil {
+			continue
+		}
+		if lb := s.LowerBound(); lb > res.Cost+1e-9 {
+			t.Fatalf("trial %d: LowerBound %v exceeds optimal cost %v", trial, lb, res.Cost)
+		}
 	}
 }
 

@@ -1,0 +1,210 @@
+// Package replan implements the default offline replanner: a
+// budgeted large-neighborhood search over a whole engine's resident
+// set. The paper's admission workflow is incremental and cheap but
+// greedy — each application is placed against whatever fragmentation
+// the arrival order produced, and task migration is impossible
+// (§I-A), so the only way to improve a placement afterwards is to
+// restart it. The replanner does exactly that, offline and
+// tentatively: it repeatedly selects a neighborhood of worst-placed
+// residents (highest cost under the communication-distance objective
+// of internal/optimal), releases them from a sandbox clone of the
+// platform, re-admits them in candidate orders through the ordinary
+// four-phase workflow, and keeps the composite move only when it
+// strictly lowers the objective. Effort is bounded by the sandbox's
+// move budget — re-admission attempts, never wall-clock — and all
+// randomness comes from a caller-provided seed, so a pass is fully
+// deterministic.
+package replan
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/optimal"
+	"repro/internal/platform"
+)
+
+// DefaultNeighborhood is the neighborhood size when LNS.Neighborhood
+// is zero: the worst-placed resident plus two random companions.
+const DefaultNeighborhood = 3
+
+// DefaultMaxStale is the give-up threshold when LNS.MaxStale is zero:
+// after this many consecutive rounds without an accepted move the
+// pass ends even with budget left.
+const DefaultMaxStale = 6
+
+// LNS is the large-neighborhood-search replanner. The zero value is
+// usable: seed 0, neighborhood of DefaultNeighborhood, the default
+// communication-distance objective.
+type LNS struct {
+	// Seed seeds the neighborhood sampler; equal seeds (and equal
+	// sandbox state) give byte-identical passes.
+	Seed int64
+	// Neighborhood is the number of residents released per composite
+	// move; zero means DefaultNeighborhood.
+	Neighborhood int
+	// MaxStale ends the pass after this many consecutive rounds
+	// without improvement; zero means DefaultMaxStale.
+	MaxStale int
+	// Objective is the cost model; the zero value means
+	// optimal.DefaultObjective.
+	Objective optimal.Objective
+}
+
+// Name implements core.Replanner.
+func (l LNS) Name() string { return "lns" }
+
+// lnsRun is the per-pass state: the distance matrix of the sandbox
+// platform and the resolved parameters.
+type lnsRun struct {
+	sb       *core.ReplanSandbox
+	obj      optimal.Objective
+	dist     [][]int
+	diameter int
+}
+
+// cost evaluates one resident under the objective: implementation
+// base costs plus CommWeight × hopdistance × tokenSize per channel,
+// with unreachable endpoint pairs charged diameter + 1 (the same
+// convention as optimal.Solver.CostOf).
+func (r *lnsRun) cost(adm *core.Admission) float64 {
+	c := 0.0
+	for _, t := range adm.App.Tasks {
+		c += adm.Binding.Implementation(t.ID).Cost
+	}
+	for _, ch := range adm.App.Channels {
+		d := r.dist[adm.Assignment[ch.Src]][adm.Assignment[ch.Dst]]
+		if d == platform.Unreachable {
+			d = r.diameter + 1
+		}
+		c += r.obj.CommWeight * float64(d) * float64(ch.TokenSize)
+	}
+	return c
+}
+
+// total sums the cost of every resident.
+func (r *lnsRun) total() float64 {
+	c := 0.0
+	for _, name := range r.sb.Residents() {
+		c += r.cost(r.sb.Layout(name))
+	}
+	return c
+}
+
+// Replan implements core.Replanner.
+func (l LNS) Replan(sb *core.ReplanSandbox) (before, after float64) {
+	obj := l.Objective
+	if obj == (optimal.Objective{}) {
+		obj = optimal.DefaultObjective()
+	}
+	size := l.Neighborhood
+	if size <= 0 {
+		size = DefaultNeighborhood
+	}
+	maxStale := l.MaxStale
+	if maxStale <= 0 {
+		maxStale = DefaultMaxStale
+	}
+
+	p := sb.Platform()
+	n := p.NumElements()
+	run := &lnsRun{sb: sb, obj: obj, dist: make([][]int, n)}
+	for i := 0; i < n; i++ {
+		run.dist[i] = p.BFSDistances([]int{i})
+		for _, d := range run.dist[i] {
+			if d != platform.Unreachable && d > run.diameter {
+				run.diameter = d
+			}
+		}
+	}
+
+	before = run.total()
+	after = before
+	rng := rand.New(rand.NewSource(l.Seed))
+	const eps = 1e-9
+
+	stale := 0
+	for sb.Remaining() > 0 && stale < maxStale {
+		names := sb.Residents()
+		if len(names) == 0 {
+			break
+		}
+		// Rank by current cost, worst first (ties by name, so the
+		// ordering never depends on map iteration).
+		sort.Slice(names, func(i, j int) bool {
+			ci, cj := run.cost(sb.Layout(names[i])), run.cost(sb.Layout(names[j]))
+			if ci != cj {
+				return ci > cj
+			}
+			return names[i] < names[j]
+		})
+		// Seed the neighborhood with the worst-placed resident; once a
+		// round went stale, diversify by seeding from a random one so
+		// the search does not hammer an unimprovable corner.
+		seedIdx := 0
+		if stale > 0 {
+			seedIdx = rng.Intn(len(names))
+		}
+		k := size
+		if k > len(names) {
+			k = len(names)
+		}
+		if k > sb.Remaining() {
+			k = sb.Remaining()
+		}
+		members := []string{names[seedIdx]}
+		for _, j := range rng.Perm(len(names)) {
+			if len(members) == k {
+				break
+			}
+			if j != seedIdx {
+				members = append(members, names[j])
+			}
+		}
+		// Candidate order 1: worst-placed first (release the most
+		// expensive resident's resources for the others to use).
+		sort.Slice(members, func(i, j int) bool {
+			ci, cj := run.cost(sb.Layout(members[i])), run.cost(sb.Layout(members[j]))
+			if ci != cj {
+				return ci > cj
+			}
+			return members[i] < members[j]
+		})
+		pre := 0.0
+		for _, m := range members {
+			pre += run.cost(sb.Layout(m))
+		}
+		improved := false
+		for attempt := 0; attempt < 2; attempt++ {
+			order := members
+			if attempt == 1 {
+				// Candidate order 2: a seeded permutation.
+				order = append([]string(nil), members...)
+				rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+			}
+			if len(order) > sb.Remaining() {
+				break
+			}
+			if !sb.Shuffle(order) {
+				continue
+			}
+			post := 0.0
+			for _, m := range order {
+				post += run.cost(sb.Layout(m))
+			}
+			if post < pre-eps {
+				after += post - pre
+				improved = true
+				break
+			}
+			sb.Undo()
+		}
+		if improved {
+			stale = 0
+		} else {
+			stale++
+		}
+	}
+	return before, after
+}

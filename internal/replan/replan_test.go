@@ -1,0 +1,153 @@
+package replan
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/mapping"
+	"repro/internal/platform"
+	"repro/internal/resource"
+)
+
+func chainApp(name string, n int, share int64) *graph.Application {
+	app := graph.New(name)
+	for i := 0; i < n; i++ {
+		app.AddTask("t", graph.Internal, graph.Implementation{
+			Name: "dsp", Target: platform.TypeDSP,
+			Requires: resource.Of(share, 8, 0, 0), Cost: 1, ExecTime: 5,
+		})
+	}
+	for i := 0; i+1 < n; i++ {
+		app.AddChannel(i, i+1)
+	}
+	return app
+}
+
+// pinnedBlocker is a single-task app pinned to one element, used to
+// exhaust chosen tiles so the apps admitted after it are forced into
+// whatever holes remain.
+func pinnedBlocker(name string, elem int, share int64) *graph.Application {
+	app := graph.New(name)
+	id := app.AddTask("b", graph.Internal, graph.Implementation{
+		Name: "dsp", Target: platform.TypeDSP,
+		Requires: resource.Of(share, 8, 0, 0), Cost: 1, ExecTime: 5,
+	})
+	app.Tasks[id].FixedElement = elem
+	return app
+}
+
+// buildFragmented builds a manager whose resident set was admitted
+// under heavy contention and then thinned out: blockers exhaust every
+// tile except two opposite corners, chains are forced to straddle the
+// whole mesh, and then the blockers leave. Task migration is
+// impossible, so the survivors stay scattered across a platform that
+// is now mostly empty — exactly the state a replanner should improve.
+func buildFragmented(t *testing.T, opts core.Options) *core.Kairos {
+	t.Helper()
+	p := platform.Mesh(4, 4, 4)
+	opts.Weights = mapping.WeightsCommunication
+	opts.SkipValidation = true
+	k := core.New(p, opts)
+	n := p.NumElements()
+	var blockers []string
+	for e := 0; e < n; e++ {
+		if e == 0 || e == n-1 {
+			continue
+		}
+		adm, err := k.Admit(context.Background(), pinnedBlocker(fmt.Sprintf("blk%d", e), e, 70))
+		if err != nil {
+			t.Fatalf("blocker %d: %v", e, err)
+		}
+		blockers = append(blockers, adm.Instance)
+	}
+	// A 2-task chain at 60 share: the tasks cannot co-locate (60+60
+	// exceeds a tile) and only the two opposite corners have room, so
+	// the chain spans the full mesh diagonal.
+	if _, err := k.Admit(context.Background(), chainApp("app0", 2, 60)); err != nil {
+		t.Fatalf("chain: %v", err)
+	}
+	for _, name := range blockers {
+		if err := k.Release(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return k
+}
+
+func TestLNSImprovesFragmentedPlacement(t *testing.T) {
+	k := buildFragmented(t, core.Options{Replanner: LNS{Seed: 1}, ReplanBudget: 64})
+	res, err := k.Replan(context.Background())
+	if err != nil {
+		t.Fatalf("Replan: %v", err)
+	}
+	if res.CostBefore <= 0 {
+		t.Fatalf("degenerate fixture: cost before = %v", res.CostBefore)
+	}
+	if !res.Improved {
+		t.Fatalf("LNS found no improvement on a heavily fragmented platform: %+v", res)
+	}
+	if res.CostAfter >= res.CostBefore {
+		t.Fatalf("committed pass did not lower the objective: %v -> %v", res.CostBefore, res.CostAfter)
+	}
+	if res.Evaluated == 0 || res.Evaluated > 64 {
+		t.Fatalf("budget accounting off: evaluated %d with budget 64", res.Evaluated)
+	}
+}
+
+func TestLNSDeterministic(t *testing.T) {
+	run := func() string {
+		k := buildFragmented(t, core.Options{Replanner: LNS{Seed: 7}, ReplanBudget: 48})
+		res, err := k.Replan(context.Background())
+		if err != nil {
+			t.Fatalf("Replan: %v", err)
+		}
+		type move struct{ From, To string }
+		moves := make([]move, len(res.Moves))
+		for i, m := range res.Moves {
+			moves[i] = move{m.From, m.To}
+		}
+		b, err := json.Marshal(struct {
+			Moves         []move
+			Before, After float64
+			Evaluated     int
+			Improved      bool
+		}{moves, res.CostBefore, res.CostAfter, res.Evaluated, res.Improved})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("two passes with the same seed differ:\n%s\n%s", a, b)
+	}
+}
+
+func TestLNSRespectsBudget(t *testing.T) {
+	for _, budget := range []int{1, 2, 8} {
+		k := buildFragmented(t, core.Options{Replanner: LNS{Seed: 3}})
+		res, err := k.ReplanWithBudget(context.Background(), budget)
+		if err != nil {
+			t.Fatalf("budget %d: %v", budget, err)
+		}
+		if res.Evaluated > budget {
+			t.Errorf("budget %d: evaluated %d moves", budget, res.Evaluated)
+		}
+	}
+}
+
+func TestLNSZeroResidents(t *testing.T) {
+	p := platform.Mesh(2, 2, 4)
+	k := core.New(p, core.Options{Weights: mapping.WeightsCommunication, SkipValidation: true, Replanner: LNS{}})
+	res, err := k.Replan(context.Background())
+	if err != nil {
+		t.Fatalf("Replan on empty manager: %v", err)
+	}
+	if res.Improved || res.Evaluated != 0 {
+		t.Errorf("empty manager produced work: %+v", res)
+	}
+}

@@ -5,55 +5,164 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/replan"
 	"repro/kairos"
 )
 
-// Policy is a defragmentation policy. The platform cannot migrate
-// tasks (paper §I-A), so every policy is built on the restart path:
-// Manager.Readmit releases an application and admits it afresh,
-// letting the mapping phase compact it into the current platform
-// state.
-type Policy int
+// Policy is a registered defragmentation policy. The platform cannot
+// migrate tasks (paper §I-A), so every policy is built on the restart
+// path: an application is released and admitted afresh, letting the
+// mapping phase compact it into the current platform state.
+//
+// Policy values are comparable handles into the registry; the zero
+// value behaves as PolicyNone. They parse from their names
+// (ParsePolicy, or UnmarshalText for flag.TextVar) and render them
+// (String, MarshalText), so a Policy round-trips through flags and
+// JSON.
+type Policy struct{ spec *policySpec }
 
-const (
+// policySpec is the registered behavior of one policy. A policy
+// contributes up to three hooks; every hook is optional, so new
+// policies slot into the registry without touching the simulator loop
+// or cmd/sim.
+type policySpec struct {
+	name string
+	// tick, when non-nil, runs every Config.DefragPeriod simulated
+	// seconds (the simulator schedules the timer iff the hook exists).
+	tick func(s *simulator)
+	// onRejection, when non-nil, runs after a rejected arrival when
+	// live applications exist; returning true retries the admission
+	// once.
+	onRejection func(s *simulator, app string) bool
+	// options, when non-nil, contributes manager options derived from
+	// the run configuration (applied before Config.Options, so
+	// explicit caller options win).
+	options func(cfg Config) []kairos.Option
+}
+
+// policies is the registry, in registration (= comparison-report)
+// order.
+var policies []Policy
+
+func registerPolicy(spec *policySpec) Policy {
+	p := Policy{spec}
+	policies = append(policies, p)
+	return p
+}
+
+// The registered policies.
+var (
 	// PolicyNone never defragments; rejections stand. The baseline.
-	PolicyNone Policy = iota
+	PolicyNone = registerPolicy(&policySpec{name: "none"})
 	// PolicyPeriodic readmits the worst-placed application (most
 	// route hops) every DefragPeriod seconds, spreading
 	// defragmentation work over time.
-	PolicyPeriodic
+	PolicyPeriodic = registerPolicy(&policySpec{
+		name: "periodic",
+		tick: (*simulator).periodicDefrag,
+	})
 	// PolicyOnRejection reacts to rejections: when an arrival is
 	// rejected, every live application is readmitted worst-first to
 	// compact the platform, and the arrival is retried once.
-	PolicyOnRejection
+	PolicyOnRejection = registerPolicy(&policySpec{
+		name: "on-rejection",
+		onRejection: func(s *simulator, app string) bool {
+			s.repack(app)
+			return true
+		},
+	})
+	// PolicyReplan reacts to rejections with one offline replanning
+	// pass: a budgeted large-neighborhood search over the whole
+	// resident set (Manager.Replan with the LNS strategy), committed
+	// only when it strictly lowers the placement objective; the
+	// arrival is retried when the pass improved. The search draws
+	// from its own seed (Config.ReplanSeed), never the workload or
+	// fault streams, so all policies still face identical workloads.
+	PolicyReplan = registerPolicy(&policySpec{
+		name:        "replan",
+		onRejection: (*simulator).replanOnRejection,
+		options: func(cfg Config) []kairos.Option {
+			seed := cfg.ReplanSeed
+			if seed == 0 {
+				seed = cfg.Seed
+			}
+			return []kairos.Option{
+				kairos.WithReplanner(replan.LNS{Seed: seed}),
+				kairos.WithReplanBudget(cfg.ReplanBudget),
+			}
+		},
+	})
 )
 
-// AllPolicies returns every policy in comparison-report order.
-func AllPolicies() []Policy {
-	return []Policy{PolicyNone, PolicyPeriodic, PolicyOnRejection}
+// AllPolicies returns every registered policy in comparison-report
+// order.
+func AllPolicies() []Policy { return append([]Policy(nil), policies...) }
+
+// PolicyNames lists the registered policy names in comparison-report
+// order (the cmd/sim -policy vocabulary).
+func PolicyNames() []string {
+	names := make([]string, len(policies))
+	for i, p := range policies {
+		names[i] = p.String()
+	}
+	return names
 }
 
 func (p Policy) String() string {
-	switch p {
-	case PolicyNone:
-		return "none"
-	case PolicyPeriodic:
-		return "periodic"
-	case PolicyOnRejection:
-		return "on-rejection"
-	default:
-		return fmt.Sprintf("policy(%d)", int(p))
+	if p.spec == nil {
+		return PolicyNone.spec.name
 	}
+	return p.spec.name
+}
+
+// MarshalText renders the policy name, so results and configs
+// serialize readably.
+func (p Policy) MarshalText() ([]byte, error) { return []byte(p.String()), nil }
+
+// UnmarshalText parses a policy name, so a Policy registers directly
+// on a FlagSet via flag.TextVar.
+func (p *Policy) UnmarshalText(text []byte) error {
+	pol, err := ParsePolicy(string(text))
+	if err != nil {
+		return err
+	}
+	*p = pol
+	return nil
 }
 
 // ParsePolicy parses a policy name as used by the cmd/sim -policy flag.
 func ParsePolicy(s string) (Policy, error) {
-	for _, p := range AllPolicies() {
+	for _, p := range policies {
 		if s == p.String() {
 			return p, nil
 		}
 	}
-	return 0, fmt.Errorf("sim: unknown policy %q (none, periodic, on-rejection)", s)
+	return Policy{}, fmt.Errorf("sim: unknown policy %q (have %v)", s, PolicyNames())
+}
+
+// ticks says whether the simulator should schedule the periodic
+// defragmentation timer for this policy.
+func (p Policy) ticks() bool { return p.spec != nil && p.spec.tick != nil }
+
+// runTick runs the policy's periodic hook.
+func (p Policy) runTick(s *simulator) { p.spec.tick(s) }
+
+// rejected runs the policy's rejection hook, if any; true means the
+// rejected arrival should be retried once.
+func (p Policy) rejected(s *simulator, app string) bool {
+	if p.spec == nil || p.spec.onRejection == nil {
+		return false
+	}
+	return p.spec.onRejection(s, app)
+}
+
+// managerOptions returns the policy's contribution to the manager
+// option list.
+func (p Policy) managerOptions(cfg Config) []kairos.Option {
+	if p.spec == nil || p.spec.options == nil {
+		return nil
+	}
+	return p.spec.options(cfg)
 }
 
 // worstFirst returns the live applications sorted by decreasing route
@@ -102,4 +211,35 @@ func (s *simulator) repack(rejectedApp string) {
 // readmitOne forces one application through the restart path.
 func (s *simulator) readmitOne(a *liveApp) kairos.ReadmitResult {
 	return s.k.ReadmitClassified(context.Background(), a.instance)
+}
+
+// replanOnRejection runs one budgeted offline replanning pass over
+// the whole resident set (PolicyReplan). Committed moves rename
+// instances; the live table follows, exactly as it does for forced
+// readmissions. When the pass cannot improve the composite — the
+// search is conservative and rejects any non-improving pass wholesale
+// — the policy falls back to the targeted worst-first repack of
+// PolicyOnRejection: an unimproved pass leaves the platform
+// byte-identical, so retrying after it alone would fail identically.
+func (s *simulator) replanOnRejection(rejectedApp string) bool {
+	res, err := s.k.Replan(context.Background())
+	if err != nil {
+		s.trace(TraceEvent{Event: "replan", App: rejectedApp, Outcome: "replan-error"})
+		return false
+	}
+	s.res.Totals.ReplanPasses++
+	s.res.Totals.ReplanMoves += len(res.Moves)
+	for _, m := range res.Moves {
+		if a := s.byName[m.From]; a != nil {
+			delete(s.byName, a.instance)
+			a.instance = m.To
+			a.adm = m.Adm
+			s.byName[a.instance] = a
+		}
+	}
+	s.trace(TraceEvent{Event: "replan", App: rejectedApp, Outcome: fmt.Sprintf("moved:%d", len(res.Moves))})
+	if !res.Improved {
+		s.repack(rejectedApp)
+	}
+	return true
 }

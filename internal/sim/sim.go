@@ -62,6 +62,12 @@ type Config struct {
 	// DefragPeriod is the PolicyPeriodic readmission interval in
 	// seconds (0 = 30s).
 	DefragPeriod float64
+	// ReplanBudget caps the moves of one PolicyReplan pass
+	// (0 = the manager default, kairos.DefaultReplanBudget).
+	ReplanBudget int
+	// ReplanSeed seeds the PolicyReplan search (0 = derive from Seed).
+	// It is independent of the workload and fault streams.
+	ReplanSeed int64
 	// FaultRate is the mean hardware-fault rate per second (Poisson);
 	// 0 disables fault injection. Each fault disables one enabled
 	// element or physical link, chosen uniformly, and forces the
@@ -89,10 +95,12 @@ type Config struct {
 // with; RunRecovery must boot the recovered manager with the same
 // options, since recovery re-executes the journaled workflow.
 func (cfg Config) managerOptions() []kairos.Option {
-	return append([]kairos.Option{
+	opts := []kairos.Option{
 		kairos.WithWeights(cfg.Weights),
 		kairos.WithAdvisoryValidation(),
-	}, cfg.Options...)
+	}
+	opts = append(opts, cfg.Policy.managerOptions(cfg)...)
+	return append(opts, cfg.Options...)
 }
 
 // DefaultConfig returns a CRISP-platform configuration with sustained
@@ -120,9 +128,11 @@ func DefaultConfig() Config {
 type TraceEvent struct {
 	// T is the simulated time in seconds.
 	T float64 `json:"t"`
-	// Event is arrival, departure, fault, repair, defrag or retry.
+	// Event is arrival, departure, fault, repair, defrag, retry or
+	// replan.
 	Event string `json:"event"`
-	// App is the application name (arrival/departure/defrag/retry).
+	// App is the application name (arrival/departure/defrag/retry/
+	// replan).
 	App string `json:"app,omitempty"`
 	// Instance is the manager's instance name, when one exists.
 	Instance string `json:"instance,omitempty"`
@@ -171,6 +181,11 @@ type Totals struct {
 	Moved          int `json:"moved"`
 	Restored       int `json:"restored"`
 	Evicted        int `json:"evicted"`
+	// ReplanPasses and ReplanMoves count PolicyReplan's offline
+	// passes and the committed moves they produced (a pass that found
+	// no strict improvement commits zero moves).
+	ReplanPasses int `json:"replanPasses"`
+	ReplanMoves  int `json:"replanMoves"`
 	// Steady-state figures cover the second half of the run, after
 	// the platform has filled.
 	SteadyArrivals      int     `json:"steadyArrivals"`
@@ -340,7 +355,7 @@ func Run(cfg Config) *Result {
 	if cfg.FaultRate > 0 {
 		s.schedule(s.faultExp(1/cfg.FaultRate), &event{kind: evFault})
 	}
-	if cfg.Policy == PolicyPeriodic {
+	if cfg.Policy.ticks() {
 		s.schedule(cfg.DefragPeriod, &event{kind: evDefrag})
 	}
 	s.schedule(cfg.SampleEvery, &event{kind: evSample})
@@ -362,7 +377,7 @@ func Run(cfg Config) *Result {
 		case evRepair:
 			s.repair(ev)
 		case evDefrag:
-			s.periodicDefrag()
+			cfg.Policy.runTick(s)
 			s.schedule(cfg.DefragPeriod, &event{kind: evDefrag})
 		case evSample:
 			s.sample()
@@ -453,8 +468,7 @@ func (s *simulator) arrival() {
 		s.lat = append(s.lat, adm.Times.Total())
 	}
 	retried := false
-	if err != nil && s.cfg.Policy == PolicyOnRejection && s.liveCount() > 0 {
-		s.repack(app.Name)
+	if err != nil && s.liveCount() > 0 && s.cfg.Policy.rejected(s, app.Name) {
 		retried = true
 		adm, err = s.k.Admit(context.Background(), app)
 		if adm != nil {

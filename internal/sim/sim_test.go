@@ -161,6 +161,21 @@ func TestDefragReducesSteadyStateRejection(t *testing.T) {
 	if onRej.Totals.DefragReadmits == 0 {
 		t.Error("on-rejection policy never defragmented")
 	}
+	// The offline replanner is the strongest policy at this operating
+	// point: its steady-state rejection must be strictly below the
+	// on-rejection baseline, on the identical offered workload.
+	rep := byPolicy[PolicyReplan.String()]
+	if rep.Totals.SteadyRejectionRate >= onRej.Totals.SteadyRejectionRate {
+		t.Errorf("replan did not beat the on-rejection baseline: %.2f%% vs %.2f%%",
+			rep.Totals.SteadyRejectionRate, onRej.Totals.SteadyRejectionRate)
+	}
+	if rep.Totals.ReplanPasses == 0 {
+		t.Error("replan policy never ran a replanning pass")
+	}
+	if rep.Totals.Arrivals != onRej.Totals.Arrivals {
+		t.Errorf("offered workload differs across policies: %d vs %d arrivals",
+			rep.Totals.Arrivals, onRej.Totals.Arrivals)
+	}
 }
 
 func TestRunOnMeshPlatform(t *testing.T) {

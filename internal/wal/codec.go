@@ -219,13 +219,7 @@ func EncodeOp(b []byte, lsn uint64, shard int, op core.Op) ([]byte, error) {
 			b = appendU8(b, 0)
 		} else {
 			b = appendU8(b, 1)
-			b = appendInts(b, op.Layout.Impls)
-			b = appendInts(b, op.Layout.Assignment)
-			b = appendU32(b, uint32(len(op.Layout.Routes)))
-			for _, rt := range op.Layout.Routes {
-				b = appendU32(b, uint32(int32(rt.Channel)))
-				b = appendInts(b, rt.Path)
-			}
+			b = appendLayout(b, op.Layout)
 		}
 	case core.OpRelease, core.OpEvict:
 		b = appendString(b, op.Instance)
@@ -242,6 +236,21 @@ func EncodeOp(b []byte, lsn uint64, shard int, op core.Op) ([]byte, error) {
 	case core.OpShardAdd, core.OpShardDrain:
 		// Membership transitions carry no payload beyond the shard in
 		// the record header.
+	case core.OpReplan:
+		// The whole accepted plan is one record: per move, the consumed
+		// sequence number, the retired and fresh instance names, and the
+		// committed layout verbatim (same shape as an OpAdmit layout).
+		b = appendU32(b, uint32(op.Seq))
+		b = appendU32(b, uint32(len(op.Moves)))
+		for _, m := range op.Moves {
+			if m.Seq < 0 || m.Seq > math.MaxUint32 {
+				return nil, fmt.Errorf("wal: replan move seq %d out of range", m.Seq)
+			}
+			b = appendU32(b, uint32(m.Seq))
+			b = appendString(b, m.From)
+			b = appendString(b, m.To)
+			b = appendLayout(b, &m.Layout)
+		}
 	default:
 		return nil, fmt.Errorf("wal: unknown op kind %d", op.Kind)
 	}
@@ -253,6 +262,36 @@ func boolByte(v bool) byte {
 		return 1
 	}
 	return 0
+}
+
+// appendLayout appends one committed layout (implementation indices,
+// assignment, routes) — the shape shared by layout-carrying OpAdmit
+// records and the per-move payload of OpReplan records.
+func appendLayout(b []byte, l *core.OpLayout) []byte {
+	b = appendInts(b, l.Impls)
+	b = appendInts(b, l.Assignment)
+	b = appendU32(b, uint32(len(l.Routes)))
+	for _, rt := range l.Routes {
+		b = appendU32(b, uint32(int32(rt.Channel)))
+		b = appendInts(b, rt.Path)
+	}
+	return b
+}
+
+// layout decodes one committed layout into l (see appendLayout).
+func (r *reader) layout(l *core.OpLayout) {
+	l.Impls = r.ints()
+	l.Assignment = r.ints()
+	nRoutes := r.u32()
+	if r.err == nil && nRoutes > maxRecord/8 {
+		r.fail("layout routes")
+		return
+	}
+	for i := uint32(0); i < nRoutes && r.err == nil; i++ {
+		rt := routing.Route{Channel: int(int32(r.u32()))}
+		rt.Path = r.ints()
+		l.Routes = append(l.Routes, rt)
+	}
 }
 
 // DecodeOp decodes one op record payload.
@@ -273,16 +312,8 @@ func DecodeOp(payload []byte) (RecordedOp, error) {
 			rec.Op.App = app
 		}
 		if r.u8() != 0 {
-			l := &core.OpLayout{Impls: r.ints(), Assignment: r.ints()}
-			nRoutes := r.u32()
-			if r.err == nil && nRoutes > maxRecord/8 {
-				return rec, fmt.Errorf("%w: %d layout routes", ErrCorrupt, nRoutes)
-			}
-			for i := uint32(0); i < nRoutes && r.err == nil; i++ {
-				rt := routing.Route{Channel: int(int32(r.u32()))}
-				rt.Path = r.ints()
-				l.Routes = append(l.Routes, rt)
-			}
+			l := &core.OpLayout{}
+			r.layout(l)
 			if r.err == nil {
 				rec.Op.Layout = l
 			}
@@ -301,6 +332,19 @@ func DecodeOp(payload []byte) (RecordedOp, error) {
 		rec.Op.Enabled = r.u8() != 0
 	case core.OpShardAdd, core.OpShardDrain:
 		// No payload.
+	case core.OpReplan:
+		rec.Op.Seq = int(r.u32())
+		nMoves := r.u32()
+		if r.err == nil && nMoves > maxRecord/8 {
+			return rec, fmt.Errorf("%w: %d replan moves", ErrCorrupt, nMoves)
+		}
+		for i := uint32(0); i < nMoves && r.err == nil; i++ {
+			m := core.OpMove{Seq: int(r.u32()), From: r.str(), To: r.str()}
+			r.layout(&m.Layout)
+			if r.err == nil {
+				rec.Op.Moves = append(rec.Op.Moves, m)
+			}
+		}
 	default:
 		return rec, fmt.Errorf("%w: unknown op kind %d", ErrCorrupt, rec.Op.Kind)
 	}

@@ -28,6 +28,7 @@ import (
 	"repro/internal/appgen"
 	"repro/internal/core"
 	"repro/internal/platform"
+	"repro/internal/replan"
 	"repro/internal/wal"
 	"repro/kairos"
 )
@@ -86,8 +87,16 @@ func (f journalFunc) Append(op core.Op) (uint64, error) { return f(op) }
 
 func freshPlatform() *platform.Platform { return platform.Mesh(4, 4, 4) }
 
+// managerOptions configures every engine in a trial. The replanner
+// makes the drive mix exercise OpReplan — the one multi-move journal
+// record — so torn writes land inside replan records too; replay does
+// not invoke it (OpReplan replays from the recorded layouts).
 func managerOptions() []kairos.Option {
-	return []kairos.Option{kairos.WithoutValidation()}
+	return []kairos.Option{
+		kairos.WithoutValidation(),
+		kairos.WithReplanner(replan.LNS{Seed: 7}),
+		kairos.WithReplanBudget(16),
+	}
 }
 
 // cachedManagerOptions turns the layout cache on for every engine in a
@@ -129,9 +138,9 @@ type driveResult struct {
 }
 
 // drive runs a deterministic randomized op mix — admissions, releases,
-// readmissions, fault flips, optional checkpoints — against a manager
-// journaling into log, until the step budget or the crash. It asserts
-// the crash rolls the in-flight op back.
+// readmissions, fault flips, replanning passes, optional checkpoints —
+// against a manager journaling into log, until the step budget or the
+// crash. It asserts the crash rolls the in-flight op back.
 func drive(t *testing.T, m *kairos.Manager, p *platform.Platform, log *wal.Log,
 	rng *rand.Rand, steps int, checkpointEvery int) driveResult {
 	t.Helper()
@@ -157,7 +166,7 @@ func drive(t *testing.T, m *kairos.Manager, p *platform.Platform, log *wal.Log,
 	for step := 0; step < steps; step++ {
 		before := m.ExportState()
 		var err error
-		switch roll := rng.Intn(10); {
+		switch roll := rng.Intn(11); {
 		case roll < 2:
 			_, err = m.Admit(ctx, hot)
 		case roll < 4:
@@ -172,9 +181,14 @@ func drive(t *testing.T, m *kairos.Manager, p *platform.Platform, log *wal.Log,
 			}
 		case roll < 9:
 			err = m.SetElementEnabled(rng.Intn(len(p.Elements())), rng.Intn(2) == 0)
-		default:
+		case roll < 10:
 			l := links[rng.Intn(len(links))]
 			err = m.SetLinkEnabled(l.From, l.To, rng.Intn(2) == 0)
+		default:
+			// An accepted pass commits as ONE OpReplan record, so the
+			// crash-point assertion below covers it unchanged: a failed
+			// append must unwind every move of the pass.
+			_, err = m.Replan(ctx)
 		}
 		if err != nil && errors.Is(err, kairos.ErrJournal) {
 			// The crash point: the op whose append failed must have

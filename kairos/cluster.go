@@ -493,6 +493,41 @@ func (c *Cluster) ReadmitAffected(ctx context.Context) []ClusterReadmitResult {
 	return out
 }
 
+// ClusterReplanResult tags one shard's offline-replanning outcome
+// with its shard index; the embedded result's instance names are
+// shard-local.
+type ClusterReplanResult struct {
+	Shard int
+	ReplanResult
+}
+
+// Replan runs one offline replanning pass per active shard, in index
+// order (see Manager.Replan; every shard needs a WithReplanner shard
+// option). Draining and drained shards are skipped — their resident
+// set is leaving, not worth compacting. Each shard's pass is atomic
+// on that shard; the cluster-level sweep is not. On a shard error the
+// completed shards' results are returned with it.
+func (c *Cluster) Replan(ctx context.Context) ([]ClusterReplanResult, error) {
+	return c.ReplanWithBudget(ctx, 0)
+}
+
+// ReplanWithBudget is Replan with an explicit per-shard move budget;
+// budget <= 0 uses each shard's configured default.
+func (c *Cluster) ReplanWithBudget(ctx context.Context, budget int) ([]ClusterReplanResult, error) {
+	var out []ClusterReplanResult
+	for i, s := range c.slots() {
+		if s.state != ShardActive {
+			continue
+		}
+		res, err := s.m.ReplanWithBudget(ctx, budget)
+		if err != nil {
+			return out, fmt.Errorf("kairos: replan of shard %d: %w", i, err)
+		}
+		out = append(out, ClusterReplanResult{Shard: i, ReplanResult: *res})
+	}
+	return out, nil
+}
+
 // ReleaseAll frees every admission on every shard, drained ones
 // included.
 func (c *Cluster) ReleaseAll() {
@@ -540,6 +575,8 @@ func (c *Cluster) Stats() ClusterStats {
 		t.CacheFallbacks += s.CacheFallbacks
 		t.Conflicts += s.Conflicts
 		t.Retries += s.Retries
+		t.ReplanMoves += s.ReplanMoves
+		t.ReplanImproved += s.ReplanImproved
 		t.PhaseTotals.Binding += s.PhaseTotals.Binding
 		t.PhaseTotals.Mapping += s.PhaseTotals.Mapping
 		t.PhaseTotals.Routing += s.PhaseTotals.Routing

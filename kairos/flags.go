@@ -27,6 +27,15 @@ type Flags struct {
 	// Optimistic is the -optimistic value (see
 	// WithOptimisticAdmission); 0 keeps admissions fully serialized.
 	Optimistic int
+	// Replan is the -replan value: an offline-replanner name (see
+	// ReplannerByName) or "off" (the default, no replanner attached).
+	Replan string
+	// ReplanBudget is the -replan-budget value (see WithReplanBudget);
+	// 0 keeps DefaultReplanBudget.
+	ReplanBudget int
+	// ReplanSeed is the -replan-seed value: the seed of the
+	// replanner's randomized search (see SeededReplanner).
+	ReplanSeed int64
 }
 
 // RegisterFlags registers the shared flags on the FlagSet with their
@@ -50,6 +59,12 @@ func RegisterFlags(fs *flag.FlagSet) *Flags {
 		"memoize up to N successful layouts per manager (0 = disabled)")
 	fs.IntVar(&f.Optimistic, "optimistic", 0,
 		"plan admissions lock-free with up to N attempts before serializing (0 = serialized)")
+	fs.StringVar(&f.Replan, "replan", "off",
+		"offline replanner: off|"+strings.Join(ReplannerNames(), "|"))
+	fs.IntVar(&f.ReplanBudget, "replan-budget", 0,
+		fmt.Sprintf("replanner move budget per pass (0 = default %d)", DefaultReplanBudget))
+	fs.Int64Var(&f.ReplanSeed, "replan-seed", 0,
+		"seed of the replanner's randomized search")
 	return f
 }
 
@@ -151,6 +166,9 @@ func (f *Flags) StrategyOptions() ([]Option, error) {
 	if f.Optimistic < 0 {
 		return nil, fmt.Errorf("kairos: -optimistic must be non-negative, got %d", f.Optimistic)
 	}
+	if f.ReplanBudget < 0 {
+		return nil, fmt.Errorf("kairos: -replan-budget must be non-negative, got %d", f.ReplanBudget)
+	}
 	w, err := f.Weights()
 	if err != nil {
 		return nil, err
@@ -165,6 +183,16 @@ func (f *Flags) StrategyOptions() ([]Option, error) {
 	}
 	if f.Optimistic > 0 {
 		opts = append(opts, WithOptimisticAdmission(f.Optimistic))
+	}
+	if f.Replan != "" && f.Replan != "off" {
+		r, err := SeededReplanner(f.Replan, f.ReplanSeed)
+		if err != nil {
+			return nil, err
+		}
+		opts = append(opts, WithReplanner(r))
+		if f.ReplanBudget > 0 {
+			opts = append(opts, WithReplanBudget(f.ReplanBudget))
+		}
 	}
 	return opts, nil
 }

@@ -67,6 +67,20 @@ const (
 // (Manager.ReadmitAffected, Manager.ReadmitClassified).
 type ReadmitResult = core.ReadmitResult
 
+// ReplanResult is the outcome of one offline replanning pass
+// (Manager.Replan, Manager.ReplanWithBudget): the committed moves —
+// empty when the pass found no strict improvement — the objective
+// before and after, and the budget consumed.
+type ReplanResult = core.ReplanResult
+
+// ReplanMove is one committed replan move: the retired instance name,
+// the fresh one it was re-admitted under, and the new admission.
+type ReplanMove = core.ReplanMove
+
+// DefaultReplanBudget is the move budget of a replanning pass when
+// neither WithReplanBudget nor ReplanWithBudget sets one.
+const DefaultReplanBudget = core.DefaultReplanBudget
+
 // EvictReason says why an Evicted event fired.
 type EvictReason = core.EvictReason
 
@@ -114,6 +128,9 @@ var (
 	// ErrUnknownInstance is returned by Release and Readmit for
 	// instance names the manager does not track.
 	ErrUnknownInstance = core.ErrUnknownInstance
+	// ErrNoReplanner is returned by Replan when no WithReplanner
+	// strategy was configured.
+	ErrNoReplanner = core.ErrNoReplanner
 	// ErrNilApplication is reported by AdmitAll for nil requests.
 	ErrNilApplication = core.ErrNilApplication
 )

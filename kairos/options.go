@@ -136,6 +136,24 @@ func WithOptimisticAdmission(n int) Option {
 	return func(c *config) { c.core.OptimisticAttempts = n }
 }
 
+// WithReplanner attaches an offline replanner: a strategy
+// Manager.Replan hands a sandboxed clone of the platform and the
+// resident set, to search for a better whole-set placement within a
+// move budget (see Replanner). Without this option Replan returns
+// ErrNoReplanner. The default strategy is the budgeted
+// large-neighborhood search, ReplannerByName("lns").
+func WithReplanner(r Replanner) Option {
+	return func(c *config) { c.core.Replanner = r }
+}
+
+// WithReplanBudget sets the default move budget of a replanning pass:
+// the number of tentative re-admissions the sandbox will execute
+// before the pass must stop. Zero keeps DefaultReplanBudget;
+// Manager.ReplanWithBudget overrides it per call.
+func WithReplanBudget(n int) Option {
+	return func(c *config) { c.core.ReplanBudget = n }
+}
+
 // WithEventBuffer sets the per-subscription channel capacity of the
 // event stream (default DefaultEventBuffer). Events published while a
 // subscriber's buffer is full are dropped for that subscriber and

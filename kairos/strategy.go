@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/knapsack"
 	"repro/internal/mapping"
+	"repro/internal/replan"
 	"repro/internal/routing"
 	"repro/internal/validation"
 )
@@ -78,16 +79,32 @@ var (
 	RouterDijkstra Router = routing.Dijkstra{}
 )
 
+// Replanner is the offline replanning strategy: Manager.Replan hands
+// it a sandboxed clone of the platform plus the resident set, and it
+// searches for a better whole-set placement by tentatively releasing
+// and re-admitting residents through the ordinary four-phase
+// workflow, within a move budget. The pass commits only when the
+// reported cost strictly improved (see WithReplanner).
+type Replanner = core.Replanner
+
+// ReplanSandbox is the tentative-move workspace a Replanner operates
+// on; every Shuffle runs against a clone of the platform, never the
+// live allocation state.
+type ReplanSandbox = core.ReplanSandbox
+
 // The strategy registries: the implementations selectable by name
 // from the CLIs (cmd/kairos, cmd/sim, cmd/experiments -binder,
-// -mapper, -router, -validator). The first entry of each list is the
-// default.
+// -mapper, -router, -validator, -replan). The first entry of each
+// list is the default.
 var (
 	binders = []Binder{core.RegretBinder{}, core.ExactBinder{}}
 	mappers = []Mapper{core.IncrementalMapper{}, core.GapMapper{}, core.FirstFitMapper{}}
 	routers = []Router{RouterBFS, RouterDijkstra}
 	// validators is ordered default-first like the others.
 	validators = []Validator{core.SDFValidator{}, core.NoopValidator{}}
+	// replanners is ordered default-first like the others. The entries
+	// carry default parameters; SeededReplanner re-seeds them.
+	replanners = []Replanner{replan.LNS{}}
 )
 
 // BinderByName returns the registered phase-1 strategy with the name:
@@ -126,6 +143,34 @@ func RouterByName(name string) (Router, error) {
 	return nil, fmt.Errorf("kairos: unknown router %q (have %v)", name, RouterNames())
 }
 
+// ReplannerByName returns the registered offline replanner with the
+// name: "lns" (the budgeted large-neighborhood search, default). The
+// returned strategy carries its default parameters; use
+// SeededReplanner to derive a seeded instance.
+func ReplannerByName(name string) (Replanner, error) {
+	for _, r := range replanners {
+		if r.Name() == name {
+			return r, nil
+		}
+	}
+	return nil, fmt.Errorf("kairos: unknown replanner %q (have %v)", name, ReplannerNames())
+}
+
+// SeededReplanner returns the registered replanner with the name,
+// seeded: for strategies whose search is randomized (the LNS
+// neighborhood sampler), equal seeds give byte-identical passes.
+func SeededReplanner(name string, seed int64) (Replanner, error) {
+	r, err := ReplannerByName(name)
+	if err != nil {
+		return nil, err
+	}
+	if l, ok := r.(replan.LNS); ok {
+		l.Seed = seed
+		return l, nil
+	}
+	return r, nil
+}
+
 // ValidatorByName returns the registered phase-4 strategy with the
 // name: "sdf" (the SDF throughput analysis, default) or "none" (the
 // no-op validator: accept every layout without building a model).
@@ -161,3 +206,6 @@ func RouterNames() []string { return names(routers) }
 
 // ValidatorNames lists the registered validator names, default first.
 func ValidatorNames() []string { return names(validators) }
+
+// ReplannerNames lists the registered replanner names, default first.
+func ReplannerNames() []string { return names(replanners) }
